@@ -1,0 +1,65 @@
+//! Chase engine scaling and the variant ablation
+//! (standard vs oblivious vs core vs parallel trigger scan).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use typedtd_bench::{mvd_chain_instance, universe};
+use typedtd_chase::{chase_implication, ChaseConfig, ChaseVariant};
+use typedtd_relational::ValuePool;
+
+fn bench_chain_length(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chase/mvd_chain");
+    for &len in &[2usize, 3, 4, 5] {
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, &len| {
+            b.iter_batched(
+                || {
+                    let u = universe(len + 1);
+                    let mut pool = ValuePool::new(u.clone());
+                    let (sigma, goal) = mvd_chain_instance(&u, &mut pool, len);
+                    (sigma, goal, pool)
+                },
+                |(sigma, goal, mut pool)| {
+                    chase_implication(&sigma, &goal, &mut pool, &ChaseConfig::default())
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chase/variant");
+    let variants = [
+        ("standard", ChaseVariant::Standard, false),
+        ("core", ChaseVariant::Core, false),
+        ("oblivious", ChaseVariant::Oblivious, false),
+        ("parallel", ChaseVariant::Standard, true),
+    ];
+    for (name, variant, parallel) in variants {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let u = universe(4);
+                    let mut pool = ValuePool::new(u.clone());
+                    let (sigma, goal) = mvd_chain_instance(&u, &mut pool, 3);
+                    (sigma, goal, pool)
+                },
+                |(sigma, goal, mut pool)| {
+                    let cfg = ChaseConfig::default()
+                        .with_variant(variant)
+                        .with_parallel(parallel);
+                    chase_implication(&sigma, &goal, &mut pool, &cfg)
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_chain_length, bench_variants
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Homomorphism (embedding) search scaling: the primitive under
+//! satisfaction, chase triggers, cores, and `T⁻¹`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use typedtd_bench::{random_relation, random_td, universe};
+use typedtd_relational::{Embedder, Valuation, ValuePool};
+
+fn bench_embedding_by_relation_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hom/relation_size");
+    for &rows in &[16usize, 64, 256] {
+        let u = universe(4);
+        let mut pool = ValuePool::new(u.clone());
+        let rel = random_relation(&u, &mut pool, rows, 6, 42);
+        let td = random_td(&u, &mut pool, 3, 3, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
+            b.iter(|| {
+                let emb = Embedder::new(&rel);
+                emb.count_embeddings(td.hypothesis(), &Valuation::new())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_embedding_by_pattern_rows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hom/pattern_rows");
+    for &pat in &[2usize, 3, 4, 5] {
+        let u = universe(4);
+        let mut pool = ValuePool::new(u.clone());
+        let rel = random_relation(&u, &mut pool, 64, 4, 42);
+        let td = random_td(&u, &mut pool, pat, 3, 9);
+        group.bench_with_input(BenchmarkId::from_parameter(pat), &pat, |b, _| {
+            b.iter(|| {
+                let emb = Embedder::new(&rel);
+                emb.embeds(td.hypothesis(), &Valuation::new())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_embedding_by_relation_size, bench_embedding_by_pattern_rows
+}
+criterion_main!(benches);

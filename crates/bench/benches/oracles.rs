@@ -1,0 +1,81 @@
+//! Decidable-fragment implication: the dedicated oracles (Armstrong
+//! closure, dependency basis) against the general-purpose chase on the same
+//! instances. The oracles should win by orders of magnitude — the paper's
+//! undecidability results explain why nothing similar can exist for tds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use typedtd_bench::{fd_chain, mvd_chain, mvd_chain_instance, universe};
+use typedtd_chase::{chase_implication, ChaseConfig};
+use typedtd_dependencies::{fd_implies, mvd_implies, Fd, Mvd};
+use typedtd_relational::{AttrId, ValuePool};
+
+fn bench_fd_oracle_vs_chase(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracles/fd");
+    for &len in &[3usize, 6, 10] {
+        let u = universe(len + 1);
+        let fds = fd_chain(&u, len);
+        let goal = Fd::new(
+            [AttrId(0)].into_iter().collect(),
+            [AttrId(len as u16)].into_iter().collect(),
+        );
+        group.bench_with_input(BenchmarkId::new("closure", len), &len, |b, _| {
+            b.iter(|| fd_implies(&fds, &goal))
+        });
+        group.bench_with_input(BenchmarkId::new("chase", len), &len, |b, _| {
+            b.iter_batched(
+                || {
+                    let mut pool = ValuePool::new(u.clone());
+                    let sigma: Vec<_> = fds
+                        .iter()
+                        .flat_map(|f| f.to_egds(&u, &mut pool))
+                        .map(typedtd_dependencies::TdOrEgd::Egd)
+                        .collect();
+                    let goal_egd = goal.to_egds(&u, &mut pool).remove(0);
+                    (sigma, typedtd_dependencies::TdOrEgd::Egd(goal_egd), pool)
+                },
+                |(sigma, goal, mut pool)| {
+                    chase_implication(&sigma, &goal, &mut pool, &ChaseConfig::default())
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_mvd_oracle_vs_chase(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracles/mvd");
+    for &len in &[2usize, 3, 4] {
+        let u = universe(len + 1);
+        let mvds = mvd_chain(&u, len);
+        let goal = Mvd::new(
+            u.clone(),
+            [AttrId(0)].into_iter().collect(),
+            [AttrId(len as u16)].into_iter().collect(),
+        );
+        group.bench_with_input(BenchmarkId::new("basis", len), &len, |b, _| {
+            b.iter(|| mvd_implies(&u, &mvds, &goal))
+        });
+        group.bench_with_input(BenchmarkId::new("chase", len), &len, |b, _| {
+            b.iter_batched(
+                || {
+                    let mut pool = ValuePool::new(u.clone());
+                    let (sigma, goal) = mvd_chain_instance(&u, &mut pool, len);
+                    (sigma, goal, pool)
+                },
+                |(sigma, goal, mut pool)| {
+                    chase_implication(&sigma, &goal, &mut pool, &ChaseConfig::default())
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fd_oracle_vs_chase, bench_mvd_oracle_vs_chase
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Satisfaction checking: tds, fds, and the two routes to pjd
+//! satisfaction — the project-join mapping `m_R` versus the shallow-td view
+//! (Lemma 6 says they agree; this measures which is faster).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use typedtd_bench::{exchange_td, random_relation, universe};
+use typedtd_dependencies::{Fd, Pjd};
+use typedtd_relational::ValuePool;
+
+fn bench_td_satisfaction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("satisfaction/td");
+    for &rows in &[16usize, 64, 256] {
+        let u = universe(3);
+        let mut pool = ValuePool::new(u.clone());
+        let rel = random_relation(&u, &mut pool, rows, 4, 13);
+        let td = exchange_td(&u, &mut pool);
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
+            b.iter(|| td.satisfied_by(&rel))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fd_satisfaction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("satisfaction/fd");
+    for &rows in &[64usize, 512, 2048] {
+        let u = universe(4);
+        let mut pool = ValuePool::new(u.clone());
+        let rel = random_relation(&u, &mut pool, rows, 8, 13);
+        let fd = Fd::parse(&u, "A1 A2 -> A3");
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
+            b.iter(|| fd.satisfied_by(&rel))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pjd_two_routes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("satisfaction/pjd_route");
+    let u = universe(4);
+    let mut pool = ValuePool::new(u.clone());
+    let rel = random_relation(&u, &mut pool, 64, 4, 13);
+    let pjd = Pjd::parse(&u, "*[A1 A2, A2 A3, A3 A4] on A1 A4");
+    let td = pjd.to_td(&u, &mut pool);
+    group.bench_function("project_join", |b| b.iter(|| pjd.satisfied_by(&rel)));
+    group.bench_function("shallow_td", |b| b.iter(|| td.satisfied_by(&rel)));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_td_satisfaction, bench_fd_satisfaction, bench_pjd_two_routes
+}
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Finite counterexample search: cost of the "other" semidecision
+//! procedure, including the Theorem 1/3 semigroup instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use typedtd_bench::universe;
+use typedtd_chase::{random_counterexample, SearchConfig};
+use typedtd_dependencies::{Mvd, TdOrEgd};
+use typedtd_relational::{AttrId, Universe, ValuePool};
+use typedtd_semigroup::{frontier_instance, Ei};
+
+fn bench_mvd_refutation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("search/mvd_refutation");
+    for &width in &[3usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, &width| {
+            b.iter_batched(
+                || {
+                    let u = universe(width);
+                    let mut pool = ValuePool::new(u.clone());
+                    // Σ = {A1 ↠ A2}; goal: A2 ↠ A1 — refutable.
+                    let sigma = vec![TdOrEgd::Td(
+                        Mvd::new(
+                            u.clone(),
+                            [AttrId(0)].into_iter().collect(),
+                            [AttrId(1)].into_iter().collect(),
+                        )
+                        .to_pjd()
+                        .to_td(&u, &mut pool),
+                    )];
+                    let goal = TdOrEgd::Td(
+                        Mvd::new(
+                            u.clone(),
+                            [AttrId(1)].into_iter().collect(),
+                            [AttrId(0)].into_iter().collect(),
+                        )
+                        .to_pjd()
+                        .to_td(&u, &mut pool),
+                    );
+                    (u, pool, sigma, goal)
+                },
+                |(u, mut pool, sigma, goal)| {
+                    let cfg = SearchConfig {
+                        max_domain: 3,
+                        attempts: 64,
+                        ..Default::default()
+                    };
+                    random_counterexample(&sigma, &goal, &u, &mut pool, &cfg)
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_semigroup_refutation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("search/semigroup");
+    group.sample_size(10);
+    group.bench_function("commutativity", |b| {
+        b.iter_batched(
+            || {
+                let u = Universe::untyped_abc();
+                let mut pool = ValuePool::new(u.clone());
+                let ei = Ei::parse("=> x*y = y*x").unwrap();
+                let inst = frontier_instance(&ei, &mut pool, &u);
+                (u, pool, inst)
+            },
+            |(u, mut pool, inst)| {
+                let cfg = SearchConfig {
+                    max_domain: 2,
+                    attempts: 200,
+                    repair_steps: 256,
+                    max_rows: 64,
+                    ..Default::default()
+                };
+                random_counterexample(&inst.sigma, &inst.goal, &u, &mut pool, &cfg)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_mvd_refutation, bench_semigroup_refutation
+}
+criterion_main!(benches);

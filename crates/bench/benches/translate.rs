@@ -1,0 +1,95 @@
+//! Cost and blowup of the paper's translations: `T` (Section 3), the hat
+//! translation (Section 6, universe growth `|Û| = |U|·(m(m−1)/2 + 1)`),
+//! and the full Theorem 6 pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use typedtd_bench::{random_td, universe};
+use typedtd_core::{theorem6_instance, HatContext, Translator};
+use typedtd_relational::{Relation, Tuple, Universe, ValuePool};
+
+fn bench_t_translation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("translate/T_relation");
+    for &rows in &[8usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, &rows| {
+            b.iter_batched(
+                || {
+                    let u = Universe::untyped_abc();
+                    let mut pool = ValuePool::new(u.clone());
+                    let rel = Relation::from_rows(
+                        u.clone(),
+                        (0..rows).map(|i| {
+                            Tuple::new(vec![
+                                pool.untyped(&format!("a{}", i % 7)),
+                                pool.untyped(&format!("b{}", i % 5)),
+                                pool.untyped(&format!("c{}", i % 3)),
+                            ])
+                        }),
+                    );
+                    (u, pool, rel)
+                },
+                |(u, pool, rel)| {
+                    let mut tr = Translator::new(u);
+                    tr.t_relation(&pool, &rel).len()
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_hat_translation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("translate/hat_td");
+    // Universe growth is quadratic in m: print the series alongside time.
+    for &m in &[2usize, 3, 4, 6, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            b.iter_batched(
+                || {
+                    let u = universe(3);
+                    let mut pool = ValuePool::new(u.clone());
+                    let td = random_td(&u, &mut pool, m, 3, m as u64);
+                    (u, td)
+                },
+                |(u, td)| {
+                    let mut ctx = HatContext::new(&u, td.arity());
+                    let hat = ctx.hat_td(&td);
+                    (ctx.hat_universe().width(), hat.hypothesis().len())
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_theorem6_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("translate/theorem6");
+    for &m in &[2usize, 3, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            b.iter_batched(
+                || {
+                    let u = universe(3);
+                    let mut pool = ValuePool::new(u.clone());
+                    let sigma: Vec<_> = (0..3)
+                        .map(|s| random_td(&u, &mut pool, m, 3, s))
+                        .collect();
+                    let goal = random_td(&u, &mut pool, m, 3, 99);
+                    (sigma, goal)
+                },
+                |(sigma, goal)| {
+                    let inst = theorem6_instance(&sigma, &goal);
+                    (inst.sigma_pjds.len(), inst.mvds.len())
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_t_translation, bench_hat_translation, bench_theorem6_pipeline
+}
+criterion_main!(benches);

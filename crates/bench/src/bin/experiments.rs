@@ -1,0 +1,373 @@
+//! The experiment harness: regenerates every displayed construction of the
+//! paper (the per-experiment index E1–E15 of DESIGN.md).
+//!
+//! ```sh
+//! cargo run -p typedtd-bench --bin experiments           # all
+//! cargo run -p typedtd-bench --bin experiments -- ex1    # one
+//! ```
+
+use typedtd_chase::{
+    chase_implication, random_counterexample, ChaseConfig, ChaseOutcome, SearchConfig,
+};
+use typedtd_core::{
+    lemma10_exhibit, lemma4_check, sigma0_display, t_td, theorem2_instance, theorem6_instance,
+    theta_fd_single, HatContext, Translator,
+};
+use typedtd_dependencies::{egd_from_names, td_from_names, Pjd, TdOrEgd};
+use typedtd_formal::{all_pjds, fd_armstrong, prove, universe_bounded_decides, verify, Proof};
+use typedtd_relational::{render_rows, Relation, Tuple, Universe, ValuePool};
+use typedtd_semigroup::{frontier_instance, refute_in_finite_semigroup, Ei};
+
+fn banner(id: &str, title: &str) {
+    println!("\n==== {id}: {title} ====");
+}
+
+fn example1_relation(
+    u: &std::sync::Arc<Universe>,
+    pool: &mut ValuePool,
+) -> Relation {
+    let (a, b, c) = (pool.untyped("a"), pool.untyped("b"), pool.untyped("c"));
+    Relation::from_rows(
+        u.clone(),
+        [Tuple::new(vec![a, b, c]), Tuple::new(vec![b, a, c])],
+    )
+}
+
+fn ex1() {
+    banner("E1", "Example 1 — T(I) for I = {(a,b,c), (b,a,c)}");
+    let u = Universe::untyped_abc();
+    let mut pool = ValuePool::new(u.clone());
+    let i = example1_relation(&u, &mut pool);
+    let mut tr = Translator::new(u);
+    let t_i = tr.t_relation(&pool, &i);
+    let labels = ["s", "T(w1)", "T(w2)", "N(a)", "N(b)", "N(c)"];
+    let rows: Vec<(String, &Tuple)> = t_i
+        .rows()
+        .iter()
+        .enumerate()
+        .map(|(k, t)| (labels[k].to_string(), t))
+        .collect();
+    print!("{}", render_rows(tr.typed_universe(), tr.pool(), &rows));
+    println!("paper: 6 rows (s, T(w1), T(w2), N(a), N(b), N(c)) — measured: {} rows", t_i.len());
+}
+
+fn ex2() {
+    banner("E2", "Example 2 — T(σ) for σ = ((b,a,d), {(a,b,c)})");
+    let u = Universe::untyped_abc();
+    let mut pool = ValuePool::new(u.clone());
+    let td = td_from_names(&u, &mut pool, &[&["a", "b", "c"]], &["b", "a", "d"]);
+    let mut tr = Translator::new(u);
+    let t = t_td(&mut tr, &pool, &td);
+    print!("{}", t.render(tr.pool()));
+    println!(
+        "paper: hypothesis of 5 rows, conclusion (b1,a2,d3,·,e0,f1) — measured: {} rows",
+        t.hypothesis().len()
+    );
+}
+
+fn sigma0_exp() {
+    banner("E3", "σ₀ and Σ₀ (Section 4)");
+    let u = Universe::untyped_abc();
+    let mut tr = Translator::new(u);
+    let (s0, fds) = sigma0_display(&mut tr);
+    print!("{}", s0.render(tr.pool()));
+    println!("plus the fds:");
+    for fd in &fds {
+        println!("  {}", fd.render(tr.typed_universe()));
+    }
+}
+
+fn lemma1() {
+    banner("E4", "Lemma 1 — T(I) ⊨ {AD→U, BD→U, CD→U, ABCE→U}");
+    let u = Universe::untyped_abc();
+    let mut pool = ValuePool::new(u.clone());
+    let i = example1_relation(&u, &mut pool);
+    let mut tr = Translator::new(u);
+    let t_i = tr.t_relation(&pool, &i);
+    println!("holds on the Example 1 image: {}", tr.lemma1_holds(&t_i));
+    println!("(randomized verification: tests/lemma_properties.rs::lemma1_randomized)");
+}
+
+fn lemma2() {
+    banner("E5", "Lemma 2 — I ⊨ θ ⇔ T(I) ⊨ T(θ)");
+    let u = Universe::untyped_abc();
+    let mut pool = ValuePool::new(u.clone());
+    let td = TdOrEgd::Td(td_from_names(
+        &u,
+        &mut pool,
+        &[&["x", "y1", "z1"], &["x", "y2", "z2"]],
+        &["x", "y1", "z2"],
+    ));
+    for (name, rows) in [
+        ("closed", vec![["a", "b1", "c1"], ["a", "b2", "c2"], ["a", "b1", "c2"], ["a", "b2", "c1"]]),
+        ("open", vec![["a", "b1", "c1"], ["a", "b2", "c2"]]),
+    ] {
+        let i = Relation::from_rows(
+            u.clone(),
+            rows.iter()
+                .map(|r| Tuple::new(r.iter().map(|n| pool.untyped(n)).collect())),
+        );
+        let mut tr = Translator::new(u.clone());
+        let (lhs, rhs) = typedtd_core::lemma2_check(&mut tr, &pool, &i, &td);
+        println!("{name}: I ⊨ θ = {lhs}, T(I) ⊨ T(θ) = {rhs}  (equal: {})", lhs == rhs);
+    }
+}
+
+fn lemma3() {
+    banner("E6", "Lemma 3 — T⁻¹ on a typed counterexample");
+    let u = Universe::untyped_abc();
+    let mut pool = ValuePool::new(u.clone());
+    let sigma: Vec<TdOrEgd> = typedtd_core::abc_functionality(&u, &mut pool)
+        .into_iter()
+        .map(TdOrEgd::Egd)
+        .collect();
+    let goal = TdOrEgd::Egd(egd_from_names(
+        &u,
+        &mut pool,
+        &[&["x", "y1", "z1"], &["x", "y2", "z2"]],
+        ("B'", "y1"),
+        ("B'", "y2"),
+    ));
+    let mut inst = theorem2_instance(&u, &pool, &sigma, &goal);
+    let run = chase_implication(
+        &inst.sigma,
+        &inst.goal,
+        inst.translator.pool_mut(),
+        &ChaseConfig::default(),
+    );
+    println!("typed chase outcome: {:?} (terminal counterexample, {} rows)",
+        run.outcome, run.final_relation.len());
+    let (d0, e0, f1) = (
+        inst.translator.special("d0"),
+        inst.translator.special("e0"),
+        inst.translator.special("f1"),
+    );
+    let inv = typedtd_core::t_inverse(&run.final_relation, d0, e0, f1, &u, &mut pool);
+    println!(
+        "T⁻¹ image: {} rows; satisfies Σ: {}; violates σ: {}",
+        inv.relation.len(),
+        sigma.iter().all(|d| d.satisfied_by(&inv.relation)),
+        !goal.satisfied_by(&inv.relation)
+    );
+}
+
+fn lemma4() {
+    banner("E7", "Lemma 4 — I ⊨ A'B'→C' ⇒ T(I) ⊨ σ₀");
+    let u = Universe::untyped_abc();
+    let mut pool = ValuePool::new(u.clone());
+    let i = Relation::from_rows(
+        u.clone(),
+        [["a", "b", "c"], ["b", "a", "c"], ["a", "a", "b"]]
+            .iter()
+            .map(|r| Tuple::new(r.iter().map(|n| pool.untyped(n)).collect())),
+    );
+    let mut tr = Translator::new(u);
+    let (premise, conclusion) = lemma4_check(&mut tr, &pool, &i);
+    println!("premise (I ⊨ A'B'→C'): {premise}; conclusion (T(I) ⊨ σ₀): {conclusion}");
+}
+
+fn ex3() {
+    banner("E8", "Example 3 — the hat translation θ̂");
+    let u = Universe::typed(vec!["A", "B", "C"]);
+    let mut pool = ValuePool::new(u.clone());
+    let theta = td_from_names(
+        &u,
+        &mut pool,
+        &[&["a", "b1", "c1"], &["a1", "b", "c1"], &["a1", "b1", "c2"]],
+        &["a", "b", "c3"],
+    );
+    println!("θ over U = ABC:");
+    print!("{}", theta.render(&pool));
+    let mut ctx = HatContext::new(&u, 3);
+    let hat = ctx.hat_td(&theta);
+    println!("θ̂ over Û (paper prints the same 4×12 tableau):");
+    print!("{}", hat.render(ctx.pool()));
+    println!("shallow: {}; as pjd: {}", hat.is_shallow(),
+        Pjd::from_shallow_td(&hat).unwrap().render(ctx.hat_universe()));
+}
+
+fn ex4() {
+    banner("E9", "Example 4 — θ_(A→B) over U = ABCDEF");
+    let u = Universe::typed_abcdef();
+    let mut pool = ValuePool::new(u.clone());
+    let theta = theta_fd_single(&u, &mut pool, &u.set("A"), u.a("B"));
+    print!("{}", theta.render(&pool));
+    println!("total: {}", theta.is_total());
+}
+
+fn lemma7() {
+    banner("E10", "Lemma 7 — I ⊨ θ ⇔ Î ⊨ θ̂");
+    println!("randomized verification: tests/lemma_properties.rs::lemma7_randomized");
+    let u = Universe::typed(vec!["A", "B", "C"]);
+    let mut pool = ValuePool::new(u.clone());
+    let theta = td_from_names(
+        &u,
+        &mut pool,
+        &[&["a", "b1", "c1"], &["a1", "b", "c1"], &["a1", "b1", "c2"]],
+        &["a", "b", "c3"],
+    );
+    let i = Relation::from_rows(
+        u.clone(),
+        [Tuple::new(vec![
+            pool.typed(u.a("A"), "p"),
+            pool.typed(u.a("B"), "q"),
+            pool.typed(u.a("C"), "r"),
+        ])],
+    );
+    let mut ctx = HatContext::new(&u, 3);
+    let (lhs, rhs) = ctx.lemma7_check(&i, &pool, &theta);
+    println!("single-row I: I ⊨ θ = {lhs}, Î ⊨ θ̂ = {rhs}");
+}
+
+fn lemma10() {
+    banner("E11", "Lemma 10 — the printed chase derivation");
+    let (u, mut pool, sigma, labels, goal) = lemma10_exhibit();
+    let run = chase_implication(&sigma, &goal, &mut pool, &ChaseConfig::default());
+    println!(
+        "outcome: {:?}; breadth-first chase used {} row-adding steps,",
+        run.outcome,
+        run.trace.rows_added()
+    );
+    let proof = Proof::from_trace(run.trace);
+    let min = typedtd_formal::minimize(&sigma, &goal, &proof);
+    println!(
+        "minimized to {} (paper's chain s1..s4, t has 5):",
+        min.trace.rows_added()
+    );
+    print!("{}", min.trace.render(&u, &pool, &labels));
+}
+
+fn theorem6() {
+    banner("E12", "Theorem 6 — td → shallow-td/pjd pipeline");
+    let u = Universe::typed(vec!["A", "B", "C"]);
+    let mut pool = ValuePool::new(u.clone());
+    let td = td_from_names(
+        &u,
+        &mut pool,
+        &[&["x", "y1", "z1"], &["x", "y2", "z2"]],
+        &["x", "y1", "z2"],
+    );
+    for (name, premises) in [("σ ∈ Σ", vec![td.clone()]), ("Σ = ∅", vec![])] {
+        let mut inst = theorem6_instance(&premises, &td);
+        let sigma = inst.chase_sigma();
+        let goal = TdOrEgd::Td(inst.goal_hat.clone());
+        let run = chase_implication(&sigma, &goal, inst.ctx.pool_mut(), &ChaseConfig::default());
+        println!(
+            "{name}: |Û| = {} attrs, {} shallow tds + {} mvds, goal {} → {:?}",
+            inst.ctx.hat_universe().width(),
+            inst.sigma_hat.len(),
+            inst.mvds.len(),
+            inst.goal_pjd.render(inst.ctx.hat_universe()),
+            run.outcome
+        );
+    }
+}
+
+fn frontier() {
+    banner("E13", "Theorems 1/3 — the undecidability frontier");
+    let u = Universe::untyped_abc();
+    for spec in [
+        "x = y => x*z = y*z",
+        "=> (x*y)*z = x*(y*z)",
+        "=> x*y = y*x",
+        "=> x*x = x",
+    ] {
+        let ei = Ei::parse(spec).unwrap();
+        let mut pool = ValuePool::new(u.clone());
+        let inst = frontier_instance(&ei, &mut pool, &u);
+        let run = chase_implication(&inst.sigma, &inst.goal, &mut pool, &ChaseConfig::quick());
+        let verdict = match run.outcome {
+            ChaseOutcome::Implied => "Σ₁ ⊨ σ (chase proof)".to_string(),
+            _ => {
+                let cfg = SearchConfig { max_domain: 2, attempts: 200, ..Default::default() };
+                match random_counterexample(&inst.sigma, &inst.goal, &u, &mut pool, &cfg) {
+                    Some(cex) => format!("Σ₁ ⊭_f σ ({}-row counterexample)", cex.len()),
+                    None => "undecided in budget".to_string(),
+                }
+            }
+        };
+        let finite = refute_in_finite_semigroup(&ei, 3).is_some();
+        println!("{spec:28} → {verdict} (finite semigroup refutation exists: {finite})");
+    }
+}
+
+fn formal() {
+    banner("E14", "Theorems 7/8 — formal systems for pjds");
+    let u = Universe::typed(vec!["A", "B"]);
+    println!(
+        "finitely many U-pjds over AB (≤2 components): {}",
+        all_pjds(&u, 2).len()
+    );
+    let u3 = Universe::typed(vec!["A", "B", "C"]);
+    let mut pool = ValuePool::new(u3.clone());
+    let sigma = vec![Pjd::parse(&u3, "*[AB, AC]")];
+    for goal in ["*[AB, AC, BC]", "*[AB, BC]"] {
+        let g = Pjd::parse(&u3, goal);
+        let ans = universe_bounded_decides(&sigma, &g, &u3, &mut pool);
+        println!("total-jd enumeration decides *[AB, AC] ⊨ {goal}: {ans:?}");
+    }
+    // Theorem 8: a sound and complete (non-universe-bounded) system.
+    let sigma_td: Vec<TdOrEgd> = sigma
+        .iter()
+        .map(|p| TdOrEgd::Td(p.to_td(&u3, &mut pool)))
+        .collect();
+    let goal_td = TdOrEgd::Td(Pjd::parse(&u3, "*[AB, AC, BC]").to_td(&u3, &mut pool));
+    let proof: Proof = prove(&sigma_td, &goal_td, &mut pool, &ChaseConfig::default()).unwrap();
+    println!(
+        "Theorem 8 proof object: {} steps; independent checker: {:?}",
+        proof.trace.len(),
+        verify(&sigma_td, &goal_td, &proof).is_ok()
+    );
+}
+
+fn armstrong() {
+    banner("E15", "Theorem 5 context — Armstrong relations");
+    let u = Universe::typed(vec!["A", "B", "C", "D"]);
+    let mut pool = ValuePool::new(u.clone());
+    let fds = vec![
+        typedtd_dependencies::Fd::parse(&u, "A -> B"),
+        typedtd_dependencies::Fd::parse(&u, "B -> C"),
+    ];
+    let arm = fd_armstrong(&u, &mut pool, &fds);
+    println!(
+        "fd set {{A→B, B→C}} has a finite Armstrong relation with {} rows \
+         (fds admit them; Theorem 5 shows Σ₂ of typed tds does not).",
+        arm.len()
+    );
+}
+
+fn main() {
+    let filter: Option<String> = std::env::args().nth(1);
+    let all: Vec<(&str, fn())> = vec![
+        ("ex1", ex1),
+        ("ex2", ex2),
+        ("sigma0", sigma0_exp),
+        ("lemma1", lemma1),
+        ("lemma2", lemma2),
+        ("lemma3", lemma3),
+        ("lemma4", lemma4),
+        ("ex3", ex3),
+        ("ex4", ex4),
+        ("lemma7", lemma7),
+        ("lemma10", lemma10),
+        ("theorem6", theorem6),
+        ("frontier", frontier),
+        ("formal", formal),
+        ("armstrong", armstrong),
+    ];
+    let mut ran = 0;
+    for (name, f) in &all {
+        if filter.as_deref().map_or(true, |w| w == *name) {
+            f();
+            ran += 1;
+        }
+    }
+    if ran == 0 {
+        eprintln!(
+            "unknown experiment {:?}; available: {}",
+            filter.unwrap_or_default(),
+            all.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(", ")
+        );
+        std::process::exit(1);
+    }
+}

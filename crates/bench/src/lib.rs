@@ -1,0 +1,185 @@
+//! Workload generators shared by the Criterion benches and the
+//! `experiments` binary.
+//!
+//! The paper has no empirical section — its "evaluation" is a sequence of
+//! constructions — so the measured workloads here are the natural scaling
+//! families around those constructions: random relations for satisfaction
+//! and homomorphism search, fd/mvd families for the decidable chase, td
+//! families for the translations, and the Section 6 blowup series.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::Arc;
+use typedtd_dependencies::{Fd, Mvd, Td, TdOrEgd};
+use typedtd_relational::{AttrId, Relation, Tuple, Universe, Value, ValuePool};
+
+/// A typed universe `A1 … A{width}`.
+pub fn universe(width: usize) -> Arc<Universe> {
+    Universe::typed((1..=width).map(|i| format!("A{i}")).collect())
+}
+
+/// A random relation with `rows` rows over a per-column domain of `k`
+/// values (deterministic in `seed`).
+pub fn random_relation(
+    u: &Arc<Universe>,
+    pool: &mut ValuePool,
+    rows: usize,
+    k: usize,
+    seed: u64,
+) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let domain: Vec<Vec<Value>> = u
+        .attrs()
+        .map(|a| {
+            (0..k)
+                .map(|i| pool.typed(a, &format!("{}v{i}", u.name(a))))
+                .collect()
+        })
+        .collect();
+    let mut rel = Relation::new(u.clone());
+    for _ in 0..rows {
+        rel.insert(Tuple::new(
+            (0..u.width())
+                .map(|c| domain[c][rng.random_range(0..k)])
+                .collect(),
+        ));
+    }
+    rel
+}
+
+/// The fd chain `A1 → A2, A2 → A3, …` of the given length.
+pub fn fd_chain(_u: &Arc<Universe>, len: usize) -> Vec<Fd> {
+    (0..len)
+        .map(|i| {
+            Fd::new(
+                [AttrId(i as u16)].into_iter().collect(),
+                [AttrId(i as u16 + 1)].into_iter().collect(),
+            )
+        })
+        .collect()
+}
+
+/// The mvd chain `A1 ↠ A2, A2 ↠ A3, …`.
+pub fn mvd_chain(u: &Arc<Universe>, len: usize) -> Vec<Mvd> {
+    (0..len)
+        .map(|i| {
+            Mvd::new(
+                u.clone(),
+                [AttrId(i as u16)].into_iter().collect(),
+                [AttrId(i as u16 + 1)].into_iter().collect(),
+            )
+        })
+        .collect()
+}
+
+/// Chase-ready form of an mvd chain plus the transitive goal
+/// `A1 ↠ A{len+1}`.
+pub fn mvd_chain_instance(
+    u: &Arc<Universe>,
+    pool: &mut ValuePool,
+    len: usize,
+) -> (Vec<TdOrEgd>, TdOrEgd) {
+    let sigma = mvd_chain(u, len)
+        .into_iter()
+        .map(|m| TdOrEgd::Td(m.to_pjd().to_td(u, pool)))
+        .collect();
+    let goal_mvd = Mvd::new(
+        u.clone(),
+        [AttrId(0)].into_iter().collect(),
+        [AttrId(len as u16)].into_iter().collect(),
+    );
+    (sigma, TdOrEgd::Td(goal_mvd.to_pjd().to_td(u, pool)))
+}
+
+/// A random td with `rows` hypothesis rows over `vars` variables per
+/// column; the conclusion reuses hypothesis variables on a prefix of the
+/// columns and is fresh elsewhere.
+pub fn random_td(
+    u: &Arc<Universe>,
+    pool: &mut ValuePool,
+    rows: usize,
+    vars: usize,
+    seed: u64,
+) -> Td {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let var_pool: Vec<Vec<Value>> = u
+        .attrs()
+        .map(|a| {
+            (0..vars)
+                .map(|i| pool.fresh(Some(a), &format!("x{i}_")))
+                .collect()
+        })
+        .collect();
+    let hyp: Vec<Tuple> = (0..rows)
+        .map(|_| {
+            Tuple::new(
+                (0..u.width())
+                    .map(|c| var_pool[c][rng.random_range(0..vars)])
+                    .collect(),
+            )
+        })
+        .collect();
+    let w = Tuple::new(
+        (0..u.width())
+            .map(|c| {
+                if c < u.width() / 2 {
+                    hyp[rng.random_range(0..rows)].get(AttrId(c as u16))
+                } else {
+                    pool.fresh(Some(AttrId(c as u16)), "w_")
+                }
+            })
+            .collect(),
+    );
+    Td::new(u.clone(), w, hyp)
+}
+
+/// The exchange td encoding `A1 ↠ A2`.
+pub fn exchange_td(u: &Arc<Universe>, pool: &mut ValuePool) -> Td {
+    Mvd::new(
+        u.clone(),
+        [AttrId(0)].into_iter().collect(),
+        [AttrId(1)].into_iter().collect(),
+    )
+    .to_pjd()
+    .to_td(u, pool)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        let u = universe(4);
+        let mut p1 = ValuePool::new(u.clone());
+        let mut p2 = ValuePool::new(u.clone());
+        let r1 = random_relation(&u, &mut p1, 20, 3, 7);
+        let r2 = random_relation(&u, &mut p2, 20, 3, 7);
+        assert_eq!(r1.len(), r2.len());
+    }
+
+    #[test]
+    fn chain_instance_is_implied() {
+        let u = universe(4);
+        let mut pool = ValuePool::new(u.clone());
+        let (sigma, goal) = mvd_chain_instance(&u, &mut pool, 3);
+        let run = typedtd_chase::chase_implication(
+            &sigma,
+            &goal,
+            &mut pool,
+            &typedtd_chase::ChaseConfig::default(),
+        );
+        assert_eq!(run.outcome, typedtd_chase::ChaseOutcome::Implied);
+    }
+
+    #[test]
+    fn random_td_is_well_typed() {
+        let u = universe(5);
+        let mut pool = ValuePool::new(u.clone());
+        let td = random_td(&u, &mut pool, 4, 3, 11);
+        td.check_typed(&pool).unwrap();
+        assert_eq!(td.arity(), 4);
+    }
+}

@@ -1,0 +1,154 @@
+//! Tableau cores (retractions), after Fagin–Maier–Ullman–Yannakakis,
+//! *Tools for template dependencies* (the paper's reference [19]).
+//!
+//! The *core* of a relation `I` relative to a set of fixed values `F` is a
+//! smallest subrelation `C ⊆ I` such that some valuation fixing `F`
+//! pointwise maps `I` into `C`. Cores are the canonical minimal form of
+//! tableaux; the core chase retracts its instance each round, which keeps
+//! universal models small and terminates whenever any chase does.
+
+use typedtd_dependencies::Td;
+use typedtd_relational::{Embedder, FxHashSet, Relation, Valuation, Value};
+
+/// Retracts `rel` to its core, keeping every value of `frozen` fixed.
+pub fn core_retract(rel: &Relation, frozen: &FxHashSet<Value>) -> Relation {
+    let mut current = rel.clone();
+    loop {
+        let mut shrunk = false;
+        let n = current.len();
+        if n <= 1 {
+            return current;
+        }
+        for skip in 0..n {
+            let target = Relation::from_rows(
+                current.universe().clone(),
+                current
+                    .rows()
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != skip)
+                    .map(|(_, t)| t.clone()),
+            );
+            let vals = current.val();
+            let seed = Valuation::from_pairs(
+                frozen
+                    .iter()
+                    .filter(|v| vals.contains(v))
+                    .map(|&v| (v, v)),
+            );
+            let emb = Embedder::new(&target);
+            if let Some(alpha) = emb.find_embedding(current.rows(), &seed) {
+                current = current.map(alpha.as_map());
+                shrunk = true;
+                break;
+            }
+        }
+        if !shrunk {
+            return current;
+        }
+    }
+}
+
+/// Minimizes a td by retracting its hypothesis to the core, fixing the
+/// conclusion's values (so the minimized td is equivalent to the original).
+pub fn minimize_td(td: &Td) -> Td {
+    let hyp = td.hypothesis_relation();
+    let frozen: FxHashSet<Value> = td
+        .conclusion()
+        .val()
+        .filter(|v| td.hypothesis_values().contains(v))
+        .collect();
+    let core = core_retract(&hyp, &frozen);
+    Td::new(
+        td.universe().clone(),
+        td.conclusion().clone(),
+        core.rows().to_vec(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use typedtd_dependencies::td_from_names;
+    use typedtd_relational::{Tuple, Universe, ValuePool};
+
+    fn rel(u: &Arc<Universe>, p: &mut ValuePool, rows: &[&[&str]]) -> Relation {
+        Relation::from_rows(
+            u.clone(),
+            rows.iter().map(|r| {
+                Tuple::new(r.iter().map(|n| p.untyped(n)).collect())
+            }),
+        )
+    }
+
+    #[test]
+    fn redundant_row_is_retracted() {
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        // Row (x, y2, z2) folds onto (x, y, z) by y2↦y, z2↦z when nothing
+        // is frozen except x.
+        let r = rel(&u, &mut p, &[&["x", "y", "z"], &["x", "y2", "z2"]]);
+        let x = p.get(None, "x").unwrap();
+        let frozen: FxHashSet<Value> = [x].into_iter().collect();
+        let core = core_retract(&r, &frozen);
+        assert_eq!(core.len(), 1);
+    }
+
+    #[test]
+    fn frozen_values_block_retraction() {
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        let r = rel(&u, &mut p, &[&["x", "y", "z"], &["x", "y2", "z2"]]);
+        let frozen: FxHashSet<Value> = r.val();
+        let core = core_retract(&r, &frozen);
+        assert_eq!(core.len(), 2, "fixing all values forbids folding");
+    }
+
+    #[test]
+    fn core_is_idempotent() {
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        let r = rel(
+            &u,
+            &mut p,
+            &[&["x", "y", "z"], &["x", "y2", "z2"], &["x", "y3", "z3"]],
+        );
+        let x = p.get(None, "x").unwrap();
+        let frozen: FxHashSet<Value> = [x].into_iter().collect();
+        let once = core_retract(&r, &frozen);
+        let twice = core_retract(&once, &frozen);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn minimize_td_drops_foldable_hypothesis_rows() {
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        // The second hypothesis row is a weakening of the first.
+        let td = td_from_names(
+            &u,
+            &mut p,
+            &[&["x", "y", "z"], &["x", "y9", "z9"]],
+            &["x", "y", "q"],
+        );
+        let min = minimize_td(&td);
+        assert_eq!(min.hypothesis().len(), 1);
+        assert_eq!(min.conclusion(), td.conclusion());
+    }
+
+    #[test]
+    fn minimize_td_keeps_needed_rows() {
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        // Both rows matter: conclusion uses values from each.
+        let td = td_from_names(
+            &u,
+            &mut p,
+            &[&["x", "y", "c1"], &["c2", "y", "z"]],
+            &["x", "y", "z"],
+        );
+        let min = minimize_td(&td);
+        assert_eq!(min.hypothesis().len(), 2);
+    }
+}

@@ -1,0 +1,455 @@
+//! The chase engine: a *fair* semidecision procedure for (finite)
+//! implication of template and equality-generating dependencies.
+//!
+//! To test `Σ ⊨ (w, I)` the engine freezes `I` as the initial instance and
+//! repeatedly fires unsatisfied dependencies of `Σ`:
+//!
+//! * an egd trigger merges two values (union-find, then row rewriting);
+//! * a td trigger adds the conclusion row, inventing fresh labeled nulls for
+//!   its existential values.
+//!
+//! Rounds are breadth-first — every trigger existing at the start of a round
+//! fires (or is re-verified as satisfied) before triggers discovered later —
+//! which makes the chase fair, hence complete for implication: if
+//! `Σ ⊨ σ` the goal is reached in finitely many steps; if the chase reaches
+//! a terminal instance, that instance is a (finite!) universal model
+//! witnessing both `Σ ⊭ σ` and `Σ ⊭_f σ`. Divergence within the budget
+//! returns [`ChaseOutcome::Exhausted`] — the undecidable territory the paper
+//! maps (Theorems 2 and 6 show no budget can be sufficient in general).
+//!
+//! Three variants are provided for the ablation benches: the standard
+//! (restricted) chase, the oblivious chase (fires every trigger once,
+//! satisfied or not), and the core chase (retracts the instance to its core
+//! each round; terminates whenever any chase sequence does).
+
+use crate::core_retract::core_retract;
+use crate::instance::ChaseInstance;
+use crate::trace::{ChaseStep, ChaseTrace, StepKind};
+use std::ops::ControlFlow;
+use std::sync::Arc;
+use typedtd_dependencies::{Td, TdOrEgd};
+use typedtd_relational::{
+    Embedder, FxHashSet, Relation, Tuple, Universe, Valuation, Value, ValuePool,
+};
+
+/// Which chase strategy to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ChaseVariant {
+    /// Restricted chase: fire only triggers whose conclusion is absent.
+    Standard,
+    /// Oblivious chase: fire every trigger exactly once.
+    Oblivious,
+    /// Standard chase plus a core retraction after every round.
+    Core,
+}
+
+/// Budget and strategy knobs.
+#[derive(Clone, Debug)]
+pub struct ChaseConfig {
+    /// Maximum breadth-first rounds before giving up.
+    pub max_rounds: usize,
+    /// Maximum instance rows before giving up.
+    pub max_rows: usize,
+    /// Maximum applied steps (row adds + merges) before giving up.
+    pub max_steps: usize,
+    /// Strategy.
+    pub variant: ChaseVariant,
+    /// Scan dependencies for triggers on multiple threads.
+    pub parallel: bool,
+}
+
+impl Default for ChaseConfig {
+    fn default() -> Self {
+        Self {
+            max_rounds: 256,
+            max_rows: 4_096,
+            max_steps: 32_768,
+            variant: ChaseVariant::Standard,
+            parallel: false,
+        }
+    }
+}
+
+impl ChaseConfig {
+    /// A configuration with a tight budget, for search loops.
+    pub fn quick() -> Self {
+        Self {
+            max_rounds: 24,
+            max_rows: 512,
+            max_steps: 2_048,
+            ..Self::default()
+        }
+    }
+
+    /// Selects a chase variant.
+    pub fn with_variant(mut self, v: ChaseVariant) -> Self {
+        self.variant = v;
+        self
+    }
+
+    /// Enables parallel trigger scanning.
+    pub fn with_parallel(mut self, on: bool) -> Self {
+        self.parallel = on;
+        self
+    }
+}
+
+/// Result status of a chase run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ChaseOutcome {
+    /// The goal became derivable: `Σ ⊨ σ` (hence also `Σ ⊨_f σ`).
+    Implied,
+    /// A terminal instance was reached and the goal fails in it: the
+    /// instance is a finite counterexample, so `Σ ⊭ σ` and `Σ ⊭_f σ`.
+    NotImplied,
+    /// The budget ran out before either certificate appeared.
+    Exhausted,
+}
+
+/// A finished chase run.
+#[derive(Clone, Debug)]
+pub struct ChaseRun {
+    /// What the run established.
+    pub outcome: ChaseOutcome,
+    /// The derivation (row adds and merges, in order).
+    pub trace: ChaseTrace,
+    /// The final instance (a universal model when `outcome` is
+    /// `NotImplied`).
+    pub final_relation: Relation,
+    /// Breadth-first rounds executed.
+    pub rounds: usize,
+}
+
+/// The implication goal: a td or an egd.
+pub type Goal = TdOrEgd;
+
+/// Tests `Σ ⊨ goal` by chasing the goal's hypothesis with `Σ`.
+///
+/// Fresh labeled nulls are minted from `pool` (which must be the pool the
+/// dependencies' values came from).
+///
+/// ```
+/// use typedtd_chase::{chase_implication, ChaseConfig, ChaseOutcome};
+/// use typedtd_dependencies::{Mvd, TdOrEgd};
+/// use typedtd_relational::{Universe, ValuePool};
+///
+/// // A ↠ B implies A ↠ C over ABC (complementation).
+/// let u = Universe::typed(vec!["A", "B", "C"]);
+/// let mut pool = ValuePool::new(u.clone());
+/// let sigma = vec![TdOrEgd::Td(Mvd::parse(&u, "A ->> B").to_pjd().to_td(&u, &mut pool))];
+/// let goal = TdOrEgd::Td(Mvd::parse(&u, "A ->> C").to_pjd().to_td(&u, &mut pool));
+/// let run = chase_implication(&sigma, &goal, &mut pool, &ChaseConfig::default());
+/// assert_eq!(run.outcome, ChaseOutcome::Implied);
+/// ```
+pub fn chase_implication(
+    sigma: &[TdOrEgd],
+    goal: &Goal,
+    pool: &mut ValuePool,
+    cfg: &ChaseConfig,
+) -> ChaseRun {
+    let (universe, init): (Arc<Universe>, Vec<Tuple>) = match goal {
+        TdOrEgd::Td(td) => (td.universe().clone(), td.hypothesis().to_vec()),
+        TdOrEgd::Egd(e) => (e.universe().clone(), e.hypothesis().to_vec()),
+    };
+    let mut runner = Runner::new(universe, init, sigma, pool, cfg);
+    runner.run(Some(goal))
+}
+
+/// Chases an initial relation to a fixpoint ("saturation"): the result is a
+/// universal model of `Σ` over the initial rows if `terminal` is reached.
+pub fn saturate(
+    init: &Relation,
+    sigma: &[TdOrEgd],
+    pool: &mut ValuePool,
+    cfg: &ChaseConfig,
+) -> ChaseRun {
+    let mut runner = Runner::new(
+        init.universe().clone(),
+        init.rows().to_vec(),
+        sigma,
+        pool,
+        cfg,
+    );
+    runner.run(None)
+}
+
+struct Runner<'a> {
+    universe: Arc<Universe>,
+    inst: ChaseInstance,
+    sigma: &'a [TdOrEgd],
+    pool: &'a mut ValuePool,
+    cfg: &'a ChaseConfig,
+    trace: ChaseTrace,
+    steps: usize,
+    /// Oblivious-chase memory of fired triggers.
+    fired: FxHashSet<(usize, Vec<Value>)>,
+    /// Per-td sorted hypothesis value lists (trigger keys).
+    hyp_vals: Vec<Vec<Value>>,
+}
+
+enum Stop {
+    Implied,
+    Terminal,
+    Exhausted,
+}
+
+impl<'a> Runner<'a> {
+    fn new(
+        universe: Arc<Universe>,
+        init: Vec<Tuple>,
+        sigma: &'a [TdOrEgd],
+        pool: &'a mut ValuePool,
+        cfg: &'a ChaseConfig,
+    ) -> Self {
+        let hyp_vals = sigma
+            .iter()
+            .map(|d| {
+                let mut vals: Vec<Value> = match d {
+                    TdOrEgd::Td(t) => t.hypothesis_values().into_iter().collect(),
+                    TdOrEgd::Egd(e) => {
+                        let mut s = FxHashSet::default();
+                        for t in e.hypothesis() {
+                            s.extend(t.val());
+                        }
+                        s.into_iter().collect()
+                    }
+                };
+                vals.sort_unstable();
+                vals
+            })
+            .collect();
+        Self {
+            universe: universe.clone(),
+            inst: ChaseInstance::new(universe, init),
+            sigma,
+            pool,
+            cfg,
+            trace: ChaseTrace::default(),
+            steps: 0,
+            fired: FxHashSet::default(),
+            hyp_vals,
+        }
+    }
+
+    fn run(&mut self, goal: Option<&Goal>) -> ChaseRun {
+        let mut rounds = 0usize;
+        let stop = loop {
+            match self.egd_saturate() {
+                ControlFlow::Break(s) => break s,
+                ControlFlow::Continue(()) => {}
+            }
+            if let Some(g) = goal {
+                if self.goal_holds(g) {
+                    break Stop::Implied;
+                }
+            }
+            let triggers = self.collect_td_triggers();
+            if triggers.is_empty() {
+                break Stop::Terminal;
+            }
+            if rounds >= self.cfg.max_rounds {
+                break Stop::Exhausted;
+            }
+            match self.apply_td_triggers(triggers) {
+                ControlFlow::Break(s) => break s,
+                ControlFlow::Continue(()) => {}
+            }
+            if self.cfg.variant == ChaseVariant::Core {
+                self.retract_to_core();
+            }
+            rounds += 1;
+        };
+        let outcome = match stop {
+            Stop::Implied => ChaseOutcome::Implied,
+            Stop::Terminal => {
+                // With a goal, terminal means the universal model refutes it;
+                // in saturation mode it simply means the fixpoint was reached
+                // (reported as NotImplied = "terminal").
+                ChaseOutcome::NotImplied
+            }
+            Stop::Exhausted => ChaseOutcome::Exhausted,
+        };
+        ChaseRun {
+            outcome,
+            trace: std::mem::take(&mut self.trace),
+            final_relation: self.inst.relation().clone(),
+            rounds,
+        }
+    }
+
+    /// Applies egd merges until none is violated.
+    fn egd_saturate(&mut self) -> ControlFlow<Stop> {
+        'outer: loop {
+            for (di, dep) in self.sigma.iter().enumerate() {
+                let TdOrEgd::Egd(e) = dep else { continue };
+                if let Some(alpha) = e.violation(self.inst.relation()) {
+                    let a = alpha.get(e.left()).expect("left bound by hypothesis");
+                    let b = alpha.get(e.right()).expect("right bound by hypothesis");
+                    let matched = alpha.apply_rows(e.hypothesis());
+                    if let Some((kept, gone)) = self.inst.merge(a, b) {
+                        self.trace.steps.push(ChaseStep {
+                            dep: di,
+                            matched,
+                            kind: StepKind::Merge { kept, gone },
+                        });
+                        self.steps += 1;
+                        if self.steps >= self.cfg.max_steps {
+                            return ControlFlow::Break(Stop::Exhausted);
+                        }
+                    }
+                    continue 'outer;
+                }
+            }
+            return ControlFlow::Continue(());
+        }
+    }
+
+    /// Checks whether the goal is now derivable.
+    fn goal_holds(&mut self, goal: &Goal) -> bool {
+        match goal {
+            TdOrEgd::Egd(e) => self.inst.identified(e.left(), e.right()),
+            TdOrEgd::Td(td) => {
+                let seed = Valuation::from_pairs(
+                    td.hypothesis_values()
+                        .into_iter()
+                        .map(|v| (v, self.inst.resolve(v))),
+                );
+                let emb = Embedder::new(self.inst.relation());
+                emb.embeds(std::slice::from_ref(td.conclusion()), &seed)
+            }
+        }
+    }
+
+    /// Enumerates td triggers against the current (immutable this round)
+    /// instance. For the standard and core variants only *unsatisfied*
+    /// triggers count; the oblivious variant takes every not-yet-fired one.
+    fn collect_td_triggers(&mut self) -> Vec<(usize, Valuation)> {
+        let oblivious = self.cfg.variant == ChaseVariant::Oblivious;
+        let relation = self.inst.relation();
+        let scan = |di: usize,
+                    td: &Td,
+                    emb: &Embedder<'_>,
+                    fired: &FxHashSet<(usize, Vec<Value>)>,
+                    hyp_vals: &[Vec<Value>]|
+         -> Vec<(usize, Valuation)> {
+            let mut out = Vec::new();
+            emb.for_each_embedding(td.hypothesis(), &Valuation::new(), |alpha| {
+                let is_trigger = if oblivious {
+                    let key: Vec<Value> = hyp_vals[di]
+                        .iter()
+                        .map(|&v| alpha.get(v).expect("hypothesis value bound"))
+                        .collect();
+                    !fired.contains(&(di, key))
+                } else {
+                    !emb.embeds(std::slice::from_ref(td.conclusion()), alpha)
+                };
+                if is_trigger {
+                    out.push((di, alpha.clone()));
+                }
+                ControlFlow::Continue(())
+            });
+            out
+        };
+
+        let mut triggers: Vec<(usize, Valuation)> = Vec::new();
+        if self.cfg.parallel && self.sigma.len() > 1 {
+            let emb = Embedder::new(relation);
+            let fired = &self.fired;
+            let hyp_vals = &self.hyp_vals;
+            let results: Vec<Vec<(usize, Valuation)>> = crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .sigma
+                    .iter()
+                    .enumerate()
+                    .map(|(di, dep)| {
+                        let emb = &emb;
+                        scope.spawn(move |_| match dep {
+                            TdOrEgd::Td(td) => scan(di, td, emb, fired, hyp_vals),
+                            TdOrEgd::Egd(_) => Vec::new(),
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            })
+            .expect("trigger scan threads");
+            for r in results {
+                triggers.extend(r);
+            }
+        } else {
+            let emb = Embedder::new(relation);
+            for (di, dep) in self.sigma.iter().enumerate() {
+                if let TdOrEgd::Td(td) = dep {
+                    triggers.extend(scan(di, td, &emb, &self.fired, &self.hyp_vals));
+                }
+            }
+        }
+        triggers
+    }
+
+    /// Fires the collected triggers (re-verifying each under the merges and
+    /// additions that happened earlier in the round).
+    fn apply_td_triggers(&mut self, triggers: Vec<(usize, Valuation)>) -> ControlFlow<Stop> {
+        let oblivious = self.cfg.variant == ChaseVariant::Oblivious;
+        for (di, alpha) in triggers {
+            let TdOrEgd::Td(td) = &self.sigma[di] else {
+                unreachable!("td trigger indexes a td")
+            };
+            // Resolve the trigger under any merges since collection.
+            let resolved = Valuation::from_pairs(
+                alpha.iter().map(|(v, img)| (v, self.inst.resolve(img))),
+            );
+            if oblivious {
+                let key: Vec<Value> = self.hyp_vals[di]
+                    .iter()
+                    .map(|&v| resolved.get(v).expect("hypothesis value bound"))
+                    .collect();
+                if !self.fired.insert((di, key)) {
+                    continue;
+                }
+            } else {
+                let emb = Embedder::new(self.inst.relation());
+                if emb.embeds(std::slice::from_ref(td.conclusion()), &resolved) {
+                    continue; // satisfied meanwhile
+                }
+            }
+            // Extend with fresh nulls on existential conclusion values.
+            let mut ext = resolved.clone();
+            for a in self.universe.attrs() {
+                let v = td.conclusion().get(a);
+                if ext.get(v).is_none() {
+                    let sort = Some(a).filter(|_| self.universe.is_typed());
+                    ext.bind(v, self.pool.fresh(sort, "n"));
+                }
+            }
+            let row = ext.apply_tuple(td.conclusion());
+            let matched = resolved.apply_rows(td.hypothesis());
+            if self.inst.insert(row.clone()) {
+                self.trace.steps.push(ChaseStep {
+                    dep: di,
+                    matched,
+                    kind: StepKind::AddRow { row },
+                });
+                self.steps += 1;
+            }
+            if self.steps >= self.cfg.max_steps || self.inst.len() >= self.cfg.max_rows {
+                return ControlFlow::Break(Stop::Exhausted);
+            }
+        }
+        ControlFlow::Continue(())
+    }
+
+    /// Core-chase retraction: shrink the instance to its core, keeping the
+    /// frozen values fixed.
+    fn retract_to_core(&mut self) {
+        let frozen: FxHashSet<Value> = self
+            .inst
+            .frozen()
+            .iter()
+            .map(|&v| self.inst.resolve_readonly(v))
+            .collect();
+        let core = core_retract(self.inst.relation(), &frozen);
+        if core.len() < self.inst.len() {
+            self.inst.replace_relation(core);
+        }
+    }
+}

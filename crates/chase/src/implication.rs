@@ -1,0 +1,263 @@
+//! High-level decision API pairing the two semidecision procedures.
+//!
+//! The paper (Section 2.3) frames the landscape exactly as this module
+//! implements it:
+//!
+//! * `{(Σ, σ) : Σ ⊨ σ}` is r.e. — enumerated here by the chase;
+//! * `{(Σ, σ) : Σ ⊭_f σ}` is r.e. — enumerated here by finite model search;
+//! * a chase that *terminates* answers both problems at once (its terminal
+//!   instance is a finite universal model);
+//! * no algorithm closes the remaining gap for typed tds or pjds — that is
+//!   the paper's main theorem — so [`decide`] can and does return
+//!   [`Answer::Unknown`] when budgets expire.
+
+use crate::engine::{chase_implication, ChaseConfig, ChaseOutcome, ChaseRun};
+use crate::search::{random_counterexample, SearchConfig};
+use std::sync::Arc;
+use typedtd_dependencies::{Dependency, TdOrEgd};
+use typedtd_relational::{Relation, Universe, ValuePool};
+
+/// A three-valued answer: the problems are undecidable, so `Unknown` is an
+/// honest possible outcome.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Answer {
+    /// Implication holds (certificate: a chase derivation).
+    Yes,
+    /// Implication fails (certificate: a finite counterexample relation).
+    No,
+    /// Budget exhausted with no certificate either way.
+    Unknown,
+}
+
+/// Knobs for [`decide`].
+#[derive(Clone, Debug, Default)]
+pub struct DecideConfig {
+    /// Chase budget and variant.
+    pub chase: ChaseConfig,
+    /// Counterexample search budget.
+    pub search: SearchConfig,
+    /// Skip the model search (pure chase mode).
+    pub skip_search: bool,
+}
+
+/// A full verdict for one implication instance `Σ ⊨(f) σ`.
+#[derive(Clone, Debug)]
+pub struct Decision {
+    /// Answer for unrestricted implication `Σ ⊨ σ`.
+    pub implication: Answer,
+    /// Answer for finite implication `Σ ⊨_f σ`.
+    pub finite_implication: Answer,
+    /// The chase run (trace is a proof when `implication` is `Yes`).
+    pub chase: ChaseRun,
+    /// A finite counterexample when either answer is `No`.
+    pub counterexample: Option<Relation>,
+}
+
+/// Decides `Σ ⊨ σ` and `Σ ⊨_f σ` as far as the budgets allow.
+pub fn decide(
+    sigma: &[TdOrEgd],
+    goal: &TdOrEgd,
+    pool: &mut ValuePool,
+    cfg: &DecideConfig,
+) -> Decision {
+    let run = chase_implication(sigma, goal, pool, &cfg.chase);
+    match run.outcome {
+        ChaseOutcome::Implied => Decision {
+            implication: Answer::Yes,
+            // Implication entails finite implication (every finite relation
+            // is a relation).
+            finite_implication: Answer::Yes,
+            chase: run,
+            counterexample: None,
+        },
+        ChaseOutcome::NotImplied => {
+            // The terminal chase instance is a finite model of Σ violating
+            // σ, so both problems are answered negatively.
+            let cex = run.final_relation.clone();
+            Decision {
+                implication: Answer::No,
+                finite_implication: Answer::No,
+                chase: run,
+                counterexample: Some(cex),
+            }
+        }
+        ChaseOutcome::Exhausted => {
+            let universe: Arc<Universe> = match goal {
+                TdOrEgd::Td(t) => t.universe().clone(),
+                TdOrEgd::Egd(e) => e.universe().clone(),
+            };
+            let cex = if cfg.skip_search {
+                None
+            } else {
+                random_counterexample(sigma, goal, &universe, pool, &cfg.search)
+            };
+            match cex {
+                Some(rel) => Decision {
+                    // A finite model of Σ violating σ refutes both notions.
+                    implication: Answer::No,
+                    finite_implication: Answer::No,
+                    chase: run,
+                    counterexample: Some(rel),
+                },
+                None => Decision {
+                    implication: Answer::Unknown,
+                    finite_implication: Answer::Unknown,
+                    chase: run,
+                    counterexample: None,
+                },
+            }
+        }
+    }
+}
+
+/// Aggregated verdict when the goal normalizes to several td/egd parts
+/// (e.g. an fd goal becomes one egd per dependent attribute).
+#[derive(Clone, Debug)]
+pub struct MultiDecision {
+    /// Conjunction over parts.
+    pub implication: Answer,
+    /// Conjunction over parts.
+    pub finite_implication: Answer,
+    /// First counterexample found, if any part failed.
+    pub counterexample: Option<Relation>,
+    /// Per-part decisions, in normalization order.
+    pub parts: Vec<Decision>,
+}
+
+fn conjoin(parts: impl Iterator<Item = Answer>) -> Answer {
+    let mut acc = Answer::Yes;
+    for a in parts {
+        match a {
+            Answer::No => return Answer::No,
+            Answer::Unknown => acc = Answer::Unknown,
+            Answer::Yes => {}
+        }
+    }
+    acc
+}
+
+/// Decides implication between [`Dependency`] values of any class by
+/// normalizing both sides into the td/egd fragment.
+pub fn decide_dependencies(
+    sigma: &[Dependency],
+    goal: &Dependency,
+    universe: &Arc<Universe>,
+    pool: &mut ValuePool,
+    cfg: &DecideConfig,
+) -> MultiDecision {
+    let sigma_normal: Vec<TdOrEgd> = sigma
+        .iter()
+        .flat_map(|d| d.normalize(universe, pool))
+        .collect();
+    let goal_parts = goal.normalize(universe, pool);
+    if goal_parts.is_empty() {
+        // A goal that normalizes to nothing (e.g. an fd with Y ⊆ X) is
+        // vacuously implied.
+        return MultiDecision {
+            implication: Answer::Yes,
+            finite_implication: Answer::Yes,
+            counterexample: None,
+            parts: Vec::new(),
+        };
+    }
+    let parts: Vec<Decision> = goal_parts
+        .iter()
+        .map(|g| decide(&sigma_normal, g, pool, cfg))
+        .collect();
+    MultiDecision {
+        implication: conjoin(parts.iter().map(|p| p.implication)),
+        finite_implication: conjoin(parts.iter().map(|p| p.finite_implication)),
+        counterexample: parts.iter().find_map(|p| p.counterexample.clone()),
+        parts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use typedtd_dependencies::{egd_from_names, td_from_names, Fd, Mvd, Pjd};
+    use typedtd_relational::Universe;
+
+    #[test]
+    fn fd_transitivity_via_chase() {
+        let u = Universe::typed(vec!["A", "B", "C"]);
+        let mut p = ValuePool::new(u.clone());
+        let sigma = vec![
+            Dependency::from(Fd::parse(&u, "A -> B")),
+            Dependency::from(Fd::parse(&u, "B -> C")),
+        ];
+        let goal = Dependency::from(Fd::parse(&u, "A -> C"));
+        let d = decide_dependencies(&sigma, &goal, &u, &mut p, &DecideConfig::default());
+        assert_eq!(d.implication, Answer::Yes);
+        assert_eq!(d.finite_implication, Answer::Yes);
+    }
+
+    #[test]
+    fn fd_non_implication_has_counterexample() {
+        let u = Universe::typed(vec!["A", "B", "C"]);
+        let mut p = ValuePool::new(u.clone());
+        let sigma = vec![Dependency::from(Fd::parse(&u, "A -> B"))];
+        let goal = Dependency::from(Fd::parse(&u, "B -> A"));
+        let d = decide_dependencies(&sigma, &goal, &u, &mut p, &DecideConfig::default());
+        assert_eq!(d.implication, Answer::No);
+        assert_eq!(d.finite_implication, Answer::No);
+        let cex = d.counterexample.expect("counterexample");
+        assert!(sigma[0].satisfied_by(&cex) && !goal.satisfied_by(&cex));
+    }
+
+    #[test]
+    fn mvd_complementation_via_chase() {
+        let u = Universe::typed(vec!["A", "B", "C"]);
+        let mut p = ValuePool::new(u.clone());
+        let sigma = vec![Dependency::from(Mvd::parse(&u, "A ->> B"))];
+        let goal = Dependency::from(Mvd::parse(&u, "A ->> C"));
+        let d = decide_dependencies(&sigma, &goal, &u, &mut p, &DecideConfig::default());
+        assert_eq!(d.implication, Answer::Yes);
+    }
+
+    #[test]
+    fn fd_implies_mvd_but_not_conversely() {
+        let u = Universe::typed(vec!["A", "B", "C"]);
+        let mut p = ValuePool::new(u.clone());
+        let fd: Dependency = Fd::parse(&u, "A -> B").into();
+        let mvd: Dependency = Mvd::parse(&u, "A ->> B").into();
+        let cfg = DecideConfig::default();
+        let d1 = decide_dependencies(std::slice::from_ref(&fd), &mvd, &u, &mut p, &cfg);
+        assert_eq!(d1.implication, Answer::Yes, "X → Y ⊨ X ↠ Y");
+        let d2 = decide_dependencies(std::slice::from_ref(&mvd), &fd, &u, &mut p, &cfg);
+        assert_eq!(d2.implication, Answer::No, "X ↠ Y ⊭ X → Y");
+        assert!(d2.counterexample.is_some());
+    }
+
+    #[test]
+    fn jd_implied_by_its_mvd() {
+        let u = Universe::typed(vec!["A", "B", "C"]);
+        let mut p = ValuePool::new(u.clone());
+        let mvd: Dependency = Mvd::parse(&u, "A ->> B").into();
+        let jd: Dependency = Pjd::parse(&u, "*[AB, AC]").into();
+        let d = decide_dependencies(std::slice::from_ref(&mvd), &jd, &u, &mut p, &DecideConfig::default());
+        assert_eq!(d.implication, Answer::Yes);
+        let d2 = decide_dependencies(std::slice::from_ref(&jd), &mvd, &u, &mut p, &DecideConfig::default());
+        assert_eq!(d2.implication, Answer::Yes);
+    }
+
+    #[test]
+    fn td_goal_with_egd_support() {
+        // Σ = {A' → B' (egd), td: (x,y,z) ⊢ (x,y,z')} over untyped ABC —
+        // goal follows because the td is its own goal.
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        let td = td_from_names(&u, &mut p, &[&["x", "y", "z"]], &["x", "y", "z2"]);
+        let egd = egd_from_names(
+            &u,
+            &mut p,
+            &[&["q", "r1", "s1"], &["q", "r2", "s2"]],
+            ("B'", "r1"),
+            ("B'", "r2"),
+        );
+        let sigma = vec![TdOrEgd::Td(td.clone()), TdOrEgd::Egd(egd)];
+        let goal = TdOrEgd::Td(td);
+        let d = decide(&sigma, &goal, &mut p, &DecideConfig::default());
+        assert_eq!(d.implication, Answer::Yes);
+    }
+}

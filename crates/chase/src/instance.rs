@@ -1,0 +1,163 @@
+//! The mutable tableau the chase operates on.
+//!
+//! A chase instance starts from the goal dependency's hypothesis (whose
+//! values are *frozen* — they are the symbols the final answer is phrased
+//! in) and grows by td steps (new rows with fresh labeled nulls) and egd
+//! steps (merging two values in a union-find, then rewriting all rows to
+//! canonical representatives).
+
+use crate::unionfind::UnionFind;
+use std::sync::Arc;
+use typedtd_relational::{FxHashSet, Relation, Tuple, Universe, Value};
+
+/// Mutable chase state.
+#[derive(Clone)]
+pub struct ChaseInstance {
+    relation: Relation,
+    uf: UnionFind,
+    frozen: FxHashSet<Value>,
+}
+
+impl ChaseInstance {
+    /// Starts an instance from initial rows; all their values are frozen.
+    pub fn new(universe: Arc<Universe>, rows: impl IntoIterator<Item = Tuple>) -> Self {
+        let relation = Relation::from_rows(universe, rows);
+        let frozen = relation.val();
+        Self {
+            relation,
+            uf: UnionFind::new(),
+            frozen,
+        }
+    }
+
+    /// The current rows as a relation (canonical representatives only).
+    pub fn relation(&self) -> &Relation {
+        &self.relation
+    }
+
+    /// The universe of the instance.
+    pub fn universe(&self) -> &Arc<Universe> {
+        self.relation.universe()
+    }
+
+    /// The frozen (initial) values.
+    pub fn frozen(&self) -> &FxHashSet<Value> {
+        &self.frozen
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.relation.len()
+    }
+
+    /// `true` if the instance has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.relation.is_empty()
+    }
+
+    /// Canonical representative of `v` under the merges so far.
+    pub fn resolve(&mut self, v: Value) -> Value {
+        self.uf.find(v)
+    }
+
+    /// Canonical representative without path compression.
+    pub fn resolve_readonly(&self, v: Value) -> Value {
+        self.uf.find_readonly(v)
+    }
+
+    /// Inserts a row after canonicalizing its values.
+    /// Returns `true` if the row is new.
+    pub fn insert(&mut self, t: Tuple) -> bool {
+        let canon = t.map(|v| self.uf.find(v));
+        self.relation.insert(canon)
+    }
+
+    /// Merges the classes of `a` and `b` and rewrites all rows.
+    ///
+    /// Returns `(winner, loser)` if the classes were distinct.
+    pub fn merge(&mut self, a: Value, b: Value) -> Option<(Value, Value)> {
+        let merged = self.uf.union(a, b)?;
+        // Rewrite every row to canonical form; duplicates collapse.
+        let universe = self.relation.universe().clone();
+        let old_rows: Vec<Tuple> = self.relation.rows().to_vec();
+        let mut fresh = Relation::new(universe);
+        for t in old_rows {
+            fresh.insert(t.map(|v| self.uf.find(v)));
+        }
+        self.relation = fresh;
+        Some(merged)
+    }
+
+    /// `true` if `a` and `b` are currently identified.
+    pub fn identified(&mut self, a: Value, b: Value) -> bool {
+        self.uf.same(a, b)
+    }
+
+    /// Replaces the row set wholesale (used by the core-chase retraction),
+    /// keeping the union-find and the frozen set.
+    ///
+    /// # Panics
+    /// Panics if the replacement is over a different universe.
+    pub fn replace_relation(&mut self, relation: Relation) {
+        assert_eq!(relation.universe().width(), self.relation.universe().width());
+        self.relation = relation;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use typedtd_relational::{Universe, ValuePool};
+
+    #[test]
+    fn insert_canonicalizes() {
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        let (a, b, c) = (p.untyped("a"), p.untyped("b"), p.untyped("c"));
+        let mut inst = ChaseInstance::new(u.clone(), [Tuple::new(vec![a, b, c])]);
+        assert_eq!(inst.len(), 1);
+        assert!(inst.frozen().contains(&a));
+
+        inst.merge(b, c);
+        let root = inst.resolve(c);
+        assert_eq!(root, inst.resolve(b));
+        // Row was rewritten: column B' and C' now share the representative.
+        let row = &inst.relation().rows()[0];
+        assert_eq!(row.get(u.a("B'")), row.get(u.a("C'")));
+        // Inserting the un-canonical row again is a no-op.
+        assert!(!inst.insert(Tuple::new(vec![a, b, c])));
+    }
+
+    #[test]
+    fn merge_collapses_duplicate_rows() {
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        let (a, b1, b2, c) = (
+            p.untyped("a"),
+            p.untyped("b1"),
+            p.untyped("b2"),
+            p.untyped("c"),
+        );
+        let mut inst = ChaseInstance::new(
+            u.clone(),
+            [
+                Tuple::new(vec![a, b1, c]),
+                Tuple::new(vec![a, b2, c]),
+            ],
+        );
+        assert_eq!(inst.len(), 2);
+        inst.merge(b1, b2);
+        assert_eq!(inst.len(), 1, "merged rows must collapse");
+    }
+
+    #[test]
+    fn merge_is_idempotent() {
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        let (a, b, c) = (p.untyped("a"), p.untyped("b"), p.untyped("c"));
+        let mut inst = ChaseInstance::new(u.clone(), [Tuple::new(vec![a, b, c])]);
+        assert!(inst.merge(a, b).is_some());
+        assert!(inst.merge(a, b).is_none());
+        assert!(inst.identified(a, b));
+    }
+}

@@ -1,0 +1,42 @@
+//! The chase: a fair semidecision procedure for (finite) implication of
+//! template and equality-generating dependencies, plus its dual — finite
+//! counterexample search — and the combined three-valued decision API.
+//!
+//! This crate is the computational engine behind the reproduction of
+//! Vardi's PODS 1982 / JCSS 1984 paper. The paper's main theorems say that
+//! no total algorithm exists for typed td (or pjd) implication; what *does*
+//! exist, and what this crate provides, is:
+//!
+//! * [`chase_implication`] / [`saturate`] — the chase, in standard,
+//!   oblivious, and core variants, with machine-checkable
+//!   [`trace::ChaseTrace`]s (the paper's own Lemma 10 is a chase
+//!   derivation);
+//! * [`search::random_counterexample`] / [`search::exhaustive_counterexample`]
+//!   — enumeration of finite models, the r.e. procedure for `Σ ⊭_f σ`;
+//! * [`decide`] / [`decide_dependencies`] — both procedures dovetailed into
+//!   a three-valued [`Answer`] (`Yes` / `No` / `Unknown`);
+//! * [`core_retract`] / [`minimize_td`] — tableau cores (reference [19]).
+
+#![warn(missing_docs)]
+
+pub mod core_retract;
+pub mod engine;
+pub mod implication;
+pub mod instance;
+pub mod search;
+pub mod termination;
+pub mod trace;
+pub mod unionfind;
+
+pub use core_retract::{core_retract, minimize_td};
+pub use engine::{
+    chase_implication, saturate, ChaseConfig, ChaseOutcome, ChaseRun, ChaseVariant, Goal,
+};
+pub use implication::{decide, decide_dependencies, Answer, DecideConfig, Decision, MultiDecision};
+pub use instance::ChaseInstance;
+pub use termination::{dependency_graph, weakly_acyclic, Edge};
+pub use search::{
+    exhaustive_counterexample, is_counterexample, random_counterexample, SearchConfig,
+};
+pub use trace::{ChaseStep, ChaseTrace, StepKind};
+pub use unionfind::UnionFind;

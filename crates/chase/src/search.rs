@@ -1,0 +1,307 @@
+//! Finite counterexample search: the *other* semidecision procedure.
+//!
+//! Section 2.3 of the paper observes that `{(Σ, σ) : Σ ⊭_f σ}` is
+//! recursively enumerable: enumerate finite relations and test each. This
+//! module implements that enumeration two ways:
+//!
+//! * [`exhaustive_counterexample`] — systematic enumeration of all small
+//!   relations over a bounded domain (complete up to the bound);
+//! * [`random_counterexample`] — randomized model construction with chase
+//!   style *repair over a finite domain*: td violations are fixed by binding
+//!   existentials to random existing domain values instead of fresh nulls,
+//!   egd violations by collapsing the two values. Much better scaling.
+//!
+//! Together with the chase (the r.e. procedure for `Σ ⊨ σ`) these bracket
+//! the undecidable gap the paper establishes: for typed tds and pjds no
+//! total procedure can close it.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::Arc;
+use typedtd_dependencies::TdOrEgd;
+use typedtd_relational::{FxHashMap, Relation, Tuple, Universe, Value, ValuePool};
+
+/// Budget for counterexample search.
+#[derive(Clone, Debug)]
+pub struct SearchConfig {
+    /// Largest per-attribute domain size tried.
+    pub max_domain: usize,
+    /// Random restarts per domain size.
+    pub attempts: usize,
+    /// Repair iterations per attempt.
+    pub repair_steps: usize,
+    /// Abort an attempt when the relation grows past this.
+    pub max_rows: usize,
+    /// RNG seed (runs are deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        Self {
+            max_domain: 4,
+            attempts: 64,
+            repair_steps: 512,
+            max_rows: 256,
+            seed: 0x7d0_1982,
+        }
+    }
+}
+
+/// Mints a domain of `k` values per attribute (typed) or `k` shared values
+/// (untyped), returning per-attribute candidate lists.
+fn make_domain(
+    universe: &Arc<Universe>,
+    pool: &mut ValuePool,
+    k: usize,
+) -> Vec<Vec<Value>> {
+    if universe.is_typed() {
+        universe
+            .attrs()
+            .map(|a| (0..k).map(|_| pool.fresh(Some(a), "d")).collect())
+            .collect()
+    } else {
+        let shared: Vec<Value> = (0..k).map(|_| pool.fresh(None, "d")).collect();
+        universe.attrs().map(|_| shared.clone()).collect()
+    }
+}
+
+/// `true` if `rel` satisfies all of `sigma` but violates `goal`.
+pub fn is_counterexample(rel: &Relation, sigma: &[TdOrEgd], goal: &TdOrEgd) -> bool {
+    !rel.is_empty()
+        && sigma.iter().all(|d| d.satisfied_by(rel))
+        && !goal.satisfied_by(rel)
+}
+
+/// Systematically enumerates relations over a `k`-per-attribute domain with
+/// at most `max_rows` rows (and at most `max_candidates` candidates in
+/// total), returning the first counterexample.
+///
+/// Complete for the given bounds: if it returns `None`, no counterexample
+/// exists within them.
+pub fn exhaustive_counterexample(
+    sigma: &[TdOrEgd],
+    goal: &TdOrEgd,
+    universe: &Arc<Universe>,
+    pool: &mut ValuePool,
+    k: usize,
+    max_rows: usize,
+    max_candidates: usize,
+) -> Option<Relation> {
+    let domain = make_domain(universe, pool, k);
+    let width = universe.width();
+    // Materialize the tuple space.
+    let mut space: Vec<Tuple> = Vec::new();
+    let mut idx = vec![0usize; width];
+    'outer: loop {
+        space.push(Tuple::new(
+            (0..width).map(|i| domain[i][idx[i]]).collect(),
+        ));
+        for i in (0..width).rev() {
+            idx[i] += 1;
+            if idx[i] < k {
+                continue 'outer;
+            }
+            idx[i] = 0;
+        }
+        break;
+    }
+
+    // Subsets by increasing cardinality (small models first).
+    let mut tried = 0usize;
+    for size in 1..=max_rows.min(space.len()) {
+        let mut combo: Vec<usize> = (0..size).collect();
+        loop {
+            tried += 1;
+            if tried > max_candidates {
+                return None;
+            }
+            let rel = Relation::from_rows(
+                universe.clone(),
+                combo.iter().map(|&i| space[i].clone()),
+            );
+            if is_counterexample(&rel, sigma, goal) {
+                return Some(rel);
+            }
+            if !next_combination(&mut combo, space.len()) {
+                break;
+            }
+        }
+    }
+    None
+}
+
+/// Advances `combo` to the next k-combination of `{0, …, n−1}` in
+/// lexicographic order; returns `false` when exhausted.
+fn next_combination(combo: &mut [usize], n: usize) -> bool {
+    let k = combo.len();
+    let mut i = k;
+    while i > 0 {
+        i -= 1;
+        if combo[i] < n - k + i {
+            combo[i] += 1;
+            for j in i + 1..k {
+                combo[j] = combo[j - 1] + 1;
+            }
+            return true;
+        }
+    }
+    false
+}
+
+/// Randomized finite-model search with repair.
+pub fn random_counterexample(
+    sigma: &[TdOrEgd],
+    goal: &TdOrEgd,
+    universe: &Arc<Universe>,
+    pool: &mut ValuePool,
+    cfg: &SearchConfig,
+) -> Option<Relation> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    for k in 1..=cfg.max_domain {
+        let domain = make_domain(universe, pool, k);
+        for _ in 0..cfg.attempts {
+            if let Some(found) = attempt(sigma, goal, universe, &domain, cfg, &mut rng) {
+                return Some(found);
+            }
+        }
+    }
+    None
+}
+
+fn attempt(
+    sigma: &[TdOrEgd],
+    goal: &TdOrEgd,
+    universe: &Arc<Universe>,
+    domain: &[Vec<Value>],
+    cfg: &SearchConfig,
+    rng: &mut StdRng,
+) -> Option<Relation> {
+    let width = universe.width();
+    let k = domain[0].len();
+    let n_rows = rng.random_range(1..=(2 * k).max(2));
+    let mut rel = Relation::new(universe.clone());
+    for _ in 0..n_rows {
+        rel.insert(Tuple::new(
+            (0..width)
+                .map(|i| domain[i][rng.random_range(0..k)])
+                .collect(),
+        ));
+    }
+
+    for _ in 0..cfg.repair_steps {
+        if rel.len() > cfg.max_rows {
+            return None;
+        }
+        let mut repaired = false;
+        for dep in sigma {
+            match dep {
+                TdOrEgd::Egd(e) => {
+                    if let Some(alpha) = e.violation(&rel) {
+                        let a = alpha.get(e.left()).expect("bound");
+                        let b = alpha.get(e.right()).expect("bound");
+                        // Collapse b into a everywhere.
+                        let map: FxHashMap<Value, Value> = rel
+                            .val()
+                            .into_iter()
+                            .map(|v| (v, if v == b { a } else { v }))
+                            .collect();
+                        rel = rel.map(&map);
+                        repaired = true;
+                        break;
+                    }
+                }
+                TdOrEgd::Td(t) => {
+                    if let Some(alpha) = t.violation(&rel) {
+                        // Bind existentials to random domain values of the
+                        // right column — the finite twist.
+                        let mut ext = alpha.clone();
+                        for (i, attr) in universe.attrs().enumerate() {
+                            let v = t.conclusion().get(attr);
+                            if ext.get(v).is_none() {
+                                ext.bind(v, domain[i][rng.random_range(0..k)]);
+                            }
+                        }
+                        rel.insert(ext.apply_tuple(t.conclusion()));
+                        repaired = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if !repaired {
+            break;
+        }
+    }
+    if is_counterexample(&rel, sigma, goal) {
+        Some(rel)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use typedtd_dependencies::{egd_from_names, td_from_names};
+
+    #[test]
+    fn mvd_does_not_imply_fd() {
+        // A' ↠ B' (as td) does not imply A' → B' (as egd): search finds a
+        // finite witness.
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        let mvd_td = td_from_names(
+            &u,
+            &mut p,
+            &[&["x", "y1", "z1"], &["x", "y2", "z2"]],
+            &["x", "y1", "z2"],
+        );
+        let fd_egd = egd_from_names(
+            &u,
+            &mut p,
+            &[&["x", "y1", "z1"], &["x", "y2", "z2"]],
+            ("B'", "y1"),
+            ("B'", "y2"),
+        );
+        let sigma = vec![TdOrEgd::Td(mvd_td)];
+        let goal = TdOrEgd::Egd(fd_egd);
+        let found = random_counterexample(&sigma, &goal, &u, &mut p, &SearchConfig::default());
+        let rel = found.expect("counterexample must exist");
+        assert!(is_counterexample(&rel, &sigma, &goal));
+    }
+
+    #[test]
+    fn no_counterexample_for_reflexive_goal() {
+        // Goal: trivial td implied by anything; search must fail.
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        let trivial = td_from_names(&u, &mut p, &[&["x", "y", "z"]], &["x", "y", "z"]);
+        let goal = TdOrEgd::Td(trivial);
+        let cfg = SearchConfig {
+            max_domain: 2,
+            attempts: 8,
+            ..Default::default()
+        };
+        assert!(random_counterexample(&[], &goal, &u, &mut p, &cfg).is_none());
+    }
+
+    #[test]
+    fn exhaustive_finds_two_row_witness() {
+        // ∅ does not imply A' → B': minimal witness has 2 rows.
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        let fd_egd = egd_from_names(
+            &u,
+            &mut p,
+            &[&["x", "y1", "z1"], &["x", "y2", "z2"]],
+            ("B'", "y1"),
+            ("B'", "y2"),
+        );
+        let goal = TdOrEgd::Egd(fd_egd);
+        let found =
+            exhaustive_counterexample(&[], &goal, &u, &mut p, 2, 3, 100_000).expect("witness");
+        assert!(found.len() <= 2);
+        assert!(is_counterexample(&found, &[], &goal));
+    }
+}

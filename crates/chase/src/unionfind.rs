@@ -1,0 +1,117 @@
+//! Union-find over interned values, used for equality-generating chase steps.
+//!
+//! Merging keeps the *older* (smaller-index) value as representative, so
+//! frozen tableau values survive merges with younger labeled nulls — the
+//! chase's output then reads in terms of the goal dependency's own symbols.
+
+use typedtd_relational::Value;
+
+/// Disjoint-set forest keyed by [`Value`] indices.
+#[derive(Clone, Debug, Default)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    /// Creates an empty forest.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure(&mut self, v: Value) {
+        let idx = v.index();
+        while self.parent.len() <= idx {
+            self.parent.push(self.parent.len() as u32);
+        }
+    }
+
+    /// Representative of `v`'s class (with path compression).
+    pub fn find(&mut self, v: Value) -> Value {
+        self.ensure(v);
+        let mut root = v.0;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Compress.
+        let mut cur = v.0;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        Value(root)
+    }
+
+    /// Read-only find (no compression), for shared contexts.
+    pub fn find_readonly(&self, v: Value) -> Value {
+        let mut cur = v.0;
+        loop {
+            let p = self
+                .parent
+                .get(cur as usize)
+                .copied()
+                .unwrap_or(cur);
+            if p == cur {
+                return Value(cur);
+            }
+            cur = p;
+        }
+    }
+
+    /// Merges the classes of `a` and `b`; the smaller index wins.
+    /// Returns `(winner, loser)` if a merge happened.
+    pub fn union(&mut self, a: Value, b: Value) -> Option<(Value, Value)> {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return None;
+        }
+        let (winner, loser) = if ra.0 < rb.0 { (ra, rb) } else { (rb, ra) };
+        self.parent[loser.index()] = winner.0;
+        Some((winner, loser))
+    }
+
+    /// `true` if `a` and `b` are in the same class.
+    pub fn same(&mut self, a: Value, b: Value) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_values_are_their_own_class() {
+        let mut uf = UnionFind::new();
+        assert_eq!(uf.find(Value(7)), Value(7));
+        assert!(!uf.same(Value(1), Value(2)));
+    }
+
+    #[test]
+    fn union_prefers_older_value() {
+        let mut uf = UnionFind::new();
+        assert_eq!(uf.union(Value(5), Value(2)), Some((Value(2), Value(5))));
+        assert_eq!(uf.find(Value(5)), Value(2));
+        assert!(uf.same(Value(5), Value(2)));
+        assert_eq!(uf.union(Value(5), Value(2)), None, "already merged");
+    }
+
+    #[test]
+    fn transitive_merges() {
+        let mut uf = UnionFind::new();
+        uf.union(Value(1), Value(2));
+        uf.union(Value(2), Value(3));
+        uf.union(Value(10), Value(3));
+        assert_eq!(uf.find(Value(10)), Value(1));
+        assert!(uf.same(Value(1), Value(10)));
+    }
+
+    #[test]
+    fn readonly_find_matches() {
+        let mut uf = UnionFind::new();
+        uf.union(Value(4), Value(9));
+        assert_eq!(uf.find_readonly(Value(9)), Value(4));
+        assert_eq!(uf.find_readonly(Value(100)), Value(100));
+    }
+}

@@ -1,0 +1,231 @@
+//! Theorem 6 — the end-to-end reduction from typed td implication to
+//! projected-join-dependency implication.
+//!
+//! Given `Σ ∪ {σ}` over `U`, let `m` be the largest tableau among them and
+//! `n = m(m−1)/2`. Then
+//!
+//! ```text
+//! Σ ⊨(f) σ   ⇔   {θ̂ : θ ∈ Σ} ∪ {Aᵢ ↠ Aⱼ : 0 ≤ i, j ≤ n}  ⊨(f)  σ̂
+//! ```
+//!
+//! where the left set consists of *shallow* tds (equivalently pjds, by
+//! Lemma 6) and mvds. The proof chains Lemma 8 (spread over `Û`, keep the
+//! fds `Aᵢ → Aⱼ`), Lemma 9 (replace the fds by `θ_{Aᵢ→Aⱼ}`), and Lemma 10
+//! (replace those by the mvds). Since pjd implication inherits the
+//! undecidability of td implication through this effective map, the
+//! implication and finite implication problems for pjds are unsolvable.
+
+use crate::shallow::HatContext;
+use typedtd_dependencies::{Mvd, Pjd, Td, TdOrEgd};
+use typedtd_relational::Universe;
+use std::sync::Arc;
+
+/// The output of the Theorem 6 translation.
+pub struct PjdInstance {
+    /// The shared hat context (universe `Û`, pools, pair enumeration).
+    pub ctx: HatContext,
+    /// `{θ̂ : θ ∈ Σ}` — shallow tds.
+    pub sigma_hat: Vec<Td>,
+    /// The block mvds `Aᵢ ↠ Aⱼ`.
+    pub mvds: Vec<Mvd>,
+    /// `σ̂` — a shallow td.
+    pub goal_hat: Td,
+    /// `Σ̂` as pjds (Lemma 6 images of `sigma_hat`).
+    pub sigma_pjds: Vec<Pjd>,
+    /// `σ̂` as a pjd.
+    pub goal_pjd: Pjd,
+}
+
+impl PjdInstance {
+    /// The whole translated premise set in chase-ready form
+    /// (`θ̂`s plus the mvds converted to their tds).
+    pub fn chase_sigma(&mut self) -> Vec<TdOrEgd> {
+        let mut out: Vec<TdOrEgd> = self
+            .sigma_hat
+            .iter()
+            .cloned()
+            .map(TdOrEgd::Td)
+            .collect();
+        let hat = self.ctx.hat_universe().clone();
+        let mvds = self.mvds.clone();
+        for m in mvds {
+            out.push(TdOrEgd::Td(m.to_pjd().to_td(&hat, self.ctx.pool_mut())));
+        }
+        out
+    }
+
+    /// Labels matching [`Self::chase_sigma`] order, for trace rendering.
+    pub fn chase_labels(&self) -> Vec<String> {
+        let mut out: Vec<String> = (0..self.sigma_hat.len())
+            .map(|i| format!("hat(sigma[{i}])"))
+            .collect();
+        out.extend(self.mvds.iter().map(|m| m.render()));
+        out
+    }
+}
+
+/// Builds the Theorem 6 instance for typed tds `Σ` and goal `σ` over one
+/// universe.
+///
+/// # Panics
+/// Panics if the tds are over different universes or the universe is
+/// untyped.
+pub fn theorem6_instance(sigma: &[Td], goal: &Td) -> PjdInstance {
+    let base: Arc<Universe> = goal.universe().clone();
+    for t in sigma {
+        assert_eq!(
+            t.universe().width(),
+            base.width(),
+            "all tds must share one universe"
+        );
+    }
+    let m = sigma
+        .iter()
+        .chain(std::iter::once(goal))
+        .map(|t| t.arity())
+        .max()
+        .unwrap()
+        .max(2); // n ≥ 1 keeps Û nontrivial, matching "2 ≤ n" in the paper
+    let mut ctx = HatContext::new(&base, m);
+    let sigma_hat: Vec<Td> = sigma.iter().map(|t| ctx.hat_td(t)).collect();
+    let goal_hat = ctx.hat_td(goal);
+    let mvds = ctx.block_mvds();
+    let sigma_pjds: Vec<Pjd> = sigma_hat
+        .iter()
+        .map(|t| Pjd::from_shallow_td(t).expect("hat tds are shallow"))
+        .collect();
+    let goal_pjd = Pjd::from_shallow_td(&goal_hat).expect("hat tds are shallow");
+    PjdInstance {
+        ctx,
+        sigma_hat,
+        mvds,
+        goal_hat,
+        sigma_pjds,
+        goal_pjd,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use typedtd_chase::{chase_implication, ChaseConfig, ChaseOutcome};
+    use typedtd_dependencies::td_from_names;
+    use typedtd_relational::ValuePool;
+
+    #[test]
+    fn instance_shapes() {
+        let u = Universe::typed(vec!["A", "B", "C"]);
+        let mut pool = ValuePool::new(u.clone());
+        // Σ = {mvd A ↠ B as a td}, σ = the same td: trivially implied.
+        let td = td_from_names(
+            &u,
+            &mut pool,
+            &[&["x", "y1", "z1"], &["x", "y2", "z2"]],
+            &["x", "y1", "z2"],
+        );
+        let inst = theorem6_instance(std::slice::from_ref(&td), &td);
+        assert_eq!(inst.ctx.m(), 2);
+        assert_eq!(inst.ctx.n(), 1);
+        assert_eq!(inst.ctx.hat_universe().width(), 6); // 3 attrs × (n+1)
+        assert!(inst.goal_hat.is_shallow());
+        assert_eq!(inst.sigma_pjds.len(), 1);
+        // Each pjd projects within Û.
+        assert!(inst
+            .goal_pjd
+            .attr()
+            .is_subset(&inst.ctx.hat_universe().all()));
+    }
+
+    #[test]
+    fn self_implication_survives_the_translation() {
+        // σ ∈ Σ ⟹ Σ̂ ∪ mvds ⊨ σ̂ (the easy direction, end to end).
+        let u = Universe::typed(vec!["A", "B", "C"]);
+        let mut pool = ValuePool::new(u.clone());
+        let td = td_from_names(
+            &u,
+            &mut pool,
+            &[&["x", "y1", "z1"], &["x", "y2", "z2"]],
+            &["x", "y1", "z2"],
+        );
+        let mut inst = theorem6_instance(std::slice::from_ref(&td), &td);
+        let sigma = inst.chase_sigma();
+        let goal = TdOrEgd::Td(inst.goal_hat.clone());
+        let run = chase_implication(
+            &sigma,
+            &goal,
+            inst.ctx.pool_mut(),
+            &ChaseConfig::default(),
+        );
+        assert_eq!(run.outcome, ChaseOutcome::Implied);
+    }
+
+    #[test]
+    fn non_implication_survives_the_translation() {
+        // Σ = ∅ (no premises): σ̂ must not follow from the mvds alone.
+        let u = Universe::typed(vec!["A", "B", "C"]);
+        let mut pool = ValuePool::new(u.clone());
+        let td = td_from_names(
+            &u,
+            &mut pool,
+            &[&["x", "y1", "z1"], &["x", "y2", "z2"]],
+            &["x", "y1", "z2"],
+        );
+        let mut inst = theorem6_instance(&[], &td);
+        let sigma = inst.chase_sigma();
+        let goal = TdOrEgd::Td(inst.goal_hat.clone());
+        let run = chase_implication(
+            &sigma,
+            &goal,
+            inst.ctx.pool_mut(),
+            &ChaseConfig::default(),
+        );
+        assert_eq!(
+            run.outcome,
+            ChaseOutcome::NotImplied,
+            "the block mvds alone must not prove a real td"
+        );
+    }
+
+    #[test]
+    fn pjd_views_agree_with_td_views() {
+        // Lemma 6 consistency inside the pipeline: the pjd forms satisfy
+        // exactly the relations their shallow tds do.
+        let u = Universe::typed(vec!["A", "B", "C"]);
+        let mut pool = ValuePool::new(u.clone());
+        let td = td_from_names(
+            &u,
+            &mut pool,
+            &[&["x", "y1", "z1"], &["x", "y2", "z2"]],
+            &["x", "y1", "z2"],
+        );
+        let mut inst = theorem6_instance(std::slice::from_ref(&td), &td);
+        // Build a couple of Û-relations via the duplication of Lemma 8.
+        let mk = |pool: &mut ValuePool, rows: &[[&str; 3]]| {
+            typedtd_relational::Relation::from_rows(
+                u.clone(),
+                rows.iter().map(|r| {
+                    typedtd_relational::Tuple::new(
+                        r.iter()
+                            .enumerate()
+                            .map(|(i, n)| {
+                                pool.for_attr(typedtd_relational::AttrId(i as u16), n)
+                            })
+                            .collect(),
+                    )
+                }),
+            )
+        };
+        for rows in [
+            vec![["a", "b", "c"]],
+            vec![["a", "b1", "c1"], ["a", "b2", "c2"]],
+        ] {
+            let base_rel = mk(&mut pool, &rows);
+            let hat_rel = inst.ctx.hat_relation(&base_rel, &pool);
+            assert_eq!(
+                inst.goal_hat.satisfied_by(&hat_rel),
+                inst.goal_pjd.satisfied_by(&hat_rel),
+                "Lemma 6 equivalence on {rows:?}"
+            );
+        }
+    }
+}

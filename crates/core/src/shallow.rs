@@ -1,0 +1,458 @@
+//! Section 6 — spreading template dependencies into shallow ones.
+//!
+//! The reduction takes a td `θ = (w, {w₁, …, w_m})` over `U` to a *shallow*
+//! td `θ̂` over the enlarged universe `Û = {Aᵢ : A ∈ U, 0 ≤ i ≤ n}` with
+//! `n = m(m−1)/2`. Every unordered pair `{i, j}` of hypothesis rows gets its
+//! own copy `A_{i,j}` of each attribute, and the equality `wᵢ[A] = wⱼ[A]`
+//! of the original tableau is recorded in *that copy only* — so each column
+//! of `θ̂` has at most one repeating value, which is shallowness
+//! (Example 3). Lemma 7/8 relate `U`-relations and `Û`-relations through
+//! the `(n+1)`-fold duplication `Î` and the fds `Aᵢ → Aⱼ`; Lemma 10 then
+//! trades those fds for the mvds `Aᵢ ↠ Aⱼ`, whose chase derivation the
+//! paper prints — and which [`lemma10_exhibit`] regenerates.
+
+use typedtd_dependencies::{Mvd, Td};
+use typedtd_relational::{
+    AttrId, FxHashMap, Relation, Tuple, Universe, Value, ValuePool,
+};
+use std::sync::Arc;
+
+/// The enlarged universe `Û` and the `{i,j} ↦ A_k` pair enumeration shared
+/// by all translations of one instance.
+pub struct HatContext {
+    base: Arc<Universe>,
+    hat: Arc<Universe>,
+    pool: ValuePool,
+    m: usize,
+    n: usize,
+    /// `pairs[k-1] = (i, j)` with `i < j`, 1-based row indices: `A_{i,j}`
+    /// is the copy `A_k`. Lexicographic, matching Example 3
+    /// (`A_{1,2} = A₁, A_{1,3} = A₂, A_{2,3} = A₃`).
+    pairs: Vec<(usize, usize)>,
+}
+
+impl HatContext {
+    /// Builds `Û` for tableaux of up to `m` rows over typed `base`.
+    pub fn new(base: &Arc<Universe>, m: usize) -> Self {
+        assert!(base.is_typed(), "Section 6 deals with the typed case");
+        assert!(m >= 1);
+        let n = m * (m - 1) / 2;
+        let mut names = Vec::with_capacity(base.width() * (n + 1));
+        for a in base.attrs() {
+            for i in 0..=n {
+                names.push(format!("{}{}", base.name(a), i));
+            }
+        }
+        let hat = Universe::typed(names);
+        let pool = ValuePool::new(hat.clone());
+        let mut pairs = Vec::with_capacity(n);
+        for i in 1..=m {
+            for j in (i + 1)..=m {
+                pairs.push((i, j));
+            }
+        }
+        Self {
+            base: base.clone(),
+            hat,
+            pool,
+            m,
+            n,
+            pairs,
+        }
+    }
+
+    /// The enlarged universe `Û`.
+    pub fn hat_universe(&self) -> &Arc<Universe> {
+        &self.hat
+    }
+
+    /// The original universe `U`.
+    pub fn base_universe(&self) -> &Arc<Universe> {
+        &self.base
+    }
+
+    /// `m`: the maximum tableau size this context supports.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// `n = m(m−1)/2`: copies per attribute (beyond copy 0).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The value pool of `Û`.
+    pub fn pool(&self) -> &ValuePool {
+        &self.pool
+    }
+
+    /// Mutable pool access (the chase mints nulls here).
+    pub fn pool_mut(&mut self) -> &mut ValuePool {
+        &mut self.pool
+    }
+
+    /// The attribute `A_i` of `Û` for base attribute `a`.
+    pub fn attr(&self, a: AttrId, i: usize) -> AttrId {
+        assert!(i <= self.n);
+        AttrId((a.index() * (self.n + 1) + i) as u16)
+    }
+
+    /// The copy index `k` with `A_k = A_{i,j}` (1-based rows, `i ≠ j`).
+    pub fn pair_index(&self, i: usize, j: usize) -> usize {
+        let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+        1 + self
+            .pairs
+            .iter()
+            .position(|&(a, b)| (a, b) == (lo, hi))
+            .unwrap_or_else(|| panic!("pair ({i},{j}) outside 1..={}", self.m))
+    }
+
+    /// The numeric tableau value `k` in column `A_i` of `Û`.
+    fn num(&mut self, attr: AttrId, k: usize) -> Value {
+        self.pool.typed(attr, &k.to_string())
+    }
+
+    /// Translates `θ = (w, I)` to the shallow td `θ̂ = (u, Î)` (Example 3).
+    ///
+    /// # Panics
+    /// Panics if the td has more than `m` hypothesis rows or is over a
+    /// different base universe.
+    pub fn hat_td(&mut self, td: &Td) -> Td {
+        assert_eq!(td.universe().width(), self.base.width());
+        let rows = td.hypothesis();
+        let m_td = rows.len();
+        assert!(m_td <= self.m, "td arity exceeds the context's m");
+
+        let pairs = self.pairs.clone();
+        let base_attrs: Vec<AttrId> = self.base.attrs().collect();
+        let mut hyp = Vec::with_capacity(m_td);
+        for k in 1..=m_td {
+            let mut vals = Vec::with_capacity(self.hat.width());
+            for &a in &base_attrs {
+                // Copy 0 always carries the row number.
+                let a0 = self.attr(a, 0);
+                vals.push(self.num(a0, k));
+                for (p, &(i, j)) in pairs.iter().enumerate() {
+                    let attr = self.attr(a, p + 1);
+                    let v = if k != i && k != j {
+                        k
+                    } else {
+                        // Nonexistent partner rows count as "different".
+                        let equal = i <= m_td
+                            && j <= m_td
+                            && rows[i - 1].get(a) == rows[j - 1].get(a);
+                        if equal {
+                            i.min(j)
+                        } else {
+                            k
+                        }
+                    };
+                    vals.push(self.num(attr, v));
+                }
+            }
+            hyp.push(Tuple::new(vals));
+        }
+
+        let marker = self.m + 1;
+        let mut u = Vec::with_capacity(self.hat.width());
+        for &a in &base_attrs {
+            let a0 = self.attr(a, 0);
+            let k0 = (1..=m_td).find(|&k| rows[k - 1].get(a) == td.conclusion().get(a));
+            u.push(match k0 {
+                Some(k) => self.num(a0, k),
+                None => self.num(a0, marker),
+            });
+            for p in 1..=self.n {
+                let attr = self.attr(a, p);
+                u.push(self.num(attr, marker));
+            }
+        }
+        Td::new(self.hat.clone(), Tuple::new(u), hyp)
+    }
+
+    /// Lemma 8's `(n+1)`-fold duplication `Î` of a `U`-relation: every row
+    /// `t` becomes the `Û`-row with `s[Aᵢ] = (Aᵢ, t[A])` for all `i`.
+    pub fn hat_relation(&mut self, i: &Relation, base_pool: &ValuePool) -> Relation {
+        assert_eq!(i.universe().width(), self.base.width());
+        let base_attrs: Vec<AttrId> = self.base.attrs().collect();
+        let mut out = Relation::new(self.hat.clone());
+        for t in i.rows() {
+            let mut vals = Vec::with_capacity(self.hat.width());
+            for &a in &base_attrs {
+                let name = format!("<{}>", base_pool.name(t.get(a)));
+                for p in 0..=self.n {
+                    let attr = self.attr(a, p);
+                    vals.push(self.pool.typed(attr, &name));
+                }
+            }
+            out.insert(Tuple::new(vals));
+        }
+        out
+    }
+
+    /// The mvd set of Theorem 6: `Aᵢ ↠ Aⱼ` for every base attribute `A`
+    /// and every ordered pair `i ≠ j` in `0 ..= n`.
+    pub fn block_mvds(&self) -> Vec<Mvd> {
+        let mut out = Vec::new();
+        for a in self.base.attrs() {
+            for i in 0..=self.n {
+                for j in 0..=self.n {
+                    if i == j {
+                        continue;
+                    }
+                    let lhs = [self.attr(a, i)].into_iter().collect();
+                    let rhs = [self.attr(a, j)].into_iter().collect();
+                    out.push(Mvd::new(self.hat.clone(), lhs, rhs));
+                }
+            }
+        }
+        out
+    }
+
+    /// The fd set of Lemma 8 (before the mvd replacement): `Aᵢ → Aⱼ`.
+    pub fn block_fds(&self) -> Vec<typedtd_dependencies::Fd> {
+        self.block_mvds()
+            .into_iter()
+            .map(|m| typedtd_dependencies::Fd::new(m.lhs, m.rhs))
+            .collect()
+    }
+
+    /// Lemma 7 concrete check: `I ⊨ θ ⇔ Î ⊨ θ̂`. Returns `(lhs, rhs)`.
+    pub fn lemma7_check(
+        &mut self,
+        i: &Relation,
+        base_pool: &ValuePool,
+        td: &Td,
+    ) -> (bool, bool) {
+        let hat_i = self.hat_relation(i, base_pool);
+        let hat_td = self.hat_td(td);
+        (td.satisfied_by(i), hat_td.satisfied_by(&hat_i))
+    }
+}
+
+/// The Lemma 10 exhibit: over the 4-attribute view `(Aᵢ, Aⱼ, A_k, R)`
+/// (the paper lumps the remaining attributes into one displayed column),
+/// the six mvds among `{Aᵢ, Aⱼ, A_k}` chase-derive `θ_{Aᵢ→Aⱼ}`.
+///
+/// Returns the dependency set, its labels, and the goal — ready for
+/// [`typedtd_chase::chase_implication`]; the trace replays the printed
+/// `s₁ … s₄, t` chain.
+pub fn lemma10_exhibit() -> (
+    Arc<Universe>,
+    ValuePool,
+    Vec<typedtd_dependencies::TdOrEgd>,
+    Vec<String>,
+    typedtd_dependencies::TdOrEgd,
+) {
+    use typedtd_dependencies::TdOrEgd;
+    let u = Universe::typed(vec!["Ai", "Aj", "Ak", "R"]);
+    let mut pool = ValuePool::new(u.clone());
+    let names = ["Ai", "Aj", "Ak"];
+    let mut sigma = Vec::new();
+    let mut labels = Vec::new();
+    for p in 0..3 {
+        for q in 0..3 {
+            if p == q {
+                continue;
+            }
+            let mvd = Mvd::new(
+                u.clone(),
+                [u.a(names[p])].into_iter().collect(),
+                [u.a(names[q])].into_iter().collect(),
+            );
+            labels.push(format!("{} ->> {}", names[p], names[q]));
+            sigma.push(TdOrEgd::Td(mvd.to_pjd().to_td(&u, &mut pool)));
+        }
+    }
+    let goal = crate::egd_elim::theta_fd_single(
+        &u,
+        &mut pool,
+        &u.set("Ai"),
+        u.a("Aj"),
+    );
+    (u, pool, sigma, labels, TdOrEgd::Td(goal))
+}
+
+/// Renders the hat-universe attributes of a value map for diagnostics:
+/// `A0 A1 … B0 …` header order.
+pub fn hat_header(ctx: &HatContext) -> Vec<String> {
+    ctx.hat_universe()
+        .attrs()
+        .map(|a| ctx.hat_universe().name(a).to_string())
+        .collect()
+}
+
+/// Convenience: a map from every `Û` attribute to its `(base attr, copy)`.
+pub fn hat_layout(ctx: &HatContext) -> FxHashMap<AttrId, (AttrId, usize)> {
+    let mut out = FxHashMap::default();
+    for a in ctx.base_universe().attrs() {
+        for i in 0..=ctx.n() {
+            out.insert(ctx.attr(a, i), (a, i));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use typedtd_chase::{chase_implication, ChaseConfig, ChaseOutcome};
+    use typedtd_dependencies::{td_from_names, TdOrEgd};
+
+    /// The paper's Example 3 td over U = ABC.
+    fn example3_td(u: &Arc<Universe>, pool: &mut ValuePool) -> Td {
+        td_from_names(
+            u,
+            pool,
+            &[
+                &["a", "b1", "c1"],
+                &["a1", "b", "c1"],
+                &["a1", "b1", "c2"],
+            ],
+            &["a", "b", "c3"],
+        )
+    }
+
+    #[test]
+    fn example3_exact_tableau() {
+        let u = Universe::typed(vec!["A", "B", "C"]);
+        let mut pool = ValuePool::new(u.clone());
+        let td = example3_td(&u, &mut pool);
+        let mut ctx = HatContext::new(&u, 3);
+        let hat = ctx.hat_td(&td);
+        assert!(hat.is_shallow());
+        assert_eq!(ctx.n(), 3);
+        assert_eq!(hat.universe().width(), 12);
+
+        // Expected rows from the paper (columns A0..A3 B0..B3 C0..C3):
+        let expect = [
+            ("u", vec![1, 4, 4, 4, 2, 4, 4, 4, 4, 4, 4, 4]),
+            ("u1", vec![1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1]),
+            ("u2", vec![2, 2, 2, 2, 2, 2, 2, 2, 2, 1, 2, 2]),
+            ("u3", vec![3, 3, 3, 2, 3, 3, 1, 3, 3, 3, 3, 3]),
+        ];
+        let render = |t: &Tuple| -> Vec<usize> {
+            t.values()
+                .iter()
+                .map(|&v| ctx.pool().name(v).parse::<usize>().unwrap())
+                .collect()
+        };
+        assert_eq!(render(hat.conclusion()), expect[0].1, "conclusion u");
+        for (k, (_, want)) in expect[1..].iter().enumerate() {
+            assert_eq!(&render(&hat.hypothesis()[k]), want, "row u{}", k + 1);
+        }
+    }
+
+    #[test]
+    fn pair_enumeration_matches_example3() {
+        let u = Universe::typed(vec!["A", "B", "C"]);
+        let ctx = HatContext::new(&u, 3);
+        assert_eq!(ctx.pair_index(1, 2), 1);
+        assert_eq!(ctx.pair_index(1, 3), 2);
+        assert_eq!(ctx.pair_index(2, 3), 3);
+        assert_eq!(ctx.pair_index(3, 2), 3, "unordered");
+    }
+
+    #[test]
+    fn hat_td_is_always_shallow() {
+        // Even a deeply non-shallow td spreads into a shallow one.
+        let u = Universe::typed(vec!["A", "B", "C"]);
+        let mut pool = ValuePool::new(u.clone());
+        let deep = td_from_names(
+            &u,
+            &mut pool,
+            &[
+                &["x", "y", "z1"],
+                &["x", "y2", "z"],
+                &["x2", "y", "z"],
+                &["x2", "y2", "z1"],
+            ],
+            &["x", "y", "z"],
+        );
+        assert!(!deep.is_shallow());
+        let mut ctx = HatContext::new(&u, 4);
+        let hat = ctx.hat_td(&deep);
+        assert!(hat.is_shallow());
+        hat.check_typed(ctx.pool()).unwrap();
+    }
+
+    #[test]
+    fn lemma7_equivalence_on_concrete_relations() {
+        let u = Universe::typed(vec!["A", "B", "C"]);
+        let mut pool = ValuePool::new(u.clone());
+        let td = example3_td(&u, &mut pool);
+        // A relation satisfying the td (closed under its rule) and one not.
+        let mk = |pool: &mut ValuePool, rows: &[[&str; 3]]| {
+            Relation::from_rows(
+                u.clone(),
+                rows.iter().map(|r| {
+                    Tuple::new(
+                        r.iter()
+                            .enumerate()
+                            .map(|(i, n)| pool.for_attr(AttrId(i as u16), n))
+                            .collect(),
+                    )
+                }),
+            )
+        };
+        let single = mk(&mut pool, &[["p", "q", "r"]]);
+        let mut ctx = HatContext::new(&u, 3);
+        let (lhs, rhs) = ctx.lemma7_check(&single, &pool, &td);
+        assert_eq!(lhs, rhs, "Lemma 7 on a single-row relation");
+        assert!(lhs, "one row matches all three hypothesis rows and itself");
+
+        let open = mk(
+            &mut pool,
+            &[["p", "q1", "r1"], ["p1", "q", "r1"], ["p1", "q1", "r2"]],
+        );
+        let mut ctx2 = HatContext::new(&u, 3);
+        let (lhs2, rhs2) = ctx2.lemma7_check(&open, &pool, &td);
+        assert_eq!(lhs2, rhs2, "Lemma 7 on the open relation");
+        assert!(!lhs2, "the witness tuple (p, q, -) is missing");
+    }
+
+    #[test]
+    fn block_mvd_count() {
+        let u = Universe::typed(vec!["A", "B", "C"]);
+        let ctx = HatContext::new(&u, 3);
+        // 3 attributes × (n+1)·n ordered pairs = 3 × 12 = 36.
+        assert_eq!(ctx.block_mvds().len(), 36);
+        assert_eq!(ctx.block_fds().len(), 36);
+    }
+
+    #[test]
+    fn lemma10_mvds_derive_theta() {
+        let (_u, mut pool, sigma, _labels, goal) = lemma10_exhibit();
+        let run = chase_implication(&sigma, &goal, &mut pool, &ChaseConfig::default());
+        assert_eq!(
+            run.outcome,
+            ChaseOutcome::Implied,
+            "the paper's Lemma 10 derivation must be found by the chase"
+        );
+        // The paper's chain uses 5 added rows (s1..s4 and t); the chase may
+        // find a shorter or equal derivation but never needs merges.
+        assert_eq!(run.trace.merges(), 0);
+    }
+
+    #[test]
+    fn theta_derives_its_mvd_back() {
+        // The corollary's other direction: θ_{Ai→Aj} ⊨ Ai ↠ Aj.
+        use crate::egd_elim::theta_fd_single;
+        let u = Universe::typed(vec!["Ai", "Aj", "Ak", "R"]);
+        let mut pool = ValuePool::new(u.clone());
+        let theta = theta_fd_single(&u, &mut pool, &u.set("Ai"), u.a("Aj"));
+        let mvd = Mvd::new(
+            u.clone(),
+            [u.a("Ai")].into_iter().collect(),
+            [u.a("Aj")].into_iter().collect(),
+        );
+        let goal = TdOrEgd::Td(mvd.to_pjd().to_td(&u, &mut pool));
+        let run = chase_implication(
+            &[TdOrEgd::Td(theta)],
+            &goal,
+            &mut pool,
+            &ChaseConfig::default(),
+        );
+        assert_eq!(run.outcome, ChaseOutcome::Implied);
+    }
+}

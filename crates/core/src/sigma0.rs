@@ -1,0 +1,180 @@
+//! Section 4 — the auxiliary typed td `σ₀` and the set `Σ₀`.
+//!
+//! `T(I)` has the property that `T((a,b,c)) ∈ T(I)` forces
+//! `N(a), N(b), N(c) ∈ T(I)`. That property is not td-expressible, but the
+//! weaker statement "if `T((a,b,c))`, `N(a)`, `N(b)` are present then so is
+//! `N(c)`" is: it is the td `σ₀ = (w₀, I₀)`, `I₀ = {s, w₁, w₂, w₃}`:
+//!
+//! ```text
+//!      A    B    C    D    E    F
+//! s    a0   b0   c0   d0   e0   f0
+//! w1   a1   b2   c3   d1   e0   f1
+//! w2   a1   a2   a3   d0   e1   f1
+//! w3   b1   b2   b3   d0   e2   f1
+//!
+//! w0   c1   c2   c3   d0   e3   f1
+//! ```
+//!
+//! `Σ₀ = {σ₀, AD → U, BD → U, CD → U, ABCE → U}`. Lemma 4: if
+//! `I ⊨ A'B' → C'` then `T(I) ⊨ σ₀`.
+
+use crate::typing::Translator;
+use typedtd_dependencies::{Dependency, Fd, Td, TdOrEgd};
+use typedtd_relational::{Relation, Tuple, Universe, ValuePool};
+use std::sync::Arc;
+
+/// Builds `σ₀` over the translator's typed universe, reusing its special
+/// elements (`a0, …, f1`) so that `σ₀` composes with translated relations.
+pub fn sigma0(tr: &mut Translator) -> Td {
+    let u = tr.typed_universe().clone();
+    let s = tr.s_tuple();
+    let (d0, e0, f1) = (tr.special("d0"), tr.special("e0"), tr.special("f1"));
+    let mut v = |col: &str, name: &str| {
+        let attr = u.a(col);
+        tr.pool_mut().typed(attr, name)
+    };
+    let w1 = Tuple::new(vec![
+        v("A", "a1*"),
+        v("B", "b2*"),
+        v("C", "c3*"),
+        v("D", "d1*"),
+        e0,
+        f1,
+    ]);
+    let w2 = Tuple::new(vec![
+        v("A", "a1*"),
+        v("B", "a2*"),
+        v("C", "a3*"),
+        d0,
+        v("E", "e1*"),
+        f1,
+    ]);
+    let w3 = Tuple::new(vec![
+        v("A", "b1*"),
+        v("B", "b2*"),
+        v("C", "b3*"),
+        d0,
+        v("E", "e2*"),
+        f1,
+    ]);
+    let w0 = Tuple::new(vec![
+        v("A", "c1*"),
+        v("B", "c2*"),
+        v("C", "c3*"),
+        d0,
+        v("E", "e3*"),
+        f1,
+    ]);
+    Td::new(u, w0, vec![s, w1, w2, w3])
+}
+
+/// `Σ₀` as chase-ready dependencies: `σ₀` plus the Lemma 1 fds (normalized
+/// to egds through `pool`).
+pub fn sigma0_set(tr: &mut Translator) -> Vec<TdOrEgd> {
+    let s0 = sigma0(tr);
+    let u = tr.typed_universe().clone();
+    let mut out = vec![TdOrEgd::Td(s0)];
+    let fds: Vec<Fd> = tr.lemma1_fds();
+    for fd in fds {
+        out.extend(Dependency::from(fd).normalize(&u, tr.pool_mut()));
+    }
+    out
+}
+
+/// `Σ₀` in declarative form (σ₀ plus fds), for display.
+pub fn sigma0_display(tr: &mut Translator) -> (Td, Vec<Fd>) {
+    (sigma0(tr), tr.lemma1_fds())
+}
+
+/// Lemma 4 check on a concrete untyped relation: if `I ⊨ A'B' → C'` then
+/// `T(I) ⊨ σ₀`. Returns `(premise, conclusion)`.
+pub fn lemma4_check(
+    tr: &mut Translator,
+    untyped_pool: &ValuePool,
+    i: &Relation,
+) -> (bool, bool) {
+    let uu: Arc<Universe> = tr.untyped_universe().clone();
+    let fd = Fd::new(uu.set("A' B'"), uu.set("C'"));
+    let premise = fd.satisfied_by(i);
+    let t_i = tr.t_relation(untyped_pool, i);
+    let s0 = sigma0(tr);
+    (premise, s0.satisfied_by(&t_i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use typedtd_relational::Universe;
+
+    fn rel(u: &Arc<Universe>, p: &mut ValuePool, rows: &[[&str; 3]]) -> Relation {
+        Relation::from_rows(
+            u.clone(),
+            rows.iter()
+                .map(|r| Tuple::new(r.iter().map(|n| p.untyped(n)).collect())),
+        )
+    }
+
+    #[test]
+    fn sigma0_is_well_typed_and_not_total() {
+        let u = Universe::untyped_abc();
+        let mut tr = Translator::new(u);
+        let s0 = sigma0(&mut tr);
+        s0.check_typed(tr.pool()).unwrap();
+        assert_eq!(s0.hypothesis().len(), 4);
+        // c1*, c2*, e3* are existential.
+        assert!(!s0.is_total());
+        let tu = tr.typed_universe().clone();
+        assert!(s0.is_v_total(&tu.set("CDF")));
+    }
+
+    #[test]
+    fn lemma4_positive() {
+        // I satisfies A'B' → C' (it is a graph of a partial function).
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        let i = rel(&u, &mut p, &[["a", "b", "c"], ["b", "a", "c"], ["a", "a", "b"]]);
+        let mut tr = Translator::new(u);
+        let (premise, conclusion) = lemma4_check(&mut tr, &p, &i);
+        assert!(premise);
+        assert!(conclusion, "Lemma 4: T(I) ⊨ σ₀");
+    }
+
+    #[test]
+    fn lemma4_contrapositive_shape() {
+        // When A'B' → C' fails, σ₀ may fail on T(I): take I where (a,b)
+        // maps to two C'-values; T(I) then contains T((a,b,c)), N(a), N(b)
+        // and does contain N(c) — so σ₀ actually still holds here. The
+        // paper only claims one direction; we check σ₀'s satisfaction is
+        // *decided* (no panic) and premise is false.
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        let i = rel(&u, &mut p, &[["a", "b", "c"], ["a", "b", "d"]]);
+        let mut tr = Translator::new(u);
+        let (premise, _conclusion) = lemma4_check(&mut tr, &p, &i);
+        assert!(!premise);
+    }
+
+    #[test]
+    fn sigma0_set_contains_td_and_egds() {
+        let u = Universe::untyped_abc();
+        let mut tr = Translator::new(u);
+        let set = sigma0_set(&mut tr);
+        let tds = set.iter().filter(|d| d.as_td().is_some()).count();
+        let egds = set.iter().filter(|d| d.as_egd().is_some()).count();
+        assert_eq!(tds, 1);
+        // AD→U contributes 4 egds (B,C,E,F), BD→U 4, CD→U 4, ABCE→U 2.
+        assert_eq!(egds, 4 + 4 + 4 + 2);
+    }
+
+    #[test]
+    fn t_image_of_functional_relation_satisfies_sigma0_set() {
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        let i = rel(&u, &mut p, &[["a", "b", "c"], ["c", "b", "a"]]);
+        let mut tr = Translator::new(u);
+        let t_i = tr.t_relation(&p, &i);
+        for dep in sigma0_set(&mut tr) {
+            assert!(dep.satisfied_by(&t_i), "T(I) must satisfy Σ₀: {dep:?}");
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Section 4, Lemma 3 — the inverse translation `T⁻¹`.
+//!
+//! A typed counterexample relation `I′` (satisfying `Σ₀` but violating
+//! `T(σ)`) need not be a `T`-image, so the reduction reconstructs an
+//! untyped relation from its *structure*: values are identified through the
+//! rows that "look like" `N(c)` (those with `u[D] = d0`), and a row
+//! contributes `p(u[ABC])` when it looks like a `T`-row (`u[E] = e0`,
+//! `u[F] = α(f1)`) whose three coordinates are certified by `N`-like rows.
+//!
+//! The distinguished values `d0, e0, f1` are the images under the violating
+//! valuation `α` (the paper normalizes `α(s) = s` by renaming; we pass the
+//! images explicitly instead).
+
+use typedtd_relational::{FxHashMap, Relation, Tuple, Universe, Value, ValuePool};
+use std::sync::Arc;
+
+/// Result of the `T⁻¹` construction.
+pub struct TInverse {
+    /// The reconstructed untyped relation `I`.
+    pub relation: Relation,
+    /// The collapse map `p : VAL(I′) → DOM'` restricted to the values that
+    /// occur in `A/B/C` columns (class representatives share images).
+    pub p: FxHashMap<Value, Value>,
+}
+
+/// Computes `T⁻¹(I′)` with distinguished values `d0`, `e0`, `f1`.
+///
+/// `untyped` is the target universe `U' = A'B'C'`; `untyped_pool` mints the
+/// fresh untyped elements that classes collapse to.
+pub fn t_inverse(
+    i_prime: &Relation,
+    d0: Value,
+    e0: Value,
+    f1: Value,
+    untyped: &Arc<Universe>,
+    untyped_pool: &mut ValuePool,
+) -> TInverse {
+    let tu = i_prime.universe();
+    assert_eq!(tu.width(), 6, "T⁻¹ expects the typed universe ABCDEF");
+    assert_eq!(untyped.width(), 3);
+    let (a, b, c, d, e, f) = (
+        tu.a("A"),
+        tu.a("B"),
+        tu.a("C"),
+        tu.a("D"),
+        tu.a("E"),
+        tu.a("F"),
+    );
+
+    // Equivalence ≡: d ≡ e if some row u with u[D] = d0 has both in
+    // u[ABC]. Union-find via a parent map.
+    let mut parent: FxHashMap<Value, Value> = FxHashMap::default();
+    fn find(parent: &mut FxHashMap<Value, Value>, v: Value) -> Value {
+        let p = *parent.entry(v).or_insert(v);
+        if p == v {
+            return v;
+        }
+        let root = find(parent, p);
+        parent.insert(v, root);
+        root
+    }
+    let union = |parent: &mut FxHashMap<Value, Value>, x: Value, y: Value| {
+        let rx = find(parent, x);
+        let ry = find(parent, y);
+        if rx != ry {
+            parent.insert(rx.max(ry), rx.min(ry));
+        }
+    };
+    for u in i_prime.iter() {
+        if u.get(d) == d0 {
+            union(&mut parent, u.get(a), u.get(b));
+            union(&mut parent, u.get(b), u.get(c));
+        }
+    }
+
+    // p: class representative → fresh untyped element.
+    let mut p_map: FxHashMap<Value, Value> = FxHashMap::default();
+    let mut p_of = |parent: &mut FxHashMap<Value, Value>,
+                    pool: &mut ValuePool,
+                    v: Value|
+     -> Value {
+        let root = find(parent, v);
+        *p_map
+            .entry(root)
+            .or_insert_with(|| pool.fresh(None, "p"))
+    };
+
+    // Assemble I.
+    let mut out = Relation::new(untyped.clone());
+    for u in i_prime.iter() {
+        if u.get(e) != e0 || u.get(f) != f1 {
+            continue;
+        }
+        let certified = |col: typedtd_relational::AttrId| {
+            i_prime
+                .iter()
+                .any(|n| n.get(d) == d0 && n.get(f) == f1 && n.get(col) == u.get(col))
+        };
+        if !(certified(a) && certified(b) && certified(c)) {
+            continue;
+        }
+        let row = Tuple::new(vec![
+            p_of(&mut parent, untyped_pool, u.get(a)),
+            p_of(&mut parent, untyped_pool, u.get(b)),
+            p_of(&mut parent, untyped_pool, u.get(c)),
+        ]);
+        out.insert(row);
+    }
+
+    // Expose p on every A/B/C value for callers (e.g. egd checking).
+    let mut p = FxHashMap::default();
+    for u in i_prime.iter() {
+        for col in [a, b, c] {
+            let v = u.get(col);
+            let img = p_of(&mut parent, untyped_pool, v);
+            p.insert(v, img);
+        }
+    }
+
+    TInverse { relation: out, p }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::typing::Translator;
+
+    fn rel(u: &Arc<Universe>, p: &mut ValuePool, rows: &[[&str; 3]]) -> Relation {
+        Relation::from_rows(
+            u.clone(),
+            rows.iter()
+                .map(|r| Tuple::new(r.iter().map(|n| p.untyped(n)).collect())),
+        )
+    }
+
+    /// `T⁻¹ ∘ T` recovers the original relation up to renaming, with the
+    /// explicit bijection available through `p` and the translator.
+    #[test]
+    fn t_inverse_of_t_image_recovers_original() {
+        let u = Universe::untyped_abc();
+        let mut pool = ValuePool::new(u.clone());
+        let i = rel(
+            &u,
+            &mut pool,
+            &[["a", "b", "c"], ["b", "a", "c"], ["c", "c", "a"]],
+        );
+        let mut tr = Translator::new(u.clone());
+        let t_i = tr.t_relation(&pool, &i);
+        let (d0, e0, f1) = (tr.special("d0"), tr.special("e0"), tr.special("f1"));
+        let inv = t_inverse(&t_i, d0, e0, f1, &u, &mut pool);
+        assert_eq!(inv.relation.len(), i.len());
+        // The explicit mapping: row w of I maps to (p(w[A']¹), p(w[B']²), p(w[C']³)).
+        for w in i.rows() {
+            let expected = Tuple::new(vec![
+                inv.p[&tr.avatar(&pool, w.values()[0], 1)],
+                inv.p[&tr.avatar(&pool, w.values()[1], 2)],
+                inv.p[&tr.avatar(&pool, w.values()[2], 3)],
+            ]);
+            assert!(inv.relation.contains(&expected));
+        }
+        // And the collapse is injective on original elements: distinct
+        // untyped values get distinct p-images.
+        let pa = inv.p[&tr.avatar(&pool, pool.get(None, "a").unwrap(), 1)];
+        let pb = inv.p[&tr.avatar(&pool, pool.get(None, "b").unwrap(), 1)];
+        assert_ne!(pa, pb);
+        // All three avatars of one element share an image.
+        let a = pool.get(None, "a").unwrap();
+        assert_eq!(
+            inv.p[&tr.avatar(&pool, a, 1)],
+            inv.p[&tr.avatar(&pool, a, 2)]
+        );
+    }
+
+    #[test]
+    fn rows_without_certifying_n_rows_are_dropped() {
+        // Build a T-image, then add a rogue T-like row whose A-value has no
+        // N-like certificate: T⁻¹ must ignore it.
+        let u = Universe::untyped_abc();
+        let mut pool = ValuePool::new(u.clone());
+        let i = rel(&u, &mut pool, &[["a", "b", "c"]]);
+        let mut tr = Translator::new(u.clone());
+        let mut t_i = tr.t_relation(&pool, &i);
+        let tu = tr.typed_universe().clone();
+        let rogue_a = tr.pool_mut().typed(tu.a("A"), "rogue");
+        let (d0, e0, f1) = (tr.special("d0"), tr.special("e0"), tr.special("f1"));
+        let some_b = t_i.rows()[1].get(tu.a("B"));
+        let some_c = t_i.rows()[1].get(tu.a("C"));
+        let rogue_d = tr.pool_mut().typed(tu.a("D"), "rogued");
+        t_i.insert(Tuple::new(vec![rogue_a, some_b, some_c, rogue_d, e0, f1]));
+        let inv = t_inverse(&t_i, d0, e0, f1, &u, &mut pool);
+        assert_eq!(inv.relation.len(), 1, "rogue row must not survive T⁻¹");
+    }
+
+    #[test]
+    fn collapse_identifies_avatars_linked_by_n_rows() {
+        // Two untyped elements that are *different* stay different even
+        // when they co-occur in T-rows (only D = d0 rows identify).
+        let u = Universe::untyped_abc();
+        let mut pool = ValuePool::new(u.clone());
+        let i = rel(&u, &mut pool, &[["a", "a", "b"]]);
+        let mut tr = Translator::new(u.clone());
+        let t_i = tr.t_relation(&pool, &i);
+        let (d0, e0, f1) = (tr.special("d0"), tr.special("e0"), tr.special("f1"));
+        let inv = t_inverse(&t_i, d0, e0, f1, &u, &mut pool);
+        let row = &inv.relation.rows()[0];
+        assert_eq!(row.get(u.a("A'")), row.get(u.a("B'")), "a ≡ a");
+        assert_ne!(row.get(u.a("A'")), row.get(u.a("C'")), "a ≢ b");
+    }
+}

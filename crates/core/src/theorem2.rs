@@ -1,0 +1,209 @@
+//! Theorem 2 — the complete Section 4 reduction.
+//!
+//! For untyped `Σ, σ` (with `Σ`'s tds `A'B'`-total and `A'B' → C' ∈ Σ`, as
+//! Theorem 1 provides), define `T(Σ) = {T(θ) : θ ∈ Σ} ∪ Σ₀`. Then
+//! `Σ ⊨(f) σ  ⇔  T(Σ) ⊨(f) T(σ)`: the translation is effective and
+//! conservative, so the unsolvability of the untyped problems (Theorem 1)
+//! transfers to typed tds and egds — and, through Lemma 5, to typed tds
+//! alone.
+
+use crate::sigma0::sigma0_set;
+use crate::translate::t_dep;
+use crate::typing::Translator;
+use typedtd_dependencies::{Egd, Fd, TdOrEgd};
+use typedtd_relational::{Universe, ValuePool};
+use std::sync::Arc;
+
+/// The output of the Theorem 2 translation.
+pub struct TypedInstance {
+    /// The translator (owns the typed pool; chase nulls come from here).
+    pub translator: Translator,
+    /// `T(Σ) ∪ Σ₀`, chase-ready.
+    pub sigma: Vec<TdOrEgd>,
+    /// Labels aligned with `sigma` for trace rendering.
+    pub labels: Vec<String>,
+    /// `T(σ)`.
+    pub goal: TdOrEgd,
+}
+
+/// Builds the typed instance `(T(Σ) ∪ Σ₀, T(σ))` from an untyped one.
+///
+/// # Panics
+/// Panics if some td in `Σ ∪ {σ}` is not `A'B'`-total (the reduction is
+/// defined — and Lemma 2 proved — for the instances Theorem 1 produces).
+pub fn theorem2_instance(
+    untyped_universe: &Arc<Universe>,
+    untyped_pool: &ValuePool,
+    sigma: &[TdOrEgd],
+    goal: &TdOrEgd,
+) -> TypedInstance {
+    let mut tr = Translator::new(untyped_universe.clone());
+    let mut out = Vec::with_capacity(sigma.len() + 15);
+    let mut labels = Vec::with_capacity(sigma.len() + 15);
+    for (i, dep) in sigma.iter().enumerate() {
+        out.push(t_dep(&mut tr, untyped_pool, dep));
+        labels.push(format!("T(sigma[{i}])"));
+    }
+    let s0 = sigma0_set(&mut tr);
+    for (i, dep) in s0.into_iter().enumerate() {
+        labels.push(if i == 0 {
+            "sigma0".to_string()
+        } else {
+            format!("Sigma0 fd-egd[{i}]")
+        });
+        out.push(dep);
+    }
+    let goal = t_dep(&mut tr, untyped_pool, goal);
+    TypedInstance {
+        translator: tr,
+        sigma: out,
+        labels,
+        goal,
+    }
+}
+
+/// Convenience: the Theorem 1 side condition `A'B' → C'` as untyped egds.
+pub fn abc_functionality(
+    untyped_universe: &Arc<Universe>,
+    untyped_pool: &mut ValuePool,
+) -> Vec<Egd> {
+    let fd = Fd::new(
+        untyped_universe.set("A' B'"),
+        untyped_universe.set("C'"),
+    );
+    fd.to_egds(untyped_universe, untyped_pool)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use typedtd_chase::{chase_implication, ChaseConfig, ChaseOutcome};
+    use typedtd_dependencies::{egd_from_names, td_from_names};
+
+    /// An untyped instance meeting Theorem 1's side conditions, where the
+    /// implication holds, and its typed image must also hold (checked by
+    /// chase — the decidable direction of the equivalence).
+    #[test]
+    fn positive_instance_transfers() {
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        // Σ: A'B' → C' plus the td σ itself; goal σ (A'B'-total).
+        let td = td_from_names(
+            &u,
+            &mut p,
+            &[&["x", "y1", "z1"], &["x", "y2", "z2"]],
+            &["x", "y1", "z3"],
+        );
+        let mut sigma: Vec<TdOrEgd> = abc_functionality(&u, &mut p)
+            .into_iter()
+            .map(TdOrEgd::Egd)
+            .collect();
+        sigma.push(TdOrEgd::Td(td.clone()));
+        let goal = TdOrEgd::Td(td);
+
+        // Untyped side: Σ ⊨ σ trivially (σ ∈ Σ).
+        let run_untyped = chase_implication(&sigma, &goal, &mut p, &ChaseConfig::default());
+        assert_eq!(run_untyped.outcome, ChaseOutcome::Implied);
+
+        // Typed side.
+        let mut inst = theorem2_instance(&u, &p, &sigma, &goal);
+        assert_eq!(inst.sigma.len(), sigma.len() + 15);
+        let run_typed = chase_implication(
+            &inst.sigma,
+            &inst.goal,
+            inst.translator.pool_mut(),
+            &ChaseConfig::default(),
+        );
+        assert_eq!(run_typed.outcome, ChaseOutcome::Implied);
+    }
+
+    /// A non-implication transfers too: the typed chase reaches a terminal
+    /// counterexample (or we refute via T of an untyped counterexample —
+    /// here the chase itself terminates).
+    #[test]
+    fn negative_instance_transfers() {
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        // Σ: only A'B' → C'. Goal: the egd "A' → B'" — clearly not implied.
+        let sigma: Vec<TdOrEgd> = abc_functionality(&u, &mut p)
+            .into_iter()
+            .map(TdOrEgd::Egd)
+            .collect();
+        let goal = TdOrEgd::Egd(egd_from_names(
+            &u,
+            &mut p,
+            &[&["x", "y1", "z1"], &["x", "y2", "z2"]],
+            ("B'", "y1"),
+            ("B'", "y2"),
+        ));
+        let run_untyped = chase_implication(&sigma, &goal, &mut p, &ChaseConfig::default());
+        assert_eq!(run_untyped.outcome, ChaseOutcome::NotImplied);
+
+        let mut inst = theorem2_instance(&u, &p, &sigma, &goal);
+        let run_typed = chase_implication(
+            &inst.sigma,
+            &inst.goal,
+            inst.translator.pool_mut(),
+            &ChaseConfig::default(),
+        );
+        assert_eq!(
+            run_typed.outcome,
+            ChaseOutcome::NotImplied,
+            "T(Σ) ∪ Σ₀ must not prove T(σ) when Σ ⊭ σ"
+        );
+    }
+
+    /// The typed counterexample converts back through T⁻¹ (Lemma 3) to an
+    /// untyped counterexample — closing the reduction circle on a concrete
+    /// instance.
+    #[test]
+    fn counterexample_roundtrip_through_t_inverse() {
+        use crate::t_inverse::t_inverse;
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        let sigma: Vec<TdOrEgd> = abc_functionality(&u, &mut p)
+            .into_iter()
+            .map(TdOrEgd::Egd)
+            .collect();
+        let goal_egd = egd_from_names(
+            &u,
+            &mut p,
+            &[&["x", "y1", "z1"], &["x", "y2", "z2"]],
+            ("B'", "y1"),
+            ("B'", "y2"),
+        );
+        let goal = TdOrEgd::Egd(goal_egd.clone());
+        let mut inst = theorem2_instance(&u, &p, &sigma, &goal);
+        let run_typed = chase_implication(
+            &inst.sigma,
+            &inst.goal,
+            inst.translator.pool_mut(),
+            &ChaseConfig::default(),
+        );
+        assert_eq!(run_typed.outcome, ChaseOutcome::NotImplied);
+        let typed_cex = run_typed.final_relation;
+        // Σ₀ holds in the counterexample (it was chased in).
+        for dep in &inst.sigma {
+            assert!(dep.satisfied_by(&typed_cex));
+        }
+        // Reconstruct an untyped relation.
+        let (d0, e0, f1) = (
+            inst.translator.special("d0"),
+            inst.translator.special("e0"),
+            inst.translator.special("f1"),
+        );
+        let inv = t_inverse(&typed_cex, d0, e0, f1, &u, &mut p);
+        assert!(!inv.relation.is_empty());
+        // It satisfies Σ and violates σ.
+        for dep in &sigma {
+            assert!(
+                dep.satisfied_by(&inv.relation),
+                "T⁻¹ image must satisfy Σ"
+            );
+        }
+        assert!(
+            !goal.satisfied_by(&inv.relation),
+            "T⁻¹ image must violate σ"
+        );
+    }
+}

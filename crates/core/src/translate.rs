@@ -1,0 +1,187 @@
+//! Section 4 — translating untyped dependencies to typed ones.
+//!
+//! A td is a pair of a tuple and a relation, so the Section 3 translation
+//! lifts pointwise: `T((w, J)) = (T(w), T(J))` (Example 2), and for egds
+//! `T((a = b, J)) = (a¹ = b¹, T(J))`. Lemma 2 states the equivalence
+//! `I ⊨ θ ⇔ T(I) ⊨ T(θ)` for `A'B'`-total untyped tds and for untyped
+//! egds; [`lemma2_check`] verifies it on concrete finite relations.
+
+use crate::typing::Translator;
+use typedtd_dependencies::{Egd, Td, TdOrEgd};
+use typedtd_relational::{Relation, ValuePool};
+
+/// `T(θ)` for an untyped td `θ = (w, J)`.
+///
+/// # Panics
+/// Panics unless `θ` is `A'B'`-total — the only case the reduction needs
+/// (Theorem 1 guarantees it) and the only case Lemma 2 covers.
+pub fn t_td(tr: &mut Translator, untyped_pool: &ValuePool, td: &Td) -> Td {
+    let ab = td.universe().set("A' B'");
+    assert!(
+        td.is_v_total(&ab),
+        "Lemma 2 requires A'B'-total untyped tds"
+    );
+    let hyp_rel = td.hypothesis_relation();
+    let t_hyp = tr.t_relation(untyped_pool, &hyp_rel);
+    let t_w = tr.t_tuple(untyped_pool, td.conclusion());
+    Td::new(tr.typed_universe().clone(), t_w, t_hyp.rows().to_vec())
+}
+
+/// `T(η)` for an untyped egd `η = (a = b, J)`: becomes `(a¹ = b¹, T(J))`.
+pub fn t_egd(tr: &mut Translator, untyped_pool: &ValuePool, egd: &Egd) -> Egd {
+    let hyp_rel = egd.hypothesis_relation();
+    let t_hyp = tr.t_relation(untyped_pool, &hyp_rel);
+    let a1 = tr.avatar(untyped_pool, egd.left(), 1);
+    let b1 = tr.avatar(untyped_pool, egd.right(), 1);
+    Egd::new(
+        tr.typed_universe().clone(),
+        a1,
+        b1,
+        t_hyp.rows().to_vec(),
+    )
+}
+
+/// `T` on a mixed td/egd dependency.
+pub fn t_dep(tr: &mut Translator, untyped_pool: &ValuePool, dep: &TdOrEgd) -> TdOrEgd {
+    match dep {
+        TdOrEgd::Td(t) => TdOrEgd::Td(t_td(tr, untyped_pool, t)),
+        TdOrEgd::Egd(e) => TdOrEgd::Egd(t_egd(tr, untyped_pool, e)),
+    }
+}
+
+/// Concrete Lemma 2 check: `I ⊨ θ ⇔ T(I) ⊨ T(θ)` for one finite `I`.
+///
+/// Returns `(lhs, rhs)` so tests can assert equality and diagnose failures.
+pub fn lemma2_check(
+    tr: &mut Translator,
+    untyped_pool: &ValuePool,
+    i: &Relation,
+    dep: &TdOrEgd,
+) -> (bool, bool) {
+    let t_i = tr.t_relation(untyped_pool, i);
+    let t_dep = t_dep(tr, untyped_pool, dep);
+    let lhs = dep.satisfied_by(i);
+    let rhs = t_dep.satisfied_by(&t_i);
+    (lhs, rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use typedtd_dependencies::{egd_from_names, td_from_names};
+    use typedtd_relational::{Tuple, Universe};
+
+    fn rel(u: &Arc<Universe>, p: &mut ValuePool, rows: &[[&str; 3]]) -> Relation {
+        Relation::from_rows(
+            u.clone(),
+            rows.iter()
+                .map(|r| Tuple::new(r.iter().map(|n| p.untyped(n)).collect())),
+        )
+    }
+
+    #[test]
+    fn example2_shape() {
+        // σ = (w, {u}), u = (a, b, c), w = (b, a, d) — the paper's Example 2.
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        let td = td_from_names(&u, &mut p, &[&["a", "b", "c"]], &["b", "a", "d"]);
+        let mut tr = Translator::new(u);
+        let t = t_td(&mut tr, &p, &td);
+        // Hypothesis: s + T(u) + N(a) + N(b) + N(c) = 5 rows.
+        assert_eq!(t.hypothesis().len(), 5);
+        let tu = tr.typed_universe().clone();
+        // Conclusion (b1, a2, d3, (b,a,d), e0, f1).
+        assert_eq!(tr.pool().name(t.conclusion().get(tu.a("A"))), "b1");
+        assert_eq!(tr.pool().name(t.conclusion().get(tu.a("B"))), "a2");
+        assert_eq!(tr.pool().name(t.conclusion().get(tu.a("C"))), "d3");
+        assert_eq!(tr.pool().name(t.conclusion().get(tu.a("D"))), "(b,a,d)");
+        t.check_typed(tr.pool()).unwrap();
+        // d ∉ VAL(J): the C-avatar d3 is existential, so T(σ) is not total,
+        // but it is ABDEF-total... at least AB-total:
+        assert!(t.is_v_total(&tu.set("AB")));
+    }
+
+    #[test]
+    #[should_panic(expected = "A'B'-total")]
+    fn non_ab_total_td_rejected() {
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        let td = td_from_names(&u, &mut p, &[&["a", "b", "c"]], &["q", "a", "c"]);
+        let mut tr = Translator::new(u);
+        let _ = t_td(&mut tr, &p, &td);
+    }
+
+    #[test]
+    fn lemma2_td_positive_and_negative() {
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        // θ: the A' ↠ B' exchange td (A'B'-total).
+        let td = TdOrEgd::Td(td_from_names(
+            &u,
+            &mut p,
+            &[&["x", "y1", "z1"], &["x", "y2", "z2"]],
+            &["x", "y1", "z2"],
+        ));
+        let closed = rel(
+            &u,
+            &mut p,
+            &[
+                ["a", "b1", "c1"],
+                ["a", "b2", "c2"],
+                ["a", "b1", "c2"],
+                ["a", "b2", "c1"],
+            ],
+        );
+        let open = rel(&u, &mut p, &[["a", "b1", "c1"], ["a", "b2", "c2"]]);
+        let mut tr = Translator::new(u.clone());
+        let (l1, r1) = lemma2_check(&mut tr, &p, &closed, &td);
+        assert!(l1 && r1, "satisfied on both sides");
+        let mut tr2 = Translator::new(u);
+        let (l2, r2) = lemma2_check(&mut tr2, &p, &open, &td);
+        assert!(!l2 && !r2, "violated on both sides");
+    }
+
+    #[test]
+    fn lemma2_egd_positive_and_negative() {
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        // η: A' → B' as an egd.
+        let egd = TdOrEgd::Egd(egd_from_names(
+            &u,
+            &mut p,
+            &[&["x", "y1", "z1"], &["x", "y2", "z2"]],
+            ("B'", "y1"),
+            ("B'", "y2"),
+        ));
+        let good = rel(&u, &mut p, &[["a", "b", "c"], ["a", "b", "d"]]);
+        let bad = rel(&u, &mut p, &[["a", "b", "c"], ["a", "e", "d"]]);
+        let mut tr = Translator::new(u.clone());
+        let (l1, r1) = lemma2_check(&mut tr, &p, &good, &egd);
+        assert_eq!((l1, r1), (true, true));
+        let mut tr2 = Translator::new(u);
+        let (l2, r2) = lemma2_check(&mut tr2, &p, &bad, &egd);
+        assert_eq!((l2, r2), (false, false));
+    }
+
+    #[test]
+    fn shared_variables_stay_shared_across_translations() {
+        // Translating Σ and σ through one translator must identify common
+        // symbols — otherwise the reduction would decouple them.
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        let td1 = td_from_names(&u, &mut p, &[&["x", "y", "z"]], &["y", "x", "z"]);
+        let td2 = td_from_names(&u, &mut p, &[&["x", "y", "q"]], &["x", "y", "q"]);
+        let mut tr = Translator::new(u);
+        let t1 = t_td(&mut tr, &p, &td1);
+        let t2 = t_td(&mut tr, &p, &td2);
+        let tu = tr.typed_universe().clone();
+        // x1 appears in both translated hypotheses (same typed value).
+        let x1 = t1.hypothesis()[1].get(tu.a("A"));
+        assert_eq!(tr.pool().name(x1), "x1");
+        assert!(t2
+            .hypothesis()
+            .iter()
+            .any(|row| row.get(tu.a("A")) == x1));
+    }
+}

@@ -1,0 +1,363 @@
+//! Section 3 — translating untyped tuples and relations to typed ones.
+//!
+//! The paper fixes the untyped universe `U' = A'B'C'` and the typed universe
+//! `U = ABCDEF`. Every untyped element `a` has three typed avatars
+//! `a¹ ∈ DOM(A)`, `a² ∈ DOM(B)`, `a³ ∈ DOM(C)`, an `E`-avatar (the element
+//! itself), and the special elements `a0, b0, c0, d0, e0, f0, f1` exist in
+//! the respective domains. An untyped tuple `w = (a, b, c)` becomes
+//!
+//! ```text
+//! T(w) = (a¹, b², c³, w, e0, f1)          — the tuple row
+//! N(a) = (a¹, a², a³, d0, a, f1)          — "a¹,a²,a³ name the same element"
+//! s    = (a0, b0, c0, d0, e0, f0)         — the anchor row
+//! ```
+//!
+//! and `T(I) = {T(w) : w ∈ I} ∪ {N(a) : a ∈ VAL(I)} ∪ {s}` (Example 1).
+//! Lemma 1: `T(I) ⊨ {AD→U, BD→U, CD→U, ABCE→U}` always.
+
+use typedtd_dependencies::Fd;
+use typedtd_relational::{
+    AttrId, FxHashMap, Relation, Tuple, Universe, Value, ValuePool,
+};
+use std::sync::Arc;
+
+/// Stateful translator from the untyped `A'B'C'` world into the typed
+/// `ABCDEF` world. It owns the typed value pool and memoizes every avatar,
+/// so translating dependencies and relations through the same translator
+/// keeps shared variables shared — exactly what the reduction requires.
+pub struct Translator {
+    untyped: Arc<Universe>,
+    typed: Arc<Universe>,
+    pool: ValuePool,
+    /// `(untyped value, column 0/1/2) → aⁱ⁺¹` avatar.
+    sup: FxHashMap<(Value, u8), Value>,
+    /// untyped value → its `E`-avatar.
+    e_avatar: FxHashMap<Value, Value>,
+    /// untyped tuple → its `D`-avatar.
+    d_avatar: FxHashMap<Tuple, Value>,
+    /// The special elements `a0, b0, c0, d0, e0, f0, f1`.
+    specials: [Value; 7],
+}
+
+impl Translator {
+    /// Creates a translator for one untyped pool's values.
+    pub fn new(untyped: Arc<Universe>) -> Self {
+        assert_eq!(
+            untyped.width(),
+            3,
+            "the Section 3 translation is defined for the 3-attribute untyped universe U' = A'B'C'"
+        );
+        assert!(!untyped.is_typed(), "source universe must be untyped");
+        let typed = Universe::typed_abcdef();
+        let mut pool = ValuePool::new(typed.clone());
+        let specials = [
+            pool.typed(typed.a("A"), "a0"),
+            pool.typed(typed.a("B"), "b0"),
+            pool.typed(typed.a("C"), "c0"),
+            pool.typed(typed.a("D"), "d0"),
+            pool.typed(typed.a("E"), "e0"),
+            pool.typed(typed.a("F"), "f0"),
+            pool.typed(typed.a("F"), "f1"),
+        ];
+        Self {
+            untyped,
+            typed,
+            pool,
+            sup: FxHashMap::default(),
+            e_avatar: FxHashMap::default(),
+            d_avatar: FxHashMap::default(),
+            specials,
+        }
+    }
+
+    /// The typed universe `U = ABCDEF`.
+    pub fn typed_universe(&self) -> &Arc<Universe> {
+        &self.typed
+    }
+
+    /// The untyped universe `U' = A'B'C'`.
+    pub fn untyped_universe(&self) -> &Arc<Universe> {
+        &self.untyped
+    }
+
+    /// The typed value pool (fresh nulls for chasing come from here too).
+    pub fn pool(&self) -> &ValuePool {
+        &self.pool
+    }
+
+    /// Mutable access to the typed pool.
+    pub fn pool_mut(&mut self) -> &mut ValuePool {
+        &mut self.pool
+    }
+
+    /// The special element `a0` / `b0` / `c0` / `d0` / `e0` / `f0` / `f1`.
+    pub fn special(&self, name: &str) -> Value {
+        let idx = ["a0", "b0", "c0", "d0", "e0", "f0", "f1"]
+            .iter()
+            .position(|n| *n == name)
+            .unwrap_or_else(|| panic!("unknown special element {name:?}"));
+        self.specials[idx]
+    }
+
+    /// Interns a typed value with a preferred name, dodging collisions with
+    /// unrelated values that happen to carry the same rendered name.
+    fn unique(&mut self, attr: AttrId, base: String) -> Value {
+        let mut name = base;
+        while self.pool.get(Some(attr), &name).is_some() {
+            name.push('\'');
+        }
+        self.pool.typed(attr, &name)
+    }
+
+    /// The avatar `aⁱ` (`i ∈ {1,2,3}`) of untyped value `a`, memoized.
+    pub fn avatar(&mut self, untyped_pool: &ValuePool, a: Value, i: u8) -> Value {
+        assert!((1..=3).contains(&i));
+        if let Some(&v) = self.sup.get(&(a, i - 1)) {
+            return v;
+        }
+        let attr = AttrId((i - 1) as u16);
+        let v = self.unique(attr, format!("{}{}", untyped_pool.name(a), i));
+        self.sup.insert((a, i - 1), v);
+        v
+    }
+
+    /// The `E`-avatar of untyped value `a`, memoized.
+    pub fn e_avatar(&mut self, untyped_pool: &ValuePool, a: Value) -> Value {
+        if let Some(&v) = self.e_avatar.get(&a) {
+            return v;
+        }
+        let e = self.typed.a("E");
+        let v = self.unique(e, untyped_pool.name(a).to_string());
+        self.e_avatar.insert(a, v);
+        v
+    }
+
+    /// The `D`-avatar of untyped tuple `w`, memoized. Its rendered name is
+    /// the tuple itself, e.g. `(a,b,c)`.
+    pub fn d_avatar(&mut self, untyped_pool: &ValuePool, w: &Tuple) -> Value {
+        if let Some(&v) = self.d_avatar.get(w) {
+            return v;
+        }
+        let d = self.typed.a("D");
+        let name = format!(
+            "({})",
+            w.values()
+                .iter()
+                .map(|&v| untyped_pool.name(v))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let v = self.unique(d, name);
+        self.d_avatar.insert(w.clone(), v);
+        v
+    }
+
+    /// `T(w) = (a¹, b², c³, w, e0, f1)` for `w = (a, b, c)`.
+    pub fn t_tuple(&mut self, untyped_pool: &ValuePool, w: &Tuple) -> Tuple {
+        assert_eq!(w.width(), 3);
+        let vals = [w.values()[0], w.values()[1], w.values()[2]];
+        Tuple::new(vec![
+            self.avatar(untyped_pool, vals[0], 1),
+            self.avatar(untyped_pool, vals[1], 2),
+            self.avatar(untyped_pool, vals[2], 3),
+            self.d_avatar(untyped_pool, w),
+            self.special("e0"),
+            self.special("f1"),
+        ])
+    }
+
+    /// `N(a) = (a¹, a², a³, d0, a, f1)`.
+    pub fn n_tuple(&mut self, untyped_pool: &ValuePool, a: Value) -> Tuple {
+        Tuple::new(vec![
+            self.avatar(untyped_pool, a, 1),
+            self.avatar(untyped_pool, a, 2),
+            self.avatar(untyped_pool, a, 3),
+            self.special("d0"),
+            self.e_avatar(untyped_pool, a),
+            self.special("f1"),
+        ])
+    }
+
+    /// `s = (a0, b0, c0, d0, e0, f0)`.
+    pub fn s_tuple(&self) -> Tuple {
+        Tuple::new(vec![
+            self.specials[0],
+            self.specials[1],
+            self.specials[2],
+            self.specials[3],
+            self.specials[4],
+            self.specials[5],
+        ])
+    }
+
+    /// `T(I)`: tuple rows, then name rows `N(a)` for `a ∈ VAL(I)` in first-
+    /// occurrence order, then the anchor `s` (the paper lists `s` first; the
+    /// set is the same, and we print `s` first in the harness).
+    pub fn t_relation(&mut self, untyped_pool: &ValuePool, i: &Relation) -> Relation {
+        assert_eq!(i.universe().width(), 3);
+        let mut out = Relation::new(self.typed.clone());
+        out.insert(self.s_tuple());
+        for w in i.rows() {
+            let t = self.t_tuple(untyped_pool, w);
+            out.insert(t);
+        }
+        // First-occurrence order over rows/columns for determinism.
+        let mut seen = typedtd_relational::FxHashSet::default();
+        for w in i.rows() {
+            for &a in w.values() {
+                if seen.insert(a) {
+                    let n = self.n_tuple(untyped_pool, a);
+                    out.insert(n);
+                }
+            }
+        }
+        out
+    }
+
+    /// The functional dependencies of **Lemma 1**:
+    /// `AD → U, BD → U, CD → U, ABCE → U`.
+    pub fn lemma1_fds(&self) -> Vec<Fd> {
+        let u = &self.typed;
+        ["AD", "BD", "CD", "ABCE"]
+            .iter()
+            .map(|x| Fd::new(u.set(x), u.all()))
+            .collect()
+    }
+
+    /// Checks Lemma 1 on a concrete relation: `T(I)` must satisfy the fds.
+    pub fn lemma1_holds(&self, t_of_i: &Relation) -> bool {
+        self.lemma1_fds().iter().all(|fd| fd.satisfied_by(t_of_i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example1() -> (Arc<Universe>, ValuePool, Relation) {
+        // I = {(a,b,c), (b,a,c)} — the paper's Example 1.
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        let (a, b, c) = (p.untyped("a"), p.untyped("b"), p.untyped("c"));
+        let i = Relation::from_rows(
+            u.clone(),
+            [Tuple::new(vec![a, b, c]), Tuple::new(vec![b, a, c])],
+        );
+        (u, p, i)
+    }
+
+    #[test]
+    fn example1_shape() {
+        let (u, p, i) = example1();
+        let mut tr = Translator::new(u);
+        let ti = tr.t_relation(&p, &i);
+        // s + 2 tuple rows + 3 name rows.
+        assert_eq!(ti.len(), 6);
+        ti.check_typed(tr.pool()).unwrap();
+        // T(w1) = (a1, b2, c3, (a,b,c), e0, f1).
+        let tu = tr.typed_universe().clone();
+        let t_w1 = &ti.rows()[1];
+        assert_eq!(tr.pool().name(t_w1.get(tu.a("A"))), "a1");
+        assert_eq!(tr.pool().name(t_w1.get(tu.a("B"))), "b2");
+        assert_eq!(tr.pool().name(t_w1.get(tu.a("C"))), "c3");
+        assert_eq!(tr.pool().name(t_w1.get(tu.a("D"))), "(a,b,c)");
+        assert_eq!(tr.pool().name(t_w1.get(tu.a("E"))), "e0");
+        assert_eq!(tr.pool().name(t_w1.get(tu.a("F"))), "f1");
+        // N(a) = (a1, a2, a3, d0, a, f1).
+        let n_a = &ti.rows()[3];
+        assert_eq!(tr.pool().name(n_a.get(tu.a("A"))), "a1");
+        assert_eq!(tr.pool().name(n_a.get(tu.a("B"))), "a2");
+        assert_eq!(tr.pool().name(n_a.get(tu.a("D"))), "d0");
+        assert_eq!(tr.pool().name(n_a.get(tu.a("E"))), "a");
+    }
+
+    #[test]
+    fn lemma1_on_example1() {
+        let (u, p, i) = example1();
+        let mut tr = Translator::new(u);
+        let ti = tr.t_relation(&p, &i);
+        assert!(tr.lemma1_holds(&ti));
+    }
+
+    #[test]
+    fn avatars_are_memoized_and_injective() {
+        let (u, mut p, _) = example1();
+        let x = p.untyped("x");
+        let y = p.untyped("y");
+        let mut tr = Translator::new(u);
+        let x1 = tr.avatar(&p, x, 1);
+        assert_eq!(tr.avatar(&p, x, 1), x1, "memoized");
+        assert_ne!(tr.avatar(&p, y, 1), x1, "one-to-one");
+        assert_ne!(tr.avatar(&p, x, 2), x1, "per-column avatars differ");
+    }
+
+    #[test]
+    fn name_collisions_are_dodged() {
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        // "a1" and "a" both exist untyped; avatar("a11") vs avatar("a1"+"1").
+        let a1 = p.untyped("a1");
+        let a11 = p.untyped("a11");
+        let a = p.untyped("a");
+        let mut tr = Translator::new(u);
+        let v1 = tr.avatar(&p, a11, 1); // wants name "a111"
+        let v2 = tr.avatar(&p, a1, 1); // wants name "a11"
+        let v3 = tr.avatar(&p, a, 1); // wants name "a1"
+        assert_ne!(v1, v2);
+        assert_ne!(v2, v3);
+        // A later avatar whose preferred name is taken gets a primed name.
+        let a111 = p.untyped("a111"); // wants "a1111"; fine
+        let _ = tr.avatar(&p, a111, 1);
+        let clash = p.untyped("a11"); // same name as a11! untyped pool dedups
+        assert_eq!(clash, a11);
+    }
+
+    #[test]
+    fn t_preserves_monotonicity_and_finiteness() {
+        // I ⊆ J entails T(I) ⊆ T(J) (through one translator).
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        let (a, b, c, d) = (
+            p.untyped("a"),
+            p.untyped("b"),
+            p.untyped("c"),
+            p.untyped("d"),
+        );
+        let small = Relation::from_rows(u.clone(), [Tuple::new(vec![a, b, c])]);
+        let big = Relation::from_rows(
+            u.clone(),
+            [Tuple::new(vec![a, b, c]), Tuple::new(vec![b, d, a])],
+        );
+        let mut tr = Translator::new(u);
+        let t_small = tr.t_relation(&p, &small);
+        let t_big = tr.t_relation(&p, &big);
+        assert!(t_small.is_subrelation_of(&t_big));
+        assert_eq!(t_big.len(), 1 + 2 + 4);
+    }
+
+    #[test]
+    fn lemma1_can_fail_for_non_image_relations() {
+        // A hand-made typed relation that is NOT a T-image can violate the
+        // fds; lemma1_holds is a real check, not a tautology.
+        let u = Universe::untyped_abc();
+        let mut tr = Translator::new(u);
+        let tu = tr.typed_universe().clone();
+        let mut rel = Relation::new(tu.clone());
+        let mk = |tr: &mut Translator, n: &str, col: &str| {
+            let attr = tr.typed_universe().a(col);
+            tr.pool_mut().typed(attr, n)
+        };
+        let (a1, b1, b2, c1, d1, e1, f1) = (
+            mk(&mut tr, "a1", "A"),
+            mk(&mut tr, "b1", "B"),
+            mk(&mut tr, "b2", "B"),
+            mk(&mut tr, "c1", "C"),
+            mk(&mut tr, "d1", "D"),
+            mk(&mut tr, "e1", "E"),
+            mk(&mut tr, "f1x", "F"),
+        );
+        rel.insert(Tuple::new(vec![a1, b1, c1, d1, e1, f1]));
+        rel.insert(Tuple::new(vec![a1, b2, c1, d1, e1, f1]));
+        assert!(!tr.lemma1_holds(&rel), "AD → U is violated");
+    }
+}

@@ -1,0 +1,201 @@
+//! A unified dependency type and normalization into tds + egds.
+//!
+//! The chase engine operates on tuple-generating (td) and
+//! equality-generating (egd) dependencies only; every other class embeds
+//! into those, as in Section 2.3 of the paper ("we view the class of egd's
+//! as containing the class of fd's", and pjds are shallow tds by Lemma 6).
+
+use crate::egd::Egd;
+use crate::fd::Fd;
+use crate::mvd::Mvd;
+use crate::pjd::Pjd;
+use crate::td::Td;
+use std::sync::Arc;
+use typedtd_relational::{Relation, Universe, ValuePool};
+
+/// Any dependency of the classes studied in the paper.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Dependency {
+    /// Template dependency `(w, I)`.
+    Td(Td),
+    /// Equality-generating dependency `(a = b, I)`.
+    Egd(Egd),
+    /// Functional dependency `X → Y`.
+    Fd(Fd),
+    /// Total multivalued dependency `X ↠ Y`.
+    Mvd(Mvd),
+    /// Projected join dependency `*[R₁, …, R_k]_X` (jds included).
+    Pjd(Pjd),
+}
+
+/// Normal form consumed by the chase: a td or an egd.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TdOrEgd {
+    /// Tuple-generating.
+    Td(Td),
+    /// Equality-generating.
+    Egd(Egd),
+}
+
+impl TdOrEgd {
+    /// Satisfaction dispatch.
+    pub fn satisfied_by(&self, j: &Relation) -> bool {
+        match self {
+            TdOrEgd::Td(t) => t.satisfied_by(j),
+            TdOrEgd::Egd(e) => e.satisfied_by(j),
+        }
+    }
+
+    /// The underlying td, if this is one.
+    pub fn as_td(&self) -> Option<&Td> {
+        match self {
+            TdOrEgd::Td(t) => Some(t),
+            TdOrEgd::Egd(_) => None,
+        }
+    }
+
+    /// The underlying egd, if this is one.
+    pub fn as_egd(&self) -> Option<&Egd> {
+        match self {
+            TdOrEgd::Egd(e) => Some(e),
+            TdOrEgd::Td(_) => None,
+        }
+    }
+}
+
+impl Dependency {
+    /// Decides `J ⊨ σ`.
+    pub fn satisfied_by(&self, j: &Relation) -> bool {
+        match self {
+            Dependency::Td(t) => t.satisfied_by(j),
+            Dependency::Egd(e) => e.satisfied_by(j),
+            Dependency::Fd(f) => f.satisfied_by(j),
+            Dependency::Mvd(m) => m.satisfied_by(j),
+            Dependency::Pjd(p) => p.satisfied_by(j),
+        }
+    }
+
+    /// Normalizes into the td/egd fragment over `universe`, minting
+    /// variables from `pool` where the conversion introduces tableaux.
+    pub fn normalize(&self, universe: &Arc<Universe>, pool: &mut ValuePool) -> Vec<TdOrEgd> {
+        match self {
+            Dependency::Td(t) => vec![TdOrEgd::Td(t.clone())],
+            Dependency::Egd(e) => vec![TdOrEgd::Egd(e.clone())],
+            Dependency::Fd(f) => f
+                .to_egds(universe, pool)
+                .into_iter()
+                .map(TdOrEgd::Egd)
+                .collect(),
+            Dependency::Mvd(m) => vec![TdOrEgd::Td(m.to_pjd().to_td(universe, pool))],
+            Dependency::Pjd(p) => vec![TdOrEgd::Td(p.to_td(universe, pool))],
+        }
+    }
+
+    /// Renders the dependency for diagnostics.
+    pub fn render(&self, universe: &Universe, pool: &ValuePool) -> String {
+        match self {
+            Dependency::Td(t) => t.render(pool),
+            Dependency::Egd(e) => e.render(pool),
+            Dependency::Fd(f) => f.render(universe),
+            Dependency::Mvd(m) => m.render(),
+            Dependency::Pjd(p) => p.render(universe),
+        }
+    }
+}
+
+impl From<Td> for Dependency {
+    fn from(t: Td) -> Self {
+        Dependency::Td(t)
+    }
+}
+impl From<Egd> for Dependency {
+    fn from(e: Egd) -> Self {
+        Dependency::Egd(e)
+    }
+}
+impl From<Fd> for Dependency {
+    fn from(f: Fd) -> Self {
+        Dependency::Fd(f)
+    }
+}
+impl From<Mvd> for Dependency {
+    fn from(m: Mvd) -> Self {
+        Dependency::Mvd(m)
+    }
+}
+impl From<Pjd> for Dependency {
+    fn from(p: Pjd) -> Self {
+        Dependency::Pjd(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use typedtd_relational::{AttrId, Tuple};
+
+    fn rel(u: &Arc<Universe>, p: &mut ValuePool, rows: &[&[&str]]) -> Relation {
+        Relation::from_rows(
+            u.clone(),
+            rows.iter().map(|r| {
+                Tuple::new(
+                    r.iter()
+                        .enumerate()
+                        .map(|(i, n)| p.for_attr(AttrId(i as u16), n))
+                        .collect(),
+                )
+            }),
+        )
+    }
+
+    #[test]
+    fn normalization_preserves_satisfaction() {
+        let u = Universe::typed(vec!["A", "B", "C"]);
+        let mut p = ValuePool::new(u.clone());
+        let deps: Vec<Dependency> = vec![
+            Fd::parse(&u, "A -> B").into(),
+            Mvd::parse(&u, "A ->> B").into(),
+            Pjd::parse(&u, "*[AB, BC]").into(),
+        ];
+        let instances = [
+            rel(&u, &mut p, &[&["a", "b", "c1"], &["a", "b", "c2"]]),
+            rel(&u, &mut p, &[&["a", "b1", "c1"], &["a", "b2", "c2"]]),
+            rel(
+                &u,
+                &mut p,
+                &[
+                    &["a", "b1", "c1"],
+                    &["a", "b2", "c2"],
+                    &["a", "b1", "c2"],
+                    &["a", "b2", "c1"],
+                ],
+            ),
+        ];
+        for d in &deps {
+            let normals = d.normalize(&u, &mut p);
+            assert!(!normals.is_empty());
+            for i in &instances {
+                let direct = d.satisfied_by(i);
+                let via_normal = normals.iter().all(|n| n.satisfied_by(i));
+                assert_eq!(direct, via_normal, "normalize changed semantics of {d:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn typed_normalization_is_well_sorted() {
+        let u = Universe::typed(vec!["A", "B", "C"]);
+        let mut p = ValuePool::new(u.clone());
+        for d in [
+            Dependency::from(Fd::parse(&u, "AB -> C")),
+            Dependency::from(Pjd::parse(&u, "*[AB, BC] on AC")),
+        ] {
+            for n in d.normalize(&u, &mut p) {
+                match n {
+                    TdOrEgd::Td(t) => t.check_typed(&p).unwrap(),
+                    TdOrEgd::Egd(e) => e.check_typed(&p).unwrap(),
+                }
+            }
+        }
+    }
+}

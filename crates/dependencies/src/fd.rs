@@ -1,0 +1,221 @@
+//! Functional dependencies (Section 2.3) and the Armstrong closure oracle.
+//!
+//! An fd `X → Y` is satisfied when any two tuples agreeing on `X` agree on
+//! `Y`. Fds are equivalent to finite sets of egds; [`Fd::to_egds`] performs
+//! that conversion. [`closure`] and [`implies`] give the classical — and
+//! decidable — implication test, used to cross-check the chase engine.
+
+use crate::egd::Egd;
+use std::sync::Arc;
+use typedtd_relational::{AttrSet, FxHashMap, Relation, Tuple, Universe, ValuePool};
+
+/// A functional dependency `X → Y`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Fd {
+    /// Determinant `X`.
+    pub lhs: AttrSet,
+    /// Dependent `Y`.
+    pub rhs: AttrSet,
+}
+
+impl Fd {
+    /// Builds `X → Y`.
+    pub fn new(lhs: AttrSet, rhs: AttrSet) -> Self {
+        Self { lhs, rhs }
+    }
+
+    /// Parses `"A B -> C"` style notation against a universe.
+    pub fn parse(universe: &Universe, spec: &str) -> Self {
+        let (l, r) = spec
+            .split_once("->")
+            .unwrap_or_else(|| panic!("fd must contain '->': {spec:?}"));
+        Self::new(universe.set(l.trim()), universe.set(r.trim()))
+    }
+
+    /// Decides `J ⊨ X → Y` by grouping on the determinant.
+    pub fn satisfied_by(&self, j: &Relation) -> bool {
+        let mut groups: FxHashMap<Box<[typedtd_relational::Value]>, Box<[typedtd_relational::Value]>> =
+            FxHashMap::default();
+        for t in j.iter() {
+            let key = t.restrict(&self.lhs);
+            let dep = t.restrict(&self.rhs);
+            match groups.get(&key) {
+                Some(prev) if *prev != dep => return false,
+                Some(_) => {}
+                None => {
+                    groups.insert(key, dep);
+                }
+            }
+        }
+        true
+    }
+
+    /// Converts the fd to the equivalent set of egds, one per attribute of
+    /// `Y − X` (the paper treats the class of egds as containing the fds).
+    pub fn to_egds(&self, universe: &Arc<Universe>, pool: &mut ValuePool) -> Vec<Egd> {
+        let mut out = Vec::new();
+        for target in self.rhs.difference(&self.lhs).iter() {
+            // Two rows agreeing exactly on X, fresh everywhere else.
+            let mut r1 = Vec::with_capacity(universe.width());
+            let mut r2 = Vec::with_capacity(universe.width());
+            for a in universe.attrs() {
+                if self.lhs.contains(a) {
+                    let shared = pool.fresh(Some(a).filter(|_| universe.is_typed()), "x");
+                    r1.push(shared);
+                    r2.push(shared);
+                } else {
+                    r1.push(pool.fresh(Some(a).filter(|_| universe.is_typed()), "y"));
+                    r2.push(pool.fresh(Some(a).filter(|_| universe.is_typed()), "z"));
+                }
+            }
+            let left = r1[target.index()];
+            let right = r2[target.index()];
+            out.push(Egd::new(
+                universe.clone(),
+                left,
+                right,
+                vec![Tuple::new(r1), Tuple::new(r2)],
+            ));
+        }
+        out
+    }
+
+    /// Renders as `X → Y` via universe names.
+    pub fn render(&self, universe: &Universe) -> String {
+        format!(
+            "{} -> {}",
+            universe.render_set(&self.lhs),
+            universe.render_set(&self.rhs)
+        )
+    }
+
+    /// The key fd `X → U` over a width-`n` universe.
+    pub fn key(universe: &Universe, lhs: AttrSet) -> Self {
+        Self::new(lhs, universe.all())
+    }
+}
+
+/// Armstrong closure `X⁺` of an attribute set under a set of fds.
+///
+/// Classical fixpoint: add `Y` whenever `W → Y` with `W ⊆ X⁺`.
+pub fn closure(start: &AttrSet, fds: &[Fd]) -> AttrSet {
+    let mut acc = start.clone();
+    loop {
+        let mut changed = false;
+        for fd in fds {
+            if fd.lhs.is_subset(&acc) && !fd.rhs.is_subset(&acc) {
+                acc = acc.union(&fd.rhs);
+                changed = true;
+            }
+        }
+        if !changed {
+            return acc;
+        }
+    }
+}
+
+/// Decidable fd-implication oracle: `fds ⊨ X → Y` iff `Y ⊆ X⁺`.
+///
+/// For fds, implication and finite implication coincide, so this single
+/// oracle cross-checks both chase-based answers.
+pub fn implies(fds: &[Fd], goal: &Fd) -> bool {
+    goal.rhs.is_subset(&closure(&goal.lhs, fds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use typedtd_relational::AttrId;
+
+    fn u() -> Arc<Universe> {
+        Universe::typed(vec!["A", "B", "C", "D"])
+    }
+
+    fn rel(universe: &Arc<Universe>, pool: &mut ValuePool, rows: &[&[&str]]) -> Relation {
+        Relation::from_rows(
+            universe.clone(),
+            rows.iter().map(|r| {
+                Tuple::new(
+                    r.iter()
+                        .enumerate()
+                        .map(|(i, n)| pool.for_attr(AttrId(i as u16), n))
+                        .collect(),
+                )
+            }),
+        )
+    }
+
+    #[test]
+    fn parse_and_render() {
+        let u = u();
+        let fd = Fd::parse(&u, "AB -> CD");
+        assert_eq!(fd.lhs, u.set("AB"));
+        assert_eq!(fd.rhs, u.set("CD"));
+        assert_eq!(fd.render(&u), "AB -> CD");
+    }
+
+    #[test]
+    fn satisfaction() {
+        let u = u();
+        let mut p = ValuePool::new(u.clone());
+        let fd = Fd::parse(&u, "A -> B");
+        let good = rel(&u, &mut p, &[&["a", "b", "c", "d"], &["a", "b", "x", "y"]]);
+        assert!(fd.satisfied_by(&good));
+        let bad = rel(&u, &mut p, &[&["a", "b", "c", "d"], &["a", "q", "x", "y"]]);
+        assert!(!fd.satisfied_by(&bad));
+    }
+
+    #[test]
+    fn closure_transitivity() {
+        let u = u();
+        let fds = vec![Fd::parse(&u, "A -> B"), Fd::parse(&u, "B -> C")];
+        let cl = closure(&u.set("A"), &fds);
+        assert_eq!(cl, u.set("ABC"));
+        assert!(implies(&fds, &Fd::parse(&u, "A -> C")));
+        assert!(!implies(&fds, &Fd::parse(&u, "A -> D")));
+    }
+
+    #[test]
+    fn closure_augmentation_pseudotransitivity() {
+        let u = u();
+        let fds = vec![Fd::parse(&u, "A -> B"), Fd::parse(&u, "BC -> D")];
+        assert!(implies(&fds, &Fd::parse(&u, "AC -> D")));
+        assert!(implies(&fds, &Fd::parse(&u, "AC -> ABCD")));
+        assert!(!implies(&fds, &Fd::parse(&u, "A -> D")));
+    }
+
+    #[test]
+    fn reflexive_fds_always_implied() {
+        let u = u();
+        assert!(implies(&[], &Fd::parse(&u, "AB -> A")));
+        assert!(!implies(&[], &Fd::parse(&u, "AB -> C")));
+    }
+
+    #[test]
+    fn egd_conversion_matches_fd_semantics() {
+        let u = u();
+        let mut p = ValuePool::new(u.clone());
+        let fd = Fd::parse(&u, "A -> BC");
+        let egds = fd.to_egds(&u, &mut p);
+        assert_eq!(egds.len(), 2, "one egd per attribute of Y − X");
+        let good = rel(&u, &mut p, &[&["a", "b", "c", "d"], &["a", "b", "c", "e"]]);
+        let bad = rel(&u, &mut p, &[&["a", "b", "c", "d"], &["a", "b", "q", "e"]]);
+        for e in &egds {
+            e.check_typed(&p).unwrap();
+            assert!(e.satisfied_by(&good));
+        }
+        assert!(
+            egds.iter().any(|e| !e.satisfied_by(&bad)),
+            "some egd must catch the C-violation"
+        );
+        assert!(fd.satisfied_by(&good) && !fd.satisfied_by(&bad));
+    }
+
+    #[test]
+    fn egd_conversion_when_rhs_subset_of_lhs_is_empty() {
+        let u = u();
+        let mut p = ValuePool::new(u.clone());
+        let fd = Fd::parse(&u, "AB -> A");
+        assert!(fd.to_egds(&u, &mut p).is_empty());
+    }
+}

@@ -1,0 +1,199 @@
+//! Multivalued dependencies (Fagin; Section 2.3 and 6 of the paper).
+//!
+//! A total mvd `X ↠ Y` is the join dependency `*[XY, X(U−X−Y)]`. This module
+//! keeps a direct representation with the paper's own satisfaction
+//! condition — "for all `u, v ∈ I`, if `u[X] = v[X]` then there is `w ∈ I`
+//! with `w[XY] = u[XY]` and `w[X Ȳ] = v[X Ȳ]`" — so the pjd machinery can be
+//! cross-checked against it.
+
+use crate::pjd::Pjd;
+use std::sync::Arc;
+use typedtd_relational::{AttrSet, Relation, Universe};
+
+/// A total multivalued dependency `X ↠ Y` over a fixed universe.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Mvd {
+    universe: Arc<Universe>,
+    /// Left side `X`.
+    pub lhs: AttrSet,
+    /// Right side `Y`.
+    pub rhs: AttrSet,
+}
+
+impl Mvd {
+    /// Builds `X ↠ Y` over `universe`.
+    pub fn new(universe: Arc<Universe>, lhs: AttrSet, rhs: AttrSet) -> Self {
+        Self { universe, lhs, rhs }
+    }
+
+    /// Parses `"A ->> B C"` style notation.
+    pub fn parse(universe: &Arc<Universe>, spec: &str) -> Self {
+        let (l, r) = spec
+            .split_once("->>")
+            .unwrap_or_else(|| panic!("mvd must contain '->>': {spec:?}"));
+        Self::new(
+            universe.clone(),
+            universe.set(l.trim()),
+            universe.set(r.trim()),
+        )
+    }
+
+    /// The universe this mvd is over.
+    pub fn universe(&self) -> &Arc<Universe> {
+        &self.universe
+    }
+
+    /// The complementary right side `Z = U − X − Y`.
+    pub fn complement(&self) -> AttrSet {
+        self.universe
+            .all()
+            .difference(&self.lhs)
+            .difference(&self.rhs)
+    }
+
+    /// Direct satisfaction test following the paper's condition.
+    pub fn satisfied_by(&self, i: &Relation) -> bool {
+        let xy = self.lhs.union(&self.rhs);
+        let xz = self.lhs.union(&self.complement());
+        for u in i.iter() {
+            for v in i.iter() {
+                if !u.agrees_on(v, &self.lhs) {
+                    continue;
+                }
+                let found = i.iter().any(|w| w.agrees_on(u, &xy) && w.agrees_on(v, &xz));
+                if !found {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The equivalent join dependency `*[XY, X(U−X−Y)]`.
+    ///
+    /// When `Y ⊆ X` or `XY = U` the mvd is trivial and one component
+    /// contains the other; the jd degenerates accordingly (a single
+    /// component), which is satisfied by every relation.
+    pub fn to_pjd(&self) -> Pjd {
+        let xy = self.lhs.union(&self.rhs);
+        let xz = self.lhs.union(&self.complement());
+        if xy.is_subset(&xz) {
+            Pjd::jd(vec![xz])
+        } else if xz.is_subset(&xy) {
+            Pjd::jd(vec![xy])
+        } else {
+            Pjd::jd(vec![xy, xz])
+        }
+    }
+
+    /// Renders as `X ->> Y`.
+    pub fn render(&self) -> String {
+        format!(
+            "{} ->> {}",
+            self.universe.render_set(&self.lhs),
+            self.universe.render_set(&self.rhs)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use typedtd_relational::{AttrId, Tuple, ValuePool};
+
+    fn rel(u: &Arc<Universe>, p: &mut ValuePool, rows: &[&[&str]]) -> Relation {
+        Relation::from_rows(
+            u.clone(),
+            rows.iter().map(|r| {
+                Tuple::new(
+                    r.iter()
+                        .enumerate()
+                        .map(|(i, n)| p.for_attr(AttrId(i as u16), n))
+                        .collect(),
+                )
+            }),
+        )
+    }
+
+    #[test]
+    fn textbook_mvd() {
+        let u = Universe::typed(vec!["A", "B", "C"]);
+        let mut p = ValuePool::new(u.clone());
+        let mvd = Mvd::parse(&u, "A ->> B");
+        let good = rel(
+            &u,
+            &mut p,
+            &[
+                &["a", "b1", "c1"],
+                &["a", "b2", "c2"],
+                &["a", "b1", "c2"],
+                &["a", "b2", "c1"],
+            ],
+        );
+        assert!(mvd.satisfied_by(&good));
+        let bad = rel(&u, &mut p, &[&["a", "b1", "c1"], &["a", "b2", "c2"]]);
+        assert!(!mvd.satisfied_by(&bad));
+    }
+
+    #[test]
+    fn mvd_agrees_with_its_pjd() {
+        let u = Universe::typed(vec!["A", "B", "C"]);
+        let mut p = ValuePool::new(u.clone());
+        let mvd = Mvd::parse(&u, "A ->> B");
+        let pjd = mvd.to_pjd();
+        assert!(pjd.is_mvd());
+        for rows in [
+            vec![vec!["a", "b1", "c1"], vec!["a", "b2", "c2"]],
+            vec![
+                vec!["a", "b1", "c1"],
+                vec!["a", "b2", "c2"],
+                vec!["a", "b1", "c2"],
+                vec!["a", "b2", "c1"],
+            ],
+            vec![vec!["a", "b", "c"], vec!["x", "y", "z"]],
+        ] {
+            let slices: Vec<&[&str]> = rows.iter().map(|r| r.as_slice()).collect();
+            let i = rel(&u, &mut p, &slices);
+            assert_eq!(mvd.satisfied_by(&i), pjd.satisfied_by(&i));
+        }
+    }
+
+    #[test]
+    fn trivial_mvds_always_hold() {
+        let u = Universe::typed(vec!["A", "B", "C"]);
+        let mut p = ValuePool::new(u.clone());
+        let i = rel(&u, &mut p, &[&["a", "b1", "c1"], &["a", "b2", "c2"]]);
+        // Y ⊆ X: trivial.
+        assert!(Mvd::parse(&u, "AB ->> B").satisfied_by(&i));
+        assert!(Mvd::parse(&u, "AB ->> B").to_pjd().satisfied_by(&i));
+        // XY = U: trivial.
+        assert!(Mvd::parse(&u, "A ->> BC").satisfied_by(&i));
+        assert!(Mvd::parse(&u, "A ->> BC").to_pjd().satisfied_by(&i));
+    }
+
+    #[test]
+    fn fd_implies_mvd() {
+        // The paper notes I ⊨ X → Y entails I ⊨ X ↠ Y.
+        let u = Universe::typed(vec!["A", "B", "C"]);
+        let mut p = ValuePool::new(u.clone());
+        let i = rel(&u, &mut p, &[&["a", "b", "c1"], &["a", "b", "c2"]]);
+        assert!(crate::fd::Fd::parse(&u, "A -> B").satisfied_by(&i));
+        assert!(Mvd::parse(&u, "A ->> B").satisfied_by(&i));
+    }
+
+    #[test]
+    fn paper_notation_x_intersect() {
+        // *[R1, R2] as mvd: R1 ∩ R2 ↠ R1 − R2.
+        let u = Universe::typed(vec!["A", "B", "C"]);
+        let jd = Pjd::parse(&u, "*[AB, AC]");
+        assert!(jd.is_mvd());
+        let mvd = Mvd::new(u.clone(), u.set("A"), u.set("B"));
+        let mut p = ValuePool::new(u.clone());
+        let i = rel(
+            &u,
+            &mut p,
+            &[&["a", "b1", "c1"], &["a", "b2", "c2"], &["a", "b1", "c2"]],
+        );
+        assert_eq!(jd.satisfied_by(&i), mvd.satisfied_by(&i));
+    }
+}

@@ -1,0 +1,157 @@
+//! Decidable implication oracles, independent of the chase engine.
+//!
+//! The paper's undecidability results live just above some classical
+//! decidable fragments; these fragments double as correctness oracles for
+//! the chase:
+//!
+//! * fd-only implication — Armstrong closure ([`crate::fd::closure`]);
+//! * mvd-only implication — the **dependency basis** fixpoint implemented
+//!   here (Beeri's splitting algorithm).
+//!
+//! Integration tests drive both oracles and the chase on random inputs and
+//! require agreement; they also witness that for these fragments implication
+//! and finite implication coincide, the situation whose failure for typed
+//! tds is the subject of the paper.
+
+use crate::mvd::Mvd;
+use std::sync::Arc;
+use typedtd_relational::{AttrSet, Universe};
+
+/// Computes the dependency basis `DEP(X)`: the unique partition of `U − X`
+/// such that `X ↠ Y` follows from `mvds` iff `Y − X` is a union of blocks.
+///
+/// Algorithm: start with the single block `U − X`; repeatedly split a block
+/// `S` by an mvd `W ↠ Z` (or its complement — mvds are closed under
+/// complementation) whenever `S ∩ W = ∅` and `S ∩ Z` is a nonempty proper
+/// subset of `S`.
+pub fn dependency_basis(universe: &Arc<Universe>, x: &AttrSet, mvds: &[Mvd]) -> Vec<AttrSet> {
+    let u = universe.all();
+    let mut basis: Vec<AttrSet> = vec![u.difference(x)];
+    basis.retain(|b| !b.is_empty());
+
+    // Both Z and its complement relative to W split; collect the candidate
+    // right-hand sides once.
+    let mut splitters: Vec<(AttrSet, AttrSet)> = Vec::new();
+    for m in mvds {
+        let z1 = m.rhs.difference(&m.lhs);
+        let z2 = u.difference(&m.lhs).difference(&m.rhs);
+        splitters.push((m.lhs.clone(), z1));
+        splitters.push((m.lhs.clone(), z2));
+    }
+
+    loop {
+        let mut changed = false;
+        'outer: for (w, z) in &splitters {
+            for (i, s) in basis.iter().enumerate() {
+                if !s.intersection(w).is_empty() {
+                    continue;
+                }
+                let inz = s.intersection(z);
+                if inz.is_empty() || inz == *s {
+                    continue;
+                }
+                let rest = s.difference(z);
+                basis.swap_remove(i);
+                basis.push(inz);
+                basis.push(rest);
+                changed = true;
+                break 'outer;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    basis.sort_by_key(|b| b.iter().next().map(|a| a.0).unwrap_or(u16::MAX));
+    basis
+}
+
+/// Decidable mvd-implication oracle: `mvds ⊨ X ↠ Y` iff `Y − X` is a union
+/// of dependency-basis blocks of `X`.
+///
+/// For total mvds implication and finite implication coincide.
+pub fn mvd_implies(universe: &Arc<Universe>, mvds: &[Mvd], goal: &Mvd) -> bool {
+    let basis = dependency_basis(universe, &goal.lhs, mvds);
+    let target = goal.rhs.difference(&goal.lhs);
+    // Every block intersecting the target must be contained in it.
+    let covered = basis
+        .iter()
+        .filter(|b| !b.intersection(&target).is_empty())
+        .fold(AttrSet::new(), |acc, b| acc.union(b));
+    covered == target
+        && basis
+            .iter()
+            .all(|b| b.intersection(&target).is_empty() || b.is_subset(&target))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u4() -> Arc<Universe> {
+        Universe::typed(vec!["A", "B", "C", "D"])
+    }
+
+    #[test]
+    fn basis_with_no_mvds_is_one_block() {
+        let u = u4();
+        let basis = dependency_basis(&u, &u.set("A"), &[]);
+        assert_eq!(basis, vec![u.set("BCD")]);
+    }
+
+    #[test]
+    fn basis_splits_on_given_mvd() {
+        let u = u4();
+        let mvds = vec![Mvd::parse(&u, "A ->> B")];
+        let basis = dependency_basis(&u, &u.set("A"), &mvds);
+        assert_eq!(basis, vec![u.set("B"), u.set("CD")]);
+    }
+
+    #[test]
+    fn complementation_is_built_in() {
+        let u = u4();
+        let mvds = vec![Mvd::parse(&u, "A ->> B")];
+        assert!(mvd_implies(&u, &mvds, &Mvd::parse(&u, "A ->> CD")));
+        assert!(!mvd_implies(&u, &mvds, &Mvd::parse(&u, "A ->> C")));
+    }
+
+    #[test]
+    fn trivial_mvds_implied_by_empty_set() {
+        let u = u4();
+        assert!(mvd_implies(&u, &[], &Mvd::parse(&u, "AB ->> A")));
+        assert!(mvd_implies(&u, &[], &Mvd::parse(&u, "A ->> BCD")));
+        assert!(!mvd_implies(&u, &[], &Mvd::parse(&u, "A ->> B")));
+    }
+
+    #[test]
+    fn augmentation_of_mvds() {
+        // A ↠ B entails AC ↠ B.
+        let u = u4();
+        let mvds = vec![Mvd::parse(&u, "A ->> B")];
+        assert!(mvd_implies(&u, &mvds, &Mvd::parse(&u, "AC ->> B")));
+    }
+
+    #[test]
+    fn transitivity_of_mvds() {
+        // A ↠ B and B ↠ C entail A ↠ C − B = C (pseudo-transitivity).
+        let u = u4();
+        let mvds = vec![Mvd::parse(&u, "A ->> B"), Mvd::parse(&u, "B ->> C")];
+        assert!(mvd_implies(&u, &mvds, &Mvd::parse(&u, "A ->> C")));
+        // But not the naive converse.
+        assert!(!mvd_implies(&u, &mvds, &Mvd::parse(&u, "C ->> A")));
+    }
+
+    #[test]
+    fn basis_is_a_partition() {
+        let u = u4();
+        let mvds = vec![Mvd::parse(&u, "A ->> B"), Mvd::parse(&u, "A ->> C")];
+        let basis = dependency_basis(&u, &u.set("A"), &mvds);
+        let mut total = AttrSet::new();
+        for b in &basis {
+            assert!(total.intersection(b).is_empty(), "blocks must be disjoint");
+            total = total.union(b);
+        }
+        assert_eq!(total, u.set("BCD"));
+        assert_eq!(basis.len(), 3);
+    }
+}

@@ -1,0 +1,275 @@
+//! A unified text syntax for all dependency classes.
+//!
+//! ```text
+//! A B -> C                      functional dependency
+//! A ->> B C                     (total) multivalued dependency
+//! *[AB, BC]                     join dependency
+//! *[AB, BC] on AC               projected join dependency
+//! td [x y z1 ; x y2 z] => x y2 z1     template dependency
+//! egd [x y1 _ ; x y2 _] => y1 = y2     equality-generating dependency
+//! ```
+//!
+//! Rows are whitespace-separated value names; `;` separates rows; `_` is an
+//! anonymous fresh value (a variable used nowhere else). In typed universes
+//! the same name in different columns denotes different values (disjoint
+//! domains), matching the paper's convention.
+
+use crate::dependency::Dependency;
+use crate::egd::Egd;
+use crate::fd::Fd;
+use crate::mvd::Mvd;
+use crate::pjd::Pjd;
+use crate::td::Td;
+use std::sync::Arc;
+use typedtd_relational::{AttrId, Tuple, Universe, Value, ValuePool};
+
+/// Parses any dependency. Dispatches on the leading token / arrow shape.
+///
+/// ```
+/// use typedtd_dependencies::{parse_dependency, Dependency};
+/// use typedtd_relational::{Universe, ValuePool};
+///
+/// let u = Universe::typed(vec!["A", "B", "C"]);
+/// let mut pool = ValuePool::new(u.clone());
+/// let jd = parse_dependency(&u, &mut pool, "*[AB, BC]").unwrap();
+/// assert!(matches!(jd, Dependency::Pjd(_)));
+/// let td = parse_dependency(&u, &mut pool, "td [x y _ ; x _ z] => x y z").unwrap();
+/// assert!(matches!(td, Dependency::Td(_)));
+/// ```
+///
+/// # Errors
+/// Returns a description of the first syntax problem.
+pub fn parse_dependency(
+    universe: &Arc<Universe>,
+    pool: &mut ValuePool,
+    spec: &str,
+) -> Result<Dependency, String> {
+    let s = spec.trim();
+    if s.starts_with("td") {
+        parse_td(universe, pool, s).map(Dependency::Td)
+    } else if s.starts_with("egd") {
+        parse_egd(universe, pool, s).map(Dependency::Egd)
+    } else if s.starts_with("*[") {
+        Ok(Dependency::Pjd(Pjd::parse(universe, s)))
+    } else if s.contains("->>") {
+        Ok(Dependency::Mvd(Mvd::parse(universe, s)))
+    } else if s.contains("->") {
+        Ok(Dependency::Fd(Fd::parse(universe, s)))
+    } else {
+        Err(format!("unrecognized dependency syntax: {s:?}"))
+    }
+}
+
+fn parse_rows(
+    universe: &Arc<Universe>,
+    pool: &mut ValuePool,
+    body: &str,
+) -> Result<Vec<Tuple>, String> {
+    let mut rows = Vec::new();
+    for row_spec in body.split(';') {
+        let names: Vec<&str> = row_spec.split_whitespace().collect();
+        if names.len() != universe.width() {
+            return Err(format!(
+                "row {row_spec:?} has {} values; universe has {} attributes",
+                names.len(),
+                universe.width()
+            ));
+        }
+        let vals: Vec<Value> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                let attr = AttrId(i as u16);
+                if *n == "_" {
+                    pool.fresh(Some(attr).filter(|_| universe.is_typed()), "anon")
+                } else {
+                    pool.for_attr(attr, n)
+                }
+            })
+            .collect();
+        rows.push(Tuple::new(vals));
+    }
+    Ok(rows)
+}
+
+fn split_bracketed<'a>(s: &'a str, head: &str) -> Result<(&'a str, &'a str), String> {
+    let rest = s
+        .strip_prefix(head)
+        .ok_or_else(|| format!("expected {head:?} prefix"))?
+        .trim_start();
+    let inner = rest
+        .strip_prefix('[')
+        .ok_or_else(|| format!("{head} body must start with '['"))?;
+    let close = inner
+        .find(']')
+        .ok_or_else(|| format!("{head} body missing ']'"))?;
+    let (body, tail) = inner.split_at(close);
+    let tail = tail[1..]
+        .trim()
+        .strip_prefix("=>")
+        .ok_or_else(|| format!("{head} needs '=>' after the hypothesis"))?
+        .trim();
+    Ok((body, tail))
+}
+
+/// Parses `td [row ; row] => row`.
+pub fn parse_td(
+    universe: &Arc<Universe>,
+    pool: &mut ValuePool,
+    spec: &str,
+) -> Result<Td, String> {
+    let (body, tail) = split_bracketed(spec.trim(), "td")?;
+    let hyp = parse_rows(universe, pool, body)?;
+    let conclusion = parse_rows(universe, pool, tail)?
+        .into_iter()
+        .next()
+        .ok_or("td needs a conclusion row")?;
+    if hyp.is_empty() {
+        return Err("td hypothesis must be nonempty".into());
+    }
+    Ok(Td::new(universe.clone(), conclusion, hyp))
+}
+
+/// Parses `egd [row ; row] => name = name`.
+///
+/// The equated names are resolved within the hypothesis rows; in typed
+/// universes an ambiguous name (used in several columns) is an error.
+pub fn parse_egd(
+    universe: &Arc<Universe>,
+    pool: &mut ValuePool,
+    spec: &str,
+) -> Result<Egd, String> {
+    let (body, tail) = split_bracketed(spec.trim(), "egd")?;
+    let hyp = parse_rows(universe, pool, body)?;
+    let (l, r) = tail
+        .split_once('=')
+        .ok_or("egd conclusion must be 'name = name'")?;
+    let resolve = |name: &str| -> Result<Value, String> {
+        let name = name.trim();
+        let mut found: Option<Value> = None;
+        for t in &hyp {
+            for a in universe.attrs() {
+                let v = t.get(a);
+                if pool.name(v) == name {
+                    match found {
+                        Some(prev) if prev != v => {
+                            return Err(format!(
+                                "name {name:?} is ambiguous (used in several columns)"
+                            ));
+                        }
+                        _ => found = Some(v),
+                    }
+                }
+            }
+        }
+        found.ok_or_else(|| format!("name {name:?} does not occur in the hypothesis"))
+    };
+    let left = resolve(l)?;
+    let right = resolve(r)?;
+    Ok(Egd::new(universe.clone(), left, right, hyp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Arc<Universe>, ValuePool) {
+        let u = Universe::untyped_abc();
+        let p = ValuePool::new(u.clone());
+        (u, p)
+    }
+
+    #[test]
+    fn dispatch_covers_all_classes() {
+        let u = Universe::typed(vec!["A", "B", "C"]);
+        let mut p = ValuePool::new(u.clone());
+        assert!(matches!(
+            parse_dependency(&u, &mut p, "A -> B").unwrap(),
+            Dependency::Fd(_)
+        ));
+        assert!(matches!(
+            parse_dependency(&u, &mut p, "A ->> B").unwrap(),
+            Dependency::Mvd(_)
+        ));
+        assert!(matches!(
+            parse_dependency(&u, &mut p, "*[AB, BC]").unwrap(),
+            Dependency::Pjd(_)
+        ));
+        assert!(matches!(
+            parse_dependency(&u, &mut p, "td [x y z] => x y q").unwrap(),
+            Dependency::Td(_)
+        ));
+        assert!(matches!(
+            parse_dependency(&u, &mut p, "egd [x y1 _ ; x y2 _] => y1 = y2").unwrap(),
+            Dependency::Egd(_)
+        ));
+        assert!(parse_dependency(&u, &mut p, "???").is_err());
+    }
+
+    #[test]
+    fn td_roundtrip_semantics() {
+        // The parsed td must behave like its hand-built twin.
+        let (u, mut p) = setup();
+        let parsed = parse_td(&u, &mut p, "td [x y1 z1 ; x y2 z2] => x y1 z2").unwrap();
+        let handmade = crate::td::td_from_names(
+            &u,
+            &mut p,
+            &[&["x", "y1", "z1"], &["x", "y2", "z2"]],
+            &["x", "y1", "z2"],
+        );
+        // Shared pool: identical interning, identical structure.
+        assert_eq!(parsed.hypothesis(), handmade.hypothesis());
+        assert_eq!(parsed.conclusion(), handmade.conclusion());
+    }
+
+    #[test]
+    fn anonymous_values_are_distinct() {
+        let (u, mut p) = setup();
+        let td = parse_td(&u, &mut p, "td [x _ _ ; x _ _] => x _ _").unwrap();
+        // Each `_` is its own variable: hypothesis shares only x.
+        let r1 = &td.hypothesis()[0];
+        let r2 = &td.hypothesis()[1];
+        assert_eq!(r1.get(AttrId(0)), r2.get(AttrId(0)));
+        assert_ne!(r1.get(AttrId(1)), r2.get(AttrId(1)));
+        assert_ne!(r1.get(AttrId(2)), r2.get(AttrId(2)));
+    }
+
+    #[test]
+    fn egd_resolution_and_errors() {
+        let (u, mut p) = setup();
+        let egd = parse_egd(&u, &mut p, "egd [x y1 _ ; x y2 _] => y1 = y2").unwrap();
+        assert_eq!(p.name(egd.left()), "y1");
+        assert_eq!(p.name(egd.right()), "y2");
+        assert!(parse_egd(&u, &mut p, "egd [x y1 _] => y1 = ghost").is_err());
+    }
+
+    #[test]
+    fn typed_ambiguity_is_detected() {
+        let u = Universe::typed(vec!["A", "B"]);
+        let mut p = ValuePool::new(u.clone());
+        // "x" in columns A and B denotes two different typed values.
+        let err = parse_egd(&u, &mut p, "egd [x x] => x = x").unwrap_err();
+        assert!(err.contains("ambiguous"));
+    }
+
+    #[test]
+    fn width_mismatch_is_rejected() {
+        let (u, mut p) = setup();
+        assert!(parse_td(&u, &mut p, "td [x y] => x y z").is_err());
+        assert!(parse_td(&u, &mut p, "td [x y z] => x y").is_err());
+    }
+
+    #[test]
+    fn parsed_td_satisfaction() {
+        let (u, mut p) = setup();
+        let td = parse_td(&u, &mut p, "td [x y1 z1 ; x y2 z2] => x y1 z2").unwrap();
+        let rel = typedtd_relational::Relation::from_rows(
+            u.clone(),
+            [
+                Tuple::new(vec![p.untyped("a"), p.untyped("b1"), p.untyped("c1")]),
+                Tuple::new(vec![p.untyped("a"), p.untyped("b2"), p.untyped("c2")]),
+            ],
+        );
+        assert!(!td.satisfied_by(&rel));
+    }
+}

@@ -1,0 +1,25 @@
+//! Formal systems and Armstrong relations for dependency implication
+//! (Section 5 and the end of Section 6 of Vardi, PODS 1982 / JCSS 1984).
+//!
+//! * [`proof`] — checkable chase proofs: a sound formal system for td/egd
+//!   implication. Completeness for *finite* implication is impossible
+//!   (Theorem 2 makes `⊭_f` non-r.e.), and this boundary is exactly what
+//!   the paper's "no sound and complete formal system for finite
+//!   implication" means.
+//! * [`systems`] — Theorem 7's finite enumeration of `U`-pjds (why no
+//!   *universe-bounded* system can be sound and complete) and Theorem 8's
+//!   system that escapes the bound by transforming pjds to tds.
+//! * [`armstrong`] — Theorem 5 context: direct products, agreement-set
+//!   witnesses, and a real Armstrong-relation construction for fd sets.
+
+#![warn(missing_docs)]
+
+pub mod armstrong;
+pub mod minimize;
+pub mod proof;
+pub mod systems;
+
+pub use armstrong::{agreement_witness, armstrong_violations, direct_product, fd_armstrong};
+pub use minimize::minimize;
+pub use proof::{corrupt, prove, prove_checked, verify, Proof};
+pub use systems::{all_pjds, check_pjd_proof, prove_pjd, universe_bounded_decides, PjdProof};

@@ -1,0 +1,216 @@
+//! Growable attribute bitsets.
+//!
+//! Universes produced by the hat-translation of Section 6 have
+//! `|U| · (m(m−1)/2 + 1)` attributes, which exceeds 64 already for modest
+//! tableaux, so a fixed-width word is not enough. `AttrSet` is a compact
+//! variable-width bitset ordered lexicographically by attribute index.
+
+use crate::universe::AttrId;
+use std::fmt;
+
+/// A set of attributes, stored as a bitmap.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct AttrSet {
+    words: Vec<u64>,
+}
+
+impl AttrSet {
+    /// The empty attribute set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops trailing zero words so that derived `Eq`/`Hash` are semantic.
+    fn normalize(&mut self) {
+        while self.words.last() == Some(&0) {
+            self.words.pop();
+        }
+    }
+
+    /// The set `{0, 1, …, n−1}` (all attributes of a width-`n` universe).
+    pub fn full(n: usize) -> Self {
+        let mut s = Self::new();
+        for i in 0..n {
+            s.insert(AttrId(i as u16));
+        }
+        s
+    }
+
+    /// Builds a set from an iterator of attributes.
+    pub fn from_iter<I: IntoIterator<Item = AttrId>>(iter: I) -> Self {
+        let mut s = Self::new();
+        for a in iter {
+            s.insert(a);
+        }
+        s
+    }
+
+    /// Inserts `a`; returns `true` if it was not already present.
+    pub fn insert(&mut self, a: AttrId) -> bool {
+        let (w, b) = (a.0 as usize / 64, a.0 as usize % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !had
+    }
+
+    /// Removes `a`; returns `true` if it was present.
+    pub fn remove(&mut self, a: AttrId) -> bool {
+        let (w, b) = (a.0 as usize / 64, a.0 as usize % 64);
+        if w >= self.words.len() {
+            return false;
+        }
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        self.normalize();
+        had
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, a: AttrId) -> bool {
+        let (w, b) = (a.0 as usize / 64, a.0 as usize % 64);
+        w < self.words.len() && self.words[w] & (1 << b) != 0
+    }
+
+    /// Number of attributes in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Union, written `XY` in the paper.
+    pub fn union(&self, other: &Self) -> Self {
+        let n = self.words.len().max(other.words.len());
+        let mut words = vec![0u64; n];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = self.words.get(i).copied().unwrap_or(0) | other.words.get(i).copied().unwrap_or(0);
+        }
+        Self { words }
+    }
+
+    /// Intersection.
+    pub fn intersection(&self, other: &Self) -> Self {
+        let n = self.words.len().min(other.words.len());
+        let mut words = vec![0u64; n];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = self.words[i] & other.words[i];
+        }
+        let mut out = Self { words };
+        out.normalize();
+        out
+    }
+
+    /// Set difference `self − other`.
+    pub fn difference(&self, other: &Self) -> Self {
+        let mut words = self.words.clone();
+        for (i, w) in words.iter_mut().enumerate() {
+            *w &= !other.words.get(i).copied().unwrap_or(0);
+        }
+        let mut out = Self { words };
+        out.normalize();
+        out
+    }
+
+    /// Complement within a width-`n` universe, written `X̄` in the paper.
+    pub fn complement(&self, n: usize) -> Self {
+        Self::full(n).difference(self)
+    }
+
+    /// `true` if `self ⊆ other`.
+    pub fn is_subset(&self, other: &Self) -> bool {
+        self.words
+            .iter()
+            .enumerate()
+            .all(|(i, &w)| w & !other.words.get(i).copied().unwrap_or(0) == 0)
+    }
+
+    /// Iterates attributes in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = AttrId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64)
+                .filter(move |b| w & (1u64 << b) != 0)
+                .map(move |b| AttrId((wi * 64 + b) as u16))
+        })
+    }
+}
+
+impl FromIterator<AttrId> for AttrSet {
+    fn from_iter<I: IntoIterator<Item = AttrId>>(iter: I) -> Self {
+        AttrSet::from_iter(iter)
+    }
+}
+
+impl fmt::Debug for AttrSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter().map(|a| a.0)).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(items: &[u16]) -> AttrSet {
+        items.iter().map(|&i| AttrId(i)).collect()
+    }
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut x = AttrSet::new();
+        assert!(x.insert(AttrId(3)));
+        assert!(!x.insert(AttrId(3)));
+        assert!(x.contains(AttrId(3)));
+        assert!(!x.contains(AttrId(4)));
+        assert!(x.remove(AttrId(3)));
+        assert!(!x.remove(AttrId(3)));
+        assert!(x.is_empty());
+    }
+
+    #[test]
+    fn works_beyond_64_attributes() {
+        let mut x = AttrSet::new();
+        x.insert(AttrId(130));
+        x.insert(AttrId(2));
+        assert!(x.contains(AttrId(130)));
+        assert_eq!(x.len(), 2);
+        assert_eq!(x.iter().collect::<Vec<_>>(), vec![AttrId(2), AttrId(130)]);
+    }
+
+    #[test]
+    fn union_intersection_difference() {
+        let a = s(&[1, 2, 3]);
+        let b = s(&[3, 4]);
+        assert_eq!(a.union(&b), s(&[1, 2, 3, 4]));
+        assert_eq!(a.intersection(&b), s(&[3]));
+        assert_eq!(a.difference(&b), s(&[1, 2]));
+    }
+
+    #[test]
+    fn complement_in_universe() {
+        let a = s(&[0, 2]);
+        assert_eq!(a.complement(4), s(&[1, 3]));
+    }
+
+    #[test]
+    fn subset() {
+        assert!(s(&[1]).is_subset(&s(&[1, 2])));
+        assert!(!s(&[1, 3]).is_subset(&s(&[1, 2])));
+        assert!(AttrSet::new().is_subset(&s(&[])));
+    }
+
+    #[test]
+    fn equality_ignores_trailing_zero_words() {
+        let mut a = s(&[1]);
+        a.insert(AttrId(100));
+        a.remove(AttrId(100));
+        assert_eq!(a, s(&[1]), "remove() must drop trailing zero words");
+        assert_eq!(a.len(), 1);
+    }
+}

@@ -1,0 +1,114 @@
+//! Paper-style table rendering for relations and tableaux.
+//!
+//! The experiment harness reproduces the paper's displayed tables
+//! (Examples 1–4, `Σ₀`, the Lemma 10 derivation) byte-for-byte; this module
+//! is the shared renderer.
+
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+use crate::universe::Universe;
+use crate::value::ValuePool;
+
+/// Renders labelled rows under attribute headers, columns padded to fit.
+///
+/// ```text
+///        A    B    C
+/// s      a0   b0   c0
+/// T(w1)  a1   b1   c1
+/// ```
+pub fn render_rows(
+    universe: &Universe,
+    pool: &ValuePool,
+    rows: &[(String, &Tuple)],
+) -> String {
+    let header: Vec<String> = universe
+        .attrs()
+        .map(|a| universe.name(a).to_string())
+        .collect();
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(_, t)| t.values().iter().map(|&v| pool.name(v).to_string()).collect())
+        .collect();
+
+    let label_w = rows.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+    let mut col_w: Vec<usize> = header.iter().map(|h| h.chars().count()).collect();
+    for r in &body {
+        for (i, cell) in r.iter().enumerate() {
+            col_w[i] = col_w[i].max(cell.chars().count());
+        }
+    }
+
+    let mut out = String::new();
+    let pad = |s: &str, w: usize| {
+        let mut t = s.to_string();
+        while t.chars().count() < w {
+            t.push(' ');
+        }
+        t
+    };
+    out.push_str(&pad("", label_w));
+    for (i, h) in header.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(&pad(h, col_w[i]));
+    }
+    out.push('\n');
+    for ((label, _), cells) in rows.iter().zip(&body) {
+        out.push_str(&pad(label, label_w));
+        for (i, cell) in cells.iter().enumerate() {
+            out.push_str("  ");
+            out.push_str(&pad(cell, col_w[i]));
+        }
+        out.push('\n');
+    }
+    // Trim trailing spaces per line for clean diffs.
+    out.lines()
+        .map(|l| l.trim_end())
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\n"
+}
+
+/// Renders a relation with empty labels.
+pub fn render_relation(relation: &Relation, pool: &ValuePool) -> String {
+    let rows: Vec<(String, &Tuple)> = relation
+        .rows()
+        .iter()
+        .map(|t| (String::new(), t))
+        .collect();
+    render_rows(relation.universe(), pool, &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::Universe;
+
+    #[test]
+    fn renders_aligned_table() {
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        let t1 = Tuple::new(vec![p.untyped("a"), p.untyped("bb"), p.untyped("c")]);
+        let t2 = Tuple::new(vec![p.untyped("xxx"), p.untyped("y"), p.untyped("z")]);
+        let s = render_rows(&u, &p, &[("w1".into(), &t1), ("w2".into(), &t2)]);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("A'"));
+        assert!(lines[1].starts_with("w1"));
+        assert!(lines[2].contains("xxx"));
+        // Alignment: headers of equal-width columns line up.
+        let a_col = lines[0].find("A'").unwrap();
+        assert_eq!(lines[1].as_bytes()[a_col], b'a');
+    }
+
+    #[test]
+    fn render_relation_smoke() {
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        let r = Relation::from_rows(
+            u.clone(),
+            [Tuple::new(vec![p.untyped("a"), p.untyped("b"), p.untyped("c")])],
+        );
+        let s = render_relation(&r, &p);
+        assert!(s.contains('a') && s.contains("B'"));
+    }
+}

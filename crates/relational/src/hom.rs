@@ -1,0 +1,402 @@
+//! Valuations and homomorphism (embedding) search.
+//!
+//! A *valuation* (Section 2.2) is a partial map on values; in typed
+//! universes it preserves sorts. Dependency satisfaction, chase triggers,
+//! tableau cores, and the paper's `T⁻¹` construction all reduce to one
+//! primitive: enumerate the valuations `α` with `α(I) ⊆ J` for a list of
+//! source rows `I` and a target relation `J`, optionally extending a fixed
+//! partial valuation.
+//!
+//! The search is backtracking over source rows, most-constrained-first, with
+//! candidate rows filtered through the target's [`ColumnIndex`].
+
+use crate::fx::FxHashMap;
+use crate::relation::{ColumnIndex, Relation};
+use crate::tuple::Tuple;
+use crate::universe::AttrId;
+use crate::value::Value;
+use std::ops::ControlFlow;
+
+/// A partial mapping from values to values.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct Valuation {
+    map: FxHashMap<Value, Value>,
+}
+
+impl Valuation {
+    /// The empty valuation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a valuation from pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (Value, Value)>) -> Self {
+        Self {
+            map: pairs.into_iter().collect(),
+        }
+    }
+
+    /// The identity valuation on `values`.
+    pub fn identity_on(values: impl IntoIterator<Item = Value>) -> Self {
+        Self::from_pairs(values.into_iter().map(|v| (v, v)))
+    }
+
+    /// Image of `v`, if bound.
+    #[inline]
+    pub fn get(&self, v: Value) -> Option<Value> {
+        self.map.get(&v).copied()
+    }
+
+    /// Binds `v ↦ w`. Returns the previous image, if any.
+    pub fn bind(&mut self, v: Value, w: Value) -> Option<Value> {
+        self.map.insert(v, w)
+    }
+
+    /// Removes the binding of `v`.
+    pub fn unbind(&mut self, v: Value) {
+        self.map.remove(&v);
+    }
+
+    /// Number of bound values.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` if nothing is bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates `(source, image)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Value, Value)> + '_ {
+        self.map.iter().map(|(&a, &b)| (a, b))
+    }
+
+    /// Applies the valuation to a tuple — `α(w)`.
+    ///
+    /// # Panics
+    /// Panics if some value of the tuple is unbound.
+    pub fn apply_tuple(&self, t: &Tuple) -> Tuple {
+        t.map(|v| {
+            self.get(v)
+                .unwrap_or_else(|| panic!("valuation undefined on {v:?}"))
+        })
+    }
+
+    /// Applies the valuation to every row — `α(I)`.
+    pub fn apply_rows(&self, rows: &[Tuple]) -> Vec<Tuple> {
+        rows.iter().map(|t| self.apply_tuple(t)).collect()
+    }
+
+    /// Raw map access (for [`Relation::map`]).
+    pub fn as_map(&self) -> &FxHashMap<Value, Value> {
+        &self.map
+    }
+}
+
+/// Reusable embedding searcher for one target relation.
+pub struct Embedder<'a> {
+    target: &'a Relation,
+    index: ColumnIndex,
+    attrs: Vec<AttrId>,
+}
+
+impl<'a> Embedder<'a> {
+    /// Prepares an index over `target`.
+    pub fn new(target: &'a Relation) -> Self {
+        Self {
+            target,
+            index: target.column_index(),
+            attrs: target.universe().attrs().collect(),
+        }
+    }
+
+    /// The target relation.
+    pub fn target(&self) -> &'a Relation {
+        self.target
+    }
+
+    /// Calls `f` for every valuation `α ⊇ seed` with `α(source) ⊆ target`.
+    ///
+    /// Returns `true` if `f` broke out early. Valuations are *not*
+    /// required to be injective (per the paper's definition).
+    pub fn for_each_embedding(
+        &self,
+        source: &[Tuple],
+        seed: &Valuation,
+        mut f: impl FnMut(&Valuation) -> ControlFlow<()>,
+    ) -> bool {
+        let order = self.plan(source, seed);
+        let mut alpha = seed.clone();
+        let f: &mut dyn FnMut(&Valuation) -> ControlFlow<()> = &mut f;
+        self.search(source, &order, 0, &mut alpha, f).is_break()
+    }
+
+    /// First embedding extending `seed`, if any.
+    pub fn find_embedding(&self, source: &[Tuple], seed: &Valuation) -> Option<Valuation> {
+        let mut found = None;
+        self.for_each_embedding(source, seed, |a| {
+            found = Some(a.clone());
+            ControlFlow::Break(())
+        });
+        found
+    }
+
+    /// `true` if some embedding extending `seed` exists.
+    pub fn embeds(&self, source: &[Tuple], seed: &Valuation) -> bool {
+        self.find_embedding(source, seed).is_some()
+    }
+
+    /// Number of embeddings extending `seed` (for tests and diagnostics).
+    pub fn count_embeddings(&self, source: &[Tuple], seed: &Valuation) -> usize {
+        let mut n = 0;
+        self.for_each_embedding(source, seed, |_| {
+            n += 1;
+            ControlFlow::Continue(())
+        });
+        n
+    }
+
+    /// Orders source rows most-constrained-first: rows sharing values with
+    /// the seed or with already-placed rows come early.
+    fn plan(&self, source: &[Tuple], seed: &Valuation) -> Vec<usize> {
+        let n = source.len();
+        let mut placed = vec![false; n];
+        let mut bound: std::collections::HashSet<Value> =
+            seed.iter().map(|(v, _)| v).collect();
+        let mut order = Vec::with_capacity(n);
+        for _ in 0..n {
+            let best = (0..n)
+                .filter(|&i| !placed[i])
+                .max_by_key(|&i| {
+                    let b = source[i].val().filter(|v| bound.contains(v)).count();
+                    // Tie-break toward earlier rows for determinism.
+                    (b, usize::MAX - i)
+                })
+                .expect("unplaced row exists");
+            placed[best] = true;
+            bound.extend(source[best].val());
+            order.push(best);
+        }
+        order
+    }
+
+    fn search(
+        &self,
+        source: &[Tuple],
+        order: &[usize],
+        depth: usize,
+        alpha: &mut Valuation,
+        f: &mut dyn FnMut(&Valuation) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        if depth == order.len() {
+            return f(alpha);
+        }
+        let row = &source[order[depth]];
+
+        // Choose the cheapest candidate source: the bound column with the
+        // shortest posting list, or the whole relation if nothing is bound.
+        let mut best: Option<&[u32]> = None;
+        for &a in &self.attrs {
+            if let Some(img) = alpha.get(row.get(a)) {
+                let posting = self.index.rows_with(a, img);
+                if best.map_or(true, |b| posting.len() < b.len()) {
+                    best = Some(posting);
+                }
+            }
+        }
+
+        let try_candidate = |this: &Self,
+                             cand: &Tuple,
+                             alpha: &mut Valuation,
+                             f: &mut dyn FnMut(&Valuation) -> ControlFlow<()>|
+         -> ControlFlow<()> {
+            let mut trail: Vec<Value> = Vec::new();
+            let mut ok = true;
+            for &a in &this.attrs {
+                let sv = row.get(a);
+                let tv = cand.get(a);
+                match alpha.get(sv) {
+                    Some(existing) if existing != tv => {
+                        ok = false;
+                        break;
+                    }
+                    Some(_) => {}
+                    None => {
+                        alpha.bind(sv, tv);
+                        trail.push(sv);
+                    }
+                }
+            }
+            let flow = if ok {
+                this.search(source, order, depth + 1, alpha, f)
+            } else {
+                ControlFlow::Continue(())
+            };
+            for v in trail {
+                alpha.unbind(v);
+            }
+            flow
+        };
+
+        match best {
+            Some(posting) => {
+                for &ri in posting {
+                    let cand = &self.target.rows()[ri as usize];
+                    try_candidate(self, cand, alpha, f)?;
+                }
+            }
+            None => {
+                for cand in self.target.rows() {
+                    try_candidate(self, cand, alpha, f)?;
+                }
+            }
+        }
+        ControlFlow::Continue(())
+    }
+}
+
+/// Convenience: `true` if the rows of `source` embed into `target` extending
+/// `seed` (one-shot index build).
+pub fn embeds(source: &[Tuple], target: &Relation, seed: &Valuation) -> bool {
+    Embedder::new(target).embeds(source, seed)
+}
+
+/// Convenience: first embedding of `source` into `target` extending `seed`.
+pub fn find_embedding(source: &[Tuple], target: &Relation, seed: &Valuation) -> Option<Valuation> {
+    Embedder::new(target).find_embedding(source, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::Universe;
+    use crate::value::ValuePool;
+    use std::sync::Arc;
+
+    fn rel(
+        u: &Arc<Universe>,
+        p: &mut ValuePool,
+        rows: &[[&str; 3]],
+    ) -> (Relation, Vec<Tuple>) {
+        let tuples: Vec<Tuple> = rows
+            .iter()
+            .map(|r| Tuple::new(r.iter().map(|n| p.untyped(n)).collect()))
+            .collect();
+        (
+            Relation::from_rows(u.clone(), tuples.iter().cloned()),
+            tuples,
+        )
+    }
+
+    #[test]
+    fn identity_embedding_always_exists() {
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        let (r, rows) = rel(&u, &mut p, &[["a", "b", "c"], ["b", "a", "c"]]);
+        let e = Embedder::new(&r);
+        assert!(e.embeds(&rows, &Valuation::new()));
+        // And the identity is among the embeddings.
+        let id = Valuation::identity_on(r.val());
+        assert!(e.embeds(&rows, &id));
+    }
+
+    #[test]
+    fn embedding_respects_seed() {
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        let (r, _) = rel(&u, &mut p, &[["a", "b", "c"]]);
+        let x = p.untyped("x");
+        let y = p.untyped("y");
+        let z = p.untyped("z");
+        let pattern = vec![Tuple::new(vec![x, y, z])];
+        let e = Embedder::new(&r);
+        // Unconstrained: embeds.
+        assert!(e.embeds(&pattern, &Valuation::new()));
+        // Seed forcing x ↦ b cannot match (a,b,c) in column A'.
+        let b = p.get(None, "b").unwrap();
+        let seed = Valuation::from_pairs([(x, b)]);
+        assert!(!e.embeds(&pattern, &seed));
+    }
+
+    #[test]
+    fn non_injective_embeddings_are_allowed() {
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        let (r, _) = rel(&u, &mut p, &[["a", "a", "a"]]);
+        let x = p.untyped("x");
+        let y = p.untyped("y");
+        let z = p.untyped("z");
+        // Pattern with three distinct variables maps onto the single
+        // constant row by collapsing all of them.
+        let pattern = vec![Tuple::new(vec![x, y, z])];
+        assert!(embeds(&pattern, &r, &Valuation::new()));
+    }
+
+    #[test]
+    fn shared_variable_forces_equality() {
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        let (r, _) = rel(&u, &mut p, &[["a", "b", "c"], ["d", "d", "e"]]);
+        let x = p.untyped("x");
+        let z = p.untyped("z");
+        // Pattern row (x, x, z): only (d,d,e) matches.
+        let pattern = vec![Tuple::new(vec![x, x, z])];
+        let e = Embedder::new(&r);
+        assert_eq!(e.count_embeddings(&pattern, &Valuation::new()), 1);
+        let hom = e.find_embedding(&pattern, &Valuation::new()).unwrap();
+        assert_eq!(hom.get(x), p.get(None, "d"));
+    }
+
+    #[test]
+    fn multi_row_pattern_with_join_variable() {
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        let (r, _) = rel(
+            &u,
+            &mut p,
+            &[["a", "b", "c"], ["c", "d", "e"], ["a", "d", "e"]],
+        );
+        // Pattern: rows (x,_,m), (m,_,_) — chained through m.
+        let x = p.untyped("x");
+        let m = p.untyped("m");
+        let q1 = p.untyped("q1");
+        let q2 = p.untyped("q2");
+        let q3 = p.untyped("q3");
+        let pattern = vec![
+            Tuple::new(vec![x, q1, m]),
+            Tuple::new(vec![m, q2, q3]),
+        ];
+        let e = Embedder::new(&r);
+        // (a,b,c) chains to (c,d,e); no other first row has its C'-value in
+        // column A' of the relation... except (a,d,e)? e not in column A'.
+        assert_eq!(e.count_embeddings(&pattern, &Valuation::new()), 1);
+    }
+
+    #[test]
+    fn count_embeddings_product() {
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        let (r, _) = rel(&u, &mut p, &[["a", "b", "c"], ["d", "e", "f"]]);
+        // Two independent single-variable-per-column rows: 2 × 2 embeddings.
+        let mk = |p: &mut ValuePool, i: usize| {
+            Tuple::new(vec![
+                p.untyped(&format!("x{i}")),
+                p.untyped(&format!("y{i}")),
+                p.untyped(&format!("z{i}")),
+            ])
+        };
+        let pattern = vec![mk(&mut p, 1), mk(&mut p, 2)];
+        let e = Embedder::new(&r);
+        assert_eq!(e.count_embeddings(&pattern, &Valuation::new()), 4);
+    }
+
+    #[test]
+    fn empty_source_has_exactly_the_seed_embedding() {
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        let (r, _) = rel(&u, &mut p, &[["a", "b", "c"]]);
+        let e = Embedder::new(&r);
+        assert_eq!(e.count_embeddings(&[], &Valuation::new()), 1);
+    }
+}

@@ -1,0 +1,169 @@
+//! Relation isomorphism: equality up to a bijective renaming of values.
+//!
+//! The paper's constructions are all "up to renaming" (`T⁻¹(T(I)) ≅ I`,
+//! counterexamples are compared structurally); this module provides the
+//! exact test. Isomorphism search is backtracking over rows with candidate
+//! filtering by per-relation invariants, feasible at tableau scale.
+
+use crate::fx::FxHashMap;
+use crate::relation::Relation;
+use crate::value::Value;
+
+/// Finds a bijection `f : VAL(a) → VAL(b)` with `f(a) = b`, if one exists.
+pub fn isomorphism(a: &Relation, b: &Relation) -> Option<FxHashMap<Value, Value>> {
+    if a.universe() != b.universe() || a.len() != b.len() || a.val().len() != b.val().len() {
+        return None;
+    }
+    let mut fwd: FxHashMap<Value, Value> = FxHashMap::default();
+    let mut bwd: FxHashMap<Value, Value> = FxHashMap::default();
+    let mut used = vec![false; b.len()];
+    if match_rows(a, b, 0, &mut used, &mut fwd, &mut bwd) {
+        Some(fwd)
+    } else {
+        None
+    }
+}
+
+/// `true` if the relations are isomorphic.
+pub fn isomorphic(a: &Relation, b: &Relation) -> bool {
+    isomorphism(a, b).is_some()
+}
+
+fn match_rows(
+    a: &Relation,
+    b: &Relation,
+    i: usize,
+    used: &mut [bool],
+    fwd: &mut FxHashMap<Value, Value>,
+    bwd: &mut FxHashMap<Value, Value>,
+) -> bool {
+    if i == a.len() {
+        return true;
+    }
+    let row_a = &a.rows()[i];
+    for j in 0..b.len() {
+        if used[j] {
+            continue;
+        }
+        let row_b = &b.rows()[j];
+        // Try to extend the bijection along this row pairing.
+        let mut trail: Vec<Value> = Vec::new();
+        let mut ok = true;
+        for (va, vb) in row_a.values().iter().zip(row_b.values()) {
+            match (fwd.get(va), bwd.get(vb)) {
+                (Some(&img), _) if img != *vb => {
+                    ok = false;
+                    break;
+                }
+                (None, Some(&pre)) if pre != *va => {
+                    ok = false;
+                    break;
+                }
+                (Some(_), _) => {}
+                (None, _) => {
+                    fwd.insert(*va, *vb);
+                    bwd.insert(*vb, *va);
+                    trail.push(*va);
+                }
+            }
+        }
+        if ok {
+            used[j] = true;
+            if match_rows(a, b, i + 1, used, fwd, bwd) {
+                return true;
+            }
+            used[j] = false;
+        }
+        for va in trail {
+            let vb = fwd.remove(&va).expect("trail entry bound");
+            bwd.remove(&vb);
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Tuple;
+    use crate::universe::Universe;
+    use crate::value::ValuePool;
+    use std::sync::Arc;
+
+    fn rel(u: &Arc<Universe>, p: &mut ValuePool, rows: &[[&str; 3]]) -> Relation {
+        Relation::from_rows(
+            u.clone(),
+            rows.iter()
+                .map(|r| Tuple::new(r.iter().map(|n| p.untyped(n)).collect())),
+        )
+    }
+
+    #[test]
+    fn renamed_relations_are_isomorphic() {
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        let a = rel(&u, &mut p, &[["a", "b", "c"], ["b", "a", "c"]]);
+        let b = rel(&u, &mut p, &[["x", "y", "z"], ["y", "x", "z"]]);
+        let f = isomorphism(&a, &b).expect("isomorphic");
+        // The bijection must respect the sharing pattern.
+        let av = p.get(None, "a").unwrap();
+        let cv = p.get(None, "c").unwrap();
+        assert_ne!(f[&av], f[&cv]);
+    }
+
+    #[test]
+    fn different_sharing_patterns_are_not_isomorphic() {
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        // (a,a,b) shares across columns; (x,y,z) does not.
+        let a = rel(&u, &mut p, &[["a", "a", "b"]]);
+        let b = rel(&u, &mut p, &[["x", "y", "z"]]);
+        assert!(!isomorphic(&a, &b));
+        assert!(isomorphic(&a, &rel(&u, &mut p, &[["q", "q", "r"]])));
+    }
+
+    #[test]
+    fn row_counts_must_match() {
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        let a = rel(&u, &mut p, &[["a", "b", "c"]]);
+        let b = rel(&u, &mut p, &[["a", "b", "c"], ["d", "e", "f"]]);
+        assert!(!isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn value_counts_must_match() {
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        let a = rel(&u, &mut p, &[["a", "b", "c"], ["a", "b", "d"]]);
+        let b = rel(&u, &mut p, &[["a", "b", "c"], ["a", "e", "d"]]);
+        assert!(!isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn isomorphism_is_an_equivalence_on_samples() {
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        let a = rel(&u, &mut p, &[["a", "b", "c"], ["c", "b", "a"]]);
+        let b = rel(&u, &mut p, &[["1", "2", "3"], ["3", "2", "1"]]);
+        let c = rel(&u, &mut p, &[["p", "q", "r"], ["r", "q", "p"]]);
+        assert!(isomorphic(&a, &a), "reflexive");
+        assert!(isomorphic(&a, &b) && isomorphic(&b, &a), "symmetric");
+        assert!(
+            isomorphic(&a, &b) && isomorphic(&b, &c) && isomorphic(&a, &c),
+            "transitive on this sample"
+        );
+    }
+
+    #[test]
+    fn typed_relations_compare_within_sorts() {
+        let u = Universe::typed(vec!["A", "B"]);
+        let mut p = ValuePool::new(u.clone());
+        let mk = |p: &mut ValuePool, a: &str, b: &str| {
+            Tuple::new(vec![p.typed(u.a("A"), a), p.typed(u.a("B"), b)])
+        };
+        let r1 = Relation::from_rows(u.clone(), [mk(&mut p, "a1", "b1")]);
+        let r2 = Relation::from_rows(u.clone(), [mk(&mut p, "a2", "b2")]);
+        assert!(isomorphic(&r1, &r2));
+    }
+}

@@ -1,0 +1,430 @@
+//! Relations, projections, natural joins, and the project-join mapping
+//! `m_R` (Sections 2.1 and 6 of the paper).
+
+use crate::bitset::AttrSet;
+use crate::fx::{FxHashMap, FxHashSet};
+use crate::tuple::Tuple;
+use crate::universe::{AttrId, Universe};
+use crate::value::{Value, ValuePool};
+use std::fmt;
+use std::sync::Arc;
+
+/// A finite relation: a duplicate-free, insertion-ordered set of tuples over
+/// one universe.
+///
+/// Insertion order is preserved so that the paper's tables print
+/// byte-for-byte; equality is *set* equality and ignores order.
+#[derive(Clone)]
+pub struct Relation {
+    universe: Arc<Universe>,
+    rows: Vec<Tuple>,
+    seen: FxHashSet<Tuple>,
+}
+
+impl Relation {
+    /// Creates an empty relation over `universe`.
+    pub fn new(universe: Arc<Universe>) -> Self {
+        Self {
+            universe,
+            rows: Vec::new(),
+            seen: FxHashSet::default(),
+        }
+    }
+
+    /// Creates a relation from rows (duplicates are dropped).
+    pub fn from_rows(universe: Arc<Universe>, rows: impl IntoIterator<Item = Tuple>) -> Self {
+        let mut r = Self::new(universe);
+        for t in rows {
+            r.insert(t);
+        }
+        r
+    }
+
+    /// The universe of this relation.
+    pub fn universe(&self) -> &Arc<Universe> {
+        &self.universe
+    }
+
+    /// Inserts a tuple; returns `true` if it was new.
+    ///
+    /// # Panics
+    /// Panics if the tuple width does not match the universe.
+    pub fn insert(&mut self, t: Tuple) -> bool {
+        assert_eq!(
+            t.width(),
+            self.universe.width(),
+            "tuple width must match universe width"
+        );
+        if self.seen.contains(&t) {
+            return false;
+        }
+        self.seen.insert(t.clone());
+        self.rows.push(t);
+        true
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.seen.contains(t)
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Tuples in insertion order.
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// Iterates tuples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.rows.iter()
+    }
+
+    /// `VAL(I)`: every value appearing anywhere in the relation.
+    pub fn val(&self) -> FxHashSet<Value> {
+        let mut s = FxHashSet::default();
+        for t in &self.rows {
+            s.extend(t.val());
+        }
+        s
+    }
+
+    /// `I[A]` as a set: the values appearing in column `a`.
+    pub fn column_values(&self, a: AttrId) -> FxHashSet<Value> {
+        self.rows.iter().map(|t| t.get(a)).collect()
+    }
+
+    /// The projection `I[X]` (an X-relation).
+    pub fn project(&self, set: &AttrSet) -> Projection {
+        let attrs: Vec<AttrId> = set.iter().collect();
+        let mut rows = FxHashSet::default();
+        for t in &self.rows {
+            rows.insert(t.restrict(set));
+        }
+        Projection { attrs, rows }
+    }
+
+    /// Applies a total valuation, returning the image relation `α(I)`.
+    ///
+    /// # Panics
+    /// Panics if some value of the relation is not in the valuation's domain.
+    pub fn map(&self, f: &FxHashMap<Value, Value>) -> Relation {
+        let mut out = Relation::new(self.universe.clone());
+        for t in &self.rows {
+            out.insert(t.map(|v| {
+                *f.get(&v)
+                    .unwrap_or_else(|| panic!("valuation undefined on {v:?}"))
+            }));
+        }
+        out
+    }
+
+    /// Set-union of two relations over the same universe.
+    pub fn union(&self, other: &Relation) -> Relation {
+        assert!(Arc::ptr_eq(&self.universe, &other.universe) || self.universe == other.universe);
+        let mut out = self.clone();
+        for t in other.iter() {
+            out.insert(t.clone());
+        }
+        out
+    }
+
+    /// `true` if every tuple of `self` is in `other`.
+    pub fn is_subrelation_of(&self, other: &Relation) -> bool {
+        self.rows.iter().all(|t| other.contains(t))
+    }
+
+    /// Verifies that every value sits in a column compatible with its sort.
+    pub fn check_typed(&self, pool: &ValuePool) -> Result<(), String> {
+        for t in &self.rows {
+            for a in self.universe.attrs() {
+                if !pool.fits(t.get(a), a) {
+                    return Err(format!(
+                        "value {} may not appear in column {}",
+                        pool.name(t.get(a)),
+                        self.universe.name(a)
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// An index from `(column, value)` to row positions.
+    pub fn column_index(&self) -> ColumnIndex {
+        let mut map: FxHashMap<(AttrId, Value), Vec<u32>> = FxHashMap::default();
+        for (i, t) in self.rows.iter().enumerate() {
+            for a in self.universe.attrs() {
+                map.entry((a, t.get(a))).or_default().push(i as u32);
+            }
+        }
+        ColumnIndex { map }
+    }
+}
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.universe == other.universe
+            && self.rows.len() == other.rows.len()
+            && self.rows.iter().all(|t| other.contains(t))
+    }
+}
+
+impl Eq for Relation {}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Relation({} rows over {:?})", self.rows.len(), self.universe)
+    }
+}
+
+/// Inverted index over a relation: `(column, value) → rows`.
+pub struct ColumnIndex {
+    map: FxHashMap<(AttrId, Value), Vec<u32>>,
+}
+
+impl ColumnIndex {
+    /// Row positions whose column `a` holds `v`.
+    pub fn rows_with(&self, a: AttrId, v: Value) -> &[u32] {
+        self.map.get(&(a, v)).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+/// An X-relation: the result of projecting onto an attribute set, or of a
+/// join of such projections. Attribute order is the column order of the
+/// parent universe.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Projection {
+    attrs: Vec<AttrId>,
+    rows: FxHashSet<Box<[Value]>>,
+}
+
+impl Projection {
+    /// The attributes (schema) of this projection, in column order.
+    pub fn attrs(&self) -> &[AttrId] {
+        &self.attrs
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Row set.
+    pub fn rows(&self) -> &FxHashSet<Box<[Value]>> {
+        &self.rows
+    }
+
+    /// Projects this projection further onto `set ⊆ attrs`.
+    pub fn project(&self, set: &AttrSet) -> Projection {
+        let keep: Vec<usize> = self
+            .attrs
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| set.contains(**a))
+            .map(|(i, _)| i)
+            .collect();
+        let attrs = keep.iter().map(|&i| self.attrs[i]).collect();
+        let mut rows = FxHashSet::default();
+        for r in &self.rows {
+            rows.insert(keep.iter().map(|&i| r[i]).collect());
+        }
+        Projection { attrs, rows }
+    }
+
+    /// Natural join with `other` on their shared attributes.
+    ///
+    /// The result's schema is the union of the two schemas in parent-universe
+    /// column order. This is the engine behind the project-join mapping.
+    pub fn join(&self, other: &Projection) -> Projection {
+        // Positions of shared attributes in each side.
+        let shared: Vec<(usize, usize)> = self
+            .attrs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| other.attrs.iter().position(|b| b == a).map(|j| (i, j)))
+            .collect();
+        let other_extra: Vec<usize> = (0..other.attrs.len())
+            .filter(|&j| !shared.iter().any(|&(_, sj)| sj == j))
+            .collect();
+
+        // Output schema: self.attrs ++ other extras, then sorted by AttrId to
+        // keep the canonical column order.
+        let mut attrs: Vec<AttrId> = self.attrs.clone();
+        attrs.extend(other_extra.iter().map(|&j| other.attrs[j]));
+        let mut order: Vec<usize> = (0..attrs.len()).collect();
+        order.sort_by_key(|&i| attrs[i]);
+        let out_attrs: Vec<AttrId> = order.iter().map(|&i| attrs[i]).collect();
+
+        // Hash join: bucket `other` rows by shared-attr key.
+        let mut buckets: FxHashMap<Box<[Value]>, Vec<&Box<[Value]>>> = FxHashMap::default();
+        for r in &other.rows {
+            let key: Box<[Value]> = shared.iter().map(|&(_, j)| r[j]).collect();
+            buckets.entry(key).or_default().push(r);
+        }
+
+        let mut rows = FxHashSet::default();
+        for l in &self.rows {
+            let key: Box<[Value]> = shared.iter().map(|&(i, _)| l[i]).collect();
+            let Some(matches) = buckets.get(&key) else {
+                continue;
+            };
+            for r in matches {
+                let mut combined: Vec<Value> = l.to_vec();
+                combined.extend(other_extra.iter().map(|&j| r[j]));
+                let reordered: Box<[Value]> = order.iter().map(|&i| combined[i]).collect();
+                rows.insert(reordered);
+            }
+        }
+        Projection {
+            attrs: out_attrs,
+            rows,
+        }
+    }
+}
+
+impl fmt::Debug for Projection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Projection({} rows over {} attrs)",
+            self.rows.len(),
+            self.attrs.len()
+        )
+    }
+}
+
+/// The project-join mapping `m_R` of Section 6:
+/// `m_R(I) = { t : t is an R-value with t[Rᵢ] ∈ I[Rᵢ] for all i }`,
+/// computed as the natural join `I[R₁] ⋈ … ⋈ I[R_k]`.
+///
+/// # Panics
+/// Panics if `components` is empty.
+pub fn project_join(relation: &Relation, components: &[AttrSet]) -> Projection {
+    assert!(!components.is_empty(), "m_R needs at least one component");
+    let mut acc = relation.project(&components[0]);
+    for r in &components[1..] {
+        acc = acc.join(&relation.project(r));
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> (Arc<Universe>, ValuePool) {
+        let u = Universe::untyped_abc();
+        let p = ValuePool::new(u.clone());
+        (u, p)
+    }
+
+    fn rel(u: &Arc<Universe>, p: &mut ValuePool, rows: &[[&str; 3]]) -> Relation {
+        Relation::from_rows(
+            u.clone(),
+            rows.iter()
+                .map(|r| Tuple::new(r.iter().map(|n| p.untyped(n)).collect())),
+        )
+    }
+
+    #[test]
+    fn insert_dedups_and_preserves_order() {
+        let (u, mut p) = abc();
+        let mut r = Relation::new(u);
+        let a = p.untyped("a");
+        let b = p.untyped("b");
+        assert!(r.insert(Tuple::new(vec![a, a, a])));
+        assert!(r.insert(Tuple::new(vec![b, b, b])));
+        assert!(!r.insert(Tuple::new(vec![a, a, a])));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.rows()[0].get(AttrId(0)), a);
+    }
+
+    #[test]
+    fn set_equality_ignores_order() {
+        let (u, mut p) = abc();
+        let r1 = rel(&u, &mut p, &[["a", "b", "c"], ["x", "y", "z"]]);
+        let r2 = rel(&u, &mut p, &[["x", "y", "z"], ["a", "b", "c"]]);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn val_collects_all_values() {
+        let (u, mut p) = abc();
+        let r = rel(&u, &mut p, &[["a", "b", "a"]]);
+        assert_eq!(r.val().len(), 2);
+    }
+
+    #[test]
+    fn projection_dedups() {
+        let (u, mut p) = abc();
+        let r = rel(&u, &mut p, &[["a", "b", "c"], ["a", "b", "d"]]);
+        let ab = r.project(&u.set("A' B'"));
+        assert_eq!(ab.len(), 1);
+        let abc = r.project(&u.all());
+        assert_eq!(abc.len(), 2);
+    }
+
+    #[test]
+    fn join_recovers_lossless_decomposition() {
+        let (u, mut p) = abc();
+        // I = {(a,b,c)}: join of I[A'B'] and I[B'C'] over B' gives back I.
+        let r = rel(&u, &mut p, &[["a", "b", "c"]]);
+        let joined = project_join(&r, &[u.set("A' B'"), u.set("B' C'")]);
+        assert_eq!(joined.len(), 1);
+        assert_eq!(joined.attrs().len(), 3);
+    }
+
+    #[test]
+    fn join_produces_spurious_tuples_when_lossy() {
+        let (u, mut p) = abc();
+        // Classic lossy decomposition: two tuples agreeing on B'.
+        let r = rel(&u, &mut p, &[["a1", "b", "c1"], ["a2", "b", "c2"]]);
+        let joined = project_join(&r, &[u.set("A' B'"), u.set("B' C'")]);
+        assert_eq!(joined.len(), 4, "join must include the two spurious tuples");
+    }
+
+    #[test]
+    fn join_on_disjoint_schemas_is_cross_product() {
+        let (u, mut p) = abc();
+        let r = rel(&u, &mut p, &[["a1", "b1", "c1"], ["a2", "b2", "c2"]]);
+        let joined = project_join(&r, &[u.set("A'"), u.set("C'")]);
+        assert_eq!(joined.len(), 4);
+    }
+
+    #[test]
+    fn projection_of_projection() {
+        let (u, mut p) = abc();
+        let r = rel(&u, &mut p, &[["a", "b", "c"], ["a", "d", "e"]]);
+        let abc = r.project(&u.all());
+        let a = abc.project(&u.set("A'"));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn map_applies_valuation() {
+        let (u, mut p) = abc();
+        let r = rel(&u, &mut p, &[["a", "b", "c"]]);
+        let x = p.untyped("x");
+        let mut f = FxHashMap::default();
+        for v in r.val() {
+            f.insert(v, x);
+        }
+        let image = r.map(&f);
+        assert_eq!(image.len(), 1);
+        assert!(image.rows()[0].val().all(|v| v == x));
+    }
+}

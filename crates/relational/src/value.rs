@@ -1,0 +1,233 @@
+//! Interned domain values.
+//!
+//! Every domain element (and every variable of a tableau — the paper does not
+//! distinguish the two, a dependency simply *is* a pair of a tuple and a
+//! finite relation) is an interned [`Value`] handle. A [`ValuePool`] owns the
+//! metadata: a display name and, for typed universes, the *sort* — the unique
+//! attribute whose domain the value belongs to. Sorts make the paper's
+//! typedness restriction (`A ≠ B ⟹ DOM(A) ∩ DOM(B) = ∅`) machine-checked.
+
+use crate::fx::FxHashMap;
+use crate::universe::{AttrId, Typing, Universe};
+use std::fmt;
+use std::sync::Arc;
+
+/// An interned domain value (or tableau variable).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Value(pub u32);
+
+impl Value {
+    /// Raw interner index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Owner of value metadata for one universe.
+#[derive(Clone)]
+pub struct ValuePool {
+    universe: Arc<Universe>,
+    names: Vec<String>,
+    sorts: Vec<Option<AttrId>>,
+    by_key: FxHashMap<(Option<AttrId>, String), Value>,
+    fresh: u32,
+}
+
+impl ValuePool {
+    /// Creates an empty pool for `universe`.
+    pub fn new(universe: Arc<Universe>) -> Self {
+        Self {
+            universe,
+            names: Vec::new(),
+            sorts: Vec::new(),
+            by_key: FxHashMap::default(),
+            fresh: 0,
+        }
+    }
+
+    /// The universe this pool belongs to.
+    pub fn universe(&self) -> &Arc<Universe> {
+        &self.universe
+    }
+
+    /// Number of interned values.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` if no value has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    fn alloc(&mut self, sort: Option<AttrId>, name: String) -> Value {
+        let v = Value(self.names.len() as u32);
+        self.by_key.insert((sort, name.clone()), v);
+        self.names.push(name);
+        self.sorts.push(sort);
+        v
+    }
+
+    /// Interns a value of attribute `attr`'s domain in a **typed** universe.
+    ///
+    /// Repeated calls with the same `(attr, name)` return the same handle.
+    ///
+    /// # Panics
+    /// Panics if the universe is untyped.
+    pub fn typed(&mut self, attr: AttrId, name: &str) -> Value {
+        assert_eq!(
+            self.universe.typing(),
+            Typing::Typed,
+            "typed() requires a typed universe; use untyped()"
+        );
+        if let Some(&v) = self.by_key.get(&(Some(attr), name.to_string())) {
+            return v;
+        }
+        self.alloc(Some(attr), name.to_string())
+    }
+
+    /// Interns a value of the shared domain in an **untyped** universe.
+    ///
+    /// # Panics
+    /// Panics if the universe is typed.
+    pub fn untyped(&mut self, name: &str) -> Value {
+        assert_eq!(
+            self.universe.typing(),
+            Typing::Untyped,
+            "untyped() requires an untyped universe; use typed()"
+        );
+        if let Some(&v) = self.by_key.get(&(None, name.to_string())) {
+            return v;
+        }
+        self.alloc(None, name.to_string())
+    }
+
+    /// Interns a value appropriate for `attr` under the pool's discipline:
+    /// sorted in typed universes, unsorted otherwise.
+    pub fn for_attr(&mut self, attr: AttrId, name: &str) -> Value {
+        match self.universe.typing() {
+            Typing::Typed => self.typed(attr, name),
+            Typing::Untyped => self.untyped(name),
+        }
+    }
+
+    /// Allocates a brand-new value that is distinct from every existing one.
+    ///
+    /// In a typed universe the value is sorted by `attr`. The generated name
+    /// is `"{prefix}{counter}"`, adjusted to avoid clashes.
+    pub fn fresh(&mut self, attr: Option<AttrId>, prefix: &str) -> Value {
+        let sort = match self.universe.typing() {
+            Typing::Typed => Some(attr.expect("typed universes require a sort for fresh values")),
+            Typing::Untyped => None,
+        };
+        loop {
+            self.fresh += 1;
+            let name = format!("{prefix}{}", self.fresh);
+            if !self.by_key.contains_key(&(sort, name.clone())) {
+                return self.alloc(sort, name);
+            }
+        }
+    }
+
+    /// Looks a value up without interning it.
+    pub fn get(&self, sort: Option<AttrId>, name: &str) -> Option<Value> {
+        self.by_key.get(&(sort, name.to_string())).copied()
+    }
+
+    /// Display name of `v`.
+    pub fn name(&self, v: Value) -> &str {
+        &self.names[v.index()]
+    }
+
+    /// Sort of `v` (`None` in untyped universes).
+    pub fn sort(&self, v: Value) -> Option<AttrId> {
+        self.sorts[v.index()]
+    }
+
+    /// `true` if `v` may legally appear in column `attr`.
+    pub fn fits(&self, v: Value, attr: AttrId) -> bool {
+        match self.sorts[v.index()] {
+            None => true,
+            Some(s) => s == attr,
+        }
+    }
+}
+
+impl fmt::Debug for ValuePool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ValuePool({} values over {:?})", self.len(), self.universe)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_interning_is_idempotent() {
+        let u = Universe::typed_abcdef();
+        let mut p = ValuePool::new(u.clone());
+        let a1 = p.typed(u.a("A"), "a1");
+        let a1_again = p.typed(u.a("A"), "a1");
+        assert_eq!(a1, a1_again);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.name(a1), "a1");
+        assert_eq!(p.sort(a1), Some(u.a("A")));
+    }
+
+    #[test]
+    fn same_name_different_sorts_are_distinct() {
+        let u = Universe::typed_abcdef();
+        let mut p = ValuePool::new(u.clone());
+        let va = p.typed(u.a("A"), "x");
+        let vb = p.typed(u.a("B"), "x");
+        assert_ne!(va, vb);
+        assert!(p.fits(va, u.a("A")));
+        assert!(!p.fits(va, u.a("B")));
+    }
+
+    #[test]
+    fn untyped_values_fit_everywhere() {
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        let a = p.untyped("a");
+        assert!(p.fits(a, u.a("A'")));
+        assert!(p.fits(a, u.a("C'")));
+    }
+
+    #[test]
+    fn fresh_values_never_collide() {
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u);
+        let named = p.untyped("n1");
+        let f1 = p.fresh(None, "n");
+        let f2 = p.fresh(None, "n");
+        assert_ne!(f1, f2);
+        assert_ne!(f1, named, "fresh must dodge existing names");
+        assert_ne!(p.name(f1), p.name(named));
+    }
+
+    #[test]
+    #[should_panic(expected = "typed() requires a typed universe")]
+    fn typed_on_untyped_universe_panics() {
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        let _ = p.typed(u.a("A'"), "a");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u);
+        assert!(p.get(None, "ghost").is_none());
+        let v = p.untyped("ghost");
+        assert_eq!(p.get(None, "ghost"), Some(v));
+    }
+}

@@ -1,0 +1,138 @@
+//! Finite semigroup enumeration and ei evaluation.
+//!
+//! `{φ : φ fails in some finite semigroup}` is recursively enumerable —
+//! this module is that enumerator, restricted to the sizes a laptop can
+//! exhaust. Together with the free-semigroup word rewriting of
+//! [`crate::word_problem`], it brackets the recursively inseparable pair of
+//! Gurevich–Lewis that Theorem 3 builds on.
+
+use crate::term::Ei;
+
+/// Iterates all associative multiplication tables ("semigroups") of the
+/// given order. Order 3 means 3⁹ = 19 683 candidate tables; order 4 is
+/// 4¹⁶ ≈ 4.3·10⁹ and is *not* attempted.
+pub fn semigroups(order: usize) -> impl Iterator<Item = Vec<Vec<usize>>> {
+    assert!((1..=3).contains(&order), "orders 1–3 are exhaustible");
+    let cells = order * order;
+    let total = order.pow(cells as u32);
+    (0..total).filter_map(move |code| {
+        let mut table = vec![vec![0usize; order]; order];
+        let mut c = code;
+        for i in 0..order {
+            for j in 0..order {
+                table[i][j] = c % order;
+                c /= order;
+            }
+        }
+        is_associative(&table).then_some(table)
+    })
+}
+
+/// `true` if the table is associative.
+pub fn is_associative(table: &[Vec<usize>]) -> bool {
+    let n = table.len();
+    for a in 0..n {
+        for b in 0..n {
+            for c in 0..n {
+                if table[table[a][b]][c] != table[a][table[b][c]] {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// `true` if the ei holds in the given table (all assignments).
+pub fn ei_holds(ei: &Ei, table: &[Vec<usize>]) -> bool {
+    let n = table.len();
+    let vars = ei.var_count().max(1);
+    let mut assignment = vec![0usize; vars];
+    loop {
+        let premises_ok = ei
+            .premises
+            .iter()
+            .all(|e| e.lhs.eval(table, &assignment) == e.rhs.eval(table, &assignment));
+        if premises_ok
+            && ei.conclusion.lhs.eval(table, &assignment)
+                != ei.conclusion.rhs.eval(table, &assignment)
+        {
+            return false;
+        }
+        // Next assignment.
+        let mut i = 0;
+        loop {
+            if i == vars {
+                return true;
+            }
+            assignment[i] += 1;
+            if assignment[i] < n {
+                break;
+            }
+            assignment[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// Searches orders `1..=max_order` for a finite semigroup refuting the ei.
+/// Returns the table if found.
+pub fn refute_in_finite_semigroup(ei: &Ei, max_order: usize) -> Option<Vec<Vec<usize>>> {
+    for order in 1..=max_order.min(3) {
+        for table in semigroups(order) {
+            if !ei_holds(ei, &table) {
+                return Some(table);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn semigroup_counts() {
+        // Classical counts of associative binary operations on a set:
+        // 1 element: 1; 2 elements: 8; 3 elements: 113.
+        assert_eq!(semigroups(1).count(), 1);
+        assert_eq!(semigroups(2).count(), 8);
+        assert_eq!(semigroups(3).count(), 113);
+    }
+
+    #[test]
+    fn commutativity_fails_in_left_zero_semigroup() {
+        let ei = Ei::parse("=> x*y = y*x").unwrap();
+        let table = refute_in_finite_semigroup(&ei, 2).expect("refutation");
+        assert!(!ei_holds(&ei, &table));
+        assert!(is_associative(&table));
+    }
+
+    #[test]
+    fn instances_of_associativity_hold_everywhere() {
+        let ei = Ei::parse("=> (x*y)*z = x*(y*z)").unwrap();
+        assert!(refute_in_finite_semigroup(&ei, 3).is_none());
+    }
+
+    #[test]
+    fn congruence_ei_holds_everywhere() {
+        let ei = Ei::parse("x = y => x*z = y*z").unwrap();
+        assert!(refute_in_finite_semigroup(&ei, 3).is_none());
+    }
+
+    #[test]
+    fn idempotence_fails_somewhere() {
+        let ei = Ei::parse("=> x*x = x").unwrap();
+        assert!(refute_in_finite_semigroup(&ei, 2).is_some());
+    }
+
+    #[test]
+    fn premises_restrict_the_check() {
+        // In any semigroup where x*y = x holds for the chosen values, the
+        // conclusion x*y*y = x follows; as an ei over all assignments it
+        // must hold in every table.
+        let ei = Ei::parse("x*y = x => (x*y)*y = x").unwrap();
+        assert!(refute_in_finite_semigroup(&ei, 3).is_none());
+    }
+}

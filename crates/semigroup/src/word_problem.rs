@@ -1,0 +1,139 @@
+//! Word rewriting in finitely presented semigroups — the r.e. side of the
+//! Gurevich–Lewis pair.
+//!
+//! An ei `∀y (∧ sᵢ = tᵢ → s = t)` is valid in all semigroups iff `s = t`
+//! holds in the semigroup presented by generators `y₁ … y_n` and relations
+//! `sᵢ = tᵢ` (flattened to words — multiplication is associative there).
+//! That word problem is semidecidable by breadth-first rewriting, which is
+//! what [`words_equal`] does, with an explicit budget.
+
+use crate::term::{Ei, Term};
+use std::collections::{HashSet, VecDeque};
+
+/// Flattens a groupoid term to the word of its variable indices (valid in
+/// the semigroup view, where multiplication associates).
+pub fn flatten(t: &Term) -> Vec<u8> {
+    let mut out = Vec::new();
+    fn go(t: &Term, out: &mut Vec<u8>) {
+        match t {
+            Term::Var(v) => out.push(*v),
+            Term::Mul(a, b) => {
+                go(a, out);
+                go(b, out);
+            }
+        }
+    }
+    go(t, &mut out);
+    out
+}
+
+/// Semidecides whether `lhs = rhs` follows from `relations` in the free
+/// semigroup quotient, by breadth-first application of relations in both
+/// directions at every position. `None` means the budget ran out.
+pub fn words_equal(
+    relations: &[(Vec<u8>, Vec<u8>)],
+    lhs: &[u8],
+    rhs: &[u8],
+    budget: usize,
+) -> Option<bool> {
+    if lhs == rhs {
+        return Some(true);
+    }
+    let mut seen: HashSet<Vec<u8>> = HashSet::new();
+    let mut queue: VecDeque<Vec<u8>> = VecDeque::new();
+    seen.insert(lhs.to_vec());
+    queue.push_back(lhs.to_vec());
+    let mut expanded = 0usize;
+    while let Some(word) = queue.pop_front() {
+        expanded += 1;
+        if expanded > budget {
+            return None;
+        }
+        for (l, r) in relations.iter().flat_map(|(a, b)| [(a, b), (b, a)]) {
+            if l.is_empty() || word.len() < l.len() {
+                continue;
+            }
+            for start in 0..=(word.len() - l.len()) {
+                if &word[start..start + l.len()] == l.as_slice() {
+                    let mut next = Vec::with_capacity(word.len() - l.len() + r.len());
+                    next.extend_from_slice(&word[..start]);
+                    next.extend_from_slice(r);
+                    next.extend_from_slice(&word[start + l.len()..]);
+                    if next == rhs {
+                        return Some(true);
+                    }
+                    if next.len() <= lhs.len().max(rhs.len()) + 4 && seen.insert(next.clone()) {
+                        queue.push_back(next);
+                    }
+                }
+            }
+        }
+    }
+    // Bounded closure exhausted without reaching rhs: within this length
+    // bound the words are distinct, but longer detours might still connect
+    // them — report "unknown" rather than a hard no.
+    None
+}
+
+/// Semidecides ei validity through the word problem of its presentation.
+pub fn ei_valid_by_rewriting(ei: &Ei, budget: usize) -> Option<bool> {
+    let relations: Vec<(Vec<u8>, Vec<u8>)> = ei
+        .premises
+        .iter()
+        .map(|e| (flatten(&e.lhs), flatten(&e.rhs)))
+        .collect();
+    words_equal(
+        &relations,
+        &flatten(&ei.conclusion.lhs),
+        &flatten(&ei.conclusion.rhs),
+        budget,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Equation;
+
+    #[test]
+    fn flatten_ignores_association() {
+        let a = Term::parse("(x*y)*z").unwrap();
+        let b = Term::parse("x*(y*z)").unwrap();
+        assert_eq!(flatten(&a), flatten(&b));
+        assert_eq!(flatten(&a), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn equal_words_are_equal() {
+        assert_eq!(words_equal(&[], &[0, 1], &[0, 1], 10), Some(true));
+    }
+
+    #[test]
+    fn relation_application() {
+        // Relation: xy = y. Then xxy = xy = y.
+        let rels = vec![(vec![0, 1], vec![1])];
+        assert_eq!(words_equal(&rels, &[0, 0, 1], &[1], 1000), Some(true));
+    }
+
+    #[test]
+    fn unrelated_words_hit_budget() {
+        let rels = vec![(vec![0, 1], vec![1, 0])];
+        // x vs y: no relation connects them.
+        assert_eq!(words_equal(&rels, &[0], &[1], 1000), None);
+    }
+
+    #[test]
+    fn ei_validity_by_rewriting() {
+        let ei = Ei {
+            premises: vec![Equation::parse("x*y = y").unwrap()],
+            conclusion: Equation::parse("x*(x*y) = y").unwrap(),
+        };
+        assert_eq!(ei_valid_by_rewriting(&ei, 10_000), Some(true));
+        let assoc = Ei::parse("=> (x*y)*z = x*(y*z)").unwrap();
+        assert_eq!(
+            ei_valid_by_rewriting(&assoc, 10),
+            Some(true),
+            "associativity instances flatten to syntactically equal words"
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! The full undecidability pipeline, assembled.
+//!
+//! Chains every reduction in the paper, starting from an equational
+//! implication over semigroups:
+//!
+//! ```text
+//! ei φ                                  (semigroup crate)
+//!   → (Σ₁, σ_φ)    untyped tds + egds   Theorem 1 conditions
+//!   → (T(Σ₁)∪Σ₀, T(σ_φ))  typed        Theorem 2 (Section 3–4)
+//!   → (Σ′, σ′)     typed tds only       Lemma 5
+//!   → (Σ̂ ∪ mvds, σ̂)  shallow tds/pjds  Theorem 6 (Section 6)
+//! ```
+//!
+//! Every stage is effective; what is *not* effective — by the paper's main
+//! theorems — is deciding the final implication. The pipeline therefore
+//! returns chase-ready instances at each stage plus the three-valued
+//! verdicts the semidecision procedures can reach within a budget.
+
+use typedtd_chase::{ChaseConfig, ChaseRun};
+use typedtd_core::{theorem2_instance, theta_egd, TypedInstance};
+use typedtd_dependencies::{Td, TdOrEgd};
+use typedtd_relational::{Universe, ValuePool};
+use typedtd_semigroup::{frontier_instance, Ei};
+use std::sync::Arc;
+
+/// All stages of the pipeline for one ei.
+pub struct Pipeline {
+    /// The source equational implication.
+    pub ei: Ei,
+    /// Stage 1: the untyped instance `(Σ₁, σ_φ)` and its pool.
+    pub untyped_universe: Arc<Universe>,
+    /// Untyped pool (owns the variables of stage 1).
+    pub untyped_pool: ValuePool,
+    /// Stage-1 premises.
+    pub untyped_sigma: Vec<TdOrEgd>,
+    /// Stage-1 goal.
+    pub untyped_goal: TdOrEgd,
+    /// Stage 2: the typed instance `(T(Σ₁) ∪ Σ₀, T(σ_φ))`.
+    pub typed: TypedInstance,
+    /// Stage 3: typed tds only (Lemma 5 elimination of egds).
+    pub tds_only_sigma: Vec<Td>,
+    /// Stage-3 goal (a total typed td).
+    pub tds_only_goal: Td,
+}
+
+/// Builds the pipeline for an ei.
+pub fn pipeline(ei: &Ei) -> Pipeline {
+    let u = Universe::untyped_abc();
+    let mut untyped_pool = ValuePool::new(u.clone());
+    let inst = frontier_instance(ei, &mut untyped_pool, &u);
+    let mut typed = theorem2_instance(&u, &untyped_pool, &inst.sigma, &inst.goal);
+
+    // Lemma 5: eliminate egds from the typed stage.
+    let tds_only_sigma =
+        typedtd_core::eliminate_egds(&typed.sigma, typed.translator.pool_mut());
+    let tds_only_goal = match &typed.goal {
+        TdOrEgd::Td(t) => t.clone(),
+        TdOrEgd::Egd(e) => theta_egd(e, typed.translator.pool_mut()),
+    };
+
+    Pipeline {
+        ei: ei.clone(),
+        untyped_universe: u,
+        untyped_pool,
+        untyped_sigma: inst.sigma,
+        untyped_goal: inst.goal,
+        typed,
+        tds_only_sigma,
+        tds_only_goal,
+    }
+}
+
+impl Pipeline {
+    /// Runs the chase on the untyped stage.
+    pub fn chase_untyped(&mut self, cfg: &ChaseConfig) -> ChaseRun {
+        typedtd_chase::chase_implication(
+            &self.untyped_sigma,
+            &self.untyped_goal,
+            &mut self.untyped_pool,
+            cfg,
+        )
+    }
+
+    /// Runs the chase on the typed stage.
+    pub fn chase_typed(&mut self, cfg: &ChaseConfig) -> ChaseRun {
+        typedtd_chase::chase_implication(
+            &self.typed.sigma,
+            &self.typed.goal,
+            self.typed.translator.pool_mut(),
+            cfg,
+        )
+    }
+
+    /// Summarizes stage sizes (for the experiment harness).
+    pub fn sizes(&self) -> String {
+        format!(
+            "untyped: |Sigma|={} goal-rows={}; typed: |Sigma|={}; td-only: |Sigma|={} goal-rows={}",
+            self.untyped_sigma.len(),
+            match &self.untyped_goal {
+                TdOrEgd::Td(t) => t.hypothesis().len(),
+                TdOrEgd::Egd(e) => e.hypothesis().len(),
+            },
+            self.typed.sigma.len(),
+            self.tds_only_sigma.len(),
+            self.tds_only_goal.hypothesis().len(),
+        )
+    }
+}
+
+
+/// The paper's Section 5 headline: a **fixed** set `Σ₂` of typed tds and
+/// egds whose implication problem (over egd goals) is unsolvable
+/// (Theorems 3 and 4).
+///
+/// `Σ₂ = T(Σ₁) ∪ Σ₀`, the typed image of the semigroup theory: the goals
+/// range over `T(σ_φ)` as `φ` ranges over equational implications, and by
+/// the Gurevich–Lewis inseparability no algorithm separates the implied
+/// goals from the finitely refutable ones. The returned translator owns the
+/// typed pool; build goals against it with [`typed_goal_for_ei`].
+pub fn fixed_sigma2() -> (typedtd_core::Translator, Vec<TdOrEgd>, Vec<String>, ValuePool) {
+    let u = Universe::untyped_abc();
+    let mut untyped_pool = ValuePool::new(u.clone());
+    let (sigma1, _labels) = typedtd_semigroup::semigroup_theory(&u, &mut untyped_pool);
+    // A placeholder goal just to drive the translator; Σ₂ itself does not
+    // depend on it (theorem2_instance translates Σ and Σ₀ first).
+    let placeholder = Ei::parse("=> x*x = x*x").unwrap();
+    let goal = TdOrEgd::Egd(typedtd_semigroup::ei_goal(&placeholder, &u, &mut untyped_pool));
+    let inst = theorem2_instance(&u, &untyped_pool, &sigma1, &goal);
+    (inst.translator, inst.sigma, inst.labels, untyped_pool)
+}
+
+/// The typed goal `T(σ_φ)` for an ei, phrased against a `Σ₂` translator
+/// (shared symbols stay shared, as the reduction requires).
+pub fn typed_goal_for_ei(
+    translator: &mut typedtd_core::Translator,
+    untyped_pool: &mut ValuePool,
+    ei: &Ei,
+) -> TdOrEgd {
+    let u = translator.untyped_universe().clone();
+    let goal = TdOrEgd::Egd(typedtd_semigroup::ei_goal(ei, &u, untyped_pool));
+    typedtd_core::t_dep(translator, untyped_pool, &goal)
+}
+
+/// The Theorem 4(2) variant: `Σ₃`, typed **tds only**, with total-td goals
+/// (via the Lemma 5 elimination applied to `Σ₂`).
+pub fn fixed_sigma3() -> (typedtd_core::Translator, Vec<Td>, ValuePool) {
+    let (mut translator, sigma2, _labels, untyped_pool) = fixed_sigma2();
+    let tds = typedtd_core::eliminate_egds(&sigma2, translator.pool_mut());
+    (translator, tds, untyped_pool)
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use typedtd_chase::ChaseOutcome;
+
+    #[test]
+    fn provable_ei_stays_provable_through_stage_2() {
+        let ei = Ei::parse("x = y => x*z = y*z").unwrap();
+        let mut p = pipeline(&ei);
+        let r1 = p.chase_untyped(&ChaseConfig::quick());
+        assert_eq!(r1.outcome, ChaseOutcome::Implied);
+        let r2 = p.chase_typed(&ChaseConfig::default());
+        assert_eq!(
+            r2.outcome,
+            ChaseOutcome::Implied,
+            "Theorem 2 preserves provability"
+        );
+    }
+
+    #[test]
+    fn pipeline_stage_shapes() {
+        let ei = Ei::parse("=> (x*y)*z = x*(y*z)").unwrap();
+        let p = pipeline(&ei);
+        // Untyped: 11 theory deps; typed adds Sigma0's 15.
+        assert_eq!(p.untyped_sigma.len(), 11);
+        assert_eq!(p.typed.sigma.len(), 11 + 15);
+        assert_eq!(p.tds_only_sigma.len(), 11 + 15);
+        assert!(p.tds_only_goal.is_total());
+        // All stage-3 tds are typed-consistent.
+        for td in &p.tds_only_sigma {
+            td.check_typed(p.typed.translator.pool()).unwrap();
+        }
+    }
+
+    #[test]
+    fn fixed_sigma2_is_typed_and_well_formed() {
+        let (tr, sigma2, labels, _pool) = fixed_sigma2();
+        assert_eq!(sigma2.len(), labels.len());
+        assert_eq!(sigma2.len(), 11 + 15);
+        for dep in &sigma2 {
+            match dep {
+                TdOrEgd::Td(t) => t.check_typed(tr.pool()).unwrap(),
+                TdOrEgd::Egd(e) => e.check_typed(tr.pool()).unwrap(),
+            }
+        }
+    }
+
+    #[test]
+    fn sigma2_proves_typed_congruence_goal() {
+        let (mut tr, sigma2, _labels, mut untyped_pool) = fixed_sigma2();
+        let ei = Ei::parse("x = y => x*z = y*z").unwrap();
+        let goal = typed_goal_for_ei(&mut tr, &mut untyped_pool, &ei);
+        let run = typedtd_chase::chase_implication(
+            &sigma2,
+            &goal,
+            tr.pool_mut(),
+            &ChaseConfig::default(),
+        );
+        assert_eq!(run.outcome, ChaseOutcome::Implied);
+    }
+
+    #[test]
+    fn fixed_sigma3_is_tds_only_and_typed() {
+        let (tr, sigma3, _pool) = fixed_sigma3();
+        assert_eq!(sigma3.len(), 26);
+        for td in &sigma3 {
+            td.check_typed(tr.pool()).unwrap();
+        }
+    }
+}

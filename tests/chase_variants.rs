@@ -1,0 +1,150 @@
+//! The three chase variants and the parallel trigger scan must agree on
+//! decidable instances, and found counterexamples must always verify.
+
+use proptest::prelude::*;
+use typedtd::chase::{
+    chase_implication, is_counterexample, ChaseConfig, ChaseOutcome, ChaseVariant,
+};
+use typedtd::dependencies::TdOrEgd;
+use typedtd::prelude::*;
+
+fn universe4() -> std::sync::Arc<Universe> {
+    Universe::typed(vec!["A", "B", "C", "D"])
+}
+
+fn mask_to_set(u: &Universe, mask: u32) -> AttrSet {
+    u.attrs().filter(|a| mask & (1 << a.index()) != 0).collect()
+}
+
+fn run_variant(
+    sigma: &[TdOrEgd],
+    goal: &TdOrEgd,
+    pool: &mut ValuePool,
+    variant: ChaseVariant,
+    parallel: bool,
+) -> ChaseOutcome {
+    let cfg = ChaseConfig::default()
+        .with_variant(variant)
+        .with_parallel(parallel);
+    chase_implication(sigma, goal, pool, &cfg).outcome
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Standard, core, and parallel-standard chase agree on mvd instances
+    /// (total tds: guaranteed termination). The oblivious chase agrees on
+    /// the Implied verdict whenever the others imply.
+    #[test]
+    fn variants_agree_on_mvd_instances(
+        lhs_masks in prop::collection::vec(1u32..15, 1..3),
+        rhs_masks in prop::collection::vec(1u32..15, 1..3),
+        goal_lhs in 1u32..15,
+        goal_rhs in 1u32..15,
+    ) {
+        let u = universe4();
+        let mut pool = ValuePool::new(u.clone());
+        let sigma: Vec<TdOrEgd> = lhs_masks
+            .iter()
+            .zip(&rhs_masks)
+            .map(|(&l, &r)| {
+                let mvd = Mvd::new(u.clone(), mask_to_set(&u, l), mask_to_set(&u, r));
+                TdOrEgd::Td(mvd.to_pjd().to_td(&u, &mut pool))
+            })
+            .collect();
+        let goal_mvd = Mvd::new(u.clone(), mask_to_set(&u, goal_lhs), mask_to_set(&u, goal_rhs));
+        let goal = TdOrEgd::Td(goal_mvd.to_pjd().to_td(&u, &mut pool));
+
+        let standard = run_variant(&sigma, &goal, &mut pool, ChaseVariant::Standard, false);
+        let core = run_variant(&sigma, &goal, &mut pool, ChaseVariant::Core, false);
+        let par = run_variant(&sigma, &goal, &mut pool, ChaseVariant::Standard, true);
+        prop_assert_eq!(standard, core);
+        prop_assert_eq!(standard, par);
+        if standard == ChaseOutcome::Implied {
+            let obl = run_variant(&sigma, &goal, &mut pool, ChaseVariant::Oblivious, false);
+            prop_assert_eq!(obl, ChaseOutcome::Implied);
+        }
+    }
+
+    /// Terminal (NotImplied) chase instances really are counterexamples:
+    /// they satisfy Σ and violate the goal.
+    #[test]
+    fn terminal_instances_verify_as_counterexamples(
+        lhs_masks in prop::collection::vec(1u32..15, 1..3),
+        rhs_masks in prop::collection::vec(1u32..15, 1..3),
+        goal_lhs in 1u32..15,
+        goal_rhs in 1u32..15,
+    ) {
+        let u = universe4();
+        let mut pool = ValuePool::new(u.clone());
+        let sigma: Vec<TdOrEgd> = lhs_masks
+            .iter()
+            .zip(&rhs_masks)
+            .map(|(&l, &r)| {
+                let mvd = Mvd::new(u.clone(), mask_to_set(&u, l), mask_to_set(&u, r));
+                TdOrEgd::Td(mvd.to_pjd().to_td(&u, &mut pool))
+            })
+            .collect();
+        let goal_mvd = Mvd::new(u.clone(), mask_to_set(&u, goal_lhs), mask_to_set(&u, goal_rhs));
+        let goal = TdOrEgd::Td(goal_mvd.to_pjd().to_td(&u, &mut pool));
+        let run = chase_implication(&sigma, &goal, &mut pool, &ChaseConfig::default());
+        if run.outcome == ChaseOutcome::NotImplied {
+            prop_assert!(is_counterexample(&run.final_relation, &sigma, &goal),
+                "terminal instance must be a universal-model counterexample");
+        }
+    }
+}
+
+#[test]
+fn core_chase_keeps_instances_no_larger() {
+    // On an instance with redundant derivations the core chase's final
+    // relation is no larger than the standard chase's.
+    let u = universe4();
+    let mut pool = ValuePool::new(u.clone());
+    let sigma: Vec<TdOrEgd> = ["A ->> B", "B ->> C", "C ->> D"]
+        .iter()
+        .map(|s| TdOrEgd::Td(Mvd::parse(&u, s).to_pjd().to_td(&u, &mut pool)))
+        .collect();
+    let goal_mvd = Mvd::parse(&u, "A ->> D");
+    let goal = TdOrEgd::Td(goal_mvd.to_pjd().to_td(&u, &mut pool));
+
+    let std_run = chase_implication(&sigma, &goal, &mut pool, &ChaseConfig::default());
+    let core_run = chase_implication(
+        &sigma,
+        &goal,
+        &mut pool,
+        &ChaseConfig::default().with_variant(ChaseVariant::Core),
+    );
+    assert_eq!(std_run.outcome, core_run.outcome);
+    assert!(core_run.final_relation.len() <= std_run.final_relation.len());
+}
+
+#[test]
+fn oblivious_chase_is_bounded_by_budget_on_divergent_input() {
+    // A self-feeding non-total td: the oblivious chase diverges by design
+    // and must stop at the budget.
+    let u = Universe::typed(vec!["A", "B"]);
+    let mut pool = ValuePool::new(u.clone());
+    // Inert for the standard chase (its conclusion is satisfied by the
+    // matched row itself) but endlessly refired by the oblivious chase.
+    let td = typedtd::dependencies::td_from_names(&u, &mut pool, &[&["x", "y"]], &["x", "y2"]);
+    let sigma = vec![TdOrEgd::Td(td)];
+    // The goal demands a combination (p, q2) no chase step ever creates.
+    let goal_td = typedtd::dependencies::td_from_names(
+        &u,
+        &mut pool,
+        &[&["p", "q"], &["p2", "q2"]],
+        &["p", "q2"],
+    );
+    let goal = TdOrEgd::Td(goal_td);
+    let cfg = ChaseConfig {
+        max_rounds: 8,
+        max_rows: 64,
+        max_steps: 128,
+        variant: ChaseVariant::Oblivious,
+        parallel: false,
+    };
+    let run = chase_implication(&sigma, &goal, &mut pool, &cfg);
+    assert_eq!(run.outcome, ChaseOutcome::Exhausted);
+    assert!(run.final_relation.len() <= 64 + 1);
+}

@@ -1,0 +1,151 @@
+//! End-to-end integration: the full undecidability pipeline, proof
+//! round-trips across crates, and the parser driving the decision API.
+
+use typedtd::chase::{chase_implication, ChaseConfig, ChaseOutcome};
+use typedtd::dependencies::parse_dependency;
+use typedtd::formal::{minimize, prove, verify, Proof};
+use typedtd::prelude::*;
+use typedtd::semigroup::Ei;
+use typedtd::undecidability::pipeline;
+
+#[test]
+fn pipeline_stages_cohere_for_provable_ei() {
+    let ei = Ei::parse("x = y => x*z = y*z").unwrap();
+    let mut p = pipeline(&ei);
+    assert_eq!(p.chase_untyped(&ChaseConfig::quick()).outcome, ChaseOutcome::Implied);
+    assert_eq!(p.chase_typed(&ChaseConfig::default()).outcome, ChaseOutcome::Implied);
+    // Stage 3 premises are typed tds only.
+    assert!(p.tds_only_sigma.iter().all(|t| t.check_typed(p.typed.translator.pool()).is_ok()));
+    assert!(p.tds_only_goal.is_total());
+    // Sizes summary exists and mentions every stage.
+    let s = p.sizes();
+    assert!(s.contains("untyped") && s.contains("td-only"));
+}
+
+#[test]
+fn typed_proofs_from_the_pipeline_verify_and_minimize() {
+    let ei = Ei::parse("x = y => x*z = y*z").unwrap();
+    let mut p = pipeline(&ei);
+    let run = p.chase_typed(&ChaseConfig::default());
+    assert_eq!(run.outcome, ChaseOutcome::Implied);
+    let proof = Proof::from_trace(run.trace);
+    verify(&p.typed.sigma, &p.typed.goal, &proof).expect("pipeline proof verifies");
+    let min = minimize(&p.typed.sigma, &p.typed.goal, &proof);
+    assert!(min.trace.len() <= proof.trace.len());
+    verify(&p.typed.sigma, &p.typed.goal, &min).expect("minimized proof verifies");
+}
+
+#[test]
+fn parser_drives_the_decision_api() {
+    let u = Universe::typed(vec!["A", "B", "C"]);
+    let mut pool = ValuePool::new(u.clone());
+    let sigma: Vec<Dependency> = ["A -> B", "A ->> C"]
+        .iter()
+        .map(|s| parse_dependency(&u, &mut pool, s).unwrap())
+        .collect();
+    let goal = parse_dependency(&u, &mut pool, "*[AB, AC]").unwrap();
+    let v = decide_dependencies(&sigma, &goal, &u, &mut pool, &DecideConfig::default());
+    assert_eq!(v.implication, Answer::Yes);
+
+    // Parsed tds participate too.
+    let td_goal = parse_dependency(&u, &mut pool, "td [x y1 z1 ; x y2 z2] => x y1 z2").unwrap();
+    let v2 = decide_dependencies(&sigma, &td_goal, &u, &mut pool, &DecideConfig::default());
+    assert_eq!(v2.implication, Answer::Yes, "the jd's td form follows from A ↠ C");
+}
+
+#[test]
+fn theorem6_translation_preserves_a_nontrivial_implication() {
+    // Σ = {A ↠ B} implies the 3-way jd *[AB, AC, BC]… as tds, then through
+    // the Theorem 6 pipeline into shallow td/pjd form.
+    let u = Universe::typed(vec!["A", "B", "C"]);
+    let mut pool = ValuePool::new(u.clone());
+    let premise = Mvd::parse(&u, "A ->> B").to_pjd().to_td(&u, &mut pool);
+    let goal = Pjd::parse(&u, "*[AB, AC, BC]").to_td(&u, &mut pool);
+
+    // Direct chase.
+    let direct = chase_implication(
+        &[TdOrEgd::Td(premise.clone())],
+        &TdOrEgd::Td(goal.clone()),
+        &mut pool,
+        &ChaseConfig::default(),
+    );
+    assert_eq!(direct.outcome, ChaseOutcome::Implied);
+
+    // Translated chase.
+    let mut inst = typedtd::core::theorem6_instance(std::slice::from_ref(&premise), &goal);
+    let sigma_hat = inst.chase_sigma();
+    let goal_hat = TdOrEgd::Td(inst.goal_hat.clone());
+    let translated = chase_implication(
+        &sigma_hat,
+        &goal_hat,
+        inst.ctx.pool_mut(),
+        &ChaseConfig::default(),
+    );
+    assert_eq!(
+        translated.outcome,
+        ChaseOutcome::Implied,
+        "Theorem 6 must preserve the implication"
+    );
+}
+
+#[test]
+fn theorem6_translation_preserves_a_non_implication() {
+    // Σ = {B ↠ C} does not imply A ↠ B; neither may the translation.
+    let u = Universe::typed(vec!["A", "B", "C"]);
+    let mut pool = ValuePool::new(u.clone());
+    let premise = Mvd::parse(&u, "B ->> C").to_pjd().to_td(&u, &mut pool);
+    let goal = Mvd::parse(&u, "A ->> B").to_pjd().to_td(&u, &mut pool);
+
+    let direct = chase_implication(
+        &[TdOrEgd::Td(premise.clone())],
+        &TdOrEgd::Td(goal.clone()),
+        &mut pool,
+        &ChaseConfig::default(),
+    );
+    assert_eq!(direct.outcome, ChaseOutcome::NotImplied);
+
+    let mut inst = typedtd::core::theorem6_instance(std::slice::from_ref(&premise), &goal);
+    let sigma_hat = inst.chase_sigma();
+    let goal_hat = TdOrEgd::Td(inst.goal_hat.clone());
+    let translated = chase_implication(
+        &sigma_hat,
+        &goal_hat,
+        inst.ctx.pool_mut(),
+        &ChaseConfig::default(),
+    );
+    assert_eq!(
+        translated.outcome,
+        ChaseOutcome::NotImplied,
+        "Theorem 6 must preserve the non-implication"
+    );
+}
+
+#[test]
+fn chase_proof_for_theorem6_instance_verifies() {
+    let u = Universe::typed(vec!["A", "B", "C"]);
+    let mut pool = ValuePool::new(u.clone());
+    let td = Mvd::parse(&u, "A ->> B").to_pjd().to_td(&u, &mut pool);
+    let mut inst = typedtd::core::theorem6_instance(std::slice::from_ref(&td), &td);
+    let sigma = inst.chase_sigma();
+    let goal = TdOrEgd::Td(inst.goal_hat.clone());
+    let proof = prove(&sigma, &goal, inst.ctx.pool_mut(), &ChaseConfig::default())
+        .expect("self-implication through the pipeline");
+    verify(&sigma, &goal, &proof).expect("cross-crate proof verifies");
+}
+
+#[test]
+fn weak_acyclicity_predicts_the_frontier() {
+    use typedtd::chase::weakly_acyclic;
+    // The decidable instances are weakly acyclic; the semigroup theory is
+    // not — exactly the boundary the engine budgets run into.
+    let u = Universe::typed(vec!["A", "B", "C"]);
+    let mut pool = ValuePool::new(u.clone());
+    let sigma: Vec<TdOrEgd> = vec![TdOrEgd::Td(
+        Mvd::parse(&u, "A ->> B").to_pjd().to_td(&u, &mut pool),
+    )];
+    assert!(weakly_acyclic(&sigma));
+
+    let ei = Ei::parse("=> x*y = y*x").unwrap();
+    let p = pipeline(&ei);
+    assert!(!weakly_acyclic(&p.untyped_sigma));
+}

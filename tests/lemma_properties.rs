@@ -1,0 +1,247 @@
+//! Property-based verification of the paper's lemmas on randomized inputs.
+//!
+//! Each lemma is a *for all relations / dependencies* statement; we sample
+//! that space. Satisfaction over finite relations is decidable, so every
+//! check here is exact.
+
+use proptest::prelude::*;
+use typedtd::core::{lemma2_check, lemma4_check, t_inverse, HatContext, Translator};
+use typedtd::dependencies::{egd_from_names, TdOrEgd};
+use typedtd::prelude::*;
+
+/// A random untyped relation over `U' = A'B'C'` with values `v0..v{k-1}`.
+fn untyped_relation(max_vals: usize, max_rows: usize) -> impl Strategy<Value = Vec<[usize; 3]>> {
+    prop::collection::vec(
+        [0..max_vals, 0..max_vals, 0..max_vals],
+        1..=max_rows,
+    )
+}
+
+fn build_relation(
+    u: &std::sync::Arc<Universe>,
+    pool: &mut ValuePool,
+    rows: &[[usize; 3]],
+) -> Relation {
+    Relation::from_rows(
+        u.clone(),
+        rows.iter().map(|r| {
+            Tuple::new(
+                r.iter()
+                    .map(|i| pool.untyped(&format!("v{i}")))
+                    .collect(),
+            )
+        }),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Lemma 1: T(I) satisfies {AD→U, BD→U, CD→U, ABCE→U} for *every* I.
+    #[test]
+    fn lemma1_randomized(rows in untyped_relation(4, 6)) {
+        let u = Universe::untyped_abc();
+        let mut pool = ValuePool::new(u.clone());
+        let i = build_relation(&u, &mut pool, &rows);
+        let mut tr = Translator::new(u);
+        let t_i = tr.t_relation(&pool, &i);
+        prop_assert!(tr.lemma1_holds(&t_i));
+        prop_assert!(t_i.check_typed(tr.pool()).is_ok());
+        // |T(I)| = 1 + |I| + |VAL(I)|.
+        prop_assert_eq!(t_i.len(), 1 + i.len() + i.val().len());
+    }
+
+    /// Lemma 2 for tds: I ⊨ θ ⇔ T(I) ⊨ T(θ) for A'B'-total θ.
+    #[test]
+    fn lemma2_td_randomized(
+        rows in untyped_relation(3, 4),
+        hyp in untyped_relation(3, 2),
+        w_a in 0usize..3, w_b in 0usize..3, w_c in 0usize..4,
+    ) {
+        let u = Universe::untyped_abc();
+        let mut pool = ValuePool::new(u.clone());
+        let i = build_relation(&u, &mut pool, &rows);
+        // Build an A'B'-total td: conclusion A'/B' values drawn from the
+        // hypothesis variable space, C' possibly fresh (index 3).
+        let hyp_rows: Vec<Vec<String>> = hyp
+            .iter()
+            .map(|r| r.iter().map(|i| format!("t{i}")).collect())
+            .collect();
+        let hyp_refs: Vec<Vec<&str>> = hyp_rows
+            .iter()
+            .map(|r| r.iter().map(String::as_str).collect())
+            .collect();
+        let hyp_slices: Vec<&[&str]> = hyp_refs.iter().map(|r| r.as_slice()).collect();
+        let w = [format!("t{w_a}"), format!("t{w_b}"), format!("t{w_c}")];
+        // Ensure A'B'-totality: t{w_a}, t{w_b} must occur in the hypothesis.
+        let occurs = |name: &str| hyp_rows.iter().flatten().any(|n| n == name);
+        prop_assume!(occurs(&w[0]) && occurs(&w[1]));
+        let td = typedtd::dependencies::td_from_names(
+            &u,
+            &mut pool,
+            &hyp_slices,
+            &[&w[0], &w[1], &w[2]],
+        );
+        let dep = TdOrEgd::Td(td);
+        let mut tr = Translator::new(u);
+        let (lhs, rhs) = lemma2_check(&mut tr, &pool, &i, &dep);
+        prop_assert_eq!(lhs, rhs, "Lemma 2 failed: I={:?} dep={:?}", rows, hyp);
+    }
+
+    /// Lemma 2 for egds.
+    #[test]
+    fn lemma2_egd_randomized(
+        rows in untyped_relation(3, 4),
+        hyp in untyped_relation(3, 2),
+        l in 0usize..3, r in 0usize..3,
+    ) {
+        let u = Universe::untyped_abc();
+        let mut pool = ValuePool::new(u.clone());
+        let i = build_relation(&u, &mut pool, &rows);
+        let hyp_rows: Vec<Vec<String>> = hyp
+            .iter()
+            .map(|row| row.iter().map(|i| format!("t{i}")).collect())
+            .collect();
+        let occurs = |name: &str| hyp_rows.iter().flatten().any(|n| n == name);
+        let (ln, rn) = (format!("t{l}"), format!("t{r}"));
+        prop_assume!(occurs(&ln) && occurs(&rn));
+        let hyp_refs: Vec<Vec<&str>> = hyp_rows
+            .iter()
+            .map(|row| row.iter().map(String::as_str).collect())
+            .collect();
+        let hyp_slices: Vec<&[&str]> = hyp_refs.iter().map(|r| r.as_slice()).collect();
+        let egd = egd_from_names(&u, &mut pool, &hyp_slices, ("A'", &ln), ("A'", &rn));
+        let dep = TdOrEgd::Egd(egd);
+        let mut tr = Translator::new(u);
+        let (lhs, rhs) = lemma2_check(&mut tr, &pool, &i, &dep);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Lemma 4: I ⊨ A'B' → C' ⟹ T(I) ⊨ σ₀.
+    #[test]
+    fn lemma4_randomized(rows in untyped_relation(3, 5)) {
+        let u = Universe::untyped_abc();
+        let mut pool = ValuePool::new(u.clone());
+        let i = build_relation(&u, &mut pool, &rows);
+        let mut tr = Translator::new(u);
+        let (premise, conclusion) = lemma4_check(&mut tr, &pool, &i);
+        if premise {
+            prop_assert!(conclusion);
+        }
+    }
+
+    /// Lemma 3 shape: T⁻¹(T(I)) has exactly |I| rows and satisfies the
+    /// same A'B'-total tds as I (spot-checked with the exchange td).
+    #[test]
+    fn t_inverse_roundtrip_randomized(rows in untyped_relation(3, 4)) {
+        let u = Universe::untyped_abc();
+        let mut pool = ValuePool::new(u.clone());
+        let i = build_relation(&u, &mut pool, &rows);
+        let mut tr = Translator::new(u.clone());
+        let t_i = tr.t_relation(&pool, &i);
+        let (d0, e0, f1) = (tr.special("d0"), tr.special("e0"), tr.special("f1"));
+        let inv = t_inverse(&t_i, d0, e0, f1, &u, &mut pool);
+        prop_assert_eq!(inv.relation.len(), i.len());
+        prop_assert!(
+            typedtd::relational::isomorphic(&i, &inv.relation),
+            "T⁻¹(T(I)) must be isomorphic to I"
+        );
+        let exchange = typedtd::dependencies::td_from_names(
+            &u,
+            &mut pool,
+            &[&["x", "y1", "z1"], &["x", "y2", "z2"]],
+            &["x", "y1", "z2"],
+        );
+        prop_assert_eq!(
+            exchange.satisfied_by(&i),
+            exchange.satisfied_by(&inv.relation)
+        );
+    }
+
+    /// Lemma 6: a pjd and its shallow td satisfy the same relations.
+    #[test]
+    fn lemma6_randomized(
+        rows in prop::collection::vec([0usize..3, 0usize..3, 0usize..3, 0usize..3], 1..6),
+        comp_masks in prop::collection::vec(1u32..15, 1..4),
+        x_selector in 0u32..16,
+    ) {
+        let u = Universe::typed(vec!["A", "B", "C", "D"]);
+        let mut pool = ValuePool::new(u.clone());
+        let comps: Vec<AttrSet> = {
+            let mut seen = Vec::new();
+            for m in comp_masks {
+                let s: AttrSet = u.attrs().filter(|a| m & (1 << a.index()) != 0).collect();
+                if !seen.contains(&s) {
+                    seen.push(s);
+                }
+            }
+            seen
+        };
+        let r = comps.iter().fold(AttrSet::new(), |acc, c| acc.union(c));
+        let x: AttrSet = r.iter().enumerate()
+            .filter(|(i, _)| x_selector & (1 << i) != 0)
+            .map(|(_, a)| a)
+            .collect();
+        let pjd = Pjd::new(comps, x);
+        let td = pjd.to_td(&u, &mut pool);
+        let rel = Relation::from_rows(
+            u.clone(),
+            rows.iter().map(|row| {
+                Tuple::new(
+                    row.iter()
+                        .enumerate()
+                        .map(|(col, i)| pool.typed(AttrId(col as u16), &format!("c{col}v{i}")))
+                        .collect(),
+                )
+            }),
+        );
+        prop_assert_eq!(pjd.satisfied_by(&rel), td.satisfied_by(&rel),
+            "Lemma 6 failed for {}", pjd.render(&u));
+    }
+
+    /// Lemma 7: I ⊨ θ ⇔ Î ⊨ θ̂.
+    #[test]
+    fn lemma7_randomized(
+        rel_rows in prop::collection::vec([0usize..3, 0usize..3, 0usize..3], 1..5),
+        hyp in prop::collection::vec([0usize..3, 0usize..3, 0usize..3], 1..3),
+        w in [0usize..4, 0usize..4, 0usize..4],
+    ) {
+        let u = Universe::typed(vec!["A", "B", "C"]);
+        let mut pool = ValuePool::new(u.clone());
+        let rel = Relation::from_rows(
+            u.clone(),
+            rel_rows.iter().map(|row| {
+                Tuple::new(
+                    row.iter()
+                        .enumerate()
+                        .map(|(col, i)| pool.typed(AttrId(col as u16), &format!("c{col}v{i}")))
+                        .collect(),
+                )
+            }),
+        );
+        // Random td over variable names per column (index 3 = fresh-in-w).
+        let hyp_rows: Vec<Vec<String>> = hyp
+            .iter()
+            .map(|row| row.iter().enumerate().map(|(c, i)| format!("c{c}t{i}")).collect())
+            .collect();
+        let hyp_refs: Vec<Vec<&str>> = hyp_rows
+            .iter()
+            .map(|r| r.iter().map(String::as_str).collect())
+            .collect();
+        let hyp_slices: Vec<&[&str]> = hyp_refs.iter().map(|r| r.as_slice()).collect();
+        let w_names: Vec<String> = w
+            .iter()
+            .enumerate()
+            .map(|(c, i)| format!("c{c}t{i}"))
+            .collect();
+        let td = typedtd::dependencies::td_from_names(
+            &u,
+            &mut pool,
+            &hyp_slices,
+            &[&w_names[0], &w_names[1], &w_names[2]],
+        );
+        let mut ctx = HatContext::new(&u, hyp.len().max(2));
+        let (lhs, rhs) = ctx.lemma7_check(&rel, &pool, &td);
+        prop_assert_eq!(lhs, rhs, "Lemma 7 failed: rel={:?} hyp={:?} w={:?}", rel_rows, hyp, w);
+    }
+}

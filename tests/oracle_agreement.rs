@@ -1,0 +1,143 @@
+//! The chase against the decidable oracles: on the fd and mvd fragments the
+//! chase must agree with the Armstrong closure and the dependency basis —
+//! and implication must coincide with finite implication, the situation
+//! whose failure for typed tds is the subject of the paper.
+
+use proptest::prelude::*;
+use typedtd::dependencies::{dependency_basis, fd_implies, mvd_implies};
+use typedtd::prelude::*;
+
+fn universe4() -> std::sync::Arc<Universe> {
+    Universe::typed(vec!["A", "B", "C", "D"])
+}
+
+fn mask_to_set(u: &Universe, mask: u32) -> AttrSet {
+    u.attrs().filter(|a| mask & (1 << a.index()) != 0).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn chase_agrees_with_fd_closure(
+        lhs_masks in prop::collection::vec(1u32..15, 1..4),
+        rhs_masks in prop::collection::vec(1u32..15, 1..4),
+        goal_lhs in 1u32..15,
+        goal_rhs in 1u32..15,
+    ) {
+        let u = universe4();
+        let mut pool = ValuePool::new(u.clone());
+        let fds: Vec<Fd> = lhs_masks
+            .iter()
+            .zip(&rhs_masks)
+            .map(|(&l, &r)| Fd::new(mask_to_set(&u, l), mask_to_set(&u, r)))
+            .collect();
+        let goal = Fd::new(mask_to_set(&u, goal_lhs), mask_to_set(&u, goal_rhs));
+        let oracle = fd_implies(&fds, &goal);
+
+        let sigma: Vec<Dependency> = fds.iter().cloned().map(Dependency::from).collect();
+        let verdict = decide_dependencies(
+            &sigma,
+            &Dependency::from(goal.clone()),
+            &u,
+            &mut pool,
+            &DecideConfig::default(),
+        );
+        let chase_answer = match verdict.implication {
+            Answer::Yes => true,
+            Answer::No => false,
+            Answer::Unknown => panic!("fd chase must terminate"),
+        };
+        prop_assert_eq!(chase_answer, oracle, "fds: {:?} goal {}",
+            fds.iter().map(|f| f.render(&u)).collect::<Vec<_>>(), goal.render(&u));
+        // Implication ≡ finite implication on this fragment.
+        prop_assert_eq!(verdict.implication, verdict.finite_implication);
+    }
+
+    #[test]
+    fn chase_agrees_with_dependency_basis(
+        lhs_masks in prop::collection::vec(1u32..15, 1..3),
+        rhs_masks in prop::collection::vec(1u32..15, 1..3),
+        goal_lhs in 1u32..15,
+        goal_rhs in 1u32..15,
+    ) {
+        let u = universe4();
+        let mut pool = ValuePool::new(u.clone());
+        let mvds: Vec<Mvd> = lhs_masks
+            .iter()
+            .zip(&rhs_masks)
+            .map(|(&l, &r)| Mvd::new(u.clone(), mask_to_set(&u, l), mask_to_set(&u, r)))
+            .collect();
+        let goal = Mvd::new(u.clone(), mask_to_set(&u, goal_lhs), mask_to_set(&u, goal_rhs));
+        let oracle = mvd_implies(&u, &mvds, &goal);
+
+        let sigma: Vec<Dependency> = mvds.iter().cloned().map(Dependency::from).collect();
+        let verdict = decide_dependencies(
+            &sigma,
+            &Dependency::from(goal.clone()),
+            &u,
+            &mut pool,
+            &DecideConfig::default(),
+        );
+        let chase_answer = match verdict.implication {
+            Answer::Yes => true,
+            Answer::No => false,
+            Answer::Unknown => panic!("total-mvd chase must terminate"),
+        };
+        prop_assert_eq!(chase_answer, oracle,
+            "mvds: {:?} goal {}",
+            mvds.iter().map(|m| m.render()).collect::<Vec<_>>(), goal.render());
+        prop_assert_eq!(verdict.implication, verdict.finite_implication);
+    }
+
+    #[test]
+    fn basis_blocks_partition_and_certify(
+        lhs_masks in prop::collection::vec(1u32..15, 0..3),
+        rhs_masks in prop::collection::vec(1u32..15, 0..3),
+        x_mask in 0u32..16,
+    ) {
+        let u = universe4();
+        let n = lhs_masks.len().min(rhs_masks.len());
+        let mvds: Vec<Mvd> = (0..n)
+            .map(|i| Mvd::new(u.clone(), mask_to_set(&u, lhs_masks[i]), mask_to_set(&u, rhs_masks[i])))
+            .collect();
+        let x = mask_to_set(&u, x_mask);
+        let basis = dependency_basis(&u, &x, &mvds);
+        // Partition of U − X.
+        let mut total = AttrSet::new();
+        for b in &basis {
+            prop_assert!(total.intersection(b).is_empty());
+            prop_assert!(!b.is_empty());
+            total = total.union(b);
+        }
+        prop_assert_eq!(total, u.all().difference(&x));
+        // Every block, unioned with X, is an implied mvd.
+        for b in &basis {
+            let goal = Mvd::new(u.clone(), x.clone(), b.clone());
+            prop_assert!(mvd_implies(&u, &mvds, &goal));
+        }
+    }
+}
+
+#[test]
+fn mixed_fd_mvd_decision_via_chase() {
+    // The classical mixed rule: X ↠ Y and Y → Z imply X → Z − Y.
+    let u = universe4();
+    let mut pool = ValuePool::new(u.clone());
+    let sigma = vec![
+        Dependency::from(Mvd::parse(&u, "A ->> B")),
+        Dependency::from(Fd::parse(&u, "B -> C")),
+    ];
+    let goal = Dependency::from(Fd::parse(&u, "A -> C"));
+    let v = decide_dependencies(&sigma, &goal, &u, &mut pool, &DecideConfig::default());
+    assert_eq!(v.implication, Answer::Yes);
+
+    // But X ↠ Y and Y ↠ Z do NOT imply X → Z.
+    let sigma2 = vec![
+        Dependency::from(Mvd::parse(&u, "A ->> B")),
+        Dependency::from(Mvd::parse(&u, "B ->> C")),
+    ];
+    let v2 = decide_dependencies(&sigma2, &goal, &u, &mut pool, &DecideConfig::default());
+    assert_eq!(v2.implication, Answer::No);
+    assert!(v2.counterexample.is_some());
+}

@@ -1,0 +1,168 @@
+//! Structural invariants of satisfaction, randomized.
+//!
+//! These pin down the semantic core of Section 2: trivial dependencies hold
+//! everywhere, `X → Y ⊨ X ↠ Y` pointwise, the project-join mapping is
+//! extensive, satisfaction is invariant under isomorphism, and the fd/mvd
+//! classes are closed under the operations the theory says they are.
+
+use proptest::prelude::*;
+use typedtd::formal::direct_product;
+use typedtd::prelude::*;
+use typedtd::relational::{isomorphic, project_join, FxHashMap};
+
+fn u3() -> std::sync::Arc<Universe> {
+    Universe::typed(vec!["A", "B", "C"])
+}
+
+fn build(
+    u: &std::sync::Arc<Universe>,
+    pool: &mut ValuePool,
+    rows: &[[usize; 3]],
+) -> Relation {
+    Relation::from_rows(
+        u.clone(),
+        rows.iter().map(|r| {
+            Tuple::new(
+                r.iter()
+                    .enumerate()
+                    .map(|(c, i)| pool.typed(AttrId(c as u16), &format!("c{c}v{i}")))
+                    .collect(),
+            )
+        }),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// I[X] ⊆ m_R(I)[X] always (the inclusion the pjd definition rests on).
+    #[test]
+    fn project_join_is_extensive(
+        rows in prop::collection::vec([0usize..3, 0usize..3, 0usize..3], 1..6),
+        m1 in 1u32..8, m2 in 1u32..8,
+    ) {
+        let u = u3();
+        let mut pool = ValuePool::new(u.clone());
+        let rel = build(&u, &mut pool, &rows);
+        let comp = |m: u32| -> AttrSet {
+            u.attrs().filter(|a| m & (1 << a.index()) != 0).collect()
+        };
+        let (r1, r2) = (comp(m1), comp(m2));
+        prop_assume!(r1 != r2);
+        let joined = project_join(&rel, &[r1.clone(), r2.clone()]);
+        let r = r1.union(&r2);
+        let direct = rel.project(&r);
+        for row in direct.rows() {
+            prop_assert!(joined.rows().contains(row), "m_R must contain I[R]");
+        }
+    }
+
+    /// A tuple's own presence witnesses fully-existential conclusions:
+    /// any td whose conclusion shares a row with its hypothesis holds.
+    #[test]
+    fn hypothesis_conclusion_tds_hold(
+        rows in prop::collection::vec([0usize..3, 0usize..3, 0usize..3], 1..5),
+        hyp in prop::collection::vec([0usize..2, 0usize..2, 0usize..2], 1..3),
+        pick in 0usize..3,
+    ) {
+        let u = u3();
+        let mut pool = ValuePool::new(u.clone());
+        let rel = build(&u, &mut pool, &rows);
+        let hyp_rows: Vec<Tuple> = hyp.iter().map(|r| {
+            Tuple::new(
+                r.iter()
+                    .enumerate()
+                    .map(|(c, i)| pool.typed(AttrId(c as u16), &format!("c{c}t{i}")))
+                    .collect(),
+            )
+        }).collect();
+        let w = hyp_rows[pick % hyp_rows.len()].clone();
+        let td = Td::new(u.clone(), w, hyp_rows);
+        prop_assert!(td.is_trivially_satisfied());
+        prop_assert!(td.satisfied_by(&rel));
+    }
+
+    /// X → Y entails X ↠ Y on every concrete relation.
+    #[test]
+    fn fd_satisfaction_entails_mvd_satisfaction(
+        rows in prop::collection::vec([0usize..2, 0usize..3, 0usize..3], 1..6),
+        x_mask in 1u32..8, y_mask in 1u32..8,
+    ) {
+        let u = u3();
+        let mut pool = ValuePool::new(u.clone());
+        let rel = build(&u, &mut pool, &rows);
+        let x: AttrSet = u.attrs().filter(|a| x_mask & (1 << a.index()) != 0).collect();
+        let y: AttrSet = u.attrs().filter(|a| y_mask & (1 << a.index()) != 0).collect();
+        let fd = Fd::new(x.clone(), y.clone());
+        let mvd = Mvd::new(u.clone(), x, y);
+        if fd.satisfied_by(&rel) {
+            prop_assert!(mvd.satisfied_by(&rel), "X → Y must entail X ↠ Y");
+        }
+    }
+
+    /// Satisfaction is isomorphism-invariant.
+    #[test]
+    fn satisfaction_is_isomorphism_invariant(
+        rows in prop::collection::vec([0usize..3, 0usize..3, 0usize..3], 1..5),
+        x_mask in 1u32..8, y_mask in 1u32..8,
+    ) {
+        let u = u3();
+        let mut pool = ValuePool::new(u.clone());
+        let rel = build(&u, &mut pool, &rows);
+        // Rename every value.
+        let renaming: FxHashMap<_, _> = rel
+            .val()
+            .into_iter()
+            .map(|v| {
+                let sort = pool.sort(v);
+                (v, pool.fresh(sort, "ren"))
+            })
+            .collect();
+        let renamed = rel.map(&renaming);
+        prop_assert!(isomorphic(&rel, &renamed));
+        let x: AttrSet = u.attrs().filter(|a| x_mask & (1 << a.index()) != 0).collect();
+        let y: AttrSet = u.attrs().filter(|a| y_mask & (1 << a.index()) != 0).collect();
+        let fd = Fd::new(x.clone(), y.clone());
+        let mvd = Mvd::new(u.clone(), x, y);
+        prop_assert_eq!(fd.satisfied_by(&rel), fd.satisfied_by(&renamed));
+        prop_assert_eq!(mvd.satisfied_by(&rel), mvd.satisfied_by(&renamed));
+    }
+
+    /// Egd/fd classes are closed under direct products: the product
+    /// satisfies an fd iff both factors do.
+    #[test]
+    fn fds_are_closed_under_products(
+        rows1 in prop::collection::vec([0usize..2, 0usize..2, 0usize..2], 1..4),
+        rows2 in prop::collection::vec([0usize..2, 0usize..2, 0usize..2], 1..4),
+        x_mask in 1u32..8, y_mask in 1u32..8,
+    ) {
+        let u = u3();
+        let mut pool = ValuePool::new(u.clone());
+        let r1 = build(&u, &mut pool, &rows1);
+        let r2 = build(&u, &mut pool, &rows2);
+        let prod = direct_product(&r1, &r2, &mut pool);
+        let x: AttrSet = u.attrs().filter(|a| x_mask & (1 << a.index()) != 0).collect();
+        let y: AttrSet = u.attrs().filter(|a| y_mask & (1 << a.index()) != 0).collect();
+        let fd = Fd::new(x, y);
+        prop_assert_eq!(
+            fd.satisfied_by(&prod),
+            fd.satisfied_by(&r1) && fd.satisfied_by(&r2)
+        );
+    }
+
+    /// The jd *[XY, X(U−X−Y)] and the mvd X ↠ Y agree everywhere
+    /// (the paper's definitional identity).
+    #[test]
+    fn mvd_equals_its_jd(
+        rows in prop::collection::vec([0usize..2, 0usize..2, 0usize..2], 1..6),
+        x_mask in 1u32..8, y_mask in 1u32..8,
+    ) {
+        let u = u3();
+        let mut pool = ValuePool::new(u.clone());
+        let rel = build(&u, &mut pool, &rows);
+        let x: AttrSet = u.attrs().filter(|a| x_mask & (1 << a.index()) != 0).collect();
+        let y: AttrSet = u.attrs().filter(|a| y_mask & (1 << a.index()) != 0).collect();
+        let mvd = Mvd::new(u.clone(), x, y);
+        prop_assert_eq!(mvd.satisfied_by(&rel), mvd.to_pjd().satisfied_by(&rel));
+    }
+}
