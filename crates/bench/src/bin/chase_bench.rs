@@ -1,0 +1,195 @@
+//! Chase throughput measurement: semi-naive vs naive, sequential vs
+//! parallel, across saturation and implication workloads.
+//!
+//! Prints a table by default; with `--json` additionally writes
+//! `BENCH_chase.json` (an array of per-workload records with median
+//! nanoseconds and the semi-naive speedup) for the perf trajectory.
+//!
+//! Workload construction runs *outside* the timed region — only the chase
+//! itself is measured. Each mode's runs are also parity-checked against
+//! the naive reference (outcome, rounds, row count) before reporting.
+//!
+//! Usage: `cargo run --release -p typedtd-bench --bin chase_bench [--json]`
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use typedtd_bench::{
+    divergent_saturation_workload, egd_saturation_workload, mvd_chain_instance,
+    saturation_workload, universe,
+};
+use typedtd_chase::{chase_implication, saturate, ChaseConfig, ChaseRun};
+use typedtd_relational::{Relation, ValuePool};
+use typedtd_dependencies::TdOrEgd;
+
+struct Record {
+    workload: String,
+    naive_ns: u128,
+    semi_ns: u128,
+    parallel_ns: u128,
+    rows: usize,
+    rounds: usize,
+}
+
+/// Median over `samples` runs of `routine`, with `setup` excluded from the
+/// timed region (iter_batched-style).
+fn time<I, R>(
+    samples: usize,
+    mut setup: impl FnMut() -> I,
+    mut routine: impl FnMut(I) -> R,
+) -> (u128, R) {
+    let mut times = Vec::with_capacity(samples);
+    let mut last = None;
+    for _ in 0..samples {
+        let input = setup();
+        let t0 = Instant::now();
+        last = Some(routine(input));
+        times.push(t0.elapsed());
+    }
+    times.sort_unstable();
+    (
+        times[times.len() / 2].as_nanos(),
+        last.expect("samples >= 1"),
+    )
+}
+
+type Workload = (Relation, Vec<TdOrEgd>, ValuePool);
+
+/// Measures one saturation workload under naive / semi-naive / parallel
+/// configs, asserting outcome + rounds + row-count parity across them.
+///
+/// The applied-trigger prefix in a budget-truncating round may differ
+/// between modes, so parity here is deliberately not up-to-isomorphism
+/// (that stronger check lives in `tests/seminaive_parity.rs`).
+fn measure_saturation(
+    workload: String,
+    samples: usize,
+    mut make: impl FnMut() -> Workload,
+) -> Record {
+    let run = |cfg: ChaseConfig, (init, sigma, mut pool): Workload| -> ChaseRun {
+        saturate(&init, &sigma, &mut pool, &cfg)
+    };
+    let (naive_ns, run_n) = time(samples, &mut make, |w| {
+        run(ChaseConfig::default().with_semi_naive(false), w)
+    });
+    let (semi_ns, run_s) = time(samples, &mut make, |w| run(ChaseConfig::default(), w));
+    let (parallel_ns, run_p) = time(samples, &mut make, |w| {
+        run(ChaseConfig::default().with_parallel(true), w)
+    });
+    for (mode, r) in [("semi", &run_s), ("parallel", &run_p)] {
+        assert_eq!(run_n.outcome, r.outcome, "{mode} parity violated");
+        assert_eq!(run_n.rounds, r.rounds, "{mode} parity violated");
+        assert_eq!(
+            run_n.final_relation.len(),
+            r.final_relation.len(),
+            "{mode} parity violated"
+        );
+    }
+    Record {
+        workload,
+        naive_ns,
+        semi_ns,
+        parallel_ns,
+        rows: run_s.final_relation.len(),
+        rounds: run_s.rounds,
+    }
+}
+
+/// As [`measure_saturation`] but chasing a goal (`chase_implication`).
+fn measure_implication(len: usize, samples: usize) -> Record {
+    let make = || {
+        let u = universe(len + 1);
+        let mut pool = ValuePool::new(u.clone());
+        let (sigma, goal) = mvd_chain_instance(&u, &mut pool, len);
+        (sigma, goal, pool)
+    };
+    let run = |cfg: ChaseConfig, (sigma, goal, mut pool): (Vec<TdOrEgd>, TdOrEgd, ValuePool)| {
+        chase_implication(&sigma, &goal, &mut pool, &cfg)
+    };
+    let (naive_ns, run_n) = time(samples, make, |w| {
+        run(ChaseConfig::default().with_semi_naive(false), w)
+    });
+    let (semi_ns, run_s) = time(samples, make, |w| run(ChaseConfig::default(), w));
+    let (parallel_ns, run_p) = time(samples, make, |w| {
+        run(ChaseConfig::default().with_parallel(true), w)
+    });
+    for (mode, r) in [("semi", &run_s), ("parallel", &run_p)] {
+        assert_eq!(run_n.outcome, r.outcome, "{mode} parity violated");
+        assert_eq!(run_n.rounds, r.rounds, "{mode} parity violated");
+    }
+    Record {
+        workload: format!("implication/mvd_chain{len}"),
+        naive_ns,
+        semi_ns,
+        parallel_ns,
+        rows: run_s.final_relation.len(),
+        rounds: run_s.rounds,
+    }
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let records = vec![
+        measure_implication(4, 7),
+        measure_implication(5, 5),
+        measure_saturation("saturation/w5/chain4/rows4".into(), 5, || {
+            saturation_workload(5, 4, 4, 1982)
+        }),
+        measure_saturation("saturation/w6/chain5/rows6".into(), 5, || {
+            saturation_workload(6, 5, 6, 1982)
+        }),
+        measure_saturation("saturation/w7/chain6/rows8".into(), 3, || {
+            saturation_workload(7, 6, 8, 1982)
+        }),
+        measure_saturation("egd_saturation/w6/rows32/k2".into(), 3, || {
+            egd_saturation_workload(6, 32, 2, 1982)
+        }),
+        measure_saturation("egd_saturation/w8/rows48/k2".into(), 3, || {
+            egd_saturation_workload(8, 48, 2, 1982)
+        }),
+        measure_saturation("divergent_saturation/inert16".into(), 3, || {
+            divergent_saturation_workload(16, 1982)
+        }),
+        measure_saturation("divergent_saturation/inert32".into(), 3, || {
+            divergent_saturation_workload(32, 1982)
+        }),
+    ];
+
+    println!(
+        "{:<38} {:>12} {:>12} {:>12} {:>8} {:>7} {:>7}",
+        "workload", "naive", "semi", "parallel", "speedup", "rows", "rounds"
+    );
+    for r in &records {
+        println!(
+            "{:<38} {:>9.3} ms {:>9.3} ms {:>9.3} ms {:>7.2}x {:>7} {:>7}",
+            r.workload,
+            r.naive_ns as f64 / 1e6,
+            r.semi_ns as f64 / 1e6,
+            r.parallel_ns as f64 / 1e6,
+            r.naive_ns as f64 / r.semi_ns as f64,
+            r.rows,
+            r.rounds,
+        );
+    }
+
+    if json {
+        let mut out = String::from("[\n");
+        for (i, r) in records.iter().enumerate() {
+            let _ = write!(
+                out,
+                "  {{\"workload\":\"{}\",\"naive_ns\":{},\"semi_ns\":{},\"parallel_ns\":{},\
+                 \"speedup\":{:.3},\"rows\":{},\"rounds\":{}}}{}",
+                r.workload,
+                r.naive_ns,
+                r.semi_ns,
+                r.parallel_ns,
+                r.naive_ns as f64 / r.semi_ns as f64,
+                r.rows,
+                r.rounds,
+                if i + 1 < records.len() { ",\n" } else { "\n" },
+            );
+        }
+        out.push_str("]\n");
+        std::fs::write("BENCH_chase.json", &out).expect("write BENCH_chase.json");
+        println!("\nwrote BENCH_chase.json");
+    }
+}

@@ -357,7 +357,7 @@ fn main() {
     ];
     let mut ran = 0;
     for (name, f) in &all {
-        if filter.as_deref().map_or(true, |w| w == *name) {
+        if filter.as_deref().is_none_or(|w| w == *name) {
             f();
             ran += 1;
         }

@@ -12,7 +12,7 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::sync::Arc;
-use typedtd_dependencies::{Fd, Mvd, Td, TdOrEgd};
+use typedtd_dependencies::{td_from_names, Fd, Mvd, Td, TdOrEgd};
 use typedtd_relational::{AttrId, Relation, Tuple, Universe, Value, ValuePool};
 
 /// A typed universe `A1 … A{width}`.
@@ -133,6 +133,86 @@ pub fn random_td(
             .collect(),
     );
     Td::new(u.clone(), w, hyp)
+}
+
+/// A saturation workload: a seeded random initial relation plus the mvd
+/// chain `A1 ↠ A2, …` as tds, ready for [`typedtd_chase::saturate`].
+///
+/// This is the configuration where naive per-round full rescans are most
+/// expensive: the chase keeps adding exchange rows, and every round the
+/// naive engine re-enumerates every hypothesis embedding over the whole
+/// grown instance while the semi-naive engine only probes the delta.
+pub fn saturation_workload(
+    width: usize,
+    chain: usize,
+    rows: usize,
+    seed: u64,
+) -> (Relation, Vec<TdOrEgd>, ValuePool) {
+    let u = universe(width);
+    let mut pool = ValuePool::new(u.clone());
+    let init = random_relation(&u, &mut pool, rows, 2, seed);
+    let sigma = mvd_chain(&u, chain)
+        .into_iter()
+        .map(|m| TdOrEgd::Td(m.to_pjd().to_td(&u, &mut pool)))
+        .collect();
+    (init, sigma, pool)
+}
+
+/// A budget-bounded divergent saturation workload: `inert_rows` rows of
+/// pairwise-distinct values over `U' = A'B'C'` plus the non-total td
+/// `(x, y, z) ⇒ (y, q1, q2)` ("every B'-value starts a row").
+///
+/// The chase never terminates on this instance — each round extends every
+/// chain by one fresh row — so saturation runs to the configured budget.
+/// Growth is *linear* (one new row per live chain per round) across many
+/// rounds, which is exactly where naive per-round full rescans go
+/// quadratic while the semi-naive engine stays linear.
+pub fn divergent_saturation_workload(
+    inert_rows: usize,
+    seed: u64,
+) -> (Relation, Vec<TdOrEgd>, ValuePool) {
+    let u = Universe::untyped_abc();
+    let mut pool = ValuePool::new(u.clone());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut init = Relation::new(u.clone());
+    let mut i = 0usize;
+    while init.len() < inert_rows {
+        // Distinct values everywhere; the seed only shuffles naming.
+        let salt = rng.random_range(0..1_000_000usize);
+        init.insert(Tuple::new(vec![
+            pool.untyped(&format!("a{i}_{salt}")),
+            pool.untyped(&format!("b{i}_{salt}")),
+            pool.untyped(&format!("c{i}_{salt}")),
+        ]));
+        i += 1;
+    }
+    let successor = td_from_names(&u, &mut pool, &[&["x", "y", "z"]], &["y", "q1", "q2"]);
+    (init, vec![TdOrEgd::Td(successor)], pool)
+}
+
+/// An egd-heavy saturation workload: a seeded random relation over a
+/// `k`-per-column domain plus the fd chain `A1 → A2, …` normalized to egds
+/// (and the closing mvd `A1 ↠ A2` so td rounds interleave with merges).
+///
+/// Dense value reuse (small `k`) makes the fd chain cascade: every merge
+/// rewrites rows, which under the naive engine restarts a full violation
+/// scan per merge — the quadratic behaviour the semi-naive engine removes.
+pub fn egd_saturation_workload(
+    width: usize,
+    rows: usize,
+    k: usize,
+    seed: u64,
+) -> (Relation, Vec<TdOrEgd>, ValuePool) {
+    let u = universe(width);
+    let mut pool = ValuePool::new(u.clone());
+    let init = random_relation(&u, &mut pool, rows, k, seed);
+    let mut sigma: Vec<TdOrEgd> = fd_chain(&u, width - 1)
+        .into_iter()
+        .flat_map(|f| f.to_egds(&u, &mut pool))
+        .map(TdOrEgd::Egd)
+        .collect();
+    sigma.push(TdOrEgd::Td(exchange_td(&u, &mut pool)));
+    (init, sigma, pool)
 }
 
 /// The exchange td encoding `A1 ↠ A2`.

@@ -1,21 +1,51 @@
-//! The chase engine: a *fair* semidecision procedure for (finite)
-//! implication of template and equality-generating dependencies.
+//! The chase engine: a *fair*, **semi-naive** semidecision procedure for
+//! (finite) implication of template and equality-generating dependencies.
 //!
 //! To test `Σ ⊨ (w, I)` the engine freezes `I` as the initial instance and
 //! repeatedly fires unsatisfied dependencies of `Σ`:
 //!
-//! * an egd trigger merges two values (union-find, then row rewriting);
+//! * an egd trigger merges two values (union-find, then index-driven
+//!   rewriting of exactly the rows containing the losing representative);
 //! * a td trigger adds the conclusion row, inventing fresh labeled nulls for
 //!   its existential values.
 //!
+//! # Delta-driven rounds
+//!
 //! Rounds are breadth-first — every trigger existing at the start of a round
 //! fires (or is re-verified as satisfied) before triggers discovered later —
-//! which makes the chase fair, hence complete for implication: if
-//! `Σ ⊨ σ` the goal is reached in finitely many steps; if the chase reaches
-//! a terminal instance, that instance is a (finite!) universal model
-//! witnessing both `Σ ⊭ σ` and `Σ ⊭_f σ`. Divergence within the budget
-//! returns [`ChaseOutcome::Exhausted`] — the undecidable territory the paper
-//! maps (Theorems 2 and 6 show no budget can be sufficient in general).
+//! which makes the chase fair, hence complete for implication. Naively, each
+//! round re-enumerates every hypothesis embedding against the *entire*
+//! instance, so chase cost grows quadratically with the instance. This
+//! engine is instead *semi-naive*, in the Datalog sense:
+//!
+//! * [`ChaseInstance`] stamps every row with the mutation version at which
+//!   it was inserted or last rewritten;
+//! * the runner remembers, per dependency, the version up to which the
+//!   instance has been fully checked (`seen`);
+//! * trigger discovery for a dependency only enumerates embeddings that
+//!   touch at least one row of the *delta* — the rows stamped after `seen`
+//!   — via [`Embedder::for_each_embedding_touching`], which pins one
+//!   hypothesis row to the delta and backtracks over the rest.
+//!
+//! This is sound and complete because triggers are monotone in the chase:
+//! an embedding whose rows are all old and unchanged was already enumerated
+//! when those rows were last in a delta, and was then either fired (its
+//! conclusion row persists, modulo canonicalization) or verified satisfied
+//! (satisfaction persists: rows are never deleted, only canonically
+//! rewritten, and homomorphisms compose with the canonicalization map). The
+//! only operation that breaks per-row tracking — the core chase's
+//! retraction, which may remove rows and remap values wholesale — stamps
+//! every surviving row dirty, forcing a full rescan.
+//!
+//! The naive full-rescan behaviour is preserved behind
+//! [`ChaseConfig::semi_naive`]` = false` as a differential-testing
+//! reference: both modes produce identical [`ChaseOutcome`]s, round counts,
+//! and (up to isomorphism of labeled nulls) final instances.
+//!
+//! With [`ChaseConfig::parallel`] the per-round trigger scan fans out
+//! across dependencies on scoped threads; collected triggers are applied in
+//! dependency order regardless of thread completion order, so traces stay
+//! reproducible.
 //!
 //! Three variants are provided for the ablation benches: the standard
 //! (restricted) chase, the oblivious chase (fires every trigger once,
@@ -29,7 +59,8 @@ use std::ops::ControlFlow;
 use std::sync::Arc;
 use typedtd_dependencies::{Td, TdOrEgd};
 use typedtd_relational::{
-    Embedder, FxHashSet, Relation, Tuple, Universe, Valuation, Value, ValuePool,
+    Embedder, FxHashMap, FxHashSet, Relation, RowDelta, Tuple, Universe, Valuation, Value,
+    ValuePool,
 };
 
 /// Which chase strategy to run.
@@ -56,6 +87,9 @@ pub struct ChaseConfig {
     pub variant: ChaseVariant,
     /// Scan dependencies for triggers on multiple threads.
     pub parallel: bool,
+    /// Delta-driven (semi-naive) trigger discovery. `false` restores the
+    /// naive full-rescan reference; outcomes are identical either way.
+    pub semi_naive: bool,
 }
 
 impl Default for ChaseConfig {
@@ -66,6 +100,7 @@ impl Default for ChaseConfig {
             max_steps: 32_768,
             variant: ChaseVariant::Standard,
             parallel: false,
+            semi_naive: true,
         }
     }
 }
@@ -90,6 +125,12 @@ impl ChaseConfig {
     /// Enables parallel trigger scanning.
     pub fn with_parallel(mut self, on: bool) -> Self {
         self.parallel = on;
+        self
+    }
+
+    /// Toggles semi-naive (delta-driven) trigger discovery.
+    pub fn with_semi_naive(mut self, on: bool) -> Self {
+        self.semi_naive = on;
         self
     }
 }
@@ -147,11 +188,11 @@ pub fn chase_implication(
     pool: &mut ValuePool,
     cfg: &ChaseConfig,
 ) -> ChaseRun {
-    let (universe, init): (Arc<Universe>, Vec<Tuple>) = match goal {
-        TdOrEgd::Td(td) => (td.universe().clone(), td.hypothesis().to_vec()),
-        TdOrEgd::Egd(e) => (e.universe().clone(), e.hypothesis().to_vec()),
+    let (universe, init): (Arc<Universe>, &[Tuple]) = match goal {
+        TdOrEgd::Td(td) => (td.universe().clone(), td.hypothesis()),
+        TdOrEgd::Egd(e) => (e.universe().clone(), e.hypothesis()),
     };
-    let mut runner = Runner::new(universe, init, sigma, pool, cfg);
+    let mut runner = Runner::new(universe, init.iter().cloned(), sigma, pool, cfg);
     runner.run(Some(goal))
 }
 
@@ -165,7 +206,7 @@ pub fn saturate(
 ) -> ChaseRun {
     let mut runner = Runner::new(
         init.universe().clone(),
-        init.rows().to_vec(),
+        init.rows().iter().cloned(),
         sigma,
         pool,
         cfg,
@@ -181,10 +222,17 @@ struct Runner<'a> {
     cfg: &'a ChaseConfig,
     trace: ChaseTrace,
     steps: usize,
-    /// Oblivious-chase memory of fired triggers.
-    fired: FxHashSet<(usize, Vec<Value>)>,
-    /// Per-td sorted hypothesis value lists (trigger keys).
+    /// Oblivious-chase memory of fired triggers, per dependency. Keys are
+    /// the dependency's sorted hypothesis values under the trigger's
+    /// valuation; per-dep sets allow allocation-free slice lookups.
+    fired: Vec<FxHashSet<Vec<Value>>>,
+    /// Per-dependency sorted hypothesis value lists (trigger keys).
     hyp_vals: Vec<Vec<Value>>,
+    /// Per-dependency instance version up to which the dependency has been
+    /// fully verified (the semi-naive frontier).
+    seen: Vec<u64>,
+    /// Scratch buffer for oblivious trigger keys.
+    key_buf: Vec<Value>,
 }
 
 enum Stop {
@@ -196,12 +244,12 @@ enum Stop {
 impl<'a> Runner<'a> {
     fn new(
         universe: Arc<Universe>,
-        init: Vec<Tuple>,
+        init: impl IntoIterator<Item = Tuple>,
         sigma: &'a [TdOrEgd],
         pool: &'a mut ValuePool,
         cfg: &'a ChaseConfig,
     ) -> Self {
-        let hyp_vals = sigma
+        let hyp_vals: Vec<Vec<Value>> = sigma
             .iter()
             .map(|d| {
                 let mut vals: Vec<Value> = match d {
@@ -226,8 +274,10 @@ impl<'a> Runner<'a> {
             cfg,
             trace: ChaseTrace::default(),
             steps: 0,
-            fired: FxHashSet::default(),
+            fired: vec![FxHashSet::default(); sigma.len()],
             hyp_vals,
+            seen: vec![0; sigma.len()],
+            key_buf: Vec::new(),
         }
     }
 
@@ -278,27 +328,56 @@ impl<'a> Runner<'a> {
     }
 
     /// Applies egd merges until none is violated.
+    ///
+    /// Semi-naive: an egd whose delta is empty is already satisfied (its
+    /// hypothesis embeddings into unchanged rows were verified when those
+    /// rows were last dirty, and merges only repair violations on the rows
+    /// they rewrite — which the rewrite stamps dirty again).
     fn egd_saturate(&mut self) -> ControlFlow<Stop> {
         'outer: loop {
+            // Deltas cached per distinct frontier for this pass; a merge
+            // restarts the pass (and the cache) via `continue 'outer`.
+            let mut delta_cache: FxHashMap<u64, RowDelta> = FxHashMap::default();
             for (di, dep) in self.sigma.iter().enumerate() {
                 let TdOrEgd::Egd(e) = dep else { continue };
-                if let Some(alpha) = e.violation(self.inst.relation()) {
-                    let a = alpha.get(e.left()).expect("left bound by hypothesis");
-                    let b = alpha.get(e.right()).expect("right bound by hypothesis");
-                    let matched = alpha.apply_rows(e.hypothesis());
-                    if let Some((kept, gone)) = self.inst.merge(a, b) {
-                        self.trace.steps.push(ChaseStep {
-                            dep: di,
-                            matched,
-                            kind: StepKind::Merge { kept, gone },
-                        });
-                        self.steps += 1;
-                        if self.steps >= self.cfg.max_steps {
-                            return ControlFlow::Break(Stop::Exhausted);
-                        }
+                let scanned_at = self.inst.version();
+                let violation = if self.cfg.semi_naive {
+                    if scanned_at == self.seen[di] {
+                        continue; // frontier current: skip the stamp scan
                     }
-                    continue 'outer;
+                    let inst = &self.inst;
+                    let delta = delta_cache
+                        .entry(self.seen[di])
+                        .or_insert_with(|| inst.delta_since(self.seen[di]));
+                    if delta.is_empty() {
+                        self.seen[di] = scanned_at;
+                        continue;
+                    }
+                    e.violation_touching(self.inst.relation(), delta)
+                } else {
+                    e.violation(self.inst.relation())
+                };
+                let Some(alpha) = violation else {
+                    // Fully verified at this version; nothing before it can
+                    // become violating without being stamped dirty.
+                    self.seen[di] = scanned_at;
+                    continue;
+                };
+                let a = alpha.get(e.left()).expect("left bound by hypothesis");
+                let b = alpha.get(e.right()).expect("right bound by hypothesis");
+                let matched = alpha.apply_rows(e.hypothesis());
+                if let Some((kept, gone)) = self.inst.merge(a, b) {
+                    self.trace.steps.push(ChaseStep {
+                        dep: di,
+                        matched,
+                        kind: StepKind::Merge { kept, gone },
+                    });
+                    self.steps += 1;
+                    if self.steps >= self.cfg.max_steps {
+                        return ControlFlow::Break(Stop::Exhausted);
+                    }
                 }
+                continue 'outer;
             }
             return ControlFlow::Continue(());
         }
@@ -323,23 +402,62 @@ impl<'a> Runner<'a> {
     /// Enumerates td triggers against the current (immutable this round)
     /// instance. For the standard and core variants only *unsatisfied*
     /// triggers count; the oblivious variant takes every not-yet-fired one.
+    ///
+    /// Semi-naive: each td only enumerates embeddings touching its delta;
+    /// its `seen` frontier then advances to the scanned version. With
+    /// `cfg.parallel`, dependencies are scanned on scoped threads and the
+    /// results concatenated in dependency order, so the collected trigger
+    /// list — and hence the applied trace — is deterministic.
     fn collect_td_triggers(&mut self) -> Vec<(usize, Valuation)> {
         let oblivious = self.cfg.variant == ChaseVariant::Oblivious;
+        let scanned_at = self.inst.version();
+        // Per-td delta (None = scan everything, the naive reference).
+        // Frontiers are usually identical across tds in the steady state, so
+        // deltas are cached per distinct `since` value: one stamp scan per
+        // frontier instead of one per dependency.
+        let sinces: Vec<Option<u64>> = self
+            .sigma
+            .iter()
+            .enumerate()
+            .map(|(di, dep)| match dep {
+                TdOrEgd::Td(_) if self.cfg.semi_naive => Some(self.seen[di]),
+                _ => None,
+            })
+            .collect();
+        let mut delta_cache: FxHashMap<u64, RowDelta> = FxHashMap::default();
+        for &since in sinces.iter().flatten() {
+            let inst = &self.inst;
+            delta_cache.entry(since).or_insert_with(|| {
+                if since == scanned_at {
+                    // Frontier current: empty delta without a stamp scan.
+                    RowDelta::default()
+                } else {
+                    inst.delta_since(since)
+                }
+            });
+        }
+        let deltas: Vec<Option<&RowDelta>> = sinces
+            .iter()
+            .map(|s| s.map(|since| &delta_cache[&since]))
+            .collect();
         let relation = self.inst.relation();
         let scan = |di: usize,
                     td: &Td,
                     emb: &Embedder<'_>,
-                    fired: &FxHashSet<(usize, Vec<Value>)>,
+                    fired: &[FxHashSet<Vec<Value>>],
                     hyp_vals: &[Vec<Value>]|
          -> Vec<(usize, Valuation)> {
             let mut out = Vec::new();
-            emb.for_each_embedding(td.hypothesis(), &Valuation::new(), |alpha| {
+            let mut key_buf: Vec<Value> = Vec::new();
+            let mut visit = |alpha: &Valuation| {
                 let is_trigger = if oblivious {
-                    let key: Vec<Value> = hyp_vals[di]
-                        .iter()
-                        .map(|&v| alpha.get(v).expect("hypothesis value bound"))
-                        .collect();
-                    !fired.contains(&(di, key))
+                    key_buf.clear();
+                    key_buf.extend(
+                        hyp_vals[di]
+                            .iter()
+                            .map(|&v| alpha.get(v).expect("hypothesis value bound")),
+                    );
+                    !fired[di].contains(key_buf.as_slice())
                 } else {
                     !emb.embeds(std::slice::from_ref(td.conclusion()), alpha)
                 };
@@ -347,7 +465,22 @@ impl<'a> Runner<'a> {
                     out.push((di, alpha.clone()));
                 }
                 ControlFlow::Continue(())
-            });
+            };
+            match deltas[di] {
+                Some(delta) => {
+                    if !delta.is_empty() {
+                        emb.for_each_embedding_touching(
+                            td.hypothesis(),
+                            &Valuation::new(),
+                            delta,
+                            &mut visit,
+                        );
+                    }
+                }
+                None => {
+                    emb.for_each_embedding(td.hypothesis(), &Valuation::new(), &mut visit);
+                }
+            }
             out
         };
 
@@ -356,22 +489,22 @@ impl<'a> Runner<'a> {
             let emb = Embedder::new(relation);
             let fired = &self.fired;
             let hyp_vals = &self.hyp_vals;
-            let results: Vec<Vec<(usize, Valuation)>> = crossbeam::thread::scope(|scope| {
+            let results: Vec<Vec<(usize, Valuation)>> = std::thread::scope(|scope| {
                 let handles: Vec<_> = self
                     .sigma
                     .iter()
                     .enumerate()
                     .map(|(di, dep)| {
                         let emb = &emb;
-                        scope.spawn(move |_| match dep {
+                        let scan = &scan;
+                        scope.spawn(move || match dep {
                             TdOrEgd::Td(td) => scan(di, td, emb, fired, hyp_vals),
                             TdOrEgd::Egd(_) => Vec::new(),
                         })
                     })
                     .collect();
                 handles.into_iter().map(|h| h.join().unwrap()).collect()
-            })
-            .expect("trigger scan threads");
+            });
             for r in results {
                 triggers.extend(r);
             }
@@ -380,6 +513,13 @@ impl<'a> Runner<'a> {
             for (di, dep) in self.sigma.iter().enumerate() {
                 if let TdOrEgd::Td(td) = dep {
                     triggers.extend(scan(di, td, &emb, &self.fired, &self.hyp_vals));
+                }
+            }
+        }
+        if self.cfg.semi_naive {
+            for (di, dep) in self.sigma.iter().enumerate() {
+                if matches!(dep, TdOrEgd::Td(_)) {
+                    self.seen[di] = scanned_at;
                 }
             }
         }
@@ -399,13 +539,16 @@ impl<'a> Runner<'a> {
                 alpha.iter().map(|(v, img)| (v, self.inst.resolve(img))),
             );
             if oblivious {
-                let key: Vec<Value> = self.hyp_vals[di]
-                    .iter()
-                    .map(|&v| resolved.get(v).expect("hypothesis value bound"))
-                    .collect();
-                if !self.fired.insert((di, key)) {
+                self.key_buf.clear();
+                self.key_buf.extend(
+                    self.hyp_vals[di]
+                        .iter()
+                        .map(|&v| resolved.get(v).expect("hypothesis value bound")),
+                );
+                if self.fired[di].contains(self.key_buf.as_slice()) {
                     continue;
                 }
+                self.fired[di].insert(self.key_buf.clone());
             } else {
                 let emb = Embedder::new(self.inst.relation());
                 if emb.embeds(std::slice::from_ref(td.conclusion()), &resolved) {
@@ -439,7 +582,7 @@ impl<'a> Runner<'a> {
     }
 
     /// Core-chase retraction: shrink the instance to its core, keeping the
-    /// frozen values fixed.
+    /// frozen values fixed. Marks every row dirty (full rescan next round).
     fn retract_to_core(&mut self) {
         let frozen: FxHashSet<Value> = self
             .inst

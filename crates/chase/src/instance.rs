@@ -3,12 +3,18 @@
 //! A chase instance starts from the goal dependency's hypothesis (whose
 //! values are *frozen* — they are the symbols the final answer is phrased
 //! in) and grows by td steps (new rows with fresh labeled nulls) and egd
-//! steps (merging two values in a union-find, then rewriting all rows to
-//! canonical representatives).
+//! steps (merging two values in a union-find, then rewriting the rows that
+//! contain the merged-away value to canonical representatives).
+//!
+//! For the semi-naive engine the instance also keeps a *version* per row:
+//! a monotone counter stamped when the row was inserted or last rewritten.
+//! [`ChaseInstance::delta_since`] then answers "which rows changed since a
+//! dependency was last scanned" in one linear pass, which is what restricts
+//! trigger discovery to new work.
 
 use crate::unionfind::UnionFind;
 use std::sync::Arc;
-use typedtd_relational::{FxHashSet, Relation, Tuple, Universe, Value};
+use typedtd_relational::{FxHashSet, Relation, RowDelta, Tuple, Universe, Value};
 
 /// Mutable chase state.
 #[derive(Clone)]
@@ -16,6 +22,10 @@ pub struct ChaseInstance {
     relation: Relation,
     uf: UnionFind,
     frozen: FxHashSet<Value>,
+    /// Monotone mutation counter; bumped by inserts, merges, replacements.
+    version: u64,
+    /// Per-row version stamps, parallel to `relation.rows()`.
+    row_versions: Vec<u64>,
 }
 
 impl ChaseInstance {
@@ -23,10 +33,13 @@ impl ChaseInstance {
     pub fn new(universe: Arc<Universe>, rows: impl IntoIterator<Item = Tuple>) -> Self {
         let relation = Relation::from_rows(universe, rows);
         let frozen = relation.val();
+        let row_versions = vec![1; relation.len()];
         Self {
             relation,
             uf: UnionFind::new(),
             frozen,
+            version: 1,
+            row_versions,
         }
     }
 
@@ -65,27 +78,63 @@ impl ChaseInstance {
         self.uf.find_readonly(v)
     }
 
+    /// The current mutation version (stamped on the most recent change).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The rows inserted or rewritten strictly after version `since`.
+    pub fn delta_since(&self, since: u64) -> RowDelta {
+        RowDelta::from_ids(
+            self.row_versions
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| v > since)
+                .map(|(i, _)| i as u32)
+                .collect(),
+        )
+    }
+
     /// Inserts a row after canonicalizing its values.
     /// Returns `true` if the row is new.
     pub fn insert(&mut self, t: Tuple) -> bool {
         let canon = t.map(|v| self.uf.find(v));
-        self.relation.insert(canon)
+        if self.relation.insert(canon) {
+            self.version += 1;
+            self.row_versions.push(self.version);
+            true
+        } else {
+            false
+        }
     }
 
-    /// Merges the classes of `a` and `b` and rewrites all rows.
+    /// Merges the classes of `a` and `b` and rewrites the rows containing
+    /// the losing representative (located through the relation's index; no
+    /// full rescan).
     ///
     /// Returns `(winner, loser)` if the classes were distinct.
     pub fn merge(&mut self, a: Value, b: Value) -> Option<(Value, Value)> {
-        let merged = self.uf.union(a, b)?;
-        // Rewrite every row to canonical form; duplicates collapse.
-        let universe = self.relation.universe().clone();
-        let old_rows: Vec<Tuple> = self.relation.rows().to_vec();
-        let mut fresh = Relation::new(universe);
-        for t in old_rows {
-            fresh.insert(t.map(|v| self.uf.find(v)));
+        let (winner, loser) = self.uf.union(a, b)?;
+        // Rows hold canonical representatives only, so the sole stale value
+        // is `loser`; rewrite exactly the rows containing it.
+        if let Some(report) = self.relation.rewrite_value(loser, winner) {
+            if !report.removed.is_empty() {
+                // Duplicate rows were compacted away: shift version stamps.
+                let removed: FxHashSet<u32> = report.removed.iter().copied().collect();
+                let mut next = 0u32;
+                self.row_versions.retain(|_| {
+                    let keep = !removed.contains(&next);
+                    next += 1;
+                    keep
+                });
+            }
+            self.version += 1;
+            for &i in &report.changed {
+                self.row_versions[i as usize] = self.version;
+            }
+            debug_assert_eq!(self.row_versions.len(), self.relation.len());
         }
-        self.relation = fresh;
-        Some(merged)
+        Some((winner, loser))
     }
 
     /// `true` if `a` and `b` are currently identified.
@@ -94,12 +143,17 @@ impl ChaseInstance {
     }
 
     /// Replaces the row set wholesale (used by the core-chase retraction),
-    /// keeping the union-find and the frozen set.
+    /// keeping the union-find and the frozen set. Every row of the
+    /// replacement is stamped dirty, so the next semi-naive scan is a full
+    /// rescan — retraction may both remove rows and remap values, which
+    /// invalidates per-row change tracking.
     ///
     /// # Panics
     /// Panics if the replacement is over a different universe.
     pub fn replace_relation(&mut self, relation: Relation) {
         assert_eq!(relation.universe().width(), self.relation.universe().width());
+        self.version += 1;
+        self.row_versions = vec![self.version; relation.len()];
         self.relation = relation;
     }
 }
@@ -148,6 +202,83 @@ mod tests {
         assert_eq!(inst.len(), 2);
         inst.merge(b1, b2);
         assert_eq!(inst.len(), 1, "merged rows must collapse");
+    }
+
+    #[test]
+    fn delta_tracks_inserts_and_merges() {
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        let (a, b, c, d) = (
+            p.untyped("a"),
+            p.untyped("b"),
+            p.untyped("c"),
+            p.untyped("d"),
+        );
+        let mut inst = ChaseInstance::new(
+            u.clone(),
+            [Tuple::new(vec![a, b, c]), Tuple::new(vec![a, c, d])],
+        );
+        // Everything is dirty relative to version 0.
+        assert_eq!(inst.delta_since(0).ids(), &[0, 1]);
+        let checkpoint = inst.version();
+        assert!(inst.delta_since(checkpoint).is_empty());
+
+        // An insert dirties exactly the new row.
+        assert!(inst.insert(Tuple::new(vec![d, d, d])));
+        assert_eq!(inst.delta_since(checkpoint).ids(), &[2]);
+
+        // A merge dirties exactly the rewritten rows.
+        let checkpoint = inst.version();
+        inst.merge(b, c);
+        // Rows 0 and 1 contain the loser c (b wins: smaller index); row 2
+        // is untouched.
+        assert_eq!(inst.delta_since(checkpoint).ids(), &[0, 1]);
+    }
+
+    #[test]
+    fn delta_survives_merge_compaction() {
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        let (a, b1, b2, c, x) = (
+            p.untyped("a"),
+            p.untyped("b1"),
+            p.untyped("b2"),
+            p.untyped("c"),
+            p.untyped("x"),
+        );
+        let mut inst = ChaseInstance::new(
+            u.clone(),
+            [
+                Tuple::new(vec![a, b1, c]),
+                Tuple::new(vec![a, b2, c]),
+                Tuple::new(vec![x, x, x]),
+            ],
+        );
+        let checkpoint = inst.version();
+        inst.merge(b1, b2);
+        assert_eq!(inst.len(), 2, "duplicate row collapsed");
+        // Old row 1 rewrote into a copy of row 0 and vanished; row 0 itself
+        // never changed, and old row 2 (now row 1) must not be dirty either
+        // — a collapsed duplicate creates no new embeddings.
+        let delta = inst.delta_since(checkpoint);
+        assert!(delta.is_empty(), "unexpected dirty rows: {:?}", delta.ids());
+        // Version bookkeeping stayed aligned with the rows.
+        assert_eq!(inst.relation().rows()[1].get(u.a("A'")), x);
+    }
+
+    #[test]
+    fn replace_relation_dirties_everything() {
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        let (a, b, c) = (p.untyped("a"), p.untyped("b"), p.untyped("c"));
+        let mut inst = ChaseInstance::new(u.clone(), [Tuple::new(vec![a, b, c])]);
+        let checkpoint = inst.version();
+        let replacement = Relation::from_rows(
+            u.clone(),
+            [Tuple::new(vec![a, b, c]), Tuple::new(vec![b, c, a])],
+        );
+        inst.replace_relation(replacement);
+        assert_eq!(inst.delta_since(checkpoint).ids(), &[0, 1]);
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //! * [`chase_implication`] / [`saturate`] — the chase, in standard,
 //!   oblivious, and core variants, with machine-checkable
 //!   [`trace::ChaseTrace`]s (the paper's own Lemma 10 is a chase
-//!   derivation);
+//!   derivation). Trigger discovery is *semi-naive*: per-row version
+//!   stamps restrict each round's embedding search to the delta (see
+//!   [`engine`] for the architecture and the naive reference mode);
 //! * [`search::random_counterexample`] / [`search::exhaustive_counterexample`]
 //!   — enumeration of finite models, the r.e. procedure for `Σ ⊭_f σ`;
 //! * [`decide`] / [`decide_dependencies`] — both procedures dovetailed into

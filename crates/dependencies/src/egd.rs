@@ -6,7 +6,9 @@
 
 use std::ops::ControlFlow;
 use std::sync::Arc;
-use typedtd_relational::{Embedder, Relation, Tuple, Universe, Valuation, Value, ValuePool};
+use typedtd_relational::{
+    Embedder, Relation, RowDelta, Tuple, Universe, Valuation, Value, ValuePool,
+};
 
 /// An equality-generating dependency `(a = b, I)`.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -122,6 +124,26 @@ impl Egd {
         witness
     }
 
+    /// Finds a violating valuation whose hypothesis embedding touches at
+    /// least one row of `delta` — the semi-naive chase's restricted check.
+    ///
+    /// Complete relative to the semi-naive invariant: if every embedding
+    /// avoiding `delta` was previously verified non-violating (and the
+    /// touched rows have not changed since), `None` here means `J ⊨ self`.
+    pub fn violation_touching(&self, j: &Relation, delta: &RowDelta) -> Option<Valuation> {
+        let emb = Embedder::new(j);
+        let mut witness = None;
+        emb.for_each_embedding_touching(&self.hypothesis, &Valuation::new(), delta, |alpha| {
+            if alpha.get(self.left) == alpha.get(self.right) {
+                ControlFlow::Continue(())
+            } else {
+                witness = Some(alpha.clone());
+                ControlFlow::Break(())
+            }
+        });
+        witness
+    }
+
     /// Renders the egd as `a = b ⇐ I` via the given pool.
     pub fn render(&self, pool: &ValuePool) -> String {
         let rows: Vec<(String, &Tuple)> = self
@@ -176,6 +198,35 @@ mod tests {
         let bad = rel(&u, &mut p, &[&["a", "b", "c"], &["a", "e", "d"]]);
         assert!(!egd.satisfied_by(&bad));
         assert!(egd.violation(&bad).is_some());
+    }
+
+    #[test]
+    fn violation_touching_respects_delta() {
+        use typedtd_relational::RowDelta;
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        let egd = egd_from_names(
+            &u,
+            &mut p,
+            &[&["x", "y1", "z1"], &["x", "y2", "z2"]],
+            ("B'", "y1"),
+            ("B'", "y2"),
+        );
+        // Rows 0 and 1 are clean together; row 2 introduces the violation.
+        let j = rel(
+            &u,
+            &mut p,
+            &[&["a", "b", "c"], &["a", "b", "d"], &["a", "e", "f"]],
+        );
+        assert!(egd.violation(&j).is_some());
+        // Any delta containing the offending row finds it …
+        assert!(egd
+            .violation_touching(&j, &RowDelta::from_ids(vec![2]))
+            .is_some());
+        // … and an empty delta scans nothing, violating relation or not.
+        assert!(egd
+            .violation_touching(&j, &RowDelta::from_ids(vec![]))
+            .is_none());
     }
 
     #[test]

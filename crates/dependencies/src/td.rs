@@ -7,7 +7,9 @@
 
 use crate::egd::Egd;
 use std::ops::ControlFlow;
-use typedtd_relational::{AttrId, AttrSet, Embedder, Relation, Tuple, Universe, Valuation, ValuePool};
+use typedtd_relational::{
+    AttrId, AttrSet, Embedder, Relation, Tuple, Universe, Valuation, ValuePool,
+};
 use typedtd_relational::FxHashSet;
 use std::sync::Arc;
 

@@ -46,7 +46,6 @@ pub fn all_pjds(universe: &Arc<Universe>, max_components: usize) -> Vec<Pjd> {
         combo: &mut Vec<usize>,
         max: usize,
         out: &mut Vec<Pjd>,
-        universe: &Arc<Universe>,
     ) {
         if !combo.is_empty() {
             let comps: Vec<AttrSet> = combo.iter().map(|&i| subsets[i].clone()).collect();
@@ -70,12 +69,12 @@ pub fn all_pjds(universe: &Arc<Universe>, max_components: usize) -> Vec<Pjd> {
         }
         for i in start..subsets.len() {
             combo.push(i);
-            rec(subsets, i + 1, combo, max, out, universe);
+            rec(subsets, i + 1, combo, max, out);
             combo.pop();
         }
     }
     let _ = k;
-    rec(&subsets, 0, &mut combo, max_components, &mut out, universe);
+    rec(&subsets, 0, &mut combo, max_components, &mut out);
     out
 }
 

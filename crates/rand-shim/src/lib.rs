@@ -1,0 +1,215 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so this workspace member
+//! provides — under the same crate name — exactly the API surface the
+//! workspace uses: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and
+//! [`RngExt::random_range`] over integer ranges.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 (both public
+//! domain algorithms). Streams are deterministic in the seed, which is all
+//! the workloads and the counterexample search rely on; no cryptographic
+//! claims are made.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seeding entry points, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed, deterministically.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Uniform sampling over a range, mirroring the `rand 0.9` `Rng` surface.
+pub trait RngExt {
+    /// The next raw 64 bits of the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample from `range`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn random_range<T: SampleUniform, R: IntoSampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        let (lo, hi_inclusive) = range.into_bounds();
+        T::sample_inclusive(self, lo, hi_inclusive)
+    }
+}
+
+/// Types that can be sampled uniformly from an inclusive bound pair.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// A uniform sample from `[lo, hi]`.
+    fn sample_inclusive<R: RngExt>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+/// Conversion of range syntax into inclusive bounds.
+pub trait IntoSampleRange<T> {
+    /// `(low, high)` with both ends inclusive.
+    fn into_bounds(self) -> (T, T);
+}
+
+impl SampleUniform for usize {
+    fn sample_inclusive<R: RngExt>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo <= hi, "cannot sample from an empty range");
+        let span = (hi - lo) as u64 + 1;
+        lo + uniform_u64(rng, span) as usize
+    }
+}
+
+impl SampleUniform for u64 {
+    fn sample_inclusive<R: RngExt>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo <= hi, "cannot sample from an empty range");
+        let span = hi.wrapping_sub(lo).wrapping_add(1);
+        if span == 0 {
+            return rng.next_u64();
+        }
+        lo + uniform_u64(rng, span)
+    }
+}
+
+impl SampleUniform for u32 {
+    fn sample_inclusive<R: RngExt>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo <= hi, "cannot sample from an empty range");
+        let span = (hi - lo) as u64 + 1;
+        lo + uniform_u64(rng, span) as u32
+    }
+}
+
+/// Debiased multiply-shift sampling of `[0, span)` (Lemire's method).
+fn uniform_u64<R: RngExt>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128).wrapping_mul(span as u128);
+        let low = m as u64;
+        if low >= span.wrapping_neg() % span {
+            return (m >> 64) as u64;
+        }
+        // Rejected to keep the distribution exactly uniform; retry.
+    }
+}
+
+impl<T: Copy + Decrement> IntoSampleRange<T> for Range<T> {
+    fn into_bounds(self) -> (T, T) {
+        (self.start, self.end.decrement())
+    }
+}
+
+impl<T: Copy> IntoSampleRange<T> for RangeInclusive<T> {
+    fn into_bounds(self) -> (T, T) {
+        (*self.start(), *self.end())
+    }
+}
+
+/// Helper to turn an exclusive upper bound into an inclusive one.
+pub trait Decrement {
+    /// `self - 1`.
+    fn decrement(self) -> Self;
+}
+
+macro_rules! impl_decrement {
+    ($($t:ty),*) => {$(
+        impl Decrement for $t {
+            fn decrement(self) -> Self {
+                assert!(self > 0, "cannot sample from an empty range");
+                self - 1
+            }
+        }
+    )*};
+}
+impl_decrement!(usize, u64, u32);
+
+/// Concrete generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngExt, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (stand-in for `rand`'s `StdRng`).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed into the full state, as
+            // recommended by the xoshiro authors.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngExt for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.s = s;
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: usize = rng.random_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: usize = rng.random_range(1..=4);
+            assert!((1..=4).contains(&y));
+        }
+    }
+
+    #[test]
+    fn singleton_range_is_constant() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(rng.random_range(5..6), 5usize);
+            assert_eq!(rng.random_range(5..=5), 5usize);
+        }
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[rng.random_range(0..4usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "skewed bucket: {counts:?}");
+        }
+    }
+}

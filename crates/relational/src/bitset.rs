@@ -36,15 +36,6 @@ impl AttrSet {
         s
     }
 
-    /// Builds a set from an iterator of attributes.
-    pub fn from_iter<I: IntoIterator<Item = AttrId>>(iter: I) -> Self {
-        let mut s = Self::new();
-        for a in iter {
-            s.insert(a);
-        }
-        s
-    }
-
     /// Inserts `a`; returns `true` if it was not already present.
     pub fn insert(&mut self, a: AttrId) -> bool {
         let (w, b) = (a.0 as usize / 64, a.0 as usize % 64);
@@ -143,7 +134,11 @@ impl AttrSet {
 
 impl FromIterator<AttrId> for AttrSet {
     fn from_iter<I: IntoIterator<Item = AttrId>>(iter: I) -> Self {
-        AttrSet::from_iter(iter)
+        let mut s = Self::new();
+        for a in iter {
+            s.insert(a);
+        }
+        s
     }
 }
 

@@ -94,19 +94,80 @@ impl Valuation {
     }
 }
 
+/// A set of target-row positions used to restrict embedding search: the
+/// semi-naive chase's *delta* (rows added or rewritten since a dependency
+/// was last checked).
+#[derive(Clone, Debug, Default)]
+pub struct RowDelta {
+    sorted: Vec<u32>,
+    set: crate::fx::FxHashSet<u32>,
+}
+
+impl RowDelta {
+    /// Builds a delta from row positions (deduplicated, kept sorted).
+    pub fn from_ids(mut ids: Vec<u32>) -> Self {
+        ids.sort_unstable();
+        ids.dedup();
+        let set = ids.iter().copied().collect();
+        Self { sorted: ids, set }
+    }
+
+    /// Number of delta rows.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `true` if the delta is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, id: u32) -> bool {
+        self.set.contains(&id)
+    }
+
+    /// The positions, ascending.
+    pub fn ids(&self) -> &[u32] {
+        &self.sorted
+    }
+}
+
+/// How a source row may be placed during delta-restricted search.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum RowClass {
+    /// Any target row.
+    Any,
+    /// Only delta rows (the pinned source row).
+    Delta,
+    /// Only non-delta rows (source rows before the pin, so each embedding is
+    /// enumerated exactly once: at its smallest delta-touching source index).
+    Old,
+}
+
+struct DeltaConstraint<'d> {
+    classes: Vec<RowClass>,
+    delta: &'d RowDelta,
+}
+
 /// Reusable embedding searcher for one target relation.
+///
+/// Borrows the target's incrementally maintained [`ColumnIndex`] —
+/// construction is free of index-build cost.
 pub struct Embedder<'a> {
     target: &'a Relation,
-    index: ColumnIndex,
+    index: &'a ColumnIndex,
     attrs: Vec<AttrId>,
 }
 
 impl<'a> Embedder<'a> {
-    /// Prepares an index over `target`.
+    /// Prepares a searcher over `target` (no index build; the relation
+    /// maintains its index incrementally).
     pub fn new(target: &'a Relation) -> Self {
         Self {
             target,
-            index: target.column_index(),
+            index: target.index(),
             attrs: target.universe().attrs().collect(),
         }
     }
@@ -126,10 +187,54 @@ impl<'a> Embedder<'a> {
         seed: &Valuation,
         mut f: impl FnMut(&Valuation) -> ControlFlow<()>,
     ) -> bool {
-        let order = self.plan(source, seed);
+        let order = self.plan(source, seed, None);
         let mut alpha = seed.clone();
         let f: &mut dyn FnMut(&Valuation) -> ControlFlow<()> = &mut f;
-        self.search(source, &order, 0, &mut alpha, f).is_break()
+        self.search(source, &order, 0, &mut alpha, None, f).is_break()
+    }
+
+    /// Calls `f` for every valuation `α ⊇ seed` with `α(source) ⊆ target`
+    /// that maps **at least one source row onto a row of `delta`** — the
+    /// semi-naive trigger-discovery entry point.
+    ///
+    /// Each qualifying embedding is enumerated exactly once: it is produced
+    /// for the *smallest* source-row index whose image lies in the delta
+    /// (earlier rows are constrained to old rows, later rows are free).
+    /// With an empty `source` or an empty `delta` nothing is enumerated.
+    ///
+    /// Returns `true` if `f` broke out early.
+    pub fn for_each_embedding_touching(
+        &self,
+        source: &[Tuple],
+        seed: &Valuation,
+        delta: &RowDelta,
+        mut f: impl FnMut(&Valuation) -> ControlFlow<()>,
+    ) -> bool {
+        if source.is_empty() || delta.is_empty() {
+            return false;
+        }
+        let f: &mut dyn FnMut(&Valuation) -> ControlFlow<()> = &mut f;
+        for pin in 0..source.len() {
+            let order = self.plan(source, seed, Some(pin));
+            let constraint = DeltaConstraint {
+                classes: (0..source.len())
+                    .map(|i| match i.cmp(&pin) {
+                        std::cmp::Ordering::Less => RowClass::Old,
+                        std::cmp::Ordering::Equal => RowClass::Delta,
+                        std::cmp::Ordering::Greater => RowClass::Any,
+                    })
+                    .collect(),
+                delta,
+            };
+            let mut alpha = seed.clone();
+            if self
+                .search(source, &order, 0, &mut alpha, Some(&constraint), f)
+                .is_break()
+            {
+                return true;
+            }
+        }
+        false
     }
 
     /// First embedding extending `seed`, if any.
@@ -158,14 +263,21 @@ impl<'a> Embedder<'a> {
     }
 
     /// Orders source rows most-constrained-first: rows sharing values with
-    /// the seed or with already-placed rows come early.
-    fn plan(&self, source: &[Tuple], seed: &Valuation) -> Vec<usize> {
+    /// the seed or with already-placed rows come early. With `first` set,
+    /// that row is placed up front (the semi-naive pin, whose candidate set
+    /// is the small delta).
+    fn plan(&self, source: &[Tuple], seed: &Valuation, first: Option<usize>) -> Vec<usize> {
         let n = source.len();
         let mut placed = vec![false; n];
         let mut bound: std::collections::HashSet<Value> =
             seed.iter().map(|(v, _)| v).collect();
         let mut order = Vec::with_capacity(n);
-        for _ in 0..n {
+        if let Some(pin) = first {
+            placed[pin] = true;
+            bound.extend(source[pin].val());
+            order.push(pin);
+        }
+        while order.len() < n {
             let best = (0..n)
                 .filter(|&i| !placed[i])
                 .max_by_key(|&i| {
@@ -187,12 +299,14 @@ impl<'a> Embedder<'a> {
         order: &[usize],
         depth: usize,
         alpha: &mut Valuation,
+        constraint: Option<&DeltaConstraint<'_>>,
         f: &mut dyn FnMut(&Valuation) -> ControlFlow<()>,
     ) -> ControlFlow<()> {
         if depth == order.len() {
             return f(alpha);
         }
         let row = &source[order[depth]];
+        let class = constraint.map_or(RowClass::Any, |c| c.classes[order[depth]]);
 
         // Choose the cheapest candidate source: the bound column with the
         // shortest posting list, or the whole relation if nothing is bound.
@@ -200,17 +314,31 @@ impl<'a> Embedder<'a> {
         for &a in &self.attrs {
             if let Some(img) = alpha.get(row.get(a)) {
                 let posting = self.index.rows_with(a, img);
-                if best.map_or(true, |b| posting.len() < b.len()) {
+                if best.is_none_or(|b| posting.len() < b.len()) {
                     best = Some(posting);
                 }
             }
         }
 
         let try_candidate = |this: &Self,
-                             cand: &Tuple,
-                             alpha: &mut Valuation,
-                             f: &mut dyn FnMut(&Valuation) -> ControlFlow<()>|
+                                 ri: u32,
+                                 alpha: &mut Valuation,
+                                 f: &mut dyn FnMut(&Valuation) -> ControlFlow<()>|
          -> ControlFlow<()> {
+            match class {
+                RowClass::Any => {}
+                RowClass::Delta => {
+                    if !constraint.expect("delta class implies constraint").delta.contains(ri) {
+                        return ControlFlow::Continue(());
+                    }
+                }
+                RowClass::Old => {
+                    if constraint.expect("old class implies constraint").delta.contains(ri) {
+                        return ControlFlow::Continue(());
+                    }
+                }
+            }
+            let cand = &this.target.rows()[ri as usize];
             let mut trail: Vec<Value> = Vec::new();
             let mut ok = true;
             for &a in &this.attrs {
@@ -229,7 +357,7 @@ impl<'a> Embedder<'a> {
                 }
             }
             let flow = if ok {
-                this.search(source, order, depth + 1, alpha, f)
+                this.search(source, order, depth + 1, alpha, constraint, f)
             } else {
                 ControlFlow::Continue(())
             };
@@ -239,16 +367,32 @@ impl<'a> Embedder<'a> {
             flow
         };
 
-        match best {
-            Some(posting) => {
-                for &ri in posting {
-                    let cand = &self.target.rows()[ri as usize];
-                    try_candidate(self, cand, alpha, f)?;
+        // For a pinned (delta-class) row, the delta itself is usually the
+        // smallest candidate set; consistency with `alpha` is re-checked by
+        // `try_candidate`, so any superset of the true candidates is sound.
+        let delta_ids = match class {
+            RowClass::Delta => constraint.map(|c| c.delta.ids()),
+            _ => None,
+        };
+        match (best, delta_ids) {
+            (Some(posting), Some(ids)) if ids.len() < posting.len() => {
+                for &ri in ids {
+                    try_candidate(self, ri, alpha, f)?;
                 }
             }
-            None => {
-                for cand in self.target.rows() {
-                    try_candidate(self, cand, alpha, f)?;
+            (None, Some(ids)) => {
+                for &ri in ids {
+                    try_candidate(self, ri, alpha, f)?;
+                }
+            }
+            (Some(posting), _) => {
+                for &ri in posting {
+                    try_candidate(self, ri, alpha, f)?;
+                }
+            }
+            (None, None) => {
+                for ri in 0..self.target.rows().len() as u32 {
+                    try_candidate(self, ri, alpha, f)?;
                 }
             }
         }
@@ -398,5 +542,90 @@ mod tests {
         let (r, _) = rel(&u, &mut p, &[["a", "b", "c"]]);
         let e = Embedder::new(&r);
         assert_eq!(e.count_embeddings(&[], &Valuation::new()), 1);
+    }
+
+    fn count_touching(
+        e: &Embedder<'_>,
+        source: &[Tuple],
+        delta: &RowDelta,
+    ) -> usize {
+        let mut n = 0;
+        e.for_each_embedding_touching(source, &Valuation::new(), delta, |_| {
+            n += 1;
+            ControlFlow::Continue(())
+        });
+        n
+    }
+
+    /// The delta-restricted enumeration must produce exactly the embeddings
+    /// that touch the delta, each exactly once: full = touching + avoiding.
+    #[test]
+    fn touching_partitions_the_embedding_space() {
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        let (r, _) = rel(
+            &u,
+            &mut p,
+            &[["a", "b", "c"], ["c", "d", "e"], ["a", "d", "e"], ["e", "b", "a"]],
+        );
+        // A two-row chained pattern with plenty of matches.
+        let x = p.untyped("x");
+        let m = p.untyped("m");
+        let q1 = p.untyped("q1");
+        let q2 = p.untyped("q2");
+        let q3 = p.untyped("q3");
+        let pattern = vec![Tuple::new(vec![x, q1, m]), Tuple::new(vec![m, q2, q3])];
+        let e = Embedder::new(&r);
+
+        for delta_ids in [vec![0u32], vec![1, 3], vec![0, 1, 2, 3], vec![]] {
+            let delta = RowDelta::from_ids(delta_ids.clone());
+            // Count "avoiding" embeddings: all rows land outside the delta.
+            let old_rows: Vec<Tuple> = r
+                .rows()
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !delta.contains(*i as u32))
+                .map(|(_, t)| t.clone())
+                .collect();
+            let old_rel = Relation::from_rows(u.clone(), old_rows);
+            let old_emb = Embedder::new(&old_rel);
+            let avoiding = old_emb.count_embeddings(&pattern, &Valuation::new());
+            let total = e.count_embeddings(&pattern, &Valuation::new());
+            assert_eq!(
+                count_touching(&e, &pattern, &delta) + avoiding,
+                total,
+                "partition failed for delta {delta_ids:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn touching_with_empty_delta_or_source_finds_nothing() {
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        let (r, rows) = rel(&u, &mut p, &[["a", "b", "c"]]);
+        let e = Embedder::new(&r);
+        assert_eq!(count_touching(&e, &rows, &RowDelta::from_ids(vec![])), 0);
+        assert_eq!(count_touching(&e, &[], &RowDelta::from_ids(vec![0])), 0);
+    }
+
+    #[test]
+    fn touching_respects_break() {
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        let (r, _) = rel(&u, &mut p, &[["a", "b", "c"], ["d", "e", "f"]]);
+        let x = p.untyped("x");
+        let y = p.untyped("y");
+        let z = p.untyped("z");
+        let pattern = vec![Tuple::new(vec![x, y, z])];
+        let e = Embedder::new(&r);
+        let delta = RowDelta::from_ids(vec![0, 1]);
+        let mut calls = 0;
+        let broke = e.for_each_embedding_touching(&pattern, &Valuation::new(), &delta, |_| {
+            calls += 1;
+            ControlFlow::Break(())
+        });
+        assert!(broke);
+        assert_eq!(calls, 1);
     }
 }

@@ -41,9 +41,9 @@ pub mod value;
 pub use bitset::AttrSet;
 pub use display::{render_relation, render_rows};
 pub use fx::{FxHashMap, FxHashSet};
-pub use hom::{embeds, find_embedding, Embedder, Valuation};
+pub use hom::{embeds, find_embedding, Embedder, RowDelta, Valuation};
 pub use isomorphism::{isomorphic, isomorphism};
-pub use relation::{project_join, ColumnIndex, Projection, Relation};
+pub use relation::{project_join, ColumnIndex, Projection, Relation, RewriteReport};
 pub use tuple::Tuple;
 pub use universe::{AttrId, Typing, Universe};
 pub use value::{Value, ValuePool};

@@ -14,11 +14,17 @@ use std::sync::Arc;
 ///
 /// Insertion order is preserved so that the paper's tables print
 /// byte-for-byte; equality is *set* equality and ignores order.
+///
+/// The relation maintains its own inverted [`ColumnIndex`] incrementally:
+/// [`Relation::insert`] appends postings and [`Relation::rewrite_value`]
+/// (the equality-generating chase step) patches exactly the postings of the
+/// rewritten value. Embedding search therefore never pays an index build.
 #[derive(Clone)]
 pub struct Relation {
     universe: Arc<Universe>,
     rows: Vec<Tuple>,
     seen: FxHashSet<Tuple>,
+    index: ColumnIndex,
 }
 
 impl Relation {
@@ -28,6 +34,7 @@ impl Relation {
             universe,
             rows: Vec::new(),
             seen: FxHashSet::default(),
+            index: ColumnIndex::default(),
         }
     }
 
@@ -58,6 +65,7 @@ impl Relation {
         if self.seen.contains(&t) {
             return false;
         }
+        self.index.add_row(self.rows.len() as u32, self.universe.width(), &t);
         self.seen.insert(t.clone());
         self.rows.push(t);
         true
@@ -158,16 +166,110 @@ impl Relation {
         Ok(())
     }
 
-    /// An index from `(column, value)` to row positions.
-    pub fn column_index(&self) -> ColumnIndex {
-        let mut map: FxHashMap<(AttrId, Value), Vec<u32>> = FxHashMap::default();
-        for (i, t) in self.rows.iter().enumerate() {
-            for a in self.universe.attrs() {
-                map.entry((a, t.get(a))).or_default().push(i as u32);
-            }
-        }
-        ColumnIndex { map }
+    /// The incrementally maintained index from `(column, value)` to row
+    /// positions. Always consistent with [`Relation::rows`].
+    pub fn index(&self) -> &ColumnIndex {
+        &self.index
     }
+
+    /// Replaces every occurrence of `from` by `to`, in place — the
+    /// equality-generating chase's row rewrite.
+    ///
+    /// Affected rows are located through the index (no full scan), and when
+    /// no rows collapse into duplicates the index is patched rather than
+    /// rebuilt. Returns `None` if `from` does not occur (or equals `to`);
+    /// otherwise a [`RewriteReport`] naming the surviving rewritten rows and
+    /// any removed duplicates.
+    ///
+    /// When a rewritten row collides with another row, the *first occurrence
+    /// in row order of the resulting tuple* survives; later copies are
+    /// removed and subsequent rows shift down, exactly as if all rows had
+    /// been re-inserted in order.
+    pub fn rewrite_value(&mut self, from: Value, to: Value) -> Option<RewriteReport> {
+        if from == to {
+            return None;
+        }
+        let mut affected: Vec<u32> = Vec::new();
+        for a in self.universe.attrs() {
+            affected.extend_from_slice(self.index.rows_with(a, from));
+        }
+        if affected.is_empty() {
+            return None;
+        }
+        affected.sort_unstable();
+        affected.dedup();
+
+        // Optimistic fast path: detect collisions before touching any row.
+        // `seen` temporarily loses the affected originals and gains their
+        // images; on a collision it is reconstructed by the slow path.
+        for &i in &affected {
+            self.seen.remove(&self.rows[i as usize]);
+        }
+        let mut images: Vec<Tuple> = Vec::with_capacity(affected.len());
+        let mut collision = false;
+        for &i in &affected {
+            let rewritten = self.rows[i as usize].map(|v| if v == from { to } else { v });
+            if self.seen.contains(&rewritten) {
+                collision = true;
+                break;
+            }
+            self.seen.insert(rewritten.clone());
+            images.push(rewritten);
+        }
+
+        if !collision {
+            // No collapse: commit the images in place; `from`'s postings
+            // migrate wholesale to `to`.
+            for (&i, image) in affected.iter().zip(images) {
+                self.rows[i as usize] = image;
+            }
+            self.index.merge_value_postings(self.universe.width(), from, to);
+            return Some(RewriteReport {
+                changed: affected,
+                removed: Vec::new(),
+            });
+        }
+
+        // Slow path — some rows collapse. Replay the reference semantics
+        // ("rewrite every row, re-insert in order, first occurrence wins"),
+        // rebuilding rows, seen, and index from scratch. Note the survivor
+        // of a collision group is the *earliest position*, which may itself
+        // be a rewritten row standing in front of an untouched duplicate.
+        let affected_lookup: FxHashSet<u32> = affected.iter().copied().collect();
+        let old_rows = std::mem::take(&mut self.rows);
+        self.seen.clear();
+        let mut changed: Vec<u32> = Vec::new();
+        let mut removed: Vec<u32> = Vec::new();
+        for (i, t) in old_rows.into_iter().enumerate() {
+            let was_affected = affected_lookup.contains(&(i as u32));
+            let nt = if was_affected {
+                t.map(|v| if v == from { to } else { v })
+            } else {
+                t
+            };
+            if self.seen.contains(&nt) {
+                removed.push(i as u32);
+                continue;
+            }
+            if was_affected {
+                changed.push(self.rows.len() as u32);
+            }
+            self.seen.insert(nt.clone());
+            self.rows.push(nt);
+        }
+        self.index.rebuild(self.universe.width(), &self.rows);
+        Some(RewriteReport { changed, removed })
+    }
+}
+
+/// What [`Relation::rewrite_value`] did to the row set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RewriteReport {
+    /// Row positions (post-compaction) whose tuple was rewritten.
+    pub changed: Vec<u32>,
+    /// Pre-compaction positions of rows removed as duplicates, ascending.
+    /// When nonempty, every position after `removed[0]` has shifted down.
+    pub removed: Vec<u32>,
 }
 
 impl PartialEq for Relation {
@@ -187,14 +289,62 @@ impl fmt::Debug for Relation {
 }
 
 /// Inverted index over a relation: `(column, value) → rows`.
+///
+/// Posting lists are kept sorted ascending by row position; every mutation
+/// preserves that invariant, so iteration over candidates is deterministic.
+#[derive(Clone, Default)]
 pub struct ColumnIndex {
     map: FxHashMap<(AttrId, Value), Vec<u32>>,
 }
 
 impl ColumnIndex {
-    /// Row positions whose column `a` holds `v`.
+    /// Row positions whose column `a` holds `v`, ascending.
     pub fn rows_with(&self, a: AttrId, v: Value) -> &[u32] {
         self.map.get(&(a, v)).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Appends postings for a row being pushed at position `id`.
+    fn add_row(&mut self, id: u32, width: usize, t: &Tuple) {
+        for a in (0..width).map(|i| AttrId(i as u16)) {
+            self.map.entry((a, t.get(a))).or_default().push(id);
+        }
+    }
+
+    /// Moves every posting of `from` into `to`'s lists (merge of two sorted,
+    /// disjoint lists per column).
+    fn merge_value_postings(&mut self, width: usize, from: Value, to: Value) {
+        for a in (0..width).map(|i| AttrId(i as u16)) {
+            let Some(old) = self.map.remove(&(a, from)) else {
+                continue;
+            };
+            let entry = self.map.entry((a, to)).or_default();
+            if entry.is_empty() {
+                *entry = old;
+            } else {
+                let mut merged = Vec::with_capacity(entry.len() + old.len());
+                let (mut i, mut j) = (0, 0);
+                while i < entry.len() && j < old.len() {
+                    if entry[i] < old[j] {
+                        merged.push(entry[i]);
+                        i += 1;
+                    } else {
+                        merged.push(old[j]);
+                        j += 1;
+                    }
+                }
+                merged.extend_from_slice(&entry[i..]);
+                merged.extend_from_slice(&old[j..]);
+                *entry = merged;
+            }
+        }
+    }
+
+    /// Rebuilds from scratch (used after row compaction).
+    fn rebuild(&mut self, width: usize, rows: &[Tuple]) {
+        self.map.clear();
+        for (i, t) in rows.iter().enumerate() {
+            self.add_row(i as u32, width, t);
+        }
     }
 }
 
@@ -412,6 +562,146 @@ mod tests {
         let abc = r.project(&u.all());
         let a = abc.project(&u.set("A'"));
         assert_eq!(a.len(), 1);
+    }
+
+    /// The incrementally maintained index must match a from-scratch build.
+    fn assert_index_consistent(r: &Relation) {
+        let u = r.universe().clone();
+        for (i, t) in r.rows().iter().enumerate() {
+            for a in u.attrs() {
+                let posting = r.index().rows_with(a, t.get(a));
+                assert!(
+                    posting.contains(&(i as u32)),
+                    "row {i} missing from posting ({a:?}, {:?})",
+                    t.get(a)
+                );
+                assert!(
+                    posting.windows(2).all(|w| w[0] < w[1]),
+                    "posting ({a:?}, {:?}) not strictly sorted: {posting:?}",
+                    t.get(a)
+                );
+            }
+        }
+        // No stale postings: every posting entry points at a row that
+        // actually holds the value in that column.
+        for a in u.attrs() {
+            for t in r.rows() {
+                for &ri in r.index().rows_with(a, t.get(a)) {
+                    assert_eq!(r.rows()[ri as usize].get(a), t.get(a));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn insert_maintains_index() {
+        let (u, mut p) = abc();
+        let r = rel(
+            &u,
+            &mut p,
+            &[["a", "b", "c"], ["b", "a", "c"], ["a", "a", "a"]],
+        );
+        assert_index_consistent(&r);
+        let a = p.get(None, "a").unwrap();
+        assert_eq!(r.index().rows_with(AttrId(0), a), &[0, 2]);
+        assert_eq!(r.index().rows_with(AttrId(2), a), &[2]);
+    }
+
+    #[test]
+    fn rewrite_value_patches_index_without_collapse() {
+        let (u, mut p) = abc();
+        let mut r = rel(&u, &mut p, &[["a", "b", "c"], ["b", "d", "e"]]);
+        let (a, b) = (p.get(None, "a").unwrap(), p.get(None, "b").unwrap());
+        let report = r.rewrite_value(b, a).expect("b occurs");
+        assert_eq!(report.changed, vec![0, 1]);
+        assert!(report.removed.is_empty());
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.rows()[0].get(AttrId(1)), a);
+        assert_eq!(r.rows()[1].get(AttrId(0)), a);
+        // b's postings are gone; a's postings absorbed them, sorted.
+        assert_eq!(r.index().rows_with(AttrId(0), a), &[0, 1]);
+        assert!(r.index().rows_with(AttrId(0), b).is_empty());
+        assert_index_consistent(&r);
+    }
+
+    #[test]
+    fn rewrite_value_collapses_duplicates_and_rebuilds() {
+        let (u, mut p) = abc();
+        // Rewriting b2 -> b1 makes rows 0 and 1 equal; row 1 must vanish
+        // and row 2 shift down.
+        let mut r = rel(
+            &u,
+            &mut p,
+            &[["a", "b1", "c"], ["a", "b2", "c"], ["x", "y", "z"]],
+        );
+        let (b1, b2) = (p.get(None, "b1").unwrap(), p.get(None, "b2").unwrap());
+        let report = r.rewrite_value(b2, b1).expect("b2 occurs");
+        assert_eq!(report.removed, vec![1]);
+        assert_eq!(report.changed, Vec::<u32>::new());
+        assert_eq!(r.len(), 2);
+        let x = p.get(None, "x").unwrap();
+        assert_eq!(r.index().rows_with(AttrId(0), x), &[1], "row 2 shifted to 1");
+        assert_index_consistent(&r);
+    }
+
+    #[test]
+    fn rewrite_collision_with_later_row_keeps_earlier_position() {
+        let (u, mut p) = abc();
+        // Rewriting b -> a makes row 0 equal row 2. First occurrence in row
+        // order wins: the (rewritten) row 0 survives, the later untouched
+        // copy is removed — exactly as if all rows were re-inserted in
+        // order.
+        let mut r = rel(
+            &u,
+            &mut p,
+            &[["b", "x", "c"], ["m", "n", "o"], ["a", "x", "c"]],
+        );
+        let (a, b) = (p.get(None, "a").unwrap(), p.get(None, "b").unwrap());
+        let report = r.rewrite_value(b, a).expect("b occurs");
+        assert_eq!(report.changed, vec![0]);
+        assert_eq!(report.removed, vec![2]);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.rows()[0].get(AttrId(0)), a, "survivor sits at position 0");
+        let m = p.get(None, "m").unwrap();
+        assert_eq!(r.rows()[1].get(AttrId(0)), m);
+        assert_index_consistent(&r);
+    }
+
+    #[test]
+    fn rewrite_value_missing_is_noop() {
+        let (u, mut p) = abc();
+        let mut r = rel(&u, &mut p, &[["a", "b", "c"]]);
+        let ghost = p.untyped("ghost");
+        let a = p.get(None, "a").unwrap();
+        assert!(r.rewrite_value(ghost, a).is_none());
+        assert!(r.rewrite_value(a, a).is_none());
+        assert_eq!(r.len(), 1);
+        assert_index_consistent(&r);
+    }
+
+    #[test]
+    fn rewrite_value_chain_keeps_index_consistent() {
+        let (u, mut p) = abc();
+        let mut r = rel(
+            &u,
+            &mut p,
+            &[
+                ["v0", "v1", "v2"],
+                ["v1", "v2", "v3"],
+                ["v2", "v3", "v4"],
+                ["v3", "v4", "v0"],
+            ],
+        );
+        let v: Vec<Value> = (0..5)
+            .map(|i| p.get(None, &format!("v{i}")).unwrap())
+            .collect();
+        // Collapse the whole chain into v0, one merge at a time.
+        for i in 1..5 {
+            r.rewrite_value(v[i], v[0]);
+            assert_index_consistent(&r);
+        }
+        assert_eq!(r.len(), 1, "all rows collapse to (v0, v0, v0)");
+        assert!(r.rows()[0].val().all(|x| x == v[0]));
     }
 
     #[test]

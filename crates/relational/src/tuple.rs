@@ -134,7 +134,7 @@ mod tests {
     fn checked_rejects_sort_violation() {
         let (u, mut p) = setup();
         let a = p.typed(u.a("A"), "a");
-        let vals: Vec<Value> = std::iter::repeat(a).take(6).collect();
+        let vals: Vec<Value> = std::iter::repeat_n(a, 6).collect();
         let err = Tuple::checked(&u, &p, vals).unwrap_err();
         assert!(err.contains("column B"), "unexpected error: {err}");
     }

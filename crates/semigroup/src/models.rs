@@ -18,9 +18,9 @@ pub fn semigroups(order: usize) -> impl Iterator<Item = Vec<Vec<usize>>> {
     (0..total).filter_map(move |code| {
         let mut table = vec![vec![0usize; order]; order];
         let mut c = code;
-        for i in 0..order {
-            for j in 0..order {
-                table[i][j] = c % order;
+        for row in &mut table {
+            for cell in row.iter_mut() {
+                *cell = c % order;
                 c /= order;
             }
         }

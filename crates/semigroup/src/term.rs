@@ -20,7 +20,9 @@ pub enum Term {
 }
 
 impl Term {
-    /// Shorthand product.
+    /// Shorthand product. Not `std::ops::Mul`: this is a by-value static
+    /// constructor over two terms, not an operator on `self`.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(a: Term, b: Term) -> Term {
         Term::Mul(Box::new(a), Box::new(b))
     }

@@ -142,7 +142,7 @@ fn oblivious_chase_is_bounded_by_budget_on_divergent_input() {
         max_rows: 64,
         max_steps: 128,
         variant: ChaseVariant::Oblivious,
-        parallel: false,
+        ..ChaseConfig::default()
     };
     let run = chase_implication(&sigma, &goal, &mut pool, &cfg);
     assert_eq!(run.outcome, ChaseOutcome::Exhausted);
