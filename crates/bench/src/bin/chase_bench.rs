@@ -1,25 +1,32 @@
 //! Chase throughput measurement: semi-naive vs naive, sequential vs
-//! parallel, across saturation and implication workloads.
+//! parallel, across saturation and implication workloads — plus the
+//! service scenario, where the three columns become *sequential `decide`*
+//! vs *service (cached)* vs *service (cached + workers)* over a
+//! cache-friendly query batch, with `rows` = jobs and `rounds` = answers
+//! served without fresh work (cache hits + coalesced).
 //!
 //! Prints a table by default; with `--json` additionally writes
 //! `BENCH_chase.json` (an array of per-workload records with median
-//! nanoseconds and the semi-naive speedup) for the perf trajectory.
+//! nanoseconds and the speedup of column two over column one) for the perf
+//! trajectory.
 //!
 //! Workload construction runs *outside* the timed region — only the chase
 //! itself is measured. Each mode's runs are also parity-checked against
-//! the naive reference (outcome, rounds, row count) before reporting.
+//! the naive reference (outcome, rounds, row count — answers, for the
+//! service scenario) before reporting.
 //!
 //! Usage: `cargo run --release -p typedtd-bench --bin chase_bench [--json]`
 
 use std::fmt::Write as _;
 use std::time::Instant;
 use typedtd_bench::{
-    divergent_saturation_workload, egd_saturation_workload, mvd_chain_instance,
-    saturation_workload, universe,
+    divergent_saturation_workload, egd_cascade_workload, egd_saturation_workload,
+    mvd_chain_instance, saturation_workload, service_batch_workload, universe, Query,
 };
-use typedtd_chase::{chase_implication, saturate, ChaseConfig, ChaseRun};
+use typedtd_chase::{chase_implication, decide, saturate, Answer, ChaseConfig, ChaseRun, DecideConfig};
 use typedtd_relational::{Relation, ValuePool};
 use typedtd_dependencies::TdOrEgd;
+use typedtd_service::{ImplicationService, JobStatus, ServiceConfig};
 
 struct Record {
     workload: String,
@@ -126,6 +133,61 @@ fn measure_implication(len: usize, samples: usize) -> Record {
     }
 }
 
+/// Runs the batch through the service, returning answers in submission
+/// order plus how many were served without fresh work.
+fn run_service(queries: Vec<Query>, workers: usize) -> (Vec<Answer>, u64) {
+    let mut service = ImplicationService::new(ServiceConfig {
+        workers,
+        ..ServiceConfig::default()
+    });
+    let ids: Vec<_> = queries
+        .into_iter()
+        .map(|(sigma, goal, pool)| service.submit(sigma, goal, pool))
+        .collect();
+    service.run_to_completion();
+    let answers = ids
+        .iter()
+        .map(|&id| match service.poll(id) {
+            JobStatus::Done(outcome) => outcome.implication,
+            JobStatus::Pending => unreachable!("run_to_completion resolves every job"),
+        })
+        .collect();
+    let s = service.stats();
+    (answers, s.cache_hits + s.coalesced)
+}
+
+/// The acceptance scenario: a cache-friendly batch decided three ways —
+/// naive sequential `decide`, the service, the service with worker
+/// threads. Answers must agree position-for-position.
+fn measure_service_batch(distinct: usize, renamings: usize, samples: usize) -> Record {
+    let make = || service_batch_workload(distinct, renamings, 1982);
+    let decide_all = |queries: Vec<Query>| -> Vec<Answer> {
+        queries
+            .into_iter()
+            .map(|(sigma, goal, mut pool)| {
+                decide(&sigma, &goal, &mut pool, &DecideConfig::default()).implication
+            })
+            .collect()
+    };
+    let (naive_ns, seq_answers) = time(samples, make, decide_all);
+    let (semi_ns, (svc_answers, served_free)) = time(samples, make, |q| run_service(q, 1));
+    let (parallel_ns, (par_answers, _)) = time(samples, make, |q| run_service(q, 4));
+    assert_eq!(seq_answers, svc_answers, "service parity violated");
+    assert_eq!(seq_answers, par_answers, "worker-service parity violated");
+    assert!(
+        seq_answers.iter().all(|a| *a != Answer::Unknown),
+        "batch must be fully decidable so the comparison is apples-to-apples"
+    );
+    Record {
+        workload: format!("service_batch/d{distinct}xr{renamings}"),
+        naive_ns,
+        semi_ns,
+        parallel_ns,
+        rows: seq_answers.len(),
+        rounds: served_free as usize,
+    }
+}
+
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
     let records = vec![
@@ -152,6 +214,14 @@ fn main() {
         measure_saturation("divergent_saturation/inert32".into(), 3, || {
             divergent_saturation_workload(32, 1982)
         }),
+        measure_saturation("egd_cascade/chains4".into(), 3, || {
+            egd_cascade_workload(4, 1982)
+        }),
+        measure_saturation("egd_cascade/chains8".into(), 3, || {
+            egd_cascade_workload(8, 1982)
+        }),
+        measure_service_batch(4, 12, 3),
+        measure_service_batch(6, 25, 3),
     ];
 
     println!(

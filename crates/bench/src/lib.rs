@@ -12,7 +12,7 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::sync::Arc;
-use typedtd_dependencies::{td_from_names, Fd, Mvd, Td, TdOrEgd};
+use typedtd_dependencies::{egd_from_names, td_from_names, Fd, Mvd, Td, TdOrEgd};
 use typedtd_relational::{AttrId, Relation, Tuple, Universe, Value, ValuePool};
 
 /// A typed universe `A1 … A{width}`.
@@ -215,6 +215,109 @@ pub fn egd_saturation_workload(
     (init, sigma, pool)
 }
 
+/// An egd-cascade workload whose union-find merge activity stays
+/// proportional to rounds (instead of collapsing in round 0).
+///
+/// Over `U' = A'B'C'` each of `chains` seed rows `(aᵢ, bᵢ, cᵢ)` starts an
+/// infinite chain driven by two successor tds and two fds-as-egds:
+///
+/// * td₁ `(x, y, z) ⇒ (y, q₁, q₂)` and td₂ `(x, y, z) ⇒ (y, z, q₃)` both
+///   fire on every live row, producing two rows that share their `A'`
+///   value;
+/// * `A' → B'` then merges the fresh `q₁` with the old `z`, and `A' → C'`
+///   merges `q₂` with `q₃` — collapsing the two successors into one row
+///   (which also exercises duplicate-row compaction and the dirty-log
+///   remap) that seeds the next round.
+///
+/// Steady state: per chain per round, two td inserts, two egd merges, one
+/// compaction — linear growth, constant per-round merge activity, never
+/// terminating (runs to the configured budget).
+pub fn egd_cascade_workload(chains: usize, seed: u64) -> (Relation, Vec<TdOrEgd>, ValuePool) {
+    let u = Universe::untyped_abc();
+    let mut pool = ValuePool::new(u.clone());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut init = Relation::new(u.clone());
+    let mut i = 0usize;
+    while init.len() < chains {
+        let salt = rng.random_range(0..1_000_000usize);
+        init.insert(Tuple::new(vec![
+            pool.untyped(&format!("a{i}_{salt}")),
+            pool.untyped(&format!("b{i}_{salt}")),
+            pool.untyped(&format!("c{i}_{salt}")),
+        ]));
+        i += 1;
+    }
+    let td1 = td_from_names(&u, &mut pool, &[&["x", "y", "z"]], &["y", "q1", "q2"]);
+    let td2 = td_from_names(&u, &mut pool, &[&["x", "y", "z"]], &["y", "z", "q3"]);
+    let fd_b = egd_from_names(
+        &u,
+        &mut pool,
+        &[&["x", "y1", "z1"], &["x", "y2", "z2"]],
+        ("B'", "y1"),
+        ("B'", "y2"),
+    );
+    let fd_c = egd_from_names(
+        &u,
+        &mut pool,
+        &[&["x", "y1", "z1"], &["x", "y2", "z2"]],
+        ("C'", "z1"),
+        ("C'", "z2"),
+    );
+    let sigma = vec![
+        TdOrEgd::Td(td1),
+        TdOrEgd::Td(td2),
+        TdOrEgd::Egd(fd_b),
+        TdOrEgd::Egd(fd_c),
+    ];
+    (init, sigma, pool)
+}
+
+/// One implication query: `(Σ, goal, pool)` ready for `decide` or a
+/// service submission.
+pub type Query = (Vec<TdOrEgd>, TdOrEgd, ValuePool);
+
+/// A cache-friendly batch: `distinct` structurally different fd/mvd-chain
+/// implication queries, each resubmitted `renamings` times under fresh
+/// variable names and rotated Σ order — the million-tenant shape a real
+/// service sees. Every query carries its own pool, as service jobs do.
+pub fn service_batch_workload(distinct: usize, renamings: usize, seed: u64) -> Vec<Query> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut queries = Vec::with_capacity(distinct * renamings);
+    for d in 0..distinct {
+        // Alternate decided-yes chains and refuted goals so the batch
+        // exercises both chase terminations.
+        let width = 3 + d % 3;
+        let u = universe(width);
+        for r in 0..renamings {
+            let mut pool = ValuePool::new(u.clone());
+            // Fresh salt per renaming: same structure, disjoint names.
+            let salt = rng.random_range(0..1_000_000u32);
+            for c in 0..width {
+                // Pre-intern decoy values so variable handles differ even
+                // for the first dependency minted from this pool.
+                pool.typed(AttrId(c as u16), &format!("decoy{salt}_{c}"));
+            }
+            let (mut sigma, goal) = mvd_chain_instance(&u, &mut pool, width - 1);
+            let goal = if d % 2 == 0 {
+                goal
+            } else {
+                // Reverse the chain direction: not implied, finite
+                // counterexample found by the terminal chase instance.
+                let back = Mvd::new(
+                    u.clone(),
+                    [AttrId(width as u16 - 1)].into_iter().collect(),
+                    [AttrId(0)].into_iter().collect(),
+                );
+                TdOrEgd::Td(back.to_pjd().to_td(&u, &mut pool))
+            };
+            let rot = r % sigma.len().max(1);
+            sigma.rotate_left(rot);
+            queries.push((sigma, goal, pool));
+        }
+    }
+    queries
+}
+
 /// The exchange td encoding `A1 ↠ A2`.
 pub fn exchange_td(u: &Arc<Universe>, pool: &mut ValuePool) -> Td {
     Mvd::new(
@@ -252,6 +355,44 @@ mod tests {
             &typedtd_chase::ChaseConfig::default(),
         );
         assert_eq!(run.outcome, typedtd_chase::ChaseOutcome::Implied);
+    }
+
+    #[test]
+    fn egd_cascade_merges_stay_proportional_to_rounds() {
+        use typedtd_chase::{saturate, ChaseConfig, ChaseOutcome};
+        let (init, sigma, mut pool) = egd_cascade_workload(4, 7);
+        let cfg = ChaseConfig {
+            max_rounds: 24,
+            ..ChaseConfig::default()
+        };
+        let run = saturate(&init, &sigma, &mut pool, &cfg);
+        assert_eq!(run.outcome, ChaseOutcome::Exhausted, "cascade never terminates");
+        // Two merges per chain per steady-state round: merge activity must
+        // scale with rounds, not collapse at the start.
+        let merges = run.trace.merges();
+        assert!(
+            merges >= 2 * 4 * (run.rounds.saturating_sub(2)),
+            "merges ({merges}) must stay proportional to rounds ({})",
+            run.rounds
+        );
+        // Steady state adds two rows and merges twice per chain per round
+        // (round 0 inserts before any merge exists), so inserts keep pace.
+        assert!(run.trace.rows_added() >= merges, "tds keep pace with egds");
+    }
+
+    #[test]
+    fn service_batch_is_cache_friendly() {
+        let queries = service_batch_workload(3, 4, 11);
+        assert_eq!(queries.len(), 12);
+        // Renamings of the same structure share a canonical key.
+        let keys: Vec<_> = queries
+            .iter()
+            .map(|(s, g, _)| typedtd_service::query_key(s, g))
+            .collect();
+        let mut distinct = keys.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct.len(), 3, "4 renamings per structure must collapse");
     }
 
     #[test]

@@ -1,5 +1,6 @@
-//! The chase engine: a *fair*, **semi-naive** semidecision procedure for
-//! (finite) implication of template and equality-generating dependencies.
+//! The chase engine: a *fair*, **semi-naive**, *resumable* semidecision
+//! procedure for (finite) implication of template and equality-generating
+//! dependencies.
 //!
 //! To test `Σ ⊨ (w, I)` the engine freezes `I` as the initial instance and
 //! repeatedly fires unsatisfied dependencies of `Σ`:
@@ -19,13 +20,17 @@
 //! engine is instead *semi-naive*, in the Datalog sense:
 //!
 //! * [`ChaseInstance`] stamps every row with the mutation version at which
-//!   it was inserted or last rewritten;
+//!   it was inserted or last rewritten, and mirrors the stamps into an
+//!   append-only dirty-row log;
 //! * the runner remembers, per dependency, the version up to which the
 //!   instance has been fully checked (`seen`);
 //! * trigger discovery for a dependency only enumerates embeddings that
-//!   touch at least one row of the *delta* — the rows stamped after `seen`
-//!   — via [`Embedder::for_each_embedding_touching`], which pins one
-//!   hypothesis row to the delta and backtracks over the rest.
+//!   touch at least one row of the *delta* — the rows stamped after `seen`,
+//!   drained from the log in time proportional to the delta — via
+//!   [`Embedder::for_each_embedding_touching`], which pins one hypothesis
+//!   row to the delta and backtracks over the rest. Deltas are cached per
+//!   distinct frontier for the pass ([`FrontierDeltas`]), shared by the egd
+//!   and td scans.
 //!
 //! This is sound and complete because triggers are monotone in the chase:
 //! an embedding whose rows are all old and unchanged was already enumerated
@@ -43,9 +48,22 @@
 //! and (up to isomorphism of labeled nulls) final instances.
 //!
 //! With [`ChaseConfig::parallel`] the per-round trigger scan fans out
-//! across dependencies on scoped threads; collected triggers are applied in
+//! across scoped threads — but only for the dependencies with work to do:
+//! egds and empty-delta tds never spawn. Collected triggers are applied in
 //! dependency order regardless of thread completion order, so traces stay
 //! reproducible.
+//!
+//! # Resumable stepping
+//!
+//! The engine's unit of preemption is the breadth-first round. A
+//! [`ChaseTask`] owns the full mid-chase state — instance, per-dependency
+//! frontiers, trace, value pool — and [`ChaseTask::step`] runs at most
+//! `fuel` rounds before yielding [`StepStatus::Pending`]. This is what lets
+//! a scheduler dovetail many implication queries fairly (the paper's
+//! problems are undecidable, so any single query may diverge; preemption
+//! bounds the damage to one fuel slice). The blocking entry points
+//! [`chase_implication`] and [`saturate`] are thin drivers that create a
+//! task and run it to completion.
 //!
 //! Three variants are provided for the ablation benches: the standard
 //! (restricted) chase, the oblivious chase (fires every trigger once,
@@ -147,6 +165,19 @@ pub enum ChaseOutcome {
     Exhausted,
 }
 
+/// Whether a resumable task needs more fuel or has finished.
+///
+/// Shared by [`ChaseTask`], [`crate::search::SearchTask`], and
+/// [`crate::implication::DecideTask`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StepStatus {
+    /// The fuel slice ran out before the task finished; step again.
+    Pending,
+    /// The task finished with this outcome. Further `step` calls are no-ops
+    /// returning the same status.
+    Done(ChaseOutcome),
+}
+
 /// A finished chase run.
 #[derive(Clone, Debug)]
 pub struct ChaseRun {
@@ -167,7 +198,9 @@ pub type Goal = TdOrEgd;
 /// Tests `Σ ⊨ goal` by chasing the goal's hypothesis with `Σ`.
 ///
 /// Fresh labeled nulls are minted from `pool` (which must be the pool the
-/// dependencies' values came from).
+/// dependencies' values came from). This is a thin driver over
+/// [`ChaseTask`]: it snapshots the pool into a task, runs the task to
+/// completion, and writes the evolved pool back.
 ///
 /// ```
 /// use typedtd_chase::{chase_implication, ChaseConfig, ChaseOutcome};
@@ -188,38 +221,115 @@ pub fn chase_implication(
     pool: &mut ValuePool,
     cfg: &ChaseConfig,
 ) -> ChaseRun {
-    let (universe, init): (Arc<Universe>, &[Tuple]) = match goal {
-        TdOrEgd::Td(td) => (td.universe().clone(), td.hypothesis()),
-        TdOrEgd::Egd(e) => (e.universe().clone(), e.hypothesis()),
-    };
-    let mut runner = Runner::new(universe, init.iter().cloned(), sigma, pool, cfg);
-    runner.run(Some(goal))
+    // Move the pool into the task (leaving an empty stand-in) instead of
+    // deep-cloning it; the evolved pool moves back out at the end.
+    let empty = ValuePool::new(pool.universe().clone());
+    let taken = std::mem::replace(pool, empty);
+    let mut task = ChaseTask::implication(sigma.to_vec(), goal.clone(), taken, cfg.clone());
+    task.run_to_completion();
+    let (run, evolved) = task.finish();
+    *pool = evolved;
+    run
 }
 
 /// Chases an initial relation to a fixpoint ("saturation"): the result is a
 /// universal model of `Σ` over the initial rows if `terminal` is reached.
+/// Thin driver over [`ChaseTask::saturation`].
 pub fn saturate(
     init: &Relation,
     sigma: &[TdOrEgd],
     pool: &mut ValuePool,
     cfg: &ChaseConfig,
 ) -> ChaseRun {
-    let mut runner = Runner::new(
-        init.universe().clone(),
-        init.rows().iter().cloned(),
-        sigma,
-        pool,
-        cfg,
-    );
-    runner.run(None)
+    let empty = ValuePool::new(pool.universe().clone());
+    let taken = std::mem::replace(pool, empty);
+    let mut task = ChaseTask::saturation(init, sigma.to_vec(), taken, cfg.clone());
+    task.run_to_completion();
+    let (run, evolved) = task.finish();
+    *pool = evolved;
+    run
 }
 
-struct Runner<'a> {
+/// Per-pass cache of [`ChaseInstance::delta_since`] results keyed by
+/// frontier version, shared by the egd and td scans. Frontiers are usually
+/// identical across dependencies in the steady state, so each distinct
+/// frontier drains the dirty log exactly once per pass.
+#[derive(Default)]
+struct FrontierDeltas {
+    cache: FxHashMap<u64, RowDelta>,
+}
+
+impl FrontierDeltas {
+    /// Computes (or reuses) the delta for frontier `since`.
+    fn fill(&mut self, inst: &ChaseInstance, since: u64) -> &RowDelta {
+        self.cache.entry(since).or_insert_with(|| {
+            if since == inst.version() {
+                // Frontier current: empty delta without touching the log.
+                RowDelta::default()
+            } else {
+                inst.delta_since(since)
+            }
+        })
+    }
+
+    /// A previously filled delta.
+    fn get(&self, since: u64) -> &RowDelta {
+        &self.cache[&since]
+    }
+}
+
+/// Checks whether the goal is derivable in the instance.
+fn goal_holds(inst: &mut ChaseInstance, goal: &Goal) -> bool {
+    match goal {
+        TdOrEgd::Egd(e) => inst.identified(e.left(), e.right()),
+        TdOrEgd::Td(td) => {
+            let seed = Valuation::from_pairs(
+                td.hypothesis_values()
+                    .into_iter()
+                    .map(|v| (v, inst.resolve(v))),
+            );
+            let emb = Embedder::new(inst.relation());
+            emb.embeds(std::slice::from_ref(td.conclusion()), &seed)
+        }
+    }
+}
+
+/// A resumable chase: the full mid-run state of one saturation or
+/// implication chase, preemptible at round granularity.
+///
+/// The task owns everything the chase mutates — the [`ChaseInstance`], the
+/// per-dependency semi-naive frontiers, the trace, and the [`ValuePool`]
+/// fresh nulls are minted from — so tasks can be held, swapped, and stepped
+/// in any interleaving. [`ChaseTask::step`] runs at most `fuel`
+/// breadth-first rounds; once it reports [`StepStatus::Done`], call
+/// [`ChaseTask::finish`] to extract the [`ChaseRun`] and the evolved pool.
+///
+/// ```
+/// use typedtd_chase::{ChaseConfig, ChaseOutcome, ChaseTask, StepStatus};
+/// use typedtd_dependencies::{Mvd, TdOrEgd};
+/// use typedtd_relational::{Universe, ValuePool};
+///
+/// let u = Universe::typed(vec!["A", "B", "C"]);
+/// let mut pool = ValuePool::new(u.clone());
+/// let sigma = vec![TdOrEgd::Td(Mvd::parse(&u, "A ->> B").to_pjd().to_td(&u, &mut pool))];
+/// let goal = TdOrEgd::Td(Mvd::parse(&u, "A ->> C").to_pjd().to_td(&u, &mut pool));
+/// let mut task = ChaseTask::implication(sigma, goal, pool, ChaseConfig::default());
+/// // Single-round fuel slices; the task is preemptible between them.
+/// let outcome = loop {
+///     match task.step(1) {
+///         StepStatus::Pending => continue,
+///         StepStatus::Done(o) => break o,
+///     }
+/// };
+/// assert_eq!(outcome, ChaseOutcome::Implied);
+/// ```
+pub struct ChaseTask {
     universe: Arc<Universe>,
     inst: ChaseInstance,
-    sigma: &'a [TdOrEgd],
-    pool: &'a mut ValuePool,
-    cfg: &'a ChaseConfig,
+    sigma: Arc<[TdOrEgd]>,
+    pool: ValuePool,
+    cfg: ChaseConfig,
+    goal: Option<Goal>,
     trace: ChaseTrace,
     steps: usize,
     /// Oblivious-chase memory of fired triggers, per dependency. Keys are
@@ -233,22 +343,57 @@ struct Runner<'a> {
     seen: Vec<u64>,
     /// Scratch buffer for oblivious trigger keys.
     key_buf: Vec<Value>,
+    rounds: usize,
+    done: Option<ChaseOutcome>,
 }
 
-enum Stop {
-    Implied,
-    Terminal,
-    Exhausted,
-}
+impl ChaseTask {
+    /// A resumable implication chase of `goal`'s hypothesis under `sigma`.
+    ///
+    /// `pool` must be (a snapshot of) the pool the dependencies' values came
+    /// from; it is returned, evolved, by [`ChaseTask::finish`]. `sigma` is
+    /// shared (`Arc<[TdOrEgd]>`), so a driver holding several tasks over
+    /// one Σ pays for it once.
+    pub fn implication(
+        sigma: impl Into<Arc<[TdOrEgd]>>,
+        goal: Goal,
+        pool: ValuePool,
+        cfg: ChaseConfig,
+    ) -> Self {
+        let (universe, init): (Arc<Universe>, Vec<Tuple>) = match &goal {
+            TdOrEgd::Td(td) => (td.universe().clone(), td.hypothesis().to_vec()),
+            TdOrEgd::Egd(e) => (e.universe().clone(), e.hypothesis().to_vec()),
+        };
+        Self::new(universe, init, sigma, Some(goal), pool, cfg)
+    }
 
-impl<'a> Runner<'a> {
+    /// A resumable saturation chase of `init` under `sigma` (no goal; the
+    /// task finishes `NotImplied` at the fixpoint, i.e. "terminal").
+    pub fn saturation(
+        init: &Relation,
+        sigma: impl Into<Arc<[TdOrEgd]>>,
+        pool: ValuePool,
+        cfg: ChaseConfig,
+    ) -> Self {
+        Self::new(
+            init.universe().clone(),
+            init.rows().to_vec(),
+            sigma,
+            None,
+            pool,
+            cfg,
+        )
+    }
+
     fn new(
         universe: Arc<Universe>,
-        init: impl IntoIterator<Item = Tuple>,
-        sigma: &'a [TdOrEgd],
-        pool: &'a mut ValuePool,
-        cfg: &'a ChaseConfig,
+        init: Vec<Tuple>,
+        sigma: impl Into<Arc<[TdOrEgd]>>,
+        goal: Option<Goal>,
+        pool: ValuePool,
+        cfg: ChaseConfig,
     ) -> Self {
+        let sigma = sigma.into();
         let hyp_vals: Vec<Vec<Value>> = sigma
             .iter()
             .map(|d| {
@@ -266,65 +411,128 @@ impl<'a> Runner<'a> {
                 vals
             })
             .collect();
+        let fired = vec![FxHashSet::default(); sigma.len()];
+        let seen = vec![0; sigma.len()];
         Self {
-            universe: universe.clone(),
-            inst: ChaseInstance::new(universe, init),
+            inst: ChaseInstance::new(universe.clone(), init),
+            universe,
             sigma,
             pool,
             cfg,
+            goal,
             trace: ChaseTrace::default(),
             steps: 0,
-            fired: vec![FxHashSet::default(); sigma.len()],
+            fired,
             hyp_vals,
-            seen: vec![0; sigma.len()],
+            seen,
             key_buf: Vec::new(),
+            rounds: 0,
+            done: None,
         }
     }
 
-    fn run(&mut self, goal: Option<&Goal>) -> ChaseRun {
-        let mut rounds = 0usize;
-        let stop = loop {
-            match self.egd_saturate() {
-                ControlFlow::Break(s) => break s,
-                ControlFlow::Continue(()) => {}
+    /// Runs at most `fuel` breadth-first rounds. A finished task ignores
+    /// further fuel and keeps reporting its outcome.
+    pub fn step(&mut self, fuel: usize) -> StepStatus {
+        for _ in 0..fuel {
+            if self.done.is_some() {
+                break;
             }
-            if let Some(g) = goal {
-                if self.goal_holds(g) {
-                    break Stop::Implied;
-                }
-            }
-            let triggers = self.collect_td_triggers();
-            if triggers.is_empty() {
-                break Stop::Terminal;
-            }
-            if rounds >= self.cfg.max_rounds {
-                break Stop::Exhausted;
-            }
-            match self.apply_td_triggers(triggers) {
-                ControlFlow::Break(s) => break s,
-                ControlFlow::Continue(()) => {}
-            }
-            if self.cfg.variant == ChaseVariant::Core {
-                self.retract_to_core();
-            }
-            rounds += 1;
-        };
-        let outcome = match stop {
-            Stop::Implied => ChaseOutcome::Implied,
-            Stop::Terminal => {
-                // With a goal, terminal means the universal model refutes it;
-                // in saturation mode it simply means the fixpoint was reached
-                // (reported as NotImplied = "terminal").
-                ChaseOutcome::NotImplied
-            }
-            Stop::Exhausted => ChaseOutcome::Exhausted,
-        };
-        ChaseRun {
-            outcome,
-            trace: std::mem::take(&mut self.trace),
-            final_relation: self.inst.relation().clone(),
-            rounds,
+            self.round();
         }
+        match self.done {
+            Some(o) => StepStatus::Done(o),
+            None => StepStatus::Pending,
+        }
+    }
+
+    /// Drives the task to completion (the blocking mode). Always terminates:
+    /// every round either finishes the task or advances the round counter,
+    /// which [`ChaseConfig::max_rounds`] bounds.
+    pub fn run_to_completion(&mut self) -> ChaseOutcome {
+        loop {
+            if let StepStatus::Done(o) = self.step(64) {
+                return o;
+            }
+        }
+    }
+
+    /// `Some` once the task has finished.
+    pub fn outcome(&self) -> Option<ChaseOutcome> {
+        self.done
+    }
+
+    /// Breadth-first rounds executed so far.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Applied steps (row adds + merges) so far.
+    pub fn steps_applied(&self) -> usize {
+        self.steps
+    }
+
+    /// Rows in the instance right now.
+    pub fn instance_rows(&self) -> usize {
+        self.inst.len()
+    }
+
+    /// The task's value pool (evolves as fresh nulls are minted).
+    pub fn pool(&self) -> &ValuePool {
+        &self.pool
+    }
+
+    /// Extracts the finished run and the evolved pool.
+    ///
+    /// # Panics
+    /// Panics if the task has not finished; drive [`ChaseTask::step`] to
+    /// [`StepStatus::Done`] first.
+    pub fn finish(self) -> (ChaseRun, ValuePool) {
+        let outcome = self
+            .done
+            .expect("ChaseTask::finish on an unfinished task; step it to Done first");
+        let run = ChaseRun {
+            outcome,
+            trace: self.trace,
+            final_relation: self.inst.relation().clone(),
+            rounds: self.rounds,
+        };
+        (run, self.pool)
+    }
+
+    /// One breadth-first round: egd saturation, goal check, trigger
+    /// collection, application, optional core retraction.
+    fn round(&mut self) {
+        if let ControlFlow::Break(o) = self.egd_saturate() {
+            self.done = Some(o);
+            return;
+        }
+        if let Some(g) = &self.goal {
+            if goal_holds(&mut self.inst, g) {
+                self.done = Some(ChaseOutcome::Implied);
+                return;
+            }
+        }
+        let triggers = self.collect_td_triggers();
+        if triggers.is_empty() {
+            // Terminal. With a goal, the universal model refutes it; in
+            // saturation mode the fixpoint was reached (reported as
+            // NotImplied = "terminal").
+            self.done = Some(ChaseOutcome::NotImplied);
+            return;
+        }
+        if self.rounds >= self.cfg.max_rounds {
+            self.done = Some(ChaseOutcome::Exhausted);
+            return;
+        }
+        if let ControlFlow::Break(o) = self.apply_td_triggers(triggers) {
+            self.done = Some(o);
+            return;
+        }
+        if self.cfg.variant == ChaseVariant::Core {
+            self.retract_to_core();
+        }
+        self.rounds += 1;
     }
 
     /// Applies egd merges until none is violated.
@@ -333,22 +541,19 @@ impl<'a> Runner<'a> {
     /// hypothesis embeddings into unchanged rows were verified when those
     /// rows were last dirty, and merges only repair violations on the rows
     /// they rewrite — which the rewrite stamps dirty again).
-    fn egd_saturate(&mut self) -> ControlFlow<Stop> {
+    fn egd_saturate(&mut self) -> ControlFlow<ChaseOutcome> {
         'outer: loop {
             // Deltas cached per distinct frontier for this pass; a merge
             // restarts the pass (and the cache) via `continue 'outer`.
-            let mut delta_cache: FxHashMap<u64, RowDelta> = FxHashMap::default();
+            let mut deltas = FrontierDeltas::default();
             for (di, dep) in self.sigma.iter().enumerate() {
                 let TdOrEgd::Egd(e) = dep else { continue };
                 let scanned_at = self.inst.version();
                 let violation = if self.cfg.semi_naive {
                     if scanned_at == self.seen[di] {
-                        continue; // frontier current: skip the stamp scan
+                        continue; // frontier current: skip the drain
                     }
-                    let inst = &self.inst;
-                    let delta = delta_cache
-                        .entry(self.seen[di])
-                        .or_insert_with(|| inst.delta_since(self.seen[di]));
+                    let delta = deltas.fill(&self.inst, self.seen[di]);
                     if delta.is_empty() {
                         self.seen[di] = scanned_at;
                         continue;
@@ -374,28 +579,12 @@ impl<'a> Runner<'a> {
                     });
                     self.steps += 1;
                     if self.steps >= self.cfg.max_steps {
-                        return ControlFlow::Break(Stop::Exhausted);
+                        return ControlFlow::Break(ChaseOutcome::Exhausted);
                     }
                 }
                 continue 'outer;
             }
             return ControlFlow::Continue(());
-        }
-    }
-
-    /// Checks whether the goal is now derivable.
-    fn goal_holds(&mut self, goal: &Goal) -> bool {
-        match goal {
-            TdOrEgd::Egd(e) => self.inst.identified(e.left(), e.right()),
-            TdOrEgd::Td(td) => {
-                let seed = Valuation::from_pairs(
-                    td.hypothesis_values()
-                        .into_iter()
-                        .map(|v| (v, self.inst.resolve(v))),
-                );
-                let emb = Embedder::new(self.inst.relation());
-                emb.embeds(std::slice::from_ref(td.conclusion()), &seed)
-            }
         }
     }
 
@@ -405,16 +594,16 @@ impl<'a> Runner<'a> {
     ///
     /// Semi-naive: each td only enumerates embeddings touching its delta;
     /// its `seen` frontier then advances to the scanned version. With
-    /// `cfg.parallel`, dependencies are scanned on scoped threads and the
-    /// results concatenated in dependency order, so the collected trigger
-    /// list — and hence the applied trace — is deterministic.
+    /// `cfg.parallel`, the tds **with work** — egds never produce td
+    /// triggers, and an empty delta means nothing to enumerate — are
+    /// scanned on scoped threads and the results concatenated in dependency
+    /// order, so the collected trigger list — and hence the applied trace —
+    /// is deterministic.
     fn collect_td_triggers(&mut self) -> Vec<(usize, Valuation)> {
         let oblivious = self.cfg.variant == ChaseVariant::Oblivious;
         let scanned_at = self.inst.version();
-        // Per-td delta (None = scan everything, the naive reference).
-        // Frontiers are usually identical across tds in the steady state, so
-        // deltas are cached per distinct `since` value: one stamp scan per
-        // frontier instead of one per dependency.
+        // Per-td delta (None = scan everything, the naive reference),
+        // cached per distinct frontier.
         let sinces: Vec<Option<u64>> = self
             .sigma
             .iter()
@@ -424,21 +613,13 @@ impl<'a> Runner<'a> {
                 _ => None,
             })
             .collect();
-        let mut delta_cache: FxHashMap<u64, RowDelta> = FxHashMap::default();
+        let mut frontier = FrontierDeltas::default();
         for &since in sinces.iter().flatten() {
-            let inst = &self.inst;
-            delta_cache.entry(since).or_insert_with(|| {
-                if since == scanned_at {
-                    // Frontier current: empty delta without a stamp scan.
-                    RowDelta::default()
-                } else {
-                    inst.delta_since(since)
-                }
-            });
+            frontier.fill(&self.inst, since);
         }
         let deltas: Vec<Option<&RowDelta>> = sinces
             .iter()
-            .map(|s| s.map(|since| &delta_cache[&since]))
+            .map(|s| s.map(|since| frontier.get(since)))
             .collect();
         let relation = self.inst.relation();
         let scan = |di: usize,
@@ -468,14 +649,12 @@ impl<'a> Runner<'a> {
             };
             match deltas[di] {
                 Some(delta) => {
-                    if !delta.is_empty() {
-                        emb.for_each_embedding_touching(
-                            td.hypothesis(),
-                            &Valuation::new(),
-                            delta,
-                            &mut visit,
-                        );
-                    }
+                    emb.for_each_embedding_touching(
+                        td.hypothesis(),
+                        &Valuation::new(),
+                        delta,
+                        &mut visit,
+                    );
                 }
                 None => {
                     emb.for_each_embedding(td.hypothesis(), &Valuation::new(), &mut visit);
@@ -484,23 +663,32 @@ impl<'a> Runner<'a> {
             out
         };
 
+        // The worklist: tds whose scan can produce triggers. Egds and
+        // empty-delta tds are excluded up front so the parallel fan-out
+        // never spawns a thread with nothing to do (ROADMAP cheap first
+        // step); a single-entry worklist runs inline for the same reason.
+        let work: Vec<(usize, &Td)> = self
+            .sigma
+            .iter()
+            .enumerate()
+            .filter_map(|(di, dep)| match dep {
+                TdOrEgd::Td(td) if deltas[di].is_none_or(|d| !d.is_empty()) => Some((di, td)),
+                _ => None,
+            })
+            .collect();
+
         let mut triggers: Vec<(usize, Valuation)> = Vec::new();
-        if self.cfg.parallel && self.sigma.len() > 1 {
-            let emb = Embedder::new(relation);
+        let emb = Embedder::new(relation);
+        if self.cfg.parallel && work.len() > 1 {
             let fired = &self.fired;
             let hyp_vals = &self.hyp_vals;
             let results: Vec<Vec<(usize, Valuation)>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .sigma
+                let handles: Vec<_> = work
                     .iter()
-                    .enumerate()
-                    .map(|(di, dep)| {
+                    .map(|&(di, td)| {
                         let emb = &emb;
                         let scan = &scan;
-                        scope.spawn(move || match dep {
-                            TdOrEgd::Td(td) => scan(di, td, emb, fired, hyp_vals),
-                            TdOrEgd::Egd(_) => Vec::new(),
-                        })
+                        scope.spawn(move || scan(di, td, emb, fired, hyp_vals))
                     })
                     .collect();
                 handles.into_iter().map(|h| h.join().unwrap()).collect()
@@ -509,11 +697,8 @@ impl<'a> Runner<'a> {
                 triggers.extend(r);
             }
         } else {
-            let emb = Embedder::new(relation);
-            for (di, dep) in self.sigma.iter().enumerate() {
-                if let TdOrEgd::Td(td) = dep {
-                    triggers.extend(scan(di, td, &emb, &self.fired, &self.hyp_vals));
-                }
+            for (di, td) in work {
+                triggers.extend(scan(di, td, &emb, &self.fired, &self.hyp_vals));
             }
         }
         if self.cfg.semi_naive {
@@ -528,7 +713,10 @@ impl<'a> Runner<'a> {
 
     /// Fires the collected triggers (re-verifying each under the merges and
     /// additions that happened earlier in the round).
-    fn apply_td_triggers(&mut self, triggers: Vec<(usize, Valuation)>) -> ControlFlow<Stop> {
+    fn apply_td_triggers(
+        &mut self,
+        triggers: Vec<(usize, Valuation)>,
+    ) -> ControlFlow<ChaseOutcome> {
         let oblivious = self.cfg.variant == ChaseVariant::Oblivious;
         for (di, alpha) in triggers {
             let TdOrEgd::Td(td) = &self.sigma[di] else {
@@ -575,7 +763,7 @@ impl<'a> Runner<'a> {
                 self.steps += 1;
             }
             if self.steps >= self.cfg.max_steps || self.inst.len() >= self.cfg.max_rows {
-                return ControlFlow::Break(Stop::Exhausted);
+                return ControlFlow::Break(ChaseOutcome::Exhausted);
             }
         }
         ControlFlow::Continue(())

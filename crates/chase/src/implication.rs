@@ -10,9 +10,16 @@
 //! * no algorithm closes the remaining gap for typed tds or pjds — that is
 //!   the paper's main theorem — so [`decide`] can and does return
 //!   [`Answer::Unknown`] when budgets expire.
+//!
+//! Both semidecision procedures are resumable, so the pairing is too: a
+//! [`DecideTask`] first steps a [`ChaseTask`] and, if the chase exhausts
+//! its budget without a certificate, hands the evolved pool to a
+//! [`SearchTask`] — the same two-phase dovetailing [`decide`] performs
+//! blockingly, preemptible at round/attempt granularity. This is the unit
+//! the `typedtd-service` scheduler multiplexes.
 
-use crate::engine::{chase_implication, ChaseConfig, ChaseOutcome, ChaseRun};
-use crate::search::{random_counterexample, SearchConfig};
+use crate::engine::{ChaseConfig, ChaseOutcome, ChaseRun, ChaseTask, StepStatus};
+use crate::search::{SearchConfig, SearchStatus, SearchTask};
 use std::sync::Arc;
 use typedtd_dependencies::{Dependency, TdOrEgd};
 use typedtd_relational::{Relation, Universe, ValuePool};
@@ -53,60 +60,255 @@ pub struct Decision {
     pub counterexample: Option<Relation>,
 }
 
-/// Decides `Σ ⊨ σ` and `Σ ⊨_f σ` as far as the budgets allow.
+/// Decides `Σ ⊨ σ` and `Σ ⊨_f σ` as far as the budgets allow. Thin driver
+/// over [`DecideTask`]: snapshots the pool into a task, runs it to
+/// completion, and writes the evolved pool back.
 pub fn decide(
     sigma: &[TdOrEgd],
     goal: &TdOrEgd,
     pool: &mut ValuePool,
     cfg: &DecideConfig,
 ) -> Decision {
-    let run = chase_implication(sigma, goal, pool, &cfg.chase);
-    match run.outcome {
-        ChaseOutcome::Implied => Decision {
-            implication: Answer::Yes,
-            // Implication entails finite implication (every finite relation
-            // is a relation).
-            finite_implication: Answer::Yes,
-            chase: run,
-            counterexample: None,
-        },
-        ChaseOutcome::NotImplied => {
-            // The terminal chase instance is a finite model of Σ violating
-            // σ, so both problems are answered negatively.
-            let cex = run.final_relation.clone();
-            Decision {
-                implication: Answer::No,
-                finite_implication: Answer::No,
-                chase: run,
-                counterexample: Some(cex),
+    let empty = ValuePool::new(pool.universe().clone());
+    let taken = std::mem::replace(pool, empty);
+    let mut task = DecideTask::new(sigma.to_vec(), goal.clone(), taken, cfg.clone());
+    task.run_to_completion();
+    let (decision, evolved) = task.finish();
+    *pool = evolved;
+    decision
+}
+
+/// Whether a [`DecideTask`] needs more fuel or has finished.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DecideStatus {
+    /// The fuel slice ran out; step again.
+    Pending,
+    /// The decision is in; the payload is the unrestricted-implication
+    /// [`Answer`] (the full [`Decision`] comes from [`DecideTask::finish`]).
+    Done(Answer),
+}
+
+/// Progress phase of a [`DecideTask`].
+enum DecidePhase {
+    /// Running the chase (the r.e. procedure for `Σ ⊨ σ`).
+    Chasing(Box<ChaseTask>),
+    /// Chase budget exhausted; running finite-model search (the r.e.
+    /// procedure for `Σ ⊭_f σ`).
+    Searching {
+        chase_run: Box<ChaseRun>,
+        task: Box<SearchTask>,
+    },
+    /// Finished.
+    Done(Box<Decision>, ValuePool),
+    /// Transient state during a phase transition; never observable.
+    Poisoned,
+}
+
+/// A resumable [`decide`]: one implication query `Σ ⊨(f) σ` as a
+/// preemptible task.
+///
+/// The task steps its chase until a certificate appears or the chase budget
+/// runs out, then (unless [`DecideConfig::skip_search`]) steps the
+/// counterexample search over the same evolved pool — exactly the blocking
+/// driver's two phases, preemptible at round/attempt granularity. One fuel
+/// unit is one chase round or one search attempt, so interleaving many
+/// tasks with small slices is fair in the dovetailing sense: a terminating
+/// query finishes within a bounded number of global slices no matter how
+/// many divergent queries run beside it.
+pub struct DecideTask {
+    /// Shared with the chase (and, on exhaustion, the search) task: the
+    /// `Arc` makes the hand-offs allocation-free.
+    sigma: Arc<[TdOrEgd]>,
+    goal: TdOrEgd,
+    cfg: DecideConfig,
+    phase: DecidePhase,
+    fuel_spent: u64,
+}
+
+impl DecideTask {
+    /// A resumable decision task for `Σ ⊨(f) σ`.
+    ///
+    /// `pool` must be (a snapshot of) the pool the dependencies' values came
+    /// from; it is returned, evolved, by [`DecideTask::finish`].
+    pub fn new(
+        sigma: impl Into<Arc<[TdOrEgd]>>,
+        goal: TdOrEgd,
+        pool: ValuePool,
+        cfg: DecideConfig,
+    ) -> Self {
+        let sigma: Arc<[TdOrEgd]> = sigma.into();
+        let chase = ChaseTask::implication(sigma.clone(), goal.clone(), pool, cfg.chase.clone());
+        Self {
+            sigma,
+            goal,
+            cfg,
+            phase: DecidePhase::Chasing(Box::new(chase)),
+            fuel_spent: 0,
+        }
+    }
+
+    /// Runs at most `fuel` units (chase rounds + search attempts). A
+    /// finished task ignores further fuel and keeps reporting its answer.
+    pub fn step(&mut self, fuel: usize) -> DecideStatus {
+        let mut left = fuel;
+        loop {
+            match &mut self.phase {
+                DecidePhase::Poisoned => unreachable!("DecideTask phase poisoned"),
+                DecidePhase::Done(d, _) => return DecideStatus::Done(d.implication),
+                DecidePhase::Chasing(task) => {
+                    if left == 0 {
+                        return DecideStatus::Pending;
+                    }
+                    let before = task.rounds();
+                    let status = task.step(left);
+                    let used = (task.rounds() - before).max(1);
+                    left = left.saturating_sub(used);
+                    self.fuel_spent += used as u64;
+                    match status {
+                        StepStatus::Pending => return DecideStatus::Pending,
+                        StepStatus::Done(outcome) => self.leave_chase(outcome),
+                    }
+                }
+                DecidePhase::Searching { task, .. } => {
+                    if left == 0 {
+                        return DecideStatus::Pending;
+                    }
+                    let before = task.attempts_done();
+                    let status = task.step(left);
+                    let used = ((task.attempts_done() - before) as usize).max(1);
+                    left = left.saturating_sub(used);
+                    self.fuel_spent += used as u64;
+                    if let SearchStatus::Done(_) = status {
+                        self.leave_search();
+                    } else {
+                        return DecideStatus::Pending;
+                    }
+                }
             }
         }
-        ChaseOutcome::Exhausted => {
-            let universe: Arc<Universe> = match goal {
-                TdOrEgd::Td(t) => t.universe().clone(),
-                TdOrEgd::Egd(e) => e.universe().clone(),
-            };
-            let cex = if cfg.skip_search {
-                None
-            } else {
-                random_counterexample(sigma, goal, &universe, pool, &cfg.search)
-            };
-            match cex {
-                Some(rel) => Decision {
-                    // A finite model of Σ violating σ refutes both notions.
-                    implication: Answer::No,
-                    finite_implication: Answer::No,
+    }
+
+    /// Drives the task to completion (the blocking mode). Always
+    /// terminates: the chase is bounded by its round budget and the search
+    /// by its attempt budget.
+    pub fn run_to_completion(&mut self) -> Answer {
+        loop {
+            if let DecideStatus::Done(a) = self.step(256) {
+                return a;
+            }
+        }
+    }
+
+    /// The finished decision, if any (borrowing poll).
+    pub fn decision(&self) -> Option<&Decision> {
+        match &self.phase {
+            DecidePhase::Done(d, _) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Fuel units (chase rounds + search attempts) consumed so far.
+    pub fn fuel_spent(&self) -> u64 {
+        self.fuel_spent
+    }
+
+    /// Extracts the decision and the evolved pool.
+    ///
+    /// # Panics
+    /// Panics if the task has not finished.
+    pub fn finish(self) -> (Decision, ValuePool) {
+        match self.phase {
+            DecidePhase::Done(d, pool) => (*d, pool),
+            _ => panic!("DecideTask::finish on an unfinished task; step it to Done first"),
+        }
+    }
+
+    /// Transitions out of the chase phase on its outcome.
+    fn leave_chase(&mut self, outcome: ChaseOutcome) {
+        let DecidePhase::Chasing(task) =
+            std::mem::replace(&mut self.phase, DecidePhase::Poisoned)
+        else {
+            unreachable!("leave_chase outside the chase phase");
+        };
+        let (run, pool) = task.finish();
+        self.phase = match outcome {
+            ChaseOutcome::Implied => DecidePhase::Done(
+                Box::new(Decision {
+                    implication: Answer::Yes,
+                    // Implication entails finite implication (every finite
+                    // relation is a relation).
+                    finite_implication: Answer::Yes,
                     chase: run,
-                    counterexample: Some(rel),
-                },
-                None => Decision {
+                    counterexample: None,
+                }),
+                pool,
+            ),
+            ChaseOutcome::NotImplied => {
+                // The terminal chase instance is a finite model of Σ
+                // violating σ, so both problems are answered negatively.
+                let cex = run.final_relation.clone();
+                DecidePhase::Done(
+                    Box::new(Decision {
+                        implication: Answer::No,
+                        finite_implication: Answer::No,
+                        chase: run,
+                        counterexample: Some(cex),
+                    }),
+                    pool,
+                )
+            }
+            ChaseOutcome::Exhausted if self.cfg.skip_search => DecidePhase::Done(
+                Box::new(Decision {
                     implication: Answer::Unknown,
                     finite_implication: Answer::Unknown,
                     chase: run,
                     counterexample: None,
-                },
+                }),
+                pool,
+            ),
+            ChaseOutcome::Exhausted => {
+                let universe: Arc<Universe> = match &self.goal {
+                    TdOrEgd::Td(t) => t.universe().clone(),
+                    TdOrEgd::Egd(e) => e.universe().clone(),
+                };
+                DecidePhase::Searching {
+                    chase_run: Box::new(run),
+                    task: Box::new(SearchTask::new(
+                        self.sigma.clone(),
+                        self.goal.clone(),
+                        universe,
+                        pool,
+                        self.cfg.search.clone(),
+                    )),
+                }
             }
-        }
+        };
+    }
+
+    /// Transitions out of the search phase once it finishes.
+    fn leave_search(&mut self) {
+        let DecidePhase::Searching { chase_run, task } =
+            std::mem::replace(&mut self.phase, DecidePhase::Poisoned)
+        else {
+            unreachable!("leave_search outside the search phase");
+        };
+        let (found, pool) = task.finish();
+        let decision = match found {
+            Some(rel) => Decision {
+                // A finite model of Σ violating σ refutes both notions.
+                implication: Answer::No,
+                finite_implication: Answer::No,
+                chase: *chase_run,
+                counterexample: Some(rel),
+            },
+            None => Decision {
+                implication: Answer::Unknown,
+                finite_implication: Answer::Unknown,
+                chase: *chase_run,
+                counterexample: None,
+            },
+        };
+        self.phase = DecidePhase::Done(Box::new(decision), pool);
     }
 }
 

@@ -6,11 +6,17 @@
 //! steps (merging two values in a union-find, then rewriting the rows that
 //! contain the merged-away value to canonical representatives).
 //!
-//! For the semi-naive engine the instance also keeps a *version* per row:
-//! a monotone counter stamped when the row was inserted or last rewritten.
-//! [`ChaseInstance::delta_since`] then answers "which rows changed since a
-//! dependency was last scanned" in one linear pass, which is what restricts
-//! trigger discovery to new work.
+//! For the semi-naive engine the instance also keeps a *version* per row
+//! (a monotone counter stamped when the row was inserted or last rewritten)
+//! and, crucially, an **append-only dirty-row log**: every stamp also
+//! appends `(version, row)` to the log. [`ChaseInstance::delta_since`] then
+//! answers "which rows changed since a dependency was last scanned" by
+//! binary-searching the log for the frontier and draining only the suffix —
+//! work proportional to the *delta*, not to the whole instance. (The stamp
+//! vector is retained as the log's compaction source and for debug
+//! assertions.) Merge compaction remaps the log's row ids in place, and the
+//! log itself is compacted down to one entry per row whenever stale entries
+//! outnumber live rows.
 
 use crate::unionfind::UnionFind;
 use std::sync::Arc;
@@ -26,6 +32,10 @@ pub struct ChaseInstance {
     version: u64,
     /// Per-row version stamps, parallel to `relation.rows()`.
     row_versions: Vec<u64>,
+    /// Append-only `(version, row)` dirty stamps in version order. Row ids
+    /// are kept current across merge compaction (entries of removed rows are
+    /// dropped, survivors remapped).
+    dirty_log: Vec<(u64, u32)>,
 }
 
 impl ChaseInstance {
@@ -34,12 +44,14 @@ impl ChaseInstance {
         let relation = Relation::from_rows(universe, rows);
         let frozen = relation.val();
         let row_versions = vec![1; relation.len()];
+        let dirty_log = (0..relation.len() as u32).map(|i| (1, i)).collect();
         Self {
             relation,
             uf: UnionFind::new(),
             frozen,
             version: 1,
             row_versions,
+            dirty_log,
         }
     }
 
@@ -84,15 +96,43 @@ impl ChaseInstance {
     }
 
     /// The rows inserted or rewritten strictly after version `since`.
+    ///
+    /// Cost is proportional to the number of dirty stamps after `since`
+    /// (a binary search plus a suffix drain of the dirty-row log), not to
+    /// the total row count.
     pub fn delta_since(&self, since: u64) -> RowDelta {
-        RowDelta::from_ids(
+        let start = self.dirty_log.partition_point(|&(v, _)| v <= since);
+        let delta =
+            RowDelta::from_ids(self.dirty_log[start..].iter().map(|&(_, id)| id).collect());
+        debug_assert_eq!(
+            delta.ids(),
             self.row_versions
                 .iter()
                 .enumerate()
                 .filter(|(_, &v)| v > since)
                 .map(|(i, _)| i as u32)
-                .collect(),
-        )
+                .collect::<Vec<_>>()
+                .as_slice(),
+            "dirty log diverged from the row-version stamps"
+        );
+        delta
+    }
+
+    /// Compacts the dirty log down to one entry per row (its latest stamp)
+    /// once stale entries outnumber live rows, keeping `delta_since` drains
+    /// proportional to real deltas on merge-heavy runs.
+    fn maybe_compact_log(&mut self) {
+        if self.dirty_log.len() <= 2 * self.row_versions.len() + 64 {
+            return;
+        }
+        let mut entries: Vec<(u64, u32)> = self
+            .row_versions
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u32))
+            .collect();
+        entries.sort_unstable();
+        self.dirty_log = entries;
     }
 
     /// Inserts a row after canonicalizing its values.
@@ -102,6 +142,8 @@ impl ChaseInstance {
         if self.relation.insert(canon) {
             self.version += 1;
             self.row_versions.push(self.version);
+            self.dirty_log
+                .push((self.version, self.row_versions.len() as u32 - 1));
             true
         } else {
             false
@@ -119,19 +161,40 @@ impl ChaseInstance {
         // is `loser`; rewrite exactly the rows containing it.
         if let Some(report) = self.relation.rewrite_value(loser, winner) {
             if !report.removed.is_empty() {
-                // Duplicate rows were compacted away: shift version stamps.
+                // Duplicate rows were compacted away: shift version stamps
+                // and remap the dirty log (entries of removed rows vanish —
+                // their surviving duplicate carries its own stamps).
                 let removed: FxHashSet<u32> = report.removed.iter().copied().collect();
+                let mut remap: Vec<Option<u32>> = Vec::with_capacity(self.row_versions.len());
                 let mut next = 0u32;
+                for i in 0..self.row_versions.len() as u32 {
+                    if removed.contains(&i) {
+                        remap.push(None);
+                    } else {
+                        remap.push(Some(next));
+                        next += 1;
+                    }
+                }
+                let mut idx = 0usize;
                 self.row_versions.retain(|_| {
-                    let keep = !removed.contains(&next);
-                    next += 1;
+                    let keep = remap[idx].is_some();
+                    idx += 1;
                     keep
+                });
+                self.dirty_log.retain_mut(|entry| match remap[entry.1 as usize] {
+                    Some(n) => {
+                        entry.1 = n;
+                        true
+                    }
+                    None => false,
                 });
             }
             self.version += 1;
             for &i in &report.changed {
                 self.row_versions[i as usize] = self.version;
+                self.dirty_log.push((self.version, i));
             }
+            self.maybe_compact_log();
             debug_assert_eq!(self.row_versions.len(), self.relation.len());
         }
         Some((winner, loser))
@@ -154,6 +217,9 @@ impl ChaseInstance {
         assert_eq!(relation.universe().width(), self.relation.universe().width());
         self.version += 1;
         self.row_versions = vec![self.version; relation.len()];
+        self.dirty_log = (0..relation.len() as u32)
+            .map(|i| (self.version, i))
+            .collect();
         self.relation = relation;
     }
 }
@@ -279,6 +345,37 @@ mod tests {
         );
         inst.replace_relation(replacement);
         assert_eq!(inst.delta_since(checkpoint).ids(), &[0, 1]);
+    }
+
+    #[test]
+    fn dirty_log_compaction_preserves_deltas() {
+        // Re-stamp the same rows many times (every merge rewrites row 0) so
+        // the log's stale entries force a compaction; `delta_since` carries
+        // a debug assertion comparing the log against the stamp vector, so
+        // each call cross-checks the two representations.
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        let vals: Vec<_> = (0..64).map(|i| p.untyped(&format!("v{i}"))).collect();
+        let mut inst = ChaseInstance::new(
+            u.clone(),
+            [
+                Tuple::new(vec![vals[0], vals[1], vals[2]]),
+                Tuple::new(vec![vals[3], vals[4], vals[5]]),
+            ],
+        );
+        for w in vals.windows(2) {
+            let checkpoint = inst.version();
+            inst.merge(w[0], w[1]);
+            assert!(inst.delta_since(checkpoint).ids().len() <= inst.len());
+            assert_eq!(inst.delta_since(inst.version()).ids(), &[] as &[u32]);
+        }
+        // Every surviving row ends up fully merged; all rows were dirtied
+        // at some point and the final delta from version 0 covers them all.
+        assert_eq!(
+            inst.delta_since(0).ids().len(),
+            inst.len(),
+            "full-history delta must cover every row"
+        );
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //!   — enumeration of finite models, the r.e. procedure for `Σ ⊭_f σ`;
 //! * [`decide`] / [`decide_dependencies`] — both procedures dovetailed into
 //!   a three-valued [`Answer`] (`Yes` / `No` / `Unknown`);
+//! * [`ChaseTask`] / [`SearchTask`] / [`DecideTask`] — the same three
+//!   procedures as *resumable* tasks (`step(fuel) → Pending | Done`),
+//!   preemptible at round/attempt granularity so a scheduler can dovetail
+//!   many queries fairly (the `typedtd-service` crate builds on these);
 //! * [`core_retract`] / [`minimize_td`] — tableau cores (reference [19]).
 
 #![warn(missing_docs)]
@@ -32,13 +36,18 @@ pub mod unionfind;
 
 pub use core_retract::{core_retract, minimize_td};
 pub use engine::{
-    chase_implication, saturate, ChaseConfig, ChaseOutcome, ChaseRun, ChaseVariant, Goal,
+    chase_implication, saturate, ChaseConfig, ChaseOutcome, ChaseRun, ChaseTask, ChaseVariant,
+    Goal, StepStatus,
 };
-pub use implication::{decide, decide_dependencies, Answer, DecideConfig, Decision, MultiDecision};
+pub use implication::{
+    decide, decide_dependencies, Answer, DecideConfig, DecideStatus, DecideTask, Decision,
+    MultiDecision,
+};
 pub use instance::ChaseInstance;
 pub use termination::{dependency_graph, weakly_acyclic, Edge};
 pub use search::{
     exhaustive_counterexample, is_counterexample, random_counterexample, SearchConfig,
+    SearchStatus, SearchTask,
 };
 pub use trace::{ChaseStep, ChaseTrace, StepKind};
 pub use unionfind::UnionFind;

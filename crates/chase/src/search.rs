@@ -14,6 +14,13 @@
 //! Together with the chase (the r.e. procedure for `Σ ⊨ σ`) these bracket
 //! the undecidable gap the paper establishes: for typed tds and pjds no
 //! total procedure can close it.
+//!
+//! Like the chase, the randomized search is *resumable*: a [`SearchTask`]
+//! holds the enumeration state (current domain size, remaining restarts,
+//! RNG) and [`SearchTask::step`] runs at most `fuel` repair attempts before
+//! yielding, so a scheduler can dovetail many searches — and dovetail each
+//! against its chase — fairly. [`random_counterexample`] is the blocking
+//! driver over it.
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -149,7 +156,9 @@ fn next_combination(combo: &mut [usize], n: usize) -> bool {
     false
 }
 
-/// Randomized finite-model search with repair.
+/// Randomized finite-model search with repair. Thin driver over
+/// [`SearchTask`]: snapshots the pool into a task, runs it to completion,
+/// and writes the evolved pool back.
 pub fn random_counterexample(
     sigma: &[TdOrEgd],
     goal: &TdOrEgd,
@@ -157,16 +166,149 @@ pub fn random_counterexample(
     pool: &mut ValuePool,
     cfg: &SearchConfig,
 ) -> Option<Relation> {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    for k in 1..=cfg.max_domain {
-        let domain = make_domain(universe, pool, k);
-        for _ in 0..cfg.attempts {
-            if let Some(found) = attempt(sigma, goal, universe, &domain, cfg, &mut rng) {
-                return Some(found);
+    let empty = ValuePool::new(pool.universe().clone());
+    let taken = std::mem::replace(pool, empty);
+    let mut task = SearchTask::new(sigma.to_vec(), goal.clone(), universe.clone(), taken, cfg.clone());
+    task.run_to_completion();
+    let (found, evolved) = task.finish();
+    *pool = evolved;
+    found
+}
+
+/// Whether a [`SearchTask`] needs more fuel or has finished.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SearchStatus {
+    /// The fuel slice ran out; step again.
+    Pending,
+    /// The enumeration finished; `true` means a counterexample was found.
+    Done(bool),
+}
+
+/// A resumable randomized counterexample search: the enumeration of
+/// [`random_counterexample`] (domain sizes `1..=max_domain`, `attempts`
+/// seeded restarts each) preemptible at attempt granularity.
+///
+/// The task owns its [`ValuePool`] snapshot (domains are minted from it)
+/// and its RNG, so many searches can be held and interleaved. Stepping a
+/// task to completion visits exactly the attempts the blocking driver
+/// would, in the same order, with the same RNG stream.
+pub struct SearchTask {
+    sigma: Arc<[TdOrEgd]>,
+    goal: TdOrEgd,
+    universe: Arc<Universe>,
+    pool: ValuePool,
+    cfg: SearchConfig,
+    rng: StdRng,
+    /// Current per-attribute domain size; `0` until the first attempt.
+    k: usize,
+    domain: Vec<Vec<Value>>,
+    attempts_left: usize,
+    /// Repair attempts actually executed (the task's fuel meter).
+    attempts_done: u64,
+    /// `Some` once the enumeration finished.
+    found: Option<Option<Relation>>,
+}
+
+impl SearchTask {
+    /// A resumable search for a finite model of `sigma` violating `goal`.
+    pub fn new(
+        sigma: impl Into<Arc<[TdOrEgd]>>,
+        goal: TdOrEgd,
+        universe: Arc<Universe>,
+        pool: ValuePool,
+        cfg: SearchConfig,
+    ) -> Self {
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        Self {
+            sigma: sigma.into(),
+            goal,
+            universe,
+            pool,
+            cfg,
+            rng,
+            k: 0,
+            domain: Vec::new(),
+            attempts_left: 0,
+            attempts_done: 0,
+            found: None,
+        }
+    }
+
+    /// Runs at most `fuel` repair attempts. A finished task ignores further
+    /// fuel and keeps reporting its status.
+    pub fn step(&mut self, fuel: usize) -> SearchStatus {
+        for _ in 0..fuel {
+            if self.found.is_some() {
+                break;
+            }
+            self.attempt_once();
+        }
+        match &self.found {
+            Some(f) => SearchStatus::Done(f.is_some()),
+            None => SearchStatus::Pending,
+        }
+    }
+
+    /// Drives the task to completion. Always terminates: the attempt count
+    /// is bounded by `max_domain * attempts`.
+    pub fn run_to_completion(&mut self) -> bool {
+        loop {
+            if let SearchStatus::Done(found) = self.step(64) {
+                return found;
             }
         }
     }
-    None
+
+    /// Attempts executed so far count toward this total before exhaustion.
+    pub fn attempts_budget(&self) -> usize {
+        self.cfg.max_domain * self.cfg.attempts
+    }
+
+    /// Repair attempts executed so far (the task's fuel meter).
+    pub fn attempts_done(&self) -> u64 {
+        self.attempts_done
+    }
+
+    /// Extracts the result and the evolved pool.
+    ///
+    /// # Panics
+    /// Panics if the task has not finished.
+    pub fn finish(self) -> (Option<Relation>, ValuePool) {
+        let found = self
+            .found
+            .expect("SearchTask::finish on an unfinished task; step it to Done first");
+        (found, self.pool)
+    }
+
+    /// One seeded restart (minting the next domain when the previous size
+    /// is out of attempts).
+    fn attempt_once(&mut self) {
+        if self.attempts_left == 0 {
+            if self.k >= self.cfg.max_domain {
+                self.found = Some(None);
+                return;
+            }
+            self.k += 1;
+            self.domain = make_domain(&self.universe, &mut self.pool, self.k);
+            self.attempts_left = self.cfg.attempts;
+            if self.attempts_left == 0 {
+                // Degenerate config (zero attempts per size): exhaust sizes.
+                return;
+            }
+        }
+        self.attempts_left -= 1;
+        self.attempts_done += 1;
+        if let Some(rel) = attempt(
+            &self.sigma,
+            &self.goal,
+            &self.universe,
+            &self.domain,
+            &self.cfg,
+            &mut self.rng,
+        ) {
+            self.found = Some(Some(rel));
+        }
+    }
 }
 
 fn attempt(

@@ -1,0 +1,178 @@
+//! Batch front end: newline-delimited query files over the
+//! `typedtd_dependencies::parser` syntax.
+//!
+//! ```text
+//! # comments and blank lines are skipped
+//! @universe A B C              # typed universe (the default discipline)
+//! A -> B & B -> C |= A -> C    # Σ on the left of |=, goal on the right
+//! @universe untyped A' B' C'   # switch universe mid-file
+//! td [x y1 z1 ; x y2 z2] => x y1 z2 |= A' ->> B'
+//! |= td [x y z] => x y z       # empty Σ is allowed
+//! ```
+//!
+//! Σ entries are separated by `&` (`;` already separates tableau rows
+//! inside `td [...]`/`egd [...]` bodies). Every query line is parsed into
+//! its own [`ValuePool`], normalized into the td/egd fragment, and
+//! submitted as one service job per goal part; [`BatchQuery::conjoined`]
+//! folds the parts back into a single verdict, exactly like
+//! `decide_dependencies`.
+
+use crate::service::{ImplicationService, JobId, JobStatus};
+use std::sync::Arc;
+use typedtd_chase::Answer;
+use typedtd_dependencies::{parse_dependency, Dependency, TdOrEgd};
+use typedtd_relational::{Universe, ValuePool};
+
+/// One submitted query line.
+#[derive(Clone, Debug)]
+pub struct BatchQuery {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// The query as written.
+    pub text: String,
+    /// One service job per normalized goal part (empty when the goal
+    /// normalizes to nothing and is vacuously implied).
+    pub jobs: Vec<JobId>,
+}
+
+/// A parsed-and-submitted batch.
+#[derive(Clone, Debug, Default)]
+pub struct Batch {
+    /// Queries in file order.
+    pub queries: Vec<BatchQuery>,
+}
+
+/// A batch query's folded verdict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchVerdict {
+    /// Conjunction over parts of `Σ ⊨ σ`.
+    pub implication: Answer,
+    /// Conjunction over parts of `Σ ⊨_f σ`.
+    pub finite_implication: Answer,
+    /// `true` if every non-vacuous part was answered from cache.
+    pub from_cache: bool,
+}
+
+impl BatchQuery {
+    /// Folds the parts' answers, or `None` while any part is pending.
+    pub fn conjoined(&self, service: &ImplicationService) -> Option<BatchVerdict> {
+        let mut verdict = BatchVerdict {
+            implication: Answer::Yes,
+            finite_implication: Answer::Yes,
+            from_cache: !self.jobs.is_empty(),
+        };
+        for &id in &self.jobs {
+            let JobStatus::Done(outcome) = service.poll(id) else {
+                return None;
+            };
+            verdict.implication = conjoin(verdict.implication, outcome.implication);
+            verdict.finite_implication =
+                conjoin(verdict.finite_implication, outcome.finite_implication);
+            verdict.from_cache &= outcome.from_cache;
+        }
+        Some(verdict)
+    }
+}
+
+fn conjoin(acc: Answer, next: Answer) -> Answer {
+    match (acc, next) {
+        (Answer::No, _) | (_, Answer::No) => Answer::No,
+        (Answer::Unknown, _) | (_, Answer::Unknown) => Answer::Unknown,
+        (Answer::Yes, Answer::Yes) => Answer::Yes,
+    }
+}
+
+/// Parses one query line into `(Σ, goal)` under `universe`.
+///
+/// # Errors
+/// Returns a description of the first syntax problem.
+pub fn parse_query_line(
+    universe: &Arc<Universe>,
+    pool: &mut ValuePool,
+    line: &str,
+) -> Result<(Vec<Dependency>, Dependency), String> {
+    let (sigma_part, goal_part) = line
+        .split_once("|=")
+        .ok_or_else(|| format!("query needs 'SIGMA |= GOAL' (missing |=): {line:?}"))?;
+    if goal_part.contains("|=") {
+        return Err(format!("query has more than one |=: {line:?}"));
+    }
+    let mut sigma = Vec::new();
+    for spec in sigma_part.split('&') {
+        let spec = spec.trim();
+        if spec.is_empty() {
+            continue;
+        }
+        sigma.push(parse_dependency(universe, pool, spec)?);
+    }
+    let goal = parse_dependency(universe, pool, goal_part.trim())?;
+    Ok((sigma, goal))
+}
+
+/// Parses a `@universe` directive (`@universe [untyped] NAME NAME …`).
+fn parse_universe_directive(rest: &str) -> Result<Arc<Universe>, String> {
+    let mut names: Vec<&str> = rest.split_whitespace().collect();
+    let untyped = names.first() == Some(&"untyped");
+    if untyped {
+        names.remove(0);
+    }
+    if names.is_empty() {
+        return Err("@universe needs at least one attribute name".into());
+    }
+    Ok(if untyped {
+        Universe::untyped(names)
+    } else {
+        Universe::typed(names)
+    })
+}
+
+/// Parses `text` and submits every query to `service`, one job per
+/// normalized goal part.
+///
+/// # Errors
+/// Returns `(line_number, message)` for the first malformed line.
+pub fn submit_batch(
+    service: &mut ImplicationService,
+    text: &str,
+) -> Result<Batch, (usize, String)> {
+    let mut universe: Option<Arc<Universe>> = None;
+    let mut batch = Batch::default();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('@') {
+            let Some(args) = rest.strip_prefix("universe").filter(|a| {
+                a.is_empty() || a.starts_with(char::is_whitespace)
+            }) else {
+                let directive = rest.split_whitespace().next().unwrap_or("");
+                return Err((line_no, format!("unknown directive @{directive}")));
+            };
+            universe = Some(parse_universe_directive(args).map_err(|e| (line_no, e))?);
+            continue;
+        }
+        let u = universe
+            .clone()
+            .ok_or_else(|| (line_no, "query before any @universe directive".to_string()))?;
+        let mut pool = ValuePool::new(u.clone());
+        let (sigma, goal) =
+            parse_query_line(&u, &mut pool, line).map_err(|e| (line_no, e))?;
+        let sigma_normal: Vec<TdOrEgd> = sigma
+            .iter()
+            .flat_map(|d| d.normalize(&u, &mut pool))
+            .collect();
+        let goal_parts = goal.normalize(&u, &mut pool);
+        let jobs = goal_parts
+            .into_iter()
+            .map(|part| service.submit(sigma_normal.clone(), part, pool.clone()))
+            .collect();
+        batch.queries.push(BatchQuery {
+            line: line_no,
+            text: line.to_string(),
+            jobs,
+        });
+    }
+    Ok(batch)
+}

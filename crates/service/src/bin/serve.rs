@@ -1,0 +1,134 @@
+//! `typedtd-serve` — stream implication answers for a query file.
+//!
+//! Reads newline-delimited queries (see `typedtd_service::batch` for the
+//! syntax) from a file or stdin, multiplexes them through the
+//! [`ImplicationService`], and streams one answer line per query as soon as
+//! its verdict is in (which, under the dovetailing scheduler, need not be
+//! file order — lines are tagged `#<line>`).
+//!
+//! ```text
+//! typedtd-serve QUERIES.tdq [--slice N] [--global-fuel N] [--workers N]
+//!               [--no-cache] [--verify-hits] [--quick] [--stats]
+//! ```
+
+use std::io::Read;
+use typedtd_chase::{Answer, ChaseConfig, DecideConfig};
+use typedtd_service::{submit_batch, ImplicationService, ServiceConfig};
+
+fn answer_str(a: Answer) -> &'static str {
+    match a {
+        Answer::Yes => "yes",
+        Answer::No => "no",
+        Answer::Unknown => "unknown",
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: typedtd-serve <QUERIES.tdq | -> [--slice N] [--global-fuel N] \
+         [--workers N] [--no-cache] [--verify-hits] [--quick] [--stats]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut input: Option<String> = None;
+    let mut cfg = ServiceConfig::default();
+    let mut show_stats = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--slice" => {
+                cfg.slice_fuel = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--global-fuel" => {
+                cfg.global_fuel =
+                    Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
+            }
+            "--workers" => {
+                cfg.workers = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--no-cache" => cfg.cache = false,
+            "--verify-hits" => cfg.verify_cache_hits = true,
+            "--quick" => {
+                cfg.decide = DecideConfig {
+                    chase: ChaseConfig::quick(),
+                    ..DecideConfig::default()
+                }
+            }
+            "--stats" => show_stats = true,
+            _ if input.is_none() && !arg.starts_with("--") => input = Some(arg),
+            _ => usage(),
+        }
+    }
+    let Some(path) = input else { usage() };
+    let text = if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .expect("read stdin");
+        buf
+    } else {
+        std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("typedtd-serve: cannot read {path}: {e}");
+            std::process::exit(1);
+        })
+    };
+
+    let mut service = ImplicationService::new(cfg);
+    let batch = match submit_batch(&mut service, &text) {
+        Ok(b) => b,
+        Err((line, msg)) => {
+            eprintln!("typedtd-serve: line {line}: {msg}");
+            std::process::exit(1);
+        }
+    };
+
+    // Stream answers: after every scheduler sweep, print any query whose
+    // verdict just arrived.
+    let mut reported = vec![false; batch.queries.len()];
+    let report_ready = |service: &ImplicationService, reported: &mut Vec<bool>| {
+        for (i, q) in batch.queries.iter().enumerate() {
+            if reported[i] {
+                continue;
+            }
+            if let Some(v) = q.conjoined(service) {
+                reported[i] = true;
+                println!(
+                    "#{:<4} implication={:<7} finite={:<7}{}  {}",
+                    q.line,
+                    answer_str(v.implication),
+                    answer_str(v.finite_implication),
+                    if v.from_cache { "  [cached]" } else { "" },
+                    q.text,
+                );
+            }
+        }
+    };
+    report_ready(&service, &mut reported);
+    while service.tick() {
+        report_ready(&service, &mut reported);
+    }
+    service.run_to_completion(); // expire leftovers under a global budget
+    report_ready(&service, &mut reported);
+
+    if show_stats {
+        let s = service.stats();
+        eprintln!(
+            "jobs={} completed={} yes={} no={} unknown={} cache_hits={} coalesced={} \
+             misses={} expired={} fuel={} sweeps={} distinct_queries={}",
+            s.submitted,
+            s.completed,
+            s.yes,
+            s.no,
+            s.unknown,
+            s.cache_hits,
+            s.coalesced,
+            s.cache_misses,
+            s.expired,
+            s.fuel_spent,
+            s.sweeps,
+            service.cache_len(),
+        );
+    }
+}

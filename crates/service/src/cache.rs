@@ -1,0 +1,100 @@
+//! The memoizing answer cache, keyed by canonical query form.
+//!
+//! A hit returns the cached pair of three-valued answers. Counterexample
+//! relations are *not* replayed from cache: their values are interned in
+//! the original submitter's pool and would be meaningless handles in
+//! another query's pool — the cache serves answers, certificates stay with
+//! the job that computed them.
+//!
+//! With verification enabled, every key hit is re-checked through the
+//! isomorphism machinery (`typedtd_relational::isomorphic`) on the goal's
+//! hypothesis tableau — an independent guard on the canonicalization layer,
+//! cheap at tableau scale. A rejected hit is reported (and treated as a
+//! miss) rather than served.
+
+use crate::canon::QueryKey;
+use typedtd_chase::Answer;
+use typedtd_dependencies::TdOrEgd;
+use typedtd_relational::{isomorphic, FxHashMap, Relation};
+
+/// The cached pair of answers for one canonical query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CachedAnswer {
+    /// Answer for unrestricted implication `Σ ⊨ σ`.
+    pub implication: Answer,
+    /// Answer for finite implication `Σ ⊨_f σ`.
+    pub finite_implication: Answer,
+}
+
+struct CacheEntry {
+    answer: CachedAnswer,
+    /// The goal's hypothesis tableau at insert time, kept for hit
+    /// verification via `isomorphic`.
+    goal_hypothesis: Relation,
+}
+
+/// Answer cache keyed by [`QueryKey`].
+#[derive(Default)]
+pub struct AnswerCache {
+    map: FxHashMap<QueryKey, CacheEntry>,
+}
+
+/// The goal's hypothesis tableau as a relation (the verification witness).
+pub fn goal_hypothesis(goal: &TdOrEgd) -> Relation {
+    match goal {
+        TdOrEgd::Td(t) => t.hypothesis_relation(),
+        TdOrEgd::Egd(e) => e.hypothesis_relation(),
+    }
+}
+
+/// Result of a cache probe.
+pub enum Probe {
+    /// No entry under this key.
+    Miss,
+    /// An entry was found (and, if requested, verified).
+    Hit(CachedAnswer),
+    /// An entry was found but failed isomorphism verification; served as a
+    /// miss and counted separately — a hit here would be a canonicalization
+    /// bug.
+    Rejected,
+}
+
+impl AnswerCache {
+    /// Number of cached canonical queries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Probes the cache. With `verify`, a key hit must also pass the
+    /// isomorphism cross-check of the goal hypothesis tableaux.
+    pub fn probe(&self, key: &QueryKey, goal: &TdOrEgd, verify: bool) -> Probe {
+        match self.map.get(key) {
+            None => Probe::Miss,
+            Some(entry) => {
+                if verify && !isomorphic(&entry.goal_hypothesis, &goal_hypothesis(goal)) {
+                    Probe::Rejected
+                } else {
+                    Probe::Hit(entry.answer)
+                }
+            }
+        }
+    }
+
+    /// Records the answer for a canonical query. Callers only record
+    /// *definite* answers (Yes/No hold of every isomorphic presentation of
+    /// the query; Unknown is a budget artifact and is never cached), and
+    /// the scheduler guarantees at most one in-flight leader per key
+    /// (identical queries coalesce, verify-rejected keys are quarantined),
+    /// so first-writer-wins can never entomb a conflicting verdict.
+    pub fn insert(&mut self, key: QueryKey, answer: CachedAnswer, goal: &TdOrEgd) {
+        self.map.entry(key).or_insert_with(|| CacheEntry {
+            answer,
+            goal_hypothesis: goal_hypothesis(goal),
+        });
+    }
+}

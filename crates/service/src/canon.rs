@@ -1,0 +1,432 @@
+//! Canonical, isomorphism-invariant keys for implication queries.
+//!
+//! Two queries `(Σ, σ)` and `(Σ', σ')` pose the *same* implication problem
+//! whenever they differ only by a renaming of tableau variables, a
+//! reordering of hypothesis rows, or a reordering (or duplication) of the
+//! dependencies of Σ — the chase outcome is invariant under all three (the
+//! paper's constructions are all "up to renaming"). A production service
+//! sees vast numbers of such structurally identical queries, so the answer
+//! cache keys on a **canonical form**:
+//!
+//! * each dependency is encoded as a token stream whose variables are
+//!   numbered by first occurrence under the *lexicographically minimal*
+//!   hypothesis-row order (a backtracking search with prefix pruning, the
+//!   same shape as the row-matching search in
+//!   `typedtd_relational::isomorphism` — both explore row pairings and cut
+//!   on the induced value bijection);
+//! * Σ is the *sorted, deduplicated set* of its dependencies' encodings;
+//! * the universe contributes only its width and typing discipline —
+//!   attribute *names* never affect the answer.
+//!
+//! Equal keys therefore imply isomorphic queries, and renamed/reordered
+//! resubmissions hit the cache. The converse direction is guarded for
+//! pathological tableaux: when the row-order search would blow up (more
+//! rows than [`ROW_CAP`], or more than [`LEAF_CAP`] candidate orders), the
+//! encoder falls back to the submitted row order — still deterministic and
+//! still *sound* (a false key match is impossible because the encoding is
+//! injective up to renaming), it merely forfeits hits for that dependency.
+//! The `isomorphic` machinery remains available as an independent
+//! cross-check of key collisions (see `ServiceConfig::verify_cache_hits`
+//! and this module's tests).
+
+use typedtd_dependencies::TdOrEgd;
+use typedtd_relational::{FxHashMap, Tuple, Value};
+
+/// Hypothesis-row count above which row-order canonicalization is skipped.
+pub const ROW_CAP: usize = 8;
+
+/// Bound on complete row orders examined before falling back.
+pub const LEAF_CAP: usize = 512;
+
+const TAG_TD: u32 = u32::MAX;
+const TAG_EGD: u32 = u32::MAX - 1;
+
+/// The canonical key of one query `(Σ, σ)`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct QueryKey {
+    /// Universe width (attribute names are irrelevant to the answer).
+    width: u16,
+    /// Domain discipline (typedness changes which embeddings exist).
+    typed: bool,
+    /// Sorted, deduplicated canonical encodings of Σ.
+    sigma: Vec<Vec<u32>>,
+    /// Canonical encoding of the goal.
+    goal: Vec<u32>,
+}
+
+/// Computes the canonical key of `(sigma, goal)`.
+pub fn query_key(sigma: &[TdOrEgd], goal: &TdOrEgd) -> QueryKey {
+    query_key_and_sigma_keys(sigma, goal).0
+}
+
+/// As [`query_key`], but also returns each Σ dependency's canonical
+/// encoding, aligned with the submitted order — so a scheduler can dedup
+/// Σ without canonicalizing every dependency a second time.
+pub fn query_key_and_sigma_keys(sigma: &[TdOrEgd], goal: &TdOrEgd) -> (QueryKey, Vec<Vec<u32>>) {
+    let universe = match goal {
+        TdOrEgd::Td(t) => t.universe().clone(),
+        TdOrEgd::Egd(e) => e.universe().clone(),
+    };
+    let dep_keys: Vec<Vec<u32>> = sigma.iter().map(dep_key).collect();
+    let mut sigma_keys = dep_keys.clone();
+    sigma_keys.sort_unstable();
+    sigma_keys.dedup();
+    let key = QueryKey {
+        width: universe.width() as u16,
+        typed: universe.is_typed(),
+        sigma: sigma_keys,
+        goal: dep_key(goal),
+    };
+    (key, dep_keys)
+}
+
+/// What follows the hypothesis rows in a dependency encoding.
+enum Tail<'a> {
+    /// A td's conclusion row (may contain existential values).
+    Row(&'a Tuple),
+    /// An egd's equated pair (order-normalized: the equality is symmetric).
+    Pair(Value, Value),
+}
+
+/// Canonical encoding of one dependency, invariant under variable renaming
+/// and hypothesis-row reordering.
+pub fn dep_key(dep: &TdOrEgd) -> Vec<u32> {
+    match dep {
+        TdOrEgd::Td(t) => {
+            let mut out = vec![TAG_TD, t.hypothesis().len() as u32];
+            out.extend(canonical_rows(t.hypothesis(), &Tail::Row(t.conclusion())));
+            out
+        }
+        TdOrEgd::Egd(e) => {
+            let mut out = vec![TAG_EGD, e.hypothesis().len() as u32];
+            out.extend(canonical_rows(e.hypothesis(), &Tail::Pair(e.left(), e.right())));
+            out
+        }
+    }
+}
+
+/// Encodes `row` under `numbering`, assigning provisional ids (starting at
+/// `numbering.len()`) to unseen values in column order. Returns the encoded
+/// tuple and the newly seen values in assignment order.
+fn encode_row(row: &Tuple, numbering: &FxHashMap<Value, u32>) -> (Vec<u32>, Vec<Value>) {
+    let mut enc = Vec::with_capacity(row.width());
+    let mut fresh: Vec<Value> = Vec::new();
+    for v in row.values() {
+        if let Some(&id) = numbering.get(v) {
+            enc.push(id);
+        } else if let Some(pos) = fresh.iter().position(|f| f == v) {
+            enc.push((numbering.len() + pos) as u32);
+        } else {
+            enc.push((numbering.len() + fresh.len()) as u32);
+            fresh.push(*v);
+        }
+    }
+    (enc, fresh)
+}
+
+/// Appends the tail encoding under (a copy of) `numbering`.
+fn encode_tail(tail: &Tail<'_>, numbering: &FxHashMap<Value, u32>) -> Vec<u32> {
+    match tail {
+        Tail::Row(conclusion) => encode_row(conclusion, numbering).0,
+        Tail::Pair(l, r) => {
+            let li = numbering[l];
+            let ri = numbering[r];
+            vec![li.min(ri), li.max(ri)]
+        }
+    }
+}
+
+/// The lexicographically minimal encoding of `rows ++ tail` over all row
+/// orders, or the identity-order encoding when the search would blow up.
+fn canonical_rows(rows: &[Tuple], tail: &Tail<'_>) -> Vec<u32> {
+    if rows.len() > ROW_CAP {
+        return identity_encoding(rows, tail);
+    }
+    let mut search = Search {
+        rows,
+        tail,
+        best: None,
+        leaves: 0,
+        aborted: false,
+    };
+    let mut used = vec![false; rows.len()];
+    let mut numbering = FxHashMap::default();
+    let mut acc = Vec::new();
+    search.dfs(&mut used, &mut numbering, &mut acc);
+    if search.aborted {
+        return identity_encoding(rows, tail);
+    }
+    search.best.expect("nonempty hypothesis yields a best order")
+}
+
+/// Encoding in the submitted row order (renaming-invariant only).
+fn identity_encoding(rows: &[Tuple], tail: &Tail<'_>) -> Vec<u32> {
+    let mut numbering = FxHashMap::default();
+    let mut out = Vec::new();
+    for row in rows {
+        let (enc, fresh) = encode_row(row, &numbering);
+        for v in fresh {
+            let id = numbering.len() as u32;
+            numbering.insert(v, id);
+        }
+        out.extend(enc);
+    }
+    out.extend(encode_tail(tail, &numbering));
+    out
+}
+
+struct Search<'a> {
+    rows: &'a [Tuple],
+    tail: &'a Tail<'a>,
+    best: Option<Vec<u32>>,
+    leaves: usize,
+    aborted: bool,
+}
+
+impl Search<'_> {
+    /// Backtracking minimal-order search. At every level only the rows
+    /// whose encoded tuple is lexicographically minimal under the current
+    /// numbering can extend a minimal prefix (encodings have fixed width,
+    /// so prefix dominance is exact); ties branch because they bind
+    /// different values.
+    fn dfs(
+        &mut self,
+        used: &mut [bool],
+        numbering: &mut FxHashMap<Value, u32>,
+        acc: &mut Vec<u32>,
+    ) {
+        if self.aborted {
+            return;
+        }
+        if acc.len() == self.rows.len() * self.rows.first().map_or(0, Tuple::width) {
+            self.leaves += 1;
+            if self.leaves > LEAF_CAP {
+                self.aborted = true;
+                return;
+            }
+            let mut candidate = acc.to_vec();
+            candidate.extend(encode_tail(self.tail, numbering));
+            if self.best.as_ref().is_none_or(|b| candidate < *b) {
+                self.best = Some(candidate);
+            }
+            return;
+        }
+        // Encode every unused row once, keep the minimal encoded tuple.
+        let candidates: Vec<(usize, Vec<u32>, Vec<Value>)> = self
+            .rows
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !used[*i])
+            .map(|(i, row)| {
+                let (enc, fresh) = encode_row(row, numbering);
+                (i, enc, fresh)
+            })
+            .collect();
+        let min_enc = candidates
+            .iter()
+            .map(|(_, enc, _)| enc)
+            .min()
+            .expect("unused row exists below full depth")
+            .clone();
+        for (i, enc, fresh) in candidates {
+            if enc != min_enc {
+                continue;
+            }
+            used[i] = true;
+            for v in &fresh {
+                let id = numbering.len() as u32;
+                numbering.insert(*v, id);
+            }
+            let mark = acc.len();
+            acc.extend(&enc);
+            self.dfs(used, numbering, acc);
+            acc.truncate(mark);
+            for v in &fresh {
+                numbering.remove(v);
+            }
+            used[i] = false;
+            if self.aborted {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use typedtd_dependencies::{egd_from_names, td_from_names};
+    use typedtd_relational::{isomorphic, Universe, ValuePool};
+
+    fn setup() -> (Arc<Universe>, ValuePool) {
+        let u = Universe::untyped_abc();
+        let p = ValuePool::new(u.clone());
+        (u, p)
+    }
+
+    #[test]
+    fn renaming_is_invisible() {
+        let (u, mut p) = setup();
+        let a = td_from_names(
+            &u,
+            &mut p,
+            &[&["x", "y1", "z1"], &["x", "y2", "z2"]],
+            &["x", "y1", "z2"],
+        );
+        let b = td_from_names(
+            &u,
+            &mut p,
+            &[&["q", "r1", "s1"], &["q", "r2", "s2"]],
+            &["q", "r1", "s2"],
+        );
+        assert_eq!(dep_key(&TdOrEgd::Td(a)), dep_key(&TdOrEgd::Td(b)));
+    }
+
+    #[test]
+    fn row_reordering_is_invisible() {
+        let (u, mut p) = setup();
+        let a = td_from_names(
+            &u,
+            &mut p,
+            &[&["x", "y1", "z1"], &["x", "y2", "z2"]],
+            &["x", "y1", "z2"],
+        );
+        let b = td_from_names(
+            &u,
+            &mut p,
+            &[&["x", "y2", "z2"], &["x", "y1", "z1"]],
+            &["x", "y1", "z2"],
+        );
+        // Under the swapped row order the conclusion reads differently, but
+        // the canonical order restores a single encoding.
+        assert_eq!(dep_key(&TdOrEgd::Td(a)), dep_key(&TdOrEgd::Td(b)));
+    }
+
+    #[test]
+    fn structure_differences_are_visible() {
+        let (u, mut p) = setup();
+        let mvd = td_from_names(
+            &u,
+            &mut p,
+            &[&["x", "y1", "z1"], &["x", "y2", "z2"]],
+            &["x", "y1", "z2"],
+        );
+        let trivial = td_from_names(
+            &u,
+            &mut p,
+            &[&["x", "y1", "z1"], &["x", "y2", "z2"]],
+            &["x", "y1", "z1"],
+        );
+        assert_ne!(dep_key(&TdOrEgd::Td(mvd)), dep_key(&TdOrEgd::Td(trivial)));
+    }
+
+    #[test]
+    fn egd_equality_is_symmetric() {
+        let (u, mut p) = setup();
+        let a = egd_from_names(
+            &u,
+            &mut p,
+            &[&["x", "y1", "z1"], &["x", "y2", "z2"]],
+            ("B'", "y1"),
+            ("B'", "y2"),
+        );
+        let b = egd_from_names(
+            &u,
+            &mut p,
+            &[&["x", "y1", "z1"], &["x", "y2", "z2"]],
+            ("B'", "y2"),
+            ("B'", "y1"),
+        );
+        assert_eq!(dep_key(&TdOrEgd::Egd(a)), dep_key(&TdOrEgd::Egd(b)));
+    }
+
+    #[test]
+    fn sigma_order_and_duplicates_are_invisible() {
+        let (u, mut p) = setup();
+        let t1 = TdOrEgd::Td(td_from_names(
+            &u,
+            &mut p,
+            &[&["x", "y", "z"]],
+            &["x", "y", "w"],
+        ));
+        let t2 = TdOrEgd::Td(td_from_names(
+            &u,
+            &mut p,
+            &[&["x", "y", "z"]],
+            &["w", "y", "z"],
+        ));
+        let goal = t1.clone();
+        let k1 = query_key(&[t1.clone(), t2.clone()], &goal);
+        let k2 = query_key(&[t2.clone(), t1.clone(), t2.clone()], &goal);
+        assert_eq!(k1, k2);
+    }
+
+    #[test]
+    fn typing_discipline_is_part_of_the_key() {
+        let (u, mut p) = setup();
+        let ut = Universe::typed(vec!["A", "B", "C"]);
+        let mut pt = ValuePool::new(ut.clone());
+        let a = td_from_names(&u, &mut p, &[&["x", "y", "z"]], &["x", "y", "w"]);
+        let b = td_from_names(&ut, &mut pt, &[&["x", "y", "z"]], &["x", "y", "w"]);
+        assert_ne!(
+            query_key(&[], &TdOrEgd::Td(a)),
+            query_key(&[], &TdOrEgd::Td(b))
+        );
+    }
+
+    #[test]
+    fn equal_keys_imply_isomorphic_hypotheses() {
+        // The independent cross-check against the isomorphism machinery:
+        // whenever two dependency keys agree, the hypothesis tableaux must
+        // be isomorphic as relations.
+        let (u, mut p) = setup();
+        let mk = |p: &mut ValuePool, rows: &[&[&str]], w: &[&str]| {
+            TdOrEgd::Td(td_from_names(&u, p, rows, w))
+        };
+        let deps = [
+            mk(
+                &mut p,
+                &[&["x", "y1", "z1"], &["x", "y2", "z2"]],
+                &["x", "y1", "z2"],
+            ),
+            mk(
+                &mut p,
+                &[&["a", "b2", "c2"], &["a", "b1", "c1"]],
+                &["a", "b1", "c1"],
+            ),
+            mk(&mut p, &[&["x", "x", "z"]], &["x", "x", "z"]),
+            mk(&mut p, &[&["x", "y", "z"]], &["x", "y", "z"]),
+        ];
+        for (i, d1) in deps.iter().enumerate() {
+            for d2 in &deps[i..] {
+                if dep_key(d1) == dep_key(d2) {
+                    let (TdOrEgd::Td(t1), TdOrEgd::Td(t2)) = (d1, d2) else {
+                        unreachable!()
+                    };
+                    assert!(
+                        isomorphic(&t1.hypothesis_relation(), &t2.hypothesis_relation()),
+                        "equal keys must mean isomorphic hypothesis tableaux"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_tableaux_still_get_deterministic_keys() {
+        let (u, mut p) = setup();
+        let names: Vec<Vec<String>> = (0..ROW_CAP + 2)
+            .map(|i| vec![format!("a{i}"), format!("b{i}"), format!("c{i}")])
+            .collect();
+        let rows: Vec<Vec<&str>> = names
+            .iter()
+            .map(|r| r.iter().map(String::as_str).collect())
+            .collect();
+        let row_slices: Vec<&[&str]> = rows.iter().map(Vec::as_slice).collect();
+        let td = td_from_names(&u, &mut p, &row_slices, &["a0", "b0", "c0"]);
+        let k1 = dep_key(&TdOrEgd::Td(td.clone()));
+        let k2 = dep_key(&TdOrEgd::Td(td));
+        assert_eq!(k1, k2);
+    }
+}

@@ -1,0 +1,43 @@
+//! # typedtd-service — implication as a query engine
+//!
+//! The paper this repository reproduces proves that implication and finite
+//! implication of typed template dependencies are **undecidable**: the set
+//! `{(Σ, σ) : Σ ⊨ σ}` is r.e. (the chase enumerates it), the set
+//! `{(Σ, σ) : Σ ⊭_f σ}` is r.e. (finite-model enumeration), and no total
+//! algorithm closes the gap. A service built on such a theory cannot offer
+//! "call and wait" semantics — any one call may never return. What it can
+//! offer is the **dovetailing guarantee**, turned from a proof device into
+//! a scheduler:
+//!
+//! * every query runs as a resumable [`typedtd_chase::DecideTask`] —
+//!   chase rounds and search attempts are its preemption points;
+//! * the [`ImplicationService`] round-robins fuel slices over all in-flight
+//!   queries, so a terminating query is answered after boundedly many
+//!   sweeps *regardless* of how many divergent neighbours it has
+//!   (starvation-freedom is exactly the fairness clause of the classical
+//!   dovetailing argument);
+//! * per-job and global fuel budgets convert "never returns" into the
+//!   honest third answer `Unknown`.
+//!
+//! On top of the scheduler sits an **isomorphism-keyed answer cache**
+//! ([`canon`], [`cache`]): queries are keyed by a canonical form invariant
+//! under variable renaming, hypothesis-row reordering, and Σ
+//! reordering/duplication, so the structurally identical queries a real
+//! workload issues by the million are answered from memory — and identical
+//! queries *in flight* coalesce onto a single computation. The
+//! [`batch`] module and the `typedtd-serve` binary expose the whole stack
+//! over newline-delimited query files in the parser syntax.
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod cache;
+pub mod canon;
+pub mod service;
+
+pub use batch::{parse_query_line, submit_batch, Batch, BatchQuery, BatchVerdict};
+pub use cache::{AnswerCache, CachedAnswer, Probe};
+pub use canon::{dep_key, query_key, QueryKey};
+pub use service::{
+    ImplicationService, JobId, JobOutcome, JobStatus, ServiceConfig, ServiceStats,
+};

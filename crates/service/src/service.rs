@@ -1,0 +1,506 @@
+//! The concurrent implication service: a fair dovetailing scheduler over
+//! resumable [`DecideTask`]s with a memoizing answer cache.
+//!
+//! # Dovetailing as scheduling
+//!
+//! The paper proves no total algorithm decides typed-td implication, so a
+//! service cannot promise any single query terminates — what it *can*
+//! promise is fairness: every submitted query keeps making progress no
+//! matter how many divergent neighbours it has. That is exactly the
+//! textbook dovetailing argument for running two semidecision procedures,
+//! lifted one level: where [`typedtd_chase::decide`] dovetails the chase
+//! against model search *within* one query, the scheduler here round-robins
+//! fuel slices *across* queries. A query that terminates after `n` fuel
+//! units is answered after at most `n` sweeps of the run queue, each sweep
+//! bounded by `jobs × slice_fuel` — starvation-freedom by construction.
+//!
+//! # The answer cache
+//!
+//! Real workloads re-ask structurally identical questions (the same schema
+//! constraint checked for every tenant, the same normalization query with
+//! freshly minted variable names). Jobs are keyed by the canonical form of
+//! `(Σ, σ)` ([`crate::canon`]); a finished job's answers are recorded under
+//! its key, later submissions hit without spending any fuel, and identical
+//! *in-flight* queries coalesce onto the running job instead of chasing in
+//! parallel.
+//!
+//! # Concurrency
+//!
+//! With `workers > 1` each sweep fans its fuel slices out across scoped OS
+//! threads (jobs own their state, so stepping distinct jobs is embarrassingly
+//! parallel); completions are still recorded in submission order, keeping
+//! stats and cache insertion deterministic.
+
+use crate::cache::{AnswerCache, CachedAnswer, Probe};
+use crate::canon::{query_key_and_sigma_keys, QueryKey};
+use std::collections::VecDeque;
+use typedtd_chase::{Answer, DecideConfig, DecideStatus, DecideTask};
+use typedtd_dependencies::TdOrEgd;
+use typedtd_relational::{FxHashMap, FxHashSet, Relation, ValuePool};
+
+/// Service-wide knobs.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Per-query decision budgets (chase + search).
+    pub decide: DecideConfig,
+    /// Fuel units (chase rounds / search attempts) granted to a job per
+    /// scheduler sweep. Smaller slices preempt faster; larger slices
+    /// amortize bookkeeping.
+    pub slice_fuel: usize,
+    /// Global fuel budget across all jobs; once spent, the remaining jobs
+    /// are answered `Unknown` by [`ImplicationService::run_to_completion`].
+    /// Checked between slices (a soft cap under `workers > 1`).
+    pub global_fuel: Option<u64>,
+    /// Worker threads for stepping jobs within a sweep. `1` = sequential.
+    pub workers: usize,
+    /// Enable the canonical answer cache (and in-flight coalescing).
+    pub cache: bool,
+    /// Re-verify every cache hit through the isomorphism machinery.
+    pub verify_cache_hits: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            decide: DecideConfig::default(),
+            slice_fuel: 8,
+            global_fuel: None,
+            workers: 1,
+            cache: true,
+            verify_cache_hits: false,
+        }
+    }
+}
+
+/// Handle to a submitted job.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct JobId(usize);
+
+/// A finished job's result.
+#[derive(Clone, Debug)]
+pub struct JobOutcome {
+    /// Answer for unrestricted implication `Σ ⊨ σ`.
+    pub implication: Answer,
+    /// Answer for finite implication `Σ ⊨_f σ`.
+    pub finite_implication: Answer,
+    /// A finite counterexample when either answer is `No` and this job did
+    /// the work itself (cache/coalesced answers carry no certificate: the
+    /// certificate's values live in the original submitter's pool).
+    pub counterexample: Option<Relation>,
+    /// `true` if the answers came from the cache or a coalesced leader.
+    pub from_cache: bool,
+    /// Fuel this job consumed (0 for cache hits).
+    pub fuel_spent: u64,
+}
+
+/// Poll result for a job.
+#[derive(Clone, Debug)]
+pub enum JobStatus {
+    /// Still in flight; keep ticking the service.
+    Pending,
+    /// Finished.
+    Done(JobOutcome),
+}
+
+/// Aggregate service counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Jobs submitted.
+    pub submitted: u64,
+    /// Jobs finished (including cache hits and expiries).
+    pub completed: u64,
+    /// Submissions answered instantly from the cache.
+    pub cache_hits: u64,
+    /// Submissions coalesced onto an identical in-flight job.
+    pub coalesced: u64,
+    /// Submissions that had to run (cache enabled but cold, or disabled).
+    pub cache_misses: u64,
+    /// Cache key hits rejected by isomorphism verification (should be 0;
+    /// a nonzero count flags a canonicalization bug).
+    pub verify_rejects: u64,
+    /// Jobs force-answered `Unknown` by global fuel exhaustion.
+    pub expired: u64,
+    /// Total fuel spent across all jobs.
+    pub fuel_spent: u64,
+    /// Scheduler sweeps executed.
+    pub sweeps: u64,
+    /// Jobs answered `Yes` (unrestricted implication).
+    pub yes: u64,
+    /// Jobs answered `No`.
+    pub no: u64,
+    /// Jobs answered `Unknown`.
+    pub unknown: u64,
+}
+
+enum Slot {
+    /// In flight, owned by the run queue.
+    Running(Box<DecideTask>),
+    /// Transiently moved out for a (possibly parallel) fuel slice.
+    Stepping,
+    /// Coalesced: waiting for the identical in-flight job to finish.
+    Waiting { leader: usize },
+    /// Finished.
+    Finished(JobOutcome),
+}
+
+struct Job {
+    slot: Slot,
+    /// Canonical key (when caching): where this job's answers get recorded.
+    key: Option<QueryKey>,
+    /// Goal snapshot for cache insertion/verification.
+    goal: TdOrEgd,
+    fuel_spent: u64,
+}
+
+/// A multiplexing, memoizing front end over many concurrent implication
+/// queries. See the module docs for the design.
+pub struct ImplicationService {
+    cfg: ServiceConfig,
+    jobs: Vec<Job>,
+    /// Round-robin run queue of job indices with `Slot::Running` state.
+    queue: VecDeque<usize>,
+    /// Canonical key → leader job index, for in-flight coalescing.
+    inflight: FxHashMap<QueryKey, usize>,
+    /// Leader job index → jobs coalesced onto it, resolved at completion
+    /// (kept out of the job slots so completion is O(waiters), not O(jobs)).
+    waiters: FxHashMap<usize, Vec<usize>>,
+    cache: AnswerCache,
+    stats: ServiceStats,
+}
+
+impl ImplicationService {
+    /// An empty service.
+    pub fn new(cfg: ServiceConfig) -> Self {
+        Self {
+            cfg,
+            jobs: Vec::new(),
+            queue: VecDeque::new(),
+            inflight: FxHashMap::default(),
+            waiters: FxHashMap::default(),
+            cache: AnswerCache::default(),
+            stats: ServiceStats::default(),
+        }
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> &ServiceStats {
+        &self.stats
+    }
+
+    /// Distinct canonical queries answered so far.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Submits one query `Σ ⊨(f) σ`. `pool` must be (a snapshot of) the
+    /// pool the dependencies' values were interned in; each job owns its
+    /// pool, so many jobs over unrelated pools can be in flight at once.
+    ///
+    /// Returns immediately: a cache hit is `Done` on the first
+    /// [`ImplicationService::poll`], an identical in-flight query coalesces,
+    /// anything else enters the run queue.
+    pub fn submit(&mut self, mut sigma: Vec<TdOrEgd>, goal: TdOrEgd, pool: ValuePool) -> JobId {
+        self.stats.submitted += 1;
+        let idx = self.jobs.len();
+        let mut key = None;
+        if self.cfg.cache {
+            let (k, dep_keys) = query_key_and_sigma_keys(&sigma, &goal);
+            key = Some(k);
+            // Run the same Σ the key describes: canonically duplicate
+            // dependencies are logically redundant (isomorphic constraints
+            // are equivalent) but would inflate this job's per-round scan
+            // relative to a dedup-submitted twin.
+            let mut seen_deps = FxHashSet::default();
+            let mut di = 0;
+            sigma.retain(|_| {
+                let keep = seen_deps.insert(dep_keys[di].clone());
+                di += 1;
+                keep
+            });
+        }
+        if let Some(k) = &key {
+            match self.cache.probe(k, &goal, self.cfg.verify_cache_hits) {
+                Probe::Hit(answer) => {
+                    self.stats.cache_hits += 1;
+                    let outcome = JobOutcome {
+                        implication: answer.implication,
+                        finite_implication: answer.finite_implication,
+                        counterexample: None,
+                        from_cache: true,
+                        fuel_spent: 0,
+                    };
+                    self.record_answer(&outcome);
+                    self.jobs.push(Job {
+                        slot: Slot::Finished(outcome),
+                        key,
+                        goal,
+                        fuel_spent: 0,
+                    });
+                    return JobId(idx);
+                }
+                Probe::Rejected => {
+                    // Verification just proved this key collides with a
+                    // non-isomorphic query (a canonicalization bug). The
+                    // key cannot be trusted for *any* sharing: no
+                    // coalescing onto an in-flight holder of it, no cache
+                    // write under it. Run the job in isolation.
+                    self.stats.verify_rejects += 1;
+                    key = None;
+                }
+                Probe::Miss => {}
+            }
+        }
+        if let Some(k) = &key {
+            if let Some(&leader) = self.inflight.get(k) {
+                self.stats.coalesced += 1;
+                self.waiters.entry(leader).or_default().push(idx);
+                self.jobs.push(Job {
+                    slot: Slot::Waiting { leader },
+                    key,
+                    goal,
+                    fuel_spent: 0,
+                });
+                return JobId(idx);
+            }
+            self.inflight.insert(k.clone(), idx);
+        }
+        self.stats.cache_misses += 1;
+        let task = DecideTask::new(sigma, goal.clone(), pool, self.cfg.decide.clone());
+        self.jobs.push(Job {
+            slot: Slot::Running(Box::new(task)),
+            key,
+            goal,
+            fuel_spent: 0,
+        });
+        self.queue.push_back(idx);
+        JobId(idx)
+    }
+
+    /// The job's current status. Cheap; never advances work.
+    pub fn poll(&self, id: JobId) -> JobStatus {
+        match &self.jobs[id.0].slot {
+            Slot::Finished(outcome) => JobStatus::Done(outcome.clone()),
+            _ => JobStatus::Pending,
+        }
+    }
+
+    /// Jobs still in flight (running or coalesced-waiting).
+    pub fn pending_jobs(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| !matches!(j.slot, Slot::Finished(_)))
+            .count()
+    }
+
+    /// Remaining global fuel, if a budget is set.
+    fn global_remaining(&self) -> Option<u64> {
+        self.cfg
+            .global_fuel
+            .map(|total| total.saturating_sub(self.stats.fuel_spent))
+    }
+
+    /// One fair sweep: every running job gets (at most) one fuel slice, in
+    /// round-robin order. Returns `false` once nothing is left to do (run
+    /// queue empty or global fuel exhausted).
+    pub fn tick(&mut self) -> bool {
+        if self.queue.is_empty() || self.global_remaining() == Some(0) {
+            return false;
+        }
+        self.stats.sweeps += 1;
+        // Claim this sweep's batch (jobs submitted mid-sweep wait for the
+        // next one) and move the tasks out of their slots.
+        let batch: Vec<usize> = self.queue.drain(..).collect();
+        let slice = self.cfg.slice_fuel.max(1);
+        let mut stepped: Vec<(usize, Box<DecideTask>, DecideStatus)> =
+            Vec::with_capacity(batch.len());
+        let mut claimed: Vec<(usize, Box<DecideTask>)> = Vec::with_capacity(batch.len());
+        for &idx in &batch {
+            match std::mem::replace(&mut self.jobs[idx].slot, Slot::Stepping) {
+                Slot::Running(task) => claimed.push((idx, task)),
+                other => {
+                    // Not runnable (finished by coalescing etc.): restore.
+                    self.jobs[idx].slot = other;
+                }
+            }
+        }
+        if self.cfg.workers > 1 && claimed.len() > 1 {
+            let workers = self.cfg.workers.min(claimed.len());
+            let chunk = claimed.len().div_ceil(workers);
+            let chunks: Vec<Vec<(usize, Box<DecideTask>)>> = {
+                let mut it = claimed.into_iter();
+                let mut out = Vec::with_capacity(workers);
+                loop {
+                    let c: Vec<_> = it.by_ref().take(chunk).collect();
+                    if c.is_empty() {
+                        break;
+                    }
+                    out.push(c);
+                }
+                out
+            };
+            let results: Vec<Vec<(usize, Box<DecideTask>, DecideStatus)>> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = chunks
+                        .into_iter()
+                        .map(|chunk| {
+                            scope.spawn(move || {
+                                chunk
+                                    .into_iter()
+                                    .map(|(idx, mut task)| {
+                                        let status = task.step(slice);
+                                        (idx, task, status)
+                                    })
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).collect()
+                });
+            for r in results {
+                stepped.extend(r);
+            }
+            // Parallel chunks return out of submission order; restore it so
+            // completions (stats, cache inserts) stay deterministic.
+            stepped.sort_unstable_by_key(|&(idx, _, _)| idx);
+        } else {
+            for (idx, mut task) in claimed {
+                // Sequential mode can meter the global budget per slice.
+                let allowed = match self.global_remaining() {
+                    Some(rem) => slice.min(rem as usize),
+                    None => slice,
+                };
+                if allowed == 0 {
+                    stepped.push((idx, task, DecideStatus::Pending));
+                    continue;
+                }
+                let before = task.fuel_spent();
+                let status = task.step(allowed);
+                let used = task.fuel_spent() - before;
+                self.stats.fuel_spent += used;
+                self.jobs[idx].fuel_spent += used;
+                stepped.push((idx, task, status));
+            }
+        }
+        if self.cfg.workers > 1 {
+            // Account parallel fuel after the join.
+            for (idx, task, _) in &stepped {
+                let used = task.fuel_spent() - self.jobs[*idx].fuel_spent;
+                self.stats.fuel_spent += used;
+                self.jobs[*idx].fuel_spent = task.fuel_spent();
+            }
+        }
+        for (idx, task, status) in stepped {
+            match status {
+                DecideStatus::Pending => {
+                    self.jobs[idx].slot = Slot::Running(task);
+                    self.queue.push_back(idx);
+                }
+                DecideStatus::Done(_) => self.complete(idx, *task),
+            }
+        }
+        !self.queue.is_empty() && self.global_remaining() != Some(0)
+    }
+
+    /// Drives every in-flight job to an answer: ticks until the run queue
+    /// drains, then — if the global fuel budget cut the run short — answers
+    /// the leftovers `Unknown` (an honest answer for an undecidable
+    /// problem under a finite budget).
+    pub fn run_to_completion(&mut self) {
+        while self.tick() {}
+        if !self.queue.is_empty() {
+            self.expire_pending();
+        }
+    }
+
+    /// Answers every still-running job `Unknown` (global budget spent).
+    fn expire_pending(&mut self) {
+        let leftovers: Vec<usize> = self.queue.drain(..).collect();
+        for idx in leftovers {
+            let fuel = self.jobs[idx].fuel_spent;
+            let outcome = JobOutcome {
+                implication: Answer::Unknown,
+                finite_implication: Answer::Unknown,
+                counterexample: None,
+                from_cache: false,
+                fuel_spent: fuel,
+            };
+            self.stats.expired += 1;
+            // Deliberately *not* cached: this Unknown reflects global
+            // scheduling pressure, not the per-query budgets the cache's
+            // answers are deterministic functions of.
+            self.record_answer(&outcome);
+            self.resolve_waiters(idx, &outcome);
+            if let Some(k) = &self.jobs[idx].key {
+                self.inflight.remove(k);
+            }
+            self.jobs[idx].slot = Slot::Finished(outcome);
+        }
+    }
+
+    /// Finishes a job from its decided task: records stats, fills the
+    /// cache, wakes coalesced waiters.
+    fn complete(&mut self, idx: usize, task: DecideTask) {
+        let (decision, _pool) = task.finish();
+        let outcome = JobOutcome {
+            implication: decision.implication,
+            finite_implication: decision.finite_implication,
+            counterexample: decision.counterexample,
+            from_cache: false,
+            fuel_spent: self.jobs[idx].fuel_spent,
+        };
+        self.record_answer(&outcome);
+        if let Some(k) = self.jobs[idx].key.clone() {
+            // Only definite answers are cached: Yes/No are certificates,
+            // true of every isomorphic presentation of the query, while
+            // Unknown is a budget artifact that could differ between
+            // canonically equal submissions.
+            if outcome.implication != Answer::Unknown {
+                self.cache.insert(
+                    k.clone(),
+                    CachedAnswer {
+                        implication: outcome.implication,
+                        finite_implication: outcome.finite_implication,
+                    },
+                    &self.jobs[idx].goal,
+                );
+            }
+            self.inflight.remove(&k);
+        }
+        self.resolve_waiters(idx, &outcome);
+        self.jobs[idx].slot = Slot::Finished(outcome);
+    }
+
+    /// Wakes every job coalesced onto `leader` with its answers.
+    fn resolve_waiters(&mut self, leader: usize, outcome: &JobOutcome) {
+        for i in self.waiters.remove(&leader).unwrap_or_default() {
+            debug_assert!(
+                matches!(self.jobs[i].slot, Slot::Waiting { leader: l } if l == leader),
+                "waiter list out of sync with job slots"
+            );
+            let waiter_outcome = JobOutcome {
+                implication: outcome.implication,
+                finite_implication: outcome.finite_implication,
+                counterexample: None,
+                from_cache: true,
+                fuel_spent: 0,
+            };
+            self.record_answer(&waiter_outcome);
+            self.jobs[i].slot = Slot::Finished(waiter_outcome);
+        }
+    }
+
+    /// Updates the answer histogram and completion count.
+    fn record_answer(&mut self, outcome: &JobOutcome) {
+        self.stats.completed += 1;
+        match outcome.implication {
+            Answer::Yes => self.stats.yes += 1,
+            Answer::No => self.stats.no += 1,
+            Answer::Unknown => self.stats.unknown += 1,
+        }
+    }
+}

@@ -16,6 +16,7 @@
 //! | [`core`] | Sections 3–6: `T`, `σ₀`/`Σ₀`, `T⁻¹`, `θ_{X→A}`, the hat translation, Theorem 2 and Theorem 6 pipelines |
 //! | [`semigroup`] | Theorem 1/3 substrate: equational implications, finite semigroups, the fixed set `Σ₁` |
 //! | [`formal`] | checkable proofs, Theorem 7/8 formal systems, Armstrong relations |
+//! | [`service`] | the concurrent implication service: resumable decide tasks, fair dovetailing scheduler, isomorphism-keyed answer cache, `typedtd-serve` CLI |
 //!
 //! ## Quickstart
 //!
@@ -39,6 +40,7 @@ pub use typedtd_dependencies as dependencies;
 pub use typedtd_formal as formal;
 pub use typedtd_relational as relational;
 pub use typedtd_semigroup as semigroup;
+pub use typedtd_service as service;
 
 pub mod undecidability;
 
@@ -46,7 +48,8 @@ pub mod undecidability;
 pub mod prelude {
     pub use typedtd_chase::{
         chase_implication, decide, decide_dependencies, saturate, Answer, ChaseConfig,
-        ChaseOutcome, ChaseVariant, DecideConfig, SearchConfig,
+        ChaseOutcome, ChaseTask, ChaseVariant, DecideConfig, DecideTask, SearchConfig,
+        SearchTask, StepStatus,
     };
     pub use typedtd_dependencies::{
         egd_from_names, td_from_names, Dependency, Egd, Fd, Mvd, Pjd, Td, TdOrEgd,

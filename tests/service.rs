@@ -1,0 +1,361 @@
+//! The implication service against the blocking decision path.
+//!
+//! Three properties anchor the new subsystem:
+//!
+//! * **resumable-step parity** — driving a `DecideTask` one fuel unit at a
+//!   time (or through the service scheduler) answers exactly what the
+//!   blocking `decide` answers, on the same fd/mvd corpus
+//!   `tests/oracle_agreement.rs` checks against the Armstrong oracles;
+//! * **scheduler fairness** — a divergent query (the undecidable gap is
+//!   real: some chases never terminate) cannot starve a terminating one;
+//! * **cache canonicalization** — resubmitting a query under renamed
+//!   variables, reordered hypothesis rows, or reordered Σ is answered from
+//!   the cache without fresh fuel, and isomorphism verification accepts
+//!   every such hit.
+
+use proptest::prelude::*;
+use typedtd::dependencies::{egd_from_names, td_from_names, Dependency, TdOrEgd};
+use typedtd::prelude::*;
+use typedtd::service::{ImplicationService, JobStatus, ServiceConfig};
+use typedtd_chase::{DecideStatus, DecideTask};
+
+fn universe4() -> std::sync::Arc<Universe> {
+    Universe::typed(vec!["A", "B", "C", "D"])
+}
+
+fn mask_to_set(u: &Universe, mask: u32) -> AttrSet {
+    u.attrs().filter(|a| mask & (1 << a.index()) != 0).collect()
+}
+
+/// Steps a fresh `DecideTask` with single-unit fuel slices to completion.
+fn decide_stepped(
+    sigma: &[TdOrEgd],
+    goal: &TdOrEgd,
+    pool: &ValuePool,
+    cfg: &DecideConfig,
+) -> (Answer, Answer) {
+    let mut task = DecideTask::new(sigma.to_vec(), goal.clone(), pool.clone(), cfg.clone());
+    let mut slices = 0u64;
+    while let DecideStatus::Pending = task.step(1) {
+        slices += 1;
+        assert!(slices < 1_000_000, "stepped decide failed to terminate");
+    }
+    let (decision, _pool) = task.finish();
+    (decision.implication, decision.finite_implication)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fuel-sliced `DecideTask`s and service jobs agree with the one-shot
+    /// `decide` on the fd/mvd corpus of `tests/oracle_agreement.rs`.
+    #[test]
+    fn stepped_decide_matches_blocking_decide(
+        lhs_masks in prop::collection::vec(1u32..15, 1..4),
+        rhs_masks in prop::collection::vec(1u32..15, 1..4),
+        goal_lhs in 1u32..15,
+        goal_rhs in 1u32..15,
+        goal_is_fd in 0u32..2,
+    ) {
+        let u = universe4();
+        let mut pool = ValuePool::new(u.clone());
+        let mut deps: Vec<Dependency> = Vec::new();
+        for (&l, &r) in lhs_masks.iter().zip(&rhs_masks) {
+            if l.wrapping_mul(r) % 2 == 0 {
+                deps.push(Dependency::from(Fd::new(mask_to_set(&u, l), mask_to_set(&u, r))));
+            } else {
+                deps.push(Dependency::from(Mvd::new(u.clone(), mask_to_set(&u, l), mask_to_set(&u, r))));
+            }
+        }
+        let goal: Dependency = if goal_is_fd == 0 {
+            Dependency::from(Fd::new(mask_to_set(&u, goal_lhs), mask_to_set(&u, goal_rhs)))
+        } else {
+            Dependency::from(Mvd::new(u.clone(), mask_to_set(&u, goal_lhs), mask_to_set(&u, goal_rhs)))
+        };
+        let sigma_normal: Vec<TdOrEgd> = deps
+            .iter()
+            .flat_map(|d| d.normalize(&u, &mut pool))
+            .collect();
+        let cfg = DecideConfig::default();
+        let mut service = ImplicationService::new(ServiceConfig {
+            slice_fuel: 1,
+            ..ServiceConfig::default()
+        });
+        for g in goal.normalize(&u, &mut pool) {
+            let blocking = decide(&sigma_normal, &g, &mut pool.clone(), &cfg);
+            prop_assert_ne!(blocking.implication, Answer::Unknown);
+
+            let (imp, fin) = decide_stepped(&sigma_normal, &g, &pool, &cfg);
+            prop_assert_eq!(imp, blocking.implication, "stepped implication diverged");
+            prop_assert_eq!(fin, blocking.finite_implication, "stepped finite diverged");
+
+            let id = service.submit(sigma_normal.clone(), g.clone(), pool.clone());
+            service.run_to_completion();
+            let JobStatus::Done(outcome) = service.poll(id) else {
+                panic!("service left a job pending after run_to_completion");
+            };
+            prop_assert_eq!(outcome.implication, blocking.implication, "service diverged");
+            prop_assert_eq!(outcome.finite_implication, blocking.finite_implication);
+        }
+    }
+}
+
+/// The Exhausted → search phase transition steps identically too: a
+/// divergent-chase query with a finite counterexample must hand over to
+/// the search under fuel slicing exactly as the blocking driver does.
+#[test]
+fn stepped_decide_matches_blocking_through_the_search_phase() {
+    let u = Universe::untyped_abc();
+    let mut pool = ValuePool::new(u.clone());
+    // Successor td: every B'-value starts a row — the chase diverges.
+    let successor = td_from_names(&u, &mut pool, &[&["x", "y", "z"]], &["y", "q1", "q2"]);
+    // Goal A' → B' as an egd: refuted by a small finite model.
+    let fd_egd = egd_from_names(
+        &u,
+        &mut pool,
+        &[&["x", "y1", "z1"], &["x", "y2", "z2"]],
+        ("B'", "y1"),
+        ("B'", "y2"),
+    );
+    let sigma = vec![TdOrEgd::Td(successor)];
+    let goal = TdOrEgd::Egd(fd_egd);
+    let cfg = DecideConfig {
+        chase: ChaseConfig::quick(),
+        ..DecideConfig::default()
+    };
+    let blocking = decide(&sigma, &goal, &mut pool.clone(), &cfg);
+    let (imp, fin) = decide_stepped(&sigma, &goal, &pool, &cfg);
+    assert_eq!(imp, blocking.implication);
+    assert_eq!(fin, blocking.finite_implication);
+    assert_eq!(
+        blocking.implication,
+        Answer::No,
+        "the finite-model search must refute this goal"
+    );
+}
+
+/// A divergent job cannot starve a terminating one: submitted first, given
+/// astronomically larger budgets, it still cannot delay the terminating
+/// job past a handful of fair sweeps.
+#[test]
+fn scheduler_fairness_divergent_cannot_starve() {
+    let u = Universe::untyped_abc();
+    let mut div_pool = ValuePool::new(u.clone());
+    let successor = td_from_names(&u, &mut div_pool, &[&["x", "y", "z"]], &["y", "q1", "q2"]);
+    // Goal: an egd that never becomes derivable (no egd in Σ ever merges).
+    let never = egd_from_names(
+        &u,
+        &mut div_pool,
+        &[&["x", "y1", "z1"], &["x", "y2", "z2"]],
+        ("B'", "y1"),
+        ("B'", "y2"),
+    );
+    let divergent_sigma = vec![TdOrEgd::Td(successor)];
+    let divergent_goal = TdOrEgd::Egd(never);
+
+    let ut = Universe::typed(vec!["A", "B", "C"]);
+    let mut term_pool = ValuePool::new(ut.clone());
+    let fds = [Fd::parse(&ut, "A -> B"), Fd::parse(&ut, "B -> C")];
+    let term_sigma: Vec<TdOrEgd> = fds
+        .iter()
+        .flat_map(|f| Dependency::from(f.clone()).normalize(&ut, &mut term_pool))
+        .collect();
+    let term_goal = Dependency::from(Fd::parse(&ut, "A -> C"))
+        .normalize(&ut, &mut term_pool)
+        .pop()
+        .expect("fd goal normalizes to one egd");
+
+    let mut service = ImplicationService::new(ServiceConfig {
+        decide: DecideConfig {
+            // The divergent chase may burn 100k rounds before its budget
+            // expires; fairness must not make the terminating job wait for
+            // any of that.
+            chase: ChaseConfig {
+                max_rounds: 100_000,
+                max_rows: 1 << 20,
+                max_steps: 1 << 24,
+                ..ChaseConfig::default()
+            },
+            skip_search: true,
+            ..DecideConfig::default()
+        },
+        slice_fuel: 1,
+        ..ServiceConfig::default()
+    });
+    let divergent = service.submit(divergent_sigma, divergent_goal, div_pool);
+    let terminating = service.submit(term_sigma, term_goal, term_pool);
+
+    let mut sweeps = 0;
+    loop {
+        assert!(service.tick(), "queue drained before the terminating job?");
+        sweeps += 1;
+        if let JobStatus::Done(outcome) = service.poll(terminating) {
+            assert_eq!(outcome.implication, Answer::Yes, "fd transitivity");
+            break;
+        }
+        assert!(
+            sweeps <= 16,
+            "terminating job starved: {sweeps} sweeps and still pending"
+        );
+    }
+    assert!(
+        matches!(service.poll(divergent), JobStatus::Pending),
+        "the divergent job must still be chasing"
+    );
+
+    // A global fuel budget converts the divergent leftovers into honest
+    // Unknowns instead of hanging the batch.
+    let mut capped = ImplicationService::new(ServiceConfig {
+        decide: DecideConfig {
+            chase: ChaseConfig {
+                max_rounds: 100_000,
+                max_rows: 1 << 20,
+                max_steps: 1 << 24,
+                ..ChaseConfig::default()
+            },
+            skip_search: true,
+            ..DecideConfig::default()
+        },
+        slice_fuel: 4,
+        global_fuel: Some(64),
+        ..ServiceConfig::default()
+    });
+    let mut p2 = ValuePool::new(u.clone());
+    let succ2 = td_from_names(&u, &mut p2, &[&["x", "y", "z"]], &["y", "q1", "q2"]);
+    let never2 = egd_from_names(
+        &u,
+        &mut p2,
+        &[&["x", "y1", "z1"], &["x", "y2", "z2"]],
+        ("B'", "y1"),
+        ("B'", "y2"),
+    );
+    let id = capped.submit(vec![TdOrEgd::Td(succ2)], TdOrEgd::Egd(never2), p2);
+    capped.run_to_completion();
+    let JobStatus::Done(outcome) = capped.poll(id) else {
+        panic!("run_to_completion must resolve every job");
+    };
+    assert_eq!(outcome.implication, Answer::Unknown);
+    assert_eq!(capped.stats().expired, 1);
+    assert!(capped.stats().fuel_spent <= 64 + 4, "soft cap respected");
+}
+
+/// Renamed variables, reordered hypothesis rows, and reordered Σ all hit
+/// the cache; coalescing catches identical in-flight queries; isomorphism
+/// verification accepts every hit.
+#[test]
+fn cache_canonicalization_hits_on_renamings() {
+    let u = Universe::untyped_abc();
+    let mut service = ImplicationService::new(ServiceConfig {
+        verify_cache_hits: true,
+        ..ServiceConfig::default()
+    });
+
+    let build = |names: [&str; 7], swap_rows: bool, swap_sigma: bool| {
+        let mut pool = ValuePool::new(u.clone());
+        let [x, y1, z1, y2, z2, q, r] = names;
+        let rows: Vec<Vec<&str>> = if swap_rows {
+            vec![vec![x, y2, z2], vec![x, y1, z1]]
+        } else {
+            vec![vec![x, y1, z1], vec![x, y2, z2]]
+        };
+        let row_slices: Vec<&[&str]> = rows.iter().map(Vec::as_slice).collect();
+        let mvd_td = td_from_names(&u, &mut pool, &row_slices, &[x, y1, z2]);
+        let extra = td_from_names(&u, &mut pool, &[&[q, r, r]], &[q, r, r]);
+        let mut sigma = vec![TdOrEgd::Td(mvd_td.clone()), TdOrEgd::Td(extra)];
+        if swap_sigma {
+            sigma.reverse();
+        }
+        // Goal: the mvd's own td — implied, and terminating quickly.
+        (sigma, TdOrEgd::Td(mvd_td), pool)
+    };
+
+    let (s1, g1, p1) = build(["x", "y1", "z1", "y2", "z2", "q", "r"], false, false);
+    let first = service.submit(s1, g1, p1);
+    service.run_to_completion();
+    let JobStatus::Done(first_out) = service.poll(first) else {
+        panic!("first job must resolve")
+    };
+    assert_eq!(first_out.implication, Answer::Yes);
+    assert!(!first_out.from_cache);
+
+    // Renamed + row-swapped + Σ-reordered: must be a pure cache hit.
+    let (s2, g2, p2) = build(["a", "b9", "c9", "b8", "c8", "k", "m"], true, true);
+    let second = service.submit(s2, g2, p2);
+    let JobStatus::Done(second_out) = service.poll(second) else {
+        panic!("cache hit must resolve at submit time")
+    };
+    assert_eq!(second_out.implication, Answer::Yes);
+    assert!(second_out.from_cache);
+    assert_eq!(second_out.fuel_spent, 0);
+    assert_eq!(service.stats().cache_hits, 1);
+    assert_eq!(service.stats().verify_rejects, 0, "verified hit must pass");
+
+    // Identical queries submitted before any tick coalesce onto one job.
+    let (s3, g3, p3) = build(["u", "v1", "w1", "v2", "w2", "s", "t"], false, false);
+    let fresh_structure = {
+        // A structurally new goal (different conclusion) to avoid the cache.
+        let mut pool = ValuePool::new(u.clone());
+        let td = td_from_names(
+            &u,
+            &mut pool,
+            &[&["x", "y1", "z1"], &["x", "y2", "z2"]],
+            &["x", "y2", "z1"],
+        );
+        (vec![TdOrEgd::Td(td.clone())], TdOrEgd::Td(td), pool)
+    };
+    let leader = service.submit(fresh_structure.0.clone(), fresh_structure.1.clone(), fresh_structure.2.clone());
+    let follower = service.submit(fresh_structure.0, fresh_structure.1, fresh_structure.2);
+    let _ = (s3, g3, p3);
+    assert_eq!(service.stats().coalesced, 1);
+    service.run_to_completion();
+    let (JobStatus::Done(lead_out), JobStatus::Done(follow_out)) =
+        (service.poll(leader), service.poll(follower))
+    else {
+        panic!("both coalesced jobs must resolve")
+    };
+    assert_eq!(lead_out.implication, follow_out.implication);
+    assert!(!lead_out.from_cache);
+    assert!(follow_out.from_cache);
+}
+
+/// The batch front end parses, submits, and conjoins multi-part goals.
+#[test]
+fn batch_front_end_round_trip() {
+    use typedtd::service::submit_batch;
+    let text = "\
+# comment
+@universe A B C
+A -> B & B -> C |= A -> C
+A -> B |= B -> A
+B -> C & A -> B |= A -> C
+@universe untyped A' B' C'
+|= td [x y z] => x y z
+";
+    let mut service = ImplicationService::new(ServiceConfig::default());
+    let batch = submit_batch(&mut service, text).expect("well-formed batch");
+    service.run_to_completion();
+    assert_eq!(batch.queries.len(), 4);
+    let verdicts: Vec<_> = batch
+        .queries
+        .iter()
+        .map(|q| q.conjoined(&service).expect("resolved"))
+        .collect();
+    assert_eq!(verdicts[0].implication, Answer::Yes);
+    assert_eq!(verdicts[1].implication, Answer::No);
+    assert_eq!(verdicts[2].implication, Answer::Yes);
+    assert!(
+        verdicts[2].from_cache,
+        "Σ-reordered resubmission must be served from cache"
+    );
+    assert_eq!(verdicts[3].implication, Answer::Yes, "trivial td");
+
+    assert!(submit_batch(&mut service, "A -> B |= B -> A").is_err(), "no universe");
+    assert!(
+        submit_batch(&mut service, "@universe A B\nA -> B |= |= B -> A").is_err(),
+        "double |="
+    );
+    assert!(
+        submit_batch(&mut service, "@universes A B C\nA -> B |= B -> A").is_err(),
+        "misspelled directive must not be parsed as @universe"
+    );
+}
