@@ -1,9 +1,16 @@
 //! Chase throughput measurement: semi-naive vs naive, sequential vs
-//! parallel, across saturation and implication workloads — plus the
-//! service scenario, where the three columns become *sequential `decide`*
-//! vs *service (cached)* vs *service (cached + workers)* over a
-//! cache-friendly query batch, with `rows` = jobs and `rounds` = answers
-//! served without fresh work (cache hits + coalesced).
+//! parallel, across saturation and implication workloads — plus two
+//! service scenarios. In `service_batch` the three columns become
+//! *sequential `decide`* vs *client (cached)* vs *client (cached +
+//! workers)* over a cache-friendly query batch, with `rows` = jobs and
+//! `rounds` = answers served without fresh work (cache hits + coalesced +
+//! goal-in-Σ). In `service_multi_submit` the columns are *sequential
+//! `decide` of the answerable queries alone* vs *single-owner-style
+//! global sweeps* vs *sharded multi-threaded submitters*, with a standing
+//! load of divergent background jobs: the single-owner mode (the only
+//! shape the v1 `&mut self` API allowed) pays every background job a fuel
+//! slice on every sweep, while sharded `wait` only steps the shard owning
+//! its job — `rows` = answerable jobs, `rounds` = background jobs.
 //!
 //! Prints a table by default; with `--json` additionally writes
 //! `BENCH_chase.json` (an array of per-workload records with median
@@ -13,20 +20,26 @@
 //! Workload construction runs *outside* the timed region — only the chase
 //! itself is measured. Each mode's runs are also parity-checked against
 //! the naive reference (outcome, rounds, row count — answers, for the
-//! service scenario) before reporting.
+//! service scenarios) before reporting.
 //!
-//! Usage: `cargo run --release -p typedtd-bench --bin chase_bench [--json]`
+//! `--smoke` shrinks every workload to seconds-scale CI sizes: the
+//! parity assertions all still run (so the bench path cannot silently
+//! rot), the numbers are written to `BENCH_chase_smoke.json` instead, and
+//! the real perf history in `BENCH_chase.json` is left untouched.
+//!
+//! Usage: `cargo run --release -p typedtd-bench --bin chase_bench [--json] [--smoke]`
 
 use std::fmt::Write as _;
 use std::time::Instant;
 use typedtd_bench::{
-    divergent_saturation_workload, egd_cascade_workload, egd_saturation_workload,
-    mvd_chain_instance, saturation_workload, service_batch_workload, universe, Query,
+    divergent_saturation_workload, divergent_service_query, egd_cascade_workload,
+    egd_saturation_workload, mvd_chain_instance, saturation_workload, service_batch_workload,
+    universe, Query,
 };
 use typedtd_chase::{chase_implication, decide, saturate, Answer, ChaseConfig, ChaseRun, DecideConfig};
 use typedtd_relational::{Relation, ValuePool};
 use typedtd_dependencies::TdOrEgd;
-use typedtd_service::{ImplicationService, JobStatus, ServiceConfig};
+use typedtd_service::{ImplicationClient, JobHandle, JobStatus, QuerySpec, ServiceConfig};
 
 struct Record {
     workload: String,
@@ -136,24 +149,114 @@ fn measure_implication(len: usize, samples: usize) -> Record {
 /// Runs the batch through the service, returning answers in submission
 /// order plus how many were served without fresh work.
 fn run_service(queries: Vec<Query>, workers: usize) -> (Vec<Answer>, u64) {
-    let mut service = ImplicationService::new(ServiceConfig {
+    let client = ImplicationClient::new(ServiceConfig {
         workers,
         ..ServiceConfig::default()
     });
-    let ids: Vec<_> = queries
+    let jobs: Vec<JobHandle> = queries
         .into_iter()
-        .map(|(sigma, goal, pool)| service.submit(sigma, goal, pool))
+        .map(|(sigma, goal, pool)| client.submit(QuerySpec::new(sigma, goal, pool)))
         .collect();
-    service.run_to_completion();
-    let answers = ids
-        .iter()
-        .map(|&id| match service.poll(id) {
-            JobStatus::Done(outcome) => outcome.implication,
-            JobStatus::Pending => unreachable!("run_to_completion resolves every job"),
+    client.run_to_completion();
+    let answers = jobs.iter().map(answer_of).collect();
+    let s = client.stats();
+    (answers, s.cache_hits + s.coalesced + s.goal_in_sigma)
+}
+
+fn answer_of(job: &JobHandle) -> Answer {
+    match job.poll() {
+        JobStatus::Done(outcome) => outcome.implication,
+        JobStatus::Pending => unreachable!("driver resolves every job"),
+        JobStatus::Retired => unreachable!("handle is alive"),
+    }
+}
+
+/// Budgets for the standing divergent background jobs: huge chase budget
+/// (they must stay in flight for the whole measurement), no search.
+fn background_decide_cfg() -> DecideConfig {
+    DecideConfig {
+        chase: ChaseConfig {
+            max_rounds: 1 << 20,
+            max_rows: 1 << 22,
+            max_steps: 1 << 26,
+            ..ChaseConfig::default()
+        },
+        skip_search: true,
+        ..DecideConfig::default()
+    }
+}
+
+/// v1-style single owner: one thread submits everything, then drives
+/// *global* sweeps until every answerable job is done. Every sweep hands
+/// every divergent background job a fuel slice — the tax the exclusive
+/// `&mut self` API design forced on every caller.
+fn run_single_owner(answerable: Vec<Query>, background: Vec<Query>) -> Vec<Answer> {
+    let client = ImplicationClient::new(ServiceConfig::default());
+    let bg: Vec<JobHandle> = background
+        .into_iter()
+        .map(|(s, g, p)| {
+            client.submit(QuerySpec::new(s, g, p).decide_config(background_decide_cfg()))
         })
         .collect();
-    let s = service.stats();
-    (answers, s.cache_hits + s.coalesced)
+    let fg: Vec<JobHandle> = answerable
+        .into_iter()
+        .map(|(s, g, p)| client.submit(QuerySpec::new(s, g, p)))
+        .collect();
+    while fg.iter().any(|h| matches!(h.poll(), JobStatus::Pending)) {
+        client.tick();
+    }
+    let answers = fg.iter().map(answer_of).collect();
+    drop(bg); // retire the still-running background jobs
+    answers
+}
+
+/// Sharded multi-threaded submitters: `threads` clones of the client each
+/// submit a round-robin slice of the workload, then block on their own
+/// answerable handles with `wait` — which steps *only the shard owning
+/// each job*, so background jobs elsewhere cost nothing, and a shard
+/// stops being driven the moment its last answerable job lands.
+fn run_multi_submit(answerable: Vec<Query>, background: Vec<Query>, threads: usize) -> Vec<Answer> {
+    let client = ImplicationClient::new(ServiceConfig::default());
+    let mut fg_chunks: Vec<Vec<(usize, Query)>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, q) in answerable.into_iter().enumerate() {
+        fg_chunks[i % threads].push((i, q));
+    }
+    let mut bg_chunks: Vec<Vec<Query>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, q) in background.into_iter().enumerate() {
+        bg_chunks[i % threads].push(q);
+    }
+    let mut indexed: Vec<(usize, Answer)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = fg_chunks
+            .into_iter()
+            .zip(bg_chunks)
+            .map(|(fg, bg)| {
+                let client = client.clone();
+                scope.spawn(move || {
+                    let _bg: Vec<JobHandle> = bg
+                        .into_iter()
+                        .map(|(s, g, p)| {
+                            client.submit(
+                                QuerySpec::new(s, g, p).decide_config(background_decide_cfg()),
+                            )
+                        })
+                        .collect();
+                    let jobs: Vec<(usize, JobHandle)> = fg
+                        .into_iter()
+                        .map(|(i, (s, g, p))| (i, client.submit(QuerySpec::new(s, g, p))))
+                        .collect();
+                    jobs.into_iter()
+                        .map(|(i, job)| (i, job.wait().implication))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, a)| a).collect()
 }
 
 /// The acceptance scenario: a cache-friendly batch decided three ways —
@@ -188,41 +291,111 @@ fn measure_service_batch(distinct: usize, renamings: usize, samples: usize) -> R
     }
 }
 
+/// The shared-state acceptance scenario: a cache-friendly answerable
+/// batch decided under a standing load of `background` divergent jobs —
+/// naive sequential `decide` of the answerable queries alone (the
+/// reference), v1-style single-owner global sweeps, and sharded
+/// multi-threaded submitters. Answers must agree position-for-position.
+fn measure_multi_submit(
+    distinct: usize,
+    renamings: usize,
+    background: usize,
+    threads: usize,
+    samples: usize,
+) -> Record {
+    let make = || {
+        let fg = service_batch_workload(distinct, renamings, 77);
+        let bg: Vec<Query> = (0..background).map(divergent_service_query).collect();
+        (fg, bg)
+    };
+    let decide_all = |queries: Vec<Query>| -> Vec<Answer> {
+        queries
+            .into_iter()
+            .map(|(sigma, goal, mut pool)| {
+                decide(&sigma, &goal, &mut pool, &DecideConfig::default()).implication
+            })
+            .collect()
+    };
+    let (naive_ns, seq_answers) = time(samples, &make, |(fg, _)| decide_all(fg));
+    let (semi_ns, single_answers) = time(samples, &make, |(fg, bg)| run_single_owner(fg, bg));
+    let (parallel_ns, multi_answers) =
+        time(samples, &make, |(fg, bg)| run_multi_submit(fg, bg, threads));
+    assert_eq!(seq_answers, single_answers, "single-owner parity violated");
+    assert_eq!(seq_answers, multi_answers, "multi-submitter parity violated");
+    assert!(
+        seq_answers.iter().all(|a| *a != Answer::Unknown),
+        "answerable batch must be fully decidable so the comparison is apples-to-apples"
+    );
+    Record {
+        workload: format!("service_multi_submit/d{distinct}xr{renamings}+bg{background}x{threads}t"),
+        naive_ns,
+        semi_ns,
+        parallel_ns,
+        rows: seq_answers.len(),
+        rounds: background,
+    }
+}
+
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
-    let records = vec![
-        measure_implication(4, 7),
-        measure_implication(5, 5),
-        measure_saturation("saturation/w5/chain4/rows4".into(), 5, || {
-            saturation_workload(5, 4, 4, 1982)
-        }),
-        measure_saturation("saturation/w6/chain5/rows6".into(), 5, || {
-            saturation_workload(6, 5, 6, 1982)
-        }),
-        measure_saturation("saturation/w7/chain6/rows8".into(), 3, || {
-            saturation_workload(7, 6, 8, 1982)
-        }),
-        measure_saturation("egd_saturation/w6/rows32/k2".into(), 3, || {
-            egd_saturation_workload(6, 32, 2, 1982)
-        }),
-        measure_saturation("egd_saturation/w8/rows48/k2".into(), 3, || {
-            egd_saturation_workload(8, 48, 2, 1982)
-        }),
-        measure_saturation("divergent_saturation/inert16".into(), 3, || {
-            divergent_saturation_workload(16, 1982)
-        }),
-        measure_saturation("divergent_saturation/inert32".into(), 3, || {
-            divergent_saturation_workload(32, 1982)
-        }),
-        measure_saturation("egd_cascade/chains4".into(), 3, || {
-            egd_cascade_workload(4, 1982)
-        }),
-        measure_saturation("egd_cascade/chains8".into(), 3, || {
-            egd_cascade_workload(8, 1982)
-        }),
-        measure_service_batch(4, 12, 3),
-        measure_service_batch(6, 25, 3),
-    ];
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let records = if smoke {
+        // CI quick mode: tiny sizes, one sample each — every parity
+        // assertion still runs, so the bench-path code cannot rot.
+        vec![
+            measure_implication(3, 1),
+            measure_saturation("saturation/w4/chain3/rows3".into(), 1, || {
+                saturation_workload(4, 3, 3, 1982)
+            }),
+            measure_saturation("egd_saturation/w5/rows12/k2".into(), 1, || {
+                egd_saturation_workload(5, 12, 2, 1982)
+            }),
+            measure_saturation("divergent_saturation/inert8".into(), 1, || {
+                divergent_saturation_workload(8, 1982)
+            }),
+            measure_saturation("egd_cascade/chains2".into(), 1, || {
+                egd_cascade_workload(2, 1982)
+            }),
+            measure_service_batch(2, 3, 1),
+            measure_multi_submit(2, 3, 4, 2, 1),
+        ]
+    } else {
+        vec![
+            measure_implication(4, 7),
+            measure_implication(5, 5),
+            measure_saturation("saturation/w5/chain4/rows4".into(), 5, || {
+                saturation_workload(5, 4, 4, 1982)
+            }),
+            measure_saturation("saturation/w6/chain5/rows6".into(), 5, || {
+                saturation_workload(6, 5, 6, 1982)
+            }),
+            measure_saturation("saturation/w7/chain6/rows8".into(), 3, || {
+                saturation_workload(7, 6, 8, 1982)
+            }),
+            measure_saturation("egd_saturation/w6/rows32/k2".into(), 3, || {
+                egd_saturation_workload(6, 32, 2, 1982)
+            }),
+            measure_saturation("egd_saturation/w8/rows48/k2".into(), 3, || {
+                egd_saturation_workload(8, 48, 2, 1982)
+            }),
+            measure_saturation("divergent_saturation/inert16".into(), 3, || {
+                divergent_saturation_workload(16, 1982)
+            }),
+            measure_saturation("divergent_saturation/inert32".into(), 3, || {
+                divergent_saturation_workload(32, 1982)
+            }),
+            measure_saturation("egd_cascade/chains4".into(), 3, || {
+                egd_cascade_workload(4, 1982)
+            }),
+            measure_saturation("egd_cascade/chains8".into(), 3, || {
+                egd_cascade_workload(8, 1982)
+            }),
+            measure_service_batch(4, 12, 3),
+            measure_service_batch(6, 25, 3),
+            measure_multi_submit(4, 6, 24, 2, 3),
+            measure_multi_submit(6, 10, 32, 4, 3),
+        ]
+    };
 
     println!(
         "{:<38} {:>12} {:>12} {:>12} {:>8} {:>7} {:>7}",
@@ -259,7 +432,12 @@ fn main() {
             );
         }
         out.push_str("]\n");
-        std::fs::write("BENCH_chase.json", &out).expect("write BENCH_chase.json");
-        println!("\nwrote BENCH_chase.json");
+        let path = if smoke {
+            "BENCH_chase_smoke.json"
+        } else {
+            "BENCH_chase.json"
+        };
+        std::fs::write(path, &out).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("\nwrote {path}");
     }
 }

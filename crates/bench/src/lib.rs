@@ -318,6 +318,51 @@ pub fn service_batch_workload(distinct: usize, renamings: usize, seed: u64) -> V
     queries
 }
 
+/// A divergent implication query for standing background load: a
+/// successor td keeps the chase growing forever and the egd goal never
+/// becomes derivable, so the job stays in flight until its budget
+/// expires. `salt` varies the *universe width* (`3 + salt` attributes) —
+/// width is part of the canonical query key, so each salt yields a
+/// distinct key (renaming alone would coalesce them all onto one job),
+/// while chase cost per round stays linear (one hypothesis row; extra
+/// hypothesis rows sharing a variable would explode the embedding count
+/// combinatorially).
+pub fn divergent_service_query(salt: usize) -> Query {
+    let width = 3 + salt;
+    let names: Vec<String> = (0..width)
+        .map(|i| match i {
+            0 => "A'".to_string(),
+            1 => "B'".to_string(),
+            2 => "C'".to_string(),
+            _ => format!("X{i}'"),
+        })
+        .collect();
+    let u = Universe::untyped(names);
+    let mut pool = ValuePool::new(u.clone());
+    let pad = |prefix: &str, base: Vec<String>| -> Vec<String> {
+        let mut row = base;
+        row.extend((3..width).map(|i| format!("{prefix}{i}")));
+        row
+    };
+    let succ_hyp = pad("p", vec!["x".into(), "y".into(), "z".into()]);
+    let succ_con = pad("q", vec!["y".into(), "q1".into(), "q2".into()]);
+    let hyp_refs: Vec<&str> = succ_hyp.iter().map(String::as_str).collect();
+    let con_refs: Vec<&str> = succ_con.iter().map(String::as_str).collect();
+    let successor = td_from_names(&u, &mut pool, &[&hyp_refs], &con_refs);
+    let goal_r1 = pad("v", vec!["x".into(), "y1".into(), "z1".into()]);
+    let goal_r2 = pad("w", vec!["x".into(), "y2".into(), "z2".into()]);
+    let r1_refs: Vec<&str> = goal_r1.iter().map(String::as_str).collect();
+    let r2_refs: Vec<&str> = goal_r2.iter().map(String::as_str).collect();
+    let never = egd_from_names(
+        &u,
+        &mut pool,
+        &[&r1_refs, &r2_refs],
+        ("B'", "y1"),
+        ("B'", "y2"),
+    );
+    (vec![TdOrEgd::Td(successor)], TdOrEgd::Egd(never), pool)
+}
+
 /// The exchange td encoding `A1 ↠ A2`.
 pub fn exchange_td(u: &Arc<Universe>, pool: &mut ValuePool) -> Td {
     Mvd::new(
@@ -378,6 +423,20 @@ mod tests {
         // Steady state adds two rows and merges twice per chain per round
         // (round 0 inserts before any merge exists), so inserts keep pace.
         assert!(run.trace.rows_added() >= merges, "tds keep pace with egds");
+    }
+
+    #[test]
+    fn divergent_service_queries_have_distinct_keys() {
+        let keys: Vec<_> = (0..6)
+            .map(|s| {
+                let (sigma, goal, _pool) = divergent_service_query(s);
+                typedtd_service::query_key(&sigma, &goal)
+            })
+            .collect();
+        let mut distinct = keys.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct.len(), 6, "each salt must key distinctly");
     }
 
     #[test]

@@ -11,35 +11,50 @@
 //! ```
 //!
 //! Σ entries are separated by `&` (`;` already separates tableau rows
-//! inside `td [...]`/`egd [...]` bodies). Every query line is parsed into
-//! its own [`ValuePool`], normalized into the td/egd fragment, and
-//! submitted as one service job per goal part; [`BatchQuery::conjoined`]
-//! folds the parts back into a single verdict, exactly like
-//! `decide_dependencies`.
+//! inside `td [...]`/`egd [...]` bodies). Every well-formed query line is
+//! parsed into its own [`ValuePool`], normalized into the td/egd fragment,
+//! and submitted as one job per goal part through the shared
+//! [`ImplicationClient`]; [`BatchQuery::conjoined`] folds the parts back
+//! into a single verdict, exactly like `decide_dependencies`. Malformed
+//! lines do **not** abort the batch: each is recorded as a
+//! [`BatchError`] with its line number and the rest of the file is still
+//! submitted — a production query file with one typo should not lose the
+//! other thousand answers.
 
-use crate::service::{ImplicationService, JobId, JobStatus};
+use crate::service::{ImplicationClient, JobHandle, JobStatus, QuerySpec};
 use std::sync::Arc;
 use typedtd_chase::Answer;
 use typedtd_dependencies::{parse_dependency, Dependency, TdOrEgd};
 use typedtd_relational::{Universe, ValuePool};
 
 /// One submitted query line.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct BatchQuery {
     /// 1-based line number in the source text.
     pub line: usize,
     /// The query as written.
     pub text: String,
-    /// One service job per normalized goal part (empty when the goal
+    /// One job handle per normalized goal part (empty when the goal
     /// normalizes to nothing and is vacuously implied).
-    pub jobs: Vec<JobId>,
+    pub jobs: Vec<JobHandle>,
+}
+
+/// One malformed line, reported without aborting the batch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BatchError {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// What was wrong with it.
+    pub message: String,
 }
 
 /// A parsed-and-submitted batch.
-#[derive(Clone, Debug, Default)]
+#[derive(Debug, Default)]
 pub struct Batch {
-    /// Queries in file order.
+    /// Successfully submitted queries, in file order.
     pub queries: Vec<BatchQuery>,
+    /// Malformed lines, in file order.
+    pub errors: Vec<BatchError>,
 }
 
 /// A batch query's folded verdict.
@@ -49,20 +64,20 @@ pub struct BatchVerdict {
     pub implication: Answer,
     /// Conjunction over parts of `Σ ⊨_f σ`.
     pub finite_implication: Answer,
-    /// `true` if every non-vacuous part was answered from cache.
+    /// `true` if every non-vacuous part was answered without fresh fuel.
     pub from_cache: bool,
 }
 
 impl BatchQuery {
     /// Folds the parts' answers, or `None` while any part is pending.
-    pub fn conjoined(&self, service: &ImplicationService) -> Option<BatchVerdict> {
+    pub fn conjoined(&self) -> Option<BatchVerdict> {
         let mut verdict = BatchVerdict {
             implication: Answer::Yes,
             finite_implication: Answer::Yes,
             from_cache: !self.jobs.is_empty(),
         };
-        for &id in &self.jobs {
-            let JobStatus::Done(outcome) = service.poll(id) else {
+        for handle in &self.jobs {
+            let JobStatus::Done(outcome) = handle.poll() else {
                 return None;
             };
             verdict.implication = conjoin(verdict.implication, outcome.implication);
@@ -126,15 +141,12 @@ fn parse_universe_directive(rest: &str) -> Result<Arc<Universe>, String> {
     })
 }
 
-/// Parses `text` and submits every query to `service`, one job per
-/// normalized goal part.
-///
-/// # Errors
-/// Returns `(line_number, message)` for the first malformed line.
-pub fn submit_batch(
-    service: &mut ImplicationService,
-    text: &str,
-) -> Result<Batch, (usize, String)> {
+/// Parses `text` and submits every well-formed query through `client`,
+/// one job per normalized goal part. Malformed lines are collected in
+/// [`Batch::errors`] instead of aborting; a broken `@universe` directive
+/// additionally invalidates the universe until the next good directive
+/// (queries in between report "query before any @universe directive").
+pub fn submit_batch(client: &ImplicationClient, text: &str) -> Batch {
     let mut universe: Option<Arc<Universe>> = None;
     let mut batch = Batch::default();
     for (i, raw) in text.lines().enumerate() {
@@ -144,21 +156,47 @@ pub fn submit_batch(
             continue;
         }
         if let Some(rest) = line.strip_prefix('@') {
-            let Some(args) = rest.strip_prefix("universe").filter(|a| {
-                a.is_empty() || a.starts_with(char::is_whitespace)
-            }) else {
+            let Some(args) = rest
+                .strip_prefix("universe")
+                .filter(|a| a.is_empty() || a.starts_with(char::is_whitespace))
+            else {
                 let directive = rest.split_whitespace().next().unwrap_or("");
-                return Err((line_no, format!("unknown directive @{directive}")));
+                batch.errors.push(BatchError {
+                    line: line_no,
+                    message: format!("unknown directive @{directive}"),
+                });
+                continue;
             };
-            universe = Some(parse_universe_directive(args).map_err(|e| (line_no, e))?);
+            match parse_universe_directive(args) {
+                Ok(u) => universe = Some(u),
+                Err(message) => {
+                    universe = None;
+                    batch.errors.push(BatchError {
+                        line: line_no,
+                        message,
+                    });
+                }
+            }
             continue;
         }
-        let u = universe
-            .clone()
-            .ok_or_else(|| (line_no, "query before any @universe directive".to_string()))?;
+        let Some(u) = universe.clone() else {
+            batch.errors.push(BatchError {
+                line: line_no,
+                message: "query before any @universe directive".to_string(),
+            });
+            continue;
+        };
         let mut pool = ValuePool::new(u.clone());
-        let (sigma, goal) =
-            parse_query_line(&u, &mut pool, line).map_err(|e| (line_no, e))?;
+        let (sigma, goal) = match parse_query_line(&u, &mut pool, line) {
+            Ok(parsed) => parsed,
+            Err(message) => {
+                batch.errors.push(BatchError {
+                    line: line_no,
+                    message,
+                });
+                continue;
+            }
+        };
         let sigma_normal: Vec<TdOrEgd> = sigma
             .iter()
             .flat_map(|d| d.normalize(&u, &mut pool))
@@ -166,7 +204,7 @@ pub fn submit_batch(
         let goal_parts = goal.normalize(&u, &mut pool);
         let jobs = goal_parts
             .into_iter()
-            .map(|part| service.submit(sigma_normal.clone(), part, pool.clone()))
+            .map(|part| client.submit(QuerySpec::new(sigma_normal.clone(), part, pool.clone())))
             .collect();
         batch.queries.push(BatchQuery {
             line: line_no,
@@ -174,5 +212,5 @@ pub fn submit_batch(
             jobs,
         });
     }
-    Ok(batch)
+    batch
 }

@@ -1,19 +1,25 @@
 //! `typedtd-serve` — stream implication answers for a query file.
 //!
 //! Reads newline-delimited queries (see `typedtd_service::batch` for the
-//! syntax) from a file or stdin, multiplexes them through the
-//! [`ImplicationService`], and streams one answer line per query as soon as
+//! syntax) from a file or stdin, multiplexes them through a shared
+//! [`ImplicationClient`], and streams one answer line per query as soon as
 //! its verdict is in (which, under the dovetailing scheduler, need not be
 //! file order — lines are tagged `#<line>`).
 //!
+//! Malformed lines are reported to stderr with their line number and the
+//! rest of the file is still answered; the exit status is nonzero only
+//! when *every* query line failed to parse (so a typo in line 7 of a
+//! thousand-line corpus degrades one answer, not the whole run).
+//!
 //! ```text
 //! typedtd-serve QUERIES.tdq [--slice N] [--global-fuel N] [--workers N]
-//!               [--no-cache] [--verify-hits] [--quick] [--stats]
+//!               [--shards N] [--cache-cap N] [--no-cache] [--verify-hits]
+//!               [--quick] [--stats]
 //! ```
 
 use std::io::Read;
 use typedtd_chase::{Answer, ChaseConfig, DecideConfig};
-use typedtd_service::{submit_batch, ImplicationService, ServiceConfig};
+use typedtd_service::{submit_batch, ImplicationClient, ServiceConfig};
 
 fn answer_str(a: Answer) -> &'static str {
     match a {
@@ -26,7 +32,8 @@ fn answer_str(a: Answer) -> &'static str {
 fn usage() -> ! {
     eprintln!(
         "usage: typedtd-serve <QUERIES.tdq | -> [--slice N] [--global-fuel N] \
-         [--workers N] [--no-cache] [--verify-hits] [--quick] [--stats]"
+         [--workers N] [--shards N] [--cache-cap N] [--no-cache] [--verify-hits] \
+         [--quick] [--stats]"
     );
     std::process::exit(2);
 }
@@ -47,6 +54,13 @@ fn main() {
             }
             "--workers" => {
                 cfg.workers = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--shards" => {
+                cfg.shards = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--cache-cap" => {
+                cfg.cache_capacity =
+                    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
             }
             "--no-cache" => cfg.cache = false,
             "--verify-hits" => cfg.verify_cache_hits = true,
@@ -75,24 +89,27 @@ fn main() {
         })
     };
 
-    let mut service = ImplicationService::new(cfg);
-    let batch = match submit_batch(&mut service, &text) {
-        Ok(b) => b,
-        Err((line, msg)) => {
-            eprintln!("typedtd-serve: line {line}: {msg}");
-            std::process::exit(1);
-        }
-    };
+    let client = ImplicationClient::new(cfg);
+    let batch = submit_batch(&client, &text);
+    for err in &batch.errors {
+        eprintln!("typedtd-serve: line {}: {}", err.line, err.message);
+    }
+    if batch.queries.is_empty() && !batch.errors.is_empty() {
+        eprintln!("typedtd-serve: every query line failed to parse");
+        std::process::exit(1);
+    }
 
-    // Stream answers: after every scheduler sweep, print any query whose
-    // verdict just arrived.
+    // Stream answers while a driver thread runs the scheduler (with
+    // `--workers N` threads stepping the shards; leftovers under a global
+    // fuel budget are expired to Unknown): the main thread prints each
+    // query the moment its verdict is in.
     let mut reported = vec![false; batch.queries.len()];
-    let report_ready = |service: &ImplicationService, reported: &mut Vec<bool>| {
+    let report_ready = |reported: &mut Vec<bool>| {
         for (i, q) in batch.queries.iter().enumerate() {
             if reported[i] {
                 continue;
             }
-            if let Some(v) = q.conjoined(service) {
+            if let Some(v) = q.conjoined() {
                 reported[i] = true;
                 println!(
                     "#{:<4} implication={:<7} finite={:<7}{}  {}",
@@ -105,30 +122,47 @@ fn main() {
             }
         }
     };
-    report_ready(&service, &mut reported);
-    while service.tick() {
-        report_ready(&service, &mut reported);
-    }
-    service.run_to_completion(); // expire leftovers under a global budget
-    report_ready(&service, &mut reported);
+    std::thread::scope(|scope| {
+        let driver = client.clone();
+        let handle = scope.spawn(move || driver.run_to_completion());
+        // Rescan (which polls every unreported job, taking shard locks)
+        // only when the completion counter has moved — an atomic read —
+        // so a large query file doesn't contend with the driver threads.
+        let mut last_completed = u64::MAX;
+        while !handle.is_finished() {
+            let completed = client.stats().completed;
+            if completed != last_completed {
+                last_completed = completed;
+                report_ready(&mut reported);
+            }
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+        report_ready(&mut reported);
+    });
 
     if show_stats {
-        let s = service.stats();
+        let s = client.stats();
         eprintln!(
-            "jobs={} completed={} yes={} no={} unknown={} cache_hits={} coalesced={} \
-             misses={} expired={} fuel={} sweeps={} distinct_queries={}",
+            "jobs={} completed={} yes={} no={} unknown={} cache_hits={} goal_in_sigma={} \
+             coalesced={} misses={} hit_rate={:.2} evictions={} expired={} retired={} \
+             fuel={} sweeps={} cached_queries={} parse_errors={}",
             s.submitted,
             s.completed,
             s.yes,
             s.no,
             s.unknown,
             s.cache_hits,
+            s.goal_in_sigma,
             s.coalesced,
             s.cache_misses,
+            s.cache_hit_rate(),
+            s.evictions,
             s.expired,
+            s.retired,
             s.fuel_spent,
             s.sweeps,
-            service.cache_len(),
+            client.cache_len(),
+            batch.errors.len(),
         );
     }
 }

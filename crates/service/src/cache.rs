@@ -1,21 +1,54 @@
-//! The memoizing answer cache, keyed by canonical query form.
+//! The bounded, memoizing answer cache — one instance per scheduler shard.
 //!
-//! A hit returns the cached pair of three-valued answers. Counterexample
-//! relations are *not* replayed from cache: their values are interned in
-//! the original submitter's pool and would be meaningless handles in
-//! another query's pool — the cache serves answers, certificates stay with
-//! the job that computed them.
+//! A shard's cache unifies two roles behind one map keyed by canonical
+//! query form ([`crate::canon`]):
+//!
+//! * **in-flight coalescing** — while a query runs, its key maps to the
+//!   leader job's slot so identical submissions wait on it instead of
+//!   chasing in parallel; in-flight entries are pinned (never counted
+//!   against the bound, never evicted);
+//! * **answer memoization** — a finished query's pair of three-valued
+//!   answers is recorded under its key; later submissions hit without
+//!   spending any fuel.
+//!
+//! Counterexample relations are *not* replayed from cache: their values
+//! are interned in the original submitter's pool and would be meaningless
+//! handles in another query's pool — the cache serves answers,
+//! certificates stay with the job that computed them.
+//!
+//! # Bounded eviction
+//!
+//! Cached answers are bounded by a service-wide capacity shared across
+//! shards through an atomic count: whenever an insert pushes the global
+//! count over the bound, the inserting shard evicts from its own LRU order
+//! until the count is back under (approximate global LRU — a shard only
+//! ever evicts entries it owns, so no cross-shard locking). Recency is
+//! tracked with a lazy queue of `(key, tick)` stamps: touching an entry
+//! pushes a fresh stamp and stale stamps are skipped at eviction time,
+//! keeping both hit and eviction amortized O(1). Expensive-to-recompute
+//! answers (high recorded fuel cost) get one **reprieve**: the first time
+//! the LRU clock reaches them they are re-stamped instead of dropped, so a
+//! burst of cheap one-off queries cannot flush the answers that took real
+//! chase work to establish.
+//!
+//! # Verified hits
 //!
 //! With verification enabled, every key hit is re-checked through the
 //! isomorphism machinery (`typedtd_relational::isomorphic`) on the goal's
-//! hypothesis tableau — an independent guard on the canonicalization layer,
-//! cheap at tableau scale. A rejected hit is reported (and treated as a
-//! miss) rather than served.
+//! hypothesis tableau — an independent guard on the canonicalization
+//! layer, cheap at tableau scale. A rejected hit is reported (and treated
+//! as a miss) rather than served.
 
 use crate::canon::QueryKey;
+use std::collections::VecDeque;
+use std::sync::Arc;
 use typedtd_chase::Answer;
 use typedtd_dependencies::TdOrEgd;
 use typedtd_relational::{isomorphic, FxHashMap, Relation};
+
+/// Fuel cost at or above which a cached answer earns one eviction
+/// reprieve (see the module docs).
+pub const REPRIEVE_COST: u64 = 8;
 
 /// The cached pair of answers for one canonical query.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -26,17 +59,28 @@ pub struct CachedAnswer {
     pub finite_implication: Answer,
 }
 
-struct CacheEntry {
-    answer: CachedAnswer,
-    /// The goal's hypothesis tableau at insert time, kept for hit
-    /// verification via `isomorphic`.
-    goal_hypothesis: Relation,
-}
-
-/// Answer cache keyed by [`QueryKey`].
-#[derive(Default)]
-pub struct AnswerCache {
-    map: FxHashMap<QueryKey, CacheEntry>,
+/// One entry: a running leader or a finished answer.
+enum Entry {
+    /// The query is in flight; identical submissions coalesce onto the
+    /// leader job at this slot (in the owning shard's slab). Pinned:
+    /// neither counted against the capacity bound nor evictable.
+    InFlight {
+        /// Leader job's slot index in the owning shard.
+        leader: u32,
+    },
+    /// The query is answered.
+    Cached {
+        answer: CachedAnswer,
+        /// The goal's hypothesis tableau at insert time, kept for hit
+        /// verification via `isomorphic`.
+        goal_hypothesis: Relation,
+        /// Stamp of the latest touch; older stamps in the LRU queue for
+        /// this key are stale and skipped.
+        last_tick: u64,
+        /// Remaining "not yet" passes when the LRU clock reaches this
+        /// entry (1 for answers that cost ≥ [`REPRIEVE_COST`] fuel).
+        reprieves: u8,
+    },
 }
 
 /// The goal's hypothesis tableau as a relation (the verification witness).
@@ -51,50 +95,307 @@ pub fn goal_hypothesis(goal: &TdOrEgd) -> Relation {
 pub enum Probe {
     /// No entry under this key.
     Miss,
-    /// An entry was found (and, if requested, verified).
+    /// A finished entry was found (and, if requested, verified).
     Hit(CachedAnswer),
+    /// The key's query is in flight; coalesce onto the leader slot.
+    InFlight(u32),
     /// An entry was found but failed isomorphism verification; served as a
     /// miss and counted separately — a hit here would be a canonicalization
     /// bug.
     Rejected,
 }
 
-impl AnswerCache {
-    /// Number of cached canonical queries.
+/// One shard's slice of the answer cache. All methods are called under the
+/// owning shard's lock. Keys are interned behind an `Arc` so the LRU
+/// stamps a hit pushes clone a pointer, not the whole canonical Σ
+/// encoding.
+#[derive(Default)]
+pub struct ShardCache {
+    map: FxHashMap<Arc<QueryKey>, Entry>,
+    /// Lazy LRU order: `(key, tick)` stamps, oldest first. Stale stamps
+    /// (entry re-touched or gone) are dropped when the clock reaches them.
+    lru: VecDeque<(Arc<QueryKey>, u64)>,
+    tick: u64,
+    /// Finished (`Cached`) entries in this shard.
+    cached: usize,
+}
+
+impl ShardCache {
+    /// Finished answers held by this shard.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.cached
     }
 
-    /// `true` if nothing is cached.
+    /// `true` if no finished answers are held.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.cached == 0
     }
 
-    /// Probes the cache. With `verify`, a key hit must also pass the
-    /// isomorphism cross-check of the goal hypothesis tableaux.
-    pub fn probe(&self, key: &QueryKey, goal: &TdOrEgd, verify: bool) -> Probe {
-        match self.map.get(key) {
+    fn stamp(&mut self, key: &Arc<QueryKey>) -> u64 {
+        self.tick += 1;
+        self.lru.push_back((Arc::clone(key), self.tick));
+        // Stale stamps are normally dropped at eviction time, but a cache
+        // running *under* capacity never evicts — compact here so a hot
+        // working set probed millions of times cannot grow the queue
+        // beyond O(live entries). The stamp just pushed must survive
+        // explicitly: the caller updates its entry's `last_tick` only
+        // after this returns (on insert the entry doesn't even exist
+        // yet), so the map cannot vouch for it.
+        if self.lru.len() > 2 * self.map.len() + 8 {
+            let fresh = self.tick;
+            let map = &self.map;
+            self.lru.retain(|(k, t)| {
+                *t == fresh
+                    || matches!(map.get(k), Some(Entry::Cached { last_tick, .. }) if last_tick == t)
+            });
+        }
+        self.tick
+    }
+
+    /// Probes for `key`. A finished hit is re-stamped most-recently-used.
+    /// With `verify`, a key hit must also pass the isomorphism cross-check
+    /// of the goal hypothesis tableaux.
+    pub fn probe(&mut self, key: &QueryKey, goal: &TdOrEgd, verify: bool) -> Probe {
+        match self.map.get_key_value(key) {
             None => Probe::Miss,
-            Some(entry) => {
-                if verify && !isomorphic(&entry.goal_hypothesis, &goal_hypothesis(goal)) {
-                    Probe::Rejected
-                } else {
-                    Probe::Hit(entry.answer)
+            Some((_, Entry::InFlight { leader })) => Probe::InFlight(*leader),
+            Some((
+                interned,
+                Entry::Cached {
+                    answer,
+                    goal_hypothesis: hyp,
+                    ..
+                },
+            )) => {
+                if verify && !isomorphic(hyp, &goal_hypothesis(goal)) {
+                    return Probe::Rejected;
                 }
+                let answer = *answer;
+                let interned = Arc::clone(interned);
+                let tick = self.stamp(&interned);
+                let Some(Entry::Cached { last_tick, .. }) = self.map.get_mut(key) else {
+                    unreachable!("entry probed above")
+                };
+                *last_tick = tick;
+                Probe::Hit(answer)
             }
         }
     }
 
-    /// Records the answer for a canonical query. Callers only record
-    /// *definite* answers (Yes/No hold of every isomorphic presentation of
-    /// the query; Unknown is a budget artifact and is never cached), and
-    /// the scheduler guarantees at most one in-flight leader per key
-    /// (identical queries coalesce, verify-rejected keys are quarantined),
-    /// so first-writer-wins can never entomb a conflicting verdict.
-    pub fn insert(&mut self, key: QueryKey, answer: CachedAnswer, goal: &TdOrEgd) {
-        self.map.entry(key).or_insert_with(|| CacheEntry {
-            answer,
-            goal_hypothesis: goal_hypothesis(goal),
-        });
+    /// Marks `key` in flight with `leader` as the coalescing target.
+    /// Callers guarantee the key is absent (a probe ran under the same
+    /// lock).
+    pub fn insert_inflight(&mut self, key: QueryKey, leader: u32) {
+        let prior = self.map.insert(Arc::new(key), Entry::InFlight { leader });
+        debug_assert!(prior.is_none(), "in-flight insert over a live entry");
+    }
+
+    /// Drops the in-flight marker for `key` (leader finished without a
+    /// cacheable answer, expired, or was retired). No-op on finished
+    /// entries.
+    pub fn clear_inflight(&mut self, key: &QueryKey) {
+        if let Some(Entry::InFlight { .. }) = self.map.get(key) {
+            self.map.remove(key);
+        }
+    }
+
+    /// Records the finished answer for `key`, replacing its in-flight
+    /// marker. Callers only record *definite* answers (Yes/No hold of
+    /// every isomorphic presentation of the query; Unknown is a budget
+    /// artifact and is never cached), and the scheduler guarantees at most
+    /// one in-flight leader per key, so a conflicting overwrite is
+    /// impossible. `cost` is the fuel the answer took (drives the eviction
+    /// reprieve). Returns the new finished-entry count delta (0 when the
+    /// key was already answered).
+    pub fn insert(
+        &mut self,
+        key: QueryKey,
+        answer: CachedAnswer,
+        goal: &TdOrEgd,
+        cost: u64,
+    ) -> usize {
+        if matches!(self.map.get(&key), Some(Entry::Cached { .. })) {
+            return 0;
+        }
+        let key = Arc::new(key);
+        let tick = self.stamp(&key);
+        self.map.insert(
+            key,
+            Entry::Cached {
+                answer,
+                goal_hypothesis: goal_hypothesis(goal),
+                last_tick: tick,
+                reprieves: u8::from(cost >= REPRIEVE_COST),
+            },
+        );
+        self.cached += 1;
+        1
+    }
+
+    /// Evicts the least-recently-used finished entry (honoring reprieves).
+    /// Returns `false` when nothing is evictable — in-flight entries are
+    /// pinned and never considered.
+    pub fn evict_one(&mut self) -> bool {
+        while let Some((key, tick)) = self.lru.pop_front() {
+            match self.map.get_mut(&key) {
+                Some(Entry::Cached {
+                    last_tick,
+                    reprieves,
+                    ..
+                }) if *last_tick == tick => {
+                    if *reprieves > 0 {
+                        *reprieves -= 1;
+                        self.tick += 1;
+                        *last_tick = self.tick;
+                        let tick = self.tick;
+                        self.lru.push_back((key, tick));
+                        continue;
+                    }
+                    self.map.remove(&key);
+                    self.cached -= 1;
+                    return true;
+                }
+                // Stale stamp: re-touched since, in flight, or gone.
+                _ => continue,
+            }
+        }
+        false
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use typedtd_dependencies::td_from_names;
+    use typedtd_relational::{Universe, ValuePool};
+
+    fn keyed_td(seed: &str) -> (QueryKey, TdOrEgd) {
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        let td = TdOrEgd::Td(td_from_names(
+            &u,
+            &mut p,
+            &[&[seed, "y", "z"], &[seed, seed, "w"]],
+            &[seed, "y", "w"],
+        ));
+        (crate::canon::query_key(&[], &td), td)
+    }
+
+    fn distinct_keyed_tds(n: usize) -> Vec<(QueryKey, TdOrEgd)> {
+        // Vary the hypothesis shape via repeated-variable patterns so the
+        // canonical keys genuinely differ.
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        (0..n)
+            .map(|i| {
+                let rows: Vec<Vec<String>> = (0..=i)
+                    .map(|r| vec!["x".to_string(), format!("y{r}"), format!("z{r}")])
+                    .collect();
+                let row_refs: Vec<Vec<&str>> =
+                    rows.iter().map(|r| r.iter().map(String::as_str).collect()).collect();
+                let slices: Vec<&[&str]> = row_refs.iter().map(Vec::as_slice).collect();
+                let td =
+                    TdOrEgd::Td(td_from_names(&u, &mut p, &slices, &["x", "y0", "z0"]));
+                (crate::canon::query_key(&[], &td), td)
+            })
+            .collect()
+    }
+
+    const YES: CachedAnswer = CachedAnswer {
+        implication: Answer::Yes,
+        finite_implication: Answer::Yes,
+    };
+
+    #[test]
+    fn lru_evicts_coldest_first() {
+        let mut cache = ShardCache::default();
+        let deps = distinct_keyed_tds(3);
+        for (k, g) in &deps {
+            assert_eq!(cache.insert(k.clone(), YES, g, 0), 1);
+        }
+        // Touch the first entry: the second becomes coldest.
+        assert!(matches!(
+            cache.probe(&deps[0].0, &deps[0].1, false),
+            Probe::Hit(_)
+        ));
+        assert!(cache.evict_one());
+        assert_eq!(cache.len(), 2);
+        assert!(matches!(
+            cache.probe(&deps[1].0, &deps[1].1, false),
+            Probe::Miss
+        ));
+        assert!(matches!(
+            cache.probe(&deps[0].0, &deps[0].1, false),
+            Probe::Hit(_)
+        ));
+    }
+
+    #[test]
+    fn inflight_entries_are_pinned() {
+        let mut cache = ShardCache::default();
+        let (k, _g) = keyed_td("x");
+        cache.insert_inflight(k.clone(), 7);
+        assert!(!cache.evict_one(), "nothing evictable: in-flight is pinned");
+        let deps = distinct_keyed_tds(2);
+        for (dk, dg) in &deps {
+            cache.insert(dk.clone(), YES, dg, 0);
+        }
+        assert!(cache.evict_one());
+        assert!(cache.evict_one());
+        assert!(!cache.evict_one());
+        let (k2, g2) = keyed_td("x");
+        assert!(matches!(cache.probe(&k2, &g2, false), Probe::InFlight(7)));
+    }
+
+    #[test]
+    fn hot_hits_do_not_grow_the_stamp_queue() {
+        let mut cache = ShardCache::default();
+        let deps = distinct_keyed_tds(2);
+        for (k, g) in &deps {
+            cache.insert(k.clone(), YES, g, 0);
+        }
+        // An under-capacity cache never evicts, so the stamp queue must
+        // self-compact instead of recording every hit forever.
+        for _ in 0..10_000 {
+            assert!(matches!(
+                cache.probe(&deps[0].0, &deps[0].1, false),
+                Probe::Hit(_)
+            ));
+        }
+        assert!(
+            cache.lru.len() <= 2 * cache.map.len() + 8,
+            "stamp queue must stay O(live entries), got {}",
+            cache.lru.len()
+        );
+        // Compaction must not orphan live stamps: both entries stay
+        // evictable (cold deps[1] goes first), and nothing is left behind.
+        assert!(cache.evict_one(), "entries must remain evictable");
+        assert!(matches!(
+            cache.probe(&deps[1].0, &deps[1].1, false),
+            Probe::Miss
+        ));
+        assert!(cache.evict_one(), "the hot entry is evictable too");
+        assert!(!cache.evict_one());
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn expensive_answers_get_one_reprieve() {
+        let mut cache = ShardCache::default();
+        let deps = distinct_keyed_tds(2);
+        cache.insert(deps[0].0.clone(), YES, &deps[0].1, REPRIEVE_COST);
+        cache.insert(deps[1].0.clone(), YES, &deps[1].1, 0);
+        // Entry 0 is colder but cost-protected: the cheap entry 1 goes
+        // first.
+        assert!(cache.evict_one());
+        assert!(matches!(
+            cache.probe(&deps[0].0, &deps[0].1, false),
+            Probe::Hit(_)
+        ));
+        assert!(matches!(
+            cache.probe(&deps[1].0, &deps[1].1, false),
+            Probe::Miss
+        ));
     }
 }

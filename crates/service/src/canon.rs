@@ -63,11 +63,32 @@ pub fn query_key(sigma: &[TdOrEgd], goal: &TdOrEgd) -> QueryKey {
 /// encoding, aligned with the submitted order — so a scheduler can dedup
 /// Σ without canonicalizing every dependency a second time.
 pub fn query_key_and_sigma_keys(sigma: &[TdOrEgd], goal: &TdOrEgd) -> (QueryKey, Vec<Vec<u32>>) {
+    let parts = query_parts(sigma, goal);
+    (parts.key, parts.sigma_keys)
+}
+
+/// Everything `submit` needs from one canonicalization pass.
+pub struct QueryParts {
+    /// The canonical key of the whole query.
+    pub key: QueryKey,
+    /// Each Σ dependency's canonical encoding, aligned with the submitted
+    /// order (for Σ dedup without a second canonicalization).
+    pub sigma_keys: Vec<Vec<u32>>,
+    /// The goal's canonical encoding (for the goal-in-Σ fast path:
+    /// `sigma_keys.contains(&goal_key)` means `σ ∈ Σ` up to isomorphism,
+    /// so `Σ ⊨ σ` and `Σ ⊨_f σ` hold by reflexivity).
+    pub goal_key: Vec<u32>,
+}
+
+/// Canonicalizes a query once, returning the key plus the per-dependency
+/// encodings of Σ and of the goal.
+pub fn query_parts(sigma: &[TdOrEgd], goal: &TdOrEgd) -> QueryParts {
     let universe = match goal {
         TdOrEgd::Td(t) => t.universe().clone(),
         TdOrEgd::Egd(e) => e.universe().clone(),
     };
     let dep_keys: Vec<Vec<u32>> = sigma.iter().map(dep_key).collect();
+    let goal_key = dep_key(goal);
     let mut sigma_keys = dep_keys.clone();
     sigma_keys.sort_unstable();
     sigma_keys.dedup();
@@ -75,9 +96,13 @@ pub fn query_key_and_sigma_keys(sigma: &[TdOrEgd], goal: &TdOrEgd) -> (QueryKey,
         width: universe.width() as u16,
         typed: universe.is_typed(),
         sigma: sigma_keys,
-        goal: dep_key(goal),
+        goal: goal_key.clone(),
     };
-    (key, dep_keys)
+    QueryParts {
+        key,
+        sigma_keys: dep_keys,
+        goal_key,
+    }
 }
 
 /// What follows the hypothesis rows in a dependency encoding.

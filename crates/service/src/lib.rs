@@ -7,26 +7,47 @@
 //! algorithm closes the gap. A service built on such a theory cannot offer
 //! "call and wait" semantics — any one call may never return. What it can
 //! offer is the **dovetailing guarantee**, turned from a proof device into
-//! a scheduler:
+//! a scheduler, behind a client API shaped like a production query engine:
 //!
-//! * every query runs as a resumable [`typedtd_chase::DecideTask`] —
-//!   chase rounds and search attempts are its preemption points;
-//! * the [`ImplicationService`] round-robins fuel slices over all in-flight
-//!   queries, so a terminating query is answered after boundedly many
-//!   sweeps *regardless* of how many divergent neighbours it has
-//!   (starvation-freedom is exactly the fairness clause of the classical
-//!   dovetailing argument);
-//! * per-job and global fuel budgets convert "never returns" into the
-//!   honest third answer `Unknown`.
+//! * [`ImplicationClient`] is a cheap [`Clone`] handle over shared state —
+//!   every method takes `&self`, so any number of threads submit queries
+//!   and step the scheduler concurrently;
+//! * a query is an immutable [`QuerySpec`] (Σ, goal, pool, plus per-query
+//!   priority and fuel overrides), separated from its evaluation;
+//! * [`ImplicationClient::submit`] returns a [`JobHandle`] that owns the
+//!   job's lifecycle: [`JobHandle::poll`], blocking [`JobHandle::wait`]
+//!   (which helps drive the job's own shard while it waits), and
+//!   retire-on-drop, so polled outcomes never accumulate;
+//! * internally, jobs hash by canonical key onto **sharded run queues**
+//!   with per-shard fair dovetailing — a terminating query is answered
+//!   after boundedly many sweeps of its shard regardless of how many
+//!   divergent neighbours the service carries, and per-job plus global
+//!   fuel budgets convert "never returns" into the honest third answer
+//!   `Unknown`.
 //!
-//! On top of the scheduler sits an **isomorphism-keyed answer cache**
-//! ([`canon`], [`cache`]): queries are keyed by a canonical form invariant
-//! under variable renaming, hypothesis-row reordering, and Σ
+//! On top of the scheduler sits a **bounded, isomorphism-keyed answer
+//! cache** ([`canon`], [`cache`]): queries are keyed by a canonical form
+//! invariant under variable renaming, hypothesis-row reordering, and Σ
 //! reordering/duplication, so the structurally identical queries a real
-//! workload issues by the million are answered from memory — and identical
-//! queries *in flight* coalesce onto a single computation. The
-//! [`batch`] module and the `typedtd-serve` binary expose the whole stack
-//! over newline-delimited query files in the parser syntax.
+//! workload issues by the million are answered from memory; identical
+//! queries *in flight* coalesce onto a single computation; a goal that is
+//! canonically an element of Σ is answered `Yes` at submit time without
+//! scheduling at all; and the cache stays within a configured capacity via
+//! LRU/cost-aware eviction (in-flight entries are pinned). The [`batch`]
+//! module and the `typedtd-serve` binary expose the whole stack over
+//! newline-delimited query files in the parser syntax.
+//!
+//! # Migrating from the v1 `ImplicationService`
+//!
+//! | v1 (single owner, `&mut self`) | v2 (shared-state client) |
+//! |---|---|
+//! | `ImplicationService::new(cfg)` | [`ImplicationClient::new`]`(cfg)` |
+//! | `service.submit(sigma, goal, pool) -> JobId` | `client.submit(`[`QuerySpec::new`]`(sigma, goal, pool)) -> JobHandle` |
+//! | `service.poll(id)` | `handle.poll()` (or [`ImplicationClient::status`]`(id)`) |
+//! | `service.tick()` | [`ImplicationClient::tick`] (or per-shard [`ImplicationClient::step_shard`]) |
+//! | `service.run_to_completion()` | [`ImplicationClient::run_to_completion`], or `handle.wait()` per job |
+//! | finished jobs retained forever | handles retire on drop; slots are reused |
+//! | unbounded `AnswerCache` | bounded via [`ServiceConfig::cache_capacity`] |
 
 #![warn(missing_docs)]
 
@@ -35,9 +56,10 @@ pub mod cache;
 pub mod canon;
 pub mod service;
 
-pub use batch::{parse_query_line, submit_batch, Batch, BatchQuery, BatchVerdict};
-pub use cache::{AnswerCache, CachedAnswer, Probe};
-pub use canon::{dep_key, query_key, QueryKey};
+pub use batch::{parse_query_line, submit_batch, Batch, BatchError, BatchQuery, BatchVerdict};
+pub use cache::{CachedAnswer, Probe, ShardCache};
+pub use canon::{dep_key, query_key, query_parts, QueryKey, QueryParts};
 pub use service::{
-    ImplicationService, JobId, JobOutcome, JobStatus, ServiceConfig, ServiceStats,
+    ImplicationClient, JobHandle, JobId, JobOutcome, JobStatus, QuerySpec, ServiceConfig,
+    ServiceStats, ShardStep,
 };

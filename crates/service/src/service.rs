@@ -1,60 +1,87 @@
-//! The concurrent implication service: a fair dovetailing scheduler over
-//! resumable [`DecideTask`]s with a memoizing answer cache.
+//! The concurrent implication service v2: cheap-to-clone client handles
+//! over shared sharded state.
+//!
+//! # Why a shared-state client
+//!
+//! The paper proves no total algorithm decides typed-td implication, so
+//! the system's value at scale is serving *many* fuel-bounded queries
+//! concurrently. The v1 `ImplicationService` fought that goal: `submit`
+//! and `tick` took `&mut self`, so one exclusive owner serialized every
+//! submission and every sweep, and finished jobs plus cached answers
+//! accumulated forever. v2 separates the immutable specification of a
+//! query ([`QuerySpec`]) from its evaluation, PDQ-style:
+//!
+//! * [`ImplicationClient`] is a cheap [`Clone`] handle (an `Arc` over the
+//!   shared core); every method takes `&self`, so any number of threads
+//!   submit and step concurrently;
+//! * [`JobHandle`] owns one job's lifecycle — [`JobHandle::poll`],
+//!   blocking [`JobHandle::wait`] (which *helps*: it steps the shard that
+//!   owns its job instead of spinning), and retire-on-drop so polled
+//!   outcomes stop leaking;
+//! * internally, jobs hash by canonical query key onto N **shards**, each
+//!   with its own run queue, job slab, coalescing map, and answer-cache
+//!   slice behind its own lock — submission and stepping on different
+//!   shards never contend, and a `wait` only pays for the divergent
+//!   neighbours that share its shard, not the whole service.
 //!
 //! # Dovetailing as scheduling
 //!
-//! The paper proves no total algorithm decides typed-td implication, so a
-//! service cannot promise any single query terminates — what it *can*
-//! promise is fairness: every submitted query keeps making progress no
-//! matter how many divergent neighbours it has. That is exactly the
-//! textbook dovetailing argument for running two semidecision procedures,
-//! lifted one level: where [`typedtd_chase::decide`] dovetails the chase
-//! against model search *within* one query, the scheduler here round-robins
-//! fuel slices *across* queries. A query that terminates after `n` fuel
-//! units is answered after at most `n` sweeps of the run queue, each sweep
-//! bounded by `jobs × slice_fuel` — starvation-freedom by construction.
+//! Within a shard the scheduler is the same fair dovetailer as v1: every
+//! runnable job gets one fuel slice per sweep (priority orders the claim,
+//! FIFO breaks ties), so a terminating query is answered after boundedly
+//! many sweeps no matter how many divergent neighbours it has —
+//! starvation-freedom is exactly the fairness clause of the classical
+//! dovetailing argument. Per-job and global fuel budgets convert "never
+//! returns" into the honest third answer `Unknown`.
 //!
-//! # The answer cache
+//! # The bounded answer cache
 //!
-//! Real workloads re-ask structurally identical questions (the same schema
-//! constraint checked for every tenant, the same normalization query with
-//! freshly minted variable names). Jobs are keyed by the canonical form of
-//! `(Σ, σ)` ([`crate::canon`]); a finished job's answers are recorded under
-//! its key, later submissions hit without spending any fuel, and identical
-//! *in-flight* queries coalesce onto the running job instead of chasing in
-//! parallel.
-//!
-//! # Concurrency
-//!
-//! With `workers > 1` each sweep fans its fuel slices out across scoped OS
-//! threads (jobs own their state, so stepping distinct jobs is embarrassingly
-//! parallel); completions are still recorded in submission order, keeping
-//! stats and cache insertion deterministic.
+//! Jobs are keyed by the canonical form of `(Σ, σ)` ([`crate::canon`]);
+//! finished answers are recorded under their key with service-wide
+//! LRU/cost-aware eviction ([`crate::cache`]), identical in-flight queries
+//! coalesce onto the running leader (coalesced entries are pinned, never
+//! evicted), and a goal that is canonically an *element* of Σ is answered
+//! `Yes` at submit time without scheduling at all. Hits, evictions, and
+//! the fast path are all surfaced in [`ServiceStats`].
 
-use crate::cache::{AnswerCache, CachedAnswer, Probe};
-use crate::canon::{query_key_and_sigma_keys, QueryKey};
-use std::collections::VecDeque;
+use crate::cache::{goal_hypothesis, CachedAnswer, Probe, ShardCache};
+use crate::canon::{query_parts, QueryKey};
+use std::collections::BinaryHeap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 use typedtd_chase::{Answer, DecideConfig, DecideStatus, DecideTask};
 use typedtd_dependencies::TdOrEgd;
-use typedtd_relational::{FxHashMap, FxHashSet, Relation, ValuePool};
+use typedtd_relational::{isomorphic, FxHashMap, FxHashSet, Relation, ValuePool};
 
 /// Service-wide knobs.
 #[derive(Clone, Debug)]
 pub struct ServiceConfig {
-    /// Per-query decision budgets (chase + search).
+    /// Default per-query decision budgets (chase + search); a
+    /// [`QuerySpec::decide_config`] override takes precedence per job.
     pub decide: DecideConfig,
     /// Fuel units (chase rounds / search attempts) granted to a job per
-    /// scheduler sweep. Smaller slices preempt faster; larger slices
-    /// amortize bookkeeping.
+    /// shard sweep. Smaller slices preempt faster; larger slices amortize
+    /// bookkeeping.
     pub slice_fuel: usize,
-    /// Global fuel budget across all jobs; once spent, the remaining jobs
-    /// are answered `Unknown` by [`ImplicationService::run_to_completion`].
-    /// Checked between slices (a soft cap under `workers > 1`).
+    /// Global fuel budget across all jobs; once spent, stepping reports
+    /// fuel exhaustion and pending jobs are answered `Unknown` by
+    /// [`ImplicationClient::run_to_completion`] / [`JobHandle::wait`].
     pub global_fuel: Option<u64>,
-    /// Worker threads for stepping jobs within a sweep. `1` = sequential.
+    /// Scheduler shards. Jobs hash by canonical key onto a shard;
+    /// different shards submit and step without contending.
+    pub shards: usize,
+    /// Worker threads [`ImplicationClient::run_to_completion`] drives the
+    /// shards with. `1` = the calling thread only. (Any number of
+    /// *external* threads may also step concurrently through clones of
+    /// the client.)
     pub workers: usize,
     /// Enable the canonical answer cache (and in-flight coalescing).
     pub cache: bool,
+    /// Upper bound on cached answers across all shards; beyond it the
+    /// least-recently-used cold entry is evicted (in-flight coalesced
+    /// entries are pinned and never evicted).
+    pub cache_capacity: usize,
     /// Re-verify every cache hit through the isomorphism machinery.
     pub verify_cache_hits: bool,
 }
@@ -65,16 +92,30 @@ impl Default for ServiceConfig {
             decide: DecideConfig::default(),
             slice_fuel: 8,
             global_fuel: None,
+            shards: 8,
             workers: 1,
             cache: true,
+            cache_capacity: 4096,
             verify_cache_hits: false,
         }
     }
 }
 
-/// Handle to a submitted job.
+/// Identity of a submitted job: shard, slot, and an ABA-guarding
+/// generation. Retiring a job frees its slot for reuse; a stale id then
+/// reports [`JobStatus::Retired`] instead of another job's answer.
+///
+/// A `JobId` is only meaningful against the service that issued it:
+/// distinct services allocate slots and generations independently, so an
+/// id carried across services can collide with an unrelated job there
+/// (an out-of-range shard or slot still answers `Retired`, never a
+/// panic).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub struct JobId(usize);
+pub struct JobId {
+    shard: u32,
+    slot: u32,
+    generation: u32,
+}
 
 /// A finished job's result.
 #[derive(Clone, Debug)]
@@ -87,7 +128,8 @@ pub struct JobOutcome {
     /// the work itself (cache/coalesced answers carry no certificate: the
     /// certificate's values live in the original submitter's pool).
     pub counterexample: Option<Relation>,
-    /// `true` if the answers came from the cache or a coalesced leader.
+    /// `true` if the answers came without fresh fuel: a cache hit, a
+    /// coalesced leader's result, or the goal-in-Σ fast path.
     pub from_cache: bool,
     /// Fuel this job consumed (0 for cache hits).
     pub fuel_spent: u64,
@@ -96,10 +138,15 @@ pub struct JobOutcome {
 /// Poll result for a job.
 #[derive(Clone, Debug)]
 pub enum JobStatus {
-    /// Still in flight; keep ticking the service.
+    /// Still in flight; keep stepping the service.
     Pending,
     /// Finished.
     Done(JobOutcome),
+    /// The job was retired (its [`JobHandle`] dropped or
+    /// [`JobHandle::retire`]d): its storage is freed and its outcome is
+    /// gone. Polling a retired id is a defined, stable answer — never a
+    /// panic, never another job's result.
+    Retired,
 }
 
 /// Aggregate service counters.
@@ -111,6 +158,11 @@ pub struct ServiceStats {
     pub completed: u64,
     /// Submissions answered instantly from the cache.
     pub cache_hits: u64,
+    /// Submissions answered `Yes` at submit time because the goal is
+    /// canonically an element of Σ (implication is reflexive). Rides the
+    /// [`ServiceConfig::cache`] switch: with the cache off every job
+    /// really runs.
+    pub goal_in_sigma: u64,
     /// Submissions coalesced onto an identical in-flight job.
     pub coalesced: u64,
     /// Submissions that had to run (cache enabled but cold, or disabled).
@@ -118,11 +170,18 @@ pub struct ServiceStats {
     /// Cache key hits rejected by isomorphism verification (should be 0;
     /// a nonzero count flags a canonicalization bug).
     pub verify_rejects: u64,
-    /// Jobs force-answered `Unknown` by global fuel exhaustion.
+    /// Jobs force-answered `Unknown` by fuel exhaustion (global budget or
+    /// a per-job [`QuerySpec::fuel_cap`]).
     pub expired: u64,
+    /// Jobs retired (handle dropped or explicitly retired); their slots
+    /// were freed for reuse.
+    pub retired: u64,
+    /// Cached answers evicted to keep the cache within
+    /// [`ServiceConfig::cache_capacity`].
+    pub evictions: u64,
     /// Total fuel spent across all jobs.
     pub fuel_spent: u64,
-    /// Scheduler sweeps executed.
+    /// Shard sweeps that stepped at least one job.
     pub sweeps: u64,
     /// Jobs answered `Yes` (unrestricted implication).
     pub yes: u64,
@@ -132,101 +191,399 @@ pub struct ServiceStats {
     pub unknown: u64,
 }
 
-enum Slot {
-    /// In flight, owned by the run queue.
+impl ServiceStats {
+    /// Fraction of cache lookups that hit: `hits / (hits + misses)`.
+    /// Coalesced submissions and the goal-in-Σ fast path count as neither
+    /// (they never probed a finished entry). `0.0` before any lookup.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / lookups as f64
+        }
+    }
+}
+
+/// One query, fully specified: the immutable `(Σ, σ)` instance plus its
+/// pool and per-query evaluation overrides. Build with [`QuerySpec::new`]
+/// and the chained setters, then hand to [`ImplicationClient::submit`].
+#[derive(Clone, Debug)]
+pub struct QuerySpec {
+    sigma: Vec<TdOrEgd>,
+    goal: TdOrEgd,
+    pool: ValuePool,
+    priority: i32,
+    fuel_cap: Option<u64>,
+    decide: Option<DecideConfig>,
+}
+
+impl QuerySpec {
+    /// A query `Σ ⊨(f) σ`. `pool` must be (a snapshot of) the pool the
+    /// dependencies' values were interned in; each job owns its pool, so
+    /// many jobs over unrelated pools can be in flight at once.
+    pub fn new(sigma: Vec<TdOrEgd>, goal: TdOrEgd, pool: ValuePool) -> Self {
+        Self {
+            sigma,
+            goal,
+            pool,
+            priority: 0,
+            fuel_cap: None,
+            decide: None,
+        }
+    }
+
+    /// Scheduling priority (default 0; higher is claimed earlier within a
+    /// sweep; FIFO among equals — fairness still guarantees every job one
+    /// slice per sweep).
+    pub fn priority(mut self, priority: i32) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Per-job fuel cap: once this job has spent `cap` fuel units it is
+    /// answered `Unknown` (counted in [`ServiceStats::expired`]),
+    /// regardless of the global budget.
+    pub fn fuel_cap(mut self, cap: u64) -> Self {
+        self.fuel_cap = Some(cap);
+        self
+    }
+
+    /// Per-job decision budgets, overriding [`ServiceConfig::decide`].
+    pub fn decide_config(mut self, cfg: DecideConfig) -> Self {
+        self.decide = Some(cfg);
+        self
+    }
+}
+
+/// What one shard-stepping call accomplished.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ShardStep {
+    /// At least one job was stepped or completed.
+    Progressed,
+    /// Nothing claimable right now, but another thread holds claimed jobs
+    /// from this shard — work is still in flight; yield and retry.
+    Idle,
+    /// The shard has no runnable or in-flight-stepping jobs.
+    Empty,
+    /// Runnable jobs exist but the global fuel budget is spent.
+    FuelExhausted,
+}
+
+enum JobState {
+    /// Free slot (on the shard's free list).
+    Vacant,
+    /// In flight, queued for its next slice.
     Running(Box<DecideTask>),
-    /// Transiently moved out for a (possibly parallel) fuel slice.
+    /// Transiently claimed by a stepping thread.
     Stepping,
-    /// Coalesced: waiting for the identical in-flight job to finish.
-    Waiting { leader: usize },
-    /// Finished.
+    /// Coalesced: waiting for the identical in-flight leader to finish.
+    Waiting { leader: u32 },
+    /// Finished; outcome retained until the handle retires it.
     Finished(JobOutcome),
 }
 
-struct Job {
-    slot: Slot,
-    /// Canonical key (when caching): where this job's answers get recorded.
+struct JobSlot {
+    generation: u32,
+    state: JobState,
+    /// Canonical key (when caching): where this job's answers get
+    /// recorded, and whose in-flight marker it holds while running.
     key: Option<QueryKey>,
-    /// Goal snapshot for cache insertion/verification.
-    goal: TdOrEgd,
+    /// Goal snapshot for cache insertion (keyed leaders only).
+    goal: Option<TdOrEgd>,
     fuel_spent: u64,
+    fuel_cap: Option<u64>,
+    priority: i32,
+    /// Handle dropped while the job was still in flight: on completion,
+    /// feed cache and waiters but free the slot instead of storing the
+    /// outcome.
+    retired: bool,
 }
 
-/// A multiplexing, memoizing front end over many concurrent implication
-/// queries. See the module docs for the design.
-pub struct ImplicationService {
-    cfg: ServiceConfig,
-    jobs: Vec<Job>,
-    /// Round-robin run queue of job indices with `Slot::Running` state.
-    queue: VecDeque<usize>,
-    /// Canonical key → leader job index, for in-flight coalescing.
-    inflight: FxHashMap<QueryKey, usize>,
-    /// Leader job index → jobs coalesced onto it, resolved at completion
-    /// (kept out of the job slots so completion is O(waiters), not O(jobs)).
-    waiters: FxHashMap<usize, Vec<usize>>,
-    cache: AnswerCache,
-    stats: ServiceStats,
+/// Run-queue entry; max-heap order = higher priority first, then FIFO by
+/// submission sequence. Stale entries (slot reused or no longer Running)
+/// are skipped at claim time, which lets retire/expire leave them behind.
+#[derive(PartialEq, Eq)]
+struct RunEntry {
+    priority: i32,
+    seq: std::cmp::Reverse<u64>,
+    slot: u32,
+    generation: u32,
 }
 
-impl ImplicationService {
-    /// An empty service.
-    pub fn new(cfg: ServiceConfig) -> Self {
+impl Ord for RunEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.priority, self.seq).cmp(&(other.priority, other.seq))
+    }
+}
+
+impl PartialOrd for RunEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct Shard {
+    slots: Vec<JobSlot>,
+    free: Vec<u32>,
+    queue: BinaryHeap<RunEntry>,
+    /// Jobs currently claimed by stepping threads.
+    stepping: usize,
+    cache: ShardCache,
+    /// Leader slot → coalesced waiter slots, resolved at completion.
+    waiters: FxHashMap<u32, Vec<u32>>,
+}
+
+impl Shard {
+    fn new() -> Self {
         Self {
-            cfg,
-            jobs: Vec::new(),
-            queue: VecDeque::new(),
-            inflight: FxHashMap::default(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            queue: BinaryHeap::new(),
+            stepping: 0,
+            cache: ShardCache::default(),
             waiters: FxHashMap::default(),
-            cache: AnswerCache::default(),
-            stats: ServiceStats::default(),
+        }
+    }
+
+    fn alloc(&mut self, state: JobState) -> u32 {
+        if let Some(i) = self.free.pop() {
+            self.slots[i as usize].state = state;
+            i
+        } else {
+            self.slots.push(JobSlot {
+                generation: 0,
+                state,
+                key: None,
+                goal: None,
+                fuel_spent: 0,
+                fuel_cap: None,
+                priority: 0,
+                retired: false,
+            });
+            (self.slots.len() - 1) as u32
+        }
+    }
+
+    fn free_slot(&mut self, idx: u32) {
+        let s = &mut self.slots[idx as usize];
+        s.state = JobState::Vacant;
+        s.generation = s.generation.wrapping_add(1);
+        s.key = None;
+        s.goal = None;
+        s.fuel_spent = 0;
+        s.fuel_cap = None;
+        s.priority = 0;
+        s.retired = false;
+        self.free.push(idx);
+    }
+}
+
+#[derive(Default)]
+struct AtomicStats {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    cache_hits: AtomicU64,
+    goal_in_sigma: AtomicU64,
+    coalesced: AtomicU64,
+    cache_misses: AtomicU64,
+    verify_rejects: AtomicU64,
+    expired: AtomicU64,
+    retired: AtomicU64,
+    evictions: AtomicU64,
+    fuel_spent: AtomicU64,
+    sweeps: AtomicU64,
+    yes: AtomicU64,
+    no: AtomicU64,
+    unknown: AtomicU64,
+}
+
+struct Core {
+    cfg: ServiceConfig,
+    shards: Vec<Mutex<Shard>>,
+    /// Remaining global fuel; `u64::MAX` means unmetered.
+    fuel: AtomicU64,
+    metered: bool,
+    /// FIFO tiebreak for the priority queues.
+    seq: AtomicU64,
+    /// Finished cache entries across all shards (enforces the bound).
+    cached_total: AtomicUsize,
+    stats: AtomicStats,
+}
+
+/// A cheap-to-clone handle onto the shared implication service. All
+/// methods take `&self`; clones share every shard, the cache, and the
+/// stats. See the module docs for the design.
+#[derive(Clone)]
+pub struct ImplicationClient {
+    core: Arc<Core>,
+}
+
+impl ImplicationClient {
+    /// A fresh service with `cfg` knobs; the returned client is the first
+    /// of any number of clones.
+    pub fn new(cfg: ServiceConfig) -> Self {
+        let nshards = cfg.shards.max(1);
+        let fuel = cfg.global_fuel.unwrap_or(u64::MAX);
+        let metered = cfg.global_fuel.is_some();
+        Self {
+            core: Arc::new(Core {
+                shards: (0..nshards).map(|_| Mutex::new(Shard::new())).collect(),
+                fuel: AtomicU64::new(fuel),
+                metered,
+                seq: AtomicU64::new(0),
+                cached_total: AtomicUsize::new(0),
+                stats: AtomicStats::default(),
+                cfg,
+            }),
         }
     }
 
     /// The service configuration.
     pub fn config(&self) -> &ServiceConfig {
-        &self.cfg
+        &self.core.cfg
     }
 
-    /// Aggregate counters.
-    pub fn stats(&self) -> &ServiceStats {
-        &self.stats
+    /// Number of scheduler shards (valid arguments to
+    /// [`ImplicationClient::step_shard`]).
+    pub fn num_shards(&self) -> usize {
+        self.core.shards.len()
     }
 
-    /// Distinct canonical queries answered so far.
-    pub fn cache_len(&self) -> usize {
-        self.cache.len()
-    }
-
-    /// Submits one query `Σ ⊨(f) σ`. `pool` must be (a snapshot of) the
-    /// pool the dependencies' values were interned in; each job owns its
-    /// pool, so many jobs over unrelated pools can be in flight at once.
-    ///
-    /// Returns immediately: a cache hit is `Done` on the first
-    /// [`ImplicationService::poll`], an identical in-flight query coalesces,
-    /// anything else enters the run queue.
-    pub fn submit(&mut self, mut sigma: Vec<TdOrEgd>, goal: TdOrEgd, pool: ValuePool) -> JobId {
-        self.stats.submitted += 1;
-        let idx = self.jobs.len();
-        let mut key = None;
-        if self.cfg.cache {
-            let (k, dep_keys) = query_key_and_sigma_keys(&sigma, &goal);
-            key = Some(k);
-            // Run the same Σ the key describes: canonically duplicate
-            // dependencies are logically redundant (isomorphic constraints
-            // are equivalent) but would inflate this job's per-round scan
-            // relative to a dedup-submitted twin.
-            let mut seen_deps = FxHashSet::default();
-            let mut di = 0;
-            sigma.retain(|_| {
-                let keep = seen_deps.insert(dep_keys[di].clone());
-                di += 1;
-                keep
-            });
+    /// Aggregate counters (a consistent-enough snapshot: each counter is
+    /// individually exact, cross-counter invariants may lag under
+    /// concurrent stepping).
+    pub fn stats(&self) -> ServiceStats {
+        let s = &self.core.stats;
+        let ld = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        ServiceStats {
+            submitted: ld(&s.submitted),
+            completed: ld(&s.completed),
+            cache_hits: ld(&s.cache_hits),
+            goal_in_sigma: ld(&s.goal_in_sigma),
+            coalesced: ld(&s.coalesced),
+            cache_misses: ld(&s.cache_misses),
+            verify_rejects: ld(&s.verify_rejects),
+            expired: ld(&s.expired),
+            retired: ld(&s.retired),
+            evictions: ld(&s.evictions),
+            fuel_spent: ld(&s.fuel_spent),
+            sweeps: ld(&s.sweeps),
+            yes: ld(&s.yes),
+            no: ld(&s.no),
+            unknown: ld(&s.unknown),
         }
+    }
+
+    /// Distinct canonical queries currently cached (always ≤
+    /// [`ServiceConfig::cache_capacity`] once an insert's eviction pass
+    /// has run).
+    pub fn cache_len(&self) -> usize {
+        self.core.cached_total.load(Ordering::Relaxed)
+    }
+
+    /// Jobs still in flight (running, claimed, or coalesced-waiting).
+    pub fn pending_jobs(&self) -> usize {
+        self.core
+            .shards
+            .iter()
+            .map(|m| {
+                let shard = m.lock().expect("shard lock");
+                shard
+                    .slots
+                    .iter()
+                    .filter(|s| {
+                        matches!(
+                            s.state,
+                            JobState::Running(_) | JobState::Stepping | JobState::Waiting { .. }
+                        )
+                    })
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Job slots currently allocated (pending or finished-but-unretired).
+    /// Retiring handles drives this back to 0 — the leak the v1 service
+    /// could never recover.
+    pub fn live_jobs(&self) -> usize {
+        self.core
+            .shards
+            .iter()
+            .map(|m| {
+                let shard = m.lock().expect("shard lock");
+                shard
+                    .slots
+                    .iter()
+                    .filter(|s| !matches!(s.state, JobState::Vacant))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Submits one query. Returns immediately: the goal-in-Σ fast path
+    /// and cache hits are `Done` on the first poll, an identical in-flight
+    /// query coalesces, anything else enters its shard's run queue.
+    pub fn submit(&self, spec: QuerySpec) -> JobHandle {
+        let core = &*self.core;
+        core.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        let QuerySpec {
+            mut sigma,
+            goal,
+            pool,
+            priority,
+            fuel_cap,
+            decide,
+        } = spec;
+        let parts = query_parts(&sigma, &goal);
+        let shard_idx = shard_of(&parts.key, core.shards.len());
+        let mut key = core.cfg.cache.then_some(parts.key);
+        // Goal-in-Σ fast path: σ ∈ Σ up to isomorphism means Σ ⊨ σ and
+        // Σ ⊨_f σ by reflexivity — answer before scheduling anything.
+        // Gated with the cache (``cache: false`` means "really run every
+        // job"), and under `verify_cache_hits` the key match is
+        // cross-checked through the isomorphism machinery exactly like a
+        // cache hit would be — a collision quarantines the key and runs
+        // the job in isolation instead of serving an unverified Yes.
+        if key.is_some() {
+            if let Some(i) = parts.sigma_keys.iter().position(|k| *k == parts.goal_key) {
+                if core.cfg.verify_cache_hits
+                    && !isomorphic(&goal_hypothesis(&goal), &goal_hypothesis(&sigma[i]))
+                {
+                    core.stats.verify_rejects.fetch_add(1, Ordering::Relaxed);
+                    key = None;
+                } else {
+                    core.stats.goal_in_sigma.fetch_add(1, Ordering::Relaxed);
+                    let outcome = JobOutcome {
+                        implication: Answer::Yes,
+                        finite_implication: Answer::Yes,
+                        counterexample: None,
+                        from_cache: true,
+                        fuel_spent: 0,
+                    };
+                    core.record_answer(&outcome);
+                    let mut shard = self.lock_shard(shard_idx);
+                    let slot = shard.alloc(JobState::Finished(outcome));
+                    return self.handle(shard_idx, slot, &shard);
+                }
+            }
+        }
+        // Run the same Σ the key describes: canonically duplicate
+        // dependencies are logically redundant (isomorphic constraints
+        // are equivalent) but would inflate this job's per-round scan
+        // relative to a dedup-submitted twin.
+        let mut seen_deps = FxHashSet::default();
+        let mut di = 0;
+        sigma.retain(|_| {
+            let keep = seen_deps.insert(parts.sigma_keys[di].clone());
+            di += 1;
+            keep
+        });
+        let mut shard = self.lock_shard(shard_idx);
         if let Some(k) = &key {
-            match self.cache.probe(k, &goal, self.cfg.verify_cache_hits) {
+            match shard.cache.probe(k, &goal, core.cfg.verify_cache_hits) {
                 Probe::Hit(answer) => {
-                    self.stats.cache_hits += 1;
+                    core.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
                     let outcome = JobOutcome {
                         implication: answer.implication,
                         finite_implication: answer.finite_implication,
@@ -234,14 +591,22 @@ impl ImplicationService {
                         from_cache: true,
                         fuel_spent: 0,
                     };
-                    self.record_answer(&outcome);
-                    self.jobs.push(Job {
-                        slot: Slot::Finished(outcome),
-                        key,
-                        goal,
-                        fuel_spent: 0,
-                    });
-                    return JobId(idx);
+                    core.record_answer(&outcome);
+                    let slot = shard.alloc(JobState::Finished(outcome));
+                    return self.handle(shard_idx, slot, &shard);
+                }
+                Probe::InFlight(leader) => {
+                    core.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+                    debug_assert!(
+                        matches!(
+                            shard.slots[leader as usize].state,
+                            JobState::Running(_) | JobState::Stepping
+                        ),
+                        "in-flight entry must point at a live leader"
+                    );
+                    let slot = shard.alloc(JobState::Waiting { leader });
+                    shard.waiters.entry(leader).or_default().push(slot);
+                    return self.handle(shard_idx, slot, &shard);
                 }
                 Probe::Rejected => {
                     // Verification just proved this key collides with a
@@ -249,237 +614,446 @@ impl ImplicationService {
                     // key cannot be trusted for *any* sharing: no
                     // coalescing onto an in-flight holder of it, no cache
                     // write under it. Run the job in isolation.
-                    self.stats.verify_rejects += 1;
+                    core.stats.verify_rejects.fetch_add(1, Ordering::Relaxed);
                     key = None;
                 }
                 Probe::Miss => {}
             }
         }
-        if let Some(k) = &key {
-            if let Some(&leader) = self.inflight.get(k) {
-                self.stats.coalesced += 1;
-                self.waiters.entry(leader).or_default().push(idx);
-                self.jobs.push(Job {
-                    slot: Slot::Waiting { leader },
-                    key,
-                    goal,
-                    fuel_spent: 0,
-                });
-                return JobId(idx);
-            }
-            self.inflight.insert(k.clone(), idx);
+        core.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+        // Install the slot claimed (`Stepping`) and the in-flight marker
+        // under the lock, but build the task — chase-instance seeding,
+        // index construction, O(Σ) work — *outside* it: concurrent
+        // submitters and steppers on this shard must not serialize behind
+        // setup. The marker already coalesces any identical twin onto
+        // this slot, and `stepping` keeps drive loops reporting Idle (not
+        // Empty) until the task is armed.
+        let slot = shard.alloc(JobState::Stepping);
+        let generation = {
+            let s = &mut shard.slots[slot as usize];
+            s.key = key.clone();
+            s.goal = key.is_some().then(|| goal.clone());
+            s.fuel_cap = fuel_cap;
+            s.priority = priority;
+            s.generation
+        };
+        if let Some(k) = key {
+            shard.cache.insert_inflight(k, slot);
         }
-        self.stats.cache_misses += 1;
-        let task = DecideTask::new(sigma, goal.clone(), pool, self.cfg.decide.clone());
-        self.jobs.push(Job {
-            slot: Slot::Running(Box::new(task)),
-            key,
-            goal,
-            fuel_spent: 0,
+        shard.stepping += 1;
+        drop(shard);
+        let dcfg = decide.unwrap_or_else(|| core.cfg.decide.clone());
+        let task = DecideTask::new(sigma, goal, pool, dcfg);
+        let mut shard = self.lock_shard(shard_idx);
+        shard.stepping -= 1;
+        shard.slots[slot as usize].state = JobState::Running(Box::new(task));
+        shard.queue.push(RunEntry {
+            priority,
+            seq: std::cmp::Reverse(core.seq.fetch_add(1, Ordering::Relaxed)),
+            slot,
+            generation,
         });
-        self.queue.push_back(idx);
-        JobId(idx)
+        self.handle(shard_idx, slot, &shard)
     }
 
-    /// The job's current status. Cheap; never advances work.
-    pub fn poll(&self, id: JobId) -> JobStatus {
-        match &self.jobs[id.0].slot {
-            Slot::Finished(outcome) => JobStatus::Done(outcome.clone()),
+    fn handle(&self, shard_idx: usize, slot: u32, shard: &Shard) -> JobHandle {
+        JobHandle {
+            client: self.clone(),
+            id: JobId {
+                shard: shard_idx as u32,
+                slot,
+                generation: shard.slots[slot as usize].generation,
+            },
+        }
+    }
+
+    fn lock_shard(&self, idx: usize) -> MutexGuard<'_, Shard> {
+        self.core.shards[idx].lock().expect("shard lock")
+    }
+
+    /// The job's current status. Cheap; never advances work. A retired id
+    /// answers [`JobStatus::Retired`]; so does an id whose shard or slot
+    /// doesn't exist here. Ids are only meaningful against the service
+    /// that issued them (see [`JobId`]) — a foreign id that happens to be
+    /// in range reads whatever job lives in that slot.
+    pub fn status(&self, id: JobId) -> JobStatus {
+        let Some(mutex) = self.core.shards.get(id.shard as usize) else {
+            return JobStatus::Retired;
+        };
+        let shard = mutex.lock().expect("shard lock");
+        let Some(slot) = shard.slots.get(id.slot as usize) else {
+            return JobStatus::Retired;
+        };
+        if slot.generation != id.generation {
+            return JobStatus::Retired;
+        }
+        match &slot.state {
+            JobState::Finished(outcome) => JobStatus::Done(outcome.clone()),
+            JobState::Vacant => JobStatus::Retired,
             _ => JobStatus::Pending,
         }
     }
 
-    /// Jobs still in flight (running or coalesced-waiting).
-    pub fn pending_jobs(&self) -> usize {
-        self.jobs
-            .iter()
-            .filter(|j| !matches!(j.slot, Slot::Finished(_)))
-            .count()
-    }
-
-    /// Remaining global fuel, if a budget is set.
-    fn global_remaining(&self) -> Option<u64> {
-        self.cfg
-            .global_fuel
-            .map(|total| total.saturating_sub(self.stats.fuel_spent))
-    }
-
-    /// One fair sweep: every running job gets (at most) one fuel slice, in
-    /// round-robin order. Returns `false` once nothing is left to do (run
-    /// queue empty or global fuel exhausted).
-    pub fn tick(&mut self) -> bool {
-        if self.queue.is_empty() || self.global_remaining() == Some(0) {
-            return false;
-        }
-        self.stats.sweeps += 1;
-        // Claim this sweep's batch (jobs submitted mid-sweep wait for the
-        // next one) and move the tasks out of their slots.
-        let batch: Vec<usize> = self.queue.drain(..).collect();
-        let slice = self.cfg.slice_fuel.max(1);
-        let mut stepped: Vec<(usize, Box<DecideTask>, DecideStatus)> =
-            Vec::with_capacity(batch.len());
-        let mut claimed: Vec<(usize, Box<DecideTask>)> = Vec::with_capacity(batch.len());
-        for &idx in &batch {
-            match std::mem::replace(&mut self.jobs[idx].slot, Slot::Stepping) {
-                Slot::Running(task) => claimed.push((idx, task)),
-                other => {
-                    // Not runnable (finished by coalescing etc.): restore.
-                    self.jobs[idx].slot = other;
+    /// One fair sweep of shard `idx`: claims every runnable job, steps
+    /// each for (at most) one fuel slice outside the lock, then records
+    /// completions. Safe to call from any number of threads — concurrent
+    /// callers on the same shard see [`ShardStep::Idle`] and should yield.
+    ///
+    /// # Panics
+    /// If `idx >= self.num_shards()`.
+    pub fn step_shard(&self, idx: usize) -> ShardStep {
+        let core = &*self.core;
+        let slice = core.cfg.slice_fuel.max(1);
+        let mut claimed: Vec<(u32, Box<DecideTask>, usize)> = Vec::new();
+        let mut fuel_out = false;
+        let mut expired_any = false;
+        {
+            let mut shard = self.lock_shard(idx);
+            while let Some(entry) = shard.queue.pop() {
+                let si = entry.slot as usize;
+                let valid = shard.slots[si].generation == entry.generation
+                    && matches!(shard.slots[si].state, JobState::Running(_));
+                if !valid {
+                    continue; // stale: retired, expired, or already finished
                 }
-            }
-        }
-        if self.cfg.workers > 1 && claimed.len() > 1 {
-            let workers = self.cfg.workers.min(claimed.len());
-            let chunk = claimed.len().div_ceil(workers);
-            let chunks: Vec<Vec<(usize, Box<DecideTask>)>> = {
-                let mut it = claimed.into_iter();
-                let mut out = Vec::with_capacity(workers);
-                loop {
-                    let c: Vec<_> = it.by_ref().take(chunk).collect();
-                    if c.is_empty() {
-                        break;
-                    }
-                    out.push(c);
-                }
-                out
-            };
-            let results: Vec<Vec<(usize, Box<DecideTask>, DecideStatus)>> =
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = chunks
-                        .into_iter()
-                        .map(|chunk| {
-                            scope.spawn(move || {
-                                chunk
-                                    .into_iter()
-                                    .map(|(idx, mut task)| {
-                                        let status = task.step(slice);
-                                        (idx, task, status)
-                                    })
-                                    .collect::<Vec<_>>()
-                            })
-                        })
-                        .collect();
-                    handles.into_iter().map(|h| h.join().unwrap()).collect()
-                });
-            for r in results {
-                stepped.extend(r);
-            }
-            // Parallel chunks return out of submission order; restore it so
-            // completions (stats, cache inserts) stay deterministic.
-            stepped.sort_unstable_by_key(|&(idx, _, _)| idx);
-        } else {
-            for (idx, mut task) in claimed {
-                // Sequential mode can meter the global budget per slice.
-                let allowed = match self.global_remaining() {
-                    Some(rem) => slice.min(rem as usize),
-                    None => slice,
-                };
-                if allowed == 0 {
-                    stepped.push((idx, task, DecideStatus::Pending));
+                // Per-job fuel cap: a capped-out job expires right here.
+                let cap_rem = shard.slots[si]
+                    .fuel_cap
+                    .map(|c| c.saturating_sub(shard.slots[si].fuel_spent));
+                if cap_rem == Some(0) {
+                    let JobState::Running(_task) =
+                        std::mem::replace(&mut shard.slots[si].state, JobState::Stepping)
+                    else {
+                        unreachable!("validated Running above")
+                    };
+                    core.expire_slot(&mut shard, entry.slot);
+                    expired_any = true;
                     continue;
                 }
+                let want = cap_rem.map_or(slice, |c| slice.min(c.try_into().unwrap_or(usize::MAX)));
+                let granted = core.reserve_fuel(want);
+                if granted == 0 {
+                    shard.queue.push(entry);
+                    fuel_out = true;
+                    break;
+                }
+                let JobState::Running(task) =
+                    std::mem::replace(&mut shard.slots[si].state, JobState::Stepping)
+                else {
+                    unreachable!("validated Running above")
+                };
+                claimed.push((entry.slot, task, granted));
+            }
+            shard.stepping += claimed.len();
+            if claimed.is_empty() {
+                return if fuel_out {
+                    ShardStep::FuelExhausted
+                } else if expired_any {
+                    ShardStep::Progressed
+                } else if shard.stepping > 0 {
+                    ShardStep::Idle
+                } else {
+                    ShardStep::Empty
+                };
+            }
+        }
+        core.stats.sweeps.fetch_add(1, Ordering::Relaxed);
+        let stepped: Vec<(u32, Box<DecideTask>, DecideStatus, u64)> = claimed
+            .into_iter()
+            .map(|(slot, mut task, granted)| {
                 let before = task.fuel_spent();
-                let status = task.step(allowed);
+                let status = task.step(granted);
                 let used = task.fuel_spent() - before;
-                self.stats.fuel_spent += used;
-                self.jobs[idx].fuel_spent += used;
-                stepped.push((idx, task, status));
-            }
-        }
-        if self.cfg.workers > 1 {
-            // Account parallel fuel after the join.
-            for (idx, task, _) in &stepped {
-                let used = task.fuel_spent() - self.jobs[*idx].fuel_spent;
-                self.stats.fuel_spent += used;
-                self.jobs[*idx].fuel_spent = task.fuel_spent();
-            }
-        }
-        for (idx, task, status) in stepped {
+                core.refund_fuel(granted as u64 - used.min(granted as u64));
+                core.stats.fuel_spent.fetch_add(used, Ordering::Relaxed);
+                (slot, task, status, used)
+            })
+            .collect();
+        let mut shard = self.lock_shard(idx);
+        shard.stepping -= stepped.len();
+        for (slot, task, status, used) in stepped {
+            shard.slots[slot as usize].fuel_spent += used;
             match status {
                 DecideStatus::Pending => {
-                    self.jobs[idx].slot = Slot::Running(task);
-                    self.queue.push_back(idx);
+                    let priority = shard.slots[slot as usize].priority;
+                    let generation = shard.slots[slot as usize].generation;
+                    shard.slots[slot as usize].state = JobState::Running(task);
+                    shard.queue.push(RunEntry {
+                        priority,
+                        seq: std::cmp::Reverse(core.seq.fetch_add(1, Ordering::Relaxed)),
+                        slot,
+                        generation,
+                    });
                 }
-                DecideStatus::Done(_) => self.complete(idx, *task),
+                DecideStatus::Done(_) => core.complete_slot(&mut shard, slot, *task),
             }
         }
-        !self.queue.is_empty() && self.global_remaining() != Some(0)
+        ShardStep::Progressed
     }
 
-    /// Drives every in-flight job to an answer: ticks until the run queue
-    /// drains, then — if the global fuel budget cut the run short — answers
-    /// the leftovers `Unknown` (an honest answer for an undecidable
-    /// problem under a finite budget).
-    pub fn run_to_completion(&mut self) {
-        while self.tick() {}
-        if !self.queue.is_empty() {
-            self.expire_pending();
+    /// One fair sweep over every shard (the single-threaded driver the
+    /// streaming front end uses). Returns `false` once nothing more can
+    /// run: every shard is drained, or the global fuel budget is spent —
+    /// in the latter case call [`ImplicationClient::run_to_completion`] to
+    /// expire the leftovers.
+    pub fn tick(&self) -> bool {
+        let mut any = false;
+        let mut fuel_out = false;
+        for idx in 0..self.core.shards.len() {
+            match self.step_shard(idx) {
+                ShardStep::Progressed | ShardStep::Idle => any = true,
+                ShardStep::FuelExhausted => fuel_out = true,
+                ShardStep::Empty => {}
+            }
+        }
+        any && !fuel_out
+    }
+
+    /// Drives every in-flight job to an answer: sweeps all shards (with
+    /// [`ServiceConfig::workers`] threads when configured) until they
+    /// drain, then — if a fuel budget cut the run short — answers the
+    /// leftovers `Unknown` (an honest answer for an undecidable problem
+    /// under a finite budget).
+    pub fn run_to_completion(&self) {
+        let workers = self.core.cfg.workers.max(1);
+        let drive = || loop {
+            let mut all_empty = true;
+            let mut fuel_out = false;
+            for idx in 0..self.core.shards.len() {
+                match self.step_shard(idx) {
+                    ShardStep::Progressed => all_empty = false,
+                    ShardStep::Idle => {
+                        all_empty = false;
+                        std::thread::yield_now();
+                    }
+                    ShardStep::Empty => {}
+                    ShardStep::FuelExhausted => fuel_out = true,
+                }
+            }
+            if fuel_out || all_empty {
+                break;
+            }
+        };
+        if workers == 1 {
+            drive();
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(drive);
+                }
+            });
+        }
+        if self.pending_jobs() > 0 {
+            self.expire_all();
         }
     }
 
-    /// Answers every still-running job `Unknown` (global budget spent).
-    fn expire_pending(&mut self) {
-        let leftovers: Vec<usize> = self.queue.drain(..).collect();
-        for idx in leftovers {
-            let fuel = self.jobs[idx].fuel_spent;
-            let outcome = JobOutcome {
-                implication: Answer::Unknown,
-                finite_implication: Answer::Unknown,
-                counterexample: None,
-                from_cache: false,
-                fuel_spent: fuel,
+    /// Answers every still-pending job `Unknown` (budget spent).
+    /// `run_to_completion` joins its own workers before calling this, but
+    /// *external* client clones may still hold claimed (`Stepping`) tasks
+    /// mid-slice — wait those out per shard first (no new claims can
+    /// start once the fuel budget is spent, so the wait is bounded by one
+    /// in-flight slice per claimant).
+    fn expire_all(&self) {
+        for idx in 0..self.core.shards.len() {
+            let mut shard = loop {
+                let shard = self.lock_shard(idx);
+                if shard.stepping == 0 {
+                    break shard;
+                }
+                drop(shard);
+                std::thread::yield_now();
             };
-            self.stats.expired += 1;
-            // Deliberately *not* cached: this Unknown reflects global
-            // scheduling pressure, not the per-query budgets the cache's
-            // answers are deterministic functions of.
-            self.record_answer(&outcome);
-            self.resolve_waiters(idx, &outcome);
-            if let Some(k) = &self.jobs[idx].key {
-                self.inflight.remove(k);
+            let running: Vec<u32> = shard
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| matches!(s.state, JobState::Running(_)))
+                .map(|(i, _)| i as u32)
+                .collect();
+            for slot in running {
+                let JobState::Running(_task) =
+                    std::mem::replace(&mut shard.slots[slot as usize].state, JobState::Stepping)
+                else {
+                    unreachable!("collected Running above")
+                };
+                self.core.expire_slot(&mut shard, slot);
             }
-            self.jobs[idx].slot = Slot::Finished(outcome);
+            // Leaders expired above resolved their waiters; any survivor
+            // would mean a waiter without a live leader — a bug.
+            debug_assert!(
+                !shard
+                    .slots
+                    .iter()
+                    .any(|s| matches!(s.state, JobState::Waiting { .. })),
+                "expire_all left an orphaned coalesced waiter"
+            );
         }
+    }
+
+    /// Expires one pending job to `Unknown` (used by [`JobHandle::wait`]
+    /// when the global budget runs dry). Returns `false` if the job is
+    /// currently claimed by a stepping thread — retry after it lands.
+    fn expire_job(&self, id: JobId) -> bool {
+        let mut shard = self.lock_shard(id.shard as usize);
+        let si = id.slot as usize;
+        if shard.slots[si].generation != id.generation {
+            return true; // already gone
+        }
+        match shard.slots[si].state {
+            JobState::Running(_) => {
+                let JobState::Running(_task) =
+                    std::mem::replace(&mut shard.slots[si].state, JobState::Stepping)
+                else {
+                    unreachable!("matched Running above")
+                };
+                self.core.expire_slot(&mut shard, id.slot);
+                true
+            }
+            JobState::Waiting { leader } => {
+                if let Some(ws) = shard.waiters.get_mut(&leader) {
+                    ws.retain(|&w| w != id.slot);
+                }
+                let outcome = unknown_outcome(shard.slots[si].fuel_spent);
+                self.core.stats.expired.fetch_add(1, Ordering::Relaxed);
+                self.core.record_answer(&outcome);
+                shard.slots[si].state = JobState::Finished(outcome);
+                true
+            }
+            JobState::Stepping => false,
+            JobState::Finished(_) | JobState::Vacant => true,
+        }
+    }
+
+    /// Frees a job's storage. Pending jobs keep running to completion
+    /// (their answer still feeds the cache and any coalesced waiters) but
+    /// their outcome is dropped on arrival.
+    fn retire(&self, id: JobId) {
+        let mut shard = self.lock_shard(id.shard as usize);
+        let si = id.slot as usize;
+        if shard.slots[si].generation != id.generation {
+            return;
+        }
+        self.core.stats.retired.fetch_add(1, Ordering::Relaxed);
+        match shard.slots[si].state {
+            JobState::Finished(_) => shard.free_slot(id.slot),
+            JobState::Waiting { leader } => {
+                if let Some(ws) = shard.waiters.get_mut(&leader) {
+                    ws.retain(|&w| w != id.slot);
+                }
+                shard.free_slot(id.slot);
+            }
+            JobState::Running(_) | JobState::Stepping => {
+                shard.slots[si].retired = true;
+            }
+            JobState::Vacant => {}
+        }
+    }
+}
+
+impl Core {
+    /// Reserves up to `want` fuel units from the global budget; the
+    /// granted amount may be smaller. Unused grant is refunded by the
+    /// stepper.
+    fn reserve_fuel(&self, want: usize) -> usize {
+        if !self.metered {
+            return want;
+        }
+        let mut granted = 0;
+        let _ = self
+            .fuel
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |rem| {
+                granted = rem.min(want as u64) as usize;
+                Some(rem - granted as u64)
+            });
+        granted
+    }
+
+    fn refund_fuel(&self, unused: u64) {
+        if self.metered && unused > 0 {
+            self.fuel.fetch_add(unused, Ordering::Relaxed);
+        }
+    }
+
+    /// Updates the answer histogram and completion count.
+    fn record_answer(&self, outcome: &JobOutcome) {
+        self.stats.completed.fetch_add(1, Ordering::Relaxed);
+        let counter = match outcome.implication {
+            Answer::Yes => &self.stats.yes,
+            Answer::No => &self.stats.no,
+            Answer::Unknown => &self.stats.unknown,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Finishes a job from its decided task: records stats, fills the
-    /// cache, wakes coalesced waiters.
-    fn complete(&mut self, idx: usize, task: DecideTask) {
+    /// cache (bounded), wakes coalesced waiters. Called under the shard
+    /// lock with the slot in `Stepping` state (task moved out).
+    fn complete_slot(&self, shard: &mut Shard, slot: u32, task: DecideTask) {
         let (decision, _pool) = task.finish();
         let outcome = JobOutcome {
             implication: decision.implication,
             finite_implication: decision.finite_implication,
             counterexample: decision.counterexample,
             from_cache: false,
-            fuel_spent: self.jobs[idx].fuel_spent,
+            fuel_spent: shard.slots[slot as usize].fuel_spent,
         };
         self.record_answer(&outcome);
-        if let Some(k) = self.jobs[idx].key.clone() {
+        let key = shard.slots[slot as usize].key.take();
+        let goal = shard.slots[slot as usize].goal.take();
+        if let Some(k) = key {
             // Only definite answers are cached: Yes/No are certificates,
             // true of every isomorphic presentation of the query, while
             // Unknown is a budget artifact that could differ between
             // canonically equal submissions.
             if outcome.implication != Answer::Unknown {
-                self.cache.insert(
-                    k.clone(),
-                    CachedAnswer {
-                        implication: outcome.implication,
-                        finite_implication: outcome.finite_implication,
-                    },
-                    &self.jobs[idx].goal,
-                );
+                let g = goal.expect("keyed leader stores its goal");
+                let answer = CachedAnswer {
+                    implication: outcome.implication,
+                    finite_implication: outcome.finite_implication,
+                };
+                if shard.cache.insert(k, answer, &g, outcome.fuel_spent) > 0 {
+                    self.cached_total.fetch_add(1, Ordering::Relaxed);
+                    self.enforce_cache_bound(shard);
+                }
+            } else {
+                shard.cache.clear_inflight(&k);
             }
-            self.inflight.remove(&k);
         }
-        self.resolve_waiters(idx, &outcome);
-        self.jobs[idx].slot = Slot::Finished(outcome);
+        self.resolve_waiters(shard, slot, &outcome);
+        if shard.slots[slot as usize].retired {
+            shard.free_slot(slot);
+        } else {
+            shard.slots[slot as usize].state = JobState::Finished(outcome);
+        }
+    }
+
+    /// Force-answers a claimed slot `Unknown` (fuel exhaustion). Called
+    /// under the shard lock with the slot in `Stepping` state.
+    fn expire_slot(&self, shard: &mut Shard, slot: u32) {
+        let outcome = unknown_outcome(shard.slots[slot as usize].fuel_spent);
+        self.stats.expired.fetch_add(1, Ordering::Relaxed);
+        // Deliberately *not* cached: this Unknown reflects scheduling
+        // pressure, not the per-query budgets the cache's answers are
+        // deterministic functions of.
+        self.record_answer(&outcome);
+        if let Some(k) = shard.slots[slot as usize].key.take() {
+            shard.cache.clear_inflight(&k);
+        }
+        shard.slots[slot as usize].goal = None;
+        self.resolve_waiters(shard, slot, &outcome);
+        if shard.slots[slot as usize].retired {
+            shard.free_slot(slot);
+        } else {
+            shard.slots[slot as usize].state = JobState::Finished(outcome);
+        }
     }
 
     /// Wakes every job coalesced onto `leader` with its answers.
-    fn resolve_waiters(&mut self, leader: usize, outcome: &JobOutcome) {
-        for i in self.waiters.remove(&leader).unwrap_or_default() {
+    fn resolve_waiters(&self, shard: &mut Shard, leader: u32, outcome: &JobOutcome) {
+        for w in shard.waiters.remove(&leader).unwrap_or_default() {
             debug_assert!(
-                matches!(self.jobs[i].slot, Slot::Waiting { leader: l } if l == leader),
+                matches!(shard.slots[w as usize].state, JobState::Waiting { leader: l } if l == leader),
                 "waiter list out of sync with job slots"
             );
             let waiter_outcome = JobOutcome {
@@ -490,17 +1064,109 @@ impl ImplicationService {
                 fuel_spent: 0,
             };
             self.record_answer(&waiter_outcome);
-            self.jobs[i].slot = Slot::Finished(waiter_outcome);
+            shard.slots[w as usize].state = JobState::Finished(waiter_outcome);
         }
     }
 
-    /// Updates the answer histogram and completion count.
-    fn record_answer(&mut self, outcome: &JobOutcome) {
-        self.stats.completed += 1;
-        match outcome.implication {
-            Answer::Yes => self.stats.yes += 1,
-            Answer::No => self.stats.no += 1,
-            Answer::Unknown => self.stats.unknown += 1,
+    /// Evicts from `shard`'s cache slice until the global count is back
+    /// under the configured capacity. Approximate global LRU: a shard only
+    /// evicts entries it owns, so concurrent inserts elsewhere converge
+    /// without cross-shard locking.
+    fn enforce_cache_bound(&self, shard: &mut Shard) {
+        while self.cached_total.load(Ordering::Relaxed) > self.cfg.cache_capacity {
+            if shard.cache.evict_one() {
+                self.cached_total.fetch_sub(1, Ordering::Relaxed);
+                self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+            } else {
+                break; // nothing local left to evict
+            }
         }
+    }
+}
+
+fn unknown_outcome(fuel_spent: u64) -> JobOutcome {
+    JobOutcome {
+        implication: Answer::Unknown,
+        finite_implication: Answer::Unknown,
+        counterexample: None,
+        from_cache: false,
+        fuel_spent,
+    }
+}
+
+fn shard_of(key: &QueryKey, nshards: usize) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) % nshards
+}
+
+/// Owner of one submitted job's lifecycle. Poll it, block on it, or let
+/// it go — dropping the handle **retires** the job, freeing its slot (and
+/// its stored outcome) in the service; the computation itself still runs
+/// to completion so its answer can feed the cache and coalesced waiters.
+///
+/// Handles are deliberately not `Clone`: exactly one owner decides when
+/// the outcome may be dropped.
+pub struct JobHandle {
+    client: ImplicationClient,
+    id: JobId,
+}
+
+impl std::fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle").field("id", &self.id).finish()
+    }
+}
+
+impl JobHandle {
+    /// The job's identity (remains valid for
+    /// [`ImplicationClient::status`] until the handle is dropped; after
+    /// that it reports [`JobStatus::Retired`]).
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+
+    /// The job's current status. Cheap; never advances work.
+    pub fn poll(&self) -> JobStatus {
+        self.client.status(self.id)
+    }
+
+    /// Blocks until the job has an answer, **helping** while it waits: the
+    /// calling thread steps the shard that owns this job (and only that
+    /// shard — divergent jobs elsewhere cost it nothing). Under a spent
+    /// global fuel budget the job is expired to an honest `Unknown`
+    /// rather than waiting forever.
+    pub fn wait(&self) -> JobOutcome {
+        loop {
+            match self.poll() {
+                JobStatus::Done(outcome) => return outcome,
+                JobStatus::Retired => {
+                    unreachable!("a live handle's job cannot be retired")
+                }
+                JobStatus::Pending => {}
+            }
+            match self.client.step_shard(self.id.shard as usize) {
+                ShardStep::Progressed => {}
+                ShardStep::Idle | ShardStep::Empty => std::thread::yield_now(),
+                ShardStep::FuelExhausted => {
+                    // May fail while another thread holds the task; the
+                    // loop retries after yielding.
+                    if !self.client.expire_job(self.id) {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Retires the job now, freeing its slot in the service. Equivalent
+    /// to dropping the handle; spelled out for call sites where the
+    /// intent deserves a name.
+    pub fn retire(self) {}
+}
+
+impl Drop for JobHandle {
+    fn drop(&mut self) {
+        self.client.retire(self.id);
     }
 }

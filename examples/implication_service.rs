@@ -1,37 +1,41 @@
-//! The implication service end to end: many clients asking structurally
-//! identical questions under fresh variable names, answered concurrently
-//! with a shared cache.
+//! The implication service end to end: several tenant threads asking
+//! structurally identical questions through clones of one shared-state
+//! [`ImplicationClient`], each blocking on its own [`JobHandle`]s while
+//! the answer cache and in-flight coalescing do most of the work.
 //!
 //! Run with `cargo run --example implication_service`.
 
-use typedtd::service::{submit_batch, ImplicationService, ServiceConfig};
+use typedtd::dependencies::Dependency;
+use typedtd::prelude::*;
+use typedtd::service::{submit_batch, ImplicationClient, QuerySpec, ServiceConfig};
 
 fn main() {
-    // A workload the way a schema-checking service would see it: the same
-    // constraint questions re-asked per tenant, plus a divergent query that
-    // must not hold anybody else up.
+    let client = ImplicationClient::new(ServiceConfig {
+        slice_fuel: 4,
+        global_fuel: Some(2_000),
+        verify_cache_hits: true,
+        cache_capacity: 64,
+        ..ServiceConfig::default()
+    });
+
+    // Part 1 — the batch front end, as `typedtd-serve` uses it: one file,
+    // streamed answers, a divergent query that must not hold anybody up,
+    // and a goal that is literally an element of Σ (answered at submit
+    // time, no scheduling at all).
     let text = "\
 @universe A B C D
 A -> B & B -> C |= A -> C
 B -> C & A -> B |= A -> C
 A ->> B |= A ->> B C D
 A -> B |= B -> A
+A -> B & B -> C |= B -> C
 @universe untyped A' B' C'
-td [x y1 z1 ; x y2 z2] => x y1 z2 |= td [a b1 c1 ; a b2 c2] => a b1 c2
 td [u v w] => v q1 q2 |= egd [x y1 _ ; x y2 _] => y1 = y2
 ";
-
-    let mut service = ImplicationService::new(ServiceConfig {
-        slice_fuel: 4,
-        global_fuel: Some(2_000),
-        verify_cache_hits: true,
-        ..ServiceConfig::default()
-    });
-    let batch = submit_batch(&mut service, text).expect("well-formed queries");
-    service.run_to_completion();
-
+    let batch = submit_batch(&client, text);
+    client.run_to_completion();
     for q in &batch.queries {
-        let v = q.conjoined(&service).expect("all jobs resolved");
+        let v = q.conjoined().expect("all jobs resolved");
         println!(
             "line {:>2}: implication={:<8?} finite={:<8?}{}  {}",
             q.line,
@@ -41,15 +45,60 @@ td [u v w] => v q1 q2 |= egd [x y1 _ ; x y2 _] => y1 = y2
             q.text
         );
     }
-    let s = service.stats();
+
+    // Part 2 — the same constraint checked for many tenants at once:
+    // every thread clones the client, submits its tenant's (renamed)
+    // query, and blocks on its own handle. All threads step the shared
+    // shards; all but the first leader are answered from cache or by
+    // coalescing.
+    let u = Universe::typed(vec!["A", "B", "C", "D"]);
+    let tenants = 8;
+    let answers: Vec<Answer> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..tenants)
+            .map(|t| {
+                let client = client.clone();
+                let u = u.clone();
+                scope.spawn(move || {
+                    let mut pool = ValuePool::new(u.clone());
+                    // Tenant-specific decoys give each pool fresh value
+                    // handles — the canonical key sees through them.
+                    pool.typed(AttrId(0), &format!("tenant{t}"));
+                    let fds = [Fd::parse(&u, "A -> B"), Fd::parse(&u, "B -> C")];
+                    let mut sigma = Vec::new();
+                    for fd in &fds {
+                        sigma.extend(Dependency::from(fd.clone()).normalize(&u, &mut pool));
+                    }
+                    let goal = Dependency::from(Fd::parse(&u, "A -> C"))
+                        .normalize(&u, &mut pool)
+                        .pop()
+                        .expect("fd goal is one egd");
+                    let job = client.submit(QuerySpec::new(sigma, goal, pool));
+                    job.wait().implication
+                    // `job` drops here: the outcome is polled, the slot is
+                    // retired — nothing accumulates in the service.
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert!(answers.iter().all(|a| *a == Answer::Yes));
+    println!("\n{tenants} tenant threads all answered Yes (fd transitivity)");
+
+    let s = client.stats();
     println!(
-        "\n{} jobs, {} answered free (cache {} + coalesced {}), {} fuel units, \
-         {} distinct canonical queries",
+        "{} jobs, {} answered free (cache {} + coalesced {} + goal-in-sigma {}), \
+         hit rate {:.2}, {} fuel units, {} cached queries (cap {}), {} evictions, \
+         {} retired",
         s.submitted,
-        s.cache_hits + s.coalesced,
+        s.cache_hits + s.coalesced + s.goal_in_sigma,
         s.cache_hits,
         s.coalesced,
+        s.goal_in_sigma,
+        s.cache_hit_rate(),
         s.fuel_spent,
-        service.cache_len(),
+        client.cache_len(),
+        client.config().cache_capacity,
+        s.evictions,
+        s.retired,
     );
 }

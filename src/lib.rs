@@ -16,7 +16,7 @@
 //! | [`core`] | Sections 3–6: `T`, `σ₀`/`Σ₀`, `T⁻¹`, `θ_{X→A}`, the hat translation, Theorem 2 and Theorem 6 pipelines |
 //! | [`semigroup`] | Theorem 1/3 substrate: equational implications, finite semigroups, the fixed set `Σ₁` |
 //! | [`formal`] | checkable proofs, Theorem 7/8 formal systems, Armstrong relations |
-//! | [`service`] | the concurrent implication service: resumable decide tasks, fair dovetailing scheduler, isomorphism-keyed answer cache, `typedtd-serve` CLI |
+//! | [`service`] | the concurrent implication service: cloneable `ImplicationClient` over sharded fair-dovetailing schedulers, `JobHandle` lifecycle, bounded isomorphism-keyed answer cache, `typedtd-serve` CLI |
 //!
 //! ## Quickstart
 //!

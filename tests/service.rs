@@ -1,22 +1,32 @@
 //! The implication service against the blocking decision path.
 //!
-//! Three properties anchor the new subsystem:
+//! Five properties anchor the client API:
 //!
 //! * **resumable-step parity** — driving a `DecideTask` one fuel unit at a
 //!   time (or through the service scheduler) answers exactly what the
 //!   blocking `decide` answers, on the same fd/mvd corpus
-//!   `tests/oracle_agreement.rs` checks against the Armstrong oracles;
+//!   `tests/oracle_agreement.rs` checks against the Armstrong oracles —
+//!   including when several threads submit and step through clones of one
+//!   [`ImplicationClient`] concurrently;
 //! * **scheduler fairness** — a divergent query (the undecidable gap is
 //!   real: some chases never terminate) cannot starve a terminating one;
 //! * **cache canonicalization** — resubmitting a query under renamed
 //!   variables, reordered hypothesis rows, or reordered Σ is answered from
 //!   the cache without fresh fuel, and isomorphism verification accepts
-//!   every such hit.
+//!   every such hit;
+//! * **job lifecycle** — retiring a handle (explicitly or on drop) frees
+//!   the job's storage for reuse, and polling a retired id is a defined
+//!   `Retired` answer, never a panic or another job's result;
+//! * **bounded cache** — the cache never exceeds its configured capacity,
+//!   evicts cold entries first, and never evicts in-flight coalesced
+//!   entries.
 
 use proptest::prelude::*;
 use typedtd::dependencies::{egd_from_names, td_from_names, Dependency, TdOrEgd};
 use typedtd::prelude::*;
-use typedtd::service::{ImplicationService, JobStatus, ServiceConfig};
+use typedtd::service::{
+    ImplicationClient, JobStatus, QuerySpec, ServiceConfig, ShardStep,
+};
 use typedtd_chase::{DecideStatus, DecideTask};
 
 fn universe4() -> std::sync::Arc<Universe> {
@@ -44,6 +54,46 @@ fn decide_stepped(
     (decision.implication, decision.finite_implication)
 }
 
+/// Builds the fd/mvd corpus query for one mask tuple (shared between the
+/// sequential proptest and the concurrent-clients test).
+fn corpus_query(
+    lhs_masks: &[u32],
+    rhs_masks: &[u32],
+    goal_lhs: u32,
+    goal_rhs: u32,
+    goal_is_fd: bool,
+) -> (Vec<TdOrEgd>, Vec<TdOrEgd>, ValuePool) {
+    let u = universe4();
+    let mut pool = ValuePool::new(u.clone());
+    let mut deps: Vec<Dependency> = Vec::new();
+    for (&l, &r) in lhs_masks.iter().zip(rhs_masks) {
+        if l.wrapping_mul(r) % 2 == 0 {
+            deps.push(Dependency::from(Fd::new(mask_to_set(&u, l), mask_to_set(&u, r))));
+        } else {
+            deps.push(Dependency::from(Mvd::new(
+                u.clone(),
+                mask_to_set(&u, l),
+                mask_to_set(&u, r),
+            )));
+        }
+    }
+    let goal: Dependency = if goal_is_fd {
+        Dependency::from(Fd::new(mask_to_set(&u, goal_lhs), mask_to_set(&u, goal_rhs)))
+    } else {
+        Dependency::from(Mvd::new(
+            u.clone(),
+            mask_to_set(&u, goal_lhs),
+            mask_to_set(&u, goal_rhs),
+        ))
+    };
+    let sigma_normal: Vec<TdOrEgd> = deps
+        .iter()
+        .flat_map(|d| d.normalize(&u, &mut pool))
+        .collect();
+    let goal_parts = goal.normalize(&u, &mut pool);
+    (sigma_normal, goal_parts, pool)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -57,31 +107,14 @@ proptest! {
         goal_rhs in 1u32..15,
         goal_is_fd in 0u32..2,
     ) {
-        let u = universe4();
-        let mut pool = ValuePool::new(u.clone());
-        let mut deps: Vec<Dependency> = Vec::new();
-        for (&l, &r) in lhs_masks.iter().zip(&rhs_masks) {
-            if l.wrapping_mul(r) % 2 == 0 {
-                deps.push(Dependency::from(Fd::new(mask_to_set(&u, l), mask_to_set(&u, r))));
-            } else {
-                deps.push(Dependency::from(Mvd::new(u.clone(), mask_to_set(&u, l), mask_to_set(&u, r))));
-            }
-        }
-        let goal: Dependency = if goal_is_fd == 0 {
-            Dependency::from(Fd::new(mask_to_set(&u, goal_lhs), mask_to_set(&u, goal_rhs)))
-        } else {
-            Dependency::from(Mvd::new(u.clone(), mask_to_set(&u, goal_lhs), mask_to_set(&u, goal_rhs)))
-        };
-        let sigma_normal: Vec<TdOrEgd> = deps
-            .iter()
-            .flat_map(|d| d.normalize(&u, &mut pool))
-            .collect();
+        let (sigma_normal, goal_parts, pool) =
+            corpus_query(&lhs_masks, &rhs_masks, goal_lhs, goal_rhs, goal_is_fd == 0);
         let cfg = DecideConfig::default();
-        let mut service = ImplicationService::new(ServiceConfig {
+        let client = ImplicationClient::new(ServiceConfig {
             slice_fuel: 1,
             ..ServiceConfig::default()
         });
-        for g in goal.normalize(&u, &mut pool) {
+        for g in goal_parts {
             let blocking = decide(&sigma_normal, &g, &mut pool.clone(), &cfg);
             prop_assert_ne!(blocking.implication, Answer::Unknown);
 
@@ -89,15 +122,104 @@ proptest! {
             prop_assert_eq!(imp, blocking.implication, "stepped implication diverged");
             prop_assert_eq!(fin, blocking.finite_implication, "stepped finite diverged");
 
-            let id = service.submit(sigma_normal.clone(), g.clone(), pool.clone());
-            service.run_to_completion();
-            let JobStatus::Done(outcome) = service.poll(id) else {
+            let job = client.submit(QuerySpec::new(sigma_normal.clone(), g.clone(), pool.clone()));
+            client.run_to_completion();
+            let JobStatus::Done(outcome) = job.poll() else {
                 panic!("service left a job pending after run_to_completion");
             };
             prop_assert_eq!(outcome.implication, blocking.implication, "service diverged");
             prop_assert_eq!(outcome.finite_implication, blocking.finite_implication);
         }
     }
+}
+
+/// The acceptance scenario for the shared-state redesign: several threads
+/// submit and step through clones of one client *concurrently* (every
+/// method is `&self`), each blocking on its own handles with `wait`, and
+/// every answer matches sequential blocking `decide`.
+#[test]
+fn concurrent_clients_match_blocking_decide() {
+    // A deterministic slice of the fd/mvd corpus, a few queries per thread.
+    type Case = (Vec<u32>, Vec<u32>, u32, u32, bool);
+    let cases: Vec<Case> = (0u32..12)
+        .map(|i| {
+            (
+                vec![1 + i % 14, 1 + (i * 5) % 14],
+                vec![1 + (i * 3) % 14, 1 + (i * 7) % 14],
+                1 + (i * 11) % 14,
+                1 + (i * 13) % 14,
+                i % 2 == 0,
+            )
+        })
+        .collect();
+    let cfg = DecideConfig::default();
+    let expected: Vec<Vec<(Answer, Answer)>> = cases
+        .iter()
+        .map(|(l, r, gl, gr, fd)| {
+            let (sigma, goals, pool) = corpus_query(l, r, *gl, *gr, *fd);
+            goals
+                .iter()
+                .map(|g| {
+                    let d = decide(&sigma, g, &mut pool.clone(), &cfg);
+                    (d.implication, d.finite_implication)
+                })
+                .collect()
+        })
+        .collect();
+
+    let client = ImplicationClient::new(ServiceConfig {
+        slice_fuel: 2,
+        shards: 4,
+        ..ServiceConfig::default()
+    });
+    let threads = 3;
+    let got: Vec<Vec<Vec<(Answer, Answer)>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let client = client.clone();
+                let cases = &cases;
+                scope.spawn(move || {
+                    cases
+                        .iter()
+                        .skip(t)
+                        .step_by(threads)
+                        .map(|(l, r, gl, gr, fd)| {
+                            let (sigma, goals, pool) = corpus_query(l, r, *gl, *gr, *fd);
+                            let jobs: Vec<_> = goals
+                                .into_iter()
+                                .map(|g| {
+                                    client.submit(QuerySpec::new(
+                                        sigma.clone(),
+                                        g,
+                                        pool.clone(),
+                                    ))
+                                })
+                                .collect();
+                            jobs.iter()
+                                .map(|j| {
+                                    let o = j.wait();
+                                    (o.implication, o.finite_implication)
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (t, thread_answers) in got.iter().enumerate() {
+        for (k, answers) in thread_answers.iter().enumerate() {
+            let case_idx = t + k * threads;
+            assert_eq!(
+                answers, &expected[case_idx],
+                "thread {t} case {case_idx} diverged from blocking decide"
+            );
+        }
+    }
+    assert_eq!(client.pending_jobs(), 0);
+    // Every handle dropped inside the threads: all storage reclaimed.
+    assert_eq!(client.live_jobs(), 0, "retire-on-drop must free all slots");
 }
 
 /// The Exhausted → search phase transition steps identically too: a
@@ -134,24 +256,40 @@ fn stepped_decide_matches_blocking_through_the_search_phase() {
     );
 }
 
+fn divergent_query(u: &std::sync::Arc<Universe>) -> (Vec<TdOrEgd>, TdOrEgd, ValuePool) {
+    let mut pool = ValuePool::new(u.clone());
+    let successor = td_from_names(u, &mut pool, &[&["x", "y", "z"]], &["y", "q1", "q2"]);
+    // Goal: an egd that never becomes derivable (no egd in Σ ever merges).
+    let never = egd_from_names(
+        u,
+        &mut pool,
+        &[&["x", "y1", "z1"], &["x", "y2", "z2"]],
+        ("B'", "y1"),
+        ("B'", "y2"),
+    );
+    (vec![TdOrEgd::Td(successor)], TdOrEgd::Egd(never), pool)
+}
+
+fn big_chase_decide() -> DecideConfig {
+    DecideConfig {
+        chase: ChaseConfig {
+            max_rounds: 100_000,
+            max_rows: 1 << 20,
+            max_steps: 1 << 24,
+            ..ChaseConfig::default()
+        },
+        skip_search: true,
+        ..DecideConfig::default()
+    }
+}
+
 /// A divergent job cannot starve a terminating one: submitted first, given
 /// astronomically larger budgets, it still cannot delay the terminating
 /// job past a handful of fair sweeps.
 #[test]
 fn scheduler_fairness_divergent_cannot_starve() {
     let u = Universe::untyped_abc();
-    let mut div_pool = ValuePool::new(u.clone());
-    let successor = td_from_names(&u, &mut div_pool, &[&["x", "y", "z"]], &["y", "q1", "q2"]);
-    // Goal: an egd that never becomes derivable (no egd in Σ ever merges).
-    let never = egd_from_names(
-        &u,
-        &mut div_pool,
-        &[&["x", "y1", "z1"], &["x", "y2", "z2"]],
-        ("B'", "y1"),
-        ("B'", "y2"),
-    );
-    let divergent_sigma = vec![TdOrEgd::Td(successor)];
-    let divergent_goal = TdOrEgd::Egd(never);
+    let (divergent_sigma, divergent_goal, div_pool) = divergent_query(&u);
 
     let ut = Universe::typed(vec!["A", "B", "C"]);
     let mut term_pool = ValuePool::new(ut.clone());
@@ -165,31 +303,22 @@ fn scheduler_fairness_divergent_cannot_starve() {
         .pop()
         .expect("fd goal normalizes to one egd");
 
-    let mut service = ImplicationService::new(ServiceConfig {
-        decide: DecideConfig {
-            // The divergent chase may burn 100k rounds before its budget
-            // expires; fairness must not make the terminating job wait for
-            // any of that.
-            chase: ChaseConfig {
-                max_rounds: 100_000,
-                max_rows: 1 << 20,
-                max_steps: 1 << 24,
-                ..ChaseConfig::default()
-            },
-            skip_search: true,
-            ..DecideConfig::default()
-        },
+    let client = ImplicationClient::new(ServiceConfig {
+        // The divergent chase may burn 100k rounds before its budget
+        // expires; fairness must not make the terminating job wait for
+        // any of that.
+        decide: big_chase_decide(),
         slice_fuel: 1,
         ..ServiceConfig::default()
     });
-    let divergent = service.submit(divergent_sigma, divergent_goal, div_pool);
-    let terminating = service.submit(term_sigma, term_goal, term_pool);
+    let divergent = client.submit(QuerySpec::new(divergent_sigma, divergent_goal, div_pool));
+    let terminating = client.submit(QuerySpec::new(term_sigma, term_goal, term_pool));
 
     let mut sweeps = 0;
     loop {
-        assert!(service.tick(), "queue drained before the terminating job?");
+        assert!(client.tick(), "queue drained before the terminating job?");
         sweeps += 1;
-        if let JobStatus::Done(outcome) = service.poll(terminating) {
+        if let JobStatus::Done(outcome) = terminating.poll() {
             assert_eq!(outcome.implication, Answer::Yes, "fd transitivity");
             break;
         }
@@ -199,44 +328,63 @@ fn scheduler_fairness_divergent_cannot_starve() {
         );
     }
     assert!(
-        matches!(service.poll(divergent), JobStatus::Pending),
+        matches!(divergent.poll(), JobStatus::Pending),
         "the divergent job must still be chasing"
     );
 
     // A global fuel budget converts the divergent leftovers into honest
     // Unknowns instead of hanging the batch.
-    let mut capped = ImplicationService::new(ServiceConfig {
-        decide: DecideConfig {
-            chase: ChaseConfig {
-                max_rounds: 100_000,
-                max_rows: 1 << 20,
-                max_steps: 1 << 24,
-                ..ChaseConfig::default()
-            },
-            skip_search: true,
-            ..DecideConfig::default()
-        },
+    let capped = ImplicationClient::new(ServiceConfig {
+        decide: big_chase_decide(),
         slice_fuel: 4,
         global_fuel: Some(64),
         ..ServiceConfig::default()
     });
-    let mut p2 = ValuePool::new(u.clone());
-    let succ2 = td_from_names(&u, &mut p2, &[&["x", "y", "z"]], &["y", "q1", "q2"]);
-    let never2 = egd_from_names(
-        &u,
-        &mut p2,
-        &[&["x", "y1", "z1"], &["x", "y2", "z2"]],
-        ("B'", "y1"),
-        ("B'", "y2"),
-    );
-    let id = capped.submit(vec![TdOrEgd::Td(succ2)], TdOrEgd::Egd(never2), p2);
+    let (s2, g2, p2) = divergent_query(&u);
+    let job = capped.submit(QuerySpec::new(s2, g2, p2));
     capped.run_to_completion();
-    let JobStatus::Done(outcome) = capped.poll(id) else {
+    let JobStatus::Done(outcome) = job.poll() else {
         panic!("run_to_completion must resolve every job");
     };
     assert_eq!(outcome.implication, Answer::Unknown);
     assert_eq!(capped.stats().expired, 1);
-    assert!(capped.stats().fuel_spent <= 64 + 4, "soft cap respected");
+    assert!(capped.stats().fuel_spent <= 64, "metered budget respected");
+}
+
+/// A per-job fuel cap expires exactly the capped job — its divergent chase
+/// is answered `Unknown` while an uncapped neighbour still terminates.
+#[test]
+fn per_job_fuel_cap_expires_only_the_capped_job() {
+    let u = Universe::untyped_abc();
+    let client = ImplicationClient::new(ServiceConfig {
+        decide: big_chase_decide(),
+        slice_fuel: 4,
+        ..ServiceConfig::default()
+    });
+    let (ds, dg, dp) = divergent_query(&u);
+    let capped = client.submit(QuerySpec::new(ds, dg, dp).fuel_cap(12).priority(5));
+
+    let mut pool = ValuePool::new(u.clone());
+    let triv = td_from_names(&u, &mut pool, &[&["x", "y", "z"]], &["x", "y", "z"]);
+    // Nonempty Σ (structurally different) so the goal-in-Σ fast path
+    // stays out of the way and the job really runs.
+    let other = td_from_names(&u, &mut pool, &[&["a", "b", "b"]], &["a", "b", "b"]);
+    let quick = client.submit(QuerySpec::new(
+        vec![TdOrEgd::Td(other)],
+        TdOrEgd::Td(triv),
+        pool,
+    ));
+
+    let capped_out = capped.wait();
+    assert_eq!(capped_out.implication, Answer::Unknown);
+    assert!(
+        capped_out.fuel_spent <= 12,
+        "cap bounds the job's spend (spent {})",
+        capped_out.fuel_spent
+    );
+    let quick_out = quick.wait();
+    assert_eq!(quick_out.implication, Answer::Yes, "trivial td is implied");
+    assert_eq!(client.stats().expired, 1, "only the capped job expired");
 }
 
 /// Renamed variables, reordered hypothesis rows, and reordered Σ all hit
@@ -245,7 +393,7 @@ fn scheduler_fairness_divergent_cannot_starve() {
 #[test]
 fn cache_canonicalization_hits_on_renamings() {
     let u = Universe::untyped_abc();
-    let mut service = ImplicationService::new(ServiceConfig {
+    let client = ImplicationClient::new(ServiceConfig {
         verify_cache_hits: true,
         ..ServiceConfig::default()
     });
@@ -265,51 +413,71 @@ fn cache_canonicalization_hits_on_renamings() {
         if swap_sigma {
             sigma.reverse();
         }
-        // Goal: the mvd's own td — implied, and terminating quickly.
-        (sigma, TdOrEgd::Td(mvd_td), pool)
+        // Goal: the *trivial* td over the mvd's hypothesis (conclusion =
+        // first row) — implied instantly, but canonically distinct from
+        // every element of Σ (the complement td would canonically EQUAL
+        // the mvd: swapping rows renames it back), so the goal-in-Σ fast
+        // path stays out of the way and the cache is what answers the
+        // resubmissions.
+        let goal = td_from_names(&u, &mut pool, &row_slices, &[x, y1, z1]);
+        (sigma, TdOrEgd::Td(goal), pool)
     };
 
     let (s1, g1, p1) = build(["x", "y1", "z1", "y2", "z2", "q", "r"], false, false);
-    let first = service.submit(s1, g1, p1);
-    service.run_to_completion();
-    let JobStatus::Done(first_out) = service.poll(first) else {
+    let first = client.submit(QuerySpec::new(s1, g1, p1));
+    client.run_to_completion();
+    let JobStatus::Done(first_out) = first.poll() else {
         panic!("first job must resolve")
     };
     assert_eq!(first_out.implication, Answer::Yes);
     assert!(!first_out.from_cache);
+    assert_eq!(client.stats().goal_in_sigma, 0, "fast path must not fire");
 
     // Renamed + row-swapped + Σ-reordered: must be a pure cache hit.
     let (s2, g2, p2) = build(["a", "b9", "c9", "b8", "c8", "k", "m"], true, true);
-    let second = service.submit(s2, g2, p2);
-    let JobStatus::Done(second_out) = service.poll(second) else {
+    let second = client.submit(QuerySpec::new(s2, g2, p2));
+    let JobStatus::Done(second_out) = second.poll() else {
         panic!("cache hit must resolve at submit time")
     };
     assert_eq!(second_out.implication, Answer::Yes);
     assert!(second_out.from_cache);
     assert_eq!(second_out.fuel_spent, 0);
-    assert_eq!(service.stats().cache_hits, 1);
-    assert_eq!(service.stats().verify_rejects, 0, "verified hit must pass");
+    assert_eq!(client.stats().cache_hits, 1);
+    assert_eq!(client.stats().verify_rejects, 0, "verified hit must pass");
 
     // Identical queries submitted before any tick coalesce onto one job.
-    let (s3, g3, p3) = build(["u", "v1", "w1", "v2", "w2", "s", "t"], false, false);
     let fresh_structure = {
-        // A structurally new goal (different conclusion) to avoid the cache.
+        // A structurally new goal (three hypothesis rows) to avoid the
+        // cache and the fast path.
         let mut pool = ValuePool::new(u.clone());
-        let td = td_from_names(
+        let sig = td_from_names(
             &u,
             &mut pool,
             &[&["x", "y1", "z1"], &["x", "y2", "z2"]],
-            &["x", "y2", "z1"],
+            &["x", "y1", "z2"],
         );
-        (vec![TdOrEgd::Td(td.clone())], TdOrEgd::Td(td), pool)
+        let goal = td_from_names(
+            &u,
+            &mut pool,
+            &[&["x", "y1", "z1"], &["x", "y2", "z2"], &["x", "y3", "z3"]],
+            &["x", "y1", "z3"],
+        );
+        (vec![TdOrEgd::Td(sig)], TdOrEgd::Td(goal), pool)
     };
-    let leader = service.submit(fresh_structure.0.clone(), fresh_structure.1.clone(), fresh_structure.2.clone());
-    let follower = service.submit(fresh_structure.0, fresh_structure.1, fresh_structure.2);
-    let _ = (s3, g3, p3);
-    assert_eq!(service.stats().coalesced, 1);
-    service.run_to_completion();
+    let leader = client.submit(QuerySpec::new(
+        fresh_structure.0.clone(),
+        fresh_structure.1.clone(),
+        fresh_structure.2.clone(),
+    ));
+    let follower = client.submit(QuerySpec::new(
+        fresh_structure.0,
+        fresh_structure.1,
+        fresh_structure.2,
+    ));
+    assert_eq!(client.stats().coalesced, 1);
+    client.run_to_completion();
     let (JobStatus::Done(lead_out), JobStatus::Done(follow_out)) =
-        (service.poll(leader), service.poll(follower))
+        (leader.poll(), follower.poll())
     else {
         panic!("both coalesced jobs must resolve")
     };
@@ -318,7 +486,261 @@ fn cache_canonicalization_hits_on_renamings() {
     assert!(follow_out.from_cache);
 }
 
-/// The batch front end parses, submits, and conjoins multi-part goals.
+/// A goal that is canonically an element of Σ is answered `Yes` at submit
+/// time — no scheduling, no fuel — and counted in the stats.
+#[test]
+fn goal_in_sigma_is_answered_at_submit() {
+    let u = Universe::untyped_abc();
+    let client = ImplicationClient::new(ServiceConfig::default());
+    let mut pool = ValuePool::new(u.clone());
+    let mvd = td_from_names(
+        &u,
+        &mut pool,
+        &[&["x", "y1", "z1"], &["x", "y2", "z2"]],
+        &["x", "y1", "z2"],
+    );
+    let extra = td_from_names(&u, &mut pool, &[&["q", "r", "r"]], &["q", "r", "r"]);
+    let sigma = vec![TdOrEgd::Td(mvd), TdOrEgd::Td(extra)];
+    // The goal is a *renamed* presentation of Σ's mvd td: still an element
+    // post-canonicalization.
+    let goal = td_from_names(
+        &u,
+        &mut pool,
+        &[&["a", "b2", "c2"], &["a", "b1", "c1"]],
+        &["a", "b2", "c1"],
+    );
+    let job = client.submit(QuerySpec::new(sigma, TdOrEgd::Td(goal), pool));
+    let JobStatus::Done(outcome) = job.poll() else {
+        panic!("fast path must resolve at submit time")
+    };
+    assert_eq!(outcome.implication, Answer::Yes);
+    assert_eq!(outcome.finite_implication, Answer::Yes);
+    assert!(outcome.from_cache);
+    assert_eq!(outcome.fuel_spent, 0);
+    let s = client.stats();
+    assert_eq!(s.goal_in_sigma, 1);
+    assert_eq!(s.fuel_spent, 0, "no chase ran");
+    assert_eq!(s.cache_misses, 0, "nothing was scheduled");
+}
+
+/// Retiring a handle (drop or explicit) frees the job's slot for reuse,
+/// and polling a retired id is the defined `Retired` answer — on every
+/// subsequent poll, not just the first.
+#[test]
+fn retire_frees_storage_and_double_poll_is_defined() {
+    let u = Universe::untyped_abc();
+    let client = ImplicationClient::new(ServiceConfig::default());
+    let submit_trivial = |tag: &str| {
+        let mut pool = ValuePool::new(u.clone());
+        let triv = td_from_names(&u, &mut pool, &[&[tag, "y", "z"]], &[tag, "y", "z"]);
+        let other = td_from_names(&u, &mut pool, &[&["a", "b", "b"]], &[tag, "b", "b"]);
+        client.submit(QuerySpec::new(
+            vec![TdOrEgd::Td(other)],
+            TdOrEgd::Td(triv),
+            pool,
+        ))
+    };
+    let job = submit_trivial("x");
+    client.run_to_completion();
+    assert!(matches!(job.poll(), JobStatus::Done(_)));
+    assert_eq!(client.live_jobs(), 1);
+    let id = job.id();
+    job.retire();
+    assert_eq!(client.live_jobs(), 0, "retire must free the slot");
+    // Double-poll after retire: defined, stable, repeatable.
+    assert!(matches!(client.status(id), JobStatus::Retired));
+    assert!(matches!(client.status(id), JobStatus::Retired));
+
+    // The freed slot is *reused*, and the stale id still answers Retired
+    // (generation guard), not the new job's outcome.
+    let job2 = submit_trivial("x");
+    client.run_to_completion();
+    assert_eq!(client.live_jobs(), 1, "slot storage is reused, not grown");
+    assert!(matches!(client.status(id), JobStatus::Retired));
+    assert!(matches!(job2.poll(), JobStatus::Done(_)));
+    drop(job2);
+    assert_eq!(client.live_jobs(), 0, "drop retires too");
+    assert_eq!(client.stats().retired, 2);
+
+    // An id whose shard or slot doesn't exist in the queried service is
+    // also just Retired — never a panic. (A foreign id that happens to
+    // be in range is out of contract; see the JobId docs.)
+    let tiny = ImplicationClient::new(ServiceConfig {
+        shards: 1,
+        ..ServiceConfig::default()
+    });
+    assert!(matches!(tiny.status(id), JobStatus::Retired));
+}
+
+/// Distinct single-row tds (varied by repeated-value pattern and width of
+/// the repeated block) — cheap, terminating, canonically distinct queries
+/// for cache-bound tests.
+fn distinct_cheap_queries(u: &std::sync::Arc<Universe>, n: usize) -> Vec<(Vec<TdOrEgd>, TdOrEgd, ValuePool)> {
+    (0..n)
+        .map(|i| {
+            let mut pool = ValuePool::new(u.clone());
+            let rows: Vec<Vec<String>> = (0..=i)
+                .map(|r| vec!["x".to_string(), format!("y{r}"), format!("z{r}")])
+                .collect();
+            let row_refs: Vec<Vec<&str>> = rows
+                .iter()
+                .map(|r| r.iter().map(String::as_str).collect())
+                .collect();
+            let slices: Vec<&[&str]> = row_refs.iter().map(Vec::as_slice).collect();
+            let goal = td_from_names(u, &mut pool, &slices, &["x", "y0", "z0"]);
+            let sig = td_from_names(u, &mut pool, &[&["a", "a", "b"]], &["a", "a", "b"]);
+            (vec![TdOrEgd::Td(sig)], TdOrEgd::Td(goal), pool)
+        })
+        .collect()
+}
+
+/// The cache stays within its configured bound under a workload exceeding
+/// it, evicts cold entries first, and surfaces the evictions in stats.
+#[test]
+fn cache_bound_holds_and_cold_entries_go_first() {
+    let u = Universe::untyped_abc();
+    // One shard so LRU order across the whole workload is deterministic.
+    let client = ImplicationClient::new(ServiceConfig {
+        shards: 1,
+        cache_capacity: 2,
+        ..ServiceConfig::default()
+    });
+    let queries = distinct_cheap_queries(&u, 3);
+    let mut handles = Vec::new();
+    for (s, g, p) in &queries[..2] {
+        let job = client.submit(QuerySpec::new(s.clone(), g.clone(), p.clone()));
+        job.wait();
+        handles.push(job);
+    }
+    assert_eq!(client.cache_len(), 2);
+    // Touch query 0: query 1 becomes the cold one.
+    let touch = client.submit(QuerySpec::new(
+        queries[0].0.clone(),
+        queries[0].1.clone(),
+        queries[0].2.clone(),
+    ));
+    assert!(matches!(touch.poll(), JobStatus::Done(_)), "cache hit");
+    assert_eq!(client.stats().cache_hits, 1);
+    // Insert query 2: capacity exceeded, the cold query 1 must go.
+    let third = client.submit(QuerySpec::new(
+        queries[2].0.clone(),
+        queries[2].1.clone(),
+        queries[2].2.clone(),
+    ));
+    third.wait();
+    assert_eq!(client.cache_len(), 2, "bound holds under excess workload");
+    assert_eq!(client.stats().evictions, 1, "eviction surfaced in stats");
+    // Query 0 (hot) still hits; query 1 (cold) was evicted and must run.
+    let hot = client.submit(QuerySpec::new(
+        queries[0].0.clone(),
+        queries[0].1.clone(),
+        queries[0].2.clone(),
+    ));
+    assert!(matches!(hot.poll(), JobStatus::Done(_)), "hot entry kept");
+    let misses_before = client.stats().cache_misses;
+    let cold = client.submit(QuerySpec::new(
+        queries[1].0.clone(),
+        queries[1].1.clone(),
+        queries[1].2.clone(),
+    ));
+    assert!(
+        matches!(cold.poll(), JobStatus::Pending),
+        "cold entry was evicted, so the query must run again"
+    );
+    assert_eq!(client.stats().cache_misses, misses_before + 1);
+    cold.wait();
+    assert!(client.cache_len() <= 2);
+    assert!(client.stats().cache_hit_rate() > 0.0);
+}
+
+/// In-flight coalesced entries are pinned: flooding the cache past its
+/// bound while a divergent leader runs must not break coalescing onto it.
+#[test]
+fn inflight_entries_survive_cache_pressure() {
+    let u = Universe::untyped_abc();
+    let client = ImplicationClient::new(ServiceConfig {
+        shards: 1,
+        cache_capacity: 2,
+        decide: big_chase_decide(),
+        slice_fuel: 1,
+        ..ServiceConfig::default()
+    });
+    // A divergent leader: stays in flight for as long as we let it.
+    let (ds, dg, dp) = divergent_query(&u);
+    let leader = client.submit(QuerySpec::new(ds.clone(), dg.clone(), dp.clone()));
+    for _ in 0..4 {
+        client.tick(); // let it chase a little: genuinely in flight
+    }
+    assert!(matches!(leader.poll(), JobStatus::Pending));
+    // Flood the cache well past its bound with cheap distinct queries.
+    for (s, g, p) in distinct_cheap_queries(&u, 5) {
+        client.submit(QuerySpec::new(s, g, p)).wait();
+    }
+    assert!(client.cache_len() <= 2, "bound holds during the flood");
+    assert!(client.stats().evictions >= 3, "the flood evicted");
+    // The in-flight entry survived: an identical submission coalesces
+    // instead of starting a second chase.
+    let twin = client.submit(QuerySpec::new(ds, dg, dp));
+    assert_eq!(
+        client.stats().coalesced,
+        1,
+        "identical in-flight query must coalesce — the entry was pinned"
+    );
+    assert!(matches!(twin.poll(), JobStatus::Pending));
+    // Handles drop here: pending jobs are retired (storage freed on
+    // completion) — nothing hangs the test.
+}
+
+/// Shard stepping is safe and productive from multiple threads: two
+/// threads drive the same client's shards to completion concurrently.
+#[test]
+fn step_shard_from_two_threads() {
+    let u = Universe::untyped_abc();
+    let client = ImplicationClient::new(ServiceConfig {
+        shards: 4,
+        slice_fuel: 1,
+        cache: false, // every job really runs
+        ..ServiceConfig::default()
+    });
+    let handles: Vec<_> = distinct_cheap_queries(&u, 8)
+        .into_iter()
+        .map(|(s, g, p)| client.submit(QuerySpec::new(s, g, p)))
+        .collect();
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            let client = client.clone();
+            scope.spawn(move || loop {
+                let mut all_empty = true;
+                for idx in 0..client.num_shards() {
+                    match client.step_shard(idx) {
+                        ShardStep::Progressed => all_empty = false,
+                        ShardStep::Idle => {
+                            all_empty = false;
+                            std::thread::yield_now();
+                        }
+                        ShardStep::Empty => {}
+                        ShardStep::FuelExhausted => unreachable!("unmetered"),
+                    }
+                }
+                if all_empty {
+                    break;
+                }
+            });
+        }
+    });
+    for h in &handles {
+        let JobStatus::Done(outcome) = h.poll() else {
+            panic!("concurrent stepping left a job pending");
+        };
+        assert_eq!(outcome.implication, Answer::Yes, "trivial tds are implied");
+    }
+    let s = client.stats();
+    assert_eq!(s.completed, 8);
+    assert_eq!(s.cache_misses, 8, "cache disabled: every job ran");
+}
+
+/// The batch front end parses, submits, and conjoins multi-part goals —
+/// and malformed lines degrade to per-line errors instead of aborting.
 #[test]
 fn batch_front_end_round_trip() {
     use typedtd::service::submit_batch;
@@ -331,14 +753,15 @@ B -> C & A -> B |= A -> C
 @universe untyped A' B' C'
 |= td [x y z] => x y z
 ";
-    let mut service = ImplicationService::new(ServiceConfig::default());
-    let batch = submit_batch(&mut service, text).expect("well-formed batch");
-    service.run_to_completion();
+    let client = ImplicationClient::new(ServiceConfig::default());
+    let batch = submit_batch(&client, text);
+    assert!(batch.errors.is_empty());
+    client.run_to_completion();
     assert_eq!(batch.queries.len(), 4);
     let verdicts: Vec<_> = batch
         .queries
         .iter()
-        .map(|q| q.conjoined(&service).expect("resolved"))
+        .map(|q| q.conjoined().expect("resolved"))
         .collect();
     assert_eq!(verdicts[0].implication, Answer::Yes);
     assert_eq!(verdicts[1].implication, Answer::No);
@@ -349,13 +772,26 @@ B -> C & A -> B |= A -> C
     );
     assert_eq!(verdicts[3].implication, Answer::Yes, "trivial td");
 
-    assert!(submit_batch(&mut service, "A -> B |= B -> A").is_err(), "no universe");
-    assert!(
-        submit_batch(&mut service, "@universe A B\nA -> B |= |= B -> A").is_err(),
-        "double |="
+    // Malformed lines are reported per line; the good lines still answer.
+    let mixed = "\
+A -> B |= B -> A
+@universe A B
+A -> B |= |= B -> A
+A -> B & B -> A |= A -> B
+@universes A B C
+";
+    let client2 = ImplicationClient::new(ServiceConfig::default());
+    let batch2 = submit_batch(&client2, mixed);
+    client2.run_to_completion();
+    let error_lines: Vec<usize> = batch2.errors.iter().map(|e| e.line).collect();
+    assert_eq!(
+        error_lines,
+        vec![1, 3, 5],
+        "no-universe, double |=, and misspelled directive each report their line"
     );
-    assert!(
-        submit_batch(&mut service, "@universes A B C\nA -> B |= B -> A").is_err(),
-        "misspelled directive must not be parsed as @universe"
+    assert_eq!(batch2.queries.len(), 1, "the good line was still submitted");
+    assert_eq!(
+        batch2.queries[0].conjoined().expect("resolved").implication,
+        Answer::Yes
     );
 }
