@@ -10,7 +10,14 @@
 //! load of divergent background jobs: the single-owner mode (the only
 //! shape the v1 `&mut self` API allowed) pays every background job a fuel
 //! slice on every sweep, while sharded `wait` only steps the shard owning
-//! its job — `rows` = answerable jobs, `rounds` = background jobs.
+//! its job — `rows` = answerable jobs, `rounds` = background jobs. In
+//! `service_divergent_mix` the columns are *sequential decide mode* vs
+//! *dovetail 1:1* vs *dovetail 3:1* over refutable-but-divergent queries
+//! behind a decidable batch, all fuel-capped: sequential expires to
+//! Unknown, dovetail refutes within the cap (`rounds` = refuted queries).
+//! In `service_skewed_shards` every job is pinned to shard 0 and the
+//! columns are *stealing off* vs *stealing on* vs *balanced routing*
+//! (`rounds` = steals observed).
 //!
 //! Prints a table by default; with `--json` additionally writes
 //! `BENCH_chase.json` (an array of per-workload records with median
@@ -36,7 +43,9 @@ use typedtd_bench::{
     egd_saturation_workload, mvd_chain_instance, saturation_workload, service_batch_workload,
     universe, Query,
 };
-use typedtd_chase::{chase_implication, decide, saturate, Answer, ChaseConfig, ChaseRun, DecideConfig};
+use typedtd_chase::{
+    chase_implication, decide, saturate, Answer, ChaseConfig, ChaseRun, DecideConfig, DecideMode,
+};
 use typedtd_relational::{Relation, ValuePool};
 use typedtd_dependencies::TdOrEgd;
 use typedtd_service::{ImplicationClient, JobHandle, JobStatus, QuerySpec, ServiceConfig};
@@ -167,6 +176,7 @@ fn answer_of(job: &JobHandle) -> Answer {
     match job.poll() {
         JobStatus::Done(outcome) => outcome.implication,
         JobStatus::Pending => unreachable!("driver resolves every job"),
+        JobStatus::Cancelled => unreachable!("nothing here cancels"),
         JobStatus::Retired => unreachable!("handle is alive"),
     }
 }
@@ -336,6 +346,200 @@ fn measure_multi_submit(
     }
 }
 
+/// Per-job fuel cap for the divergent-mix scenario: far below the chase
+/// budget (so sequential mode expires to Unknown) yet roomy enough for
+/// the dovetailed search to find each 2-row refutation.
+const MIX_FUEL_CAP: u64 = 512;
+
+/// Decide budgets for refutable-but-divergent queries: an effectively
+/// unbounded chase (the per-job cap is the real limit), search enabled,
+/// phase scheduling per `mode`.
+fn divergent_mix_cfg(mode: DecideMode) -> DecideConfig {
+    DecideConfig {
+        chase: ChaseConfig {
+            max_rounds: 1 << 20,
+            max_rows: 1 << 22,
+            max_steps: 1 << 26,
+            ..ChaseConfig::default()
+        },
+        mode,
+        ..DecideConfig::default()
+    }
+}
+
+/// Runs a decidable foreground batch plus capped refutable-but-divergent
+/// queries under one decide mode; returns both answer vectors in
+/// submission order.
+fn run_divergent_mix(
+    fg: Vec<Query>,
+    divergent: Vec<Query>,
+    mode: DecideMode,
+) -> (Vec<Answer>, Vec<Answer>) {
+    let client = ImplicationClient::new(ServiceConfig {
+        decide: divergent_mix_cfg(mode),
+        ..ServiceConfig::default()
+    });
+    let fg_jobs: Vec<JobHandle> = fg
+        .into_iter()
+        .map(|(s, g, p)| client.submit(QuerySpec::new(s, g, p)))
+        .collect();
+    let div_jobs: Vec<JobHandle> = divergent
+        .into_iter()
+        .map(|(s, g, p)| client.submit(QuerySpec::new(s, g, p).fuel_cap(MIX_FUEL_CAP)))
+        .collect();
+    client.run_to_completion();
+    (
+        fg_jobs.iter().map(answer_of).collect(),
+        div_jobs.iter().map(answer_of).collect(),
+    )
+}
+
+/// The dovetail acceptance scenario: refutable goals behind divergent
+/// chases, all fuel-capped. Sequential mode spends every capped unit on
+/// the chase and expires to Unknown; dovetail answers each query `No`
+/// from the search phase within the same cap. Columns: sequential /
+/// dovetail 1:1 / dovetail 3:1. Decidable foreground answers must agree
+/// across all modes (parity ignoring Unknowns).
+fn measure_divergent_mix(
+    distinct: usize,
+    renamings: usize,
+    divergent: usize,
+    samples: usize,
+) -> Record {
+    let make = || {
+        let fg = service_batch_workload(distinct, renamings, 4242);
+        let dv: Vec<Query> = (0..divergent).map(divergent_service_query).collect();
+        (fg, dv)
+    };
+    let (naive_ns, (seq_fg, seq_div)) = time(samples, &make, |(fg, dv)| {
+        run_divergent_mix(fg, dv, DecideMode::Sequential)
+    });
+    let (semi_ns, (dov_fg, dov_div)) = time(samples, &make, |(fg, dv)| {
+        run_divergent_mix(fg, dv, DecideMode::dovetail(1))
+    });
+    let (parallel_ns, (dov3_fg, dov3_div)) = time(samples, &make, |(fg, dv)| {
+        run_divergent_mix(fg, dv, DecideMode::dovetail(3))
+    });
+    assert_eq!(seq_fg, dov_fg, "dovetail parity violated on decidable batch");
+    assert_eq!(seq_fg, dov3_fg, "dovetail 3:1 parity violated on decidable batch");
+    assert!(
+        seq_fg.iter().all(|a| *a != Answer::Unknown),
+        "foreground batch must be fully decidable"
+    );
+    assert!(
+        seq_div.iter().all(|a| *a == Answer::Unknown),
+        "sequential must burn its cap on the divergent chase"
+    );
+    for (mode, answers) in [("1:1", &dov_div), ("3:1", &dov3_div)] {
+        assert!(
+            answers.iter().all(|a| *a == Answer::No),
+            "dovetail {mode} must refute every divergent query within the cap"
+        );
+    }
+    Record {
+        workload: format!("service_divergent_mix/d{distinct}xr{renamings}+dv{divergent}"),
+        naive_ns,
+        semi_ns,
+        parallel_ns,
+        rows: seq_fg.len() + seq_div.len(),
+        rounds: dov_div.len(),
+    }
+}
+
+/// Fuel cap for the skew scenario's divergent ballast jobs: enough
+/// slices that the hot shard's queue stays deep for the whole run (so
+/// idle workers reliably wake and steal), small enough to finish fast.
+const SKEW_BALLAST_CAP: u64 = 2048;
+
+/// Runs a decidable batch plus capped divergent ballast through a
+/// 4-shard, 4-worker client; `pin` forces every job onto shard 0 (the
+/// deliberately skewed assignment). Returns the decidable answers (in
+/// submission order) and the steal count.
+fn run_skewed(
+    queries: Vec<Query>,
+    ballast: Vec<Query>,
+    pin: bool,
+    steal: bool,
+) -> (Vec<Answer>, u64) {
+    let client = ImplicationClient::new(ServiceConfig {
+        shards: 4,
+        workers: 4,
+        steal,
+        cache: false,
+        ..ServiceConfig::default()
+    });
+    let place = |spec: QuerySpec| if pin { spec.pin_shard(0) } else { spec };
+    let jobs: Vec<JobHandle> = queries
+        .into_iter()
+        .map(|(s, g, p)| client.submit(place(QuerySpec::new(s, g, p))))
+        .collect();
+    let ballast_jobs: Vec<JobHandle> = ballast
+        .into_iter()
+        .map(|(s, g, p)| {
+            client.submit(place(
+                QuerySpec::new(s, g, p)
+                    .decide_config(divergent_mix_cfg(DecideMode::Sequential))
+                    .fuel_cap(SKEW_BALLAST_CAP),
+            ))
+        })
+        .collect();
+    client.run_to_completion();
+    let answers = jobs.iter().map(answer_of).collect();
+    for b in &ballast_jobs {
+        assert_eq!(answer_of(b), Answer::Unknown, "ballast must expire on its cap");
+    }
+    (answers, client.stats().steals)
+}
+
+/// The work-stealing acceptance scenario: every job pinned to shard 0.
+/// Columns: skewed with stealing off (only shard 0's home worker makes
+/// progress — single-worker throughput) / skewed with stealing on (idle
+/// workers steal slices from the deep queue) / the balanced hash-routed
+/// assignment as the reference. Answer parity against sequential
+/// `decide` is asserted for every mode; with stealing on the skewed
+/// wall-clock must stay within 1.5× of balanced (asserted outside smoke
+/// mode, where sizes are too small for stable ratios).
+fn measure_skewed_steal(jobs: usize, ballast: usize, samples: usize, assert_ratio: bool) -> Record {
+    let make = || {
+        let fg = service_batch_workload(jobs, 1, 2024);
+        let bal: Vec<Query> = (0..ballast).map(divergent_service_query).collect();
+        (fg, bal)
+    };
+    let reference: Vec<Answer> = make()
+        .0
+        .into_iter()
+        .map(|(sigma, goal, mut pool)| {
+            decide(&sigma, &goal, &mut pool, &DecideConfig::default()).implication
+        })
+        .collect();
+    let (naive_ns, (off_answers, off_steals)) =
+        time(samples, &make, |(q, b)| run_skewed(q, b, true, false));
+    let (semi_ns, (on_answers, on_steals)) =
+        time(samples, &make, |(q, b)| run_skewed(q, b, true, true));
+    let (parallel_ns, (bal_answers, _)) =
+        time(samples, &make, |(q, b)| run_skewed(q, b, false, true));
+    assert_eq!(reference, off_answers, "steal-off parity violated");
+    assert_eq!(reference, on_answers, "steal-on parity violated");
+    assert_eq!(reference, bal_answers, "balanced parity violated");
+    assert_eq!(off_steals, 0, "stealing disabled must not steal");
+    assert!(on_steals > 0, "skewed assignment must trigger stealing");
+    if assert_ratio {
+        assert!(
+            semi_ns as f64 <= 1.5 * parallel_ns as f64,
+            "stealing must keep the skewed assignment within 1.5x of balanced \
+             (skewed+steal {semi_ns}ns vs balanced {parallel_ns}ns)"
+        );
+    }
+    Record {
+        workload: format!("service_skewed_shards/j{jobs}+b{ballast}x4w"),
+        naive_ns,
+        semi_ns,
+        parallel_ns,
+        rows: jobs + ballast,
+        rounds: on_steals as usize,
+    }
+}
+
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
     let smoke = std::env::args().any(|a| a == "--smoke");
@@ -358,6 +562,8 @@ fn main() {
             }),
             measure_service_batch(2, 3, 1),
             measure_multi_submit(2, 3, 4, 2, 1),
+            measure_divergent_mix(2, 2, 3, 1),
+            measure_skewed_steal(6, 2, 1, false),
         ]
     } else {
         vec![
@@ -394,6 +600,8 @@ fn main() {
             measure_service_batch(6, 25, 3),
             measure_multi_submit(4, 6, 24, 2, 3),
             measure_multi_submit(6, 10, 32, 4, 3),
+            measure_divergent_mix(3, 4, 6, 3),
+            measure_skewed_steal(24, 4, 3, true),
         ]
     };
 

@@ -1,0 +1,61 @@
+//! Cooperative cancellation for the resumable tasks.
+//!
+//! The paper's undecidability theorems mean any chase or decision task may
+//! run forever; a scheduler multiplexing many of them therefore needs a
+//! way to *stop* one mid-flight without waiting for its budget to expire.
+//! A [`CancelToken`] is a shared atomic flag: the owner (typically a
+//! service holding the job) trips it from any thread, and the task checks
+//! it at its natural preemption granularity — once per chase round
+//! ([`crate::ChaseTask`]), once per search attempt
+//! ([`crate::SearchTask`]), and at every phase boundary
+//! ([`crate::DecideTask`]). A cancelled task stops within the fuel slice
+//! it is currently executing and reports a terminal cancelled outcome
+//! instead of burning its remaining budget.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared, clonable cancellation flag. Cloning shares the flag: any
+/// clone's [`CancelToken::cancel`] is observed by every holder.
+///
+/// Cancellation is *cooperative* and *sticky*: tasks poll the flag at
+/// round/attempt granularity, and once tripped the token never resets.
+/// Cancelling a task that has already finished is a no-op — it keeps
+/// reporting its real outcome.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, untripped token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trips the flag. Idempotent; safe from any thread.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// `true` once any holder has called [`CancelToken::cancel`].
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        assert!(!t.is_cancelled() && !u.is_cancelled());
+        u.cancel();
+        assert!(t.is_cancelled() && u.is_cancelled());
+        u.cancel(); // idempotent
+        assert!(t.is_cancelled());
+    }
+}

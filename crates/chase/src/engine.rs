@@ -70,6 +70,7 @@
 //! satisfied or not), and the core chase (retracts the instance to its core
 //! each round; terminates whenever any chase sequence does).
 
+use crate::cancel::CancelToken;
 use crate::core_retract::core_retract;
 use crate::instance::ChaseInstance;
 use crate::trace::{ChaseStep, ChaseTrace, StepKind};
@@ -163,6 +164,11 @@ pub enum ChaseOutcome {
     NotImplied,
     /// The budget ran out before either certificate appeared.
     Exhausted,
+    /// The task's [`CancelToken`] was tripped mid-run: the chase stopped
+    /// at a round boundary without a certificate. Distinct from
+    /// `Exhausted` so schedulers can tell "budget spent" from "owner
+    /// asked us to stop".
+    Cancelled,
 }
 
 /// Whether a resumable task needs more fuel or has finished.
@@ -345,6 +351,9 @@ pub struct ChaseTask {
     key_buf: Vec<Value>,
     rounds: usize,
     done: Option<ChaseOutcome>,
+    /// Checked at round granularity; tripping it finishes the task with
+    /// [`ChaseOutcome::Cancelled`].
+    cancel: CancelToken,
 }
 
 impl ChaseTask {
@@ -428,7 +437,22 @@ impl ChaseTask {
             key_buf: Vec::new(),
             rounds: 0,
             done: None,
+            cancel: CancelToken::new(),
         }
+    }
+
+    /// Installs a shared cancellation token (builder style). The task
+    /// checks it before every round; see [`ChaseTask::cancel_token`].
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// The task's cancellation token. Cloning and tripping it from any
+    /// thread makes the task finish [`ChaseOutcome::Cancelled`] at its
+    /// next round boundary instead of burning its remaining fuel.
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
     }
 
     /// Runs at most `fuel` breadth-first rounds. A finished task ignores
@@ -436,6 +460,10 @@ impl ChaseTask {
     pub fn step(&mut self, fuel: usize) -> StepStatus {
         for _ in 0..fuel {
             if self.done.is_some() {
+                break;
+            }
+            if self.cancel.is_cancelled() {
+                self.done = Some(ChaseOutcome::Cancelled);
                 break;
             }
             self.round();
@@ -498,6 +526,15 @@ impl ChaseTask {
             rounds: self.rounds,
         };
         (run, self.pool)
+    }
+
+    /// Extracts the run so far from a task that need not have finished —
+    /// the dual procedure found a certificate first, so the chase is
+    /// abandoned. An unfinished task's run carries
+    /// [`ChaseOutcome::Cancelled`]; a finished one keeps its real outcome.
+    pub fn abandon(mut self) -> (ChaseRun, ValuePool) {
+        self.done.get_or_insert(ChaseOutcome::Cancelled);
+        self.finish()
     }
 
     /// One breadth-first round: egd saturation, goal check, trigger

@@ -12,12 +12,28 @@
 //!   [`Answer::Unknown`] when budgets expire.
 //!
 //! Both semidecision procedures are resumable, so the pairing is too: a
-//! [`DecideTask`] first steps a [`ChaseTask`] and, if the chase exhausts
-//! its budget without a certificate, hands the evolved pool to a
-//! [`SearchTask`] — the same two-phase dovetailing [`decide`] performs
-//! blockingly, preemptible at round/attempt granularity. This is the unit
-//! the `typedtd-service` scheduler multiplexes.
+//! [`DecideTask`] is an explicit phase machine over a [`ChaseTask`] and a
+//! [`SearchTask`], preemptible at round/attempt granularity, in one of two
+//! modes ([`DecideMode`]):
+//!
+//! * **Sequential** (the default): step the chase until a certificate
+//!   appears or its budget runs out, then hand the evolved pool to the
+//!   search — exactly the two phases the blocking [`decide`] historically
+//!   performed, trace-for-trace;
+//! * **Dovetail**: alternate fuel between the chase and the search at a
+//!   configurable ratio, so a *refutable-but-divergent* query (the chase
+//!   never terminates, but a finite counterexample exists) is answered
+//!   `No` from the search without waiting for a chase budget that may be
+//!   astronomically large. This is the textbook dovetailing of the two
+//!   r.e. sets, now *within* one query rather than only across queries.
+//!
+//! Every task also carries a [`CancelToken`] shared with its sub-tasks:
+//! tripping it stops the task at the next round/attempt boundary with
+//! [`Decision::cancelled`] set, instead of burning the remaining budget —
+//! the hook the `typedtd-service` scheduler's `JobHandle::cancel` pulls.
+//! This is the unit the scheduler multiplexes.
 
+use crate::cancel::CancelToken;
 use crate::engine::{ChaseConfig, ChaseOutcome, ChaseRun, ChaseTask, StepStatus};
 use crate::search::{SearchConfig, SearchStatus, SearchTask};
 use std::sync::Arc;
@@ -36,6 +52,30 @@ pub enum Answer {
     Unknown,
 }
 
+/// How a [`DecideTask`] schedules its two semidecision procedures.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum DecideMode {
+    /// Chase to a verdict or budget exhaustion, then search — the
+    /// historical [`decide`] order, trace-for-trace.
+    #[default]
+    Sequential,
+    /// Alternate fuel between the chase and the search:
+    /// `chase_ratio` chase rounds per search attempt (clamped to ≥ 1).
+    /// Refutable-but-divergent queries answer from the search phase
+    /// without waiting on a chase that never terminates.
+    Dovetail {
+        /// Chase rounds granted per search attempt.
+        chase_ratio: u32,
+    },
+}
+
+impl DecideMode {
+    /// Dovetail with the given chase:search fuel ratio.
+    pub fn dovetail(chase_ratio: u32) -> Self {
+        Self::Dovetail { chase_ratio }
+    }
+}
+
 /// Knobs for [`decide`].
 #[derive(Clone, Debug, Default)]
 pub struct DecideConfig {
@@ -45,6 +85,8 @@ pub struct DecideConfig {
     pub search: SearchConfig,
     /// Skip the model search (pure chase mode).
     pub skip_search: bool,
+    /// Phase scheduling: sequential (default) or dovetailed.
+    pub mode: DecideMode,
 }
 
 /// A full verdict for one implication instance `Σ ⊨(f) σ`.
@@ -54,10 +96,15 @@ pub struct Decision {
     pub implication: Answer,
     /// Answer for finite implication `Σ ⊨_f σ`.
     pub finite_implication: Answer,
-    /// The chase run (trace is a proof when `implication` is `Yes`).
+    /// The chase run (trace is a proof when `implication` is `Yes`; in
+    /// dovetail mode an abandoned chase reports
+    /// [`ChaseOutcome::Cancelled`] with its progress so far).
     pub chase: ChaseRun,
     /// A finite counterexample when either answer is `No`.
     pub counterexample: Option<Relation>,
+    /// `true` if the task was stopped by its [`CancelToken`] before
+    /// either certificate appeared (the answers are then `Unknown`).
+    pub cancelled: bool,
 }
 
 /// Decides `Σ ⊨ σ` and `Σ ⊨_f σ` as far as the budgets allow. Thin driver
@@ -90,13 +137,24 @@ pub enum DecideStatus {
 
 /// Progress phase of a [`DecideTask`].
 enum DecidePhase {
-    /// Running the chase (the r.e. procedure for `Σ ⊨ σ`).
+    /// Running the chase alone (the r.e. procedure for `Σ ⊨ σ`): the
+    /// sequential first phase, or a dovetail whose search has exhausted
+    /// its enumeration.
     Chasing(Box<ChaseTask>),
-    /// Chase budget exhausted; running finite-model search (the r.e.
-    /// procedure for `Σ ⊭_f σ`).
+    /// Chase concluded without a verdict; running finite-model search
+    /// alone (the r.e. procedure for `Σ ⊭_f σ`).
     Searching {
         chase_run: Box<ChaseRun>,
         task: Box<SearchTask>,
+    },
+    /// [`DecideMode::Dovetail`]: both procedures live, fuel alternating
+    /// between them. `chase_turn` counts the chase rounds left before the
+    /// search's next attempt. The search runs over its own snapshot of
+    /// the initial pool (the procedures are independent enumerations).
+    Dovetailing {
+        chase: Box<ChaseTask>,
+        search: Box<SearchTask>,
+        chase_turn: u32,
     },
     /// Finished.
     Done(Box<Decision>, ValuePool),
@@ -107,14 +165,19 @@ enum DecidePhase {
 /// A resumable [`decide`]: one implication query `Σ ⊨(f) σ` as a
 /// preemptible task.
 ///
-/// The task steps its chase until a certificate appears or the chase budget
-/// runs out, then (unless [`DecideConfig::skip_search`]) steps the
-/// counterexample search over the same evolved pool — exactly the blocking
-/// driver's two phases, preemptible at round/attempt granularity. One fuel
-/// unit is one chase round or one search attempt, so interleaving many
-/// tasks with small slices is fair in the dovetailing sense: a terminating
-/// query finishes within a bounded number of global slices no matter how
-/// many divergent queries run beside it.
+/// In [`DecideMode::Sequential`] the task steps its chase until a
+/// certificate appears or the chase budget runs out, then (unless
+/// [`DecideConfig::skip_search`]) steps the counterexample search over the
+/// same evolved pool — exactly the blocking driver's historical two
+/// phases, trace-for-trace. In [`DecideMode::Dovetail`] both procedures
+/// run from the start, fuel alternating at the configured ratio, so a
+/// refutable query whose chase diverges is still answered `No` once the
+/// search finds its witness. Either way one fuel unit is one chase round
+/// or one search attempt, so interleaving many tasks with small slices is
+/// fair in the dovetailing sense: a terminating query finishes within a
+/// bounded number of global slices no matter how many divergent queries
+/// run beside it. A shared [`CancelToken`] ([`DecideTask::cancel_token`])
+/// stops the task mid-slice with [`Decision::cancelled`] set.
 pub struct DecideTask {
     /// Shared with the chase (and, on exhaustion, the search) task: the
     /// `Arc` makes the hand-offs allocation-free.
@@ -123,13 +186,25 @@ pub struct DecideTask {
     cfg: DecideConfig,
     phase: DecidePhase,
     fuel_spent: u64,
+    /// Shared with both sub-tasks; tripping it finishes the task with
+    /// [`Decision::cancelled`] within the current fuel slice.
+    cancel: CancelToken,
+    /// Dovetail bookkeeping: the search exhausted its enumeration, so a
+    /// later chase exhaustion must conclude `Unknown` instead of starting
+    /// a second search.
+    search_exhausted: bool,
 }
 
 impl DecideTask {
     /// A resumable decision task for `Σ ⊨(f) σ`.
     ///
     /// `pool` must be (a snapshot of) the pool the dependencies' values came
-    /// from; it is returned, evolved, by [`DecideTask::finish`].
+    /// from; it is returned, evolved, by [`DecideTask::finish`]. In
+    /// dovetail mode the search runs over its own clone of the pool, and
+    /// `finish` returns the pool of whichever phase the task *ended in*:
+    /// the chase's when the chase decided (or outlived an exhausted
+    /// search), the search's when it found the counterexample (its values
+    /// are the witness's) or ran last after the chase budget expired.
     pub fn new(
         sigma: impl Into<Arc<[TdOrEgd]>>,
         goal: TdOrEgd,
@@ -137,14 +212,52 @@ impl DecideTask {
         cfg: DecideConfig,
     ) -> Self {
         let sigma: Arc<[TdOrEgd]> = sigma.into();
-        let chase = ChaseTask::implication(sigma.clone(), goal.clone(), pool, cfg.chase.clone());
+        let cancel = CancelToken::new();
+        let phase = match cfg.mode {
+            DecideMode::Dovetail { chase_ratio } if !cfg.skip_search => {
+                let universe: Arc<Universe> = match &goal {
+                    TdOrEgd::Td(t) => t.universe().clone(),
+                    TdOrEgd::Egd(e) => e.universe().clone(),
+                };
+                let search = SearchTask::new(
+                    sigma.clone(),
+                    goal.clone(),
+                    universe,
+                    pool.clone(),
+                    cfg.search.clone(),
+                )
+                .with_cancel_token(cancel.clone());
+                let chase =
+                    ChaseTask::implication(sigma.clone(), goal.clone(), pool, cfg.chase.clone())
+                        .with_cancel_token(cancel.clone());
+                DecidePhase::Dovetailing {
+                    chase: Box::new(chase),
+                    search: Box::new(search),
+                    chase_turn: chase_ratio.max(1),
+                }
+            }
+            _ => DecidePhase::Chasing(Box::new(
+                ChaseTask::implication(sigma.clone(), goal.clone(), pool, cfg.chase.clone())
+                    .with_cancel_token(cancel.clone()),
+            )),
+        };
         Self {
             sigma,
             goal,
             cfg,
-            phase: DecidePhase::Chasing(Box::new(chase)),
+            phase,
             fuel_spent: 0,
+            cancel,
+            search_exhausted: false,
         }
+    }
+
+    /// The task's cancellation token. Tripping it (from any thread) makes
+    /// the task stop at its next round/attempt boundary and report a
+    /// [`Decision`] with `cancelled` set instead of spending the rest of
+    /// its budgets. Cancelling a finished task is a no-op.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
     }
 
     /// Runs at most `fuel` units (chase rounds + search attempts). A
@@ -182,6 +295,43 @@ impl DecideTask {
                         self.leave_search();
                     } else {
                         return DecideStatus::Pending;
+                    }
+                }
+                DecidePhase::Dovetailing {
+                    chase,
+                    search,
+                    chase_turn,
+                } => {
+                    if left == 0 {
+                        return DecideStatus::Pending;
+                    }
+                    if *chase_turn > 0 {
+                        // The chase's share of the period (bounded by the
+                        // slice so preemption stays fair across tasks).
+                        let want = (*chase_turn as usize).min(left);
+                        let before = chase.rounds();
+                        let status = chase.step(want);
+                        let used = (chase.rounds() - before).max(1);
+                        left = left.saturating_sub(used);
+                        self.fuel_spent += used as u64;
+                        *chase_turn = chase_turn.saturating_sub(used as u32);
+                        if let StepStatus::Done(outcome) = status {
+                            self.leave_dovetail_chase(outcome);
+                        }
+                    } else {
+                        // The search's turn: one attempt, then a new period.
+                        let before = search.attempts_done();
+                        let status = search.step(1);
+                        let used = ((search.attempts_done() - before) as usize).max(1);
+                        left = left.saturating_sub(used);
+                        self.fuel_spent += used as u64;
+                        let DecideMode::Dovetail { chase_ratio } = self.cfg.mode else {
+                            unreachable!("dovetail phase outside dovetail mode")
+                        };
+                        *chase_turn = chase_ratio.max(1);
+                        if let SearchStatus::Done(found) = status {
+                            self.leave_dovetail_search(found);
+                        }
                     }
                 }
             }
@@ -240,6 +390,7 @@ impl DecideTask {
                     finite_implication: Answer::Yes,
                     chase: run,
                     counterexample: None,
+                    cancelled: false,
                 }),
                 pool,
             ),
@@ -253,19 +404,33 @@ impl DecideTask {
                         finite_implication: Answer::No,
                         chase: run,
                         counterexample: Some(cex),
+                        cancelled: false,
                     }),
                     pool,
                 )
             }
-            ChaseOutcome::Exhausted if self.cfg.skip_search => DecidePhase::Done(
+            ChaseOutcome::Cancelled => DecidePhase::Done(
                 Box::new(Decision {
                     implication: Answer::Unknown,
                     finite_implication: Answer::Unknown,
                     chase: run,
                     counterexample: None,
+                    cancelled: true,
                 }),
                 pool,
             ),
+            ChaseOutcome::Exhausted if self.cfg.skip_search || self.search_exhausted => {
+                DecidePhase::Done(
+                    Box::new(Decision {
+                        implication: Answer::Unknown,
+                        finite_implication: Answer::Unknown,
+                        chase: run,
+                        counterexample: None,
+                        cancelled: false,
+                    }),
+                    pool,
+                )
+            }
             ChaseOutcome::Exhausted => {
                 let universe: Arc<Universe> = match &self.goal {
                     TdOrEgd::Td(t) => t.universe().clone(),
@@ -273,13 +438,16 @@ impl DecideTask {
                 };
                 DecidePhase::Searching {
                     chase_run: Box::new(run),
-                    task: Box::new(SearchTask::new(
-                        self.sigma.clone(),
-                        self.goal.clone(),
-                        universe,
-                        pool,
-                        self.cfg.search.clone(),
-                    )),
+                    task: Box::new(
+                        SearchTask::new(
+                            self.sigma.clone(),
+                            self.goal.clone(),
+                            universe,
+                            pool,
+                            self.cfg.search.clone(),
+                        )
+                        .with_cancel_token(self.cancel.clone()),
+                    ),
                 }
             }
         };
@@ -292,6 +460,7 @@ impl DecideTask {
         else {
             unreachable!("leave_search outside the search phase");
         };
+        let cancelled = task.was_cancelled();
         let (found, pool) = task.finish();
         let decision = match found {
             Some(rel) => Decision {
@@ -300,15 +469,92 @@ impl DecideTask {
                 finite_implication: Answer::No,
                 chase: *chase_run,
                 counterexample: Some(rel),
+                cancelled: false,
             },
             None => Decision {
                 implication: Answer::Unknown,
                 finite_implication: Answer::Unknown,
                 chase: *chase_run,
                 counterexample: None,
+                cancelled,
             },
         };
         self.phase = DecidePhase::Done(Box::new(decision), pool);
+    }
+
+    /// Transitions out of the dovetail when the *chase* concluded.
+    fn leave_dovetail_chase(&mut self, outcome: ChaseOutcome) {
+        let DecidePhase::Dovetailing { chase, search, .. } =
+            std::mem::replace(&mut self.phase, DecidePhase::Poisoned)
+        else {
+            unreachable!("leave_dovetail_chase outside the dovetail phase");
+        };
+        match outcome {
+            ChaseOutcome::Exhausted => {
+                // The chase budget is spent but the search still has
+                // attempts (a dovetail whose search ran dry leaves this
+                // phase for `Chasing`, so it cannot reach here): continue
+                // search-only — the sequential second phase, except the
+                // search keeps its own pool lineage.
+                let (run, _chase_pool) = chase.finish();
+                self.phase = DecidePhase::Searching {
+                    chase_run: Box::new(run),
+                    task: search,
+                };
+            }
+            _ => {
+                // Implied / NotImplied / Cancelled: the chase's verdict
+                // is the task's. The search is abandoned; its pool (and
+                // any witnesses it was building) are dropped.
+                drop(search);
+                self.phase = DecidePhase::Chasing(chase);
+                self.leave_chase(outcome);
+            }
+        }
+    }
+
+    /// Transitions out of the dovetail when the *search* concluded.
+    fn leave_dovetail_search(&mut self, found: bool) {
+        let DecidePhase::Dovetailing { chase, search, .. } =
+            std::mem::replace(&mut self.phase, DecidePhase::Poisoned)
+        else {
+            unreachable!("leave_dovetail_search outside the dovetail phase");
+        };
+        let cancelled = search.was_cancelled();
+        let (witness, search_pool) = search.finish();
+        if found {
+            // A finite model of Σ violating σ refutes both notions; the
+            // still-running chase is abandoned (its run records progress).
+            let rel = witness.expect("SearchStatus::Done(true) carries a witness");
+            let (run, _chase_pool) = chase.abandon();
+            self.phase = DecidePhase::Done(
+                Box::new(Decision {
+                    implication: Answer::No,
+                    finite_implication: Answer::No,
+                    chase: run,
+                    counterexample: Some(rel),
+                    cancelled: false,
+                }),
+                search_pool,
+            );
+        } else if cancelled {
+            let (run, chase_pool) = chase.abandon();
+            self.phase = DecidePhase::Done(
+                Box::new(Decision {
+                    implication: Answer::Unknown,
+                    finite_implication: Answer::Unknown,
+                    chase: run,
+                    counterexample: None,
+                    cancelled: true,
+                }),
+                chase_pool,
+            );
+        } else {
+            // Search enumeration exhausted empty-handed: the chase keeps
+            // its remaining budget (chase-only from here).
+            self.search_exhausted = true;
+            self.phase = DecidePhase::Chasing(chase);
+        }
     }
 }
 
@@ -441,6 +687,138 @@ mod tests {
         assert_eq!(d.implication, Answer::Yes);
         let d2 = decide_dependencies(std::slice::from_ref(&jd), &mvd, &u, &mut p, &DecideConfig::default());
         assert_eq!(d2.implication, Answer::Yes);
+    }
+
+    /// A refutable-but-divergent query: the successor td keeps the chase
+    /// growing forever, while a 2-row finite model refutes the fd goal.
+    fn refutable_divergent() -> (Vec<TdOrEgd>, TdOrEgd, ValuePool) {
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        let successor = td_from_names(&u, &mut p, &[&["x", "y", "z"]], &["y", "q1", "q2"]);
+        let fd_egd = egd_from_names(
+            &u,
+            &mut p,
+            &[&["x", "y1", "z1"], &["x", "y2", "z2"]],
+            ("B'", "y1"),
+            ("B'", "y2"),
+        );
+        (vec![TdOrEgd::Td(successor)], TdOrEgd::Egd(fd_egd), p)
+    }
+
+    /// Chase budgets so large the chase effectively never exhausts.
+    fn huge_chase() -> crate::engine::ChaseConfig {
+        crate::engine::ChaseConfig {
+            max_rounds: 1 << 20,
+            max_rows: 1 << 22,
+            max_steps: 1 << 26,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn dovetail_refutes_divergent_query_with_bounded_fuel() {
+        let (sigma, goal, pool) = refutable_divergent();
+        let cfg = DecideConfig {
+            chase: huge_chase(),
+            mode: DecideMode::dovetail(1),
+            ..DecideConfig::default()
+        };
+        let mut task = DecideTask::new(sigma.clone(), goal.clone(), pool, cfg);
+        let mut spent = 0u64;
+        let answer = loop {
+            match task.step(64) {
+                DecideStatus::Done(a) => break a,
+                DecideStatus::Pending => {
+                    spent += 64;
+                    assert!(
+                        spent < 4096,
+                        "dovetail must refute well before the chase budget"
+                    );
+                }
+            }
+        };
+        assert_eq!(answer, Answer::No, "the finite search must win the race");
+        let (decision, _pool) = task.finish();
+        assert_eq!(decision.finite_implication, Answer::No);
+        assert!(!decision.cancelled);
+        let cex = decision.counterexample.expect("search returns its witness");
+        assert!(crate::search::is_counterexample(&cex, &sigma, &goal));
+        assert_eq!(
+            decision.chase.outcome,
+            ChaseOutcome::Cancelled,
+            "the abandoned chase records that it was cut short"
+        );
+    }
+
+    #[test]
+    fn dovetail_matches_sequential_on_decidable_queries() {
+        // fd transitivity (Yes via chase) and its converse (No via the
+        // terminal chase instance) answer identically in both modes.
+        let u = Universe::typed(vec!["A", "B", "C"]);
+        let cases = [("A -> C", Answer::Yes), ("C -> A", Answer::No)];
+        for (goal_text, expected) in cases {
+            let p = ValuePool::new(u.clone());
+            let sigma = vec![
+                Dependency::from(Fd::parse(&u, "A -> B")),
+                Dependency::from(Fd::parse(&u, "B -> C")),
+            ];
+            let goal = Dependency::from(Fd::parse(&u, goal_text));
+            for mode in [DecideMode::Sequential, DecideMode::dovetail(2)] {
+                let cfg = DecideConfig {
+                    mode,
+                    ..DecideConfig::default()
+                };
+                let d = decide_dependencies(&sigma, &goal, &u, &mut p.clone(), &cfg);
+                assert_eq!(d.implication, expected, "mode {mode:?} diverged on {goal_text}");
+                assert_eq!(d.finite_implication, expected);
+            }
+        }
+    }
+
+    #[test]
+    fn cancel_stops_a_divergent_task_within_one_slice() {
+        let (sigma, goal, pool) = refutable_divergent();
+        let cfg = DecideConfig {
+            chase: huge_chase(),
+            skip_search: true,
+            ..DecideConfig::default()
+        };
+        let mut task = DecideTask::new(sigma, goal, pool, cfg);
+        assert_eq!(task.step(32), DecideStatus::Pending, "chase must diverge");
+        let token = task.cancel_token();
+        token.cancel();
+        let before = task.fuel_spent();
+        let status = task.step(100_000);
+        assert_eq!(status, DecideStatus::Done(Answer::Unknown));
+        assert!(
+            task.fuel_spent() - before <= 1,
+            "a cancelled task must not burn its remaining fuel (burned {})",
+            task.fuel_spent() - before
+        );
+        let (decision, _pool) = task.finish();
+        assert!(decision.cancelled, "cancellation is surfaced on the decision");
+        assert_eq!(decision.chase.outcome, ChaseOutcome::Cancelled);
+    }
+
+    #[test]
+    fn cancel_after_finish_keeps_the_real_answer() {
+        let u = Universe::typed(vec!["A", "B", "C"]);
+        let mut p = ValuePool::new(u.clone());
+        let sigma: Vec<TdOrEgd> = [Fd::parse(&u, "A -> B"), Fd::parse(&u, "B -> C")]
+            .iter()
+            .flat_map(|f| Dependency::from(f.clone()).normalize(&u, &mut p))
+            .collect();
+        let goal = Dependency::from(Fd::parse(&u, "A -> C"))
+            .normalize(&u, &mut p)
+            .pop()
+            .expect("one egd part");
+        let mut task = DecideTask::new(sigma, goal, p, DecideConfig::default());
+        let answer = task.run_to_completion();
+        assert_eq!(answer, Answer::Yes);
+        task.cancel_token().cancel();
+        assert_eq!(task.step(16), DecideStatus::Done(Answer::Yes));
+        let (decision, _pool) = task.finish();
+        assert!(!decision.cancelled, "cancel after Done is a no-op");
     }
 
     #[test]

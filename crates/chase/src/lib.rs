@@ -20,11 +20,16 @@
 //! * [`ChaseTask`] / [`SearchTask`] / [`DecideTask`] — the same three
 //!   procedures as *resumable* tasks (`step(fuel) → Pending | Done`),
 //!   preemptible at round/attempt granularity so a scheduler can dovetail
-//!   many queries fairly (the `typedtd-service` crate builds on these);
+//!   many queries fairly (the `typedtd-service` crate builds on these).
+//!   A [`DecideTask`] can also dovetail *within* itself
+//!   ([`DecideMode::Dovetail`]: chase rounds alternate with search
+//!   attempts), and every task carries a [`CancelToken`] that stops it
+//!   mid-slice instead of letting it burn its remaining budget;
 //! * [`core_retract`] / [`minimize_td`] — tableau cores (reference [19]).
 
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod core_retract;
 pub mod engine;
 pub mod implication;
@@ -34,14 +39,15 @@ pub mod termination;
 pub mod trace;
 pub mod unionfind;
 
+pub use cancel::CancelToken;
 pub use core_retract::{core_retract, minimize_td};
 pub use engine::{
     chase_implication, saturate, ChaseConfig, ChaseOutcome, ChaseRun, ChaseTask, ChaseVariant,
     Goal, StepStatus,
 };
 pub use implication::{
-    decide, decide_dependencies, Answer, DecideConfig, DecideStatus, DecideTask, Decision,
-    MultiDecision,
+    decide, decide_dependencies, Answer, DecideConfig, DecideMode, DecideStatus, DecideTask,
+    Decision, MultiDecision,
 };
 pub use instance::ChaseInstance;
 pub use termination::{dependency_graph, weakly_acyclic, Edge};

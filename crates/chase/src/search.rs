@@ -22,6 +22,7 @@
 //! against its chase — fairly. [`random_counterexample`] is the blocking
 //! driver over it.
 
+use crate::cancel::CancelToken;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::sync::Arc;
@@ -207,6 +208,12 @@ pub struct SearchTask {
     attempts_done: u64,
     /// `Some` once the enumeration finished.
     found: Option<Option<Relation>>,
+    /// Checked at attempt granularity; tripping it finishes the task
+    /// empty-handed with [`SearchTask::was_cancelled`] set.
+    cancel: CancelToken,
+    /// `true` if the task finished because its token was tripped (rather
+    /// than exhausting the enumeration or finding a witness).
+    cancelled: bool,
 }
 
 impl SearchTask {
@@ -231,7 +238,27 @@ impl SearchTask {
             attempts_left: 0,
             attempts_done: 0,
             found: None,
+            cancel: CancelToken::new(),
+            cancelled: false,
         }
+    }
+
+    /// Installs a shared cancellation token (builder style). The task
+    /// checks it before every attempt.
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// The task's cancellation token (see [`crate::cancel::CancelToken`]).
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// `true` if the task stopped because its token was tripped. Only
+    /// meaningful once `step` reports [`SearchStatus::Done`].
+    pub fn was_cancelled(&self) -> bool {
+        self.cancelled
     }
 
     /// Runs at most `fuel` repair attempts. A finished task ignores further
@@ -239,6 +266,11 @@ impl SearchTask {
     pub fn step(&mut self, fuel: usize) -> SearchStatus {
         for _ in 0..fuel {
             if self.found.is_some() {
+                break;
+            }
+            if self.cancel.is_cancelled() {
+                self.cancelled = true;
+                self.found = Some(None);
                 break;
             }
             self.attempt_once();

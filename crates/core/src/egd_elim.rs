@@ -204,7 +204,9 @@ mod tests {
             let got = match run.outcome {
                 ChaseOutcome::Implied => true,
                 ChaseOutcome::NotImplied => false,
-                ChaseOutcome::Exhausted => panic!("total-td chase must terminate"),
+                ChaseOutcome::Exhausted | ChaseOutcome::Cancelled => {
+                    panic!("total-td chase must terminate")
+                }
             };
             assert_eq!(
                 got, expected,

@@ -103,7 +103,7 @@ pub fn universe_bounded_decides(
     match run.outcome {
         ChaseOutcome::Implied => Some(true),
         ChaseOutcome::NotImplied => Some(false),
-        ChaseOutcome::Exhausted => None,
+        ChaseOutcome::Exhausted | ChaseOutcome::Cancelled => None,
     }
 }
 

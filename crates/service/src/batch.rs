@@ -69,7 +69,10 @@ pub struct BatchVerdict {
 }
 
 impl BatchQuery {
-    /// Folds the parts' answers, or `None` while any part is pending.
+    /// Folds the parts' answers, or `None` while any part is pending. A
+    /// part whose coalescing leader was cancelled resolves as `Unknown`
+    /// (no answer was produced) rather than pending forever, so batch
+    /// drivers that loop until every verdict is in still terminate.
     pub fn conjoined(&self) -> Option<BatchVerdict> {
         let mut verdict = BatchVerdict {
             implication: Answer::Yes,
@@ -77,13 +80,19 @@ impl BatchQuery {
             from_cache: !self.jobs.is_empty(),
         };
         for handle in &self.jobs {
-            let JobStatus::Done(outcome) = handle.poll() else {
-                return None;
+            let (implication, finite_implication, from_cache) = match handle.poll() {
+                JobStatus::Done(outcome) => (
+                    outcome.implication,
+                    outcome.finite_implication,
+                    outcome.from_cache,
+                ),
+                JobStatus::Cancelled => (Answer::Unknown, Answer::Unknown, false),
+                JobStatus::Pending => return None,
+                JobStatus::Retired => unreachable!("the batch owns its job handles"),
             };
-            verdict.implication = conjoin(verdict.implication, outcome.implication);
-            verdict.finite_implication =
-                conjoin(verdict.finite_implication, outcome.finite_implication);
-            verdict.from_cache &= outcome.from_cache;
+            verdict.implication = conjoin(verdict.implication, implication);
+            verdict.finite_implication = conjoin(verdict.finite_implication, finite_implication);
+            verdict.from_cache &= from_cache;
         }
         Some(verdict)
     }

@@ -14,11 +14,20 @@
 //! ```text
 //! typedtd-serve QUERIES.tdq [--slice N] [--global-fuel N] [--workers N]
 //!               [--shards N] [--cache-cap N] [--no-cache] [--verify-hits]
+//!               [--mode sequential|dovetail[:RATIO]] [--steal on|off]
 //!               [--quick] [--stats]
 //! ```
+//!
+//! `--mode dovetail[:RATIO]` selects the per-query dovetailed decide mode
+//! (`RATIO` chase rounds per search attempt, default 1): refutable
+//! queries whose chase diverges are answered `no` from the finite-model
+//! search instead of `unknown`. `--steal on|off` (default on) toggles
+//! cross-shard work stealing between the `--workers` threads; the final
+//! `--stats` line reports `steals`, `cancelled`, and `parked` alongside
+//! the cache counters.
 
 use std::io::Read;
-use typedtd_chase::{Answer, ChaseConfig, DecideConfig};
+use typedtd_chase::{Answer, ChaseConfig, DecideConfig, DecideMode};
 use typedtd_service::{submit_batch, ImplicationClient, ServiceConfig};
 
 fn answer_str(a: Answer) -> &'static str {
@@ -33,18 +42,45 @@ fn usage() -> ! {
     eprintln!(
         "usage: typedtd-serve <QUERIES.tdq | -> [--slice N] [--global-fuel N] \
          [--workers N] [--shards N] [--cache-cap N] [--no-cache] [--verify-hits] \
-         [--quick] [--stats]"
+         [--mode sequential|dovetail[:RATIO]] [--steal on|off] [--quick] [--stats]"
     );
     std::process::exit(2);
+}
+
+/// `sequential` or `dovetail[:RATIO]` (chase rounds per search attempt).
+fn parse_mode(text: &str) -> Option<DecideMode> {
+    match text {
+        "sequential" => Some(DecideMode::Sequential),
+        "dovetail" => Some(DecideMode::dovetail(1)),
+        _ => {
+            let ratio = text.strip_prefix("dovetail:")?.parse().ok()?;
+            Some(DecideMode::dovetail(ratio))
+        }
+    }
 }
 
 fn main() {
     let mut input: Option<String> = None;
     let mut cfg = ServiceConfig::default();
     let mut show_stats = false;
+    let mut mode: Option<DecideMode> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--mode" => {
+                mode = Some(
+                    args.next()
+                        .and_then(|v| parse_mode(&v))
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--steal" => {
+                cfg.steal = match args.next().as_deref() {
+                    Some("on") => true,
+                    Some("off") => false,
+                    _ => usage(),
+                }
+            }
             "--slice" => {
                 cfg.slice_fuel = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
             }
@@ -74,6 +110,11 @@ fn main() {
             _ if input.is_none() && !arg.starts_with("--") => input = Some(arg),
             _ => usage(),
         }
+    }
+    if let Some(mode) = mode {
+        // Applied after the loop so `--quick --mode …` composes in any
+        // order (`--quick` rebuilds the decide config).
+        cfg.decide.mode = mode;
     }
     let Some(path) = input else { usage() };
     let text = if path == "-" {
@@ -144,8 +185,9 @@ fn main() {
         let s = client.stats();
         eprintln!(
             "jobs={} completed={} yes={} no={} unknown={} cache_hits={} goal_in_sigma={} \
-             coalesced={} misses={} hit_rate={:.2} evictions={} expired={} retired={} \
-             fuel={} sweeps={} cached_queries={} parse_errors={}",
+             coalesced={} misses={} hit_rate={:.2} evictions={} expired={} cancelled={} \
+             retired={} fuel={} sweeps={} steals={} parked={} cached_queries={} \
+             parse_errors={}",
             s.submitted,
             s.completed,
             s.yes,
@@ -158,9 +200,12 @@ fn main() {
             s.cache_hit_rate(),
             s.evictions,
             s.expired,
+            s.cancelled,
             s.retired,
             s.fuel_spent,
             s.sweeps,
+            s.steals,
+            s.parked,
             client.cache_len(),
             batch.errors.len(),
         );

@@ -205,22 +205,24 @@ impl ShardCache {
     /// artifact and is never cached), and the scheduler guarantees at most
     /// one in-flight leader per key, so a conflicting overwrite is
     /// impossible. `cost` is the fuel the answer took (drives the eviction
-    /// reprieve). Returns the new finished-entry count delta (0 when the
-    /// key was already answered).
+    /// reprieve). Returns the interned key when a fresh entry was added
+    /// (callers pass it back as the eviction-protect handle without
+    /// re-cloning the encoding), `None` when the key was already
+    /// answered.
     pub fn insert(
         &mut self,
         key: QueryKey,
         answer: CachedAnswer,
         goal: &TdOrEgd,
         cost: u64,
-    ) -> usize {
+    ) -> Option<Arc<QueryKey>> {
         if matches!(self.map.get(&key), Some(Entry::Cached { .. })) {
-            return 0;
+            return None;
         }
         let key = Arc::new(key);
         let tick = self.stamp(&key);
         self.map.insert(
-            key,
+            Arc::clone(&key),
             Entry::Cached {
                 answer,
                 goal_hypothesis: goal_hypothesis(goal),
@@ -229,13 +231,28 @@ impl ShardCache {
             },
         );
         self.cached += 1;
-        1
+        Some(key)
     }
 
     /// Evicts the least-recently-used finished entry (honoring reprieves).
     /// Returns `false` when nothing is evictable — in-flight entries are
     /// pinned and never considered.
     pub fn evict_one(&mut self) -> bool {
+        self.evict_one_protecting(None)
+    }
+
+    /// As [`ShardCache::evict_one`], but never evicts `protect` — the
+    /// interned handle of the entry an over-capacity insert just added
+    /// (returned by [`ShardCache::insert`]; compared by `Arc` identity,
+    /// not structurally). Without the protection a capacity smaller than
+    /// the shard count makes every fresh insert its own immediate
+    /// eviction victim (it is the only LRU entry its shard owns) while
+    /// hot shards keep stale answers. A protected entry encountered by
+    /// the LRU clock is re-stamped most-recently-used; meeting it a
+    /// second time means nothing else is evictable.
+    pub fn evict_one_protecting(&mut self, protect: Option<&Arc<QueryKey>>) -> bool {
+        let mut protected_seen = false;
+        let mut reprieved_since = false;
         while let Some((key, tick)) = self.lru.pop_front() {
             match self.map.get_mut(&key) {
                 Some(Entry::Cached {
@@ -243,8 +260,23 @@ impl ShardCache {
                     reprieves,
                     ..
                 }) if *last_tick == tick => {
+                    if protect.is_some_and(|p| Arc::ptr_eq(p, &key)) {
+                        self.tick += 1;
+                        *last_tick = self.tick;
+                        let fresh = self.tick;
+                        self.lru.push_back((key, fresh));
+                        if protected_seen && !reprieved_since {
+                            // A full cycle with no reprieve granted in
+                            // between: the fresh entry is all that's left.
+                            return false;
+                        }
+                        protected_seen = true;
+                        reprieved_since = false;
+                        continue;
+                    }
                     if *reprieves > 0 {
                         *reprieves -= 1;
+                        reprieved_since = true;
                         self.tick += 1;
                         *last_tick = self.tick;
                         let tick = self.tick;
@@ -261,7 +293,6 @@ impl ShardCache {
         }
         false
     }
-
 }
 
 #[cfg(test)]
@@ -312,7 +343,7 @@ mod tests {
         let mut cache = ShardCache::default();
         let deps = distinct_keyed_tds(3);
         for (k, g) in &deps {
-            assert_eq!(cache.insert(k.clone(), YES, g, 0), 1);
+            assert!(cache.insert(k.clone(), YES, g, 0).is_some());
         }
         // Touch the first entry: the second becomes coldest.
         assert!(matches!(

@@ -16,14 +16,27 @@
 //!   priority and fuel overrides), separated from its evaluation;
 //! * [`ImplicationClient::submit`] returns a [`JobHandle`] that owns the
 //!   job's lifecycle: [`JobHandle::poll`], blocking [`JobHandle::wait`]
-//!   (which helps drive the job's own shard while it waits), and
-//!   retire-on-drop, so polled outcomes never accumulate;
+//!   (which helps drive the job's own shard while it waits, parking on
+//!   the shard's condvar when another thread holds the claim), a real
+//!   [`JobHandle::cancel`] (cooperative token — the computation stops
+//!   within one fuel slice and resolves to the defined
+//!   `JobStatus::Cancelled`; coalesced waiters can keep the answer alive
+//!   via [`JobHandle::detach`]), and retire-on-drop, so polled outcomes
+//!   never accumulate;
 //! * internally, jobs hash by canonical key onto **sharded run queues**
 //!   with per-shard fair dovetailing — a terminating query is answered
 //!   after boundedly many sweeps of its shard regardless of how many
 //!   divergent neighbours the service carries, and per-job plus global
 //!   fuel budgets convert "never returns" into the honest third answer
-//!   `Unknown`.
+//!   `Unknown`. Multi-worker drives pin workers to home-shard stripes
+//!   and **steal** slices from the deepest foreign queue when idle
+//!   (`ServiceConfig::steal`), so a skewed shard assignment no longer
+//!   degrades to single-worker throughput;
+//! * with `typedtd_chase::DecideMode::Dovetail` in the decide config,
+//!   each job also dovetails *internally* — chase rounds alternate with
+//!   finite-model search attempts at a configurable ratio — so
+//!   refutable-but-divergent queries answer `No` under a fuel cap where
+//!   the sequential mode can only report `Unknown`.
 //!
 //! On top of the scheduler sits a **bounded, isomorphism-keyed answer
 //! cache** ([`canon`], [`cache`]): queries are keyed by a canonical form

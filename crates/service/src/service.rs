@@ -1,5 +1,5 @@
 //! The concurrent implication service v2: cheap-to-clone client handles
-//! over shared sharded state.
+//! over shared sharded state, with a preemptible execution core.
 //!
 //! # Why a shared-state client
 //!
@@ -16,8 +16,10 @@
 //!   submit and step concurrently;
 //! * [`JobHandle`] owns one job's lifecycle — [`JobHandle::poll`],
 //!   blocking [`JobHandle::wait`] (which *helps*: it steps the shard that
-//!   owns its job instead of spinning), and retire-on-drop so polled
-//!   outcomes stop leaking;
+//!   owns its job, and **parks on the shard's condvar** instead of
+//!   spinning when another thread holds the claim), a real
+//!   [`JobHandle::cancel`] that stops the computation mid-slice, and
+//!   retire-on-drop so polled outcomes stop leaking;
 //! * internally, jobs hash by canonical query key onto N **shards**, each
 //!   with its own run queue, job slab, coalescing map, and answer-cache
 //!   slice behind its own lock — submission and stepping on different
@@ -26,13 +28,39 @@
 //!
 //! # Dovetailing as scheduling
 //!
-//! Within a shard the scheduler is the same fair dovetailer as v1: every
-//! runnable job gets one fuel slice per sweep (priority orders the claim,
-//! FIFO breaks ties), so a terminating query is answered after boundedly
-//! many sweeps no matter how many divergent neighbours it has —
-//! starvation-freedom is exactly the fairness clause of the classical
-//! dovetailing argument. Per-job and global fuel budgets convert "never
-//! returns" into the honest third answer `Unknown`.
+//! Within a shard the scheduler is a fair dovetailer: every runnable job
+//! gets one fuel slice per sweep (priority orders the claim, FIFO breaks
+//! ties), so a terminating query is answered after boundedly many sweeps
+//! no matter how many divergent neighbours it has — starvation-freedom is
+//! exactly the fairness clause of the classical dovetailing argument.
+//! Per-job and global fuel budgets convert "never returns" into the
+//! honest third answer `Unknown`; a `DecideMode::Dovetail` decide config
+//! additionally dovetails *within* each job, racing the chase against the
+//! finite-model search so refutable-but-divergent queries answer `No`
+//! without waiting out a chase that never terminates.
+//!
+//! # Cancellation
+//!
+//! [`JobHandle::cancel`] trips the job's `CancelToken` (shared with its
+//! `DecideTask`, checked at round/attempt granularity), so an in-flight
+//! job stops within one fuel slice instead of burning its remaining
+//! budget, and resolves to the defined [`JobStatus::Cancelled`].
+//! Coalesced waiters are woken with `Cancelled` too — unless they opted
+//! into keeping the answer via [`JobHandle::detach`], in which case the
+//! computation survives for them and only the canceller's view resolves
+//! `Cancelled` (when the job next lands).
+//!
+//! # Work stealing
+//!
+//! [`ImplicationClient::run_to_completion`] with several workers pins
+//! each worker to a stripe of home shards. An idle worker whose home
+//! queues are empty **steals** the next claimable job from the deepest
+//! foreign queue ([`ServiceConfig::steal`]): the stolen job's slot, key,
+//! and waiters stay in its home shard — only the slice's CPU work
+//! migrates — so `JobId`s and coalescing are unaffected. Steal counts are
+//! surfaced in [`ServiceStats::steals`]. Workers with nothing to do (and
+//! waiters whose claim is held elsewhere) park on condvars instead of
+//! yield-spinning; parks are counted in [`ServiceStats::parked`].
 //!
 //! # The bounded answer cache
 //!
@@ -41,24 +69,39 @@
 //! LRU/cost-aware eviction ([`crate::cache`]), identical in-flight queries
 //! coalesce onto the running leader (coalesced entries are pinned, never
 //! evicted), and a goal that is canonically an *element* of Σ is answered
-//! `Yes` at submit time without scheduling at all. Hits, evictions, and
-//! the fast path are all surfaced in [`ServiceStats`].
+//! `Yes` at submit time without scheduling at all. A fresh insert is never
+//! its own eviction victim (the shard holding it evicts other entries
+//! first), so tiny capacities — even `cache_capacity = 1` — still cache
+//! the latest answer instead of thrashing. With the cache disabled,
+//! `submit` skips canonicalization entirely and routes by a raw
+//! structural hash. Hits, evictions, and the fast path are all surfaced
+//! in [`ServiceStats`].
 
 use crate::cache::{goal_hypothesis, CachedAnswer, Probe, ShardCache};
 use crate::canon::{query_parts, QueryKey};
 use std::collections::BinaryHeap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
-use typedtd_chase::{Answer, DecideConfig, DecideStatus, DecideTask};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::Arc;
+use std::time::Duration;
+use typedtd_chase::{
+    Answer, CancelToken, DecideConfig, DecideStatus, DecideTask, Decision,
+};
 use typedtd_dependencies::TdOrEgd;
 use typedtd_relational::{isomorphic, FxHashMap, FxHashSet, Relation, ValuePool};
+
+/// How long a parked waiter or idle worker sleeps before re-checking.
+/// Wakeups are condvar-driven (completions and queue transitions notify);
+/// the timeout only bounds the stall when a notify races a park.
+const PARK_TIMEOUT: Duration = Duration::from_millis(1);
 
 /// Service-wide knobs.
 #[derive(Clone, Debug)]
 pub struct ServiceConfig {
-    /// Default per-query decision budgets (chase + search); a
-    /// [`QuerySpec::decide_config`] override takes precedence per job.
+    /// Default per-query decision budgets (chase + search) and
+    /// [`typedtd_chase::DecideMode`]; a [`QuerySpec::decide_config`]
+    /// override takes precedence per job.
     pub decide: DecideConfig,
     /// Fuel units (chase rounds / search attempts) granted to a job per
     /// shard sweep. Smaller slices preempt faster; larger slices amortize
@@ -72,15 +115,28 @@ pub struct ServiceConfig {
     /// different shards submit and step without contending.
     pub shards: usize,
     /// Worker threads [`ImplicationClient::run_to_completion`] drives the
-    /// shards with. `1` = the calling thread only. (Any number of
+    /// shards with. `1` = the calling thread only. With more, each worker
+    /// is pinned to a stripe of home shards and steals from foreign
+    /// queues when idle (see [`ServiceConfig::steal`]). (Any number of
     /// *external* threads may also step concurrently through clones of
     /// the client.)
     pub workers: usize,
+    /// Cross-shard work stealing for idle `run_to_completion` workers: an
+    /// idle worker with empty home queues claims one slice of the next
+    /// job from the deepest foreign queue. Disable to pin work strictly
+    /// to home workers (a skewed shard assignment then degrades to
+    /// single-worker throughput on the hot shard).
+    pub steal: bool,
     /// Enable the canonical answer cache (and in-flight coalescing).
+    /// When disabled, `submit` skips canonicalization entirely: shard
+    /// routing falls back to a raw structural hash of the query, Σ is not
+    /// deduplicated, and every job really runs.
     pub cache: bool,
     /// Upper bound on cached answers across all shards; beyond it the
     /// least-recently-used cold entry is evicted (in-flight coalesced
-    /// entries are pinned and never evicted).
+    /// entries are pinned and never evicted). A fresh insert is never its
+    /// own eviction victim, so when `cache_capacity < shards` the cache
+    /// may transiently hold up to one entry per shard.
     pub cache_capacity: usize,
     /// Re-verify every cache hit through the isomorphism machinery.
     pub verify_cache_hits: bool,
@@ -94,6 +150,7 @@ impl Default for ServiceConfig {
             global_fuel: None,
             shards: 8,
             workers: 1,
+            steal: true,
             cache: true,
             cache_capacity: 4096,
             verify_cache_hits: false,
@@ -133,6 +190,11 @@ pub struct JobOutcome {
     pub from_cache: bool,
     /// Fuel this job consumed (0 for cache hits).
     pub fuel_spent: u64,
+    /// `true` if the job was cancelled before it produced an answer (the
+    /// answers are then `Unknown`). [`JobHandle::wait`] returns such an
+    /// outcome for a cancelled job; `poll` reports it as
+    /// [`JobStatus::Cancelled`].
+    pub cancelled: bool,
 }
 
 /// Poll result for a job.
@@ -142,6 +204,11 @@ pub enum JobStatus {
     Pending,
     /// Finished.
     Done(JobOutcome),
+    /// The job was cancelled ([`JobHandle::cancel`], or its coalescing
+    /// leader was cancelled while this job had not
+    /// [`JobHandle::detach`]ed): no answer was produced. A defined,
+    /// stable status — never a panic, never another job's result.
+    Cancelled,
     /// The job was retired (its [`JobHandle`] dropped or
     /// [`JobHandle::retire`]d): its storage is freed and its outcome is
     /// gone. Polling a retired id is a defined, stable answer — never a
@@ -154,7 +221,7 @@ pub enum JobStatus {
 pub struct ServiceStats {
     /// Jobs submitted.
     pub submitted: u64,
-    /// Jobs finished (including cache hits and expiries).
+    /// Jobs finished (including cache hits, expiries, and cancellations).
     pub completed: u64,
     /// Submissions answered instantly from the cache.
     pub cache_hits: u64,
@@ -173,6 +240,10 @@ pub struct ServiceStats {
     /// Jobs force-answered `Unknown` by fuel exhaustion (global budget or
     /// a per-job [`QuerySpec::fuel_cap`]).
     pub expired: u64,
+    /// Jobs resolved [`JobStatus::Cancelled`] (directly, via a cancelled
+    /// coalescing leader, or a leader whose owner cancelled while
+    /// detached waiters kept the computation alive).
+    pub cancelled: u64,
     /// Jobs retired (handle dropped or explicitly retired); their slots
     /// were freed for reuse.
     pub retired: u64,
@@ -183,6 +254,12 @@ pub struct ServiceStats {
     pub fuel_spent: u64,
     /// Shard sweeps that stepped at least one job.
     pub sweeps: u64,
+    /// Fuel slices executed by a worker on a shard outside its home
+    /// stripe (cross-shard work stealing).
+    pub steals: u64,
+    /// Times a waiter or idle worker parked on a condvar instead of
+    /// spinning (each park is condvar- or timeout-bounded).
+    pub parked: u64,
     /// Jobs answered `Yes` (unrestricted implication).
     pub yes: u64,
     /// Jobs answered `No`.
@@ -216,6 +293,7 @@ pub struct QuerySpec {
     priority: i32,
     fuel_cap: Option<u64>,
     decide: Option<DecideConfig>,
+    pin: Option<usize>,
 }
 
 impl QuerySpec {
@@ -230,6 +308,7 @@ impl QuerySpec {
             priority: 0,
             fuel_cap: None,
             decide: None,
+            pin: None,
         }
     }
 
@@ -249,9 +328,22 @@ impl QuerySpec {
         self
     }
 
-    /// Per-job decision budgets, overriding [`ServiceConfig::decide`].
+    /// Per-job decision budgets (and mode), overriding
+    /// [`ServiceConfig::decide`].
     pub fn decide_config(mut self, cfg: DecideConfig) -> Self {
         self.decide = Some(cfg);
+        self
+    }
+
+    /// Pins this job to a specific shard (wrapped modulo the shard
+    /// count), overriding hash routing. A scheduling knob for tests and
+    /// benchmarks — e.g. to construct deliberately skewed assignments
+    /// when measuring work stealing. Cache entries follow the pinned
+    /// shard, so pinning identical queries to different shards forfeits
+    /// sharing between them (each shard's cache stays locally
+    /// consistent).
+    pub fn pin_shard(mut self, shard: usize) -> Self {
+        self.pin = Some(shard);
         self
     }
 }
@@ -262,7 +354,7 @@ pub enum ShardStep {
     /// At least one job was stepped or completed.
     Progressed,
     /// Nothing claimable right now, but another thread holds claimed jobs
-    /// from this shard — work is still in flight; yield and retry.
+    /// from this shard — work is still in flight; park or retry.
     Idle,
     /// The shard has no runnable or in-flight-stepping jobs.
     Empty,
@@ -279,7 +371,9 @@ enum JobState {
     Stepping,
     /// Coalesced: waiting for the identical in-flight leader to finish.
     Waiting { leader: u32 },
-    /// Finished; outcome retained until the handle retires it.
+    /// Finished; outcome retained until the handle retires it. A
+    /// cancelled job stores an outcome with `cancelled = true` and polls
+    /// as [`JobStatus::Cancelled`].
     Finished(JobOutcome),
 }
 
@@ -294,15 +388,36 @@ struct JobSlot {
     fuel_spent: u64,
     fuel_cap: Option<u64>,
     priority: i32,
+    /// The running task's cancellation token (leaders only).
+    cancel: Option<CancelToken>,
+    /// The owner called [`JobHandle::cancel`] while the job was in
+    /// flight. If the token is also tripped the job dies at its next
+    /// landing; if not (detached waiters keep it alive), the computation
+    /// continues and only the owner's view resolves `Cancelled`.
+    cancel_requested: bool,
+    /// This job (as a coalesced waiter) wants the leader's answer even if
+    /// the leader's owner cancels. Set via [`JobHandle::detach`] before
+    /// the cancel.
+    detached: bool,
     /// Handle dropped while the job was still in flight: on completion,
     /// feed cache and waiters but free the slot instead of storing the
     /// outcome.
     retired: bool,
 }
 
+impl JobSlot {
+    /// The job's owner cancelled it *and* the token is tripped (no
+    /// detached waiters kept it alive): the job must die at its next
+    /// touch instead of being granted fuel or coalesced onto.
+    fn dying(&self) -> bool {
+        self.cancel_requested && self.cancel.as_ref().is_some_and(|t| t.is_cancelled())
+    }
+}
+
 /// Run-queue entry; max-heap order = higher priority first, then FIFO by
 /// submission sequence. Stale entries (slot reused or no longer Running)
-/// are skipped at claim time, which lets retire/expire leave them behind.
+/// are skipped at claim time, which lets retire/expire/cancel leave them
+/// behind.
 #[derive(PartialEq, Eq)]
 struct RunEntry {
     priority: i32,
@@ -359,6 +474,9 @@ impl Shard {
                 fuel_spent: 0,
                 fuel_cap: None,
                 priority: 0,
+                cancel: None,
+                cancel_requested: false,
+                detached: false,
                 retired: false,
             });
             (self.slots.len() - 1) as u32
@@ -374,9 +492,20 @@ impl Shard {
         s.fuel_spent = 0;
         s.fuel_cap = None;
         s.priority = 0;
+        s.cancel = None;
+        s.cancel_requested = false;
+        s.detached = false;
         s.retired = false;
         self.free.push(idx);
     }
+}
+
+/// One shard's state plus the condvar parked waiters sleep on. The
+/// condvar pairs with the shard mutex: sweepers notify it on any job
+/// completion or queue transition.
+struct ShardCell {
+    shard: Mutex<Shard>,
+    cv: Condvar,
 }
 
 #[derive(Default)]
@@ -389,10 +518,13 @@ struct AtomicStats {
     cache_misses: AtomicU64,
     verify_rejects: AtomicU64,
     expired: AtomicU64,
+    cancelled: AtomicU64,
     retired: AtomicU64,
     evictions: AtomicU64,
     fuel_spent: AtomicU64,
     sweeps: AtomicU64,
+    steals: AtomicU64,
+    parked: AtomicU64,
     yes: AtomicU64,
     no: AtomicU64,
     unknown: AtomicU64,
@@ -400,7 +532,11 @@ struct AtomicStats {
 
 struct Core {
     cfg: ServiceConfig,
-    shards: Vec<Mutex<Shard>>,
+    shards: Vec<ShardCell>,
+    /// Per-shard mirror of `queue.len()`, maintained under the shard
+    /// lock at every push/pop, so the steal victim scan reads depths
+    /// without touching the hot shard's mutex.
+    queue_depth: Vec<AtomicUsize>,
     /// Remaining global fuel; `u64::MAX` means unmetered.
     fuel: AtomicU64,
     metered: bool,
@@ -408,6 +544,20 @@ struct Core {
     seq: AtomicU64,
     /// Finished cache entries across all shards (enforces the bound).
     cached_total: AtomicUsize,
+    /// Unresolved scheduled jobs (Running / Stepping / Waiting) across
+    /// all shards — the idle workers' termination condition.
+    inflight: AtomicUsize,
+    /// Parking spot for idle `run_to_completion` workers (no specific
+    /// shard to wait on); completions anywhere notify it.
+    idle: Mutex<()>,
+    idle_cv: Condvar,
+    /// Latched by the first worker that observes a spent fuel budget, so
+    /// every pinned worker exits *consistently*: without the latch, one
+    /// worker could exit on a transient zero (reserve-then-refund dips
+    /// the counter) while a surviving steal-off worker — whose home
+    /// stripe is empty — parks forever on the exiter's orphaned jobs.
+    /// Reset at the top of each `run_to_completion`.
+    draining: std::sync::atomic::AtomicBool,
     stats: AtomicStats,
 }
 
@@ -428,11 +578,21 @@ impl ImplicationClient {
         let metered = cfg.global_fuel.is_some();
         Self {
             core: Arc::new(Core {
-                shards: (0..nshards).map(|_| Mutex::new(Shard::new())).collect(),
+                shards: (0..nshards)
+                    .map(|_| ShardCell {
+                        shard: Mutex::new(Shard::new()),
+                        cv: Condvar::new(),
+                    })
+                    .collect(),
+                queue_depth: (0..nshards).map(|_| AtomicUsize::new(0)).collect(),
                 fuel: AtomicU64::new(fuel),
                 metered,
                 seq: AtomicU64::new(0),
                 cached_total: AtomicUsize::new(0),
+                inflight: AtomicUsize::new(0),
+                idle: Mutex::new(()),
+                idle_cv: Condvar::new(),
+                draining: std::sync::atomic::AtomicBool::new(false),
                 stats: AtomicStats::default(),
                 cfg,
             }),
@@ -465,10 +625,13 @@ impl ImplicationClient {
             cache_misses: ld(&s.cache_misses),
             verify_rejects: ld(&s.verify_rejects),
             expired: ld(&s.expired),
+            cancelled: ld(&s.cancelled),
             retired: ld(&s.retired),
             evictions: ld(&s.evictions),
             fuel_spent: ld(&s.fuel_spent),
             sweeps: ld(&s.sweeps),
+            steals: ld(&s.steals),
+            parked: ld(&s.parked),
             yes: ld(&s.yes),
             no: ld(&s.no),
             unknown: ld(&s.unknown),
@@ -477,30 +640,15 @@ impl ImplicationClient {
 
     /// Distinct canonical queries currently cached (always ≤
     /// [`ServiceConfig::cache_capacity`] once an insert's eviction pass
-    /// has run).
+    /// has run, up to the per-shard fresh-insert reserve documented on
+    /// `cache_capacity`).
     pub fn cache_len(&self) -> usize {
         self.core.cached_total.load(Ordering::Relaxed)
     }
 
     /// Jobs still in flight (running, claimed, or coalesced-waiting).
     pub fn pending_jobs(&self) -> usize {
-        self.core
-            .shards
-            .iter()
-            .map(|m| {
-                let shard = m.lock().expect("shard lock");
-                shard
-                    .slots
-                    .iter()
-                    .filter(|s| {
-                        matches!(
-                            s.state,
-                            JobState::Running(_) | JobState::Stepping | JobState::Waiting { .. }
-                        )
-                    })
-                    .count()
-            })
-            .sum()
+        self.core.inflight.load(Ordering::Relaxed)
     }
 
     /// Job slots currently allocated (pending or finished-but-unretired).
@@ -510,8 +658,8 @@ impl ImplicationClient {
         self.core
             .shards
             .iter()
-            .map(|m| {
-                let shard = m.lock().expect("shard lock");
+            .map(|cell| {
+                let shard = cell.shard.lock().expect("shard lock");
                 shard
                     .slots
                     .iter()
@@ -534,18 +682,24 @@ impl ImplicationClient {
             priority,
             fuel_cap,
             decide,
+            pin,
         } = spec;
-        let parts = query_parts(&sigma, &goal);
-        let shard_idx = shard_of(&parts.key, core.shards.len());
-        let mut key = core.cfg.cache.then_some(parts.key);
-        // Goal-in-Σ fast path: σ ∈ Σ up to isomorphism means Σ ⊨ σ and
-        // Σ ⊨_f σ by reflexivity — answer before scheduling anything.
-        // Gated with the cache (``cache: false`` means "really run every
-        // job"), and under `verify_cache_hits` the key match is
-        // cross-checked through the isomorphism machinery exactly like a
-        // cache hit would be — a collision quarantines the key and runs
-        // the job in isolation instead of serving an unverified Yes.
-        if key.is_some() {
+        let nshards = core.shards.len();
+        let pin = pin.map(|p| p % nshards);
+        // With the cache off there is nothing a canonical key buys —
+        // route by a raw structural hash instead of paying the
+        // canonicalization (a real cost for big Σ). Σ dedup rides the
+        // same switch: it needs the per-dependency canonical encodings.
+        let (mut key, shard_idx) = if core.cfg.cache {
+            let parts = query_parts(&sigma, &goal);
+            let shard_idx = pin.unwrap_or_else(|| shard_of(&parts.key, nshards));
+            let mut key = Some(parts.key);
+            // Goal-in-Σ fast path: σ ∈ Σ up to isomorphism means Σ ⊨ σ and
+            // Σ ⊨_f σ by reflexivity — answer before scheduling anything.
+            // Under `verify_cache_hits` the key match is cross-checked
+            // through the isomorphism machinery exactly like a cache hit
+            // would be — a collision quarantines the key and runs the job
+            // in isolation instead of serving an unverified Yes.
             if let Some(i) = parts.sigma_keys.iter().position(|k| *k == parts.goal_key) {
                 if core.cfg.verify_cache_hits
                     && !isomorphic(&goal_hypothesis(&goal), &goal_hypothesis(&sigma[i]))
@@ -560,6 +714,7 @@ impl ImplicationClient {
                         counterexample: None,
                         from_cache: true,
                         fuel_spent: 0,
+                        cancelled: false,
                     };
                     core.record_answer(&outcome);
                     let mut shard = self.lock_shard(shard_idx);
@@ -567,18 +722,23 @@ impl ImplicationClient {
                     return self.handle(shard_idx, slot, &shard);
                 }
             }
-        }
-        // Run the same Σ the key describes: canonically duplicate
-        // dependencies are logically redundant (isomorphic constraints
-        // are equivalent) but would inflate this job's per-round scan
-        // relative to a dedup-submitted twin.
-        let mut seen_deps = FxHashSet::default();
-        let mut di = 0;
-        sigma.retain(|_| {
-            let keep = seen_deps.insert(parts.sigma_keys[di].clone());
-            di += 1;
-            keep
-        });
+            // Run the same Σ the key describes: canonically duplicate
+            // dependencies are logically redundant (isomorphic constraints
+            // are equivalent) but would inflate this job's per-round scan
+            // relative to a dedup-submitted twin.
+            let mut seen_deps = FxHashSet::default();
+            let mut di = 0;
+            sigma.retain(|_| {
+                let keep = seen_deps.insert(parts.sigma_keys[di].clone());
+                di += 1;
+                keep
+            });
+            (key, shard_idx)
+        } else {
+            let shard_idx =
+                pin.unwrap_or_else(|| (raw_query_hash(&sigma, &goal) as usize) % nshards);
+            (None, shard_idx)
+        };
         let mut shard = self.lock_shard(shard_idx);
         if let Some(k) = &key {
             match shard.cache.probe(k, &goal, core.cfg.verify_cache_hits) {
@@ -590,23 +750,33 @@ impl ImplicationClient {
                         counterexample: None,
                         from_cache: true,
                         fuel_spent: 0,
+                        cancelled: false,
                     };
                     core.record_answer(&outcome);
                     let slot = shard.alloc(JobState::Finished(outcome));
                     return self.handle(shard_idx, slot, &shard);
                 }
                 Probe::InFlight(leader) => {
-                    core.stats.coalesced.fetch_add(1, Ordering::Relaxed);
-                    debug_assert!(
-                        matches!(
-                            shard.slots[leader as usize].state,
-                            JobState::Running(_) | JobState::Stepping
-                        ),
-                        "in-flight entry must point at a live leader"
-                    );
-                    let slot = shard.alloc(JobState::Waiting { leader });
-                    shard.waiters.entry(leader).or_default().push(slot);
-                    return self.handle(shard_idx, slot, &shard);
+                    if shard.slots[leader as usize].dying() {
+                        // The leader is being cancelled: don't coalesce a
+                        // fresh submission onto a computation that will
+                        // never answer. Run in isolation (the dying
+                        // leader still owns the in-flight marker).
+                        key = None;
+                    } else {
+                        core.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+                        debug_assert!(
+                            matches!(
+                                shard.slots[leader as usize].state,
+                                JobState::Running(_) | JobState::Stepping
+                            ),
+                            "in-flight entry must point at a live leader"
+                        );
+                        core.inflight.fetch_add(1, Ordering::Relaxed);
+                        let slot = shard.alloc(JobState::Waiting { leader });
+                        shard.waiters.entry(leader).or_default().push(slot);
+                        return self.handle(shard_idx, slot, &shard);
+                    }
                 }
                 Probe::Rejected => {
                     // Verification just proved this key collides with a
@@ -621,6 +791,7 @@ impl ImplicationClient {
             }
         }
         core.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+        core.inflight.fetch_add(1, Ordering::Relaxed);
         // Install the slot claimed (`Stepping`) and the in-flight marker
         // under the lock, but build the task — chase-instance seeding,
         // index construction, O(Σ) work — *outside* it: concurrent
@@ -644,8 +815,25 @@ impl ImplicationClient {
         drop(shard);
         let dcfg = decide.unwrap_or_else(|| core.cfg.decide.clone());
         let task = DecideTask::new(sigma, goal, pool, dcfg);
+        let token = task.cancel_token();
         let mut shard = self.lock_shard(shard_idx);
         shard.stepping -= 1;
+        shard.slots[slot as usize].cancel = Some(token.clone());
+        // `cancel()` may have arrived while the task was being built (the
+        // slot was `Stepping`, and the token wasn't installed yet, so it
+        // could neither be tripped nor sweep the waiters). Honor it now:
+        // non-detached waiters that coalesced in the window are woken
+        // `Cancelled`, and only a detached survivor keeps the job alive.
+        if shard.slots[slot as usize].cancel_requested
+            && !self.cancel_waiter_sweep(&mut shard, slot)
+        {
+            token.cancel();
+            let handle = self.handle(shard_idx, slot, &shard);
+            core.cancel_slot(&mut shard, slot);
+            drop(shard);
+            self.notify_shard(shard_idx);
+            return handle;
+        }
         shard.slots[slot as usize].state = JobState::Running(Box::new(task));
         shard.queue.push(RunEntry {
             priority,
@@ -653,7 +841,12 @@ impl ImplicationClient {
             slot,
             generation,
         });
-        self.handle(shard_idx, slot, &shard)
+        core.queue_depth[shard_idx].fetch_add(1, Ordering::Relaxed);
+        let handle = self.handle(shard_idx, slot, &shard);
+        drop(shard);
+        // Queue transition: wake anything parked on this shard or idling.
+        self.notify_shard(shard_idx);
+        handle
     }
 
     fn handle(&self, shard_idx: usize, slot: u32, shard: &Shard) -> JobHandle {
@@ -668,7 +861,42 @@ impl ImplicationClient {
     }
 
     fn lock_shard(&self, idx: usize) -> MutexGuard<'_, Shard> {
-        self.core.shards[idx].lock().expect("shard lock")
+        self.core.shards[idx].shard.lock().expect("shard lock")
+    }
+
+    /// Wakes waiters parked on shard `idx` and idle workers (called after
+    /// any completion, cancellation, expiry, or queue transition there).
+    fn notify_shard(&self, idx: usize) {
+        self.core.shards[idx].cv.notify_all();
+        self.core.idle_cv.notify_all();
+    }
+
+    /// Parks the calling thread on shard `idx`'s condvar until a sweep
+    /// there lands (or the timeout backstop fires). Returns immediately
+    /// if no thread holds a claim on the shard.
+    fn park_on_shard(&self, idx: usize) {
+        let cell = &self.core.shards[idx];
+        let guard = cell.shard.lock().expect("shard lock");
+        if guard.stepping == 0 {
+            // The claim landed between our sweep and this park; re-check.
+            return;
+        }
+        self.core.stats.parked.fetch_add(1, Ordering::Relaxed);
+        let _ = cell.cv.wait_timeout(guard, PARK_TIMEOUT);
+    }
+
+    /// Parks an idle `run_to_completion` worker until any completion or
+    /// queue transition anywhere (or the timeout backstop). Completions
+    /// notify `idle_cv` without taking the `idle` mutex, so a wakeup can
+    /// race this wait; the timeout bounds the resulting stall.
+    fn park_idle(&self) {
+        let core = &*self.core;
+        let guard = core.idle.lock().expect("idle lock");
+        if core.inflight.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        core.stats.parked.fetch_add(1, Ordering::Relaxed);
+        let _ = core.idle_cv.wait_timeout(guard, PARK_TIMEOUT);
     }
 
     /// The job's current status. Cheap; never advances work. A retired id
@@ -677,10 +905,10 @@ impl ImplicationClient {
     /// that issued them (see [`JobId`]) — a foreign id that happens to be
     /// in range reads whatever job lives in that slot.
     pub fn status(&self, id: JobId) -> JobStatus {
-        let Some(mutex) = self.core.shards.get(id.shard as usize) else {
+        let Some(cell) = self.core.shards.get(id.shard as usize) else {
             return JobStatus::Retired;
         };
-        let shard = mutex.lock().expect("shard lock");
+        let shard = cell.shard.lock().expect("shard lock");
         let Some(slot) = shard.slots.get(id.slot as usize) else {
             return JobStatus::Retired;
         };
@@ -688,33 +916,70 @@ impl ImplicationClient {
             return JobStatus::Retired;
         }
         match &slot.state {
+            JobState::Finished(outcome) if outcome.cancelled => JobStatus::Cancelled,
             JobState::Finished(outcome) => JobStatus::Done(outcome.clone()),
             JobState::Vacant => JobStatus::Retired,
             _ => JobStatus::Pending,
         }
     }
 
+    /// The stored outcome of a finished job (cancelled or not), if any.
+    fn outcome_snapshot(&self, id: JobId) -> Option<JobOutcome> {
+        let cell = self.core.shards.get(id.shard as usize)?;
+        let shard = cell.shard.lock().expect("shard lock");
+        let slot = shard.slots.get(id.slot as usize)?;
+        if slot.generation != id.generation {
+            return None;
+        }
+        match &slot.state {
+            JobState::Finished(outcome) => Some(outcome.clone()),
+            _ => None,
+        }
+    }
+
     /// One fair sweep of shard `idx`: claims every runnable job, steps
     /// each for (at most) one fuel slice outside the lock, then records
-    /// completions. Safe to call from any number of threads — concurrent
-    /// callers on the same shard see [`ShardStep::Idle`] and should yield.
+    /// completions and notifies parked waiters. Safe to call from any
+    /// number of threads — concurrent callers on the same shard see
+    /// [`ShardStep::Idle`] and should park or retry.
     ///
     /// # Panics
     /// If `idx >= self.num_shards()`.
     pub fn step_shard(&self, idx: usize) -> ShardStep {
+        self.step_shard_limited(idx, usize::MAX)
+    }
+
+    /// As [`ImplicationClient::step_shard`] but claiming at most
+    /// `max_claims` jobs — bounded batches keep a queue populated for
+    /// work stealing and let pinned workers interleave with thieves.
+    fn step_shard_limited(&self, idx: usize, max_claims: usize) -> ShardStep {
         let core = &*self.core;
         let slice = core.cfg.slice_fuel.max(1);
         let mut claimed: Vec<(u32, Box<DecideTask>, usize)> = Vec::new();
         let mut fuel_out = false;
-        let mut expired_any = false;
+        let mut resolved_any = false;
         {
             let mut shard = self.lock_shard(idx);
-            while let Some(entry) = shard.queue.pop() {
+            while claimed.len() < max_claims {
+                let Some(entry) = shard.queue.pop() else { break };
+                core.queue_depth[idx].fetch_sub(1, Ordering::Relaxed);
                 let si = entry.slot as usize;
                 let valid = shard.slots[si].generation == entry.generation
                     && matches!(shard.slots[si].state, JobState::Running(_));
                 if !valid {
-                    continue; // stale: retired, expired, or already finished
+                    continue; // stale: retired, expired, cancelled, or finished
+                }
+                // A cancelled job (token tripped) dies right here without
+                // burning a slice.
+                if shard.slots[si].dying() {
+                    let JobState::Running(_task) =
+                        std::mem::replace(&mut shard.slots[si].state, JobState::Stepping)
+                    else {
+                        unreachable!("validated Running above")
+                    };
+                    core.cancel_slot(&mut shard, entry.slot);
+                    resolved_any = true;
+                    continue;
                 }
                 // Per-job fuel cap: a capped-out job expires right here.
                 let cap_rem = shard.slots[si]
@@ -727,13 +992,14 @@ impl ImplicationClient {
                         unreachable!("validated Running above")
                     };
                     core.expire_slot(&mut shard, entry.slot);
-                    expired_any = true;
+                    resolved_any = true;
                     continue;
                 }
                 let want = cap_rem.map_or(slice, |c| slice.min(c.try_into().unwrap_or(usize::MAX)));
                 let granted = core.reserve_fuel(want);
                 if granted == 0 {
                     shard.queue.push(entry);
+                    core.queue_depth[idx].fetch_add(1, Ordering::Relaxed);
                     fuel_out = true;
                     break;
                 }
@@ -746,15 +1012,20 @@ impl ImplicationClient {
             }
             shard.stepping += claimed.len();
             if claimed.is_empty() {
-                return if fuel_out {
+                let result = if fuel_out {
                     ShardStep::FuelExhausted
-                } else if expired_any {
+                } else if resolved_any {
                     ShardStep::Progressed
                 } else if shard.stepping > 0 {
                     ShardStep::Idle
                 } else {
                     ShardStep::Empty
                 };
+                drop(shard);
+                if resolved_any {
+                    self.notify_shard(idx);
+                }
+                return result;
             }
         }
         core.stats.sweeps.fetch_add(1, Ordering::Relaxed);
@@ -772,22 +1043,37 @@ impl ImplicationClient {
         let mut shard = self.lock_shard(idx);
         shard.stepping -= stepped.len();
         for (slot, task, status, used) in stepped {
-            shard.slots[slot as usize].fuel_spent += used;
+            let si = slot as usize;
+            shard.slots[si].fuel_spent += used;
             match status {
+                DecideStatus::Pending if shard.slots[si].dying() => {
+                    core.cancel_slot(&mut shard, slot)
+                }
                 DecideStatus::Pending => {
-                    let priority = shard.slots[slot as usize].priority;
-                    let generation = shard.slots[slot as usize].generation;
-                    shard.slots[slot as usize].state = JobState::Running(task);
+                    let priority = shard.slots[si].priority;
+                    let generation = shard.slots[si].generation;
+                    shard.slots[si].state = JobState::Running(task);
                     shard.queue.push(RunEntry {
                         priority,
                         seq: std::cmp::Reverse(core.seq.fetch_add(1, Ordering::Relaxed)),
                         slot,
                         generation,
                     });
+                    core.queue_depth[idx].fetch_add(1, Ordering::Relaxed);
                 }
-                DecideStatus::Done(_) => core.complete_slot(&mut shard, slot, *task),
+                DecideStatus::Done(_) => {
+                    let (decision, _pool) = task.finish();
+                    if decision.cancelled {
+                        core.cancel_slot(&mut shard, slot);
+                    } else {
+                        core.complete_slot(&mut shard, slot, decision);
+                    }
+                }
             }
         }
+        drop(shard);
+        // Completions landed and/or jobs requeued: wake parked waiters.
+        self.notify_shard(idx);
         ShardStep::Progressed
     }
 
@@ -809,42 +1095,130 @@ impl ImplicationClient {
         any && !fuel_out
     }
 
-    /// Drives every in-flight job to an answer: sweeps all shards (with
-    /// [`ServiceConfig::workers`] threads when configured) until they
-    /// drain, then — if a fuel budget cut the run short — answers the
+    /// Drives every in-flight job to an answer: sweeps all shards until
+    /// they drain, then — if a fuel budget cut the run short — answers the
     /// leftovers `Unknown` (an honest answer for an undecidable problem
     /// under a finite budget).
+    ///
+    /// With [`ServiceConfig::workers`]` > 1`, each worker is pinned to a
+    /// stripe of home shards; an idle worker steals slices from the
+    /// deepest foreign queue when [`ServiceConfig::steal`] is on, and
+    /// parks on a condvar (instead of yield-spinning) when there is
+    /// nothing to claim anywhere.
     pub fn run_to_completion(&self) {
         let workers = self.core.cfg.workers.max(1);
-        let drive = || loop {
-            let mut all_empty = true;
-            let mut fuel_out = false;
-            for idx in 0..self.core.shards.len() {
-                match self.step_shard(idx) {
-                    ShardStep::Progressed => all_empty = false,
-                    ShardStep::Idle => {
-                        all_empty = false;
-                        std::thread::yield_now();
-                    }
-                    ShardStep::Empty => {}
-                    ShardStep::FuelExhausted => fuel_out = true,
-                }
-            }
-            if fuel_out || all_empty {
-                break;
-            }
-        };
+        self.core.draining.store(false, Ordering::Relaxed);
         if workers == 1 {
-            drive();
+            self.drive_serial();
         } else {
             std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(drive);
+                for w in 0..workers {
+                    scope.spawn(move || self.worker_loop(w, workers));
                 }
             });
         }
         if self.pending_jobs() > 0 {
             self.expire_all();
+        }
+    }
+
+    /// The single-threaded driver: full sweeps until drained, parking on
+    /// a shard's condvar when an external clone holds its only claim.
+    fn drive_serial(&self) {
+        loop {
+            let mut progressed = false;
+            let mut fuel_out = false;
+            let mut claimed_elsewhere = None;
+            for idx in 0..self.core.shards.len() {
+                match self.step_shard(idx) {
+                    ShardStep::Progressed => progressed = true,
+                    ShardStep::Idle => claimed_elsewhere = Some(idx),
+                    ShardStep::Empty => {}
+                    ShardStep::FuelExhausted => fuel_out = true,
+                }
+            }
+            if fuel_out || (!progressed && claimed_elsewhere.is_none()) {
+                break;
+            }
+            // Park only when the *whole* sweep was starved by a claim an
+            // external clone holds — a pass that progressed runnable
+            // work elsewhere must not throttle itself on the condvar.
+            if !progressed {
+                if let Some(idx) = claimed_elsewhere {
+                    self.park_on_shard(idx);
+                }
+            }
+        }
+    }
+
+    /// One pinned worker of a multi-worker `run_to_completion`: sweeps
+    /// its home stripe (one claim per shard per pass, so queues stay
+    /// populated for thieves), steals when idle, parks when starved,
+    /// exits when no job is in flight anywhere or fuel ran out.
+    fn worker_loop(&self, w: usize, total: usize) {
+        let core = &*self.core;
+        let n = core.shards.len();
+        let home: Vec<usize> = (0..n).filter(|i| i % total == w).collect();
+        loop {
+            let mut progressed = false;
+            let mut fuel_out = false;
+            for &idx in &home {
+                match self.step_shard_limited(idx, 1) {
+                    ShardStep::Progressed => progressed = true,
+                    ShardStep::Idle | ShardStep::Empty => {}
+                    ShardStep::FuelExhausted => fuel_out = true,
+                }
+            }
+            // A spent fuel budget must stop every worker *consistently* —
+            // a lone exit would orphan this worker's home stripe for
+            // steal-off peers, who cannot observe FuelExhausted through
+            // their own (empty) shards and would park on `inflight > 0`
+            // forever while `expire_all` waits for them to join. Latch
+            // the drain and wake the parked.
+            if fuel_out || core.fuel_drained() {
+                core.draining.store(true, Ordering::Relaxed);
+                core.idle_cv.notify_all();
+            }
+            if core.draining.load(Ordering::Relaxed) {
+                break;
+            }
+            if !progressed && core.cfg.steal {
+                progressed = self.try_steal(&home);
+            }
+            if !progressed {
+                if core.inflight.load(Ordering::Relaxed) == 0 {
+                    break;
+                }
+                self.park_idle();
+            }
+        }
+    }
+
+    /// Steals one fuel slice from the deepest foreign queue. Only the CPU
+    /// work migrates: the job's slot, key, and waiters stay in the victim
+    /// shard, so `JobId`s, coalescing, and the cache are unaffected.
+    fn try_steal(&self, home: &[usize]) -> bool {
+        let n = self.core.shards.len();
+        let mut victim: Option<(usize, usize)> = None;
+        for idx in 0..n {
+            if home.contains(&idx) {
+                continue;
+            }
+            // Lock-free depth read (the atomic mirror), so idle thieves
+            // scanning every millisecond never contend on the hot
+            // victim's mutex; the claim below re-validates everything
+            // under the victim's lock.
+            let depth = self.core.queue_depth[idx].load(Ordering::Relaxed);
+            if depth > 0 && victim.is_none_or(|(_, d)| depth > d) {
+                victim = Some((idx, depth));
+            }
+        }
+        let Some((idx, _)) = victim else { return false };
+        if matches!(self.step_shard_limited(idx, 1), ShardStep::Progressed) {
+            self.core.stats.steals.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
         }
     }
 
@@ -888,6 +1262,8 @@ impl ImplicationClient {
                     .any(|s| matches!(s.state, JobState::Waiting { .. })),
                 "expire_all left an orphaned coalesced waiter"
             );
+            drop(shard);
+            self.notify_shard(idx);
         }
     }
 
@@ -900,7 +1276,7 @@ impl ImplicationClient {
         if shard.slots[si].generation != id.generation {
             return true; // already gone
         }
-        match shard.slots[si].state {
+        let done = match shard.slots[si].state {
             JobState::Running(_) => {
                 let JobState::Running(_task) =
                     std::mem::replace(&mut shard.slots[si].state, JobState::Stepping)
@@ -917,17 +1293,150 @@ impl ImplicationClient {
                 let outcome = unknown_outcome(shard.slots[si].fuel_spent);
                 self.core.stats.expired.fetch_add(1, Ordering::Relaxed);
                 self.core.record_answer(&outcome);
+                self.core.job_resolved();
                 shard.slots[si].state = JobState::Finished(outcome);
+                self.drop_keepalive(&mut shard, leader);
                 true
             }
             JobState::Stepping => false,
             JobState::Finished(_) | JobState::Vacant => true,
+        };
+        drop(shard);
+        if done {
+            self.notify_shard(id.shard as usize);
         }
+        done
+    }
+
+    /// Cancels one job: trips its task's `CancelToken` so the computation
+    /// stops within one fuel slice, and resolves it (and its non-detached
+    /// coalesced waiters) to the defined [`JobStatus::Cancelled`].
+    /// Waiters that [`JobHandle::detach`]ed beforehand keep the
+    /// computation alive and receive the real answer; the canceller's own
+    /// view still resolves `Cancelled` when the job lands. Cancelling a
+    /// finished (or retired) job is a no-op.
+    fn cancel(&self, id: JobId) {
+        let Some(cell) = self.core.shards.get(id.shard as usize) else {
+            return;
+        };
+        let mut shard = cell.shard.lock().expect("shard lock");
+        let si = id.slot as usize;
+        if si >= shard.slots.len() || shard.slots[si].generation != id.generation {
+            return;
+        }
+        match shard.slots[si].state {
+            JobState::Vacant | JobState::Finished(_) => return,
+            JobState::Waiting { leader } => {
+                if let Some(ws) = shard.waiters.get_mut(&leader) {
+                    ws.retain(|&w| w != id.slot);
+                }
+                let outcome = cancelled_outcome(shard.slots[si].fuel_spent);
+                self.core.record_answer(&outcome);
+                self.core.job_resolved();
+                shard.slots[si].state = JobState::Finished(outcome);
+                self.drop_keepalive(&mut shard, leader);
+            }
+            JobState::Running(_) | JobState::Stepping => {
+                if shard.slots[si].cancel_requested {
+                    return; // idempotent
+                }
+                shard.slots[si].cancel_requested = true;
+                // Wake non-detached waiters now with the defined status;
+                // detached waiters keep the computation alive. If none
+                // remain, the leader dies too (immediately when
+                // unclaimed; within its in-flight slice when claimed).
+                if !self.cancel_waiter_sweep(&mut shard, id.slot) {
+                    self.kill_cancelled_leader(&mut shard, id.slot);
+                }
+            }
+        }
+        drop(shard);
+        self.notify_shard(id.shard as usize);
+    }
+
+    /// Resolves a cancelled leader's non-detached waiters `Cancelled`,
+    /// keeping the detached ones on the list. Returns `true` if any
+    /// detached waiter remains to keep the computation alive.
+    fn cancel_waiter_sweep(&self, shard: &mut Shard, leader: u32) -> bool {
+        let mut keep = Vec::new();
+        for w in shard.waiters.remove(&leader).unwrap_or_default() {
+            if shard.slots[w as usize].detached {
+                keep.push(w);
+            } else {
+                let outcome = cancelled_outcome(0);
+                self.core.record_answer(&outcome);
+                self.core.job_resolved();
+                shard.slots[w as usize].state = JobState::Finished(outcome);
+            }
+        }
+        let keepalive = !keep.is_empty();
+        if keepalive {
+            shard.waiters.insert(leader, keep);
+        }
+        keepalive
+    }
+
+    /// Trips a cancel-requested leader's token, and resolves it on the
+    /// spot when it is unclaimed (a claimed leader's in-flight slice
+    /// observes the token, or the landing code sees the request, within
+    /// one slice).
+    fn kill_cancelled_leader(&self, shard: &mut Shard, leader: u32) {
+        let li = leader as usize;
+        if let Some(token) = &shard.slots[li].cancel {
+            token.cancel();
+        }
+        if matches!(shard.slots[li].state, JobState::Running(_)) {
+            let JobState::Running(_task) =
+                std::mem::replace(&mut shard.slots[li].state, JobState::Stepping)
+            else {
+                unreachable!("matched Running above")
+            };
+            self.core.cancel_slot(shard, leader);
+        }
+    }
+
+    /// Called after a waiter leaves `leader`'s coalescing list for any
+    /// reason (retired, cancelled, expired): if the leader's owner had
+    /// already cancelled and the departing waiter was the last one
+    /// keeping the computation alive, the cancel finally takes effect —
+    /// otherwise a cancelled-but-kept-alive job would burn its whole
+    /// budget with no interested party left (and the owner's repeat
+    /// `cancel()` would no-op on the idempotency guard).
+    fn drop_keepalive(&self, shard: &mut Shard, leader: u32) {
+        if shard.waiters.get(&leader).is_some_and(|ws| !ws.is_empty()) {
+            return;
+        }
+        shard.waiters.remove(&leader);
+        let li = leader as usize;
+        if shard.slots[li].cancel_requested
+            && matches!(
+                shard.slots[li].state,
+                JobState::Running(_) | JobState::Stepping
+            )
+        {
+            self.kill_cancelled_leader(shard, leader);
+        }
+    }
+
+    /// Marks a job as detached: if it is a coalesced waiter and its
+    /// leader's owner cancels, this job keeps the computation alive and
+    /// still receives the answer. Must be set before the cancel arrives.
+    fn detach(&self, id: JobId) {
+        let Some(cell) = self.core.shards.get(id.shard as usize) else {
+            return;
+        };
+        let mut shard = cell.shard.lock().expect("shard lock");
+        let si = id.slot as usize;
+        if si >= shard.slots.len() || shard.slots[si].generation != id.generation {
+            return;
+        }
+        shard.slots[si].detached = true;
     }
 
     /// Frees a job's storage. Pending jobs keep running to completion
     /// (their answer still feeds the cache and any coalesced waiters) but
-    /// their outcome is dropped on arrival.
+    /// their outcome is dropped on arrival; cancel first to stop the
+    /// computation itself.
     fn retire(&self, id: JobId) {
         let mut shard = self.lock_shard(id.shard as usize);
         let si = id.slot as usize;
@@ -941,7 +1450,9 @@ impl ImplicationClient {
                 if let Some(ws) = shard.waiters.get_mut(&leader) {
                     ws.retain(|&w| w != id.slot);
                 }
+                self.core.job_resolved();
                 shard.free_slot(id.slot);
+                self.drop_keepalive(&mut shard, leader);
             }
             JobState::Running(_) | JobState::Stepping => {
                 shard.slots[si].retired = true;
@@ -975,9 +1486,30 @@ impl Core {
         }
     }
 
-    /// Updates the answer histogram and completion count.
+    /// `true` when a metered global budget currently reads empty. A
+    /// racing refund can restore a few units right after — callers using
+    /// this to stop driving merely hand those crumbs to `expire_all`,
+    /// the same outcome as a sweep observing `FuelExhausted` directly.
+    fn fuel_drained(&self) -> bool {
+        self.metered && self.fuel.load(Ordering::Relaxed) == 0
+    }
+
+    /// One scheduled job left the in-flight set (completed, expired,
+    /// cancelled, or a waiter was retired); wakes idle workers.
+    fn job_resolved(&self) {
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
+        self.idle_cv.notify_all();
+    }
+
+    /// Updates the answer histogram and completion count. Cancelled
+    /// outcomes count toward `completed` and `cancelled`, not the
+    /// yes/no/unknown histogram (they carry no answer).
     fn record_answer(&self, outcome: &JobOutcome) {
         self.stats.completed.fetch_add(1, Ordering::Relaxed);
+        if outcome.cancelled {
+            self.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         let counter = match outcome.implication {
             Answer::Yes => &self.stats.yes,
             Answer::No => &self.stats.no,
@@ -988,19 +1520,21 @@ impl Core {
 
     /// Finishes a job from its decided task: records stats, fills the
     /// cache (bounded), wakes coalesced waiters. Called under the shard
-    /// lock with the slot in `Stepping` state (task moved out).
-    fn complete_slot(&self, shard: &mut Shard, slot: u32, task: DecideTask) {
-        let (decision, _pool) = task.finish();
+    /// lock with the slot in `Stepping` state (task moved out and
+    /// finished by the caller).
+    fn complete_slot(&self, shard: &mut Shard, slot: u32, decision: Decision) {
+        let si = slot as usize;
         let outcome = JobOutcome {
             implication: decision.implication,
             finite_implication: decision.finite_implication,
             counterexample: decision.counterexample,
             from_cache: false,
-            fuel_spent: shard.slots[slot as usize].fuel_spent,
+            fuel_spent: shard.slots[si].fuel_spent,
+            cancelled: false,
         };
         self.record_answer(&outcome);
-        let key = shard.slots[slot as usize].key.take();
-        let goal = shard.slots[slot as usize].goal.take();
+        let key = shard.slots[si].key.take();
+        let goal = shard.slots[si].goal.take();
         if let Some(k) = key {
             // Only definite answers are cached: Yes/No are certificates,
             // true of every isomorphic presentation of the query, while
@@ -1012,19 +1546,27 @@ impl Core {
                     implication: outcome.implication,
                     finite_implication: outcome.finite_implication,
                 };
-                if shard.cache.insert(k, answer, &g, outcome.fuel_spent) > 0 {
+                if let Some(interned) = shard.cache.insert(k, answer, &g, outcome.fuel_spent) {
                     self.cached_total.fetch_add(1, Ordering::Relaxed);
-                    self.enforce_cache_bound(shard);
+                    self.enforce_cache_bound(shard, Some(&interned));
                 }
             } else {
                 shard.cache.clear_inflight(&k);
             }
         }
-        self.resolve_waiters(shard, slot, &outcome);
-        if shard.slots[slot as usize].retired {
+        self.resolve_waiters(shard, slot, &outcome, true);
+        self.job_resolved();
+        if shard.slots[si].retired {
             shard.free_slot(slot);
+        } else if shard.slots[si].cancel_requested {
+            // Detached waiters kept the computation alive (and just got
+            // the real answer above); the owner cancelled, so its own
+            // view resolves Cancelled.
+            self.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+            let cancelled = cancelled_outcome(shard.slots[si].fuel_spent);
+            shard.slots[si].state = JobState::Finished(cancelled);
         } else {
-            shard.slots[slot as usize].state = JobState::Finished(outcome);
+            shard.slots[si].state = JobState::Finished(outcome);
         }
     }
 
@@ -1033,24 +1575,53 @@ impl Core {
     fn expire_slot(&self, shard: &mut Shard, slot: u32) {
         let outcome = unknown_outcome(shard.slots[slot as usize].fuel_spent);
         self.stats.expired.fetch_add(1, Ordering::Relaxed);
-        // Deliberately *not* cached: this Unknown reflects scheduling
-        // pressure, not the per-query budgets the cache's answers are
-        // deterministic functions of.
+        self.abort_slot(shard, slot, outcome);
+    }
+
+    /// Resolves a claimed slot [`JobStatus::Cancelled`]. Called under the
+    /// shard lock with the slot in `Stepping` state.
+    fn cancel_slot(&self, shard: &mut Shard, slot: u32) {
+        let outcome = cancelled_outcome(shard.slots[slot as usize].fuel_spent);
+        self.abort_slot(shard, slot, outcome);
+    }
+
+    /// Shared tail of expiry and cancellation: records the outcome, drops
+    /// the in-flight cache marker (answers from aborted runs are never
+    /// cached: expiry reflects scheduling pressure, cancellation produced
+    /// no answer), resolves waiters, and stores or frees the slot. An
+    /// owner who had requested cancellation still sees `Cancelled`, even
+    /// when what actually landed first was a fuel expiry.
+    fn abort_slot(&self, shard: &mut Shard, slot: u32, outcome: JobOutcome) {
+        let si = slot as usize;
         self.record_answer(&outcome);
-        if let Some(k) = shard.slots[slot as usize].key.take() {
+        if let Some(k) = shard.slots[si].key.take() {
             shard.cache.clear_inflight(&k);
         }
-        shard.slots[slot as usize].goal = None;
-        self.resolve_waiters(shard, slot, &outcome);
-        if shard.slots[slot as usize].retired {
+        shard.slots[si].goal = None;
+        self.resolve_waiters(shard, slot, &outcome, false);
+        self.job_resolved();
+        if shard.slots[si].retired {
             shard.free_slot(slot);
+        } else if shard.slots[si].cancel_requested && !outcome.cancelled {
+            self.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+            let cancelled = cancelled_outcome(shard.slots[si].fuel_spent);
+            shard.slots[si].state = JobState::Finished(cancelled);
         } else {
-            shard.slots[slot as usize].state = JobState::Finished(outcome);
+            shard.slots[si].state = JobState::Finished(outcome);
         }
     }
 
-    /// Wakes every job coalesced onto `leader` with its answers.
-    fn resolve_waiters(&self, shard: &mut Shard, leader: u32, outcome: &JobOutcome) {
+    /// Wakes every job coalesced onto `leader` with its answers (or its
+    /// cancelled/expired status). `from_leader_answer` is `true` only
+    /// when the leader genuinely completed — waiters of an expired or
+    /// cancelled leader are not labeled cache-served.
+    fn resolve_waiters(
+        &self,
+        shard: &mut Shard,
+        leader: u32,
+        outcome: &JobOutcome,
+        from_leader_answer: bool,
+    ) {
         for w in shard.waiters.remove(&leader).unwrap_or_default() {
             debug_assert!(
                 matches!(shard.slots[w as usize].state, JobState::Waiting { leader: l } if l == leader),
@@ -1060,21 +1631,26 @@ impl Core {
                 implication: outcome.implication,
                 finite_implication: outcome.finite_implication,
                 counterexample: None,
-                from_cache: true,
+                from_cache: from_leader_answer,
                 fuel_spent: 0,
+                cancelled: outcome.cancelled,
             };
             self.record_answer(&waiter_outcome);
+            self.job_resolved();
             shard.slots[w as usize].state = JobState::Finished(waiter_outcome);
         }
     }
 
     /// Evicts from `shard`'s cache slice until the global count is back
-    /// under the configured capacity. Approximate global LRU: a shard only
+    /// under the configured capacity, never evicting `protect` (the entry
+    /// just inserted — otherwise a capacity smaller than the shard count
+    /// would make every fresh insert its own eviction victim while hot
+    /// shards keep stale entries). Approximate global LRU: a shard only
     /// evicts entries it owns, so concurrent inserts elsewhere converge
     /// without cross-shard locking.
-    fn enforce_cache_bound(&self, shard: &mut Shard) {
+    fn enforce_cache_bound(&self, shard: &mut Shard, protect: Option<&Arc<QueryKey>>) {
         while self.cached_total.load(Ordering::Relaxed) > self.cfg.cache_capacity {
-            if shard.cache.evict_one() {
+            if shard.cache.evict_one_protecting(protect) {
                 self.cached_total.fetch_sub(1, Ordering::Relaxed);
                 self.stats.evictions.fetch_add(1, Ordering::Relaxed);
             } else {
@@ -1091,6 +1667,18 @@ fn unknown_outcome(fuel_spent: u64) -> JobOutcome {
         counterexample: None,
         from_cache: false,
         fuel_spent,
+        cancelled: false,
+    }
+}
+
+fn cancelled_outcome(fuel_spent: u64) -> JobOutcome {
+    JobOutcome {
+        implication: Answer::Unknown,
+        finite_implication: Answer::Unknown,
+        counterexample: None,
+        from_cache: false,
+        fuel_spent,
+        cancelled: true,
     }
 }
 
@@ -1100,10 +1688,41 @@ fn shard_of(key: &QueryKey, nshards: usize) -> usize {
     (h.finish() as usize) % nshards
 }
 
-/// Owner of one submitted job's lifecycle. Poll it, block on it, or let
-/// it go — dropping the handle **retires** the job, freeing its slot (and
-/// its stored outcome) in the service; the computation itself still runs
-/// to completion so its answer can feed the cache and coalesced waiters.
+/// A raw structural hash of `(Σ, σ)` for shard routing when the cache is
+/// disabled: value handles and tableau shapes are hashed as submitted, no
+/// canonicalization. Deterministic per submission but **not** invariant
+/// under renaming — good enough to spread jobs across shards, which is
+/// all routing needs.
+fn raw_query_hash(sigma: &[TdOrEgd], goal: &TdOrEgd) -> u64 {
+    fn dep<H: Hasher>(h: &mut H, d: &TdOrEgd) {
+        match d {
+            TdOrEgd::Td(t) => {
+                0u8.hash(h);
+                t.hypothesis().hash(h);
+                t.conclusion().hash(h);
+            }
+            TdOrEgd::Egd(e) => {
+                1u8.hash(h);
+                e.hypothesis().hash(h);
+                e.left().hash(h);
+                e.right().hash(h);
+            }
+        }
+    }
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    sigma.len().hash(&mut h);
+    for d in sigma {
+        dep(&mut h, d);
+    }
+    dep(&mut h, goal);
+    h.finish()
+}
+
+/// Owner of one submitted job's lifecycle. Poll it, block on it, cancel
+/// it, or let it go — dropping the handle **retires** the job, freeing
+/// its slot (and its stored outcome) in the service; the computation
+/// itself still runs to completion so its answer can feed the cache and
+/// coalesced waiters (use [`JobHandle::cancel`] to stop it).
 ///
 /// Handles are deliberately not `Clone`: exactly one owner decides when
 /// the outcome may be dropped.
@@ -1131,15 +1750,49 @@ impl JobHandle {
         self.client.status(self.id)
     }
 
-    /// Blocks until the job has an answer, **helping** while it waits: the
-    /// calling thread steps the shard that owns this job (and only that
-    /// shard — divergent jobs elsewhere cost it nothing). Under a spent
-    /// global fuel budget the job is expired to an honest `Unknown`
-    /// rather than waiting forever.
+    /// Cancels the job. When this handle is the last party interested in
+    /// the computation, it stops within one fuel slice (cooperative
+    /// token, checked at chase-round / search-attempt granularity; an
+    /// unclaimed job stops immediately with zero extra fuel), its
+    /// run-queue slot frees up, and the job resolves to the defined
+    /// [`JobStatus::Cancelled`]. Non-detached coalesced waiters are
+    /// woken `Cancelled` with it. The computation survives a cancel in
+    /// two cases — only this handle's view resolves `Cancelled` then:
+    /// this job is itself a *waiter* on a shared in-flight leader (the
+    /// leader's owner still wants the answer), or detached waiters
+    /// ([`JobHandle::detach`]) opted into keeping this leader's answer
+    /// alive (it stops later, when the last of them departs).
+    /// Cancelling a finished job is a no-op: it keeps its answer.
+    pub fn cancel(&self) {
+        self.client.cancel(self.id);
+    }
+
+    /// Opts this job into surviving its coalescing leader's
+    /// cancellation: a detached waiter keeps the shared computation alive
+    /// and still receives the real answer. Call before the leader's
+    /// [`JobHandle::cancel`]; no effect on jobs that aren't coalesced.
+    pub fn detach(&self) {
+        self.client.detach(self.id);
+    }
+
+    /// Blocks until the job has an answer, **helping** while it waits:
+    /// the calling thread steps the shard that owns this job (and only
+    /// that shard — divergent jobs elsewhere cost it nothing), and when
+    /// another thread holds the claim it parks on the shard's condvar
+    /// until the slice lands instead of yield-spinning. Under a spent
+    /// global fuel budget the job is expired to an honest `Unknown`; a
+    /// cancelled job returns its stored outcome (`cancelled` set,
+    /// answers `Unknown`).
     pub fn wait(&self) -> JobOutcome {
         loop {
             match self.poll() {
                 JobStatus::Done(outcome) => return outcome,
+                JobStatus::Cancelled => {
+                    return self
+                        .client
+                        .outcome_snapshot(self.id)
+                        .unwrap_or_else(|| cancelled_outcome(0));
+                }
                 JobStatus::Retired => {
                     unreachable!("a live handle's job cannot be retired")
                 }
@@ -1147,12 +1800,13 @@ impl JobHandle {
             }
             match self.client.step_shard(self.id.shard as usize) {
                 ShardStep::Progressed => {}
-                ShardStep::Idle | ShardStep::Empty => std::thread::yield_now(),
+                ShardStep::Idle => self.client.park_on_shard(self.id.shard as usize),
+                ShardStep::Empty => std::thread::yield_now(),
                 ShardStep::FuelExhausted => {
-                    // May fail while another thread holds the task; the
-                    // loop retries after yielding.
+                    // May fail while another thread holds the task; park
+                    // until its slice lands, then retry.
                     if !self.client.expire_job(self.id) {
-                        std::thread::yield_now();
+                        self.client.park_on_shard(self.id.shard as usize);
                     }
                 }
             }

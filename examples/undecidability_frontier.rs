@@ -59,7 +59,7 @@ fn main() {
                     run.trace.len()
                 );
             }
-            ChaseOutcome::Exhausted | ChaseOutcome::NotImplied => {
+            ChaseOutcome::Exhausted | ChaseOutcome::NotImplied | ChaseOutcome::Cancelled => {
                 let cfg = SearchConfig {
                     max_domain: 2,
                     attempts: 200,

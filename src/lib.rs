@@ -16,7 +16,7 @@
 //! | [`core`] | Sections 3–6: `T`, `σ₀`/`Σ₀`, `T⁻¹`, `θ_{X→A}`, the hat translation, Theorem 2 and Theorem 6 pipelines |
 //! | [`semigroup`] | Theorem 1/3 substrate: equational implications, finite semigroups, the fixed set `Σ₁` |
 //! | [`formal`] | checkable proofs, Theorem 7/8 formal systems, Armstrong relations |
-//! | [`service`] | the concurrent implication service: cloneable `ImplicationClient` over sharded fair-dovetailing schedulers, `JobHandle` lifecycle, bounded isomorphism-keyed answer cache, `typedtd-serve` CLI |
+//! | [`service`] | the concurrent implication service: cloneable `ImplicationClient` over sharded fair-dovetailing schedulers with work stealing, `JobHandle` lifecycle (poll / parked wait / cancel / retire), bounded isomorphism-keyed answer cache, `typedtd-serve` CLI |
 //!
 //! ## Quickstart
 //!
@@ -47,9 +47,9 @@ pub mod undecidability;
 /// The common imports for working with the library.
 pub mod prelude {
     pub use typedtd_chase::{
-        chase_implication, decide, decide_dependencies, saturate, Answer, ChaseConfig,
-        ChaseOutcome, ChaseTask, ChaseVariant, DecideConfig, DecideTask, SearchConfig,
-        SearchTask, StepStatus,
+        chase_implication, decide, decide_dependencies, saturate, Answer, CancelToken,
+        ChaseConfig, ChaseOutcome, ChaseTask, ChaseVariant, DecideConfig, DecideMode,
+        DecideTask, SearchConfig, SearchTask, StepStatus,
     };
     pub use typedtd_dependencies::{
         egd_from_names, td_from_names, Dependency, Egd, Fd, Mvd, Pjd, Td, TdOrEgd,

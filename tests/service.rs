@@ -18,8 +18,18 @@
 //!   the job's storage for reuse, and polling a retired id is a defined
 //!   `Retired` answer, never a panic or another job's result;
 //! * **bounded cache** — the cache never exceeds its configured capacity,
-//!   evicts cold entries first, and never evicts in-flight coalesced
-//!   entries.
+//!   evicts cold entries first, never evicts in-flight coalesced
+//!   entries, and a fresh insert is never its own eviction victim (even
+//!   at `cache_capacity = 1`);
+//! * **the preemptible execution core** — dovetail mode answers
+//!   refutable-but-divergent queries within a fuel cap where sequential
+//!   mode expires to `Unknown` (with full answer parity on decidable
+//!   queries), `cancel()` stops an in-flight job without burning further
+//!   fuel and leaves coalesced waiters a defined status (detached
+//!   waiters keep the answer), parked `wait`ers wake on completions from
+//!   another thread's sweep instead of busy-spinning, and cross-shard
+//!   work stealing preserves answers under a deliberately skewed shard
+//!   assignment.
 
 use proptest::prelude::*;
 use typedtd::dependencies::{egd_from_names, td_from_names, Dependency, TdOrEgd};
@@ -27,7 +37,7 @@ use typedtd::prelude::*;
 use typedtd::service::{
     ImplicationClient, JobStatus, QuerySpec, ServiceConfig, ShardStep,
 };
-use typedtd_chase::{DecideStatus, DecideTask};
+use typedtd_chase::{DecideMode, DecideStatus, DecideTask};
 
 fn universe4() -> std::sync::Arc<Universe> {
     Universe::typed(vec!["A", "B", "C", "D"])
@@ -794,4 +804,413 @@ A -> B & B -> A |= A -> B
         batch2.queries[0].conjoined().expect("resolved").implication,
         Answer::Yes
     );
+}
+
+/// Dovetail mode agrees with sequential blocking `decide` on the fd/mvd
+/// oracle corpus — both through the direct task API and the service.
+#[test]
+fn dovetail_matches_sequential_on_oracle_corpus() {
+    type Case = (Vec<u32>, Vec<u32>, u32, u32, bool);
+    let cases: Vec<Case> = (0u32..10)
+        .map(|i| {
+            (
+                vec![1 + (i * 3) % 14, 1 + (i * 9) % 14],
+                vec![1 + (i * 5) % 14, 1 + (i * 11) % 14],
+                1 + (i * 7) % 14,
+                1 + (i * 13) % 14,
+                i % 2 == 1,
+            )
+        })
+        .collect();
+    let seq_cfg = DecideConfig::default();
+    let client = ImplicationClient::new(ServiceConfig {
+        decide: DecideConfig {
+            mode: DecideMode::dovetail(2),
+            ..DecideConfig::default()
+        },
+        cache: false, // every job really runs in dovetail mode
+        ..ServiceConfig::default()
+    });
+    for (l, r, gl, gr, fd) in &cases {
+        let (sigma, goals, pool) = corpus_query(l, r, *gl, *gr, *fd);
+        for g in goals {
+            let blocking = decide(&sigma, &g, &mut pool.clone(), &seq_cfg);
+            assert_ne!(blocking.implication, Answer::Unknown, "corpus is decidable");
+            let job = client.submit(QuerySpec::new(sigma.clone(), g, pool.clone()));
+            let outcome = job.wait();
+            assert_eq!(outcome.implication, blocking.implication, "dovetail diverged");
+            assert_eq!(outcome.finite_implication, blocking.finite_implication);
+        }
+    }
+}
+
+/// The per-job dovetail acceptance bar: under the same fuel cap, a
+/// refutable-but-divergent query expires to `Unknown` in sequential mode
+/// but is refuted definitively (from the search phase) in dovetail mode.
+#[test]
+fn dovetail_refutes_divergent_query_where_sequential_expires() {
+    let u = Universe::untyped_abc();
+    let cap = 512u64;
+    let run_mode = |mode: DecideMode| {
+        let client = ImplicationClient::new(ServiceConfig {
+            decide: DecideConfig {
+                chase: ChaseConfig {
+                    max_rounds: 100_000,
+                    max_rows: 1 << 20,
+                    max_steps: 1 << 24,
+                    ..ChaseConfig::default()
+                },
+                mode,
+                ..DecideConfig::default()
+            },
+            ..ServiceConfig::default()
+        });
+        let (s, g, p) = divergent_query(&u);
+        let job = client.submit(QuerySpec::new(s, g, p).fuel_cap(cap));
+        let outcome = job.wait();
+        (outcome, client.stats())
+    };
+    let (seq_out, seq_stats) = run_mode(DecideMode::Sequential);
+    assert_eq!(
+        seq_out.implication,
+        Answer::Unknown,
+        "sequential burns the whole cap on the divergent chase"
+    );
+    assert_eq!(seq_stats.expired, 1);
+    let (dov_out, dov_stats) = run_mode(DecideMode::dovetail(1));
+    assert_eq!(
+        dov_out.implication,
+        Answer::No,
+        "dovetail must answer from the search phase within the cap"
+    );
+    assert_eq!(dov_out.finite_implication, Answer::No);
+    assert!(
+        dov_out.fuel_spent <= cap,
+        "refutation stayed within the cap (spent {})",
+        dov_out.fuel_spent
+    );
+    assert_eq!(dov_stats.expired, 0);
+}
+
+/// `cancel()` on an in-flight divergent job stops it without burning
+/// further fuel, frees its run-queue slot, and leaves its coalesced
+/// waiter with the defined `Cancelled` status.
+#[test]
+fn cancel_mid_flight_bounds_fuel_and_resolves_waiters() {
+    let u = Universe::untyped_abc();
+    let client = ImplicationClient::new(ServiceConfig {
+        decide: big_chase_decide(),
+        slice_fuel: 8,
+        ..ServiceConfig::default()
+    });
+    let (ds, dg, dp) = divergent_query(&u);
+    let leader = client.submit(QuerySpec::new(ds.clone(), dg.clone(), dp.clone()));
+    for _ in 0..3 {
+        client.tick(); // let the chase make real progress
+    }
+    assert!(matches!(leader.poll(), JobStatus::Pending));
+    let waiter = client.submit(QuerySpec::new(ds, dg, dp));
+    assert_eq!(client.stats().coalesced, 1, "twin must coalesce");
+
+    let fuel_before = client.stats().fuel_spent;
+    leader.cancel();
+    // The job was unclaimed, so cancellation is immediate: zero extra
+    // fuel (well within the one-slice acceptance bound).
+    assert!(matches!(leader.poll(), JobStatus::Cancelled));
+    assert!(matches!(waiter.poll(), JobStatus::Cancelled));
+    client.run_to_completion(); // nothing left to drive
+    let stats = client.stats();
+    assert_eq!(
+        stats.fuel_spent, fuel_before,
+        "fuel spent after cancel must be within one slice (here: zero)"
+    );
+    assert_eq!(stats.cancelled, 2, "leader and waiter both cancelled");
+    assert_eq!(client.pending_jobs(), 0, "cancel frees the in-flight slots");
+    let outcome = leader.wait();
+    assert!(outcome.cancelled);
+    assert_eq!(outcome.implication, Answer::Unknown);
+    // Cancel is idempotent and a cancelled job stays Cancelled.
+    leader.cancel();
+    assert!(matches!(leader.poll(), JobStatus::Cancelled));
+}
+
+/// A waiter that `detach()`ed before its leader's cancel keeps the
+/// computation alive and still receives the real answer (which also
+/// feeds the cache); only the canceller's view resolves `Cancelled`.
+#[test]
+fn detached_waiter_survives_leader_cancel_with_the_answer() {
+    let ut = Universe::typed(vec!["A", "B", "C", "D"]);
+    let build = || {
+        // An mvd chain: the td chase needs several breadth-first rounds,
+        // so at slice_fuel = 1 the job is reliably still in flight after
+        // one tick (an fd chain would finish inside round 0's egd
+        // saturation, which is not fuel-bounded per merge).
+        let mut pool = ValuePool::new(ut.clone());
+        let mvds = [
+            Mvd::parse(&ut, "A ->> B"),
+            Mvd::parse(&ut, "B ->> C"),
+            Mvd::parse(&ut, "C ->> D"),
+        ];
+        let sigma: Vec<TdOrEgd> = mvds
+            .iter()
+            .flat_map(|m| Dependency::from(m.clone()).normalize(&ut, &mut pool))
+            .collect();
+        let goal = Dependency::from(Mvd::parse(&ut, "A ->> D"))
+            .normalize(&ut, &mut pool)
+            .pop()
+            .expect("mvd goal normalizes to one td");
+        (sigma, goal, pool)
+    };
+    let client = ImplicationClient::new(ServiceConfig {
+        slice_fuel: 1,
+        ..ServiceConfig::default()
+    });
+    let (s, g, p) = build();
+    let leader = client.submit(QuerySpec::new(s.clone(), g.clone(), p.clone()));
+    client.tick(); // arm the task; the chain needs several single-round slices
+    assert!(matches!(leader.poll(), JobStatus::Pending), "still chasing");
+    let twin = client.submit(QuerySpec::new(s.clone(), g.clone(), p.clone()));
+    assert_eq!(client.stats().coalesced, 1, "twin must coalesce");
+    twin.detach();
+    leader.cancel();
+    client.run_to_completion();
+    assert!(
+        matches!(leader.poll(), JobStatus::Cancelled),
+        "the canceller's view resolves Cancelled once the job lands"
+    );
+    let JobStatus::Done(twin_out) = twin.poll() else {
+        panic!("detached waiter must receive the real answer");
+    };
+    assert_eq!(twin_out.implication, Answer::Yes, "mvd chain transitivity");
+    assert!(twin_out.from_cache, "waiters are served the leader's answer");
+    assert_eq!(client.stats().cancelled, 1, "only the canceller's view");
+    // The kept-alive answer reached the cache too.
+    let third = client.submit(QuerySpec::new(s, g, p));
+    let JobStatus::Done(cached) = third.poll() else {
+        panic!("resubmission must hit the cache");
+    };
+    assert!(cached.from_cache);
+    assert_eq!(client.stats().cache_hits, 1);
+}
+
+/// A parked `wait` wakes on a completion landed by another thread's
+/// sweep: the waiter contributes no sweeps of its own (no busy-spin —
+/// the claim is observed, parked on, and the condvar wakes it).
+#[test]
+fn parked_wait_wakes_on_foreign_sweep_without_spinning() {
+    let u = Universe::untyped_abc();
+    let client = ImplicationClient::new(ServiceConfig {
+        // One huge slice: the foreign sweep holds the claim for the whole
+        // (budget-bounded) chase, guaranteeing the waiter finds the job
+        // claimed and parks.
+        slice_fuel: 1 << 20,
+        decide: DecideConfig {
+            chase: ChaseConfig {
+                max_rounds: 30_000,
+                max_rows: 1 << 20,
+                max_steps: 1 << 24,
+                ..ChaseConfig::default()
+            },
+            skip_search: true,
+            ..DecideConfig::default()
+        },
+        ..ServiceConfig::default()
+    });
+    let (s, g, p) = divergent_query(&u);
+    let job = client.submit(QuerySpec::new(s, g, p).pin_shard(0));
+    let outcome = std::thread::scope(|scope| {
+        let sweeper = client.clone();
+        scope.spawn(move || {
+            assert_eq!(sweeper.step_shard(0), ShardStep::Progressed);
+        });
+        // Deterministic hand-off: the sweep counter bumps at claim time
+        // (before the long slice executes), so once it reads 1 the
+        // foreign thread owns the job and wait() below must find the
+        // shard claimed and park — no sleep-and-hope timing.
+        while client.stats().sweeps == 0 {
+            std::thread::yield_now();
+        }
+        job.wait()
+    });
+    assert_eq!(outcome.implication, Answer::Unknown, "budget-bounded chase");
+    let stats = client.stats();
+    assert_eq!(
+        stats.sweeps, 1,
+        "only the foreign thread swept; the waiter never claimed (no busy-spin)"
+    );
+    assert!(
+        stats.parked >= 1,
+        "the waiter must have parked on the shard condvar at least once"
+    );
+}
+
+/// Steal-path parity: every job pinned onto one shard (a deliberately
+/// skewed assignment), multiple pinned workers — idle workers steal from
+/// the deep queue, and every answer still matches blocking `decide`.
+#[test]
+fn stealing_preserves_answers_under_skewed_shard_assignment() {
+    let u = Universe::untyped_abc();
+    type Case = (Vec<u32>, Vec<u32>, u32, u32, bool);
+    let cases: Vec<Case> = (0u32..8)
+        .map(|i| {
+            (
+                vec![1 + (i * 5) % 14],
+                vec![1 + (i * 3) % 14, 1 + (i * 11) % 14],
+                1 + (i * 9) % 14,
+                1 + (i * 13) % 14,
+                i % 2 == 0,
+            )
+        })
+        .collect();
+    let cfg = DecideConfig::default();
+    let client = ImplicationClient::new(ServiceConfig {
+        shards: 4,
+        workers: 3,
+        steal: true,
+        cache: false,
+        slice_fuel: 4,
+        ..ServiceConfig::default()
+    });
+    // Divergent ballast (fuel-capped) keeps the hot queue deep long
+    // enough that the idle workers reliably wake and steal.
+    let ballast: Vec<_> = (0..2)
+        .map(|_| {
+            let (s, g, p) = divergent_query(&u);
+            client.submit(
+                QuerySpec::new(s, g, p)
+                    .decide_config(big_chase_decide())
+                    .fuel_cap(1024)
+                    .pin_shard(0),
+            )
+        })
+        .collect();
+    let mut expected = Vec::new();
+    let jobs: Vec<_> = cases
+        .iter()
+        .flat_map(|(l, r, gl, gr, fd)| {
+            let (sigma, goals, pool) = corpus_query(l, r, *gl, *gr, *fd);
+            goals
+                .into_iter()
+                .map(|g| {
+                    let d = decide(&sigma, &g, &mut pool.clone(), &cfg);
+                    expected.push((d.implication, d.finite_implication));
+                    client.submit(QuerySpec::new(sigma.clone(), g, pool.clone()).pin_shard(0))
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    client.run_to_completion();
+    for (job, (imp, fin)) in jobs.iter().zip(&expected) {
+        let JobStatus::Done(outcome) = job.poll() else {
+            panic!("run_to_completion must resolve every pinned job");
+        };
+        assert_eq!(outcome.implication, *imp, "steal-path answer diverged");
+        assert_eq!(outcome.finite_implication, *fin);
+    }
+    for b in &ballast {
+        let JobStatus::Done(outcome) = b.poll() else {
+            panic!("capped ballast must expire");
+        };
+        assert_eq!(outcome.implication, Answer::Unknown);
+    }
+    assert!(
+        client.stats().steals > 0,
+        "idle pinned workers must steal from the deep shard"
+    );
+}
+
+/// The small-capacity eviction regression: at `cache_capacity = 1` (fewer
+/// than the shard count) a fresh insert must never be its own immediate
+/// eviction victim — the latest answer is always cached.
+#[test]
+fn cache_capacity_one_keeps_the_latest_answer() {
+    let u = Universe::untyped_abc();
+    let client = ImplicationClient::new(ServiceConfig {
+        cache_capacity: 1,
+        ..ServiceConfig::default()
+    });
+    let queries = distinct_cheap_queries(&u, 4);
+    for (i, (s, g, p)) in queries.iter().enumerate() {
+        let job = client.submit(QuerySpec::new(s.clone(), g.clone(), p.clone()));
+        job.wait();
+        let hits_before = client.stats().cache_hits;
+        let again = client.submit(QuerySpec::new(s.clone(), g.clone(), p.clone()));
+        let JobStatus::Done(outcome) = again.poll() else {
+            panic!("query {i}: the just-inserted answer must be served from cache");
+        };
+        assert!(outcome.from_cache, "query {i}: fresh insert was evicted");
+        assert_eq!(client.stats().cache_hits, hits_before + 1);
+        // The per-shard fresh-insert reserve bounds the transient excess.
+        assert!(client.cache_len() <= client.num_shards());
+    }
+}
+
+/// Regression: a spent global fuel budget must terminate a multi-worker
+/// `run_to_completion` even when the starved queue lives outside an idle
+/// worker's home stripe — the idle worker can't observe `FuelExhausted`
+/// through its own (empty) shards and used to park forever on
+/// `inflight > 0` while `expire_all` waited for it to exit.
+#[test]
+fn multi_worker_run_terminates_when_global_fuel_exhausts() {
+    let u = Universe::untyped_abc();
+    for steal in [true, false] {
+        let client = ImplicationClient::new(ServiceConfig {
+            decide: big_chase_decide(),
+            shards: 4,
+            workers: 2,
+            steal,
+            slice_fuel: 4,
+            global_fuel: Some(16),
+            ..ServiceConfig::default()
+        });
+        let (s, g, p) = divergent_query(&u);
+        let job = client.submit(QuerySpec::new(s, g, p).pin_shard(0));
+        client.run_to_completion();
+        let JobStatus::Done(outcome) = job.poll() else {
+            panic!("steal={steal}: the starved job must be expired, not stranded");
+        };
+        assert_eq!(outcome.implication, Answer::Unknown);
+        let stats = client.stats();
+        assert_eq!(stats.expired, 1, "steal={steal}");
+        assert!(stats.fuel_spent <= 16, "steal={steal}: budget respected");
+    }
+}
+
+/// Regression: when the last detached waiter that was keeping a
+/// cancelled leader alive departs, the deferred cancel finally takes
+/// effect — the leader must not burn its remaining budget with no
+/// interested party left (the owner's repeat `cancel()` would no-op on
+/// the idempotency guard).
+#[test]
+fn dropping_the_last_detached_waiter_completes_a_deferred_cancel() {
+    let u = Universe::untyped_abc();
+    let client = ImplicationClient::new(ServiceConfig {
+        decide: big_chase_decide(),
+        slice_fuel: 4,
+        ..ServiceConfig::default()
+    });
+    let (s, g, p) = divergent_query(&u);
+    let leader = client.submit(QuerySpec::new(s.clone(), g.clone(), p.clone()));
+    client.tick();
+    let twin = client.submit(QuerySpec::new(s, g, p));
+    assert_eq!(client.stats().coalesced, 1);
+    twin.detach();
+    leader.cancel();
+    assert!(
+        matches!(leader.poll(), JobStatus::Pending),
+        "the detached waiter keeps the computation alive"
+    );
+    let fuel_before = client.stats().fuel_spent;
+    twin.retire(); // the last interested party leaves
+    assert!(
+        matches!(leader.poll(), JobStatus::Cancelled),
+        "the deferred cancel must take effect once nobody wants the answer"
+    );
+    client.run_to_completion(); // returns immediately: nothing in flight
+    assert_eq!(
+        client.stats().fuel_spent,
+        fuel_before,
+        "no further fuel burned after the keep-alive dropped"
+    );
+    assert_eq!(client.pending_jobs(), 0);
 }
