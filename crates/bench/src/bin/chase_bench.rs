@@ -17,7 +17,14 @@
 //! Unknown, dovetail refutes within the cap (`rounds` = refuted queries).
 //! In `service_skewed_shards` every job is pinned to shard 0 and the
 //! columns are *stealing off* vs *stealing on* vs *balanced routing*
-//! (`rounds` = steals observed).
+//! (`rounds` = steals observed). In `service_socket_stream` a
+//! cache-friendly text batch is decided three ways — *direct in-process
+//! client submits* vs *one pipelined `typedtd-proto` socket client* vs
+//! *N concurrent socket clients* over a live Unix-socket `ProtoServer` —
+//! measuring the wire round-trip overhead (`rows` = queries, `rounds` =
+//! wire answers served without fresh fuel); answer parity with
+//! sequential `decide` is asserted for every column, and in full mode
+//! the single-client wire overhead is asserted ≤ 2× direct submits.
 //!
 //! Prints a table by default; with `--json` additionally writes
 //! `BENCH_chase.json` (an array of per-workload records with median
@@ -540,6 +547,211 @@ fn measure_skewed_steal(jobs: usize, ballast: usize, samples: usize, assert_rati
     }
 }
 
+/// The textual cache-friendly batch for the socket scenario: `distinct`
+/// fd/mvd-chain structures over `A B C D`, each submitted `repeats`
+/// times with Σ rotated (same canonical key, so resubmissions hit the
+/// cache/coalesce server-side). Returns `(universe, query)` pairs.
+fn socket_corpus(distinct: usize, repeats: usize) -> Vec<(String, String)> {
+    let structures: [(&[&str], &str); 6] = [
+        (&["A -> B", "B -> C"], "A -> C"),
+        (&["A ->> B", "B ->> C"], "A ->> C"),
+        (&["A -> B", "B -> C", "C -> D"], "A -> D"),
+        (&["A ->> B", "B ->> C", "C ->> D"], "A ->> D"),
+        (&["A -> B", "B -> C"], "C -> A"),
+        (&["A ->> B", "B ->> C"], "A -> C"),
+    ];
+    let mut corpus = Vec::with_capacity(distinct * repeats);
+    for d in 0..distinct {
+        let (deps, goal) = structures[d % structures.len()];
+        for r in 0..repeats {
+            let mut sigma: Vec<&str> = deps.to_vec();
+            let rot = r % sigma.len();
+            sigma.rotate_left(rot);
+            corpus.push(("A B C D".to_string(), format!("{} |= {goal}", sigma.join(" & "))));
+        }
+    }
+    corpus
+}
+
+/// Decides the socket corpus in-process through `submit_batch` (the
+/// direct client path the wire columns are measured against). Returns
+/// the per-query implication answers in corpus order.
+fn run_direct_batch(corpus: &[(String, String)]) -> Vec<Answer> {
+    let mut text = String::from("@universe A B C D\n");
+    for (_, query) in corpus {
+        text.push_str(query);
+        text.push('\n');
+    }
+    let client = ImplicationClient::new(ServiceConfig::default());
+    let batch = typedtd_service::submit_batch(&client, &text);
+    assert!(batch.errors.is_empty(), "socket corpus must parse");
+    client.run_to_completion();
+    batch
+        .queries
+        .iter()
+        .map(|q| q.conjoined().expect("driver resolves every query").implication)
+        .collect()
+}
+
+fn wire_answer(a: typedtd_service::WireAnswer) -> Answer {
+    a.implication
+}
+
+/// Streams the corpus through pre-connected socket clients (fully
+/// pipelined: every client submits its slice, then collects
+/// out-of-order answers) — connection setup stays outside the timed
+/// region. Returns the answers in corpus order plus how many came
+/// flagged `from_cache`.
+fn run_socket_stream(
+    connections: Vec<typedtd_service::ProtoClient>,
+    corpus: &[(String, String)],
+) -> (Vec<Answer>, usize) {
+    let clients = connections.len();
+    let results: Vec<(usize, typedtd_service::WireAnswer)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = connections
+            .into_iter()
+            .enumerate()
+            .map(|(c, mut client)| {
+                scope.spawn(move || {
+                    let submitted: Vec<(u64, usize)> = corpus
+                        .iter()
+                        .enumerate()
+                        .skip(c)
+                        .step_by(clients)
+                        .map(|(i, (u, q))| {
+                            (client.submit(u, q, None).expect("submit"), i)
+                        })
+                        .collect();
+                    submitted
+                        .into_iter()
+                        .map(|(corr, i)| (i, client.wait_answer(corr).expect("answer")))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+    });
+    let mut answers = vec![Answer::Unknown; corpus.len()];
+    let mut cached = 0usize;
+    for (i, a) in results {
+        if a.from_cache {
+            cached += 1;
+        }
+        answers[i] = wire_answer(a);
+    }
+    (answers, cached)
+}
+
+/// The streaming-front-end scenario: the same cache-friendly batch
+/// decided via direct in-process submits, one socket client, and
+/// `clients` concurrent socket clients. Server spawn/connect setup runs
+/// outside the timed region; with `assert_overhead` the single-client
+/// wire round trip must stay within 2× of direct submits.
+fn measure_socket_stream(
+    distinct: usize,
+    repeats: usize,
+    clients: usize,
+    samples: usize,
+    assert_overhead: bool,
+) -> Record {
+    let corpus = socket_corpus(distinct, repeats);
+    // The sequential reference (and the decidability guard).
+    let reference: Vec<Answer> = {
+        let u = typedtd_relational::Universe::typed(vec!["A", "B", "C", "D"]);
+        corpus
+            .iter()
+            .map(|(_, query)| {
+                let mut pool = ValuePool::new(u.clone());
+                let (sigma, goal) =
+                    typedtd_service::parse_query_line(&u, &mut pool, query).expect("parses");
+                let sigma_normal: Vec<TdOrEgd> = sigma
+                    .iter()
+                    .flat_map(|d| d.normalize(&u, &mut pool))
+                    .collect();
+                let mut imp = Answer::Yes;
+                for part in goal.normalize(&u, &mut pool) {
+                    let d = decide(&sigma_normal, &part, &mut pool.clone(), &DecideConfig::default());
+                    imp = imp.and(d.implication);
+                }
+                assert_ne!(imp, Answer::Unknown, "socket corpus must be decidable");
+                imp
+            })
+            .collect()
+    };
+
+    let median = |times: &mut Vec<u128>| {
+        times.sort_unstable();
+        times[times.len() / 2]
+    };
+    let mut direct_times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        let answers = run_direct_batch(&corpus);
+        direct_times.push(t0.elapsed().as_nanos());
+        assert_eq!(answers, reference, "direct-batch parity violated");
+    }
+    let sock_cfg = || typedtd_service::SockdConfig {
+        service: ServiceConfig::default(),
+        drivers: 1,
+    };
+    let sock_path = |tag: &str, i: usize| {
+        std::env::temp_dir().join(format!(
+            "typedtd-bench-{tag}-{}-{i}.sock",
+            std::process::id()
+        ))
+    };
+    let connect = |server: &typedtd_service::ProtoServer, n: usize| {
+        let path = server.unix_path().expect("unix listener");
+        (0..n)
+            .map(|_| typedtd_service::ProtoClient::connect_unix(path).expect("connect unix"))
+            .collect::<Vec<_>>()
+    };
+    let mut single_times = Vec::with_capacity(samples);
+    let mut cached_single = 0usize;
+    for i in 0..samples {
+        let path = sock_path("single", i);
+        let server = typedtd_service::ProtoServer::bind(sock_cfg(), None, Some(&path))
+            .expect("bind unix server");
+        let conns = connect(&server, 1);
+        let t0 = Instant::now();
+        let (answers, cached) = run_socket_stream(conns, &corpus);
+        single_times.push(t0.elapsed().as_nanos());
+        assert_eq!(answers, reference, "single-client wire parity violated");
+        cached_single = cached;
+        drop(server);
+    }
+    let mut multi_times = Vec::with_capacity(samples);
+    for i in 0..samples {
+        let path = sock_path("multi", i);
+        let server = typedtd_service::ProtoServer::bind(sock_cfg(), None, Some(&path))
+            .expect("bind unix server");
+        let conns = connect(&server, clients);
+        let t0 = Instant::now();
+        let (answers, _) = run_socket_stream(conns, &corpus);
+        multi_times.push(t0.elapsed().as_nanos());
+        assert_eq!(answers, reference, "multi-client wire parity violated");
+        drop(server);
+    }
+    let naive_ns = median(&mut direct_times);
+    let semi_ns = median(&mut single_times);
+    let parallel_ns = median(&mut multi_times);
+    if assert_overhead {
+        assert!(
+            semi_ns as f64 <= 2.0 * naive_ns as f64,
+            "wire overhead must stay within 2x of direct submits \
+             (socket {semi_ns}ns vs direct {naive_ns}ns)"
+        );
+    }
+    Record {
+        workload: format!("service_socket_stream/d{distinct}xr{repeats}+{clients}c"),
+        naive_ns,
+        semi_ns,
+        parallel_ns,
+        rows: corpus.len(),
+        rounds: cached_single,
+    }
+}
+
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
     let smoke = std::env::args().any(|a| a == "--smoke");
@@ -564,6 +776,7 @@ fn main() {
             measure_multi_submit(2, 3, 4, 2, 1),
             measure_divergent_mix(2, 2, 3, 1),
             measure_skewed_steal(6, 2, 1, false),
+            measure_socket_stream(3, 4, 2, 1, false),
         ]
     } else {
         vec![
@@ -602,6 +815,7 @@ fn main() {
             measure_multi_submit(6, 10, 32, 4, 3),
             measure_divergent_mix(3, 4, 6, 3),
             measure_skewed_steal(24, 4, 3, true),
+            measure_socket_stream(5, 10, 4, 3, true),
         ]
     };
 

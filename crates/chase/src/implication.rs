@@ -52,6 +52,22 @@ pub enum Answer {
     Unknown,
 }
 
+impl Answer {
+    /// Three-valued conjunction: `No` dominates (one failing conjunct
+    /// refutes the whole goal), `Unknown` propagates otherwise, and
+    /// `Yes` requires every conjunct. This is how multi-part goals (a
+    /// dependency normalizing to several tds/egds) fold their parts'
+    /// verdicts.
+    #[must_use]
+    pub fn and(self, other: Self) -> Self {
+        match (self, other) {
+            (Self::No, _) | (_, Self::No) => Self::No,
+            (Self::Unknown, _) | (_, Self::Unknown) => Self::Unknown,
+            (Self::Yes, Self::Yes) => Self::Yes,
+        }
+    }
+}
+
 /// How a [`DecideTask`] schedules its two semidecision procedures.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum DecideMode {

@@ -90,19 +90,11 @@ impl BatchQuery {
                 JobStatus::Pending => return None,
                 JobStatus::Retired => unreachable!("the batch owns its job handles"),
             };
-            verdict.implication = conjoin(verdict.implication, implication);
-            verdict.finite_implication = conjoin(verdict.finite_implication, finite_implication);
+            verdict.implication = verdict.implication.and(implication);
+            verdict.finite_implication = verdict.finite_implication.and(finite_implication);
             verdict.from_cache &= from_cache;
         }
         Some(verdict)
-    }
-}
-
-fn conjoin(acc: Answer, next: Answer) -> Answer {
-    match (acc, next) {
-        (Answer::No, _) | (_, Answer::No) => Answer::No,
-        (Answer::Unknown, _) | (_, Answer::Unknown) => Answer::Unknown,
-        (Answer::Yes, Answer::Yes) => Answer::Yes,
     }
 }
 
@@ -133,8 +125,10 @@ pub fn parse_query_line(
     Ok((sigma, goal))
 }
 
-/// Parses a `@universe` directive (`@universe [untyped] NAME NAME …`).
-fn parse_universe_directive(rest: &str) -> Result<Arc<Universe>, String> {
+/// Parses a universe spec (`[untyped] NAME NAME …` — the arguments of a
+/// `@universe` directive, and the wire format `typedtd-proto` `SUBMIT`
+/// frames carry).
+pub fn parse_universe_spec(rest: &str) -> Result<Arc<Universe>, String> {
     let mut names: Vec<&str> = rest.split_whitespace().collect();
     let untyped = names.first() == Some(&"untyped");
     if untyped {
@@ -176,7 +170,7 @@ pub fn submit_batch(client: &ImplicationClient, text: &str) -> Batch {
                 });
                 continue;
             };
-            match parse_universe_directive(args) {
+            match parse_universe_spec(args) {
                 Ok(u) => universe = Some(u),
                 Err(message) => {
                     universe = None;

@@ -15,7 +15,7 @@
 //! typedtd-serve QUERIES.tdq [--slice N] [--global-fuel N] [--workers N]
 //!               [--shards N] [--cache-cap N] [--no-cache] [--verify-hits]
 //!               [--mode sequential|dovetail[:RATIO]] [--steal on|off]
-//!               [--quick] [--stats]
+//!               [--drain-sweeps N] [--quick] [--stats]
 //! ```
 //!
 //! `--mode dovetail[:RATIO]` selects the per-query dovetailed decide mode
@@ -25,10 +25,26 @@
 //! cross-shard work stealing between the `--workers` threads; the final
 //! `--stats` line reports `steals`, `cancelled`, and `parked` alongside
 //! the cache counters.
+//!
+//! # Clean shutdown at end of input
+//!
+//! Once the input (a file, or stdin up to EOF) is submitted, the
+//! scheduler still has to drain — and divergent queries under large
+//! budgets can keep a pipe-fed `typedtd-serve -` grinding long after the
+//! writer hung up, with orphaned jobs burning fuel nobody will read.
+//! `--drain-sweeps N` bounds the drain *deterministically*: after `N`
+//! full scheduler sweeps, every still-pending job is explicitly
+//! [`cancelled`](typedtd_service::JobHandle::cancel) (its verdict line
+//! prints `unknown`), the scheduler settles, and the process exits 0.
+//! With or without the flag, the last line on stderr is the
+//! deterministic ledger
+//! `typedtd-serve: done submitted=… answered=… unknown=… cancelled=…
+//! expired=…` (where `submitted == answered + unknown + cancelled`), so
+//! drivers piping queries in always see how the batch was accounted.
 
 use std::io::Read;
 use typedtd_chase::{Answer, ChaseConfig, DecideConfig, DecideMode};
-use typedtd_service::{submit_batch, ImplicationClient, ServiceConfig};
+use typedtd_service::{parse_decide_mode, stats_line, submit_batch, ImplicationClient, ServiceConfig};
 
 fn answer_str(a: Answer) -> &'static str {
     match a {
@@ -42,21 +58,10 @@ fn usage() -> ! {
     eprintln!(
         "usage: typedtd-serve <QUERIES.tdq | -> [--slice N] [--global-fuel N] \
          [--workers N] [--shards N] [--cache-cap N] [--no-cache] [--verify-hits] \
-         [--mode sequential|dovetail[:RATIO]] [--steal on|off] [--quick] [--stats]"
+         [--mode sequential|dovetail[:RATIO]] [--steal on|off] [--drain-sweeps N] \
+         [--quick] [--stats]"
     );
     std::process::exit(2);
-}
-
-/// `sequential` or `dovetail[:RATIO]` (chase rounds per search attempt).
-fn parse_mode(text: &str) -> Option<DecideMode> {
-    match text {
-        "sequential" => Some(DecideMode::Sequential),
-        "dovetail" => Some(DecideMode::dovetail(1)),
-        _ => {
-            let ratio = text.strip_prefix("dovetail:")?.parse().ok()?;
-            Some(DecideMode::dovetail(ratio))
-        }
-    }
 }
 
 fn main() {
@@ -64,13 +69,18 @@ fn main() {
     let mut cfg = ServiceConfig::default();
     let mut show_stats = false;
     let mut mode: Option<DecideMode> = None;
+    let mut drain_sweeps: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--drain-sweeps" => {
+                drain_sweeps =
+                    Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
+            }
             "--mode" => {
                 mode = Some(
                     args.next()
-                        .and_then(|v| parse_mode(&v))
+                        .and_then(|v| parse_decide_mode(&v))
                         .unwrap_or_else(|| usage()),
                 )
             }
@@ -165,7 +175,32 @@ fn main() {
     };
     std::thread::scope(|scope| {
         let driver = client.clone();
-        let handle = scope.spawn(move || driver.run_to_completion());
+        let batch_ref = &batch;
+        let handle = scope.spawn(move || match drain_sweeps {
+            None => driver.run_to_completion(),
+            Some(limit) => {
+                // Bounded drain: up to `limit` full sweeps, then every
+                // still-pending job is cancelled explicitly (its verdict
+                // reports `unknown`), so end-of-input with divergent
+                // jobs pending shuts down deterministically instead of
+                // grinding out the rest of their budgets.
+                let mut sweeps = 0usize;
+                while driver.tick() {
+                    sweeps += 1;
+                    if sweeps >= limit {
+                        for query in &batch_ref.queries {
+                            for job in &query.jobs {
+                                job.cancel();
+                            }
+                        }
+                        break;
+                    }
+                }
+                // Settle the cancellations (and expire any global-fuel
+                // leftovers) so every verdict is in before reporting.
+                driver.run_to_completion();
+            }
+        });
         // Rescan (which polls every unreported job, taking shard locks)
         // only when the completion counter has moved — an atomic read —
         // so a large query file doesn't contend with the driver threads.
@@ -181,32 +216,23 @@ fn main() {
         report_ready(&mut reported);
     });
 
+    // The deterministic shutdown ledger: always printed, always last —
+    // `submitted == answered + unknown + cancelled` once the batch has
+    // drained (cancelled jobs carry no yes/no/unknown verdict).
+    let done = client.stats();
+    eprintln!(
+        "typedtd-serve: done submitted={} answered={} unknown={} cancelled={} expired={}",
+        done.submitted,
+        done.yes + done.no,
+        done.unknown,
+        done.cancelled,
+        done.expired,
+    );
+
     if show_stats {
-        let s = client.stats();
         eprintln!(
-            "jobs={} completed={} yes={} no={} unknown={} cache_hits={} goal_in_sigma={} \
-             coalesced={} misses={} hit_rate={:.2} evictions={} expired={} cancelled={} \
-             retired={} fuel={} sweeps={} steals={} parked={} cached_queries={} \
-             parse_errors={}",
-            s.submitted,
-            s.completed,
-            s.yes,
-            s.no,
-            s.unknown,
-            s.cache_hits,
-            s.goal_in_sigma,
-            s.coalesced,
-            s.cache_misses,
-            s.cache_hit_rate(),
-            s.evictions,
-            s.expired,
-            s.cancelled,
-            s.retired,
-            s.fuel_spent,
-            s.sweeps,
-            s.steals,
-            s.parked,
-            client.cache_len(),
+            "{} parse_errors={}",
+            stats_line(&client),
             batch.errors.len(),
         );
     }

@@ -1,0 +1,125 @@
+//! `typedtd-sockd` — the streaming socket front end.
+//!
+//! Serves the length-prefixed `typedtd-proto` protocol (see
+//! `crates/service/README.md` for the frame spec) over TCP and/or a
+//! Unix-domain socket: any number of concurrent connections share one
+//! [`ImplicationClient`], each connection pipelines `SUBMIT` frames and
+//! receives `ANSWER` frames out of order as jobs resolve; `CANCEL`,
+//! `DETACH`, and `STATS` ride client-chosen correlation ids, and a
+//! dropped connection cancels its non-detached jobs.
+//!
+//! ```text
+//! typedtd-sockd [--tcp HOST:PORT] [--unix PATH] [--drivers N]
+//!               [--slice N] [--global-fuel N] [--shards N]
+//!               [--cache-cap N] [--no-cache] [--verify-hits]
+//!               [--mode sequential|dovetail[:RATIO]] [--steal on|off]
+//!               [--quick] [--stats]
+//! ```
+//!
+//! With neither `--tcp` nor `--unix`, listens on `127.0.0.1:0` (an
+//! ephemeral port) and prints the bound address — scripts can parse the
+//! `listening tcp=…` line. The process runs until a client sends a
+//! `SHUTDOWN` frame; `--stats` then prints the service counters to
+//! stderr.
+
+use std::path::PathBuf;
+use typedtd_chase::{ChaseConfig, DecideConfig, DecideMode};
+use typedtd_service::proto::SockdConfig;
+use typedtd_service::{parse_decide_mode, stats_line, ProtoServer, ServiceConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: typedtd-sockd [--tcp HOST:PORT] [--unix PATH] [--drivers N] [--slice N] \
+         [--global-fuel N] [--shards N] [--cache-cap N] [--no-cache] [--verify-hits] \
+         [--mode sequential|dovetail[:RATIO]] [--steal on|off] [--quick] [--stats]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = ServiceConfig::default();
+    let mut drivers = 2usize;
+    let mut tcp: Option<String> = None;
+    let mut unix: Option<PathBuf> = None;
+    let mut mode: Option<DecideMode> = None;
+    let mut show_stats = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tcp" => tcp = Some(args.next().unwrap_or_else(|| usage())),
+            "--unix" => unix = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--drivers" => {
+                drivers = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--mode" => {
+                mode = Some(
+                    args.next()
+                        .and_then(|v| parse_decide_mode(&v))
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--steal" => {
+                cfg.steal = match args.next().as_deref() {
+                    Some("on") => true,
+                    Some("off") => false,
+                    _ => usage(),
+                }
+            }
+            "--slice" => {
+                cfg.slice_fuel = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--global-fuel" => {
+                cfg.global_fuel =
+                    Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
+            }
+            "--shards" => {
+                cfg.shards = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--cache-cap" => {
+                cfg.cache_capacity =
+                    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--no-cache" => cfg.cache = false,
+            "--verify-hits" => cfg.verify_cache_hits = true,
+            "--quick" => {
+                cfg.decide = DecideConfig {
+                    chase: ChaseConfig::quick(),
+                    ..DecideConfig::default()
+                }
+            }
+            "--stats" => show_stats = true,
+            _ => usage(),
+        }
+    }
+    if let Some(mode) = mode {
+        cfg.decide.mode = mode;
+    }
+    let tcp_spec = if tcp.is_none() && unix.is_none() {
+        Some("127.0.0.1:0".to_string())
+    } else {
+        tcp
+    };
+    let server = ProtoServer::bind(
+        SockdConfig {
+            service: cfg,
+            drivers,
+        },
+        tcp_spec.as_deref(),
+        unix.as_deref(),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("typedtd-sockd: bind failed: {e}");
+        std::process::exit(1);
+    });
+    if let Some(addr) = server.tcp_addr() {
+        println!("typedtd-sockd: listening tcp={addr}");
+    }
+    if let Some(path) = server.unix_path() {
+        println!("typedtd-sockd: listening unix={}", path.display());
+    }
+    let client = server.client().clone();
+    server.join();
+    if show_stats {
+        eprintln!("{}", stats_line(&client));
+    }
+}

@@ -37,7 +37,11 @@
 //! isomorphism machinery (`typedtd_relational::isomorphic`) on the goal's
 //! hypothesis tableau — an independent guard on the canonicalization
 //! layer, cheap at tableau scale. A rejected hit is reported (and treated
-//! as a miss) rather than served.
+//! as a miss) rather than served. Since keys normalize the query's column
+//! order (see [`crate::canon`]'s column-permutation normalization), both
+//! sides of the check are the *permuted* hypotheses — each side normalized
+//! by its own canonical permutation, which is exactly the equivalence an
+//! equal key certifies.
 
 use crate::canon::QueryKey;
 use std::collections::VecDeque;
@@ -71,7 +75,8 @@ enum Entry {
     /// The query is answered.
     Cached {
         answer: CachedAnswer,
-        /// The goal's hypothesis tableau at insert time, kept for hit
+        /// The goal's hypothesis tableau at insert time (columns already
+        /// in the inserting query's canonical order), kept for hit
         /// verification via `isomorphic`.
         goal_hypothesis: Relation,
         /// Stamp of the latest touch; older stamps in the LRU queue for
@@ -153,9 +158,12 @@ impl ShardCache {
     }
 
     /// Probes for `key`. A finished hit is re-stamped most-recently-used.
-    /// With `verify`, a key hit must also pass the isomorphism cross-check
-    /// of the goal hypothesis tableaux.
-    pub fn probe(&mut self, key: &QueryKey, goal: &TdOrEgd, verify: bool) -> Probe {
+    /// With `verify: Some(goal_hyp)`, a key hit must also pass the
+    /// isomorphism cross-check against `goal_hyp` — the probing query's
+    /// hypothesis with columns already in *its* canonical order. `None`
+    /// skips verification (and lets callers skip *building* the witness
+    /// on the hit path).
+    pub fn probe(&mut self, key: &QueryKey, verify: Option<&Relation>) -> Probe {
         match self.map.get_key_value(key) {
             None => Probe::Miss,
             Some((_, Entry::InFlight { leader })) => Probe::InFlight(*leader),
@@ -167,8 +175,10 @@ impl ShardCache {
                     ..
                 },
             )) => {
-                if verify && !isomorphic(hyp, &goal_hypothesis(goal)) {
-                    return Probe::Rejected;
+                if let Some(goal_hyp) = verify {
+                    if !isomorphic(hyp, goal_hyp) {
+                        return Probe::Rejected;
+                    }
                 }
                 let answer = *answer;
                 let interned = Arc::clone(interned);
@@ -204,16 +214,18 @@ impl ShardCache {
     /// every isomorphic presentation of the query; Unknown is a budget
     /// artifact and is never cached), and the scheduler guarantees at most
     /// one in-flight leader per key, so a conflicting overwrite is
-    /// impossible. `cost` is the fuel the answer took (drives the eviction
-    /// reprieve). Returns the interned key when a fresh entry was added
-    /// (callers pass it back as the eviction-protect handle without
-    /// re-cloning the encoding), `None` when the key was already
+    /// impossible. `goal_hyp` is the goal's hypothesis tableau with
+    /// columns already in the inserting query's canonical order (the
+    /// verification witness); `cost` is the fuel the answer took (drives
+    /// the eviction reprieve). Returns the interned key when a fresh entry
+    /// was added (callers pass it back as the eviction-protect handle
+    /// without re-cloning the encoding), `None` when the key was already
     /// answered.
     pub fn insert(
         &mut self,
         key: QueryKey,
         answer: CachedAnswer,
-        goal: &TdOrEgd,
+        goal_hyp: Relation,
         cost: u64,
     ) -> Option<Arc<QueryKey>> {
         if matches!(self.map.get(&key), Some(Entry::Cached { .. })) {
@@ -225,7 +237,7 @@ impl ShardCache {
             Arc::clone(&key),
             Entry::Cached {
                 answer,
-                goal_hypothesis: goal_hypothesis(goal),
+                goal_hypothesis: goal_hyp,
                 last_tick: tick,
                 reprieves: u8::from(cost >= REPRIEVE_COST),
             },
@@ -343,21 +355,21 @@ mod tests {
         let mut cache = ShardCache::default();
         let deps = distinct_keyed_tds(3);
         for (k, g) in &deps {
-            assert!(cache.insert(k.clone(), YES, g, 0).is_some());
+            assert!(cache.insert(k.clone(), YES, goal_hypothesis(g), 0).is_some());
         }
         // Touch the first entry: the second becomes coldest.
         assert!(matches!(
-            cache.probe(&deps[0].0, &deps[0].1, false),
+            cache.probe(&deps[0].0, None),
             Probe::Hit(_)
         ));
         assert!(cache.evict_one());
         assert_eq!(cache.len(), 2);
         assert!(matches!(
-            cache.probe(&deps[1].0, &deps[1].1, false),
+            cache.probe(&deps[1].0, None),
             Probe::Miss
         ));
         assert!(matches!(
-            cache.probe(&deps[0].0, &deps[0].1, false),
+            cache.probe(&deps[0].0, None),
             Probe::Hit(_)
         ));
     }
@@ -370,13 +382,13 @@ mod tests {
         assert!(!cache.evict_one(), "nothing evictable: in-flight is pinned");
         let deps = distinct_keyed_tds(2);
         for (dk, dg) in &deps {
-            cache.insert(dk.clone(), YES, dg, 0);
+            cache.insert(dk.clone(), YES, goal_hypothesis(dg), 0);
         }
         assert!(cache.evict_one());
         assert!(cache.evict_one());
         assert!(!cache.evict_one());
-        let (k2, g2) = keyed_td("x");
-        assert!(matches!(cache.probe(&k2, &g2, false), Probe::InFlight(7)));
+        let (k2, _g2) = keyed_td("x");
+        assert!(matches!(cache.probe(&k2, None), Probe::InFlight(7)));
     }
 
     #[test]
@@ -384,13 +396,13 @@ mod tests {
         let mut cache = ShardCache::default();
         let deps = distinct_keyed_tds(2);
         for (k, g) in &deps {
-            cache.insert(k.clone(), YES, g, 0);
+            cache.insert(k.clone(), YES, goal_hypothesis(g), 0);
         }
         // An under-capacity cache never evicts, so the stamp queue must
         // self-compact instead of recording every hit forever.
         for _ in 0..10_000 {
             assert!(matches!(
-                cache.probe(&deps[0].0, &deps[0].1, false),
+                cache.probe(&deps[0].0, None),
                 Probe::Hit(_)
             ));
         }
@@ -403,7 +415,7 @@ mod tests {
         // evictable (cold deps[1] goes first), and nothing is left behind.
         assert!(cache.evict_one(), "entries must remain evictable");
         assert!(matches!(
-            cache.probe(&deps[1].0, &deps[1].1, false),
+            cache.probe(&deps[1].0, None),
             Probe::Miss
         ));
         assert!(cache.evict_one(), "the hot entry is evictable too");
@@ -415,17 +427,17 @@ mod tests {
     fn expensive_answers_get_one_reprieve() {
         let mut cache = ShardCache::default();
         let deps = distinct_keyed_tds(2);
-        cache.insert(deps[0].0.clone(), YES, &deps[0].1, REPRIEVE_COST);
-        cache.insert(deps[1].0.clone(), YES, &deps[1].1, 0);
+        cache.insert(deps[0].0.clone(), YES, goal_hypothesis(&deps[0].1), REPRIEVE_COST);
+        cache.insert(deps[1].0.clone(), YES, goal_hypothesis(&deps[1].1), 0);
         // Entry 0 is colder but cost-protected: the cheap entry 1 goes
         // first.
         assert!(cache.evict_one());
         assert!(matches!(
-            cache.probe(&deps[0].0, &deps[0].1, false),
+            cache.probe(&deps[0].0, None),
             Probe::Hit(_)
         ));
         assert!(matches!(
-            cache.probe(&deps[1].0, &deps[1].1, false),
+            cache.probe(&deps[1].0, None),
             Probe::Miss
         ));
     }

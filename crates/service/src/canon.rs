@@ -28,15 +28,47 @@
 //! The `isomorphic` machinery remains available as an independent
 //! cross-check of key collisions (see `ServiceConfig::verify_cache_hits`
 //! and this module's tests).
+//!
+//! # Column-permutation normalization
+//!
+//! A fourth invariance rides on top of the per-dependency encodings:
+//! applying one column permutation **uniformly** to every dependency of a
+//! query relabels the universe's attributes, and attribute identity never
+//! affects the answer (the key already reduces the universe to width +
+//! typing discipline). [`query_parts`] therefore normalizes the *whole
+//! query's* column order before keying: each column gets a signature that
+//! is invariant under value renaming, hypothesis-row order, and Σ order
+//! (per-column value-frequency profiles, cross-column sharing counts, and
+//! conclusion/equality linkage, aggregated as a sorted multiset over the
+//! dependencies), and columns are sorted by signature with the submitted
+//! position as the tiebreak. No tie enumeration is needed on the hot
+//! submit path: columns that *genuinely* tie are almost always related by
+//! a query automorphism (fully interchangeable spectator columns), and
+//! reordering an automorphic block changes nothing — the canonical
+//! encodings come out identical either way, so permuted resubmissions
+//! still collide. A tie between columns the signature fails to separate
+//! that are *not* automorphic merely forfeits the hit; it can never
+//! manufacture a false one (the chosen permutation is part of how the key
+//! was computed, and the per-dependency encodings stay injective up to
+//! renaming). Queries wider than [`COL_CAP`] skip the normalization
+//! entirely (identity order). Verified cache hits compare goal hypotheses
+//! *after* each side's own canonical permutation (see
+//! [`permute_relation`]), which is exactly the equivalence equal keys now
+//! certify.
 
 use typedtd_dependencies::TdOrEgd;
-use typedtd_relational::{FxHashMap, Tuple, Value};
+use typedtd_relational::{FxHashMap, Relation, Tuple, Value};
 
 /// Hypothesis-row count above which row-order canonicalization is skipped.
 pub const ROW_CAP: usize = 8;
 
 /// Bound on complete row orders examined before falling back.
 pub const LEAF_CAP: usize = 512;
+
+/// Universe width above which column-permutation normalization is skipped
+/// (signature cost grows quadratically with width; wide universes keep
+/// the submitted column order).
+pub const COL_CAP: usize = 8;
 
 const TAG_TD: u32 = u32::MAX;
 const TAG_EGD: u32 = u32::MAX - 1;
@@ -78,22 +110,31 @@ pub struct QueryParts {
     /// `sigma_keys.contains(&goal_key)` means `σ ∈ Σ` up to isomorphism,
     /// so `Σ ⊨ σ` and `Σ ⊨_f σ` hold by reflexivity).
     pub goal_key: Vec<u32>,
+    /// The canonical column permutation the key was computed under:
+    /// canonical position `i` reads submitted column `perm[i]`. Two
+    /// queries with equal keys are isomorphic *after* each applies its own
+    /// permutation, so hit verification must compare
+    /// [`permute_relation`]-normalized hypotheses.
+    pub perm: Vec<u16>,
 }
 
 /// Canonicalizes a query once, returning the key plus the per-dependency
-/// encodings of Σ and of the goal.
+/// encodings of Σ and of the goal (all under the canonical column
+/// permutation, which is returned alongside).
 pub fn query_parts(sigma: &[TdOrEgd], goal: &TdOrEgd) -> QueryParts {
     let universe = match goal {
         TdOrEgd::Td(t) => t.universe().clone(),
         TdOrEgd::Egd(e) => e.universe().clone(),
     };
-    let dep_keys: Vec<Vec<u32>> = sigma.iter().map(dep_key).collect();
-    let goal_key = dep_key(goal);
+    let width = universe.width();
+    let perm = column_order(sigma, goal, width);
+    let dep_keys: Vec<Vec<u32>> = sigma.iter().map(|d| dep_key_under(d, &perm)).collect();
+    let goal_key = dep_key_under(goal, &perm);
     let mut sigma_keys = dep_keys.clone();
     sigma_keys.sort_unstable();
     sigma_keys.dedup();
     let key = QueryKey {
-        width: universe.width() as u16,
+        width: width as u16,
         typed: universe.is_typed(),
         sigma: sigma_keys,
         goal: goal_key.clone(),
@@ -102,7 +143,158 @@ pub fn query_parts(sigma: &[TdOrEgd], goal: &TdOrEgd) -> QueryParts {
         key,
         sigma_keys: dep_keys,
         goal_key,
+        perm,
     }
+}
+
+/// `rel` with its columns reordered into the canonical positions of
+/// `perm` (position `i` takes the submitted column `perm[i]`). The result
+/// lives over the same universe and is only meaningful for *structural*
+/// comparison (value-bijection isomorphism) against other relations
+/// normalized the same way — which is exactly what verified cache hits do.
+pub fn permute_relation(rel: &Relation, perm: &[u16]) -> Relation {
+    if is_identity(perm) {
+        return rel.clone();
+    }
+    let mut out = Relation::new(rel.universe().clone());
+    for row in rel.rows() {
+        let vals = row.values();
+        out.insert(Tuple::new(perm.iter().map(|&c| vals[c as usize]).collect()));
+    }
+    out
+}
+
+fn is_identity(perm: &[u16]) -> bool {
+    perm.iter().enumerate().all(|(i, &c)| i == c as usize)
+}
+
+/// The canonical column order for `(sigma, goal)`: columns sorted by
+/// their invariant signature, submitted position breaking ties. A tied
+/// block is almost always an automorphic (fully interchangeable) set of
+/// columns, for which any order yields the same canonical encodings —
+/// so no enumeration runs on the hot submit path.
+fn column_order(sigma: &[TdOrEgd], goal: &TdOrEgd, width: usize) -> Vec<u16> {
+    let mut order: Vec<u16> = (0..width as u16).collect();
+    if !(2..=COL_CAP).contains(&width) {
+        return order;
+    }
+    let sigs = column_signatures(sigma, goal, width);
+    order.sort_by(|&a, &b| sigs[a as usize].cmp(&sigs[b as usize]).then(a.cmp(&b)));
+    order
+}
+
+/// The per-column invariant signatures of the whole query, one per
+/// column: the goal's per-column descriptor followed by the sorted
+/// multiset of Σ's descriptors (separated by sentinels). Columns related
+/// by a uniform permutation of the query carry equal signatures in their
+/// permuted positions, so the signature sort is itself
+/// permutation-invariant. This runs on every cached submit, so each
+/// dependency is scanned once for all of its columns.
+fn column_signatures(sigma: &[TdOrEgd], goal: &TdOrEgd, width: usize) -> Vec<Vec<u32>> {
+    let goal_descs = dep_col_descs(goal, width);
+    let sigma_descs: Vec<Vec<Vec<u32>>> =
+        sigma.iter().map(|d| dep_col_descs(d, width)).collect();
+    (0..width)
+        .map(|c| {
+            let mut sig = goal_descs[c].clone();
+            sig.push(u32::MAX);
+            let mut deps: Vec<&Vec<u32>> = sigma_descs.iter().map(|d| &d[c]).collect();
+            deps.sort_unstable();
+            for d in deps {
+                sig.extend(d.iter());
+                sig.push(u32::MAX);
+            }
+            sig
+        })
+        .collect()
+}
+
+/// One dependency's descriptors, one per column: counts only (invariant
+/// under value renaming and hypothesis-row order), computed in a single
+/// pass over the tableau.
+fn dep_col_descs(dep: &TdOrEgd, width: usize) -> Vec<Vec<u32>> {
+    let hyp = match dep {
+        TdOrEgd::Td(t) => t.hypothesis(),
+        TdOrEgd::Egd(e) => e.hypothesis(),
+    };
+    // Per column: the column's values (for the frequency profile) and the
+    // cross-column sharing count, gathered row by row.
+    let mut col_vals: Vec<Vec<Value>> = vec![Vec::with_capacity(hyp.len()); width];
+    let mut shared = vec![0u32; width];
+    for row in hyp {
+        let vals = row.values();
+        for (c, v) in vals.iter().enumerate() {
+            col_vals[c].push(*v);
+            shared[c] += vals
+                .iter()
+                .enumerate()
+                .filter(|&(i, w)| i != c && w == v)
+                .count() as u32;
+        }
+    }
+    (0..width)
+        .map(|c| {
+            let mut out = Vec::with_capacity(8 + hyp.len());
+            // Value-frequency profile: sorted multiset of per-distinct-
+            // value occurrence counts (tableaux are small, so a sort
+            // beats a hash map).
+            col_vals[c].sort_unstable();
+            let mut profile: Vec<u32> = Vec::new();
+            let mut run = 0u32;
+            for (i, v) in col_vals[c].iter().enumerate() {
+                run += 1;
+                if i + 1 == col_vals[c].len() || col_vals[c][i + 1] != *v {
+                    profile.push(run);
+                    run = 0;
+                }
+            }
+            profile.sort_unstable();
+            match dep {
+                TdOrEgd::Td(t) => {
+                    let w = t.conclusion().values();
+                    out.push(0);
+                    out.push(hyp.len() as u32);
+                    out.push(profile.len() as u32);
+                    out.push(shared[c]);
+                    out.extend(&profile);
+                    // Conclusion linkage: same-column hypothesis
+                    // occurrences of the conclusion value, its repeats
+                    // across the conclusion row, and whether it is
+                    // existential (fresh anywhere).
+                    let same_col =
+                        hyp.iter().filter(|r| r.values()[c] == w[c]).count() as u32;
+                    let in_concl = w
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, v)| i != c && *v == w[c])
+                        .count();
+                    let fresh = !hyp.iter().any(|r| r.values().contains(&w[c]));
+                    out.push(same_col);
+                    out.push(in_concl as u32);
+                    out.push(u32::from(fresh));
+                }
+                TdOrEgd::Egd(e) => {
+                    out.push(1);
+                    out.push(hyp.len() as u32);
+                    out.push(profile.len() as u32);
+                    out.push(shared[c]);
+                    out.extend(&profile);
+                    // Equality linkage, order-normalized (the equality
+                    // is symmetric): same-column occurrence counts of
+                    // each equated value.
+                    let l =
+                        hyp.iter().filter(|r| r.values()[c] == e.left()).count() as u32;
+                    let r = hyp
+                        .iter()
+                        .filter(|row| row.values()[c] == e.right())
+                        .count() as u32;
+                    out.push(l.min(r));
+                    out.push(l.max(r));
+                }
+            }
+            out
+        })
+        .collect()
 }
 
 /// What follows the hypothesis rows in a dependency encoding.
@@ -114,29 +306,48 @@ enum Tail<'a> {
 }
 
 /// Canonical encoding of one dependency, invariant under variable renaming
-/// and hypothesis-row reordering.
+/// and hypothesis-row reordering (columns read in submitted order).
 pub fn dep_key(dep: &TdOrEgd) -> Vec<u32> {
+    let width = match dep {
+        TdOrEgd::Td(t) => t.universe().width(),
+        TdOrEgd::Egd(e) => e.universe().width(),
+    };
+    let identity: Vec<u16> = (0..width as u16).collect();
+    dep_key_under(dep, &identity)
+}
+
+/// As [`dep_key`] but reading columns through `perm` (canonical position
+/// `i` reads submitted column `perm[i]`) — the per-dependency piece of the
+/// query-wide column-permutation normalization.
+fn dep_key_under(dep: &TdOrEgd, perm: &[u16]) -> Vec<u32> {
     match dep {
         TdOrEgd::Td(t) => {
             let mut out = vec![TAG_TD, t.hypothesis().len() as u32];
-            out.extend(canonical_rows(t.hypothesis(), &Tail::Row(t.conclusion())));
+            out.extend(canonical_rows(t.hypothesis(), &Tail::Row(t.conclusion()), perm));
             out
         }
         TdOrEgd::Egd(e) => {
             let mut out = vec![TAG_EGD, e.hypothesis().len() as u32];
-            out.extend(canonical_rows(e.hypothesis(), &Tail::Pair(e.left(), e.right())));
+            out.extend(canonical_rows(
+                e.hypothesis(),
+                &Tail::Pair(e.left(), e.right()),
+                perm,
+            ));
             out
         }
     }
 }
 
-/// Encodes `row` under `numbering`, assigning provisional ids (starting at
-/// `numbering.len()`) to unseen values in column order. Returns the encoded
-/// tuple and the newly seen values in assignment order.
-fn encode_row(row: &Tuple, numbering: &FxHashMap<Value, u32>) -> (Vec<u32>, Vec<Value>) {
-    let mut enc = Vec::with_capacity(row.width());
+/// Encodes `row` (read through `perm`) under `numbering`, assigning
+/// provisional ids (starting at `numbering.len()`) to unseen values in
+/// canonical column order. Returns the encoded tuple and the newly seen
+/// values in assignment order.
+fn encode_row(row: &Tuple, numbering: &FxHashMap<Value, u32>, perm: &[u16]) -> (Vec<u32>, Vec<Value>) {
+    let vals = row.values();
+    let mut enc = Vec::with_capacity(perm.len());
     let mut fresh: Vec<Value> = Vec::new();
-    for v in row.values() {
+    for &c in perm {
+        let v = &vals[c as usize];
         if let Some(&id) = numbering.get(v) {
             enc.push(id);
         } else if let Some(pos) = fresh.iter().position(|f| f == v) {
@@ -150,9 +361,9 @@ fn encode_row(row: &Tuple, numbering: &FxHashMap<Value, u32>) -> (Vec<u32>, Vec<
 }
 
 /// Appends the tail encoding under (a copy of) `numbering`.
-fn encode_tail(tail: &Tail<'_>, numbering: &FxHashMap<Value, u32>) -> Vec<u32> {
+fn encode_tail(tail: &Tail<'_>, numbering: &FxHashMap<Value, u32>, perm: &[u16]) -> Vec<u32> {
     match tail {
-        Tail::Row(conclusion) => encode_row(conclusion, numbering).0,
+        Tail::Row(conclusion) => encode_row(conclusion, numbering, perm).0,
         Tail::Pair(l, r) => {
             let li = numbering[l];
             let ri = numbering[r];
@@ -163,13 +374,14 @@ fn encode_tail(tail: &Tail<'_>, numbering: &FxHashMap<Value, u32>) -> Vec<u32> {
 
 /// The lexicographically minimal encoding of `rows ++ tail` over all row
 /// orders, or the identity-order encoding when the search would blow up.
-fn canonical_rows(rows: &[Tuple], tail: &Tail<'_>) -> Vec<u32> {
+fn canonical_rows(rows: &[Tuple], tail: &Tail<'_>, perm: &[u16]) -> Vec<u32> {
     if rows.len() > ROW_CAP {
-        return identity_encoding(rows, tail);
+        return identity_encoding(rows, tail, perm);
     }
     let mut search = Search {
         rows,
         tail,
+        perm,
         best: None,
         leaves: 0,
         aborted: false,
@@ -179,30 +391,31 @@ fn canonical_rows(rows: &[Tuple], tail: &Tail<'_>) -> Vec<u32> {
     let mut acc = Vec::new();
     search.dfs(&mut used, &mut numbering, &mut acc);
     if search.aborted {
-        return identity_encoding(rows, tail);
+        return identity_encoding(rows, tail, perm);
     }
     search.best.expect("nonempty hypothesis yields a best order")
 }
 
 /// Encoding in the submitted row order (renaming-invariant only).
-fn identity_encoding(rows: &[Tuple], tail: &Tail<'_>) -> Vec<u32> {
+fn identity_encoding(rows: &[Tuple], tail: &Tail<'_>, perm: &[u16]) -> Vec<u32> {
     let mut numbering = FxHashMap::default();
     let mut out = Vec::new();
     for row in rows {
-        let (enc, fresh) = encode_row(row, &numbering);
+        let (enc, fresh) = encode_row(row, &numbering, perm);
         for v in fresh {
             let id = numbering.len() as u32;
             numbering.insert(v, id);
         }
         out.extend(enc);
     }
-    out.extend(encode_tail(tail, &numbering));
+    out.extend(encode_tail(tail, &numbering, perm));
     out
 }
 
 struct Search<'a> {
     rows: &'a [Tuple],
     tail: &'a Tail<'a>,
+    perm: &'a [u16],
     best: Option<Vec<u32>>,
     leaves: usize,
     aborted: bool,
@@ -230,7 +443,7 @@ impl Search<'_> {
                 return;
             }
             let mut candidate = acc.to_vec();
-            candidate.extend(encode_tail(self.tail, numbering));
+            candidate.extend(encode_tail(self.tail, numbering, self.perm));
             if self.best.as_ref().is_none_or(|b| candidate < *b) {
                 self.best = Some(candidate);
             }
@@ -243,7 +456,7 @@ impl Search<'_> {
             .enumerate()
             .filter(|(i, _)| !used[*i])
             .map(|(i, row)| {
-                let (enc, fresh) = encode_row(row, numbering);
+                let (enc, fresh) = encode_row(row, numbering, self.perm);
                 (i, enc, fresh)
             })
             .collect();
@@ -436,6 +649,138 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Applies one column permutation to every dependency of a query:
+    /// the uniform attribute relabeling the key must normalize away.
+    fn permute_query(
+        u: &Arc<Universe>,
+        _pool: &mut ValuePool,
+        sigma: &[TdOrEgd],
+        goal: &TdOrEgd,
+        perm: &[usize],
+    ) -> (Vec<TdOrEgd>, TdOrEgd) {
+        let permute_tuple =
+            |t: &Tuple| Tuple::new(perm.iter().map(|&c| t.values()[c]).collect());
+        let permute_dep = |d: &TdOrEgd| match d {
+            TdOrEgd::Td(t) => {
+                let hyp: Vec<Tuple> = t.hypothesis().iter().map(&permute_tuple).collect();
+                TdOrEgd::Td(typedtd_dependencies::Td::new(
+                    u.clone(),
+                    permute_tuple(t.conclusion()),
+                    hyp,
+                ))
+            }
+            TdOrEgd::Egd(e) => {
+                let hyp: Vec<Tuple> = e.hypothesis().iter().map(&permute_tuple).collect();
+                TdOrEgd::Egd(typedtd_dependencies::Egd::new(
+                    u.clone(),
+                    e.left(),
+                    e.right(),
+                    hyp,
+                ))
+            }
+        };
+        (
+            sigma.iter().map(permute_dep).collect(),
+            permute_dep(goal),
+        )
+    }
+
+    #[test]
+    fn uniform_column_permutations_are_invisible() {
+        let (u, mut p) = setup();
+        let mvd = TdOrEgd::Td(td_from_names(
+            &u,
+            &mut p,
+            &[&["x", "y1", "z1"], &["x", "y2", "z2"]],
+            &["x", "y1", "z2"],
+        ));
+        let extra = TdOrEgd::Td(td_from_names(&u, &mut p, &[&["q", "r", "r"]], &["q", "r", "r"]));
+        let goal = TdOrEgd::Td(td_from_names(
+            &u,
+            &mut p,
+            &[&["x", "y1", "z1"], &["x", "y2", "z2"]],
+            &["x", "y1", "z1"],
+        ));
+        let sigma = vec![mvd, extra];
+        let base = query_key(&sigma, &goal);
+        // Every permutation of the three columns must key identically.
+        for perm in [[0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]] {
+            let (ps, pg) = permute_query(&u, &mut p, &sigma, &goal, &perm);
+            assert_eq!(
+                query_key(&ps, &pg),
+                base,
+                "column permutation {perm:?} must be normalized away"
+            );
+        }
+    }
+    #[test]
+    fn nonuniform_column_changes_stay_visible() {
+        // Permuting the goal's columns WITHOUT permuting Σ poses a
+        // different implication problem — the keys must differ (the
+        // normalization is query-wide, not per-dependency). Here:
+        // `A' → B' ⊨ A' → B'` (true) versus `A' → B' ⊨ A' → C'` (false).
+        let (u, mut p) = setup();
+        let fd_b = TdOrEgd::Egd(egd_from_names(
+            &u,
+            &mut p,
+            &[&["x", "y1", "z1"], &["x", "y2", "z2"]],
+            ("B'", "y1"),
+            ("B'", "y2"),
+        ));
+        let sigma = vec![fd_b.clone()];
+        // Swap the goal's B'/C' columns only: the equated pair now lives
+        // in column C'.
+        let (_, goal_swapped) = permute_query(&u, &mut p, &sigma, &fd_b, &[0, 2, 1]);
+        assert_ne!(
+            query_key(&sigma, &fd_b),
+            query_key(&sigma, &goal_swapped),
+            "goal-only column swap changes the problem and must change the key"
+        );
+    }
+
+    #[test]
+    fn permuted_keys_stay_sound_on_near_collisions() {
+        // Structurally different queries that are symmetric in two
+        // columns: the tie-enumeration path must still keep them apart.
+        let (u, mut p) = setup();
+        let mvd = TdOrEgd::Td(td_from_names(
+            &u,
+            &mut p,
+            &[&["x", "y1", "z1"], &["x", "y2", "z2"]],
+            &["x", "y1", "z2"],
+        ));
+        let trivial = TdOrEgd::Td(td_from_names(
+            &u,
+            &mut p,
+            &[&["x", "y1", "z1"], &["x", "y2", "z2"]],
+            &["x", "y1", "z1"],
+        ));
+        assert_ne!(
+            query_key(&[], &mvd),
+            query_key(&[], &trivial),
+            "distinct structures must not collide under column normalization"
+        );
+    }
+
+    #[test]
+    fn wide_universes_fall_back_to_submitted_column_order() {
+        let names: Vec<String> = (0..COL_CAP + 2).map(|i| format!("W{i}")).collect();
+        let u = Universe::untyped(names);
+        let mut p = ValuePool::new(u.clone());
+        let row: Vec<String> = (0..COL_CAP + 2).map(|i| format!("v{i}")).collect();
+        let refs: Vec<&str> = row.iter().map(String::as_str).collect();
+        let td = TdOrEgd::Td(td_from_names(&u, &mut p, &[&refs], &refs));
+        let k1 = query_key(&[], &td);
+        let k2 = query_key(&[], &td);
+        assert_eq!(k1, k2, "fallback keys stay deterministic");
+        let parts = query_parts(&[], &td);
+        assert_eq!(
+            parts.perm,
+            (0..(COL_CAP + 2) as u16).collect::<Vec<_>>(),
+            "beyond COL_CAP the permutation is the identity"
+        );
     }
 
     #[test]

@@ -1,0 +1,49 @@
+//! Helpers shared by the `typedtd-serve` and `typedtd-sockd` front
+//! ends, so the two binaries cannot silently diverge in the flags they
+//! accept or the stats they report.
+
+use crate::service::ImplicationClient;
+use typedtd_chase::DecideMode;
+
+/// Parses a `--mode` argument: `sequential` or `dovetail[:RATIO]`
+/// (`RATIO` chase rounds per search attempt, default 1).
+pub fn parse_decide_mode(text: &str) -> Option<DecideMode> {
+    match text {
+        "sequential" => Some(DecideMode::Sequential),
+        "dovetail" => Some(DecideMode::dovetail(1)),
+        _ => {
+            let ratio = text.strip_prefix("dovetail:")?.parse().ok()?;
+            Some(DecideMode::dovetail(ratio))
+        }
+    }
+}
+
+/// The `--stats` ledger both front ends print: every [`crate::ServiceStats`]
+/// counter plus the live cache size, `key=value` separated by spaces.
+pub fn stats_line(client: &ImplicationClient) -> String {
+    let s = client.stats();
+    format!(
+        "jobs={} completed={} yes={} no={} unknown={} cache_hits={} goal_in_sigma={} \
+         coalesced={} misses={} hit_rate={:.2} evictions={} expired={} cancelled={} \
+         retired={} fuel={} sweeps={} steals={} parked={} cached_queries={}",
+        s.submitted,
+        s.completed,
+        s.yes,
+        s.no,
+        s.unknown,
+        s.cache_hits,
+        s.goal_in_sigma,
+        s.coalesced,
+        s.cache_misses,
+        s.cache_hit_rate(),
+        s.evictions,
+        s.expired,
+        s.cancelled,
+        s.retired,
+        s.fuel_spent,
+        s.sweeps,
+        s.steals,
+        s.parked,
+        client.cache_len(),
+    )
+}

@@ -67,11 +67,21 @@
 pub mod batch;
 pub mod cache;
 pub mod canon;
+pub mod cli;
+pub mod proto;
 pub mod service;
 
-pub use batch::{parse_query_line, submit_batch, Batch, BatchError, BatchQuery, BatchVerdict};
+pub use batch::{
+    parse_query_line, parse_universe_spec, submit_batch, Batch, BatchError, BatchQuery,
+    BatchVerdict,
+};
 pub use cache::{CachedAnswer, Probe, ShardCache};
-pub use canon::{dep_key, query_key, query_parts, QueryKey, QueryParts};
+pub use cli::{parse_decide_mode, stats_line};
+pub use proto::{
+    decode_frame, Frame, FrameError, Opcode, ProgressKind, ProtoClient, ProtoServer,
+    ProtoStream, SockdConfig, SubmitPayload, WireAnswer, MAX_FRAME_LEN, PROTO_VERSION,
+};
+pub use canon::{dep_key, permute_relation, query_key, query_parts, QueryKey, QueryParts};
 pub use service::{
     ImplicationClient, JobHandle, JobId, JobOutcome, JobStatus, QuerySpec, ServiceConfig,
     ServiceStats, ShardStep,

@@ -1,0 +1,1442 @@
+//! `typedtd-proto` — the length-prefixed streaming socket protocol.
+//!
+//! The paper proves implication/finite-implication of typed tds
+//! undecidable, so a networked front end cannot be request/response with
+//! call-and-wait semantics: any one query may hold its connection hostage
+//! forever. The protocol is therefore **fully pipelined and out of
+//! order** — a client tags every request with a correlation id of its own
+//! choosing, the server pushes `ANSWER` frames back *as jobs resolve*
+//! (which, under the dovetailing scheduler, need not be submission
+//! order), and a divergent query simply never blocks the answers behind
+//! it. Cancellation and detachment ride the same ids, and a dropped
+//! connection maps onto the service's `JobHandle::cancel`/`detach`
+//! semantics: non-detached jobs are cancelled (their fuel stops within
+//! one slice), detached jobs keep computing so their answers can feed the
+//! shared cache.
+//!
+//! # Frame layout
+//!
+//! Every frame, both directions, is length-prefixed:
+//!
+//! ```text
+//! u32 LE  length of the rest (≥ 10, ≤ MAX_FRAME_LEN)
+//! u8      protocol version (PROTO_VERSION)
+//! u8      opcode
+//! u64 LE  correlation id (client-chosen; echoed on every response)
+//! bytes   payload (opcode-specific)
+//! ```
+//!
+//! Requests: [`Opcode::Submit`], [`Opcode::Cancel`], [`Opcode::Detach`],
+//! [`Opcode::Stats`], [`Opcode::Shutdown`]. Responses:
+//! [`Opcode::Answer`], [`Opcode::Progress`], [`Opcode::Err`]. See
+//! `crates/service/README.md` for the full specification (payload
+//! layouts, version negotiation, error codes).
+//!
+//! # Robustness contract
+//!
+//! A malformed *payload* in a well-delimited frame is answered with an
+//! [`Opcode::Err`] frame and the connection continues (the stream is
+//! still in sync). A malformed *frame* — a length below the fixed header
+//! size or beyond [`MAX_FRAME_LEN`] — means the stream can no longer be
+//! trusted: the server sends a final `ERR` and disconnects cleanly. A
+//! version byte the server does not speak is answered `ERR`
+//! ([`err_code::BAD_VERSION`]) and the connection is closed (version
+//! negotiation is "v1 or nothing" today; the byte exists so later
+//! versions can do better). Nothing a client sends may panic the server
+//! or desync another connection — `tests/proto.rs` fuzzes exactly this.
+
+use crate::batch::{parse_query_line, parse_universe_spec};
+use crate::service::{ImplicationClient, JobHandle, JobStatus, QuerySpec, ServiceConfig};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+use typedtd_chase::Answer;
+use typedtd_relational::ValuePool;
+
+/// The protocol version this build speaks (and stamps on every frame).
+pub const PROTO_VERSION: u8 = 1;
+
+/// Upper bound on the length prefix: version + opcode + correlation id +
+/// payload. Anything larger is a protocol violation (the stream is
+/// considered desynced and the connection is dropped).
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// Bytes of every frame body that are not payload (version, opcode,
+/// correlation id).
+pub const FRAME_FIXED: usize = 1 + 1 + 8;
+
+/// Frame opcodes. `0x0#` are client→server requests, `0x8#` are
+/// server→client responses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum Opcode {
+    /// Submit one implication query (payload: [`SubmitPayload`]).
+    Submit = 0x01,
+    /// Cancel the submission with this correlation id (empty payload).
+    Cancel = 0x02,
+    /// Detach the submission with this correlation id: it survives a
+    /// dropped connection (and a coalescing leader's cancellation) so its
+    /// answer can feed the cache (empty payload).
+    Detach = 0x03,
+    /// Request this connection's counters (empty payload; answered with a
+    /// [`ProgressKind::Stats`] progress frame).
+    Stats = 0x04,
+    /// Ask the whole server to shut down (empty payload; acknowledged
+    /// with [`ProgressKind::Bye`], then the connection closes).
+    Shutdown = 0x05,
+    /// A resolved submission's verdict (payload: [`WireAnswer`]).
+    Answer = 0x81,
+    /// Progress/acknowledgement (payload: kind byte + UTF-8 text).
+    Progress = 0x82,
+    /// An error scoped to the echoed correlation id (payload: u16 LE
+    /// error code + UTF-8 message). See [`err_code`].
+    Err = 0x83,
+}
+
+impl Opcode {
+    /// Decodes an opcode byte.
+    pub fn from_u8(b: u8) -> Option<Self> {
+        Some(match b {
+            0x01 => Self::Submit,
+            0x02 => Self::Cancel,
+            0x03 => Self::Detach,
+            0x04 => Self::Stats,
+            0x05 => Self::Shutdown,
+            0x81 => Self::Answer,
+            0x82 => Self::Progress,
+            0x83 => Self::Err,
+            _ => return None,
+        })
+    }
+}
+
+/// `ERR` frame codes (first two payload bytes, LE).
+pub mod err_code {
+    /// The frame's version byte is not [`super::PROTO_VERSION`]; the
+    /// connection closes after this error.
+    pub const BAD_VERSION: u16 = 1;
+    /// Unknown opcode byte (frame was well-delimited; connection
+    /// continues).
+    pub const BAD_OPCODE: u16 = 2;
+    /// Length prefix beyond [`super::MAX_FRAME_LEN`] (or below the fixed
+    /// header); the stream is desynced and the connection closes.
+    pub const BAD_FRAME: u16 = 3;
+    /// Opcode-specific payload did not parse (connection continues).
+    pub const BAD_PAYLOAD: u16 = 4;
+    /// The submitted universe or query text did not parse (connection
+    /// continues; nothing was submitted).
+    pub const PARSE: u16 = 5;
+    /// `CANCEL`/`DETACH` for a correlation id with no pending submission
+    /// (already answered, or never submitted).
+    pub const UNKNOWN_CORR: u16 = 6;
+    /// `SUBMIT` reusing a correlation id that is still pending.
+    pub const DUPLICATE_CORR: u16 = 7;
+}
+
+/// One decoded frame (version byte preserved verbatim so servers can
+/// negotiate; opcode kept raw so unknown opcodes stay representable).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Frame {
+    /// Protocol version stamped by the sender.
+    pub version: u8,
+    /// Raw opcode byte (decode with [`Opcode::from_u8`]).
+    pub opcode: u8,
+    /// Correlation id (client-chosen on requests, echoed on responses).
+    pub corr: u64,
+    /// Opcode-specific payload.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// A request/response frame at the current protocol version.
+    pub fn new(opcode: Opcode, corr: u64, payload: Vec<u8>) -> Self {
+        Self {
+            version: PROTO_VERSION,
+            opcode: opcode as u8,
+            corr,
+            payload,
+        }
+    }
+
+    /// Appends the wire encoding of this frame to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let len = (FRAME_FIXED + self.payload.len()) as u32;
+        out.extend_from_slice(&len.to_le_bytes());
+        out.push(self.version);
+        out.push(self.opcode);
+        out.extend_from_slice(&self.corr.to_le_bytes());
+        out.extend_from_slice(&self.payload);
+    }
+
+    /// The wire encoding of this frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + FRAME_FIXED + self.payload.len());
+        self.encode_into(&mut out);
+        out
+    }
+}
+
+/// Why a byte stream could not be cut into a frame. Both variants mean
+/// the stream is desynced: there is no way to know where the next frame
+/// starts, so the only safe reaction is a clean disconnect.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FrameError {
+    /// Length prefix larger than [`MAX_FRAME_LEN`].
+    TooLarge(u32),
+    /// Length prefix smaller than the fixed header.
+    TooShort(u32),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::TooLarge(n) => write!(f, "frame length {n} exceeds {MAX_FRAME_LEN}"),
+            Self::TooShort(n) => write!(f, "frame length {n} below fixed header {FRAME_FIXED}"),
+        }
+    }
+}
+
+/// Attempts to decode one frame from the front of `buf`.
+///
+/// Returns `Ok(Some((frame, consumed)))` when a complete frame is
+/// available, `Ok(None)` when more bytes are needed, and a
+/// [`FrameError`] when the length prefix is implausible (the stream is
+/// desynced — disconnect).
+///
+/// # Errors
+/// See [`FrameError`].
+pub fn decode_frame(buf: &[u8]) -> Result<Option<(Frame, usize)>, FrameError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+    if (len as usize) < FRAME_FIXED {
+        return Err(FrameError::TooShort(len));
+    }
+    if len as usize > MAX_FRAME_LEN {
+        return Err(FrameError::TooLarge(len));
+    }
+    let total = 4 + len as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let version = buf[4];
+    let opcode = buf[5];
+    let corr = u64::from_le_bytes(buf[6..14].try_into().expect("fixed header"));
+    let payload = buf[14..total].to_vec();
+    Ok(Some((
+        Frame {
+            version,
+            opcode,
+            corr,
+            payload,
+        },
+        total,
+    )))
+}
+
+/// `SUBMIT` payload: an optional per-job fuel cap plus the universe and
+/// query in the `typedtd_dependencies::parser` text syntax (the same
+/// line format `typedtd-serve` reads, minus the `@universe` prefix).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SubmitPayload {
+    /// Per-job fuel cap (`None` = the service default / global budget).
+    pub fuel_cap: Option<u64>,
+    /// Universe spec: `[untyped] NAME NAME …`.
+    pub universe: String,
+    /// Query: `SIGMA |= GOAL` (Σ entries separated by `&`).
+    pub query: String,
+}
+
+impl SubmitPayload {
+    /// Encodes the payload: `u64 fuel_cap (0 = none) · u32 ulen ·
+    /// universe · u32 qlen · query`.
+    pub fn encode(&self) -> Vec<u8> {
+        let u = self.universe.as_bytes();
+        let q = self.query.as_bytes();
+        let mut out = Vec::with_capacity(16 + u.len() + q.len());
+        out.extend_from_slice(&self.fuel_cap.unwrap_or(0).to_le_bytes());
+        out.extend_from_slice(&(u.len() as u32).to_le_bytes());
+        out.extend_from_slice(u);
+        out.extend_from_slice(&(q.len() as u32).to_le_bytes());
+        out.extend_from_slice(q);
+        out
+    }
+
+    /// Decodes a `SUBMIT` payload.
+    ///
+    /// # Errors
+    /// A description of the structural problem (for an `ERR
+    /// BAD_PAYLOAD` reply).
+    pub fn decode(bytes: &[u8]) -> Result<Self, String> {
+        let mut at = 0usize;
+        let take = |at: &mut usize, n: usize| -> Result<&[u8], String> {
+            let end = at
+                .checked_add(n)
+                .filter(|&e| e <= bytes.len())
+                .ok_or_else(|| format!("submit payload truncated at byte {at}"))?;
+            let s = &bytes[*at..end];
+            *at = end;
+            Ok(s)
+        };
+        let fuel = u64::from_le_bytes(take(&mut at, 8)?.try_into().expect("8 bytes"));
+        let ulen = u32::from_le_bytes(take(&mut at, 4)?.try_into().expect("4 bytes")) as usize;
+        let universe = String::from_utf8(take(&mut at, ulen)?.to_vec())
+            .map_err(|_| "universe spec is not UTF-8".to_string())?;
+        let qlen = u32::from_le_bytes(take(&mut at, 4)?.try_into().expect("4 bytes")) as usize;
+        let query = String::from_utf8(take(&mut at, qlen)?.to_vec())
+            .map_err(|_| "query is not UTF-8".to_string())?;
+        if at != bytes.len() {
+            return Err(format!("submit payload has {} trailing bytes", bytes.len() - at));
+        }
+        Ok(Self {
+            fuel_cap: (fuel != 0).then_some(fuel),
+            universe,
+            query,
+        })
+    }
+}
+
+/// `ANSWER` payload: the conjoined verdict of one submission's goal
+/// parts.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct WireAnswer {
+    /// Conjunction over parts of `Σ ⊨ σ`.
+    pub implication: Answer,
+    /// Conjunction over parts of `Σ ⊨_f σ`.
+    pub finite_implication: Answer,
+    /// Every non-vacuous part was served without fresh fuel.
+    pub from_cache: bool,
+    /// At least one part was cancelled (the answers are then `Unknown`).
+    pub cancelled: bool,
+    /// Not cancelled, but at least one part expired to `Unknown` on a
+    /// fuel budget.
+    pub expired: bool,
+    /// Total fuel the parts spent.
+    pub fuel_spent: u64,
+}
+
+const FLAG_CACHE: u8 = 1;
+const FLAG_CANCELLED: u8 = 2;
+const FLAG_EXPIRED: u8 = 4;
+
+fn answer_to_u8(a: Answer) -> u8 {
+    match a {
+        Answer::Yes => 0,
+        Answer::No => 1,
+        Answer::Unknown => 2,
+    }
+}
+
+fn answer_from_u8(b: u8) -> Result<Answer, String> {
+    Ok(match b {
+        0 => Answer::Yes,
+        1 => Answer::No,
+        2 => Answer::Unknown,
+        _ => return Err(format!("bad answer byte {b}")),
+    })
+}
+
+impl WireAnswer {
+    /// Encodes the payload: `u8 implication · u8 finite · u8 flags ·
+    /// u64 fuel_spent`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(11);
+        out.push(answer_to_u8(self.implication));
+        out.push(answer_to_u8(self.finite_implication));
+        let mut flags = 0u8;
+        if self.from_cache {
+            flags |= FLAG_CACHE;
+        }
+        if self.cancelled {
+            flags |= FLAG_CANCELLED;
+        }
+        if self.expired {
+            flags |= FLAG_EXPIRED;
+        }
+        out.push(flags);
+        out.extend_from_slice(&self.fuel_spent.to_le_bytes());
+        out
+    }
+
+    /// Decodes an `ANSWER` payload.
+    ///
+    /// # Errors
+    /// A description of the structural problem.
+    pub fn decode(bytes: &[u8]) -> Result<Self, String> {
+        if bytes.len() != 11 {
+            return Err(format!("answer payload must be 11 bytes, got {}", bytes.len()));
+        }
+        Ok(Self {
+            implication: answer_from_u8(bytes[0])?,
+            finite_implication: answer_from_u8(bytes[1])?,
+            from_cache: bytes[2] & FLAG_CACHE != 0,
+            cancelled: bytes[2] & FLAG_CANCELLED != 0,
+            expired: bytes[2] & FLAG_EXPIRED != 0,
+            fuel_spent: u64::from_le_bytes(bytes[3..11].try_into().expect("8 bytes")),
+        })
+    }
+}
+
+/// First payload byte of a `PROGRESS` frame.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum ProgressKind {
+    /// A `SUBMIT` was accepted and scheduled (`text` reports
+    /// `parts=N`). The `ANSWER` follows when the parts resolve.
+    Accepted = 0,
+    /// Reply to `STATS`: `text` is space-separated `key=value` counters
+    /// (parse with [`parse_stats_text`]).
+    Stats = 1,
+    /// Reply to `SHUTDOWN`: the server is going down and this connection
+    /// closes after the frame.
+    Bye = 2,
+}
+
+impl ProgressKind {
+    /// Decodes a progress-kind byte.
+    pub fn from_u8(b: u8) -> Option<Self> {
+        Some(match b {
+            0 => Self::Accepted,
+            1 => Self::Stats,
+            2 => Self::Bye,
+            _ => return None,
+        })
+    }
+}
+
+fn progress_frame(corr: u64, kind: ProgressKind, text: &str) -> Frame {
+    let mut payload = Vec::with_capacity(1 + text.len());
+    payload.push(kind as u8);
+    payload.extend_from_slice(text.as_bytes());
+    Frame::new(Opcode::Progress, corr, payload)
+}
+
+fn err_frame(corr: u64, code: u16, text: &str) -> Frame {
+    let mut payload = Vec::with_capacity(2 + text.len());
+    payload.extend_from_slice(&code.to_le_bytes());
+    payload.extend_from_slice(text.as_bytes());
+    Frame::new(Opcode::Err, corr, payload)
+}
+
+/// Splits an `ERR` payload into its code and message.
+///
+/// # Errors
+/// When the payload is shorter than the two code bytes.
+pub fn decode_err(payload: &[u8]) -> Result<(u16, String), String> {
+    if payload.len() < 2 {
+        return Err("err payload below 2 bytes".into());
+    }
+    Ok((
+        u16::from_le_bytes([payload[0], payload[1]]),
+        String::from_utf8_lossy(&payload[2..]).into_owned(),
+    ))
+}
+
+/// Parses a `PROGRESS`/`STATS` text body (`key=value` pairs separated by
+/// whitespace) into a counter map; non-numeric values are skipped.
+pub fn parse_stats_text(text: &str) -> HashMap<String, u64> {
+    text.split_whitespace()
+        .filter_map(|kv| {
+            let (k, v) = kv.split_once('=')?;
+            Some((k.to_string(), v.parse().ok()?))
+        })
+        .collect()
+}
+
+/// A connected socket, TCP or Unix-domain, behind one type so the codec,
+/// server, and client are transport-agnostic.
+#[derive(Debug)]
+pub enum ProtoStream {
+    /// TCP (`std::net`).
+    Tcp(TcpStream),
+    /// Unix-domain (`std::os::unix::net`).
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl ProtoStream {
+    fn set_read_timeout(&self, d: Option<Duration>) -> io::Result<()> {
+        match self {
+            Self::Tcp(s) => s.set_read_timeout(d),
+            #[cfg(unix)]
+            Self::Unix(s) => s.set_read_timeout(d),
+        }
+    }
+
+    fn set_write_timeout(&self, d: Option<Duration>) -> io::Result<()> {
+        match self {
+            Self::Tcp(s) => s.set_write_timeout(d),
+            #[cfg(unix)]
+            Self::Unix(s) => s.set_write_timeout(d),
+        }
+    }
+}
+
+impl Read for ProtoStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Self::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Self::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for ProtoStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Self::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Self::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Self::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Self::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// How often an idle connection or driver re-checks for new work or the
+/// shutdown flag. Answer latency and shutdown latency are bounded by it.
+const POLL_INTERVAL: Duration = Duration::from_micros(200);
+
+/// Server configuration: the shared service plus how many dedicated
+/// scheduler driver threads the server runs. Drivers guarantee progress
+/// for detached/orphaned jobs; a connection with its own submissions in
+/// flight additionally helps drive the scheduler, so answer latency
+/// tracks the computation rather than the drivers' polling cadence.
+#[derive(Clone, Debug)]
+pub struct SockdConfig {
+    /// The shared implication service's knobs.
+    pub service: ServiceConfig,
+    /// Scheduler driver threads (min 1).
+    pub drivers: usize,
+}
+
+impl Default for SockdConfig {
+    fn default() -> Self {
+        Self {
+            service: ServiceConfig::default(),
+            drivers: 2,
+        }
+    }
+}
+
+struct ServerCore {
+    client: ImplicationClient,
+    shutdown: AtomicBool,
+    /// Connections accepted over the server's lifetime.
+    accepted: AtomicU64,
+}
+
+/// A running `typedtd-sockd` server: one shared [`ImplicationClient`],
+/// an accept loop per listener (TCP and/or Unix), one thread per
+/// connection, and a pool of scheduler driver threads. Shut down via a
+/// [`Opcode::Shutdown`] frame from any client or
+/// [`ProtoServer::shutdown_now`]; [`ProtoServer::join`] waits for all
+/// threads. Dropping the server shuts it down.
+pub struct ProtoServer {
+    core: Arc<ServerCore>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    tcp_addr: Option<SocketAddr>,
+    unix_path: Option<PathBuf>,
+}
+
+impl ProtoServer {
+    /// Binds and starts a server. `tcp` is a `host:port` spec (`:0`
+    /// picks an ephemeral port — read it back from
+    /// [`ProtoServer::tcp_addr`]); `unix` is a socket path (an existing
+    /// file there is removed first). At least one listener must be
+    /// given.
+    ///
+    /// # Errors
+    /// Propagates bind failures.
+    pub fn bind(
+        cfg: SockdConfig,
+        tcp: Option<&str>,
+        #[cfg_attr(not(unix), allow(unused_variables))] unix: Option<&Path>,
+    ) -> io::Result<Self> {
+        let core = Arc::new(ServerCore {
+            client: ImplicationClient::new(cfg.service),
+            shutdown: AtomicBool::new(false),
+            accepted: AtomicU64::new(0),
+        });
+        let conn_threads = Arc::new(Mutex::new(Vec::new()));
+        let mut threads = Vec::new();
+        let mut tcp_addr = None;
+        if let Some(spec) = tcp {
+            let addrs: Vec<SocketAddr> = spec.to_socket_addrs()?.collect();
+            let listener = TcpListener::bind(&addrs[..])?;
+            listener.set_nonblocking(true)?;
+            tcp_addr = Some(listener.local_addr()?);
+            let core = Arc::clone(&core);
+            let conns = Arc::clone(&conn_threads);
+            threads.push(std::thread::spawn(move || {
+                accept_loop(&core, &conns, || match listener.accept() {
+                    Ok((s, _)) => Ok(ProtoStream::Tcp(s)),
+                    Err(e) => Err(e),
+                });
+            }));
+        }
+        let mut unix_path = None;
+        #[cfg(unix)]
+        if let Some(path) = unix {
+            let _ = std::fs::remove_file(path);
+            let listener = UnixListener::bind(path)?;
+            listener.set_nonblocking(true)?;
+            unix_path = Some(path.to_path_buf());
+            let core = Arc::clone(&core);
+            let conns = Arc::clone(&conn_threads);
+            threads.push(std::thread::spawn(move || {
+                accept_loop(&core, &conns, || match listener.accept() {
+                    Ok((s, _)) => Ok(ProtoStream::Unix(s)),
+                    Err(e) => Err(e),
+                });
+            }));
+        }
+        if threads.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "typedtd-sockd needs at least one listener (tcp or unix)",
+            ));
+        }
+        for _ in 0..cfg.drivers.max(1) {
+            let core = Arc::clone(&core);
+            threads.push(std::thread::spawn(move || driver_loop(&core)));
+        }
+        Ok(Self {
+            core,
+            threads,
+            conn_threads,
+            tcp_addr,
+            unix_path,
+        })
+    }
+
+    /// The bound TCP address, if a TCP listener was requested.
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// The bound Unix-socket path, if a Unix listener was requested.
+    pub fn unix_path(&self) -> Option<&Path> {
+        self.unix_path.as_deref()
+    }
+
+    /// The shared service client (for in-process inspection: stats,
+    /// cache length, pending jobs).
+    pub fn client(&self) -> &ImplicationClient {
+        &self.core.client
+    }
+
+    /// Trips the shutdown flag (as a client `SHUTDOWN` frame would).
+    /// Accept loops stop, connections disconnect at their next poll
+    /// tick, drivers exit.
+    pub fn shutdown_now(&self) {
+        self.core.shutdown.store(true, Ordering::Relaxed);
+    }
+
+    /// Waits until the server has shut down (flag tripped by a client's
+    /// `SHUTDOWN` frame or [`ProtoServer::shutdown_now`]) and every
+    /// thread has exited.
+    pub fn join(mut self) {
+        self.join_inner();
+    }
+
+    fn join_inner(&mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        let conns: Vec<_> = self.conn_threads.lock().expect("conn list").drain(..).collect();
+        for t in conns {
+            let _ = t.join();
+        }
+        #[cfg(unix)]
+        if let Some(p) = &self.unix_path {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}
+
+impl Drop for ProtoServer {
+    fn drop(&mut self) {
+        self.shutdown_now();
+        self.join_inner();
+    }
+}
+
+fn accept_loop(
+    core: &Arc<ServerCore>,
+    conns: &Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    mut accept: impl FnMut() -> io::Result<ProtoStream>,
+) {
+    loop {
+        if core.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        match accept() {
+            Ok(stream) => {
+                core.accepted.fetch_add(1, Ordering::Relaxed);
+                let core = Arc::clone(core);
+                let handle = std::thread::spawn(move || serve_conn(&core, stream));
+                let mut list = conns.lock().expect("conn list");
+                // Reap handles of connections that already exited —
+                // without this a long-lived server leaks one handle per
+                // connection ever accepted (dropping a finished handle
+                // detaches nothing; the thread is gone).
+                list.retain(|h| !h.is_finished());
+                list.push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            // A connection that reset before we accepted it (routine
+            // under load) must not kill the listener — only genuinely
+            // fatal accept errors end the loop.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::ConnectionAborted
+                        | io::ErrorKind::ConnectionReset
+                        | io::ErrorKind::Interrupted
+                ) => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// One scheduler driver: sweeps all shards; sleeps briefly when nothing
+/// is runnable. Connections never drive the scheduler, so answer
+/// latency is `POLL_INTERVAL`-bounded, not submission-gated.
+fn driver_loop(core: &ServerCore) {
+    loop {
+        if core.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        if core.client.tick() {
+            // A yield between productive sweeps keeps connection and
+            // client threads schedulable on few-core hosts — a driver
+            // that spins through uncontended shard locks never enters
+            // the kernel and can otherwise monopolize a core.
+            std::thread::yield_now();
+        } else {
+            std::thread::sleep(POLL_INTERVAL);
+        }
+    }
+}
+
+/// One submission in flight on a connection: the jobs of its normalized
+/// goal parts plus the detach mark.
+struct PendingEntry {
+    jobs: Vec<JobHandle>,
+    detached: bool,
+}
+
+#[derive(Default)]
+struct ConnCounters {
+    submitted: u64,
+    answered: u64,
+    cancelled: u64,
+    expired: u64,
+}
+
+/// The per-connection loop: reads frames (non-blocking, short timeout),
+/// handles requests against the shared client, polls pending
+/// submissions, and pushes `ANSWER` frames out of order as they
+/// resolve. On exit (EOF, error, or server shutdown), non-detached
+/// pending jobs are cancelled and all handles retire — exactly the
+/// `JobHandle::cancel`/`detach` semantics of a dropped client.
+/// How long one socket write attempt may block before the loop re-checks
+/// the shutdown flag. Bounds how long a stalled reader (a client that
+/// pipelines submits but never drains its answers) can delay server
+/// shutdown.
+const WRITE_SLICE: Duration = Duration::from_millis(50);
+
+/// Writes `buf` fully in shutdown-observing slices. A client that stops
+/// reading fills the kernel send buffer; without the timeout the
+/// connection thread would block in `write_all` forever and wedge
+/// [`ProtoServer::join`]. Returns `false` when the connection should be
+/// dropped (peer gone, or the server is shutting down mid-write).
+fn write_all_checked(core: &ServerCore, stream: &mut ProtoStream, buf: &[u8]) -> bool {
+    let mut written = 0usize;
+    while written < buf.len() {
+        match stream.write(&buf[written..]) {
+            Ok(0) => return false,
+            Ok(n) => written += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) =>
+            {
+                // The flag is checked only on *stalled* attempts: a
+                // responsive peer always gets its frames (including the
+                // final BYE of the shutdown handshake, which is written
+                // after the flag is already set), while a stalled one
+                // stops delaying shutdown within one write slice.
+                if core.shutdown.load(Ordering::Relaxed) {
+                    return false;
+                }
+            }
+            Err(_) => return false,
+        }
+    }
+    true
+}
+
+fn serve_conn(core: &ServerCore, mut stream: ProtoStream) {
+    // The baseline timeouts must be in place before the first
+    // read/write: an idle connection that blocked forever in `read` (or
+    // a stalled reader blocking `write`) would never observe the
+    // shutdown flag and would wedge `ProtoServer::join`.
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_write_timeout(Some(WRITE_SLICE));
+    let mut rbuf: Vec<u8> = Vec::new();
+    let mut consumed = 0usize;
+    let mut tmp = [0u8; 16 * 1024];
+    let mut pending: HashMap<u64, PendingEntry> = HashMap::new();
+    let mut order: VecDeque<u64> = VecDeque::new();
+    let mut counters = ConnCounters::default();
+    let mut out: Vec<u8> = Vec::new();
+    let mut helping = false;
+    'conn: loop {
+        if core.shutdown.load(Ordering::Relaxed) {
+            break;
+        }
+        // While this connection has submissions in flight it *helps
+        // drive* the scheduler (below) instead of waiting out the read
+        // timeout — wire latency then tracks the computation, not the
+        // poll interval. Idle connections block in the read for the full
+        // interval so they cost nothing.
+        let help = !pending.is_empty();
+        if help != helping {
+            helping = help;
+            let _ = stream.set_read_timeout(Some(if help {
+                Duration::from_micros(1)
+            } else {
+                POLL_INTERVAL
+            }));
+        }
+        match stream.read(&mut tmp) {
+            Ok(0) => break, // EOF: client hung up
+            Ok(n) => rbuf.extend_from_slice(&tmp[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+        loop {
+            match decode_frame(&rbuf[consumed..]) {
+                Ok(Some((frame, used))) => {
+                    consumed += used;
+                    match handle_frame(
+                        core,
+                        frame,
+                        &mut pending,
+                        &mut order,
+                        &mut counters,
+                        &mut out,
+                    ) {
+                        ConnControl::Continue => {}
+                        ConnControl::Close => {
+                            write_all_checked(core, &mut stream, &out);
+                            break 'conn;
+                        }
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    // Desynced stream: one final ERR, then a clean
+                    // disconnect — never a panic, never a guess at where
+                    // the next frame starts.
+                    err_frame(0, err_code::BAD_FRAME, &e.to_string()).encode_into(&mut out);
+                    write_all_checked(core, &mut stream, &out);
+                    break 'conn;
+                }
+            }
+        }
+        if consumed > 0 {
+            rbuf.drain(..consumed);
+            consumed = 0;
+        }
+        if !pending.is_empty() {
+            core.client.tick();
+        }
+        pump_answers(&mut pending, &mut order, &mut counters, &mut out);
+        if !out.is_empty() {
+            if !write_all_checked(core, &mut stream, &out) {
+                break;
+            }
+            out.clear();
+        }
+    }
+    // Dropped connection: cancel what nobody detached; detached jobs
+    // keep computing so their answers can still feed the shared cache.
+    for entry in pending.values() {
+        if !entry.detached {
+            for job in &entry.jobs {
+                job.cancel();
+            }
+        }
+    }
+}
+
+enum ConnControl {
+    Continue,
+    Close,
+}
+
+fn handle_frame(
+    core: &ServerCore,
+    frame: Frame,
+    pending: &mut HashMap<u64, PendingEntry>,
+    order: &mut VecDeque<u64>,
+    counters: &mut ConnCounters,
+    out: &mut Vec<u8>,
+) -> ConnControl {
+    if frame.version != PROTO_VERSION {
+        err_frame(
+            frame.corr,
+            err_code::BAD_VERSION,
+            &format!("server speaks version {PROTO_VERSION}, frame has {}", frame.version),
+        )
+        .encode_into(out);
+        return ConnControl::Close;
+    }
+    let Some(opcode) = Opcode::from_u8(frame.opcode) else {
+        err_frame(
+            frame.corr,
+            err_code::BAD_OPCODE,
+            &format!("unknown opcode 0x{:02x}", frame.opcode),
+        )
+        .encode_into(out);
+        return ConnControl::Continue;
+    };
+    match opcode {
+        Opcode::Submit => {
+            if pending.contains_key(&frame.corr) {
+                err_frame(
+                    frame.corr,
+                    err_code::DUPLICATE_CORR,
+                    "correlation id already pending",
+                )
+                .encode_into(out);
+                return ConnControl::Continue;
+            }
+            let payload = match SubmitPayload::decode(&frame.payload) {
+                Ok(p) => p,
+                Err(msg) => {
+                    err_frame(frame.corr, err_code::BAD_PAYLOAD, &msg).encode_into(out);
+                    return ConnControl::Continue;
+                }
+            };
+            // The whole text layer runs under `catch_unwind`: some parser
+            // paths (`Pjd::parse`, attr-set resolution) panic on
+            // malformed input, and a wire client must never be able to
+            // kill a connection thread mid-protocol — every rejection is
+            // an `ERR` frame on a still-synced stream.
+            let parsed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let universe = parse_universe_spec(&payload.universe)?;
+                let mut pool = ValuePool::new(universe.clone());
+                let (sigma, goal) = parse_query_line(&universe, &mut pool, &payload.query)?;
+                let sigma_normal: Vec<_> = sigma
+                    .iter()
+                    .flat_map(|d| d.normalize(&universe, &mut pool))
+                    .collect();
+                let goal_parts = goal.normalize(&universe, &mut pool);
+                Ok::<_, String>((pool, sigma_normal, goal_parts))
+            }));
+            let (pool, sigma_normal, goal_parts) = match parsed {
+                Ok(Ok(v)) => v,
+                Ok(Err(msg)) => {
+                    err_frame(frame.corr, err_code::PARSE, &msg).encode_into(out);
+                    return ConnControl::Continue;
+                }
+                Err(_) => {
+                    err_frame(frame.corr, err_code::PARSE, "query text rejected (parser panic)")
+                        .encode_into(out);
+                    return ConnControl::Continue;
+                }
+            };
+            counters.submitted += 1;
+            let jobs: Vec<JobHandle> = goal_parts
+                .into_iter()
+                .map(|part| {
+                    let mut spec = QuerySpec::new(sigma_normal.clone(), part, pool.clone());
+                    if let Some(cap) = payload.fuel_cap {
+                        spec = spec.fuel_cap(cap);
+                    }
+                    core.client.submit(spec)
+                })
+                .collect();
+            progress_frame(
+                frame.corr,
+                ProgressKind::Accepted,
+                &format!("parts={}", jobs.len()),
+            )
+            .encode_into(out);
+            pending.insert(
+                frame.corr,
+                PendingEntry {
+                    jobs,
+                    detached: false,
+                },
+            );
+            order.push_back(frame.corr);
+            ConnControl::Continue
+        }
+        Opcode::Cancel => {
+            match pending.get(&frame.corr) {
+                Some(entry) => {
+                    for job in &entry.jobs {
+                        job.cancel();
+                    }
+                }
+                None => {
+                    err_frame(frame.corr, err_code::UNKNOWN_CORR, "nothing pending under id")
+                        .encode_into(out);
+                }
+            }
+            ConnControl::Continue
+        }
+        Opcode::Detach => {
+            match pending.get_mut(&frame.corr) {
+                Some(entry) => {
+                    entry.detached = true;
+                    for job in &entry.jobs {
+                        job.detach();
+                    }
+                }
+                None => {
+                    err_frame(frame.corr, err_code::UNKNOWN_CORR, "nothing pending under id")
+                        .encode_into(out);
+                }
+            }
+            ConnControl::Continue
+        }
+        Opcode::Stats => {
+            let text = format!(
+                "submitted={} answered={} cancelled={} expired={} pending={}",
+                counters.submitted,
+                counters.answered,
+                counters.cancelled,
+                counters.expired,
+                pending.len(),
+            );
+            progress_frame(frame.corr, ProgressKind::Stats, &text).encode_into(out);
+            ConnControl::Continue
+        }
+        Opcode::Shutdown => {
+            core.shutdown.store(true, Ordering::Relaxed);
+            progress_frame(frame.corr, ProgressKind::Bye, "shutting down").encode_into(out);
+            ConnControl::Close
+        }
+        // A client sending response opcodes is out of protocol, but the
+        // frame was well-delimited: report and continue.
+        Opcode::Answer | Opcode::Progress | Opcode::Err => {
+            err_frame(
+                frame.corr,
+                err_code::BAD_OPCODE,
+                "response opcode on the request direction",
+            )
+            .encode_into(out);
+            ConnControl::Continue
+        }
+    }
+}
+
+/// Emits `ANSWER` frames for every pending submission whose parts have
+/// all resolved (in resolution order, not submission order).
+fn pump_answers(
+    pending: &mut HashMap<u64, PendingEntry>,
+    order: &mut VecDeque<u64>,
+    counters: &mut ConnCounters,
+    out: &mut Vec<u8>,
+) {
+    order.retain(|&corr| {
+        let entry = pending.get(&corr).expect("order tracks pending");
+        let Some(answer) = conjoin_entry(entry) else {
+            return true; // still pending
+        };
+        if answer.cancelled {
+            counters.cancelled += 1;
+        } else if answer.expired {
+            counters.expired += 1;
+        } else {
+            counters.answered += 1;
+        }
+        Frame::new(Opcode::Answer, corr, answer.encode()).encode_into(out);
+        pending.remove(&corr);
+        false
+    });
+}
+
+/// Folds one submission's parts into a wire answer, or `None` while any
+/// part is pending. Mirrors `BatchQuery::conjoined`, adding the
+/// cancelled/expired classification the wire stats invariant
+/// (`answered + cancelled + expired == submitted`) is built on.
+fn conjoin_entry(entry: &PendingEntry) -> Option<WireAnswer> {
+    let mut answer = WireAnswer {
+        implication: Answer::Yes,
+        finite_implication: Answer::Yes,
+        from_cache: !entry.jobs.is_empty(),
+        cancelled: false,
+        expired: false,
+        fuel_spent: 0,
+    };
+    for job in &entry.jobs {
+        match job.poll() {
+            JobStatus::Done(outcome) => {
+                answer.implication = answer.implication.and(outcome.implication);
+                answer.finite_implication =
+                    answer.finite_implication.and(outcome.finite_implication);
+                answer.from_cache &= outcome.from_cache;
+                answer.fuel_spent += outcome.fuel_spent;
+            }
+            JobStatus::Cancelled => {
+                answer.implication = Answer::Unknown;
+                answer.finite_implication = Answer::Unknown;
+                answer.from_cache = false;
+                answer.cancelled = true;
+            }
+            JobStatus::Pending => return None,
+            JobStatus::Retired => unreachable!("the connection owns its job handles"),
+        }
+    }
+    answer.expired = !answer.cancelled
+        && (answer.implication == Answer::Unknown
+            || answer.finite_implication == Answer::Unknown);
+    Some(answer)
+}
+
+/// A synchronous (blocking, `std::net`) protocol client: submit queries,
+/// cancel/detach them, read out-of-order answers, fetch stats. One
+/// client owns one connection; use one client per thread (the protocol
+/// itself is fully pipelined, so a single client may have any number of
+/// submissions outstanding).
+pub struct ProtoClient {
+    stream: ProtoStream,
+    rbuf: Vec<u8>,
+    inbox: VecDeque<Frame>,
+    next_corr: u64,
+}
+
+impl ProtoClient {
+    /// Connects over TCP.
+    ///
+    /// # Errors
+    /// Propagates connect failures.
+    pub fn connect_tcp(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Self::over(ProtoStream::Tcp(stream)))
+    }
+
+    /// Connects over a Unix-domain socket.
+    ///
+    /// # Errors
+    /// Propagates connect failures.
+    #[cfg(unix)]
+    pub fn connect_unix(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Self::over(ProtoStream::Unix(UnixStream::connect(path)?)))
+    }
+
+    /// Wraps an already-connected stream.
+    pub fn over(stream: ProtoStream) -> Self {
+        Self {
+            stream,
+            rbuf: Vec::new(),
+            inbox: VecDeque::new(),
+            next_corr: 1,
+        }
+    }
+
+    /// Sends a raw frame (the typed helpers below cover the protocol;
+    /// this is the escape hatch tests use to speak garbage).
+    ///
+    /// # Errors
+    /// Propagates write failures.
+    pub fn send_raw(&mut self, frame: &Frame) -> io::Result<()> {
+        self.stream.write_all(&frame.encode())?;
+        self.stream.flush()
+    }
+
+    /// Submits one query; returns the correlation id to match the
+    /// eventual `ANSWER` (an `ACCEPTED` progress frame arrives first).
+    ///
+    /// # Errors
+    /// Propagates write failures.
+    pub fn submit(
+        &mut self,
+        universe: &str,
+        query: &str,
+        fuel_cap: Option<u64>,
+    ) -> io::Result<u64> {
+        let corr = self.next_corr;
+        self.next_corr += 1;
+        let payload = SubmitPayload {
+            fuel_cap,
+            universe: universe.to_string(),
+            query: query.to_string(),
+        };
+        self.send_raw(&Frame::new(Opcode::Submit, corr, payload.encode()))?;
+        Ok(corr)
+    }
+
+    /// Requests cancellation of a pending submission.
+    ///
+    /// # Errors
+    /// Propagates write failures.
+    pub fn cancel(&mut self, corr: u64) -> io::Result<()> {
+        self.send_raw(&Frame::new(Opcode::Cancel, corr, Vec::new()))
+    }
+
+    /// Detaches a pending submission (it survives this connection
+    /// dropping, and a coalescing leader's cancellation).
+    ///
+    /// # Errors
+    /// Propagates write failures.
+    pub fn detach(&mut self, corr: u64) -> io::Result<()> {
+        self.send_raw(&Frame::new(Opcode::Detach, corr, Vec::new()))
+    }
+
+    /// Asks the whole server to shut down.
+    ///
+    /// # Errors
+    /// Propagates write failures.
+    pub fn shutdown_server(&mut self) -> io::Result<()> {
+        self.send_raw(&Frame::new(Opcode::Shutdown, self.next_corr, Vec::new()))
+    }
+
+    /// Receives the next frame (blocking). Frames stashed by the
+    /// filtered helpers are drained first.
+    ///
+    /// # Errors
+    /// Read failures; `UnexpectedEof` when the server hung up, or
+    /// `InvalidData` on an undecodable stream.
+    pub fn recv(&mut self) -> io::Result<Frame> {
+        if let Some(f) = self.inbox.pop_front() {
+            return Ok(f);
+        }
+        self.recv_wire()
+    }
+
+    /// Receives the next frame from the wire, bypassing the inbox. The
+    /// filtered helpers use this after scanning the inbox once — going
+    /// through [`ProtoClient::recv`] instead would pop the very frames
+    /// they just stashed and spin forever.
+    fn recv_wire(&mut self) -> io::Result<Frame> {
+        let mut tmp = [0u8; 16 * 1024];
+        loop {
+            match decode_frame(&self.rbuf) {
+                Ok(Some((frame, used))) => {
+                    self.rbuf.drain(..used);
+                    return Ok(frame);
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+                }
+            }
+            let n = self.stream.read(&mut tmp)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            self.rbuf.extend_from_slice(&tmp[..n]);
+        }
+    }
+
+    /// Whether `frame` settles `wait_answer(corr)`.
+    fn settles(frame: &Frame, corr: u64) -> bool {
+        frame.corr == corr
+            && matches!(
+                Opcode::from_u8(frame.opcode),
+                Some(Opcode::Answer | Opcode::Err)
+            )
+    }
+
+    fn into_answer(frame: Frame) -> io::Result<WireAnswer> {
+        match Opcode::from_u8(frame.opcode) {
+            Some(Opcode::Answer) => WireAnswer::decode(&frame.payload)
+                .map_err(|m| io::Error::new(io::ErrorKind::InvalidData, m)),
+            _ => {
+                let (code, msg) = decode_err(&frame.payload)
+                    .map_err(|m| io::Error::new(io::ErrorKind::InvalidData, m))?;
+                Err(io::Error::other(format!("server err {code}: {msg}")))
+            }
+        }
+    }
+
+    /// Receives until the `ANSWER` for `corr` arrives; other frames are
+    /// stashed for later [`ProtoClient::recv`] calls (`ERR` frames for
+    /// this id become errors).
+    ///
+    /// # Errors
+    /// Read failures, or `Other` carrying the server's `ERR` message.
+    pub fn wait_answer(&mut self, corr: u64) -> io::Result<WireAnswer> {
+        if let Some(at) = self.inbox.iter().position(|f| Self::settles(f, corr)) {
+            let frame = self.inbox.remove(at).expect("position is in range");
+            return Self::into_answer(frame);
+        }
+        loop {
+            let frame = self.recv_wire()?;
+            if Self::settles(&frame, corr) {
+                return Self::into_answer(frame);
+            }
+            self.inbox.push_back(frame);
+        }
+    }
+
+    /// Round-trips a `STATS` request into a counter map; unrelated
+    /// frames arriving in between are stashed.
+    ///
+    /// # Errors
+    /// Read/write failures.
+    pub fn stats(&mut self) -> io::Result<HashMap<String, u64>> {
+        let corr = self.next_corr;
+        self.next_corr += 1;
+        self.send_raw(&Frame::new(Opcode::Stats, corr, Vec::new()))?;
+        loop {
+            let frame = self.recv_wire()?;
+            if Opcode::from_u8(frame.opcode) == Some(Opcode::Progress)
+                && frame.corr == corr
+                && frame.payload.first().copied() == Some(ProgressKind::Stats as u8)
+            {
+                let text = String::from_utf8_lossy(&frame.payload[1..]).into_owned();
+                return Ok(parse_stats_text(&text));
+            }
+            self.inbox.push_back(frame);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip_is_exact() {
+        let frames = [
+            Frame::new(Opcode::Submit, 7, b"payload".to_vec()),
+            Frame::new(Opcode::Cancel, u64::MAX, Vec::new()),
+            Frame::new(Opcode::Answer, 0, vec![0u8; 64]),
+        ];
+        let mut wire = Vec::new();
+        for f in &frames {
+            f.encode_into(&mut wire);
+        }
+        let mut at = 0usize;
+        for f in &frames {
+            let (decoded, used) = decode_frame(&wire[at..])
+                .expect("well-formed")
+                .expect("complete");
+            assert_eq!(&decoded, f);
+            at += used;
+        }
+        assert_eq!(at, wire.len());
+    }
+
+    #[test]
+    fn partial_frames_wait_for_more_bytes() {
+        let wire = Frame::new(Opcode::Stats, 3, b"xyz".to_vec()).encode();
+        for cut in 0..wire.len() {
+            assert!(
+                matches!(decode_frame(&wire[..cut]), Ok(None)),
+                "prefix of {cut} bytes must ask for more, not error"
+            );
+        }
+    }
+
+    #[test]
+    fn implausible_lengths_are_desync_errors() {
+        let mut too_large = Vec::new();
+        too_large.extend_from_slice(&((MAX_FRAME_LEN as u32) + 1).to_le_bytes());
+        too_large.extend_from_slice(&[0u8; 32]);
+        assert!(matches!(
+            decode_frame(&too_large),
+            Err(FrameError::TooLarge(_))
+        ));
+        let mut too_short = Vec::new();
+        too_short.extend_from_slice(&3u32.to_le_bytes());
+        too_short.extend_from_slice(&[0u8; 16]);
+        assert!(matches!(
+            decode_frame(&too_short),
+            Err(FrameError::TooShort(3))
+        ));
+    }
+
+    #[test]
+    fn submit_payload_roundtrip_and_guards() {
+        let p = SubmitPayload {
+            fuel_cap: Some(512),
+            universe: "untyped A' B' C'".into(),
+            query: "td [x y z] => x y z |= td [x y z] => x y z".into(),
+        };
+        assert_eq!(SubmitPayload::decode(&p.encode()).unwrap(), p);
+        let none = SubmitPayload {
+            fuel_cap: None,
+            ..p.clone()
+        };
+        assert_eq!(SubmitPayload::decode(&none.encode()).unwrap(), none);
+        // Truncations and trailing garbage are errors, never panics.
+        let enc = p.encode();
+        for cut in 0..enc.len() {
+            assert!(SubmitPayload::decode(&enc[..cut]).is_err());
+        }
+        let mut trailing = enc.clone();
+        trailing.push(0);
+        assert!(SubmitPayload::decode(&trailing).is_err());
+    }
+
+    #[test]
+    fn wire_answer_roundtrip() {
+        for (imp, fin) in [
+            (Answer::Yes, Answer::Yes),
+            (Answer::No, Answer::No),
+            (Answer::Unknown, Answer::Unknown),
+        ] {
+            for flags in 0..8u8 {
+                let a = WireAnswer {
+                    implication: imp,
+                    finite_implication: fin,
+                    from_cache: flags & 1 != 0,
+                    cancelled: flags & 2 != 0,
+                    expired: flags & 4 != 0,
+                    fuel_spent: 123456789,
+                };
+                assert_eq!(WireAnswer::decode(&a.encode()).unwrap(), a);
+            }
+        }
+        assert!(WireAnswer::decode(&[0, 0]).is_err());
+        assert!(WireAnswer::decode(&[9, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn stats_text_parses_counters() {
+        let m = parse_stats_text("submitted=4 answered=2 cancelled=1 expired=1 pending=0");
+        assert_eq!(m["submitted"], 4);
+        assert_eq!(m["answered"] + m["cancelled"] + m["expired"], 4);
+        assert_eq!(m["pending"], 0);
+    }
+}

@@ -78,7 +78,7 @@
 //! in [`ServiceStats`].
 
 use crate::cache::{goal_hypothesis, CachedAnswer, Probe, ShardCache};
-use crate::canon::{query_parts, QueryKey};
+use crate::canon::{permute_relation, query_parts, QueryKey};
 use std::collections::BinaryHeap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -383,8 +383,9 @@ struct JobSlot {
     /// Canonical key (when caching): where this job's answers get
     /// recorded, and whose in-flight marker it holds while running.
     key: Option<QueryKey>,
-    /// Goal snapshot for cache insertion (keyed leaders only).
-    goal: Option<TdOrEgd>,
+    /// Goal-hypothesis snapshot for cache insertion, columns already in
+    /// the query's canonical order (keyed leaders only).
+    goal_hyp: Option<Relation>,
     fuel_spent: u64,
     fuel_cap: Option<u64>,
     priority: i32,
@@ -470,7 +471,7 @@ impl Shard {
                 generation: 0,
                 state,
                 key: None,
-                goal: None,
+                goal_hyp: None,
                 fuel_spent: 0,
                 fuel_cap: None,
                 priority: 0,
@@ -488,7 +489,7 @@ impl Shard {
         s.state = JobState::Vacant;
         s.generation = s.generation.wrapping_add(1);
         s.key = None;
-        s.goal = None;
+        s.goal_hyp = None;
         s.fuel_spent = 0;
         s.fuel_cap = None;
         s.priority = 0;
@@ -690,7 +691,7 @@ impl ImplicationClient {
         // route by a raw structural hash instead of paying the
         // canonicalization (a real cost for big Σ). Σ dedup rides the
         // same switch: it needs the per-dependency canonical encodings.
-        let (mut key, shard_idx) = if core.cfg.cache {
+        let (mut key, shard_idx, perm) = if core.cfg.cache {
             let parts = query_parts(&sigma, &goal);
             let shard_idx = pin.unwrap_or_else(|| shard_of(&parts.key, nshards));
             let mut key = Some(parts.key);
@@ -733,15 +734,27 @@ impl ImplicationClient {
                 di += 1;
                 keep
             });
-            (key, shard_idx)
+            (key, shard_idx, Some(parts.perm))
         } else {
             let shard_idx =
                 pin.unwrap_or_else(|| (raw_query_hash(&sigma, &goal) as usize) % nshards);
-            (None, shard_idx)
+            (None, shard_idx, None)
+        };
+        // The verification witness: the goal hypothesis with columns in
+        // the canonical order the key was computed under (equal keys
+        // certify isomorphism *after* each side's own permutation). Built
+        // eagerly only when hits are verified — the plain hit path never
+        // clones a relation; a keyed job that actually runs builds it at
+        // slot installation below.
+        let mut witness: Option<Relation> = match (&key, &perm) {
+            (Some(_), Some(p)) if core.cfg.verify_cache_hits => {
+                Some(permute_relation(&goal_hypothesis(&goal), p))
+            }
+            _ => None,
         };
         let mut shard = self.lock_shard(shard_idx);
         if let Some(k) = &key {
-            match shard.cache.probe(k, &goal, core.cfg.verify_cache_hits) {
+            match shard.cache.probe(k, witness.as_ref()) {
                 Probe::Hit(answer) => {
                     core.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
                     let outcome = JobOutcome {
@@ -803,7 +816,16 @@ impl ImplicationClient {
         let generation = {
             let s = &mut shard.slots[slot as usize];
             s.key = key.clone();
-            s.goal = key.is_some().then(|| goal.clone());
+            s.goal_hyp = if key.is_some() {
+                let p = perm.as_ref().expect("keyed submit computed a permutation");
+                Some(
+                    witness
+                        .take()
+                        .unwrap_or_else(|| permute_relation(&goal_hypothesis(&goal), p)),
+                )
+            } else {
+                None
+            };
             s.fuel_cap = fuel_cap;
             s.priority = priority;
             s.generation
@@ -1534,19 +1556,19 @@ impl Core {
         };
         self.record_answer(&outcome);
         let key = shard.slots[si].key.take();
-        let goal = shard.slots[si].goal.take();
+        let goal_hyp = shard.slots[si].goal_hyp.take();
         if let Some(k) = key {
             // Only definite answers are cached: Yes/No are certificates,
             // true of every isomorphic presentation of the query, while
             // Unknown is a budget artifact that could differ between
             // canonically equal submissions.
             if outcome.implication != Answer::Unknown {
-                let g = goal.expect("keyed leader stores its goal");
+                let g = goal_hyp.expect("keyed leader stores its witness");
                 let answer = CachedAnswer {
                     implication: outcome.implication,
                     finite_implication: outcome.finite_implication,
                 };
-                if let Some(interned) = shard.cache.insert(k, answer, &g, outcome.fuel_spent) {
+                if let Some(interned) = shard.cache.insert(k, answer, g, outcome.fuel_spent) {
                     self.cached_total.fetch_add(1, Ordering::Relaxed);
                     self.enforce_cache_bound(shard, Some(&interned));
                 }
@@ -1597,7 +1619,7 @@ impl Core {
         if let Some(k) = shard.slots[si].key.take() {
             shard.cache.clear_inflight(&k);
         }
-        shard.slots[si].goal = None;
+        shard.slots[si].goal_hyp = None;
         self.resolve_waiters(shard, slot, &outcome, false);
         self.job_resolved();
         if shard.slots[si].retired {

@@ -1,0 +1,23 @@
+//! Minimal in-process smoke of the proto server/client pair (fast
+//! guard; the full differential soak lives in the workspace-root
+//! `tests/proto.rs`).
+
+use typedtd_service::proto::SockdConfig;
+use typedtd_service::{ProtoClient, ProtoServer};
+
+#[test]
+fn submit_roundtrip_in_process() {
+    let server = ProtoServer::bind(SockdConfig::default(), Some("127.0.0.1:0"), None).unwrap();
+    let addr = server.tcp_addr().unwrap();
+    let mut client = ProtoClient::connect_tcp(addr).unwrap();
+    let corr = client
+        .submit("A B C", "A -> B & B -> C |= A -> C", None)
+        .unwrap();
+    let answer = client.wait_answer(corr).unwrap();
+    assert_eq!(answer.implication, typedtd_chase::Answer::Yes);
+    assert_eq!(answer.finite_implication, typedtd_chase::Answer::Yes);
+    let stats = client.stats().unwrap();
+    assert_eq!(stats["submitted"], 1);
+    assert_eq!(stats["answered"], 1);
+    assert_eq!(stats["pending"], 0);
+}

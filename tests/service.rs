@@ -496,6 +496,134 @@ fn cache_canonicalization_hits_on_renamings() {
     assert!(follow_out.from_cache);
 }
 
+/// Column-permutation normalization: resubmitting a query with one column
+/// permutation applied uniformly to every dependency (a relabeling of the
+/// universe's attributes) is a pure cache hit — verified through the
+/// isomorphism machinery — and a heterogeneous corpus of permuted
+/// resubmissions sustains a high hit rate.
+#[test]
+fn permuted_column_resubmissions_hit_the_cache() {
+    use typedtd::relational::Tuple;
+    let u = Universe::untyped_abc();
+    let client = ImplicationClient::new(ServiceConfig {
+        verify_cache_hits: true,
+        ..ServiceConfig::default()
+    });
+
+    // One structure: Σ = {fd-as-egd over col B, marker td}, goal = the
+    // trivial td over a 2-row hypothesis (implied, runs once).
+    let build = |perm: [usize; 3]| {
+        let mut pool = ValuePool::new(u.clone());
+        let pt = |names: [&str; 3], pool: &mut ValuePool| {
+            let vals: Vec<_> = perm
+                .iter()
+                .map(|&c| pool.untyped(names[c]))
+                .collect();
+            Tuple::new(vals)
+        };
+        let fd = typedtd::dependencies::Egd::new(
+            u.clone(),
+            pool.untyped("y1"),
+            pool.untyped("y2"),
+            vec![
+                pt(["x", "y1", "z1"], &mut pool),
+                pt(["x", "y2", "z2"], &mut pool),
+            ],
+        );
+        let marker = typedtd::dependencies::Td::new(
+            u.clone(),
+            pt(["q", "r", "r"], &mut pool),
+            vec![pt(["q", "r", "r"], &mut pool)],
+        );
+        let goal = typedtd::dependencies::Td::new(
+            u.clone(),
+            pt(["x", "y1", "z1"], &mut pool),
+            vec![
+                pt(["x", "y1", "z1"], &mut pool),
+                pt(["x", "y2", "z2"], &mut pool),
+            ],
+        );
+        (
+            vec![TdOrEgd::Egd(fd), TdOrEgd::Td(marker)],
+            TdOrEgd::Td(goal),
+            pool,
+        )
+    };
+
+    let (s0, g0, p0) = build([0, 1, 2]);
+    let first = client.submit(QuerySpec::new(s0, g0, p0));
+    let first_out = first.wait();
+    assert_eq!(first_out.implication, Answer::Yes);
+    assert!(!first_out.from_cache, "first submission must run");
+
+    // Every other permutation of the three columns, applied uniformly to
+    // Σ and the goal, must be answered from the cache without fuel — and
+    // pass isomorphism verification.
+    for perm in [[0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]] {
+        let (s, g, p) = build(perm);
+        let job = client.submit(QuerySpec::new(s, g, p));
+        let JobStatus::Done(outcome) = job.poll() else {
+            panic!("permuted resubmission {perm:?} must hit the cache at submit");
+        };
+        assert!(outcome.from_cache, "permutation {perm:?} missed the cache");
+        assert_eq!(outcome.fuel_spent, 0);
+        assert_eq!(outcome.implication, Answer::Yes);
+    }
+    let s = client.stats();
+    assert_eq!(s.cache_hits, 5, "all five permutations hit");
+    assert_eq!(s.verify_rejects, 0, "verified hits must pass the witness check");
+
+    // Heterogeneous corpus: distinct structures, each resubmitted under
+    // renamed values AND a column permutation. Hit rate must reflect one
+    // miss per structure, hits for every permuted resubmission.
+    let hetero = ImplicationClient::new(ServiceConfig {
+        verify_cache_hits: true,
+        ..ServiceConfig::default()
+    });
+    let perms4: [[usize; 4]; 3] = [[1, 0, 3, 2], [3, 2, 1, 0], [2, 3, 0, 1]];
+    let structures: Vec<(u32, u32, bool)> =
+        vec![(1, 2, true), (3, 4, false), (5, 9, true), (6, 8, false), (2, 12, true)];
+    let mut submissions = 0u64;
+    for (i, &(l, r, fd)) in structures.iter().enumerate() {
+        // The reference submission (identity columns).
+        let (sigma, goals, pool) = corpus_query(&[l], &[r], 1 + (i as u32 * 3) % 14, r, fd);
+        for g in &goals {
+            hetero
+                .submit(QuerySpec::new(sigma.clone(), g.clone(), pool.clone()))
+                .wait();
+            submissions += 1;
+        }
+        // Permuted resubmissions: rebuild the same masks with columns
+        // relabeled by permuting each mask's bits.
+        for perm in &perms4 {
+            let pmask = |m: u32| -> u32 {
+                (0..4).filter(|&b| m & (1 << perm[b]) != 0).map(|b| 1 << b).sum()
+            };
+            let (psigma, pgoals, ppool) =
+                corpus_query(&[pmask(l)], &[pmask(r)], pmask(1 + (i as u32 * 3) % 14), pmask(r), fd);
+            for g in &pgoals {
+                hetero
+                    .submit(QuerySpec::new(psigma.clone(), g.clone(), ppool.clone()))
+                    .wait();
+                submissions += 1;
+            }
+        }
+    }
+    let hs = hetero.stats();
+    assert_eq!(hs.verify_rejects, 0, "no permuted hit may fail verification");
+    assert!(
+        hs.cache_hit_rate() >= 0.5,
+        "permuted resubmissions must sustain the hit rate: {:.2} over {} submissions \
+         (hits={} misses={} coalesced={} fast={})",
+        hs.cache_hit_rate(),
+        submissions,
+        hs.cache_hits,
+        hs.cache_misses,
+        hs.coalesced,
+        hs.goal_in_sigma,
+    );
+}
+
 /// A goal that is canonically an element of Σ is answered `Yes` at submit
 /// time — no scheduling, no fuel — and counted in the stats.
 #[test]
