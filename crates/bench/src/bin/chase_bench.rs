@@ -55,7 +55,9 @@ use typedtd_chase::{
 };
 use typedtd_relational::{Relation, ValuePool};
 use typedtd_dependencies::TdOrEgd;
-use typedtd_service::{ImplicationClient, JobHandle, JobStatus, QuerySpec, ServiceConfig};
+use typedtd_service::{
+    ImplicationClient, JobHandle, JobStatus, PersistConfig, QuerySpec, ServiceConfig,
+};
 
 struct Record {
     workload: String,
@@ -693,6 +695,7 @@ fn measure_socket_stream(
     let sock_cfg = || typedtd_service::SockdConfig {
         service: ServiceConfig::default(),
         drivers: 1,
+        ..Default::default()
     };
     let sock_path = |tag: &str, i: usize| {
         std::env::temp_dir().join(format!(
@@ -752,6 +755,86 @@ fn measure_socket_stream(
     }
 }
 
+/// Cold-vs-warm restart over the persistent answer log. The cold column
+/// decides the corpus from scratch (and appends every definite answer
+/// to a fresh log); the warm column is a brand-new client replaying
+/// that log, which must serve the whole corpus from warm cache entries
+/// with ZERO fresh fuel — asserted, so the JSON numbers can be trusted
+/// to measure replay, not recomputation. The third column repeats the
+/// warm pass with witness verification on every hit.
+fn measure_service_warm_restart(distinct: usize, repeats: usize, samples: usize) -> Record {
+    let corpus = socket_corpus(distinct, repeats);
+    let mut text = String::from("@universe A B C D\n");
+    for (_, query) in &corpus {
+        text.push_str(query);
+        text.push('\n');
+    }
+    let run = |cfg: ServiceConfig| {
+        let client = ImplicationClient::new(cfg);
+        let t0 = Instant::now();
+        let batch = typedtd_service::submit_batch(&client, &text);
+        assert!(batch.errors.is_empty(), "warm-restart corpus must parse");
+        client.run_to_completion();
+        let answers: Vec<Answer> = batch
+            .queries
+            .iter()
+            .map(|q| q.conjoined().expect("driver resolves every query").implication)
+            .collect();
+        (answers, client.stats(), t0.elapsed().as_nanos())
+    };
+    let median = |times: &mut Vec<u128>| {
+        times.sort_unstable();
+        times[times.len() / 2]
+    };
+    let mut cold_times = Vec::with_capacity(samples);
+    let mut warm_times = Vec::with_capacity(samples);
+    let mut verify_times = Vec::with_capacity(samples);
+    let mut warm_hits = 0u64;
+    for i in 0..samples {
+        let path = std::env::temp_dir().join(format!(
+            "typedtd-bench-warm-{}-{i}.log",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let persisted = ServiceConfig {
+            persist: Some(PersistConfig::at(&path)),
+            ..ServiceConfig::default()
+        };
+        let (cold_answers, cold_stats, t) = run(persisted.clone());
+        cold_times.push(t);
+        assert!(cold_stats.fuel_spent > 0, "cold run must actually chase");
+        let (warm_answers, warm_stats, t) = run(persisted.clone());
+        warm_times.push(t);
+        assert_eq!(warm_answers, cold_answers, "warm restart changed an answer");
+        assert_eq!(
+            warm_stats.fuel_spent, 0,
+            "warm restart must serve the whole corpus without fresh fuel"
+        );
+        assert_eq!(
+            warm_stats.warm_hits, warm_stats.submitted,
+            "every warm-restart submission must hit a replayed entry"
+        );
+        warm_hits = warm_stats.warm_hits;
+        let (verify_answers, verify_stats, t) = run(ServiceConfig {
+            verify_cache_hits: true,
+            ..persisted
+        });
+        verify_times.push(t);
+        assert_eq!(verify_answers, cold_answers, "verified warm restart changed an answer");
+        assert_eq!(verify_stats.fuel_spent, 0, "verified warm hits must stay fuel-free");
+        assert_eq!(verify_stats.verify_rejects, 0, "replayed witnesses must verify");
+        let _ = std::fs::remove_file(&path);
+    }
+    Record {
+        workload: format!("service_warm_restart/d{distinct}xr{repeats}"),
+        naive_ns: median(&mut cold_times),
+        semi_ns: median(&mut warm_times),
+        parallel_ns: median(&mut verify_times),
+        rows: corpus.len(),
+        rounds: warm_hits as usize,
+    }
+}
+
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
     let smoke = std::env::args().any(|a| a == "--smoke");
@@ -777,6 +860,7 @@ fn main() {
             measure_divergent_mix(2, 2, 3, 1),
             measure_skewed_steal(6, 2, 1, false),
             measure_socket_stream(3, 4, 2, 1, false),
+            measure_service_warm_restart(3, 2, 1),
         ]
     } else {
         vec![
@@ -816,6 +900,7 @@ fn main() {
             measure_divergent_mix(3, 4, 6, 3),
             measure_skewed_steal(24, 4, 3, true),
             measure_socket_stream(5, 10, 4, 3, true),
+            measure_service_warm_restart(6, 4, 3),
         ]
     };
 

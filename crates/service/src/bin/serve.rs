@@ -15,8 +15,13 @@
 //! typedtd-serve QUERIES.tdq [--slice N] [--global-fuel N] [--workers N]
 //!               [--shards N] [--cache-cap N] [--no-cache] [--verify-hits]
 //!               [--mode sequential|dovetail[:RATIO]] [--steal on|off]
-//!               [--drain-sweeps N] [--quick] [--stats]
+//!               [--drain-sweeps N] [--quick] [--stats] [--log PATH]
 //! ```
+//!
+//! `--log PATH` opens (or warm-starts from) the append-only answer log:
+//! definite answers from this run persist, and a later run over the
+//! same log answers repeated queries from the warm cache without
+//! chasing (`--stats` reports them as `warm_hits`).
 //!
 //! `--mode dovetail[:RATIO]` selects the per-query dovetailed decide mode
 //! (`RATIO` chase rounds per search attempt, default 1): refutable
@@ -44,7 +49,9 @@
 
 use std::io::Read;
 use typedtd_chase::{Answer, ChaseConfig, DecideConfig, DecideMode};
-use typedtd_service::{parse_decide_mode, stats_line, submit_batch, ImplicationClient, ServiceConfig};
+use typedtd_service::{
+    parse_decide_mode, stats_line, submit_batch, ImplicationClient, PersistConfig, ServiceConfig,
+};
 
 fn answer_str(a: Answer) -> &'static str {
     match a {
@@ -59,7 +66,7 @@ fn usage() -> ! {
         "usage: typedtd-serve <QUERIES.tdq | -> [--slice N] [--global-fuel N] \
          [--workers N] [--shards N] [--cache-cap N] [--no-cache] [--verify-hits] \
          [--mode sequential|dovetail[:RATIO]] [--steal on|off] [--drain-sweeps N] \
-         [--quick] [--stats]"
+         [--quick] [--stats] [--log PATH]"
     );
     std::process::exit(2);
 }
@@ -110,6 +117,13 @@ fn main() {
             }
             "--no-cache" => cfg.cache = false,
             "--verify-hits" => cfg.verify_cache_hits = true,
+            "--log" => {
+                cfg.persist = Some(PersistConfig::at(
+                    args.next()
+                        .map(std::path::PathBuf::from)
+                        .unwrap_or_else(|| usage()),
+                ))
+            }
             "--quick" => {
                 cfg.decide = DecideConfig {
                     chase: ChaseConfig::quick(),

@@ -13,25 +13,37 @@
 //!               [--slice N] [--global-fuel N] [--shards N]
 //!               [--cache-cap N] [--no-cache] [--verify-hits]
 //!               [--mode sequential|dovetail[:RATIO]] [--steal on|off]
-//!               [--quick] [--stats]
+//!               [--quick] [--stats] [--log PATH] [--max-inflight N]
+//!               [--drain-sweeps N]
 //! ```
 //!
 //! With neither `--tcp` nor `--unix`, listens on `127.0.0.1:0` (an
 //! ephemeral port) and prints the bound address — scripts can parse the
 //! `listening tcp=…` line. The process runs until a client sends a
-//! `SHUTDOWN` frame; `--stats` then prints the service counters to
-//! stderr.
+//! `SHUTDOWN` frame; shutdown drains in-flight jobs for `--drain-sweeps`
+//! whole-scheduler sweeps, cancels the stragglers, and prints a final
+//! `typedtd-sockd: done …` ledger to stderr; `--stats` additionally
+//! prints the full service counters.
+//!
+//! `--log PATH` opens (or warm-starts from) the append-only answer log:
+//! definite answers persist across restarts, and a restarted server
+//! serves them as warm cache hits with zero fresh chase fuel.
+//! `--max-inflight N` sheds submissions beyond N in-flight jobs with
+//! `ERR_BUSY` instead of queueing without bound.
 
 use std::path::PathBuf;
 use typedtd_chase::{ChaseConfig, DecideConfig, DecideMode};
 use typedtd_service::proto::SockdConfig;
-use typedtd_service::{parse_decide_mode, stats_line, ProtoServer, ServiceConfig};
+use typedtd_service::{
+    parse_decide_mode, stats_line, PersistConfig, ProtoServer, ServiceConfig,
+};
 
 fn usage() -> ! {
     eprintln!(
         "usage: typedtd-sockd [--tcp HOST:PORT] [--unix PATH] [--drivers N] [--slice N] \
          [--global-fuel N] [--shards N] [--cache-cap N] [--no-cache] [--verify-hits] \
-         [--mode sequential|dovetail[:RATIO]] [--steal on|off] [--quick] [--stats]"
+         [--mode sequential|dovetail[:RATIO]] [--steal on|off] [--quick] [--stats] \
+         [--log PATH] [--max-inflight N] [--drain-sweeps N]"
     );
     std::process::exit(2);
 }
@@ -43,6 +55,8 @@ fn main() {
     let mut unix: Option<PathBuf> = None;
     let mut mode: Option<DecideMode> = None;
     let mut show_stats = false;
+    let mut max_inflight: Option<usize> = None;
+    let mut drain_sweeps = 64usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -81,6 +95,20 @@ fn main() {
             }
             "--no-cache" => cfg.cache = false,
             "--verify-hits" => cfg.verify_cache_hits = true,
+            "--log" => {
+                cfg.persist =
+                    Some(PersistConfig::at(args.next().map(PathBuf::from).unwrap_or_else(
+                        || usage(),
+                    )))
+            }
+            "--max-inflight" => {
+                max_inflight =
+                    Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
+            }
+            "--drain-sweeps" => {
+                drain_sweeps =
+                    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
             "--quick" => {
                 cfg.decide = DecideConfig {
                     chase: ChaseConfig::quick(),
@@ -103,6 +131,8 @@ fn main() {
         SockdConfig {
             service: cfg,
             drivers,
+            max_inflight,
+            drain_sweeps,
         },
         tcp_spec.as_deref(),
         unix.as_deref(),
@@ -118,7 +148,20 @@ fn main() {
         println!("typedtd-sockd: listening unix={}", path.display());
     }
     let client = server.client().clone();
+    let shed = server.shed_counter();
     server.join();
+    let s = client.stats();
+    eprintln!(
+        "typedtd-sockd: done submitted={} answered={} unknown={} cancelled={} expired={} \
+         warm_hits={} shed={}",
+        s.submitted,
+        s.yes + s.no,
+        s.unknown,
+        s.cancelled,
+        s.expired,
+        s.warm_hits,
+        shed.load(std::sync::atomic::Ordering::Relaxed),
+    );
     if show_stats {
         eprintln!("{}", stats_line(&client));
     }

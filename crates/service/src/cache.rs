@@ -85,6 +85,9 @@ enum Entry {
         /// Remaining "not yet" passes when the LRU clock reaches this
         /// entry (1 for answers that cost ≥ [`REPRIEVE_COST`] fuel).
         reprieves: u8,
+        /// Replayed from the persistence log at startup (hits on it count
+        /// toward `ServiceStats::warm_hits`).
+        warm: bool,
     },
 }
 
@@ -96,12 +99,43 @@ pub fn goal_hypothesis(goal: &TdOrEgd) -> Relation {
     }
 }
 
+/// Hit verification: value-bijection isomorphism, insensitive to the
+/// universes' attribute *names*. `typedtd_relational::isomorphic`
+/// requires identical universes, which is right for the paper's
+/// constructions but too strict here: a canonical key certifies width
+/// and typedness (both are part of the key), while attribute names never
+/// enter the encoding — implication is invariant under renaming columns.
+/// In particular the witness of an entry replayed from the persistence
+/// log is rebuilt over a throwaway universe
+/// ([`QueryKey::witness_relation`]) whose names can't match any live
+/// query's. When the universes differ, the stored side is recast over
+/// the probing side's universe (values are opaque ids; only the
+/// bijection matters) before the row-level check runs.
+pub fn witness_match(stored: &Relation, probe: &Relation) -> bool {
+    if stored.universe() == probe.universe() {
+        return isomorphic(stored, probe);
+    }
+    if stored.universe().width() != probe.universe().width() {
+        return false;
+    }
+    let mut recast = Relation::new(probe.universe().clone());
+    for row in stored.rows() {
+        recast.insert(row.clone());
+    }
+    isomorphic(&recast, probe)
+}
+
 /// Result of a cache probe.
 pub enum Probe {
     /// No entry under this key.
     Miss,
     /// A finished entry was found (and, if requested, verified).
-    Hit(CachedAnswer),
+    Hit {
+        /// The cached answer pair.
+        answer: CachedAnswer,
+        /// The entry was replayed from the persistence log (a warm hit).
+        warm: bool,
+    },
     /// The key's query is in flight; coalesce onto the leader slot.
     InFlight(u32),
     /// An entry was found but failed isomorphism verification; served as a
@@ -172,22 +206,24 @@ impl ShardCache {
                 Entry::Cached {
                     answer,
                     goal_hypothesis: hyp,
+                    warm,
                     ..
                 },
             )) => {
                 if let Some(goal_hyp) = verify {
-                    if !isomorphic(hyp, goal_hyp) {
+                    if !witness_match(hyp, goal_hyp) {
                         return Probe::Rejected;
                     }
                 }
                 let answer = *answer;
+                let warm = *warm;
                 let interned = Arc::clone(interned);
                 let tick = self.stamp(&interned);
                 let Some(Entry::Cached { last_tick, .. }) = self.map.get_mut(key) else {
                     unreachable!("entry probed above")
                 };
                 *last_tick = tick;
-                Probe::Hit(answer)
+                Probe::Hit { answer, warm }
             }
         }
     }
@@ -228,6 +264,32 @@ impl ShardCache {
         goal_hyp: Relation,
         cost: u64,
     ) -> Option<Arc<QueryKey>> {
+        self.insert_entry(key, answer, goal_hyp, cost, false)
+    }
+
+    /// As [`ShardCache::insert`], but marks the entry *warm* — replayed
+    /// from the persistence log at startup. Hits on warm entries are
+    /// counted in `ServiceStats::warm_hits` (the warm-restart signal);
+    /// everything else — verification, LRU, reprieves — behaves exactly
+    /// like a freshly computed entry.
+    pub fn insert_warm(
+        &mut self,
+        key: QueryKey,
+        answer: CachedAnswer,
+        goal_hyp: Relation,
+        cost: u64,
+    ) -> Option<Arc<QueryKey>> {
+        self.insert_entry(key, answer, goal_hyp, cost, true)
+    }
+
+    fn insert_entry(
+        &mut self,
+        key: QueryKey,
+        answer: CachedAnswer,
+        goal_hyp: Relation,
+        cost: u64,
+        warm: bool,
+    ) -> Option<Arc<QueryKey>> {
         if matches!(self.map.get(&key), Some(Entry::Cached { .. })) {
             return None;
         }
@@ -240,6 +302,7 @@ impl ShardCache {
                 goal_hypothesis: goal_hyp,
                 last_tick: tick,
                 reprieves: u8::from(cost >= REPRIEVE_COST),
+                warm,
             },
         );
         self.cached += 1;
@@ -360,7 +423,7 @@ mod tests {
         // Touch the first entry: the second becomes coldest.
         assert!(matches!(
             cache.probe(&deps[0].0, None),
-            Probe::Hit(_)
+            Probe::Hit { .. }
         ));
         assert!(cache.evict_one());
         assert_eq!(cache.len(), 2);
@@ -370,7 +433,7 @@ mod tests {
         ));
         assert!(matches!(
             cache.probe(&deps[0].0, None),
-            Probe::Hit(_)
+            Probe::Hit { .. }
         ));
     }
 
@@ -403,7 +466,7 @@ mod tests {
         for _ in 0..10_000 {
             assert!(matches!(
                 cache.probe(&deps[0].0, None),
-                Probe::Hit(_)
+                Probe::Hit { .. }
             ));
         }
         assert!(
@@ -434,7 +497,7 @@ mod tests {
         assert!(cache.evict_one());
         assert!(matches!(
             cache.probe(&deps[0].0, None),
-            Probe::Hit(_)
+            Probe::Hit { .. }
         ));
         assert!(matches!(
             cache.probe(&deps[1].0, None),

@@ -57,7 +57,7 @@
 //! certify.
 
 use typedtd_dependencies::TdOrEgd;
-use typedtd_relational::{FxHashMap, Relation, Tuple, Value};
+use typedtd_relational::{FxHashMap, Relation, Tuple, Universe, Value, ValuePool};
 
 /// Hypothesis-row count above which row-order canonicalization is skipped.
 pub const ROW_CAP: usize = 8;
@@ -84,6 +84,121 @@ pub struct QueryKey {
     sigma: Vec<Vec<u32>>,
     /// Canonical encoding of the goal.
     goal: Vec<u32>,
+}
+
+impl QueryKey {
+    /// Appends a stable, self-delimiting byte encoding of this key to
+    /// `out` (little-endian lengths and words) — the persistence log's
+    /// record body format. [`QueryKey::decode`] round-trips it exactly.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.width.to_le_bytes());
+        out.push(u8::from(self.typed));
+        out.extend_from_slice(&(self.sigma.len() as u32).to_le_bytes());
+        for dep in &self.sigma {
+            out.extend_from_slice(&(dep.len() as u32).to_le_bytes());
+            for w in dep {
+                out.extend_from_slice(&w.to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&(self.goal.len() as u32).to_le_bytes());
+        for w in &self.goal {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+
+    /// Decodes a key from the front of `bytes` (the inverse of
+    /// [`QueryKey::encode_into`]), returning it with the number of bytes
+    /// consumed. `None` on any malformed input — truncated buffers and
+    /// absurd lengths are rejected, never panicked on, so a corrupted log
+    /// record degrades to a dropped record.
+    pub fn decode(bytes: &[u8]) -> Option<(Self, usize)> {
+        let mut at = 0usize;
+        let take = |at: &mut usize, n: usize| -> Option<&[u8]> {
+            let s = bytes.get(*at..*at + n)?;
+            *at += n;
+            Some(s)
+        };
+        let width = u16::from_le_bytes(take(&mut at, 2)?.try_into().ok()?);
+        if width == 0 {
+            return None;
+        }
+        let typed = match take(&mut at, 1)?[0] {
+            0 => false,
+            1 => true,
+            _ => return None,
+        };
+        let read_words = |at: &mut usize| -> Option<Vec<u32>> {
+            let len = u32::from_le_bytes(take(at, 4)?.try_into().ok()?) as usize;
+            // A length can't exceed the words the buffer could still hold.
+            if len > bytes.len().saturating_sub(*at) / 4 {
+                return None;
+            }
+            (0..len)
+                .map(|_| Some(u32::from_le_bytes(take(at, 4)?.try_into().ok()?)))
+                .collect()
+        };
+        let ndeps = u32::from_le_bytes(take(&mut at, 4)?.try_into().ok()?) as usize;
+        if ndeps > bytes.len().saturating_sub(at) / 4 {
+            return None;
+        }
+        let mut sigma = Vec::with_capacity(ndeps);
+        for _ in 0..ndeps {
+            sigma.push(read_words(&mut at)?);
+        }
+        let goal = read_words(&mut at)?;
+        Some((
+            Self {
+                width,
+                typed,
+                sigma,
+                goal,
+            },
+            at,
+        ))
+    }
+
+    /// Rebuilds the goal's hypothesis tableau from the canonical encoding,
+    /// over a throwaway pool — the verification witness for a cache entry
+    /// replayed from the persistence log. The goal encoding starts
+    /// `[tag, hyp_len, hyp_len × width canonical ids, …]`, so each id maps
+    /// to one fresh value; the result is isomorphic (value bijection) to
+    /// `permute_relation(goal_hypothesis(goal), perm)` of any query that
+    /// keys here, which is exactly what verified hits compare. `None` when
+    /// the encoding is malformed (a decoded-from-disk key whose checksum
+    /// lied).
+    pub fn witness_relation(&self) -> Option<Relation> {
+        let width = self.width as usize;
+        if width == 0 || self.goal.len() < 2 {
+            return None;
+        }
+        if self.goal[0] != TAG_TD && self.goal[0] != TAG_EGD {
+            return None;
+        }
+        let nrows = self.goal[1] as usize;
+        let body = self.goal.get(2..)?;
+        if nrows.checked_mul(width)? > body.len() {
+            return None;
+        }
+        // The witness only feeds value-bijection isomorphism checks, so an
+        // untyped universe works for typed queries too (typedness lives in
+        // the key itself, not the witness).
+        let universe = Universe::untyped((0..width).map(|c| format!("c{c}")).collect::<Vec<_>>());
+        let mut pool = ValuePool::new(universe.clone());
+        let mut values: FxHashMap<u32, Value> = FxHashMap::default();
+        let mut rel = Relation::new(universe);
+        for row in body[..nrows * width].chunks_exact(width) {
+            rel.insert(Tuple::new(
+                row.iter()
+                    .map(|id| {
+                        *values
+                            .entry(*id)
+                            .or_insert_with(|| pool.untyped(&format!("v{id}")))
+                    })
+                    .collect(),
+            ));
+        }
+        Some(rel)
+    }
 }
 
 /// Computes the canonical key of `(sigma, goal)`.
@@ -781,6 +896,66 @@ mod tests {
             (0..(COL_CAP + 2) as u16).collect::<Vec<_>>(),
             "beyond COL_CAP the permutation is the identity"
         );
+    }
+
+    #[test]
+    fn query_key_round_trips_through_bytes() {
+        let (u, mut p) = setup();
+        let mvd = TdOrEgd::Td(td_from_names(
+            &u,
+            &mut p,
+            &[&["x", "y1", "z1"], &["x", "y2", "z2"]],
+            &["x", "y1", "z2"],
+        ));
+        let fd = TdOrEgd::Egd(egd_from_names(
+            &u,
+            &mut p,
+            &[&["x", "y1", "z1"], &["x", "y2", "z2"]],
+            ("B'", "y1"),
+            ("B'", "y2"),
+        ));
+        let key = query_key(&[mvd, fd.clone()], &fd);
+        let mut bytes = Vec::new();
+        key.encode_into(&mut bytes);
+        let (back, used) = QueryKey::decode(&bytes).expect("well-formed encoding");
+        assert_eq!(used, bytes.len(), "decode must consume exactly what encode wrote");
+        assert_eq!(back, key);
+        // Truncations never decode (and never panic).
+        for cut in 0..bytes.len() {
+            assert!(QueryKey::decode(&bytes[..cut]).is_none());
+        }
+    }
+
+    #[test]
+    fn witness_relation_is_isomorphic_to_the_permuted_hypothesis() {
+        let (u, mut p) = setup();
+        let mvd = TdOrEgd::Td(td_from_names(
+            &u,
+            &mut p,
+            &[&["x", "y1", "z1"], &["x", "y2", "z2"]],
+            &["x", "y1", "z2"],
+        ));
+        let parts = query_parts(std::slice::from_ref(&mvd), &mvd);
+        let rebuilt = parts.key.witness_relation().expect("well-formed goal encoding");
+        let original = permute_relation(&crate::cache::goal_hypothesis(&mvd), &parts.perm);
+        assert!(
+            crate::cache::witness_match(&rebuilt, &original),
+            "replayed witness must pass the same verified-hit check a live witness would"
+        );
+        // And for a typed query, whose witness lives over a typed universe.
+        let ut = Universe::typed(vec!["A", "B", "C"]);
+        let mut pt = ValuePool::new(ut.clone());
+        let tfd = TdOrEgd::Egd(egd_from_names(
+            &ut,
+            &mut pt,
+            &[&["x", "y1", "z1"], &["x", "y2", "z2"]],
+            ("B", "y1"),
+            ("B", "y2"),
+        ));
+        let tparts = query_parts(&[], &tfd);
+        let trebuilt = tparts.key.witness_relation().expect("typed goal encoding");
+        let toriginal = permute_relation(&crate::cache::goal_hypothesis(&tfd), &tparts.perm);
+        assert!(crate::cache::witness_match(&trebuilt, &toriginal));
     }
 
     #[test]

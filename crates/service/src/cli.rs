@@ -25,7 +25,8 @@ pub fn stats_line(client: &ImplicationClient) -> String {
     format!(
         "jobs={} completed={} yes={} no={} unknown={} cache_hits={} goal_in_sigma={} \
          coalesced={} misses={} hit_rate={:.2} evictions={} expired={} cancelled={} \
-         retired={} fuel={} sweeps={} steals={} parked={} cached_queries={}",
+         retired={} fuel={} sweeps={} steals={} parked={} warm_hits={} persist_errors={} \
+         cached_queries={}",
         s.submitted,
         s.completed,
         s.yes,
@@ -44,6 +45,8 @@ pub fn stats_line(client: &ImplicationClient) -> String {
         s.sweeps,
         s.steals,
         s.parked,
+        s.warm_hits,
+        s.persist_errors,
         client.cache_len(),
     )
 }

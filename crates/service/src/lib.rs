@@ -68,6 +68,7 @@ pub mod batch;
 pub mod cache;
 pub mod canon;
 pub mod cli;
+pub mod persist;
 pub mod proto;
 pub mod service;
 
@@ -77,9 +78,13 @@ pub use batch::{
 };
 pub use cache::{CachedAnswer, Probe, ShardCache};
 pub use cli::{parse_decide_mode, stats_line};
+pub use persist::{
+    replay_bytes, replay_log, FaultPlan, PersistConfig, PersistLog, Replay, ReplayedRecord,
+};
 pub use proto::{
-    decode_frame, Frame, FrameError, Opcode, ProgressKind, ProtoClient, ProtoServer,
-    ProtoStream, SockdConfig, SubmitPayload, WireAnswer, MAX_FRAME_LEN, PROTO_VERSION,
+    decode_frame, ClientConfig, Frame, FrameError, Opcode, ProgressKind, ProtoClient,
+    ProtoServer, ProtoStream, SockdConfig, SubmitPayload, WireAnswer, MAX_FRAME_LEN,
+    PROTO_VERSION,
 };
 pub use canon::{dep_key, permute_relation, query_key, query_parts, QueryKey, QueryParts};
 pub use service::{

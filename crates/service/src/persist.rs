@@ -1,0 +1,587 @@
+//! Crash-safe persistence for the answer cache: an append-only log of
+//! canonical-key → definite-answer records.
+//!
+//! Every definite (Yes/No) answer the service computes is a certificate —
+//! implication is monotone in Σ, so a definite answer for a canonical
+//! query is sound forever. The log records exactly those answers as they
+//! enter the [`crate::cache::ShardCache`]; fuel-dependent `Unknown`s (and
+//! cancelled/expired jobs) are *never* written, because they are budget
+//! artifacts that a differently-scheduled run could answer.
+//!
+//! # File format
+//!
+//! ```text
+//! magic   8 bytes  b"TDTDLOG\x01"            (format version in the last byte)
+//! record  u32 LE body_len · u32 LE checksum · body
+//! body    u8 implication (0=yes 1=no)
+//!         u8 finite_implication (0=yes 1=no 2=unknown)
+//!         u64 LE cost (fuel the answer took; drives the eviction reprieve)
+//!         QueryKey encoding (see `QueryKey::encode_into`)
+//! ```
+//!
+//! The checksum is 64-bit FNV-1a over the body, folded to 32 bits.
+//!
+//! # Replay rules (torn-write tolerance)
+//!
+//! Replay scans records front to back and stops at the first anomaly: a
+//! truncated header, an oversized or short length, a checksum mismatch, or
+//! a body that doesn't decode. Everything before the anomaly is recovered;
+//! everything after is dropped — a torn or corrupted tail loses a suffix,
+//! never panics, and never desyncs (on open the file is *healed* by
+//! truncating to the valid prefix, so later appends can't be orphaned
+//! behind garbage). A missing file is an empty log; a file with the wrong
+//! magic is not our log and replays empty (the writer then starts it
+//! fresh).
+//!
+//! # Fault injection and degraded mode
+//!
+//! [`FaultPlan`] wraps the writer with deterministic faults (in keeping
+//! with the repo's offline-shim pattern): short writes, hard I/O errors
+//! from a chosen byte offset, and a simulated crash that silently drops
+//! everything past a chosen offset. A failed append truncates back to the
+//! last whole-record boundary (so the log stays replayable) and is counted
+//! by the caller in `ServiceStats::persist_errors`; after
+//! [`DEGRADE_AFTER`] consecutive failures the log flips to **degraded
+//! read-only mode** — the in-memory cache keeps serving traffic, appends
+//! become no-ops, and no job ever fails because the disk did.
+
+use crate::cache::CachedAnswer;
+use crate::canon::QueryKey;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use typedtd_chase::Answer;
+
+/// Log file magic; the final byte is the format version.
+pub const LOG_MAGIC: [u8; 8] = *b"TDTDLOG\x01";
+
+/// Upper bound on one record's body length (mirrors the wire frame cap);
+/// a bigger length word is corruption, not a big record.
+const MAX_RECORD_LEN: u32 = 1 << 20;
+
+/// Consecutive append failures before the log degrades to read-only
+/// in-memory mode.
+pub const DEGRADE_AFTER: u32 = 3;
+
+/// Deterministic fault injection for the log writer. All offsets are
+/// absolute *logical* log offsets (header included), as the writer
+/// believes them — a crash-dropped byte still advances the logical
+/// offset, exactly like a buffered write the process never flushed.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Cap each underlying write call at this many bytes (short writes);
+    /// `None` writes whole records at once.
+    pub short_write: Option<usize>,
+    /// Logical offset at/after which every write attempt fails with an
+    /// I/O error (the failing-disk scenario that drives degraded mode).
+    pub error_at: Option<u64>,
+    /// Logical offset past which written bytes are silently discarded —
+    /// a simulated crash mid-record: the writer believes they landed, the
+    /// file ends torn.
+    pub crash_at: Option<u64>,
+}
+
+/// Where (and under which faults) the service persists definite answers.
+#[derive(Clone, Debug)]
+pub struct PersistConfig {
+    /// Log file path; created (with its magic header) if absent.
+    pub path: PathBuf,
+    /// Fault injection applied to record appends (not to replay).
+    pub fault: FaultPlan,
+}
+
+impl PersistConfig {
+    /// A fault-free log at `path`.
+    pub fn at(path: impl Into<PathBuf>) -> Self {
+        Self {
+            path: path.into(),
+            fault: FaultPlan::default(),
+        }
+    }
+}
+
+/// One recovered record: a canonical query with its definite answers and
+/// the fuel the original computation spent.
+#[derive(Clone, Debug)]
+pub struct ReplayedRecord {
+    /// The canonical query key.
+    pub key: QueryKey,
+    /// The definite answer pair (implication is never `Unknown` here).
+    pub answer: CachedAnswer,
+    /// Fuel the original computation spent (drives the eviction reprieve
+    /// on re-insert).
+    pub cost: u64,
+}
+
+/// The result of replaying a log: the recovered prefix and where it ends.
+#[derive(Debug)]
+pub struct Replay {
+    /// Records of the valid prefix, in append order.
+    pub records: Vec<ReplayedRecord>,
+    /// Byte length of the valid prefix (0 when the header itself is
+    /// missing or corrupt; the writer then rebuilds the file).
+    pub valid_len: u64,
+}
+
+/// Replays the log at `path` (see the module docs for the rules). A
+/// missing file is an empty log. Never panics on corrupt input.
+pub fn replay_log(path: &Path) -> io::Result<Replay> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            return Ok(Replay {
+                records: Vec::new(),
+                valid_len: 0,
+            })
+        }
+        Err(e) => return Err(e),
+    };
+    Ok(replay_bytes(&bytes))
+}
+
+/// Replay over an in-memory image (the property tests corrupt images
+/// directly).
+pub fn replay_bytes(bytes: &[u8]) -> Replay {
+    if bytes.len() < LOG_MAGIC.len() || bytes[..LOG_MAGIC.len()] != LOG_MAGIC {
+        return Replay {
+            records: Vec::new(),
+            valid_len: 0,
+        };
+    }
+    let mut at = LOG_MAGIC.len();
+    let mut records = Vec::new();
+    while let Some(rest) = bytes.get(at..) {
+        if rest.len() < 8 {
+            break; // torn record header
+        }
+        let body_len = u32::from_le_bytes(rest[0..4].try_into().expect("4 bytes"));
+        let sum = u32::from_le_bytes(rest[4..8].try_into().expect("4 bytes"));
+        if body_len > MAX_RECORD_LEN || (body_len as usize) > rest.len() - 8 {
+            break; // corrupt length word or torn body
+        }
+        let body = &rest[8..8 + body_len as usize];
+        if checksum(body) != sum {
+            break; // flipped bits
+        }
+        let Some(rec) = decode_body(body) else {
+            break; // checksum collision on garbage: still just a lost tail
+        };
+        records.push(rec);
+        at += 8 + body_len as usize;
+    }
+    Replay {
+        records,
+        valid_len: at as u64,
+    }
+}
+
+/// 64-bit FNV-1a folded to 32 bits.
+fn checksum(bytes: &[u8]) -> u32 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h ^ (h >> 32)) as u32
+}
+
+fn answer_byte(a: Answer) -> u8 {
+    match a {
+        Answer::Yes => 0,
+        Answer::No => 1,
+        Answer::Unknown => 2,
+    }
+}
+
+fn answer_from(b: u8) -> Option<Answer> {
+    match b {
+        0 => Some(Answer::Yes),
+        1 => Some(Answer::No),
+        2 => Some(Answer::Unknown),
+        _ => None,
+    }
+}
+
+/// One framed record: `len · checksum · body`.
+fn encode_record(key: &QueryKey, answer: CachedAnswer, cost: u64) -> Vec<u8> {
+    debug_assert_ne!(
+        answer.implication,
+        Answer::Unknown,
+        "only definite answers are persisted"
+    );
+    let mut body = Vec::with_capacity(64);
+    body.push(answer_byte(answer.implication));
+    body.push(answer_byte(answer.finite_implication));
+    body.extend_from_slice(&cost.to_le_bytes());
+    key.encode_into(&mut body);
+    let mut rec = Vec::with_capacity(body.len() + 8);
+    rec.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    rec.extend_from_slice(&checksum(&body).to_le_bytes());
+    rec.extend_from_slice(&body);
+    rec
+}
+
+fn decode_body(body: &[u8]) -> Option<ReplayedRecord> {
+    if body.len() < 10 {
+        return None;
+    }
+    let implication = match body[0] {
+        // A persisted implication answer must be definite.
+        0 => Answer::Yes,
+        1 => Answer::No,
+        _ => return None,
+    };
+    let finite_implication = answer_from(body[1])?;
+    let cost = u64::from_le_bytes(body[2..10].try_into().expect("8 bytes"));
+    let (key, used) = QueryKey::decode(&body[10..])?;
+    if 10 + used != body.len() {
+        return None; // trailing garbage under a colliding checksum
+    }
+    Some(ReplayedRecord {
+        key,
+        answer: CachedAnswer {
+            implication,
+            finite_implication,
+        },
+        cost,
+    })
+}
+
+/// The open, heal-on-failure log writer. Shared across scheduler shards
+/// (appends take an internal lock; they happen once per *fresh* definite
+/// answer, so the lock is cold).
+pub struct PersistLog {
+    writer: Mutex<LogWriter>,
+    degraded: AtomicBool,
+}
+
+struct LogWriter {
+    /// `None` once degraded mode (or an unhealable failure) dropped it.
+    file: Option<File>,
+    plan: FaultPlan,
+    /// Logical append offset — what the writer believes, including bytes
+    /// a simulated crash silently dropped.
+    offset: u64,
+    /// Bytes durably in the file.
+    actual: u64,
+    /// File length at the last successful whole-record append: the heal
+    /// point a failed partial write truncates back to.
+    good_len: u64,
+    /// Consecutive failed appends (reset by any success).
+    failures: u32,
+}
+
+impl PersistLog {
+    /// Opens (or creates) the log at `cfg.path`: replays the valid
+    /// prefix, heals the file by truncating any torn tail, and positions
+    /// the writer at the healed end. Returns the handle plus the
+    /// replayed records for the caller to seed its cache with.
+    pub fn open(cfg: &PersistConfig) -> io::Result<(Self, Vec<ReplayedRecord>)> {
+        let replay = replay_log(&cfg.path)?;
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&cfg.path)?;
+        let start = if replay.valid_len < LOG_MAGIC.len() as u64 {
+            // Empty, foreign, or header-corrupt file: start it fresh.
+            file.set_len(0)?;
+            file.write_all(&LOG_MAGIC)?;
+            LOG_MAGIC.len() as u64
+        } else {
+            file.set_len(replay.valid_len)?;
+            replay.valid_len
+        };
+        file.seek(SeekFrom::End(0))?;
+        Ok((
+            Self {
+                writer: Mutex::new(LogWriter {
+                    file: Some(file),
+                    plan: cfg.fault.clone(),
+                    offset: start,
+                    actual: start,
+                    good_len: start,
+                    failures: 0,
+                }),
+                degraded: AtomicBool::new(false),
+            },
+            replay.records,
+        ))
+    }
+
+    /// Appends one definite-answer record. Returns `false` only when this
+    /// append actually failed (the caller counts it in
+    /// `ServiceStats::persist_errors`); a degraded log skips silently and
+    /// returns `true` — degradation was already accounted when it
+    /// happened, and served traffic must not keep paying for a dead disk.
+    pub fn append(&self, key: &QueryKey, answer: CachedAnswer, cost: u64) -> bool {
+        if self.degraded.load(Ordering::Relaxed) {
+            return true;
+        }
+        let mut w = self.writer.lock().expect("persist writer lock");
+        let rec = encode_record(key, answer, cost);
+        match w.write_record(&rec) {
+            Ok(()) => {
+                w.failures = 0;
+                true
+            }
+            Err(_) => {
+                w.failures += 1;
+                if w.failures >= DEGRADE_AFTER || w.file.is_none() {
+                    w.file = None;
+                    self.degraded.store(true, Ordering::Relaxed);
+                }
+                false
+            }
+        }
+    }
+
+    /// `true` once persistent write failure flipped the log to read-only
+    /// in-memory mode (appends are no-ops from then on).
+    pub fn degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+}
+
+impl LogWriter {
+    /// Writes one whole record through the fault plan, healing the file
+    /// back to the last record boundary on failure so a later append (or
+    /// the next replay) never sees a half-record followed by live data.
+    fn write_record(&mut self, rec: &[u8]) -> io::Result<()> {
+        match self.write_all_faulty(rec) {
+            Ok(()) => {
+                self.good_len = self.actual;
+                Ok(())
+            }
+            Err(e) => {
+                let healed = self
+                    .file
+                    .as_mut()
+                    .map(|f| {
+                        f.set_len(self.good_len)
+                            .and_then(|()| f.seek(SeekFrom::End(0)))
+                            .is_ok()
+                    })
+                    .unwrap_or(false);
+                if healed {
+                    self.actual = self.good_len;
+                    self.offset = self.good_len;
+                } else {
+                    // Unhealable: stop writing entirely rather than risk
+                    // desyncing the log.
+                    self.file = None;
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn write_all_faulty(&mut self, buf: &[u8]) -> io::Result<()> {
+        let mut at = 0usize;
+        while at < buf.len() {
+            let file = self
+                .file
+                .as_mut()
+                .ok_or_else(|| io::Error::other("persist writer gone"))?;
+            let mut len = buf.len() - at;
+            if let Some(cap) = self.plan.short_write {
+                len = len.min(cap.max(1));
+            }
+            if let Some(err_at) = self.plan.error_at {
+                if self.offset >= err_at {
+                    return Err(io::Error::other("injected write error"));
+                }
+                // Let the failure land exactly at the configured offset:
+                // this write stays short, the next attempt errors.
+                len = len.min((err_at - self.offset) as usize);
+            }
+            let durable = match self.plan.crash_at {
+                Some(c) if self.offset >= c => 0,
+                Some(c) => len.min((c - self.offset) as usize),
+                None => len,
+            };
+            if durable > 0 {
+                file.write_all(&buf[at..at + durable])?;
+                self.actual += durable as u64;
+            }
+            self.offset += len as u64;
+            at += len;
+        }
+        if let Some(file) = self.file.as_mut() {
+            file.flush()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use typedtd_dependencies::{td_from_names, TdOrEgd};
+    use typedtd_relational::{Universe, ValuePool};
+
+    fn keys(n: usize) -> Vec<QueryKey> {
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        (0..n)
+            .map(|i| {
+                let rows: Vec<Vec<String>> = (0..=i)
+                    .map(|r| vec!["x".to_string(), format!("y{r}"), format!("z{r}")])
+                    .collect();
+                let row_refs: Vec<Vec<&str>> = rows
+                    .iter()
+                    .map(|r| r.iter().map(String::as_str).collect())
+                    .collect();
+                let slices: Vec<&[&str]> = row_refs.iter().map(Vec::as_slice).collect();
+                let td = TdOrEgd::Td(td_from_names(&u, &mut p, &slices, &["x", "y0", "z0"]));
+                crate::canon::query_key(std::slice::from_ref(&td), &td)
+            })
+            .collect()
+    }
+
+    const YES: CachedAnswer = CachedAnswer {
+        implication: Answer::Yes,
+        finite_implication: Answer::Yes,
+    };
+    const NO: CachedAnswer = CachedAnswer {
+        implication: Answer::No,
+        finite_implication: Answer::No,
+    };
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "typedtd-persist-{tag}-{}-{:?}.log",
+            std::process::id(),
+            std::thread::current().id(),
+        ))
+    }
+
+    #[test]
+    fn append_then_replay_round_trips() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let cfg = PersistConfig::at(&path);
+        let ks = keys(3);
+        {
+            let (log, replayed) = PersistLog::open(&cfg).expect("open fresh");
+            assert!(replayed.is_empty());
+            assert!(log.append(&ks[0], YES, 0));
+            assert!(log.append(&ks[1], NO, 17));
+            assert!(log.append(&ks[2], YES, 99));
+            assert!(!log.degraded());
+        }
+        let (_log, replayed) = PersistLog::open(&cfg).expect("reopen");
+        assert_eq!(replayed.len(), 3);
+        assert_eq!(replayed[0].key, ks[0]);
+        assert_eq!(replayed[1].key, ks[1]);
+        assert_eq!(replayed[1].answer, NO);
+        assert_eq!(replayed[1].cost, 17);
+        assert_eq!(replayed[2].key, ks[2]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_replays_to_the_valid_prefix_and_heals() {
+        let path = temp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        let cfg = PersistConfig::at(&path);
+        let ks = keys(3);
+        {
+            let (log, _) = PersistLog::open(&cfg).expect("open");
+            for k in &ks {
+                assert!(log.append(k, YES, 0));
+            }
+        }
+        let full = std::fs::read(&path).expect("log bytes");
+        // Tear the file mid-final-record.
+        std::fs::write(&path, &full[..full.len() - 3]).expect("tear");
+        let replay = replay_log(&path).expect("replay");
+        assert_eq!(replay.records.len(), 2, "torn tail loses exactly its record");
+        // Reopen heals (truncates) and appends cleanly after the prefix.
+        {
+            let (log, replayed) = PersistLog::open(&cfg).expect("heal");
+            assert_eq!(replayed.len(), 2);
+            assert!(log.append(&ks[2], NO, 5));
+        }
+        let replay = replay_log(&path).expect("replay healed");
+        assert_eq!(replay.records.len(), 3);
+        assert_eq!(replay.records[2].answer, NO);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn simulated_crash_drops_the_suffix_silently() {
+        let path = temp_path("crash");
+        let _ = std::fs::remove_file(&path);
+        let ks = keys(3);
+        // Learn where record 2 starts, then crash a few bytes into it.
+        let boundary = {
+            let cfg = PersistConfig::at(&path);
+            let (log, _) = PersistLog::open(&cfg).expect("open");
+            assert!(log.append(&ks[0], YES, 0));
+            std::fs::metadata(&path).expect("meta").len()
+        };
+        let _ = std::fs::remove_file(&path);
+        let cfg = PersistConfig {
+            path: path.clone(),
+            fault: FaultPlan {
+                crash_at: Some(boundary + 4),
+                ..FaultPlan::default()
+            },
+        };
+        {
+            let (log, _) = PersistLog::open(&cfg).expect("open faulted");
+            // All three appends "succeed" — the process just dies before
+            // the bytes past the crash point ever reach the disk.
+            assert!(log.append(&ks[0], YES, 0));
+            assert!(log.append(&ks[1], YES, 0));
+            assert!(log.append(&ks[2], YES, 0));
+            assert!(!log.degraded());
+        }
+        let replay = replay_log(&path).expect("replay");
+        assert_eq!(replay.records.len(), 1, "the torn record and everything after are lost");
+        assert_eq!(replay.records[0].key, ks[0]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn persistent_write_errors_degrade_to_read_only() {
+        let path = temp_path("degrade");
+        let _ = std::fs::remove_file(&path);
+        let cfg = PersistConfig {
+            path: path.clone(),
+            fault: FaultPlan {
+                short_write: Some(5),
+                error_at: Some(LOG_MAGIC.len() as u64 + 11),
+                ..FaultPlan::default()
+            },
+        };
+        let ks = keys(1);
+        let (log, _) = PersistLog::open(&cfg).expect("open");
+        for i in 0..DEGRADE_AFTER {
+            assert!(!log.degraded(), "not degraded before failure {i}");
+            assert!(!log.append(&ks[0], YES, 0), "append under error_at must fail");
+        }
+        assert!(log.degraded(), "consecutive failures flip degraded mode");
+        // Degraded appends are silent no-ops, not fresh errors.
+        assert!(log.append(&ks[0], YES, 0));
+        // The healed file is still a valid (empty) log.
+        let replay = replay_log(&path).expect("replay");
+        assert_eq!(replay.records.len(), 0);
+        assert_eq!(replay.valid_len, LOG_MAGIC.len() as u64);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn foreign_or_headerless_files_replay_empty() {
+        assert_eq!(replay_bytes(b"").records.len(), 0);
+        assert_eq!(replay_bytes(b"short").records.len(), 0);
+        assert_eq!(replay_bytes(b"NOTOURLOGFILE###").records.len(), 0);
+        let mut flipped = LOG_MAGIC.to_vec();
+        flipped[3] ^= 0xff;
+        assert_eq!(replay_bytes(&flipped).valid_len, 0);
+    }
+}

@@ -47,6 +47,8 @@
 
 use crate::batch::{parse_query_line, parse_universe_spec};
 use crate::service::{ImplicationClient, JobHandle, JobStatus, QuerySpec, ServiceConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
@@ -138,6 +140,10 @@ pub mod err_code {
     pub const UNKNOWN_CORR: u16 = 6;
     /// `SUBMIT` reusing a correlation id that is still pending.
     pub const DUPLICATE_CORR: u16 = 7;
+    /// The server is at its `--max-inflight` bound and shed this
+    /// `SUBMIT` instead of queueing it (connection continues; nothing
+    /// was submitted — retry after draining some answers).
+    pub const BUSY: u16 = 8;
 }
 
 /// One decoded frame (version byte preserved verbatim so servers can
@@ -523,6 +529,18 @@ pub struct SockdConfig {
     pub service: ServiceConfig,
     /// Scheduler driver threads (min 1).
     pub drivers: usize,
+    /// Overload bound: a `SUBMIT` arriving while this many jobs are
+    /// already in flight is shed with [`err_code::BUSY`] instead of
+    /// queued — the queue stays bounded under a misbehaving client and
+    /// the shed count appears in the `STATS` line. `None` (the default)
+    /// never sheds.
+    pub max_inflight: Option<usize>,
+    /// How many whole-scheduler sweeps shutdown spends draining
+    /// in-flight jobs before explicitly cancelling the stragglers
+    /// (mirrors `typedtd-serve --drain-sweeps`). Jobs that finish
+    /// within the budget are answered and cached; the rest resolve
+    /// `Cancelled`, so [`ProtoServer::join`] is always bounded.
+    pub drain_sweeps: usize,
 }
 
 impl Default for SockdConfig {
@@ -530,6 +548,8 @@ impl Default for SockdConfig {
         Self {
             service: ServiceConfig::default(),
             drivers: 2,
+            max_inflight: None,
+            drain_sweeps: 64,
         }
     }
 }
@@ -539,6 +559,14 @@ struct ServerCore {
     shutdown: AtomicBool,
     /// Connections accepted over the server's lifetime.
     accepted: AtomicU64,
+    /// Overload bound (see [`SockdConfig::max_inflight`]).
+    max_inflight: Option<usize>,
+    /// Submissions shed at the overload bound, server-wide. Shared as an
+    /// `Arc` so the `typedtd-sockd` binary can still read it for the
+    /// final ledger after [`ProtoServer::join`] consumed the server.
+    shed: Arc<AtomicU64>,
+    /// Shutdown drain budget (see [`SockdConfig::drain_sweeps`]).
+    drain_sweeps: usize,
 }
 
 /// A running `typedtd-sockd` server: one shared [`ImplicationClient`],
@@ -573,6 +601,9 @@ impl ProtoServer {
             client: ImplicationClient::new(cfg.service),
             shutdown: AtomicBool::new(false),
             accepted: AtomicU64::new(0),
+            max_inflight: cfg.max_inflight,
+            shed: Arc::new(AtomicU64::new(0)),
+            drain_sweeps: cfg.drain_sweeps,
         });
         let conn_threads = Arc::new(Mutex::new(Vec::new()));
         let mut threads = Vec::new();
@@ -642,6 +673,14 @@ impl ProtoServer {
         &self.core.client
     }
 
+    /// The server-wide shed counter (submissions rejected at the
+    /// `max_inflight` bound). The `Arc` stays readable after
+    /// [`ProtoServer::join`] consumes the server — the `typedtd-sockd`
+    /// binary reads it for the final ledger line.
+    pub fn shed_counter(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.core.shed)
+    }
+
     /// Trips the shutdown flag (as a client `SHUTDOWN` frame would).
     /// Accept loops stop, connections disconnect at their next poll
     /// tick, drivers exit.
@@ -663,6 +702,24 @@ impl ProtoServer {
         let conns: Vec<_> = self.conn_threads.lock().expect("conn list").drain(..).collect();
         for t in conns {
             let _ = t.join();
+        }
+        // Drain: with every connection gone nothing new can arrive, so
+        // give in-flight (detached or orphaned) jobs a bounded number of
+        // whole-scheduler sweeps to land — their answers still feed the
+        // cache and the answer log — then cancel the stragglers and run
+        // the cancellations to rest. Mirrors `typedtd-serve
+        // --drain-sweeps`; previously shutdown dropped this work on the
+        // floor.
+        if self.core.client.pending_jobs() > 0 {
+            let mut sweeps = 0usize;
+            while self.core.client.tick() {
+                sweeps += 1;
+                if sweeps >= self.core.drain_sweeps {
+                    break;
+                }
+            }
+            self.core.client.cancel_pending();
+            self.core.client.run_to_completion();
         }
         #[cfg(unix)]
         if let Some(p) = &self.unix_path {
@@ -941,6 +998,22 @@ fn handle_frame(
                 .encode_into(out);
                 return ConnControl::Continue;
             }
+            // Overload shedding: a clean ERR the client can retry beats
+            // unbounded queue growth. Checked before the (expensive)
+            // parse so a flood of oversized submissions can't buy CPU
+            // with frames that would be shed anyway.
+            if let Some(max) = core.max_inflight {
+                if core.client.pending_jobs() >= max {
+                    core.shed.fetch_add(1, Ordering::Relaxed);
+                    err_frame(
+                        frame.corr,
+                        err_code::BUSY,
+                        &format!("server at max-inflight={max}; retry after draining answers"),
+                    )
+                    .encode_into(out);
+                    return ConnControl::Continue;
+                }
+            }
             let payload = match SubmitPayload::decode(&frame.payload) {
                 Ok(p) => p,
                 Err(msg) => {
@@ -1034,12 +1107,13 @@ fn handle_frame(
         }
         Opcode::Stats => {
             let text = format!(
-                "submitted={} answered={} cancelled={} expired={} pending={}",
+                "submitted={} answered={} cancelled={} expired={} pending={} shed={}",
                 counters.submitted,
                 counters.answered,
                 counters.cancelled,
                 counters.expired,
                 pending.len(),
+                core.shed.load(Ordering::Relaxed),
             );
             progress_frame(frame.corr, ProgressKind::Stats, &text).encode_into(out);
             ConnControl::Continue
@@ -1127,54 +1201,264 @@ fn conjoin_entry(entry: &PendingEntry) -> Option<WireAnswer> {
     Some(answer)
 }
 
+/// Client-side resilience knobs: connect/read timeouts plus a bounded
+/// reconnect-with-jittered-backoff policy. The [`Default`] keeps the
+/// legacy behavior — OS-default connect, block forever on reads, never
+/// reconnect — so existing callers are unchanged; a resilient client
+/// opts in via [`ProtoClient::connect_tcp_with`] /
+/// [`ProtoClient::connect_unix_with`]. Re-submission after a reconnect
+/// is idempotent end to end: the server's answer cache (and coalescing)
+/// makes a repeated `SUBMIT` of an already-answered query a cache hit,
+/// so a backend restart costs latency, not correctness.
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// Bound on each TCP connect attempt (`None` = OS default). Unix
+    /// connects are local and effectively immediate; the bound is not
+    /// applied there.
+    pub connect_timeout: Option<Duration>,
+    /// Bound on each blocking read. On expiry the client treats the
+    /// connection as stalled: with reconnection enabled it re-dials and
+    /// re-submits, otherwise the `TimedOut` error surfaces. `None`
+    /// blocks forever.
+    pub read_timeout: Option<Duration>,
+    /// Reconnect attempts per failure before the original error
+    /// surfaces (0 disables reconnection entirely).
+    pub reconnect_attempts: u32,
+    /// Backoff before the first reconnect attempt; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Ceiling on the (pre-jitter) backoff.
+    pub backoff_max: Duration,
+    /// Seed for the deterministic backoff jitter (each sleep is a
+    /// uniform draw from the upper half of the exponential step, so a
+    /// thundering herd of restarted clients decorrelates).
+    pub backoff_seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            connect_timeout: None,
+            read_timeout: None,
+            reconnect_attempts: 0,
+            backoff_base: Duration::from_millis(20),
+            backoff_max: Duration::from_secs(1),
+            backoff_seed: 0x1d,
+        }
+    }
+}
+
+impl ClientConfig {
+    /// A resilient profile: 5s connect timeout, `read_timeout` reads,
+    /// `attempts` reconnects with 20ms..1s jittered backoff.
+    pub fn resilient(read_timeout: Duration, attempts: u32) -> Self {
+        Self {
+            connect_timeout: Some(Duration::from_secs(5)),
+            read_timeout: Some(read_timeout),
+            reconnect_attempts: attempts,
+            ..Self::default()
+        }
+    }
+}
+
+/// Where a [`ProtoClient`] can re-dial its server. Wrapped streams
+/// ([`ProtoClient::over`]) have no address, so they never reconnect.
+enum Target {
+    Tcp(Vec<SocketAddr>),
+    #[cfg(unix)]
+    Unix(PathBuf),
+    Wrapped,
+}
+
 /// A synchronous (blocking, `std::net`) protocol client: submit queries,
 /// cancel/detach them, read out-of-order answers, fetch stats. One
 /// client owns one connection; use one client per thread (the protocol
 /// itself is fully pipelined, so a single client may have any number of
-/// submissions outstanding).
+/// submissions outstanding). With a [`ClientConfig`] that enables
+/// reconnection, a dropped or stalled connection is re-dialed with
+/// jittered backoff and every still-unanswered `SUBMIT` is re-sent
+/// under its original correlation id.
 pub struct ProtoClient {
     stream: ProtoStream,
     rbuf: Vec<u8>,
     inbox: VecDeque<Frame>,
     next_corr: u64,
+    cfg: ClientConfig,
+    target: Target,
+    /// Unanswered submissions: correlation id → encoded
+    /// [`SubmitPayload`], kept until the matching `ANSWER`/`ERR` frame
+    /// arrives so a reconnect can replay them.
+    outstanding: HashMap<u64, Vec<u8>>,
+    rng: StdRng,
+}
+
+/// Dials `target` fresh (used for both the initial connect and
+/// reconnects) and applies the read timeout.
+fn dial(target: &Target, cfg: &ClientConfig) -> io::Result<ProtoStream> {
+    let stream = match target {
+        Target::Tcp(addrs) => {
+            let mut last = None;
+            let mut connected = None;
+            for addr in addrs {
+                let res = match cfg.connect_timeout {
+                    Some(t) => TcpStream::connect_timeout(addr, t),
+                    None => TcpStream::connect(addr),
+                };
+                match res {
+                    Ok(s) => {
+                        s.set_nodelay(true).ok();
+                        connected = Some(ProtoStream::Tcp(s));
+                        break;
+                    }
+                    Err(e) => last = Some(e),
+                }
+            }
+            match connected {
+                Some(s) => s,
+                None => {
+                    return Err(last.unwrap_or_else(|| {
+                        io::Error::new(io::ErrorKind::InvalidInput, "no addresses to dial")
+                    }))
+                }
+            }
+        }
+        #[cfg(unix)]
+        Target::Unix(path) => ProtoStream::Unix(UnixStream::connect(path)?),
+        Target::Wrapped => {
+            return Err(io::Error::other("a wrapped stream has no address to re-dial"))
+        }
+    };
+    if cfg.read_timeout.is_some() {
+        stream.set_read_timeout(cfg.read_timeout)?;
+    }
+    Ok(stream)
 }
 
 impl ProtoClient {
-    /// Connects over TCP.
+    /// Connects over TCP with default (legacy: blocking, non-resilient)
+    /// client behavior.
     ///
     /// # Errors
     /// Propagates connect failures.
     pub fn connect_tcp(addr: impl ToSocketAddrs) -> io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true).ok();
-        Ok(Self::over(ProtoStream::Tcp(stream)))
+        Self::connect_tcp_with(addr, ClientConfig::default())
     }
 
-    /// Connects over a Unix-domain socket.
+    /// Connects over TCP with explicit timeout/reconnect behavior.
+    ///
+    /// # Errors
+    /// Propagates address-resolution and connect failures.
+    pub fn connect_tcp_with(addr: impl ToSocketAddrs, cfg: ClientConfig) -> io::Result<Self> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let target = Target::Tcp(addrs);
+        let stream = dial(&target, &cfg)?;
+        Ok(Self::assemble(stream, target, cfg))
+    }
+
+    /// Connects over a Unix-domain socket with default behavior.
     ///
     /// # Errors
     /// Propagates connect failures.
     #[cfg(unix)]
     pub fn connect_unix(path: impl AsRef<Path>) -> io::Result<Self> {
-        Ok(Self::over(ProtoStream::Unix(UnixStream::connect(path)?)))
+        Self::connect_unix_with(path, ClientConfig::default())
     }
 
-    /// Wraps an already-connected stream.
+    /// Connects over a Unix-domain socket with explicit
+    /// timeout/reconnect behavior.
+    ///
+    /// # Errors
+    /// Propagates connect failures.
+    #[cfg(unix)]
+    pub fn connect_unix_with(path: impl AsRef<Path>, cfg: ClientConfig) -> io::Result<Self> {
+        let target = Target::Unix(path.as_ref().to_path_buf());
+        let stream = dial(&target, &cfg)?;
+        Ok(Self::assemble(stream, target, cfg))
+    }
+
+    /// Wraps an already-connected stream (no address, so the client
+    /// never reconnects).
     pub fn over(stream: ProtoStream) -> Self {
+        Self::assemble(stream, Target::Wrapped, ClientConfig::default())
+    }
+
+    fn assemble(stream: ProtoStream, target: Target, cfg: ClientConfig) -> Self {
+        let rng = StdRng::seed_from_u64(cfg.backoff_seed);
         Self {
             stream,
             rbuf: Vec::new(),
             inbox: VecDeque::new(),
             next_corr: 1,
+            cfg,
+            target,
+            outstanding: HashMap::new(),
+            rng,
         }
     }
 
+    /// Re-dials the server with jittered exponential backoff and
+    /// replays every outstanding submission under its original
+    /// correlation id. Returns `cause` when reconnection is disabled,
+    /// impossible (wrapped stream), or exhausted.
+    fn reconnect(&mut self, cause: io::Error) -> io::Result<()> {
+        if self.cfg.reconnect_attempts == 0 || matches!(self.target, Target::Wrapped) {
+            return Err(cause);
+        }
+        'attempts: for attempt in 0..self.cfg.reconnect_attempts {
+            let step = self
+                .cfg
+                .backoff_base
+                .saturating_mul(1u32 << attempt.min(16))
+                .min(self.cfg.backoff_max);
+            let full = step.as_nanos().min(u128::from(u64::MAX)) as u64;
+            let jittered = if full == 0 {
+                0
+            } else {
+                // Uniform over the upper half of the exponential step:
+                // bounded below (still backs off) and decorrelated.
+                full / 2 + self.rng.next_u64() % (full - full / 2 + 1)
+            };
+            std::thread::sleep(Duration::from_nanos(jittered));
+            let Ok(stream) = dial(&self.target, &self.cfg) else {
+                continue;
+            };
+            self.stream = stream;
+            // A partial frame from the dead connection is garbage on the
+            // new one; already-decoded inbox frames stay valid.
+            self.rbuf.clear();
+            let mut corrs: Vec<u64> = self.outstanding.keys().copied().collect();
+            corrs.sort_unstable();
+            for corr in corrs {
+                let payload = self.outstanding[&corr].clone();
+                if self
+                    .send_frame(&Frame::new(Opcode::Submit, corr, payload))
+                    .is_err()
+                {
+                    continue 'attempts;
+                }
+            }
+            return Ok(());
+        }
+        Err(cause)
+    }
+
     /// Sends a raw frame (the typed helpers below cover the protocol;
-    /// this is the escape hatch tests use to speak garbage).
+    /// this is the escape hatch tests use to speak garbage). With
+    /// reconnection enabled, a write failure triggers one
+    /// reconnect-and-replay cycle before the frame is retried.
     ///
     /// # Errors
     /// Propagates write failures.
     pub fn send_raw(&mut self, frame: &Frame) -> io::Result<()> {
+        match self.send_frame(frame) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.reconnect(e)?;
+                self.send_frame(frame)
+            }
+        }
+    }
+
+    fn send_frame(&mut self, frame: &Frame) -> io::Result<()> {
         self.stream.write_all(&frame.encode())?;
         self.stream.flush()
     }
@@ -1197,7 +1481,12 @@ impl ProtoClient {
             universe: universe.to_string(),
             query: query.to_string(),
         };
-        self.send_raw(&Frame::new(Opcode::Submit, corr, payload.encode()))?;
+        let encoded = payload.encode();
+        self.send_raw(&Frame::new(Opcode::Submit, corr, encoded.clone()))?;
+        // Recorded only after the send succeeded: a reconnect inside
+        // `send_raw` must not replay this very frame and then have the
+        // retry send it a second time.
+        self.outstanding.insert(corr, encoded);
         Ok(corr)
     }
 
@@ -1249,6 +1538,16 @@ impl ProtoClient {
             match decode_frame(&self.rbuf) {
                 Ok(Some((frame, used))) => {
                     self.rbuf.drain(..used);
+                    // A settled correlation must never be replayed on
+                    // reconnect — drop it from the outstanding set the
+                    // moment its ANSWER/ERR is decoded, regardless of
+                    // which helper the caller went through.
+                    if matches!(
+                        Opcode::from_u8(frame.opcode),
+                        Some(Opcode::Answer | Opcode::Err)
+                    ) {
+                        self.outstanding.remove(&frame.corr);
+                    }
                     return Ok(frame);
                 }
                 Ok(None) => {}
@@ -1256,14 +1555,23 @@ impl ProtoClient {
                     return Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
                 }
             }
-            let n = self.stream.read(&mut tmp)?;
-            if n == 0 {
-                return Err(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "server closed the connection",
-                ));
+            match self.stream.read(&mut tmp) {
+                Ok(0) => {
+                    let eof = io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    );
+                    self.reconnect(eof)?;
+                }
+                Ok(n) => self.rbuf.extend_from_slice(&tmp[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                // WouldBlock/TimedOut is the configured read timeout
+                // expiring: the connection is stalled. Every other error
+                // is a dead connection. Both funnel through the same
+                // bounded reconnect; when reconnection is off the error
+                // surfaces unchanged.
+                Err(e) => self.reconnect(e)?,
             }
-            self.rbuf.extend_from_slice(&tmp[..n]);
         }
     }
 

@@ -79,6 +79,7 @@
 
 use crate::cache::{goal_hypothesis, CachedAnswer, Probe, ShardCache};
 use crate::canon::{permute_relation, query_parts, QueryKey};
+use crate::persist::{PersistConfig, PersistLog, ReplayedRecord};
 use std::collections::BinaryHeap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -140,6 +141,14 @@ pub struct ServiceConfig {
     pub cache_capacity: usize,
     /// Re-verify every cache hit through the isomorphism machinery.
     pub verify_cache_hits: bool,
+    /// Persist definite answers to an append-only log and replay them on
+    /// startup (see [`crate::persist`]). `None` keeps the cache purely
+    /// in-memory. Replayed entries count toward
+    /// [`ServiceStats::warm_hits`] when hit; persistent write failure
+    /// degrades the log to read-only in-memory mode (counted in
+    /// [`ServiceStats::persist_errors`]) without affecting served
+    /// traffic.
+    pub persist: Option<PersistConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -154,6 +163,7 @@ impl Default for ServiceConfig {
             cache: true,
             cache_capacity: 4096,
             verify_cache_hits: false,
+            persist: None,
         }
     }
 }
@@ -266,6 +276,15 @@ pub struct ServiceStats {
     pub no: u64,
     /// Jobs answered `Unknown`.
     pub unknown: u64,
+    /// Cache hits served by an entry replayed from the persistence log —
+    /// the warm-restart signal (a subset of
+    /// [`ServiceStats::cache_hits`]).
+    pub warm_hits: u64,
+    /// Failed persistence-log appends (each one also healed the log back
+    /// to a record boundary; enough consecutive failures degrade the log
+    /// to read-only in-memory mode). Opening an unusable log at startup
+    /// counts one.
+    pub persist_errors: u64,
 }
 
 impl ServiceStats {
@@ -529,6 +548,8 @@ struct AtomicStats {
     yes: AtomicU64,
     no: AtomicU64,
     unknown: AtomicU64,
+    warm_hits: AtomicU64,
+    persist_errors: AtomicU64,
 }
 
 struct Core {
@@ -560,6 +581,9 @@ struct Core {
     /// Reset at the top of each `run_to_completion`.
     draining: std::sync::atomic::AtomicBool,
     stats: AtomicStats,
+    /// The open answer log (when [`ServiceConfig::persist`] is set and
+    /// the file opened); fresh definite answers append through it.
+    persist: Option<PersistLog>,
 }
 
 /// A cheap-to-clone handle onto the shared implication service. All
@@ -577,7 +601,18 @@ impl ImplicationClient {
         let nshards = cfg.shards.max(1);
         let fuel = cfg.global_fuel.unwrap_or(u64::MAX);
         let metered = cfg.global_fuel.is_some();
-        Self {
+        // Open the answer log (and recover its valid prefix) before the
+        // shards exist; an unopenable log counts one persist error and
+        // the service runs purely in-memory — startup never fails on a
+        // bad disk.
+        let (persist, replayed, open_failed) = match cfg.persist.as_ref().filter(|_| cfg.cache) {
+            None => (None, Vec::new(), false),
+            Some(pc) => match PersistLog::open(pc) {
+                Ok((log, records)) => (Some(log), records, false),
+                Err(_) => (None, Vec::new(), true),
+            },
+        };
+        let client = Self {
             core: Arc::new(Core {
                 shards: (0..nshards)
                     .map(|_| ShardCell {
@@ -595,8 +630,42 @@ impl ImplicationClient {
                 idle_cv: Condvar::new(),
                 draining: std::sync::atomic::AtomicBool::new(false),
                 stats: AtomicStats::default(),
+                persist,
                 cfg,
             }),
+        };
+        if open_failed {
+            client.core.stats.persist_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        client.replay_records(replayed);
+        client
+    }
+
+    /// Seeds the shard caches with records recovered from the answer log,
+    /// marking each entry warm. Records route through the same
+    /// key-hash-to-shard function live submissions use, so a later probe
+    /// finds them where it looks; the witness relation is rebuilt from
+    /// the canonical encoding (see [`QueryKey::witness_relation`]) so
+    /// replayed entries pass verified-hit checks. A record whose witness
+    /// can't be rebuilt is dropped (a checksum collision, in practice
+    /// unreachable); duplicates (the log is append-only across runs)
+    /// insert once. The cache bound is enforced as replay goes, exactly
+    /// like live inserts.
+    fn replay_records(&self, records: Vec<ReplayedRecord>) {
+        let nshards = self.core.shards.len();
+        for rec in records {
+            let Some(witness) = rec.key.witness_relation() else {
+                continue;
+            };
+            let idx = shard_of(&rec.key, nshards);
+            let mut shard = self.lock_shard(idx);
+            if let Some(interned) = shard
+                .cache
+                .insert_warm(rec.key, rec.answer, witness, rec.cost)
+            {
+                self.core.cached_total.fetch_add(1, Ordering::Relaxed);
+                self.core.enforce_cache_bound(&mut shard, Some(&interned));
+            }
         }
     }
 
@@ -636,6 +705,8 @@ impl ImplicationClient {
             yes: ld(&s.yes),
             no: ld(&s.no),
             unknown: ld(&s.unknown),
+            warm_hits: ld(&s.warm_hits),
+            persist_errors: ld(&s.persist_errors),
         }
     }
 
@@ -755,8 +826,11 @@ impl ImplicationClient {
         let mut shard = self.lock_shard(shard_idx);
         if let Some(k) = &key {
             match shard.cache.probe(k, witness.as_ref()) {
-                Probe::Hit(answer) => {
+                Probe::Hit { answer, warm } => {
                     core.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    if warm {
+                        core.stats.warm_hits.fetch_add(1, Ordering::Relaxed);
+                    }
                     let outcome = JobOutcome {
                         implication: answer.implication,
                         finite_implication: answer.finite_implication,
@@ -1376,6 +1450,38 @@ impl ImplicationClient {
         self.notify_shard(id.shard as usize);
     }
 
+    /// Cancels every job still in flight (running, claimed, or
+    /// coalesced-waiting) and returns how many were asked to stop. Each
+    /// cancellation goes through the same path [`JobHandle::cancel`]
+    /// uses, so waiter sweeps, detached keep-alives, and idempotence all
+    /// hold; a subsequent [`run_to_completion`](Self::run_to_completion)
+    /// then lands the stragglers within one fuel slice each. This is the
+    /// drain-deadline backstop for shutdown paths: answer what finished,
+    /// cancel the rest, never hang.
+    pub fn cancel_pending(&self) -> usize {
+        let mut ids = Vec::new();
+        for (sidx, cell) in self.core.shards.iter().enumerate() {
+            let shard = cell.shard.lock().expect("shard lock");
+            for (slot, s) in shard.slots.iter().enumerate() {
+                if matches!(
+                    s.state,
+                    JobState::Running(_) | JobState::Stepping | JobState::Waiting { .. }
+                ) {
+                    ids.push(JobId {
+                        shard: sidx as u32,
+                        slot: slot as u32,
+                        generation: s.generation,
+                    });
+                }
+            }
+        }
+        let n = ids.len();
+        for id in ids {
+            self.cancel(id);
+        }
+        n
+    }
+
     /// Resolves a cancelled leader's non-detached waiters `Cancelled`,
     /// keeping the detached ones on the list. Returns `true` if any
     /// detached waiter remains to keep the computation alive.
@@ -1571,6 +1677,17 @@ impl Core {
                 if let Some(interned) = shard.cache.insert(k, answer, g, outcome.fuel_spent) {
                     self.cached_total.fetch_add(1, Ordering::Relaxed);
                     self.enforce_cache_bound(shard, Some(&interned));
+                    // Persist the definite answer as it enters the cache
+                    // (the log mirrors the insert path exactly, so
+                    // Unknown/Cancelled/Expired can never reach disk). A
+                    // failed append counts an error; the log itself
+                    // degrades after repeated failures and traffic is
+                    // never affected.
+                    if let Some(log) = &self.persist {
+                        if !log.append(&interned, answer, outcome.fuel_spent) {
+                            self.stats.persist_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
                 }
             } else {
                 shard.cache.clear_inflight(&k);
