@@ -455,6 +455,91 @@ fn measure_divergent_mix(
     }
 }
 
+/// Runs the divergent-mix workload (dovetail 1:1) with telemetry on or
+/// off; returns both answer vectors in submission order.
+fn run_telemetry_mix(
+    fg: Vec<Query>,
+    divergent: Vec<Query>,
+    metrics: bool,
+) -> (Vec<Answer>, Vec<Answer>) {
+    let client = ImplicationClient::new(ServiceConfig {
+        decide: divergent_mix_cfg(DecideMode::dovetail(1)),
+        metrics,
+        ..ServiceConfig::default()
+    });
+    let fg_jobs: Vec<JobHandle> = fg
+        .into_iter()
+        .map(|(s, g, p)| client.submit(QuerySpec::new(s, g, p)))
+        .collect();
+    let div_jobs: Vec<JobHandle> = divergent
+        .into_iter()
+        .map(|(s, g, p)| client.submit(QuerySpec::new(s, g, p).fuel_cap(MIX_FUEL_CAP)))
+        .collect();
+    client.run_to_completion();
+    if metrics {
+        // The record path must actually have recorded: one latency
+        // sample per submission, or the "overhead" being measured is a
+        // disabled no-op.
+        let t = client.telemetry_snapshot();
+        assert_eq!(
+            t.latency_count(),
+            client.stats().submitted,
+            "telemetry must record one latency sample per submission"
+        );
+    }
+    (
+        fg_jobs.iter().map(answer_of).collect(),
+        div_jobs.iter().map(answer_of).collect(),
+    )
+}
+
+/// Telemetry overhead: the identical divergent-mix workload with
+/// `ServiceConfig::metrics` on / off / on again (columns in that
+/// order). Answers must agree exactly across all three runs, and when
+/// `assert_overhead` is set (the full suite; smoke samples are too
+/// noisy) the faster metrics-on median must stay within 5% of the
+/// metrics-off median — the histogram record path is three relaxed
+/// `fetch_add`s plus two `Instant` reads per landing, and this is the
+/// regression net that keeps it that way.
+fn measure_telemetry_overhead(
+    distinct: usize,
+    renamings: usize,
+    divergent: usize,
+    samples: usize,
+    assert_overhead: bool,
+) -> Record {
+    let make = || {
+        let fg = service_batch_workload(distinct, renamings, 4242);
+        let dv: Vec<Query> = (0..divergent).map(divergent_service_query).collect();
+        (fg, dv)
+    };
+    let (on_ns, (on_fg, on_div)) =
+        time(samples, &make, |(fg, dv)| run_telemetry_mix(fg, dv, true));
+    let (off_ns, (off_fg, off_div)) =
+        time(samples, &make, |(fg, dv)| run_telemetry_mix(fg, dv, false));
+    let (on2_ns, (on2_fg, on2_div)) =
+        time(samples, &make, |(fg, dv)| run_telemetry_mix(fg, dv, true));
+    assert_eq!(on_fg, off_fg, "telemetry must not change foreground answers");
+    assert_eq!(on_div, off_div, "telemetry must not change divergent answers");
+    assert_eq!(on_fg, on2_fg, "metrics-on reruns must agree");
+    assert_eq!(on_div, on2_div, "metrics-on reruns must agree");
+    if assert_overhead {
+        let best_on = on_ns.min(on2_ns);
+        assert!(
+            best_on <= off_ns + off_ns / 20,
+            "telemetry overhead above 5%: on={on_ns}ns on2={on2_ns}ns off={off_ns}ns"
+        );
+    }
+    Record {
+        workload: format!("service_telemetry_overhead/d{distinct}xr{renamings}+dv{divergent}"),
+        naive_ns: on_ns,
+        semi_ns: off_ns,
+        parallel_ns: on2_ns,
+        rows: on_fg.len() + on_div.len(),
+        rounds: divergent,
+    }
+}
+
 /// Fuel cap for the skew scenario's divergent ballast jobs: enough
 /// slices that the hot shard's queue stays deep for the whole run (so
 /// idle workers reliably wake and steal), small enough to finish fast.
@@ -858,6 +943,7 @@ fn main() {
             measure_service_batch(2, 3, 1),
             measure_multi_submit(2, 3, 4, 2, 1),
             measure_divergent_mix(2, 2, 3, 1),
+            measure_telemetry_overhead(2, 2, 3, 1, false),
             measure_skewed_steal(6, 2, 1, false),
             measure_socket_stream(3, 4, 2, 1, false),
             measure_service_warm_restart(3, 2, 1),
@@ -898,6 +984,7 @@ fn main() {
             measure_multi_submit(4, 6, 24, 2, 3),
             measure_multi_submit(6, 10, 32, 4, 3),
             measure_divergent_mix(3, 4, 6, 3),
+            measure_telemetry_overhead(3, 4, 6, 3, true),
             measure_skewed_steal(24, 4, 3, true),
             measure_socket_stream(5, 10, 4, 3, true),
             measure_service_warm_restart(6, 4, 3),

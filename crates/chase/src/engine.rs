@@ -350,6 +350,9 @@ pub struct ChaseTask {
     /// Scratch buffer for oblivious trigger keys.
     key_buf: Vec<Value>,
     rounds: usize,
+    /// Equality merges applied so far (the egd half of `steps`); kept as
+    /// its own counter so profilers read it without scanning the trace.
+    merges: usize,
     done: Option<ChaseOutcome>,
     /// Checked at round granularity; tripping it finishes the task with
     /// [`ChaseOutcome::Cancelled`].
@@ -436,6 +439,7 @@ impl ChaseTask {
             seen,
             key_buf: Vec::new(),
             rounds: 0,
+            merges: 0,
             done: None,
             cancel: CancelToken::new(),
         }
@@ -503,6 +507,11 @@ impl ChaseTask {
     /// Rows in the instance right now.
     pub fn instance_rows(&self) -> usize {
         self.inst.len()
+    }
+
+    /// Equality merges applied so far.
+    pub fn merges(&self) -> usize {
+        self.merges
     }
 
     /// The task's value pool (evolves as fresh nulls are minted).
@@ -615,6 +624,7 @@ impl ChaseTask {
                         kind: StepKind::Merge { kept, gone },
                     });
                     self.steps += 1;
+                    self.merges += 1;
                     if self.steps >= self.cfg.max_steps {
                         return ControlFlow::Break(ChaseOutcome::Exhausted);
                     }

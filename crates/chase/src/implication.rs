@@ -151,6 +151,61 @@ pub enum DecideStatus {
     Done(Answer),
 }
 
+/// Coarse phase of a [`DecideTask`], as reported by
+/// [`DecideTask::progress_snapshot`]. The names are stable: they ride
+/// wire-protocol `PROGRESS` frames and metrics labels.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum TaskPhase {
+    /// Running the chase alone (the r.e. procedure for `Σ ⊨ σ`).
+    #[default]
+    Chase,
+    /// Running finite-model search alone (the r.e. procedure for
+    /// `Σ ⊭_f σ`).
+    Search,
+    /// Both procedures live, fuel alternating between them.
+    Dovetail,
+    /// Finished; the decision is in.
+    Done,
+}
+
+impl TaskPhase {
+    /// Stable lowercase name (used as a wire/metrics label).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TaskPhase::Chase => "chase",
+            TaskPhase::Search => "search",
+            TaskPhase::Dovetail => "dovetail",
+            TaskPhase::Done => "done",
+        }
+    }
+}
+
+/// A point-in-time profile of a [`DecideTask`]: which procedure is
+/// running and how much work each has done. Every field is a plain
+/// counter read — sampling one per fuel slice costs no allocation and
+/// no locking, so schedulers can attribute fuel per phase cheaply.
+///
+/// Counters are cumulative and never decrease over the task's life;
+/// after a phase transition the finished procedure's last readings are
+/// retained (not reset).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ProgressSnapshot {
+    /// Which procedure(s) the task is running right now.
+    pub phase: TaskPhase,
+    /// Fuel units (chase rounds + search attempts) consumed so far.
+    pub fuel_spent: u64,
+    /// Breadth-first chase rounds executed.
+    pub chase_rounds: u64,
+    /// Chase steps applied (row adds + equality merges).
+    pub chase_steps: u64,
+    /// Equality merges applied by the chase (the egd share of steps).
+    pub chase_merges: u64,
+    /// Rows in the chase instance (its final size once the chase ended).
+    pub instance_rows: u64,
+    /// Finite-model search attempts completed.
+    pub search_attempts: u64,
+}
+
 /// Progress phase of a [`DecideTask`].
 enum DecidePhase {
     /// Running the chase alone (the r.e. procedure for `Σ ⊨ σ`): the
@@ -209,6 +264,12 @@ pub struct DecideTask {
     /// later chase exhaustion must conclude `Unknown` instead of starting
     /// a second search.
     search_exhausted: bool,
+    /// Last readings of sub-task counters, frozen at each phase
+    /// transition (transitions consume the sub-tasks, so
+    /// [`DecideTask::progress_snapshot`] falls back to these once a
+    /// procedure is gone). The `phase`/`fuel_spent` fields are
+    /// overwritten at snapshot time.
+    mirror: ProgressSnapshot,
 }
 
 impl DecideTask {
@@ -265,6 +326,7 @@ impl DecideTask {
             fuel_spent: 0,
             cancel,
             search_exhausted: false,
+            mirror: ProgressSnapshot::default(),
         }
     }
 
@@ -378,6 +440,50 @@ impl DecideTask {
         self.fuel_spent
     }
 
+    /// A cheap point-in-time profile: current phase plus cumulative
+    /// per-procedure counters (see [`ProgressSnapshot`]). O(1) field
+    /// reads; intended to be sampled once per fuel slice.
+    pub fn progress_snapshot(&self) -> ProgressSnapshot {
+        let mut snap = self.mirror;
+        snap.fuel_spent = self.fuel_spent;
+        match &self.phase {
+            DecidePhase::Chasing(task) => {
+                snap.phase = TaskPhase::Chase;
+                Self::read_chase(&mut snap, task);
+            }
+            DecidePhase::Searching { task, .. } => {
+                snap.phase = TaskPhase::Search;
+                snap.search_attempts = task.attempts_done();
+            }
+            DecidePhase::Dovetailing { chase, search, .. } => {
+                snap.phase = TaskPhase::Dovetail;
+                Self::read_chase(&mut snap, chase);
+                snap.search_attempts = search.attempts_done();
+            }
+            DecidePhase::Done(..) | DecidePhase::Poisoned => snap.phase = TaskPhase::Done,
+        }
+        snap
+    }
+
+    fn read_chase(snap: &mut ProgressSnapshot, task: &ChaseTask) {
+        snap.chase_rounds = task.rounds() as u64;
+        snap.chase_steps = task.steps_applied() as u64;
+        snap.chase_merges = task.merges() as u64;
+        snap.instance_rows = task.instance_rows() as u64;
+    }
+
+    /// Freezes the chase counters into the mirror before the sub-task is
+    /// consumed by a phase transition.
+    fn mirror_chase(&mut self, task: &ChaseTask) {
+        Self::read_chase(&mut self.mirror, task);
+    }
+
+    /// Freezes the search counter into the mirror before the sub-task is
+    /// consumed by a phase transition.
+    fn mirror_search(&mut self, task: &SearchTask) {
+        self.mirror.search_attempts = task.attempts_done();
+    }
+
     /// Extracts the decision and the evolved pool.
     ///
     /// # Panics
@@ -396,6 +502,7 @@ impl DecideTask {
         else {
             unreachable!("leave_chase outside the chase phase");
         };
+        self.mirror_chase(&task);
         let (run, pool) = task.finish();
         self.phase = match outcome {
             ChaseOutcome::Implied => DecidePhase::Done(
@@ -476,6 +583,7 @@ impl DecideTask {
         else {
             unreachable!("leave_search outside the search phase");
         };
+        self.mirror_search(&task);
         let cancelled = task.was_cancelled();
         let (found, pool) = task.finish();
         let decision = match found {
@@ -505,6 +613,8 @@ impl DecideTask {
         else {
             unreachable!("leave_dovetail_chase outside the dovetail phase");
         };
+        self.mirror_chase(&chase);
+        self.mirror_search(&search);
         match outcome {
             ChaseOutcome::Exhausted => {
                 // The chase budget is spent but the search still has
@@ -536,6 +646,8 @@ impl DecideTask {
         else {
             unreachable!("leave_dovetail_search outside the dovetail phase");
         };
+        self.mirror_chase(&chase);
+        self.mirror_search(&search);
         let cancelled = search.was_cancelled();
         let (witness, search_pool) = search.finish();
         if found {

@@ -47,7 +47,7 @@ pub use engine::{
 };
 pub use implication::{
     decide, decide_dependencies, Answer, DecideConfig, DecideMode, DecideStatus, DecideTask,
-    Decision, MultiDecision,
+    Decision, MultiDecision, ProgressSnapshot, TaskPhase,
 };
 pub use instance::ChaseInstance;
 pub use termination::{dependency_graph, weakly_acyclic, Edge};

@@ -16,7 +16,13 @@
 //!               [--shards N] [--cache-cap N] [--no-cache] [--verify-hits]
 //!               [--mode sequential|dovetail[:RATIO]] [--steal on|off]
 //!               [--drain-sweeps N] [--quick] [--stats] [--log PATH]
+//!               [--metrics PATH]
 //! ```
+//!
+//! `--metrics PATH` keeps a Prometheus-style text exposition at `PATH`
+//! while the batch drains (rewritten atomically as answers land, plus a
+//! final snapshot with the ledger); see `crates/service/README.md` for
+//! the format.
 //!
 //! `--log PATH` opens (or warm-starts from) the append-only answer log:
 //! definite answers from this run persist, and a later run over the
@@ -50,7 +56,8 @@
 use std::io::Read;
 use typedtd_chase::{Answer, ChaseConfig, DecideConfig, DecideMode};
 use typedtd_service::{
-    parse_decide_mode, stats_line, submit_batch, ImplicationClient, PersistConfig, ServiceConfig,
+    parse_decide_mode, stats_line, submit_batch, write_atomic, ImplicationClient, PersistConfig,
+    ServiceConfig,
 };
 
 fn answer_str(a: Answer) -> &'static str {
@@ -66,7 +73,7 @@ fn usage() -> ! {
         "usage: typedtd-serve <QUERIES.tdq | -> [--slice N] [--global-fuel N] \
          [--workers N] [--shards N] [--cache-cap N] [--no-cache] [--verify-hits] \
          [--mode sequential|dovetail[:RATIO]] [--steal on|off] [--drain-sweeps N] \
-         [--quick] [--stats] [--log PATH]"
+         [--quick] [--stats] [--log PATH] [--metrics PATH]"
     );
     std::process::exit(2);
 }
@@ -77,6 +84,7 @@ fn main() {
     let mut show_stats = false;
     let mut mode: Option<DecideMode> = None;
     let mut drain_sweeps: Option<usize> = None;
+    let mut metrics_path: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -129,6 +137,13 @@ fn main() {
                     chase: ChaseConfig::quick(),
                     ..DecideConfig::default()
                 }
+            }
+            "--metrics" => {
+                metrics_path = Some(
+                    args.next()
+                        .map(std::path::PathBuf::from)
+                        .unwrap_or_else(|| usage()),
+                )
             }
             "--stats" => show_stats = true,
             _ if input.is_none() && !arg.starts_with("--") => input = Some(arg),
@@ -224,11 +239,25 @@ fn main() {
             if completed != last_completed {
                 last_completed = completed;
                 report_ready(&mut reported);
+                // Metrics writes piggyback on the same completion edge:
+                // no extra polling, and an idle drain writes nothing.
+                if let Some(path) = &metrics_path {
+                    if let Err(e) = write_atomic(path, &client.metrics_text()) {
+                        eprintln!("typedtd-serve: metrics write failed: {e}");
+                    }
+                }
             }
             std::thread::sleep(std::time::Duration::from_micros(200));
         }
         report_ready(&mut reported);
     });
+    if let Some(path) = &metrics_path {
+        // Final snapshot alongside the ledger, so the exposition counts
+        // the whole batch even when the loop above missed the last edge.
+        if let Err(e) = write_atomic(path, &client.metrics_text()) {
+            eprintln!("typedtd-serve: metrics write failed: {e}");
+        }
+    }
 
     // The deterministic shutdown ledger: always printed, always last —
     // `submitted == answered + unknown + cancelled` once the batch has

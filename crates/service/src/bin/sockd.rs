@@ -14,7 +14,7 @@
 //!               [--cache-cap N] [--no-cache] [--verify-hits]
 //!               [--mode sequential|dovetail[:RATIO]] [--steal on|off]
 //!               [--quick] [--stats] [--log PATH] [--max-inflight N]
-//!               [--drain-sweeps N]
+//!               [--drain-sweeps N] [--metrics PATH]
 //! ```
 //!
 //! With neither `--tcp` nor `--unix`, listens on `127.0.0.1:0` (an
@@ -30,12 +30,24 @@
 //! serves them as warm cache hits with zero fresh chase fuel.
 //! `--max-inflight N` sheds submissions beyond N in-flight jobs with
 //! `ERR_BUSY` instead of queueing without bound.
+//!
+//! `--metrics PATH` keeps a Prometheus-style text exposition at `PATH`
+//! while the server runs: counters, gauges (in-flight, cache entries,
+//! per-shard queue depth), and the latency/queue-wait/run-time/fuel
+//! histograms (see `crates/service/README.md` for the format). The file
+//! is rewritten atomically (temp + rename) whenever the scheduler has
+//! swept since the last write, and one final time after shutdown drain,
+//! so a scrape never sees a torn snapshot.
 
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 use typedtd_chase::{ChaseConfig, DecideConfig, DecideMode};
 use typedtd_service::proto::SockdConfig;
 use typedtd_service::{
-    parse_decide_mode, stats_line, PersistConfig, ProtoServer, ServiceConfig,
+    parse_decide_mode, stats_line, write_atomic, ImplicationClient, PersistConfig, ProtoServer,
+    ServiceConfig,
 };
 
 fn usage() -> ! {
@@ -43,9 +55,27 @@ fn usage() -> ! {
         "usage: typedtd-sockd [--tcp HOST:PORT] [--unix PATH] [--drivers N] [--slice N] \
          [--global-fuel N] [--shards N] [--cache-cap N] [--no-cache] [--verify-hits] \
          [--mode sequential|dovetail[:RATIO]] [--steal on|off] [--quick] [--stats] \
-         [--log PATH] [--max-inflight N] [--drain-sweeps N]"
+         [--log PATH] [--max-inflight N] [--drain-sweeps N] [--metrics PATH]"
     );
     std::process::exit(2);
+}
+
+/// Periodically rewrites the metrics exposition until `stop` is set.
+/// Writes only when the sweep counter moved (an idle server costs no
+/// disk churn beyond the poll); write errors are reported once per
+/// change, never fatal — metrics must not take the service down.
+fn metrics_writer(client: &ImplicationClient, path: &std::path::Path, stop: &AtomicBool) {
+    let mut last_sweeps = u64::MAX; // force an initial write
+    while !stop.load(Ordering::Relaxed) {
+        let sweeps = client.stats().sweeps;
+        if sweeps != last_sweeps {
+            last_sweeps = sweeps;
+            if let Err(e) = write_atomic(path, &client.metrics_text()) {
+                eprintln!("typedtd-sockd: metrics write failed: {e}");
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
 }
 
 fn main() {
@@ -57,6 +87,7 @@ fn main() {
     let mut show_stats = false;
     let mut max_inflight: Option<usize> = None;
     let mut drain_sweeps = 64usize;
+    let mut metrics_path: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -109,6 +140,9 @@ fn main() {
                 drain_sweeps =
                     args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
             }
+            "--metrics" => {
+                metrics_path = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())))
+            }
             "--quick" => {
                 cfg.decide = DecideConfig {
                     chase: ChaseConfig::quick(),
@@ -148,8 +182,24 @@ fn main() {
         println!("typedtd-sockd: listening unix={}", path.display());
     }
     let client = server.client().clone();
-    let shed = server.shed_counter();
+    let stop_metrics = Arc::new(AtomicBool::new(false));
+    let writer = metrics_path.clone().map(|path| {
+        let client = client.clone();
+        let stop = Arc::clone(&stop_metrics);
+        std::thread::spawn(move || metrics_writer(&client, &path, &stop))
+    });
     server.join();
+    stop_metrics.store(true, Ordering::Relaxed);
+    if let Some(t) = writer {
+        let _ = t.join();
+    }
+    if let Some(path) = &metrics_path {
+        // Final snapshot after the drain, so the file agrees with the
+        // ledger even for jobs that only landed during shutdown.
+        if let Err(e) = write_atomic(path, &client.metrics_text()) {
+            eprintln!("typedtd-sockd: metrics write failed: {e}");
+        }
+    }
     let s = client.stats();
     eprintln!(
         "typedtd-sockd: done submitted={} answered={} unknown={} cancelled={} expired={} \
@@ -160,7 +210,7 @@ fn main() {
         s.cancelled,
         s.expired,
         s.warm_hits,
-        shed.load(std::sync::atomic::Ordering::Relaxed),
+        s.shed,
     );
     if show_stats {
         eprintln!("{}", stats_line(&client));

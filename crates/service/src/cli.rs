@@ -19,14 +19,16 @@ pub fn parse_decide_mode(text: &str) -> Option<DecideMode> {
 }
 
 /// The `--stats` ledger both front ends print: every [`crate::ServiceStats`]
-/// counter plus the live cache size, `key=value` separated by spaces.
+/// counter plus the live cache size and in-flight gauge, `key=value`
+/// separated by spaces. `inflight` is 0 after a full drain — the
+/// shutdown tests assert exactly that.
 pub fn stats_line(client: &ImplicationClient) -> String {
     let s = client.stats();
     format!(
         "jobs={} completed={} yes={} no={} unknown={} cache_hits={} goal_in_sigma={} \
          coalesced={} misses={} hit_rate={:.2} evictions={} expired={} cancelled={} \
-         retired={} fuel={} sweeps={} steals={} parked={} warm_hits={} persist_errors={} \
-         cached_queries={}",
+         retired={} shed={} fuel={} sweeps={} steals={} parked={} warm_hits={} \
+         persist_errors={} cached_queries={} inflight={}",
         s.submitted,
         s.completed,
         s.yes,
@@ -41,6 +43,7 @@ pub fn stats_line(client: &ImplicationClient) -> String {
         s.expired,
         s.cancelled,
         s.retired,
+        s.shed,
         s.fuel_spent,
         s.sweeps,
         s.steals,
@@ -48,5 +51,6 @@ pub fn stats_line(client: &ImplicationClient) -> String {
         s.warm_hits,
         s.persist_errors,
         client.cache_len(),
+        client.pending_jobs(),
     )
 }

@@ -71,6 +71,7 @@ pub mod cli;
 pub mod persist;
 pub mod proto;
 pub mod service;
+pub mod telemetry;
 
 pub use batch::{
     parse_query_line, parse_universe_spec, submit_batch, Batch, BatchError, BatchQuery,
@@ -82,11 +83,15 @@ pub use persist::{
     replay_bytes, replay_log, FaultPlan, PersistConfig, PersistLog, Replay, ReplayedRecord,
 };
 pub use proto::{
-    decode_frame, ClientConfig, Frame, FrameError, Opcode, ProgressKind, ProtoClient,
-    ProtoServer, ProtoStream, SockdConfig, SubmitPayload, WireAnswer, MAX_FRAME_LEN,
-    PROTO_VERSION,
+    decode_frame, parse_running_text, parse_stats_text, ClientConfig, Frame, FrameError, Opcode,
+    ProgressKind, ProtoClient, ProtoServer, ProtoStream, RunningUpdate, SockdConfig,
+    SubmitPayload, WireAnswer, MAX_FRAME_LEN, PROTO_VERSION,
 };
 pub use canon::{dep_key, permute_relation, query_key, query_parts, QueryKey, QueryParts};
+pub use telemetry::{
+    bucket_index, bucket_upper_bound, write_atomic, Exposition, Histogram, HistogramSnapshot,
+    OutcomeKind, Telemetry, TelemetrySnapshot, HIST_BUCKETS,
+};
 pub use service::{
     ImplicationClient, JobHandle, JobId, JobOutcome, JobStatus, QuerySpec, ServiceConfig,
     ServiceStats, ShardStep,

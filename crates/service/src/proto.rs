@@ -28,7 +28,10 @@
 //!
 //! Requests: [`Opcode::Submit`], [`Opcode::Cancel`], [`Opcode::Detach`],
 //! [`Opcode::Stats`], [`Opcode::Shutdown`]. Responses:
-//! [`Opcode::Answer`], [`Opcode::Progress`], [`Opcode::Err`]. See
+//! [`Opcode::Answer`], [`Opcode::Progress`], [`Opcode::Err`]. A `SUBMIT`
+//! may set a progress flag ([`SubmitPayload::progress`]) to opt its
+//! correlation into live [`ProgressKind::Running`] frames while the job
+//! computes (fuel-monotone; see [`RunningUpdate`]). See
 //! `crates/service/README.md` for the full specification (payload
 //! layouts, version negotiation, error codes).
 //!
@@ -58,8 +61,8 @@ use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
-use typedtd_chase::Answer;
+use std::time::{Duration, Instant};
+use typedtd_chase::{Answer, TaskPhase};
 use typedtd_relational::ValuePool;
 
 /// The protocol version this build speaks (and stamps on every frame).
@@ -259,20 +262,31 @@ pub struct SubmitPayload {
     pub universe: String,
     /// Query: `SIGMA |= GOAL` (Σ entries separated by `&`).
     pub query: String,
+    /// Opt this correlation into periodic `PROGRESS`/`Running` frames
+    /// while the job computes (wire: trailing flags byte, bit 0).
+    pub progress: bool,
 }
+
+/// `SUBMIT` flags byte, bit 0: stream `PROGRESS`/`Running` frames.
+const SUBMIT_FLAG_PROGRESS: u8 = 1;
 
 impl SubmitPayload {
     /// Encodes the payload: `u64 fuel_cap (0 = none) · u32 ulen ·
-    /// universe · u32 qlen · query`.
+    /// universe · u32 qlen · query [· u8 flags]`. The flags byte is only
+    /// emitted when a flag is set, so a v1 submission is byte-identical
+    /// to what a v1 client sends.
     pub fn encode(&self) -> Vec<u8> {
         let u = self.universe.as_bytes();
         let q = self.query.as_bytes();
-        let mut out = Vec::with_capacity(16 + u.len() + q.len());
+        let mut out = Vec::with_capacity(17 + u.len() + q.len());
         out.extend_from_slice(&self.fuel_cap.unwrap_or(0).to_le_bytes());
         out.extend_from_slice(&(u.len() as u32).to_le_bytes());
         out.extend_from_slice(u);
         out.extend_from_slice(&(q.len() as u32).to_le_bytes());
         out.extend_from_slice(q);
+        if self.progress {
+            out.push(SUBMIT_FLAG_PROGRESS);
+        }
         out
     }
 
@@ -299,13 +313,25 @@ impl SubmitPayload {
         let qlen = u32::from_le_bytes(take(&mut at, 4)?.try_into().expect("4 bytes")) as usize;
         let query = String::from_utf8(take(&mut at, qlen)?.to_vec())
             .map_err(|_| "query is not UTF-8".to_string())?;
+        // An optional single flags byte may follow. It must be nonzero
+        // (a flagless submission omits the byte entirely) and must not
+        // set unknown bits, so garbage tails keep failing decode.
+        let mut progress = false;
         if at != bytes.len() {
-            return Err(format!("submit payload has {} trailing bytes", bytes.len() - at));
+            if bytes.len() - at > 1 {
+                return Err(format!("submit payload has {} trailing bytes", bytes.len() - at));
+            }
+            let flags = bytes[at];
+            if flags == 0 || flags & !SUBMIT_FLAG_PROGRESS != 0 {
+                return Err(format!("bad submit flags byte {flags:#04x}"));
+            }
+            progress = flags & SUBMIT_FLAG_PROGRESS != 0;
         }
         Ok(Self {
             fuel_cap: (fuel != 0).then_some(fuel),
             universe,
             query,
+            progress,
         })
     }
 }
@@ -404,6 +430,11 @@ pub enum ProgressKind {
     /// Reply to `SHUTDOWN`: the server is going down and this connection
     /// closes after the frame.
     Bye = 2,
+    /// Mid-computation progress for a `SUBMIT` that set the progress
+    /// flag: `text` is `key=value` pairs (parse with
+    /// [`parse_running_text`]). Sent only while the job still computes;
+    /// the `ANSWER` follows as usual.
+    Running = 3,
 }
 
 impl ProgressKind {
@@ -413,9 +444,67 @@ impl ProgressKind {
             0 => Self::Accepted,
             1 => Self::Stats,
             2 => Self::Bye,
+            3 => Self::Running,
             _ => return None,
         })
     }
+}
+
+/// A decoded `PROGRESS`/`Running` frame: the aggregate
+/// [`ProgressSnapshot`](typedtd_chase::ProgressSnapshot) of a streaming
+/// submission's parts, as of the latest fuel slice.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct RunningUpdate {
+    /// Phase of the part that most recently ran (`chase` / `search` /
+    /// `dovetail` / `done`).
+    pub phase: String,
+    /// Total fuel spent across the submission's parts so far. Strictly
+    /// increases between consecutive `Running` frames of one
+    /// correlation.
+    pub fuel: u64,
+    /// Chase rounds completed, summed over parts.
+    pub rounds: u64,
+    /// Chase steps (td applications + merges), summed over parts.
+    pub steps: u64,
+    /// Equality merges applied, summed over parts.
+    pub merges: u64,
+    /// Chase-instance rows, summed over parts.
+    pub rows: u64,
+    /// Finite-model search attempts, summed over parts.
+    pub attempts: u64,
+    /// Goal parts this submission fans out to.
+    pub parts: u64,
+    /// Parts still unresolved when the frame was cut.
+    pub pending: u64,
+}
+
+/// Parses a `PROGRESS`/`Running` text body into a [`RunningUpdate`].
+/// Unknown keys are ignored and missing keys default to zero/empty, so
+/// the format can grow fields compatibly.
+pub fn parse_running_text(text: &str) -> RunningUpdate {
+    let mut up = RunningUpdate::default();
+    for kv in text.split_whitespace() {
+        let Some((k, v)) = kv.split_once('=') else {
+            continue;
+        };
+        if k == "phase" {
+            up.phase = v.to_string();
+            continue;
+        }
+        let Ok(n) = v.parse::<u64>() else { continue };
+        match k {
+            "fuel" => up.fuel = n,
+            "rounds" => up.rounds = n,
+            "steps" => up.steps = n,
+            "merges" => up.merges = n,
+            "rows" => up.rows = n,
+            "attempts" => up.attempts = n,
+            "parts" => up.parts = n,
+            "pending" => up.pending = n,
+            _ => {}
+        }
+    }
+    up
 }
 
 fn progress_frame(corr: u64, kind: ProgressKind, text: &str) -> Frame {
@@ -561,10 +650,6 @@ struct ServerCore {
     accepted: AtomicU64,
     /// Overload bound (see [`SockdConfig::max_inflight`]).
     max_inflight: Option<usize>,
-    /// Submissions shed at the overload bound, server-wide. Shared as an
-    /// `Arc` so the `typedtd-sockd` binary can still read it for the
-    /// final ledger after [`ProtoServer::join`] consumed the server.
-    shed: Arc<AtomicU64>,
     /// Shutdown drain budget (see [`SockdConfig::drain_sweeps`]).
     drain_sweeps: usize,
 }
@@ -602,7 +687,6 @@ impl ProtoServer {
             shutdown: AtomicBool::new(false),
             accepted: AtomicU64::new(0),
             max_inflight: cfg.max_inflight,
-            shed: Arc::new(AtomicU64::new(0)),
             drain_sweeps: cfg.drain_sweeps,
         });
         let conn_threads = Arc::new(Mutex::new(Vec::new()));
@@ -671,14 +755,6 @@ impl ProtoServer {
     /// cache length, pending jobs).
     pub fn client(&self) -> &ImplicationClient {
         &self.core.client
-    }
-
-    /// The server-wide shed counter (submissions rejected at the
-    /// `max_inflight` bound). The `Arc` stays readable after
-    /// [`ProtoServer::join`] consumes the server — the `typedtd-sockd`
-    /// binary reads it for the final ledger line.
-    pub fn shed_counter(&self) -> Arc<AtomicU64> {
-        Arc::clone(&self.core.shed)
     }
 
     /// Trips the shutdown flag (as a client `SHUTDOWN` frame would).
@@ -796,10 +872,16 @@ fn driver_loop(core: &ServerCore) {
 }
 
 /// One submission in flight on a connection: the jobs of its normalized
-/// goal parts plus the detach mark.
+/// goal parts plus the detach mark and progress-streaming state.
 struct PendingEntry {
     jobs: Vec<JobHandle>,
     detached: bool,
+    /// The `SUBMIT` set the progress flag: stream `Running` frames.
+    progress: bool,
+    /// Aggregate fuel reported in the last `Running` frame. Frames are
+    /// emitted only on a strict increase, so the stream is fuel-monotone
+    /// and an idle (queued, coalesced, or cache-racing) job stays quiet.
+    last_fuel: u64,
 }
 
 #[derive(Default)]
@@ -871,6 +953,7 @@ fn serve_conn(core: &ServerCore, mut stream: ProtoStream) {
     let mut counters = ConnCounters::default();
     let mut out: Vec<u8> = Vec::new();
     let mut helping = false;
+    let mut last_progress = Instant::now();
     'conn: loop {
         if core.shutdown.load(Ordering::Relaxed) {
             break;
@@ -936,6 +1019,10 @@ fn serve_conn(core: &ServerCore, mut stream: ProtoStream) {
         }
         if !pending.is_empty() {
             core.client.tick();
+        }
+        if last_progress.elapsed() >= PROGRESS_INTERVAL {
+            last_progress = Instant::now();
+            pump_progress(&mut pending, &mut out);
         }
         pump_answers(&mut pending, &mut order, &mut counters, &mut out);
         if !out.is_empty() {
@@ -1004,7 +1091,7 @@ fn handle_frame(
             // with frames that would be shed anyway.
             if let Some(max) = core.max_inflight {
                 if core.client.pending_jobs() >= max {
-                    core.shed.fetch_add(1, Ordering::Relaxed);
+                    core.client.note_shed();
                     err_frame(
                         frame.corr,
                         err_code::BUSY,
@@ -1071,6 +1158,8 @@ fn handle_frame(
                 PendingEntry {
                     jobs,
                     detached: false,
+                    progress: payload.progress,
+                    last_fuel: 0,
                 },
             );
             order.push_back(frame.corr);
@@ -1106,15 +1195,19 @@ fn handle_frame(
             ConnControl::Continue
         }
         Opcode::Stats => {
-            let text = format!(
+            let mut text = format!(
                 "submitted={} answered={} cancelled={} expired={} pending={} shed={}",
                 counters.submitted,
                 counters.answered,
                 counters.cancelled,
                 counters.expired,
                 pending.len(),
-                core.shed.load(Ordering::Relaxed),
+                core.client.stats().shed,
             );
+            // Server-wide histogram families ride along as more
+            // `key=value` tokens ([`TelemetrySnapshot::stats_text`]), so
+            // `parse_stats_text` keeps working unchanged.
+            text.push_str(&core.client.telemetry_snapshot().stats_text());
             progress_frame(frame.corr, ProgressKind::Stats, &text).encode_into(out);
             ConnControl::Continue
         }
@@ -1134,6 +1227,64 @@ fn handle_frame(
             .encode_into(out);
             ConnControl::Continue
         }
+    }
+}
+
+/// How often a connection scans its progress-streaming submissions for
+/// a `Running` frame. Decouples wire chatter from the helping-drive
+/// read cadence (1 µs while anything is pending).
+const PROGRESS_INTERVAL: Duration = Duration::from_micros(500);
+
+/// Emits a `PROGRESS`/`Running` frame for every streaming submission
+/// whose parts spent fuel since its last frame. The per-entry
+/// `last_fuel` gate makes the stream strictly fuel-monotone; entries
+/// with every part already resolved stay quiet (their `ANSWER` carries
+/// the final totals).
+fn pump_progress(pending: &mut HashMap<u64, PendingEntry>, out: &mut Vec<u8>) {
+    for (&corr, entry) in pending.iter_mut() {
+        if !entry.progress {
+            continue;
+        }
+        let mut up = RunningUpdate {
+            phase: String::new(),
+            parts: entry.jobs.len() as u64,
+            ..RunningUpdate::default()
+        };
+        let mut phase = TaskPhase::Done;
+        for job in &entry.jobs {
+            if matches!(job.poll(), JobStatus::Pending) {
+                up.pending += 1;
+            }
+            let Some(p) = job.progress() else { continue };
+            up.fuel += p.fuel_spent;
+            up.rounds += p.chase_rounds;
+            up.steps += p.chase_steps;
+            up.merges += p.chase_merges;
+            up.rows += p.instance_rows;
+            up.attempts += p.search_attempts;
+            // Report the phase of a part still computing; parts that
+            // finished (or never ran) don't override it.
+            if p.phase != TaskPhase::Done {
+                phase = p.phase;
+            }
+        }
+        if up.pending == 0 || up.fuel <= entry.last_fuel {
+            continue;
+        }
+        entry.last_fuel = up.fuel;
+        let text = format!(
+            "phase={} fuel={} rounds={} steps={} merges={} rows={} attempts={} parts={} pending={}",
+            phase.as_str(),
+            up.fuel,
+            up.rounds,
+            up.steps,
+            up.merges,
+            up.rows,
+            up.attempts,
+            up.parts,
+            up.pending,
+        );
+        progress_frame(corr, ProgressKind::Running, &text).encode_into(out);
     }
 }
 
@@ -1474,12 +1625,40 @@ impl ProtoClient {
         query: &str,
         fuel_cap: Option<u64>,
     ) -> io::Result<u64> {
+        self.submit_inner(universe, query, fuel_cap, false)
+    }
+
+    /// Like [`ProtoClient::submit`], but sets the `SUBMIT` progress
+    /// flag: the server streams `PROGRESS`/`Running` frames under the
+    /// returned correlation while the job computes. Collect them with
+    /// [`ProtoClient::wait_answer_with_progress`] (a plain
+    /// [`ProtoClient::wait_answer`] stashes them in the inbox instead).
+    ///
+    /// # Errors
+    /// Propagates write failures.
+    pub fn submit_with_progress(
+        &mut self,
+        universe: &str,
+        query: &str,
+        fuel_cap: Option<u64>,
+    ) -> io::Result<u64> {
+        self.submit_inner(universe, query, fuel_cap, true)
+    }
+
+    fn submit_inner(
+        &mut self,
+        universe: &str,
+        query: &str,
+        fuel_cap: Option<u64>,
+        progress: bool,
+    ) -> io::Result<u64> {
         let corr = self.next_corr;
         self.next_corr += 1;
         let payload = SubmitPayload {
             fuel_cap,
             universe: universe.to_string(),
             query: query.to_string(),
+            progress,
         };
         let encoded = payload.encode();
         self.send_raw(&Frame::new(Opcode::Submit, corr, encoded.clone()))?;
@@ -1616,6 +1795,61 @@ impl ProtoClient {
         }
     }
 
+    /// Whether `frame` is a `PROGRESS`/`Running` frame for `corr`.
+    fn is_running(frame: &Frame, corr: u64) -> bool {
+        frame.corr == corr
+            && Opcode::from_u8(frame.opcode) == Some(Opcode::Progress)
+            && frame.payload.first().copied() == Some(ProgressKind::Running as u8)
+    }
+
+    /// Like [`ProtoClient::wait_answer`], but feeds every
+    /// `PROGRESS`/`Running` frame for `corr` through `on_progress` as it
+    /// arrives (stashed ones first, in arrival order). Use with
+    /// [`ProtoClient::submit_with_progress`] — a flagless submission
+    /// simply never invokes the callback.
+    ///
+    /// # Errors
+    /// Read failures, or `Other` carrying the server's `ERR` message.
+    pub fn wait_answer_with_progress(
+        &mut self,
+        corr: u64,
+        mut on_progress: impl FnMut(RunningUpdate),
+    ) -> io::Result<WireAnswer> {
+        // Drain stashed Running frames for this correlation first so the
+        // callback sees them in order even when another wait interleaved.
+        let stashed: Vec<Frame> = {
+            let mut kept = VecDeque::with_capacity(self.inbox.len());
+            let mut mine = Vec::new();
+            for f in self.inbox.drain(..) {
+                if Self::is_running(&f, corr) {
+                    mine.push(f);
+                } else {
+                    kept.push_back(f);
+                }
+            }
+            self.inbox = kept;
+            mine
+        };
+        for f in stashed {
+            on_progress(parse_running_text(&String::from_utf8_lossy(&f.payload[1..])));
+        }
+        if let Some(at) = self.inbox.iter().position(|f| Self::settles(f, corr)) {
+            let frame = self.inbox.remove(at).expect("position is in range");
+            return Self::into_answer(frame);
+        }
+        loop {
+            let frame = self.recv_wire()?;
+            if Self::settles(&frame, corr) {
+                return Self::into_answer(frame);
+            }
+            if Self::is_running(&frame, corr) {
+                on_progress(parse_running_text(&String::from_utf8_lossy(&frame.payload[1..])));
+            } else {
+                self.inbox.push_back(frame);
+            }
+        }
+    }
+
     /// Round-trips a `STATS` request into a counter map; unrelated
     /// frames arriving in between are stashed.
     ///
@@ -1700,6 +1934,7 @@ mod tests {
             fuel_cap: Some(512),
             universe: "untyped A' B' C'".into(),
             query: "td [x y z] => x y z |= td [x y z] => x y z".into(),
+            progress: false,
         };
         assert_eq!(SubmitPayload::decode(&p.encode()).unwrap(), p);
         let none = SubmitPayload {
@@ -1707,14 +1942,54 @@ mod tests {
             ..p.clone()
         };
         assert_eq!(SubmitPayload::decode(&none.encode()).unwrap(), none);
+        // The progress flag rides a trailing byte; a flagless encoding
+        // stays byte-identical to v1 (no flags byte at all).
+        let streaming = SubmitPayload {
+            progress: true,
+            ..p.clone()
+        };
+        assert_eq!(streaming.encode().len(), p.encode().len() + 1);
+        assert_eq!(SubmitPayload::decode(&streaming.encode()).unwrap(), streaming);
         // Truncations and trailing garbage are errors, never panics.
         let enc = p.encode();
         for cut in 0..enc.len() {
             assert!(SubmitPayload::decode(&enc[..cut]).is_err());
         }
         let mut trailing = enc.clone();
-        trailing.push(0);
+        trailing.push(0); // a zero flags byte is garbage, not "no flags"
         assert!(SubmitPayload::decode(&trailing).is_err());
+        let mut unknown = enc.clone();
+        unknown.push(0x02); // unknown flag bits are rejected
+        assert!(SubmitPayload::decode(&unknown).is_err());
+        let mut two = streaming.encode();
+        two.push(1); // at most one flags byte
+        assert!(SubmitPayload::decode(&two).is_err());
+    }
+
+    #[test]
+    fn running_text_roundtrip() {
+        let up = RunningUpdate {
+            phase: "dovetail".into(),
+            fuel: 96,
+            rounds: 7,
+            steps: 40,
+            merges: 3,
+            rows: 55,
+            attempts: 12,
+            parts: 2,
+            pending: 1,
+        };
+        let text = format!(
+            "phase={} fuel={} rounds={} steps={} merges={} rows={} attempts={} parts={} pending={}",
+            up.phase, up.fuel, up.rounds, up.steps, up.merges, up.rows, up.attempts, up.parts,
+            up.pending,
+        );
+        assert_eq!(parse_running_text(&text), up);
+        // Unknown keys and junk tokens are skipped, missing keys default.
+        let sparse = parse_running_text("fuel=5 future_key=9 garbage notanum=x");
+        assert_eq!(sparse.fuel, 5);
+        assert_eq!(sparse.phase, "");
+        assert_eq!(sparse.parts, 0);
     }
 
     #[test]

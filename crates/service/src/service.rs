@@ -80,14 +80,15 @@
 use crate::cache::{goal_hypothesis, CachedAnswer, Probe, ShardCache};
 use crate::canon::{permute_relation, query_parts, QueryKey};
 use crate::persist::{PersistConfig, PersistLog, ReplayedRecord};
+use crate::telemetry::{Exposition, OutcomeKind, Telemetry, TelemetrySnapshot};
 use std::collections::BinaryHeap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use typedtd_chase::{
-    Answer, CancelToken, DecideConfig, DecideStatus, DecideTask, Decision,
+    Answer, CancelToken, DecideConfig, DecideStatus, DecideTask, Decision, ProgressSnapshot,
 };
 use typedtd_dependencies::TdOrEgd;
 use typedtd_relational::{isomorphic, FxHashMap, FxHashSet, Relation, ValuePool};
@@ -149,6 +150,12 @@ pub struct ServiceConfig {
     /// [`ServiceStats::persist_errors`]) without affecting served
     /// traffic.
     pub persist: Option<PersistConfig>,
+    /// Record latency/queue-wait/run-time/fuel histograms (see
+    /// [`crate::telemetry`]). On by default — the record path is a few
+    /// relaxed atomic adds plus two `Instant` reads per job landing —
+    /// but switchable off for an exact zero-overhead baseline (the
+    /// `telemetry_overhead` bench scenario measures the difference).
+    pub metrics: bool,
 }
 
 impl Default for ServiceConfig {
@@ -164,6 +171,7 @@ impl Default for ServiceConfig {
             cache_capacity: 4096,
             verify_cache_hits: false,
             persist: None,
+            metrics: true,
         }
     }
 }
@@ -285,6 +293,11 @@ pub struct ServiceStats {
     /// to read-only in-memory mode). Opening an unusable log at startup
     /// counts one.
     pub persist_errors: u64,
+    /// Submissions a front end bounced at its overload bound instead of
+    /// scheduling (`typedtd-sockd --max-inflight`; counted via
+    /// [`ImplicationClient::note_shed`], so every ledger reports it
+    /// uniformly).
+    pub shed: u64,
 }
 
 impl ServiceStats {
@@ -423,6 +436,16 @@ struct JobSlot {
     /// feed cache and waiters but free the slot instead of storing the
     /// outcome.
     retired: bool,
+    /// Submit time, for the latency histograms. `None` when metrics are
+    /// off (or for fast-path slots allocated already Finished, which
+    /// record their latency at submit instead).
+    started: Option<Instant>,
+    /// Wall-clock nanoseconds this job has actually been stepped
+    /// (metrics on; leaders only). Queue wait = total latency − this.
+    run_nanos: u64,
+    /// Last per-slice [`ProgressSnapshot`] of the job's task (leaders
+    /// only; sampled after every step, kept after landing).
+    progress: ProgressSnapshot,
 }
 
 impl JobSlot {
@@ -498,6 +521,9 @@ impl Shard {
                 cancel_requested: false,
                 detached: false,
                 retired: false,
+                started: None,
+                run_nanos: 0,
+                progress: ProgressSnapshot::default(),
             });
             (self.slots.len() - 1) as u32
         }
@@ -516,6 +542,9 @@ impl Shard {
         s.cancel_requested = false;
         s.detached = false;
         s.retired = false;
+        s.started = None;
+        s.run_nanos = 0;
+        s.progress = ProgressSnapshot::default();
         self.free.push(idx);
     }
 }
@@ -550,6 +579,7 @@ struct AtomicStats {
     unknown: AtomicU64,
     warm_hits: AtomicU64,
     persist_errors: AtomicU64,
+    shed: AtomicU64,
 }
 
 struct Core {
@@ -584,6 +614,10 @@ struct Core {
     /// The open answer log (when [`ServiceConfig::persist`] is set and
     /// the file opened); fresh definite answers append through it.
     persist: Option<PersistLog>,
+    /// Histogram families (latency by outcome, queue wait, run time,
+    /// fuel per job); recording is a no-op when
+    /// [`ServiceConfig::metrics`] is off.
+    telemetry: Telemetry,
 }
 
 /// A cheap-to-clone handle onto the shared implication service. All
@@ -631,6 +665,7 @@ impl ImplicationClient {
                 draining: std::sync::atomic::AtomicBool::new(false),
                 stats: AtomicStats::default(),
                 persist,
+                telemetry: Telemetry::new(cfg.metrics),
                 cfg,
             }),
         };
@@ -707,7 +742,169 @@ impl ImplicationClient {
             unknown: ld(&s.unknown),
             warm_hits: ld(&s.warm_hits),
             persist_errors: ld(&s.persist_errors),
+            shed: ld(&s.shed),
         }
+    }
+
+    /// Counts one submission a front end bounced at its overload bound
+    /// (e.g. `typedtd-sockd --max-inflight`) instead of scheduling; the
+    /// query never entered the service, so nothing else is touched.
+    pub fn note_shed(&self) {
+        self.core.stats.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A snapshot of the histogram families (latency by outcome,
+    /// queue-wait/run-time split, fuel per job). Empty when
+    /// [`ServiceConfig::metrics`] is off.
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        self.core.telemetry.snapshot()
+    }
+
+    /// The full Prometheus-style text exposition: every [`ServiceStats`]
+    /// counter, the in-flight/cache/queue-depth gauges, and (when
+    /// [`ServiceConfig::metrics`] is on) the latency/queue-wait/run-time/
+    /// fuel histograms. Durations are nanoseconds; histogram buckets are
+    /// powers of two. `typedtd-sockd --metrics PATH` rewrites this
+    /// atomically as the service runs.
+    pub fn metrics_text(&self) -> String {
+        let s = self.stats();
+        let mut x = Exposition::new();
+        x.counter("typedtd_submitted_total", "Queries submitted", s.submitted);
+        x.counter(
+            "typedtd_completed_total",
+            "Leader computations landed",
+            s.completed,
+        );
+        x.counter("typedtd_cache_hits_total", "Answer-cache hits", s.cache_hits);
+        x.counter(
+            "typedtd_goal_in_sigma_total",
+            "Goals answered Yes at submit (goal canonically in Sigma)",
+            s.goal_in_sigma,
+        );
+        x.counter(
+            "typedtd_coalesced_total",
+            "Submissions coalesced onto an in-flight leader",
+            s.coalesced,
+        );
+        x.counter(
+            "typedtd_cache_misses_total",
+            "Submissions that scheduled a new computation",
+            s.cache_misses,
+        );
+        x.counter(
+            "typedtd_verify_rejects_total",
+            "Cached answers rejected by verification",
+            s.verify_rejects,
+        );
+        x.counter(
+            "typedtd_expired_total",
+            "Jobs expired to Unknown (fuel cap)",
+            s.expired,
+        );
+        x.counter("typedtd_cancelled_total", "Jobs cancelled", s.cancelled);
+        x.counter("typedtd_retired_total", "Job slots retired", s.retired);
+        x.counter(
+            "typedtd_evictions_total",
+            "Answer-cache evictions",
+            s.evictions,
+        );
+        x.counter(
+            "typedtd_shed_total",
+            "Submissions bounced at a front-end overload bound",
+            s.shed,
+        );
+        x.counter(
+            "typedtd_fuel_spent_total",
+            "Fuel units consumed by leader computations",
+            s.fuel_spent,
+        );
+        x.counter("typedtd_sweeps_total", "Shard sweeps", s.sweeps);
+        x.counter("typedtd_steals_total", "Cross-shard work steals", s.steals);
+        x.counter(
+            "typedtd_parked_total",
+            "Waiter threads parked on a shard condvar",
+            s.parked,
+        );
+        x.counter("typedtd_answer_yes_total", "Answers of Yes", s.yes);
+        x.counter("typedtd_answer_no_total", "Answers of No", s.no);
+        x.counter(
+            "typedtd_answer_unknown_total",
+            "Answers of Unknown",
+            s.unknown,
+        );
+        x.counter(
+            "typedtd_warm_hits_total",
+            "Cache hits served from a replayed persist log",
+            s.warm_hits,
+        );
+        x.counter(
+            "typedtd_persist_errors_total",
+            "Persist-log append errors (degraded mode)",
+            s.persist_errors,
+        );
+        x.gauge(
+            "typedtd_jobs_inflight",
+            "Jobs currently running, claimed, or coalesced-waiting",
+            self.pending_jobs() as u64,
+        );
+        x.gauge(
+            "typedtd_cache_entries",
+            "Distinct canonical queries currently cached",
+            self.cache_len() as u64,
+        );
+        let depths: Vec<(String, u64)> = self
+            .core
+            .queue_depth
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (i.to_string(), d.load(Ordering::Relaxed) as u64))
+            .collect();
+        x.gauge_vec(
+            "typedtd_queue_depth",
+            "Runnable jobs queued per shard",
+            "shard",
+            &depths,
+        );
+        let t = self.telemetry_snapshot();
+        for (kind, h) in t.latencies() {
+            x.histogram(
+                &format!("typedtd_latency_{}_nanos", kind.as_str()),
+                "Submit-to-settle latency by outcome (ns)",
+                h,
+            );
+        }
+        x.histogram(
+            "typedtd_queue_wait_nanos",
+            "Time a leader spent off-CPU between submit and settle (ns)",
+            &t.queue_wait,
+        );
+        x.histogram(
+            "typedtd_run_time_nanos",
+            "Time a leader spent inside fuel slices (ns)",
+            &t.run_time,
+        );
+        x.histogram(
+            "typedtd_fuel_per_job",
+            "Fuel consumed per settled job (0 for cache hits and waiters)",
+            &t.fuel_per_job,
+        );
+        x.finish()
+    }
+
+    /// The current [`ProgressSnapshot`] of an in-flight job: its task's
+    /// phase and cumulative counters as of the job's last fuel slice
+    /// (all zeros before the first). `None` once the job has never been
+    /// scheduled under this id (retired/stale ids). Finished jobs keep
+    /// reporting their final snapshot until retired; coalesced waiters
+    /// report their own (zero-fuel) snapshot, not their leader's.
+    pub fn job_progress(&self, id: JobId) -> Option<ProgressSnapshot> {
+        let cell = self.core.shards.get(id.shard as usize)?;
+        let shard = cell.shard.lock().expect("shard lock");
+        let slot = shard.slots.get(id.slot as usize)?;
+        if slot.generation != id.generation || matches!(slot.state, JobState::Vacant) {
+            return None;
+        }
+        Some(slot.progress)
     }
 
     /// Distinct canonical queries currently cached (always ≤
@@ -747,6 +944,9 @@ impl ImplicationClient {
     pub fn submit(&self, spec: QuerySpec) -> JobHandle {
         let core = &*self.core;
         core.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        // One clock read per submission when metrics are on; `None`
+        // keeps the whole latency machinery off the hot path otherwise.
+        let t0 = core.telemetry.enabled().then(Instant::now);
         let QuerySpec {
             mut sigma,
             goal,
@@ -789,6 +989,7 @@ impl ImplicationClient {
                         cancelled: false,
                     };
                     core.record_answer(&outcome);
+                    core.observe_fast(t0);
                     let mut shard = self.lock_shard(shard_idx);
                     let slot = shard.alloc(JobState::Finished(outcome));
                     return self.handle(shard_idx, slot, &shard);
@@ -840,6 +1041,7 @@ impl ImplicationClient {
                         cancelled: false,
                     };
                     core.record_answer(&outcome);
+                    core.observe_fast(t0);
                     let slot = shard.alloc(JobState::Finished(outcome));
                     return self.handle(shard_idx, slot, &shard);
                 }
@@ -861,6 +1063,7 @@ impl ImplicationClient {
                         );
                         core.inflight.fetch_add(1, Ordering::Relaxed);
                         let slot = shard.alloc(JobState::Waiting { leader });
+                        shard.slots[slot as usize].started = t0;
                         shard.waiters.entry(leader).or_default().push(slot);
                         return self.handle(shard_idx, slot, &shard);
                     }
@@ -902,6 +1105,7 @@ impl ImplicationClient {
             };
             s.fuel_cap = fuel_cap;
             s.priority = priority;
+            s.started = t0;
             s.generation
         };
         if let Some(k) = key {
@@ -1125,22 +1329,29 @@ impl ImplicationClient {
             }
         }
         core.stats.sweeps.fetch_add(1, Ordering::Relaxed);
-        let stepped: Vec<(u32, Box<DecideTask>, DecideStatus, u64)> = claimed
+        let timing = core.telemetry.enabled();
+        let stepped: Vec<(u32, Box<DecideTask>, DecideStatus, u64, u64)> = claimed
             .into_iter()
             .map(|(slot, mut task, granted)| {
                 let before = task.fuel_spent();
+                let t0 = timing.then(Instant::now);
                 let status = task.step(granted);
+                let step_nanos = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
                 let used = task.fuel_spent() - before;
                 core.refund_fuel(granted as u64 - used.min(granted as u64));
                 core.stats.fuel_spent.fetch_add(used, Ordering::Relaxed);
-                (slot, task, status, used)
+                (slot, task, status, used, step_nanos)
             })
             .collect();
         let mut shard = self.lock_shard(idx);
         shard.stepping -= stepped.len();
-        for (slot, task, status, used) in stepped {
+        for (slot, task, status, used, step_nanos) in stepped {
             let si = slot as usize;
             shard.slots[si].fuel_spent += used;
+            shard.slots[si].run_nanos += step_nanos;
+            // Per-slice profile: cheap counter reads, kept even with
+            // metrics off so PROGRESS streaming works unconditionally.
+            shard.slots[si].progress = task.progress_snapshot();
             match status {
                 DecideStatus::Pending if shard.slots[si].dying() => {
                     core.cancel_slot(&mut shard, slot)
@@ -1389,6 +1600,7 @@ impl ImplicationClient {
                 let outcome = unknown_outcome(shard.slots[si].fuel_spent);
                 self.core.stats.expired.fetch_add(1, Ordering::Relaxed);
                 self.core.record_answer(&outcome);
+                self.core.observe_waiter(&shard.slots[si], &outcome);
                 self.core.job_resolved();
                 shard.slots[si].state = JobState::Finished(outcome);
                 self.drop_keepalive(&mut shard, leader);
@@ -1428,6 +1640,7 @@ impl ImplicationClient {
                 }
                 let outcome = cancelled_outcome(shard.slots[si].fuel_spent);
                 self.core.record_answer(&outcome);
+                self.core.observe_waiter(&shard.slots[si], &outcome);
                 self.core.job_resolved();
                 shard.slots[si].state = JobState::Finished(outcome);
                 self.drop_keepalive(&mut shard, leader);
@@ -1493,6 +1706,7 @@ impl ImplicationClient {
             } else {
                 let outcome = cancelled_outcome(0);
                 self.core.record_answer(&outcome);
+                self.core.observe_waiter(&shard.slots[w as usize], &outcome);
                 self.core.job_resolved();
                 shard.slots[w as usize].state = JobState::Finished(outcome);
             }
@@ -1578,6 +1792,11 @@ impl ImplicationClient {
                 if let Some(ws) = shard.waiters.get_mut(&leader) {
                     ws.retain(|&w| w != id.slot);
                 }
+                // An abandoned waiter lands no answer; record its
+                // latency as cancelled so every submission shows up in
+                // exactly one latency family.
+                self.core
+                    .observe_waiter(&shard.slots[si], &cancelled_outcome(0));
                 self.core.job_resolved();
                 shard.free_slot(id.slot);
                 self.drop_keepalive(&mut shard, leader);
@@ -1629,6 +1848,49 @@ impl Core {
         self.idle_cv.notify_all();
     }
 
+    /// Records the histogram families for a *leader* landing (completed,
+    /// expired, or cancelled): submit→resolve latency keyed by how it
+    /// landed, the queue-wait vs run-time split, and fuel consumed.
+    /// No-op when metrics are off (`started` is only stamped when they
+    /// are on). Called under the shard lock, before the slot is freed.
+    fn observe_landing(&self, slot: &JobSlot, kind: OutcomeKind) {
+        let Some(t0) = slot.started else { return };
+        let total = t0.elapsed().as_nanos() as u64;
+        self.telemetry.record_latency(kind, total);
+        self.telemetry.record_run_time(slot.run_nanos);
+        self.telemetry
+            .record_queue_wait(total.saturating_sub(slot.run_nanos));
+        self.telemetry.record_fuel(slot.fuel_spent);
+    }
+
+    /// Records the landing of a coalesced waiter: it spends no fuel and
+    /// is never stepped itself, so only latency (keyed by how it
+    /// resolved: leader answered → hit, leader cancelled → cancelled,
+    /// leader expired → expired) and a zero fuel sample are recorded.
+    fn observe_waiter(&self, slot: &JobSlot, outcome: &JobOutcome) {
+        let Some(t0) = slot.started else { return };
+        let kind = if outcome.cancelled {
+            OutcomeKind::Cancelled
+        } else if outcome.from_cache {
+            OutcomeKind::Hit
+        } else {
+            OutcomeKind::Expired
+        };
+        self.telemetry
+            .record_latency(kind, t0.elapsed().as_nanos() as u64);
+        self.telemetry.record_fuel(0);
+    }
+
+    /// Records a submit-time fast-path answer (goal-in-Σ, cache hit):
+    /// hit latency, zero fuel.
+    fn observe_fast(&self, t0: Option<Instant>) {
+        if let Some(t0) = t0 {
+            self.telemetry
+                .record_latency(OutcomeKind::Hit, t0.elapsed().as_nanos() as u64);
+            self.telemetry.record_fuel(0);
+        }
+    }
+
     /// Updates the answer histogram and completion count. Cancelled
     /// outcomes count toward `completed` and `cancelled`, not the
     /// yes/no/unknown histogram (they carry no answer).
@@ -1661,6 +1923,7 @@ impl Core {
             cancelled: false,
         };
         self.record_answer(&outcome);
+        self.observe_landing(&shard.slots[si], OutcomeKind::Miss);
         let key = shard.slots[si].key.take();
         let goal_hyp = shard.slots[si].goal_hyp.take();
         if let Some(k) = key {
@@ -1733,6 +1996,12 @@ impl Core {
     fn abort_slot(&self, shard: &mut Shard, slot: u32, outcome: JobOutcome) {
         let si = slot as usize;
         self.record_answer(&outcome);
+        let kind = if outcome.cancelled {
+            OutcomeKind::Cancelled
+        } else {
+            OutcomeKind::Expired
+        };
+        self.observe_landing(&shard.slots[si], kind);
         if let Some(k) = shard.slots[si].key.take() {
             shard.cache.clear_inflight(&k);
         }
@@ -1775,6 +2044,7 @@ impl Core {
                 cancelled: outcome.cancelled,
             };
             self.record_answer(&waiter_outcome);
+            self.observe_waiter(&shard.slots[w as usize], &waiter_outcome);
             self.job_resolved();
             shard.slots[w as usize].state = JobState::Finished(waiter_outcome);
         }
@@ -1887,6 +2157,12 @@ impl JobHandle {
     /// The job's current status. Cheap; never advances work.
     pub fn poll(&self) -> JobStatus {
         self.client.status(self.id)
+    }
+
+    /// The job's current [`ProgressSnapshot`] (see
+    /// [`ImplicationClient::job_progress`]). Cheap; never advances work.
+    pub fn progress(&self) -> Option<ProgressSnapshot> {
+        self.client.job_progress(self.id)
     }
 
     /// Cancels the job. When this handle is the last party interested in

@@ -368,7 +368,11 @@ fn max_inflight_sheds_with_err_busy() {
     let a1 = client.wait_answer(c1).expect("cancelled answer 1");
     let a2 = client.wait_answer(c2).expect("cancelled answer 2");
     assert!(a1.cancelled && a2.cancelled);
-    assert_eq!(server.shed_counter().load(std::sync::atomic::Ordering::Relaxed), 1);
+    assert_eq!(
+        server.client().stats().shed,
+        1,
+        "shed must land in ServiceStats"
+    );
     server.shutdown_now();
     server.join();
 }

@@ -27,7 +27,7 @@ use typedtd::chase::{decide, Answer, DecideConfig};
 use typedtd::service::proto::err_code;
 use typedtd::service::{
     decode_frame, parse_query_line, parse_universe_spec, Frame, Opcode, ProtoClient,
-    ProtoServer, SockdConfig, SubmitPayload, WireAnswer, PROTO_VERSION,
+    ProtoServer, RunningUpdate, SockdConfig, SubmitPayload, WireAnswer, PROTO_VERSION,
 };
 use typedtd_relational::ValuePool;
 
@@ -272,6 +272,97 @@ fn soak_differential_unix_smoke() {
     });
 }
 
+/// PROGRESS streaming differential: one client submits the full corpus
+/// with the progress flag plus a divergent fuel-capped query, a second
+/// plain client replays the same corpus flagless. Asserts
+///
+/// * exact answer parity — streaming changes observability, never
+///   verdicts (both sides also match the sequential reference);
+/// * the divergent query streams at least one `Running` frame and every
+///   consecutive pair is strictly fuel-monotone (per correlation);
+/// * the profiling payload is live: chase rounds moved, the phase is
+///   reported, and `parts`/`pending` describe the fan-out.
+#[test]
+fn progress_streaming_parity_and_monotone_fuel() {
+    let corpus = oracle_corpus();
+    let reference = reference_answers(&corpus);
+    let (server, addr) = tcp_server(SockdConfig::default());
+    let mut streaming = ProtoClient::connect_tcp(addr).expect("connect streaming");
+    let mut plain = ProtoClient::connect_tcp(addr).expect("connect plain");
+
+    // The divergent ballast goes first so it computes (and streams)
+    // while the corpus answers interleave on the same connection —
+    // its Running frames must stash and replay in order.
+    let (du, dq) = divergent_text(0);
+    let div_corr = streaming
+        .submit_with_progress(&du, &dq, Some(4096))
+        .expect("submit divergent streaming");
+
+    let s_corrs: Vec<u64> = corpus
+        .iter()
+        .map(|(u, q)| streaming.submit_with_progress(u, q, None).expect("submit streaming"))
+        .collect();
+    let p_corrs: Vec<u64> = corpus
+        .iter()
+        .map(|(u, q)| plain.submit(u, q, None).expect("submit plain"))
+        .collect();
+
+    for (idx, (s, p)) in s_corrs.iter().zip(&p_corrs).enumerate() {
+        let mut updates: Vec<RunningUpdate> = Vec::new();
+        let sa = streaming
+            .wait_answer_with_progress(*s, |up| updates.push(up))
+            .expect("streamed corpus answer");
+        let pa = plain.wait_answer(*p).expect("plain corpus answer");
+        assert_eq!(
+            (sa.implication, sa.finite_implication),
+            (pa.implication, pa.finite_implication),
+            "streaming changed the answer on {:?}",
+            corpus[idx].1
+        );
+        assert_eq!(
+            (sa.implication, sa.finite_implication),
+            reference[idx],
+            "wire answer diverged from the sequential reference on {:?}",
+            corpus[idx].1
+        );
+        // Fast corpus queries may or may not cross a progress tick;
+        // whatever did arrive must be monotone.
+        assert!(
+            updates.windows(2).all(|w| w[0].fuel < w[1].fuel),
+            "corpus Running frames must be fuel-monotone: {updates:?}"
+        );
+    }
+
+    let mut updates: Vec<RunningUpdate> = Vec::new();
+    let div = streaming
+        .wait_answer_with_progress(div_corr, |up| updates.push(up))
+        .expect("divergent streamed answer");
+    // A 4096-fuel cap is generous enough for the dovetailed finite-model
+    // search to win the race and refute the query outright — the long
+    // natural run is what crosses enough progress ticks to stream
+    // reliably. (The expired path is covered by the soak's `Some(64)`
+    // ballast, where the cap bites before the search can finish.)
+    assert_eq!(div.implication, Answer::No, "the finite search must refute");
+    assert_eq!(div.finite_implication, Answer::No);
+    assert!(!div.cancelled, "nothing cancelled the divergent query");
+    assert!(!div.expired, "the search must settle the query before the cap");
+    assert!(
+        !updates.is_empty(),
+        "a 4096-fuel divergent run must stream at least one Running frame"
+    );
+    assert!(
+        updates.windows(2).all(|w| w[0].fuel < w[1].fuel),
+        "divergent Running frames must be strictly fuel-monotone: {updates:?}"
+    );
+    let last = updates.last().expect("nonempty");
+    assert!(last.fuel > 0, "fuel must be live: {last:?}");
+    assert!(last.rounds > 0, "chase profiling must move: {last:?}");
+    assert!(!last.phase.is_empty(), "phase must be reported: {last:?}");
+    assert_eq!(last.parts, 1, "single goal part: {last:?}");
+    assert_eq!(last.pending, 1, "still computing when cut: {last:?}");
+    drop(server);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -381,8 +472,13 @@ fn malformed_frames_get_err_or_clean_disconnect() {
     // Undersized length prefix: same contract.
     {
         let mut s = std::net::TcpStream::connect(addr).expect("connect");
-        s.write_all(&2u32.to_le_bytes()).expect("write");
-        s.write_all(&[0, 0]).expect("write");
+        // One write: were the length prefix and body split across two
+        // syscalls, the server could read the prefix alone, reply ERR,
+        // and close with the body unread — an RST instead of clean EOF.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        bytes.extend_from_slice(&[0, 0]);
+        s.write_all(&bytes).expect("write");
         let mut reply = Vec::new();
         s.read_to_end(&mut reply).expect("server must close cleanly");
         let (frame, _) = decode_frame(&reply).expect("reply decodes").expect("one ERR");

@@ -35,7 +35,7 @@ use proptest::prelude::*;
 use typedtd::dependencies::{egd_from_names, td_from_names, Dependency, TdOrEgd};
 use typedtd::prelude::*;
 use typedtd::service::{
-    ImplicationClient, JobStatus, QuerySpec, ServiceConfig, ShardStep,
+    stats_line, ImplicationClient, JobStatus, QuerySpec, ServiceConfig, ShardStep,
 };
 use typedtd_chase::{DecideMode, DecideStatus, DecideTask};
 
@@ -228,6 +228,11 @@ fn concurrent_clients_match_blocking_decide() {
         }
     }
     assert_eq!(client.pending_jobs(), 0);
+    assert!(
+        stats_line(&client).contains(" inflight=0"),
+        "the ledger must show the drained in-flight gauge: {}",
+        stats_line(&client)
+    );
     // Every handle dropped inside the threads: all storage reclaimed.
     assert_eq!(client.live_jobs(), 0, "retire-on-drop must free all slots");
 }
@@ -1054,6 +1059,11 @@ fn cancel_mid_flight_bounds_fuel_and_resolves_waiters() {
     );
     assert_eq!(stats.cancelled, 2, "leader and waiter both cancelled");
     assert_eq!(client.pending_jobs(), 0, "cancel frees the in-flight slots");
+    assert!(
+        stats_line(&client).contains(" inflight=0"),
+        "the ledger must show the drained in-flight gauge: {}",
+        stats_line(&client)
+    );
     let outcome = leader.wait();
     assert!(outcome.cancelled);
     assert_eq!(outcome.implication, Answer::Unknown);
@@ -1341,4 +1351,9 @@ fn dropping_the_last_detached_waiter_completes_a_deferred_cancel() {
         "no further fuel burned after the keep-alive dropped"
     );
     assert_eq!(client.pending_jobs(), 0);
+    assert!(
+        stats_line(&client).contains(" inflight=0"),
+        "the ledger must show the drained in-flight gauge: {}",
+        stats_line(&client)
+    );
 }
