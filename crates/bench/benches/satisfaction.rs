@@ -27,7 +27,7 @@ fn bench_fd_satisfaction(c: &mut Criterion) {
         let u = universe(4);
         let mut pool = ValuePool::new(u.clone());
         let rel = random_relation(&u, &mut pool, rows, 8, 13);
-        let fd = Fd::parse(&u, "A1 A2 -> A3");
+        let fd = Fd::parse(&u, "A1 A2 -> A3").unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
             b.iter(|| fd.satisfied_by(&rel))
         });
@@ -40,7 +40,7 @@ fn bench_pjd_two_routes(c: &mut Criterion) {
     let u = universe(4);
     let mut pool = ValuePool::new(u.clone());
     let rel = random_relation(&u, &mut pool, 64, 4, 13);
-    let pjd = Pjd::parse(&u, "*[A1 A2, A2 A3, A3 A4] on A1 A4");
+    let pjd = Pjd::parse(&u, "*[A1 A2, A2 A3, A3 A4] on A1 A4").unwrap();
     let td = pjd.to_td(&u, &mut pool);
     group.bench_function("project_join", |b| b.iter(|| pjd.satisfied_by(&rel)));
     group.bench_function("shallow_td", |b| b.iter(|| td.satisfied_by(&rel)));

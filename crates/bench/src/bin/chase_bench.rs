@@ -54,9 +54,10 @@ use typedtd_chase::{
     chase_implication, decide, saturate, Answer, ChaseConfig, ChaseRun, DecideConfig, DecideMode,
 };
 use typedtd_relational::{Relation, ValuePool};
-use typedtd_dependencies::TdOrEgd;
+use typedtd_dependencies::{DependencyClass, TdOrEgd};
 use typedtd_service::{
-    ImplicationClient, JobHandle, JobStatus, PersistConfig, QuerySpec, ServiceConfig,
+    parse_query_line, parse_universe_spec, ImplicationClient, JobHandle, JobStatus, PersistConfig,
+    QuerySpec, ServiceConfig,
 };
 
 struct Record {
@@ -452,6 +453,201 @@ fn measure_divergent_mix(
         parallel_ns,
         rows: seq_fg.len() + seq_div.len(),
         rounds: dov_div.len(),
+    }
+}
+
+/// The heterogeneous acceptance corpus: fd/mvd/pjd goals next to
+/// independence atoms and inclusion dependencies, written in the batch
+/// surface syntax. The `true`-flagged lines are refutable goals behind a
+/// divergent fd+ind chase (the undecidable regime): fuel-capped, they
+/// expire to Unknown sequentially while any dovetail variant refutes
+/// them from the finite-model search.
+const MIXED_CLASS_CORPUS: &[(&str, &str, bool)] = &[
+    ("A B C", "A -> B & B -> C |= A -> C", false),
+    ("A B C", "A -> B |= B -> A", false),
+    ("A B C", "A -> C |= A ->> C", false),
+    // Not `A -> B |= *[AB, AC]`: that whole query is isomorphic (swap
+    // B and C) to the mvd line above, and the canonical cache would
+    // legitimately coalesce them — the pjd class would never miss.
+    ("A B C", "A -> B & B -> C |= *[AB, BC]", false),
+    ("A B C", "A _|_ BC |= A _|_ B", false),
+    ("A B C", "AB _|_ BC |= A -> B", false),
+    ("untyped A B C", "[AB] <= [BC] & [BC] <= [CA] |= [AB] <= [CA]", false),
+    ("untyped A B C", "[AB] <= [BC] & B -> C |= A -> B", false),
+    ("untyped A B C", "[A] <= [B] |= [B] <= [A]", true),
+    ("untyped A B C", "[A] <= [B] |= B -> C", true),
+];
+
+/// One parsed-and-normalized corpus line, ready to submit: the goal's
+/// surface class, its divergence flag, and one `(Σ, part, pool)` query
+/// per normalized goal part.
+struct MixedLine {
+    class: DependencyClass,
+    divergent: bool,
+    parts: Vec<Query>,
+}
+
+fn mixed_class_lines() -> Vec<MixedLine> {
+    MIXED_CLASS_CORPUS
+        .iter()
+        .map(|(uspec, line, divergent)| {
+            let u = parse_universe_spec(uspec).expect("corpus universe");
+            let mut pool = ValuePool::new(u.clone());
+            let (sigma, goal) =
+                parse_query_line(&u, &mut pool, line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            let mut sigma_normal = Vec::new();
+            for d in &sigma {
+                sigma_normal.extend(d.try_normalize(&u, &mut pool).expect("corpus sigma"));
+            }
+            let class = goal.class();
+            let parts = goal
+                .try_normalize(&u, &mut pool)
+                .expect("corpus goal")
+                .into_iter()
+                .map(|part| (sigma_normal.clone(), part, pool.clone()))
+                .collect();
+            MixedLine {
+                class,
+                divergent: *divergent,
+                parts,
+            }
+        })
+        .collect()
+}
+
+/// Submits the mixed-class corpus twice (draining in between, so the
+/// second round probes a warm cache) under one decide mode; returns the
+/// per-line folded first-round answers split decidable/divergent, plus
+/// the final stats.
+fn run_mixed_class(
+    mode: DecideMode,
+) -> (Vec<Answer>, Vec<Answer>, typedtd_service::ServiceStats) {
+    let client = ImplicationClient::new(ServiceConfig {
+        decide: divergent_mix_cfg(mode),
+        ..ServiceConfig::default()
+    });
+    let submit_round = |lines: Vec<MixedLine>| -> Vec<(DependencyClass, bool, Vec<JobHandle>)> {
+        lines
+            .into_iter()
+            .map(|l| {
+                let jobs = l
+                    .parts
+                    .into_iter()
+                    .map(|(s, g, p)| {
+                        let mut spec = QuerySpec::new(s, g, p).goal_class(l.class);
+                        if l.divergent {
+                            spec = spec.fuel_cap(MIX_FUEL_CAP);
+                        }
+                        client.submit(spec)
+                    })
+                    .collect();
+                (l.class, l.divergent, jobs)
+            })
+            .collect()
+    };
+    let round1 = submit_round(mixed_class_lines());
+    client.run_to_completion();
+    let _round2 = submit_round(mixed_class_lines());
+    client.run_to_completion();
+    let fold = |jobs: &[JobHandle]| {
+        jobs.iter()
+            .map(answer_of)
+            .fold(Answer::Yes, |acc, a| acc.and(a))
+    };
+    let mut decidable = Vec::new();
+    let mut divergent = Vec::new();
+    for (_, dv, jobs) in &round1 {
+        if *dv {
+            divergent.push(fold(jobs));
+        } else {
+            decidable.push(fold(jobs));
+        }
+    }
+    (decidable, divergent, client.stats())
+}
+
+/// The heterogeneous-workload acceptance scenario. Asserts, per decide
+/// mode (sequential / dovetail 1:1 / adaptive dovetail):
+///
+/// * decidable answers agree across all three modes, with no Unknowns;
+/// * the fuel-capped divergent fd+ind queries expire to `Unknown`
+///   sequentially but are refuted (`No`) by both dovetail variants;
+/// * per-class cache accounting balances exactly on the dovetail run:
+///   every class sees `submitted = 2 × parts`, `misses = parts` (round
+///   one), `hits = parts` (round two), i.e. a 0.50 per-class hit rate.
+fn measure_service_mixed_class(samples: usize) -> Record {
+    let expected: [u64; DependencyClass::COUNT] = {
+        let mut counts = [0u64; DependencyClass::COUNT];
+        for l in mixed_class_lines() {
+            counts[l.class.index()] += l.parts.len() as u64;
+        }
+        counts
+    };
+    let (naive_ns, (seq_dec, seq_div, _)) =
+        time(samples, || (), |()| run_mixed_class(DecideMode::Sequential));
+    let (semi_ns, (dov_dec, dov_div, dov_stats)) =
+        time(samples, || (), |()| run_mixed_class(DecideMode::dovetail(1)));
+    let (parallel_ns, (ad_dec, ad_div, _)) = time(samples, || (), |()| {
+        run_mixed_class(DecideMode::adaptive_dovetail(1))
+    });
+    assert_eq!(seq_dec, dov_dec, "mixed-class dovetail parity violated");
+    assert_eq!(seq_dec, ad_dec, "mixed-class adaptive parity violated");
+    assert!(
+        seq_dec.iter().all(|a| *a != Answer::Unknown),
+        "decidable mixed-class lines must all resolve"
+    );
+    assert!(
+        !seq_div.is_empty() && seq_div.iter().all(|a| *a == Answer::Unknown),
+        "sequential must expire every fuel-capped divergent fd+ind query"
+    );
+    for (label, answers) in [("dovetail", &dov_div), ("adaptive", &ad_div)] {
+        assert!(
+            answers.iter().all(|a| *a == Answer::No),
+            "{label} must refute every divergent fd+ind query within the cap"
+        );
+    }
+    let mut classes_seen = 0usize;
+    for c in DependencyClass::ALL {
+        let i = c.index();
+        if expected[i] == 0 {
+            continue;
+        }
+        classes_seen += 1;
+        assert_eq!(
+            dov_stats.class_submitted[i],
+            2 * expected[i],
+            "class {} submissions",
+            c.as_str()
+        );
+        assert_eq!(
+            dov_stats.class_cache_misses[i],
+            expected[i],
+            "class {} round-one misses",
+            c.as_str()
+        );
+        assert_eq!(
+            dov_stats.class_cache_hits[i],
+            expected[i],
+            "class {} round-two hits",
+            c.as_str()
+        );
+        assert!(
+            (dov_stats.class_hit_rate(c) - 0.5).abs() < 1e-9,
+            "class {} hit rate",
+            c.as_str()
+        );
+    }
+    assert!(
+        classes_seen >= 4,
+        "corpus must exercise at least fd, mvd/pjd, ind, and atom goals"
+    );
+    Record {
+        workload: format!("service_mixed_class/lines{}", MIXED_CLASS_CORPUS.len()),
+        naive_ns,
+        semi_ns,
+        parallel_ns,
+        rows: expected.iter().sum::<u64>() as usize * 2,
+        rounds: classes_seen,
     }
 }
 
@@ -943,6 +1139,7 @@ fn main() {
             measure_service_batch(2, 3, 1),
             measure_multi_submit(2, 3, 4, 2, 1),
             measure_divergent_mix(2, 2, 3, 1),
+            measure_service_mixed_class(1),
             measure_telemetry_overhead(2, 2, 3, 1, false),
             measure_skewed_steal(6, 2, 1, false),
             measure_socket_stream(3, 4, 2, 1, false),
@@ -984,6 +1181,7 @@ fn main() {
             measure_multi_submit(4, 6, 24, 2, 3),
             measure_multi_submit(6, 10, 32, 4, 3),
             measure_divergent_mix(3, 4, 6, 3),
+            measure_service_mixed_class(3),
             measure_telemetry_overhead(3, 4, 6, 3, true),
             measure_skewed_steal(24, 4, 3, true),
             measure_socket_stream(5, 10, 4, 3, true),

@@ -300,9 +300,9 @@ fn formal() {
     );
     let u3 = Universe::typed(vec!["A", "B", "C"]);
     let mut pool = ValuePool::new(u3.clone());
-    let sigma = vec![Pjd::parse(&u3, "*[AB, AC]")];
+    let sigma = vec![Pjd::parse(&u3, "*[AB, AC]").unwrap()];
     for goal in ["*[AB, AC, BC]", "*[AB, BC]"] {
-        let g = Pjd::parse(&u3, goal);
+        let g = Pjd::parse(&u3, goal).unwrap();
         let ans = universe_bounded_decides(&sigma, &g, &u3, &mut pool);
         println!("total-jd enumeration decides *[AB, AC] ⊨ {goal}: {ans:?}");
     }
@@ -311,7 +311,7 @@ fn formal() {
         .iter()
         .map(|p| TdOrEgd::Td(p.to_td(&u3, &mut pool)))
         .collect();
-    let goal_td = TdOrEgd::Td(Pjd::parse(&u3, "*[AB, AC, BC]").to_td(&u3, &mut pool));
+    let goal_td = TdOrEgd::Td(Pjd::parse(&u3, "*[AB, AC, BC]").unwrap().to_td(&u3, &mut pool));
     let proof: Proof = prove(&sigma_td, &goal_td, &mut pool, &ChaseConfig::default()).unwrap();
     println!(
         "Theorem 8 proof object: {} steps; independent checker: {:?}",
@@ -325,8 +325,8 @@ fn armstrong() {
     let u = Universe::typed(vec!["A", "B", "C", "D"]);
     let mut pool = ValuePool::new(u.clone());
     let fds = vec![
-        typedtd_dependencies::Fd::parse(&u, "A -> B"),
-        typedtd_dependencies::Fd::parse(&u, "B -> C"),
+        typedtd_dependencies::Fd::parse(&u, "A -> B").unwrap(),
+        typedtd_dependencies::Fd::parse(&u, "B -> C").unwrap(),
     ];
     let arm = fd_armstrong(&u, &mut pool, &fds);
     println!(

@@ -216,8 +216,8 @@ pub type Goal = TdOrEgd;
 /// // A ↠ B implies A ↠ C over ABC (complementation).
 /// let u = Universe::typed(vec!["A", "B", "C"]);
 /// let mut pool = ValuePool::new(u.clone());
-/// let sigma = vec![TdOrEgd::Td(Mvd::parse(&u, "A ->> B").to_pjd().to_td(&u, &mut pool))];
-/// let goal = TdOrEgd::Td(Mvd::parse(&u, "A ->> C").to_pjd().to_td(&u, &mut pool));
+/// let sigma = vec![TdOrEgd::Td(Mvd::parse(&u, "A ->> B").unwrap().to_pjd().to_td(&u, &mut pool))];
+/// let goal = TdOrEgd::Td(Mvd::parse(&u, "A ->> C").unwrap().to_pjd().to_td(&u, &mut pool));
 /// let run = chase_implication(&sigma, &goal, &mut pool, &ChaseConfig::default());
 /// assert_eq!(run.outcome, ChaseOutcome::Implied);
 /// ```
@@ -317,8 +317,8 @@ fn goal_holds(inst: &mut ChaseInstance, goal: &Goal) -> bool {
 ///
 /// let u = Universe::typed(vec!["A", "B", "C"]);
 /// let mut pool = ValuePool::new(u.clone());
-/// let sigma = vec![TdOrEgd::Td(Mvd::parse(&u, "A ->> B").to_pjd().to_td(&u, &mut pool))];
-/// let goal = TdOrEgd::Td(Mvd::parse(&u, "A ->> C").to_pjd().to_td(&u, &mut pool));
+/// let sigma = vec![TdOrEgd::Td(Mvd::parse(&u, "A ->> B").unwrap().to_pjd().to_td(&u, &mut pool))];
+/// let goal = TdOrEgd::Td(Mvd::parse(&u, "A ->> C").unwrap().to_pjd().to_td(&u, &mut pool));
 /// let mut task = ChaseTask::implication(sigma, goal, pool, ChaseConfig::default());
 /// // Single-round fuel slices; the task is preemptible between them.
 /// let outcome = loop {

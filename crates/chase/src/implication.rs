@@ -83,12 +83,37 @@ pub enum DecideMode {
         /// Chase rounds granted per search attempt.
         chase_ratio: u32,
     },
+    /// Like [`DecideMode::Dovetail`], but the ratio adapts at every period
+    /// boundary toward whichever procedure progressed last slice: a chase
+    /// period that merged values or stopped deriving is converging and
+    /// earns a doubled ratio (capped at 8× the initial), while a period of
+    /// pure row growth looks divergent and halves the ratio (floored at 1)
+    /// so the refutation search gets fuel sooner.
+    AdaptiveDovetail {
+        /// Initial chase rounds per search attempt.
+        chase_ratio: u32,
+    },
 }
 
 impl DecideMode {
-    /// Dovetail with the given chase:search fuel ratio.
+    /// Dovetail with the given fixed chase:search fuel ratio.
     pub fn dovetail(chase_ratio: u32) -> Self {
         Self::Dovetail { chase_ratio }
+    }
+
+    /// Dovetail with a self-adjusting ratio starting at `chase_ratio`.
+    pub fn adaptive_dovetail(chase_ratio: u32) -> Self {
+        Self::AdaptiveDovetail { chase_ratio }
+    }
+
+    /// The configured starting chase:search ratio, if dovetailing.
+    pub fn initial_ratio(self) -> Option<u32> {
+        match self {
+            Self::Sequential => None,
+            Self::Dovetail { chase_ratio } | Self::AdaptiveDovetail { chase_ratio } => {
+                Some(chase_ratio.max(1))
+            }
+        }
     }
 }
 
@@ -218,14 +243,21 @@ enum DecidePhase {
         chase_run: Box<ChaseRun>,
         task: Box<SearchTask>,
     },
-    /// [`DecideMode::Dovetail`]: both procedures live, fuel alternating
-    /// between them. `chase_turn` counts the chase rounds left before the
-    /// search's next attempt. The search runs over its own snapshot of
-    /// the initial pool (the procedures are independent enumerations).
+    /// [`DecideMode::Dovetail`] / [`DecideMode::AdaptiveDovetail`]: both
+    /// procedures live, fuel alternating between them. `chase_turn` counts
+    /// the chase rounds left before the search's next attempt; `ratio` is
+    /// the current period length (fixed mode never changes it). The
+    /// `last_*` counters are the chase readings at the previous period
+    /// boundary, the adaptive mode's progress baseline. The search runs
+    /// over its own snapshot of the initial pool (the procedures are
+    /// independent enumerations).
     Dovetailing {
         chase: Box<ChaseTask>,
         search: Box<SearchTask>,
         chase_turn: u32,
+        ratio: u32,
+        last_steps: u64,
+        last_merges: u64,
     },
     /// Finished.
     Done(Box<Decision>, ValuePool),
@@ -290,8 +322,8 @@ impl DecideTask {
     ) -> Self {
         let sigma: Arc<[TdOrEgd]> = sigma.into();
         let cancel = CancelToken::new();
-        let phase = match cfg.mode {
-            DecideMode::Dovetail { chase_ratio } if !cfg.skip_search => {
+        let phase = match cfg.mode.initial_ratio() {
+            Some(ratio) if !cfg.skip_search => {
                 let universe: Arc<Universe> = match &goal {
                     TdOrEgd::Td(t) => t.universe().clone(),
                     TdOrEgd::Egd(e) => e.universe().clone(),
@@ -310,7 +342,10 @@ impl DecideTask {
                 DecidePhase::Dovetailing {
                     chase: Box::new(chase),
                     search: Box::new(search),
-                    chase_turn: chase_ratio.max(1),
+                    chase_turn: ratio,
+                    ratio,
+                    last_steps: 0,
+                    last_merges: 0,
                 }
             }
             _ => DecidePhase::Chasing(Box::new(
@@ -379,6 +414,9 @@ impl DecideTask {
                     chase,
                     search,
                     chase_turn,
+                    ratio,
+                    last_steps,
+                    last_merges,
                 } => {
                     if left == 0 {
                         return DecideStatus::Pending;
@@ -403,10 +441,32 @@ impl DecideTask {
                         let used = ((search.attempts_done() - before) as usize).max(1);
                         left = left.saturating_sub(used);
                         self.fuel_spent += used as u64;
-                        let DecideMode::Dovetail { chase_ratio } = self.cfg.mode else {
-                            unreachable!("dovetail phase outside dovetail mode")
-                        };
-                        *chase_turn = chase_ratio.max(1);
+                        match self.cfg.mode {
+                            DecideMode::Dovetail { .. } => {}
+                            DecideMode::AdaptiveDovetail { chase_ratio } => {
+                                // Re-ratio toward whoever progressed: a
+                                // period with merges or with no new steps
+                                // means the chase is converging (give it
+                                // more); pure row growth looks divergent
+                                // (let the search in sooner).
+                                let steps = chase.steps_applied() as u64;
+                                let merges = chase.merges() as u64;
+                                let converging =
+                                    steps == *last_steps || merges > *last_merges;
+                                let cap = chase_ratio.max(1).saturating_mul(8);
+                                *ratio = if converging {
+                                    ratio.saturating_mul(2).min(cap)
+                                } else {
+                                    (*ratio / 2).max(1)
+                                };
+                                *last_steps = steps;
+                                *last_merges = merges;
+                            }
+                            DecideMode::Sequential => {
+                                unreachable!("dovetail phase outside dovetail mode")
+                            }
+                        }
+                        *chase_turn = (*ratio).max(1);
                         if let SearchStatus::Done(found) = status {
                             self.leave_dovetail_search(found);
                         }
@@ -759,10 +819,10 @@ mod tests {
         let u = Universe::typed(vec!["A", "B", "C"]);
         let mut p = ValuePool::new(u.clone());
         let sigma = vec![
-            Dependency::from(Fd::parse(&u, "A -> B")),
-            Dependency::from(Fd::parse(&u, "B -> C")),
+            Dependency::from(Fd::parse(&u, "A -> B").unwrap()),
+            Dependency::from(Fd::parse(&u, "B -> C").unwrap()),
         ];
-        let goal = Dependency::from(Fd::parse(&u, "A -> C"));
+        let goal = Dependency::from(Fd::parse(&u, "A -> C").unwrap());
         let d = decide_dependencies(&sigma, &goal, &u, &mut p, &DecideConfig::default());
         assert_eq!(d.implication, Answer::Yes);
         assert_eq!(d.finite_implication, Answer::Yes);
@@ -772,8 +832,8 @@ mod tests {
     fn fd_non_implication_has_counterexample() {
         let u = Universe::typed(vec!["A", "B", "C"]);
         let mut p = ValuePool::new(u.clone());
-        let sigma = vec![Dependency::from(Fd::parse(&u, "A -> B"))];
-        let goal = Dependency::from(Fd::parse(&u, "B -> A"));
+        let sigma = vec![Dependency::from(Fd::parse(&u, "A -> B").unwrap())];
+        let goal = Dependency::from(Fd::parse(&u, "B -> A").unwrap());
         let d = decide_dependencies(&sigma, &goal, &u, &mut p, &DecideConfig::default());
         assert_eq!(d.implication, Answer::No);
         assert_eq!(d.finite_implication, Answer::No);
@@ -785,8 +845,8 @@ mod tests {
     fn mvd_complementation_via_chase() {
         let u = Universe::typed(vec!["A", "B", "C"]);
         let mut p = ValuePool::new(u.clone());
-        let sigma = vec![Dependency::from(Mvd::parse(&u, "A ->> B"))];
-        let goal = Dependency::from(Mvd::parse(&u, "A ->> C"));
+        let sigma = vec![Dependency::from(Mvd::parse(&u, "A ->> B").unwrap())];
+        let goal = Dependency::from(Mvd::parse(&u, "A ->> C").unwrap());
         let d = decide_dependencies(&sigma, &goal, &u, &mut p, &DecideConfig::default());
         assert_eq!(d.implication, Answer::Yes);
     }
@@ -795,8 +855,8 @@ mod tests {
     fn fd_implies_mvd_but_not_conversely() {
         let u = Universe::typed(vec!["A", "B", "C"]);
         let mut p = ValuePool::new(u.clone());
-        let fd: Dependency = Fd::parse(&u, "A -> B").into();
-        let mvd: Dependency = Mvd::parse(&u, "A ->> B").into();
+        let fd: Dependency = Fd::parse(&u, "A -> B").unwrap().into();
+        let mvd: Dependency = Mvd::parse(&u, "A ->> B").unwrap().into();
         let cfg = DecideConfig::default();
         let d1 = decide_dependencies(std::slice::from_ref(&fd), &mvd, &u, &mut p, &cfg);
         assert_eq!(d1.implication, Answer::Yes, "X → Y ⊨ X ↠ Y");
@@ -809,8 +869,8 @@ mod tests {
     fn jd_implied_by_its_mvd() {
         let u = Universe::typed(vec!["A", "B", "C"]);
         let mut p = ValuePool::new(u.clone());
-        let mvd: Dependency = Mvd::parse(&u, "A ->> B").into();
-        let jd: Dependency = Pjd::parse(&u, "*[AB, AC]").into();
+        let mvd: Dependency = Mvd::parse(&u, "A ->> B").unwrap().into();
+        let jd: Dependency = Pjd::parse(&u, "*[AB, AC]").unwrap().into();
         let d = decide_dependencies(std::slice::from_ref(&mvd), &jd, &u, &mut p, &DecideConfig::default());
         assert_eq!(d.implication, Answer::Yes);
         let d2 = decide_dependencies(std::slice::from_ref(&jd), &mvd, &u, &mut p, &DecideConfig::default());
@@ -887,11 +947,15 @@ mod tests {
         for (goal_text, expected) in cases {
             let p = ValuePool::new(u.clone());
             let sigma = vec![
-                Dependency::from(Fd::parse(&u, "A -> B")),
-                Dependency::from(Fd::parse(&u, "B -> C")),
+                Dependency::from(Fd::parse(&u, "A -> B").unwrap()),
+                Dependency::from(Fd::parse(&u, "B -> C").unwrap()),
             ];
-            let goal = Dependency::from(Fd::parse(&u, goal_text));
-            for mode in [DecideMode::Sequential, DecideMode::dovetail(2)] {
+            let goal = Dependency::from(Fd::parse(&u, goal_text).unwrap());
+            for mode in [
+                DecideMode::Sequential,
+                DecideMode::dovetail(2),
+                DecideMode::adaptive_dovetail(2),
+            ] {
                 let cfg = DecideConfig {
                     mode,
                     ..DecideConfig::default()
@@ -901,6 +965,70 @@ mod tests {
                 assert_eq!(d.finite_implication, expected);
             }
         }
+    }
+
+    #[test]
+    fn adaptive_dovetail_parity_with_fixed_ratio() {
+        // The adaptive ratio never changes the *answers* — only the fuel
+        // split. Parity across implied, refuted, and divergent-refutable
+        // queries, at several starting ratios.
+        let (sigma, goal, pool) = refutable_divergent();
+        for ratio in [1, 2, 8] {
+            let mut answers = Vec::new();
+            for mode in [
+                DecideMode::dovetail(ratio),
+                DecideMode::adaptive_dovetail(ratio),
+            ] {
+                let cfg = DecideConfig {
+                    chase: huge_chase(),
+                    mode,
+                    ..DecideConfig::default()
+                };
+                let mut task =
+                    DecideTask::new(sigma.clone(), goal.clone(), pool.clone(), cfg);
+                let answer = task.run_to_completion();
+                let (decision, _pool) = task.finish();
+                answers.push((answer, decision.finite_implication));
+            }
+            assert_eq!(
+                answers[0], answers[1],
+                "fixed vs adaptive parity at ratio {ratio}"
+            );
+            assert_eq!(answers[0].1, Answer::No, "both must refute the divergent query");
+        }
+    }
+
+    #[test]
+    fn adaptive_dovetail_shrinks_ratio_on_divergence() {
+        // On the pure-growth divergent query the re-ratio rule drives the
+        // period length down to 1, so the search gets in at least as often
+        // as with the same fixed starting ratio.
+        let (sigma, goal, pool) = refutable_divergent();
+        let mk = |mode| DecideConfig {
+            chase: huge_chase(),
+            mode,
+            ..DecideConfig::default()
+        };
+        let mut fixed = DecideTask::new(
+            sigma.clone(),
+            goal.clone(),
+            pool.clone(),
+            mk(DecideMode::dovetail(32)),
+        );
+        let mut adaptive = DecideTask::new(
+            sigma.clone(),
+            goal.clone(),
+            pool,
+            mk(DecideMode::adaptive_dovetail(32)),
+        );
+        assert_eq!(fixed.run_to_completion(), Answer::No);
+        assert_eq!(adaptive.run_to_completion(), Answer::No);
+        assert!(
+            adaptive.fuel_spent() <= fixed.fuel_spent(),
+            "divergence detection must not waste fuel vs fixed ratio (adaptive {} vs fixed {})",
+            adaptive.fuel_spent(),
+            fixed.fuel_spent()
+        );
     }
 
     #[test]
@@ -932,11 +1060,11 @@ mod tests {
     fn cancel_after_finish_keeps_the_real_answer() {
         let u = Universe::typed(vec!["A", "B", "C"]);
         let mut p = ValuePool::new(u.clone());
-        let sigma: Vec<TdOrEgd> = [Fd::parse(&u, "A -> B"), Fd::parse(&u, "B -> C")]
+        let sigma: Vec<TdOrEgd> = [Fd::parse(&u, "A -> B").unwrap(), Fd::parse(&u, "B -> C").unwrap()]
             .iter()
             .flat_map(|f| Dependency::from(f.clone()).normalize(&u, &mut p))
             .collect();
-        let goal = Dependency::from(Fd::parse(&u, "A -> C"))
+        let goal = Dependency::from(Fd::parse(&u, "A -> C").unwrap())
             .normalize(&u, &mut p)
             .pop()
             .expect("one egd part");

@@ -127,7 +127,7 @@ mod tests {
         let mut pool = ValuePool::new(u.clone());
         let sigma: Vec<TdOrEgd> = ["A ->> B", "B ->> C"]
             .iter()
-            .map(|s| TdOrEgd::Td(Mvd::parse(&u, s).to_pjd().to_td(&u, &mut pool)))
+            .map(|s| TdOrEgd::Td(Mvd::parse(&u, s).unwrap().to_pjd().to_td(&u, &mut pool)))
             .collect();
         assert!(weakly_acyclic(&sigma));
         assert!(dependency_graph(&sigma).iter().all(|e| !e.special));
@@ -137,7 +137,7 @@ mod tests {
     fn egds_contribute_nothing() {
         let u = u3();
         let mut pool = ValuePool::new(u.clone());
-        let sigma: Vec<TdOrEgd> = Fd::parse(&u, "A -> BC")
+        let sigma: Vec<TdOrEgd> = Fd::parse(&u, "A -> BC").unwrap()
             .to_egds(&u, &mut pool)
             .into_iter()
             .map(TdOrEgd::Egd)
@@ -209,10 +209,10 @@ mod tests {
         let mut pool = ValuePool::new(u.clone());
         let sigma: Vec<TdOrEgd> = ["A ->> B"]
             .iter()
-            .map(|s| TdOrEgd::Td(Mvd::parse(&u, s).to_pjd().to_td(&u, &mut pool)))
+            .map(|s| TdOrEgd::Td(Mvd::parse(&u, s).unwrap().to_pjd().to_td(&u, &mut pool)))
             .collect();
         assert!(weakly_acyclic(&sigma));
-        let goal = TdOrEgd::Td(Mvd::parse(&u, "B ->> A").to_pjd().to_td(&u, &mut pool));
+        let goal = TdOrEgd::Td(Mvd::parse(&u, "B ->> A").unwrap().to_pjd().to_td(&u, &mut pool));
         let run = chase_implication(&sigma, &goal, &mut pool, &ChaseConfig::default());
         assert_ne!(run.outcome, ChaseOutcome::Exhausted);
     }

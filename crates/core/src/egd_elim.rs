@@ -185,8 +185,8 @@ mod tests {
         ];
         for (fd_specs, goal_spec, expected) in cases {
             let mut p = ValuePool::new(u.clone());
-            let fds: Vec<Fd> = fd_specs.iter().map(|s| Fd::parse(&u, s)).collect();
-            let goal_fd = Fd::parse(&u, goal_spec);
+            let fds: Vec<Fd> = fd_specs.iter().map(|s| Fd::parse(&u, s).unwrap()).collect();
+            let goal_fd = Fd::parse(&u, goal_spec).unwrap();
             assert_eq!(fd_implies(&fds, &goal_fd), expected, "oracle sanity");
 
             let mut sigma: Vec<TdOrEgd> = Vec::new();
@@ -221,7 +221,7 @@ mod tests {
         // same tableau pattern as θ_{X→A}.
         let u = u6();
         let mut p = ValuePool::new(u.clone());
-        let fd = Fd::parse(&u, "A -> B");
+        let fd = Fd::parse(&u, "A -> B").unwrap();
         let egd = fd.to_egds(&u, &mut p).remove(0);
         let td = theta_egd(&egd, &mut p);
         assert!(td.is_total());
@@ -237,7 +237,7 @@ mod tests {
     fn lemma5_goal_is_total() {
         let u = u6();
         let mut p = ValuePool::new(u.clone());
-        let fd = Fd::parse(&u, "AB -> C");
+        let fd = Fd::parse(&u, "AB -> C").unwrap();
         let egd = fd.to_egds(&u, &mut p).remove(0);
         let (sigma_prime, goal_prime) = lemma5_instance(&[TdOrEgd::Egd(egd.clone())], &egd, &mut p);
         assert!(goal_prime.is_total());

@@ -7,13 +7,17 @@
 
 use crate::egd::Egd;
 use crate::fd::Fd;
+use crate::ind::Ind;
+use crate::independence::IndependenceAtom;
 use crate::mvd::Mvd;
 use crate::pjd::Pjd;
 use crate::td::Td;
 use std::sync::Arc;
 use typedtd_relational::{Relation, Universe, ValuePool};
 
-/// Any dependency of the classes studied in the paper.
+/// Any dependency of the classes studied in the paper, plus the
+/// related-work classes (inclusion dependencies and independence atoms)
+/// that open heterogeneous mixed-class workloads.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Dependency {
     /// Template dependency `(w, I)`.
@@ -26,6 +30,72 @@ pub enum Dependency {
     Mvd(Mvd),
     /// Projected join dependency `*[R₁, …, R_k]_X` (jds included).
     Pjd(Pjd),
+    /// Inclusion dependency `R[X] ⊆ R[Y]` (untyped universes).
+    Ind(Ind),
+    /// (Conditional) independence atom `Y ⊥_X Z`.
+    Atom(IndependenceAtom),
+}
+
+/// The syntactic class of a [`Dependency`] — the label per-class service
+/// statistics (cache hit rates across heterogeneous workloads) key on.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum DependencyClass {
+    /// Template dependency.
+    Td,
+    /// Equality-generating dependency.
+    Egd,
+    /// Functional dependency.
+    Fd,
+    /// Multivalued dependency.
+    Mvd,
+    /// Projected join dependency.
+    Pjd,
+    /// Inclusion dependency.
+    Ind,
+    /// Independence atom.
+    Atom,
+}
+
+impl DependencyClass {
+    /// Every class, in stable display order.
+    pub const ALL: [DependencyClass; 7] = [
+        DependencyClass::Td,
+        DependencyClass::Egd,
+        DependencyClass::Fd,
+        DependencyClass::Mvd,
+        DependencyClass::Pjd,
+        DependencyClass::Ind,
+        DependencyClass::Atom,
+    ];
+
+    /// Number of classes (array-index bound for per-class counters).
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable index into [`DependencyClass::ALL`]-shaped counter arrays.
+    pub fn index(self) -> usize {
+        match self {
+            DependencyClass::Td => 0,
+            DependencyClass::Egd => 1,
+            DependencyClass::Fd => 2,
+            DependencyClass::Mvd => 3,
+            DependencyClass::Pjd => 4,
+            DependencyClass::Ind => 5,
+            DependencyClass::Atom => 6,
+        }
+    }
+
+    /// Stable lowercase name (wire/metrics label).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DependencyClass::Td => "td",
+            DependencyClass::Egd => "egd",
+            DependencyClass::Fd => "fd",
+            DependencyClass::Mvd => "mvd",
+            DependencyClass::Pjd => "pjd",
+            DependencyClass::Ind => "ind",
+            DependencyClass::Atom => "atom",
+        }
+    }
 }
 
 /// Normal form consumed by the chase: a td or an egd.
@@ -64,6 +134,19 @@ impl TdOrEgd {
 }
 
 impl Dependency {
+    /// The syntactic class of this dependency.
+    pub fn class(&self) -> DependencyClass {
+        match self {
+            Dependency::Td(_) => DependencyClass::Td,
+            Dependency::Egd(_) => DependencyClass::Egd,
+            Dependency::Fd(_) => DependencyClass::Fd,
+            Dependency::Mvd(_) => DependencyClass::Mvd,
+            Dependency::Pjd(_) => DependencyClass::Pjd,
+            Dependency::Ind(_) => DependencyClass::Ind,
+            Dependency::Atom(_) => DependencyClass::Atom,
+        }
+    }
+
     /// Decides `J ⊨ σ`.
     pub fn satisfied_by(&self, j: &Relation) -> bool {
         match self {
@@ -72,13 +155,24 @@ impl Dependency {
             Dependency::Fd(f) => f.satisfied_by(j),
             Dependency::Mvd(m) => m.satisfied_by(j),
             Dependency::Pjd(p) => p.satisfied_by(j),
+            Dependency::Ind(i) => i.satisfied_by(j),
+            Dependency::Atom(a) => a.satisfied_by(j),
         }
     }
 
     /// Normalizes into the td/egd fragment over `universe`, minting
     /// variables from `pool` where the conversion introduces tableaux.
-    pub fn normalize(&self, universe: &Arc<Universe>, pool: &mut ValuePool) -> Vec<TdOrEgd> {
-        match self {
+    ///
+    /// # Errors
+    /// Inclusion dependencies only embed into tds over untyped universes
+    /// and when repeated right-side attributes draw from a single source;
+    /// the error explains which condition failed.
+    pub fn try_normalize(
+        &self,
+        universe: &Arc<Universe>,
+        pool: &mut ValuePool,
+    ) -> Result<Vec<TdOrEgd>, String> {
+        Ok(match self {
             Dependency::Td(t) => vec![TdOrEgd::Td(t.clone())],
             Dependency::Egd(e) => vec![TdOrEgd::Egd(e.clone())],
             Dependency::Fd(f) => f
@@ -88,7 +182,32 @@ impl Dependency {
                 .collect(),
             Dependency::Mvd(m) => vec![TdOrEgd::Td(m.to_pjd().to_td(universe, pool))],
             Dependency::Pjd(p) => vec![TdOrEgd::Td(p.to_td(universe, pool))],
-        }
+            Dependency::Ind(i) => {
+                if i.is_trivial() {
+                    Vec::new()
+                } else {
+                    vec![TdOrEgd::Td(i.to_td(universe, pool)?)]
+                }
+            }
+            Dependency::Atom(a) => {
+                let (egds, td) = a.normalize_parts(universe, pool);
+                let mut out: Vec<TdOrEgd> = egds.into_iter().map(TdOrEgd::Egd).collect();
+                if let Some(t) = td {
+                    out.push(TdOrEgd::Td(t));
+                }
+                out
+            }
+        })
+    }
+
+    /// Infallible normalization for the classes of the paper.
+    ///
+    /// # Panics
+    /// Panics where [`Dependency::try_normalize`] would error (only
+    /// possible for inclusion dependencies).
+    pub fn normalize(&self, universe: &Arc<Universe>, pool: &mut ValuePool) -> Vec<TdOrEgd> {
+        self.try_normalize(universe, pool)
+            .unwrap_or_else(|e| panic!("dependency does not normalize: {e}"))
     }
 
     /// Renders the dependency for diagnostics.
@@ -99,6 +218,8 @@ impl Dependency {
             Dependency::Fd(f) => f.render(universe),
             Dependency::Mvd(m) => m.render(),
             Dependency::Pjd(p) => p.render(universe),
+            Dependency::Ind(i) => i.render(universe),
+            Dependency::Atom(a) => a.render(universe),
         }
     }
 }
@@ -128,6 +249,16 @@ impl From<Pjd> for Dependency {
         Dependency::Pjd(p)
     }
 }
+impl From<Ind> for Dependency {
+    fn from(i: Ind) -> Self {
+        Dependency::Ind(i)
+    }
+}
+impl From<IndependenceAtom> for Dependency {
+    fn from(a: IndependenceAtom) -> Self {
+        Dependency::Atom(a)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -153,9 +284,10 @@ mod tests {
         let u = Universe::typed(vec!["A", "B", "C"]);
         let mut p = ValuePool::new(u.clone());
         let deps: Vec<Dependency> = vec![
-            Fd::parse(&u, "A -> B").into(),
-            Mvd::parse(&u, "A ->> B").into(),
-            Pjd::parse(&u, "*[AB, BC]").into(),
+            Fd::parse(&u, "A -> B").unwrap().into(),
+            Mvd::parse(&u, "A ->> B").unwrap().into(),
+            Pjd::parse(&u, "*[AB, BC]").unwrap().into(),
+            IndependenceAtom::parse(&u, "B _|_ C | A").unwrap().into(),
         ];
         let instances = [
             rel(&u, &mut p, &[&["a", "b", "c1"], &["a", "b", "c2"]]),
@@ -187,8 +319,9 @@ mod tests {
         let u = Universe::typed(vec!["A", "B", "C"]);
         let mut p = ValuePool::new(u.clone());
         for d in [
-            Dependency::from(Fd::parse(&u, "AB -> C")),
-            Dependency::from(Pjd::parse(&u, "*[AB, BC] on AC")),
+            Dependency::from(Fd::parse(&u, "AB -> C").unwrap()),
+            Dependency::from(Pjd::parse(&u, "*[AB, BC] on AC").unwrap()),
+            Dependency::from(IndependenceAtom::parse(&u, "B _|_ C | A").unwrap()),
         ] {
             for n in d.normalize(&u, &mut p) {
                 match n {
@@ -197,5 +330,66 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn ind_normalization_preserves_satisfaction() {
+        let u = Universe::untyped(vec!["A", "B", "C"]);
+        let mut p = ValuePool::new(u.clone());
+        let d = Dependency::from(Ind::parse(&u, "[AB] <= [BC]").unwrap());
+        let instances = [
+            rel(&u, &mut p, &[&["a", "b", "c"]]),
+            rel(&u, &mut p, &[&["a", "b", "c"], &["b", "a", "b"]]),
+            rel(&u, &mut p, &[&["a", "a", "a"]]),
+        ];
+        let normals = d.try_normalize(&u, &mut p).unwrap();
+        assert_eq!(normals.len(), 1);
+        for i in &instances {
+            assert_eq!(
+                d.satisfied_by(i),
+                normals.iter().all(|n| n.satisfied_by(i)),
+                "normalize changed semantics of {d:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ind_normalization_rejects_typed_universes() {
+        let u = Universe::typed(vec!["A", "B"]);
+        let mut p = ValuePool::new(u.clone());
+        let d = Dependency::Ind(Ind::new(vec![AttrId(0)], vec![AttrId(1)]).unwrap());
+        assert!(d.try_normalize(&u, &mut p).is_err());
+        // Trivial inds normalize to nothing even over typed universes.
+        let t = Dependency::Ind(Ind::new(vec![AttrId(0)], vec![AttrId(0)]).unwrap());
+        assert!(t.try_normalize(&u, &mut p).unwrap().is_empty());
+    }
+
+    #[test]
+    fn class_tags_are_stable_and_distinct() {
+        let u = Universe::untyped(vec!["A", "B", "C"]);
+        let deps: Vec<Dependency> = vec![
+            Fd::parse(&u, "A -> B").unwrap().into(),
+            Mvd::parse(&u, "A ->> B").unwrap().into(),
+            Pjd::parse(&u, "*[AB, BC]").unwrap().into(),
+            Ind::parse(&u, "[A] <= [B]").unwrap().into(),
+            IndependenceAtom::parse(&u, "A _|_ B").unwrap().into(),
+        ];
+        let classes: Vec<DependencyClass> = deps.iter().map(|d| d.class()).collect();
+        assert_eq!(
+            classes,
+            vec![
+                DependencyClass::Fd,
+                DependencyClass::Mvd,
+                DependencyClass::Pjd,
+                DependencyClass::Ind,
+                DependencyClass::Atom,
+            ]
+        );
+        for (i, c) in DependencyClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        let names: std::collections::HashSet<&str> =
+            DependencyClass::ALL.iter().map(|c| c.as_str()).collect();
+        assert_eq!(names.len(), DependencyClass::COUNT);
     }
 }

@@ -25,11 +25,18 @@ impl Fd {
     }
 
     /// Parses `"A B -> C"` style notation against a universe.
-    pub fn parse(universe: &Universe, spec: &str) -> Self {
+    ///
+    /// # Errors
+    /// Returns a description of the first syntax problem (missing `->`,
+    /// unknown attribute).
+    pub fn parse(universe: &Universe, spec: &str) -> Result<Self, String> {
         let (l, r) = spec
             .split_once("->")
-            .unwrap_or_else(|| panic!("fd must contain '->': {spec:?}"));
-        Self::new(universe.set(l.trim()), universe.set(r.trim()))
+            .ok_or_else(|| format!("fd must contain '->': {spec:?}"))?;
+        Ok(Self::new(
+            universe.try_set(l.trim())?,
+            universe.try_set(r.trim())?,
+        ))
     }
 
     /// Decides `J ⊨ X → Y` by grouping on the determinant.
@@ -148,7 +155,7 @@ mod tests {
     #[test]
     fn parse_and_render() {
         let u = u();
-        let fd = Fd::parse(&u, "AB -> CD");
+        let fd = Fd::parse(&u, "AB -> CD").unwrap();
         assert_eq!(fd.lhs, u.set("AB"));
         assert_eq!(fd.rhs, u.set("CD"));
         assert_eq!(fd.render(&u), "AB -> CD");
@@ -158,7 +165,7 @@ mod tests {
     fn satisfaction() {
         let u = u();
         let mut p = ValuePool::new(u.clone());
-        let fd = Fd::parse(&u, "A -> B");
+        let fd = Fd::parse(&u, "A -> B").unwrap();
         let good = rel(&u, &mut p, &[&["a", "b", "c", "d"], &["a", "b", "x", "y"]]);
         assert!(fd.satisfied_by(&good));
         let bad = rel(&u, &mut p, &[&["a", "b", "c", "d"], &["a", "q", "x", "y"]]);
@@ -168,34 +175,34 @@ mod tests {
     #[test]
     fn closure_transitivity() {
         let u = u();
-        let fds = vec![Fd::parse(&u, "A -> B"), Fd::parse(&u, "B -> C")];
+        let fds = vec![Fd::parse(&u, "A -> B").unwrap(), Fd::parse(&u, "B -> C").unwrap()];
         let cl = closure(&u.set("A"), &fds);
         assert_eq!(cl, u.set("ABC"));
-        assert!(implies(&fds, &Fd::parse(&u, "A -> C")));
-        assert!(!implies(&fds, &Fd::parse(&u, "A -> D")));
+        assert!(implies(&fds, &Fd::parse(&u, "A -> C").unwrap()));
+        assert!(!implies(&fds, &Fd::parse(&u, "A -> D").unwrap()));
     }
 
     #[test]
     fn closure_augmentation_pseudotransitivity() {
         let u = u();
-        let fds = vec![Fd::parse(&u, "A -> B"), Fd::parse(&u, "BC -> D")];
-        assert!(implies(&fds, &Fd::parse(&u, "AC -> D")));
-        assert!(implies(&fds, &Fd::parse(&u, "AC -> ABCD")));
-        assert!(!implies(&fds, &Fd::parse(&u, "A -> D")));
+        let fds = vec![Fd::parse(&u, "A -> B").unwrap(), Fd::parse(&u, "BC -> D").unwrap()];
+        assert!(implies(&fds, &Fd::parse(&u, "AC -> D").unwrap()));
+        assert!(implies(&fds, &Fd::parse(&u, "AC -> ABCD").unwrap()));
+        assert!(!implies(&fds, &Fd::parse(&u, "A -> D").unwrap()));
     }
 
     #[test]
     fn reflexive_fds_always_implied() {
         let u = u();
-        assert!(implies(&[], &Fd::parse(&u, "AB -> A")));
-        assert!(!implies(&[], &Fd::parse(&u, "AB -> C")));
+        assert!(implies(&[], &Fd::parse(&u, "AB -> A").unwrap()));
+        assert!(!implies(&[], &Fd::parse(&u, "AB -> C").unwrap()));
     }
 
     #[test]
     fn egd_conversion_matches_fd_semantics() {
         let u = u();
         let mut p = ValuePool::new(u.clone());
-        let fd = Fd::parse(&u, "A -> BC");
+        let fd = Fd::parse(&u, "A -> BC").unwrap();
         let egds = fd.to_egds(&u, &mut p);
         assert_eq!(egds.len(), 2, "one egd per attribute of Y − X");
         let good = rel(&u, &mut p, &[&["a", "b", "c", "d"], &["a", "b", "c", "e"]]);
@@ -215,7 +222,7 @@ mod tests {
     fn egd_conversion_when_rhs_subset_of_lhs_is_empty() {
         let u = u();
         let mut p = ValuePool::new(u.clone());
-        let fd = Fd::parse(&u, "AB -> A");
+        let fd = Fd::parse(&u, "AB -> A").unwrap();
         assert!(fd.to_egds(&u, &mut p).is_empty());
     }
 }

@@ -1,0 +1,292 @@
+//! Inclusion dependencies `R[X] ⊆ R[Y]` over attribute *sequences*.
+//!
+//! Following Häggblom (and the unary/typed tradition of Casanova–Fagin–
+//! Papadimitriou), the two sides are sequences of equal length in which
+//! attributes may *repeat*: `[A A] <= [B C]` asserts that for every tuple
+//! `t` there is a tuple `u` with `u[B] = u[C] = t[A]`. Satisfaction is
+//! projection containment over the sequence projections
+//! `{ t[X] : t ∈ I } ⊆ { t[Y] : t ∈ I }`.
+//!
+//! In an **untyped** universe a (repetition-free-rhs) inclusion dependency
+//! is exactly a single-hypothesis-row template dependency — [`Ind::to_td`]
+//! performs the compilation, which is how the chase engine evaluates
+//! heterogeneous Σ containing inds. In a **typed** universe values cannot
+//! move between columns, so a non-trivial ind is unsatisfiable on nonempty
+//! relations and the parser rejects it up front.
+
+use crate::td::Td;
+use std::sync::Arc;
+use typedtd_relational::{AttrId, FxHashSet, Relation, Tuple, Universe, Value, ValuePool};
+
+/// An inclusion dependency `R[X] ⊆ R[Y]` (`X`, `Y` attribute sequences of
+/// equal length, repetitions allowed).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Ind {
+    /// Left (included) sequence `X`.
+    pub lhs: Vec<AttrId>,
+    /// Right (including) sequence `Y`.
+    pub rhs: Vec<AttrId>,
+}
+
+impl Ind {
+    /// Builds `R[X] ⊆ R[Y]`.
+    ///
+    /// # Errors
+    /// The sides must have equal, nonzero length (an empty ind asserts
+    /// nothing; requiring nonempty sides keeps renders round-trippable).
+    pub fn new(lhs: Vec<AttrId>, rhs: Vec<AttrId>) -> Result<Self, String> {
+        if lhs.len() != rhs.len() {
+            return Err(format!(
+                "inclusion dependency sides must have equal length ({} vs {})",
+                lhs.len(),
+                rhs.len()
+            ));
+        }
+        if lhs.is_empty() {
+            return Err("inclusion dependency sides must be nonempty".into());
+        }
+        Ok(Self { lhs, rhs })
+    }
+
+    /// Parses `[A B] <= [C A]` notation (single-character attribute names
+    /// may be run together: `[AB] <= [CA]`).
+    ///
+    /// # Errors
+    /// Returns a description of the first syntax problem. Over a *typed*
+    /// universe any ind that moves a value across columns
+    /// (`lhs[i] != rhs[i]` somewhere) is rejected: disjoint domains make it
+    /// unsatisfiable on nonempty relations, and no td/egd form exists.
+    pub fn parse(universe: &Universe, spec: &str) -> Result<Self, String> {
+        let spec = spec.trim();
+        let rest = spec
+            .strip_prefix('[')
+            .ok_or_else(|| format!("ind must start with '[': {spec:?}"))?;
+        let (left, rest) = rest
+            .split_once(']')
+            .ok_or_else(|| format!("ind missing ']' after the left side: {spec:?}"))?;
+        let rest = rest
+            .trim_start()
+            .strip_prefix("<=")
+            .ok_or_else(|| format!("ind needs '<=' between the sides: {spec:?}"))?;
+        let rest = rest
+            .trim_start()
+            .strip_prefix('[')
+            .ok_or_else(|| format!("ind right side must start with '[': {spec:?}"))?;
+        let (right, tail) = rest
+            .split_once(']')
+            .ok_or_else(|| format!("ind missing closing ']': {spec:?}"))?;
+        if !tail.trim().is_empty() {
+            return Err(format!("unexpected text after ind: {:?}", tail.trim()));
+        }
+        let ind = Self::new(universe.try_seq(left)?, universe.try_seq(right)?)?;
+        if universe.is_typed() && !ind.is_trivial() {
+            return Err(
+                "inclusion dependencies require an untyped universe (typed domains are \
+                 disjoint, so a value can never appear in another column)"
+                    .into(),
+            );
+        }
+        Ok(ind)
+    }
+
+    /// `true` when `X = Y` positionwise — satisfied by every relation.
+    pub fn is_trivial(&self) -> bool {
+        self.lhs == self.rhs
+    }
+
+    /// Decides `I ⊨ R[X] ⊆ R[Y]` by sequence-projection containment.
+    pub fn satisfied_by(&self, i: &Relation) -> bool {
+        let project = |t: &Tuple, seq: &[AttrId]| -> Vec<Value> {
+            seq.iter().map(|&a| t.get(a)).collect()
+        };
+        let rhs_proj: FxHashSet<Vec<Value>> =
+            i.iter().map(|t| project(t, &self.rhs)).collect();
+        i.iter().all(|t| rhs_proj.contains(&project(t, &self.lhs)))
+    }
+
+    /// Compiles to the equivalent single-hypothesis-row td over an
+    /// **untyped** universe: hypothesis `(x_0, …, x_{n-1})` (all distinct),
+    /// conclusion carrying `x_{lhs[j]}` in column `rhs[j]` and fresh
+    /// existential values elsewhere.
+    ///
+    /// # Errors
+    /// * typed universe, non-trivial ind — no td form exists (see
+    ///   [`Ind::parse`]);
+    /// * a repeated rhs attribute fed from *different* lhs attributes
+    ///   (`[AB] <= [CC]`): the conclusion column would need two values at
+    ///   once; such an ind forces hypothesis equalities and is outside the
+    ///   pure-td fragment.
+    pub fn to_td(&self, universe: &Arc<Universe>, pool: &mut ValuePool) -> Result<Td, String> {
+        if universe.is_typed() && !self.is_trivial() {
+            return Err("non-trivial inclusion dependencies have no typed td form".into());
+        }
+        let sorted = universe.is_typed();
+        let hyp: Vec<Value> = universe
+            .attrs()
+            .map(|a| pool.fresh(Some(a).filter(|_| sorted), "x"))
+            .collect();
+        let mut conclusion: Vec<Option<Value>> = vec![None; universe.width()];
+        for (j, (&l, &r)) in self.lhs.iter().zip(&self.rhs).enumerate() {
+            let v = hyp[l.index()];
+            match conclusion[r.index()] {
+                Some(prev) if prev != v => {
+                    return Err(format!(
+                        "rhs attribute {} repeats with different lhs sources (position {j}); \
+                         not expressible as a pure td",
+                        universe.name(r)
+                    ));
+                }
+                _ => conclusion[r.index()] = Some(v),
+            }
+        }
+        let w: Vec<Value> = universe
+            .attrs()
+            .map(|a| {
+                conclusion[a.index()]
+                    .unwrap_or_else(|| pool.fresh(Some(a).filter(|_| sorted), "z"))
+            })
+            .collect();
+        Ok(Td::new(
+            universe.clone(),
+            Tuple::new(w),
+            vec![Tuple::new(hyp)],
+        ))
+    }
+
+    /// Renders as `[X] <= [Y]`.
+    pub fn render(&self, universe: &Universe) -> String {
+        format!(
+            "[{}] <= [{}]",
+            universe.render_seq(&self.lhs),
+            universe.render_seq(&self.rhs)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u3() -> Arc<Universe> {
+        Universe::untyped(vec!["A", "B", "C"])
+    }
+
+    fn rel(u: &Arc<Universe>, p: &mut ValuePool, rows: &[&[&str]]) -> Relation {
+        Relation::from_rows(
+            u.clone(),
+            rows.iter().map(|r| {
+                Tuple::new(
+                    r.iter()
+                        .enumerate()
+                        .map(|(i, n)| p.for_attr(AttrId(i as u16), n))
+                        .collect(),
+                )
+            }),
+        )
+    }
+
+    #[test]
+    fn parse_and_render_roundtrip() {
+        let u = u3();
+        let ind = Ind::parse(&u, "[AB] <= [BC]").unwrap();
+        assert_eq!(ind.lhs, vec![AttrId(0), AttrId(1)]);
+        assert_eq!(ind.rhs, vec![AttrId(1), AttrId(2)]);
+        assert_eq!(ind.render(&u), "[AB] <= [BC]");
+        // Repetitions parse and render.
+        let rep = Ind::parse(&u, "[AA] <= [BC]").unwrap();
+        assert_eq!(rep.render(&u), "[AA] <= [BC]");
+    }
+
+    #[test]
+    fn parse_errors() {
+        let u = u3();
+        assert!(Ind::parse(&u, "[AB] <= [C]").is_err(), "length mismatch");
+        assert!(Ind::parse(&u, "[] <= []").is_err(), "empty sides");
+        assert!(Ind::parse(&u, "[AZ] <= [BC]").is_err(), "unknown attr");
+        assert!(Ind::parse(&u, "[AB] < [BC]").is_err(), "bad arrow");
+        assert!(Ind::parse(&u, "[AB] <= [BC] junk").is_err(), "trailing");
+        let typed = Universe::typed(vec!["A", "B", "C"]);
+        assert!(
+            Ind::parse(&typed, "[A] <= [B]")
+                .unwrap_err()
+                .contains("untyped"),
+            "typed non-trivial ind rejected"
+        );
+        // Trivial inds are fine even typed.
+        assert!(Ind::parse(&typed, "[AB] <= [AB]").unwrap().is_trivial());
+    }
+
+    #[test]
+    fn satisfaction_basic() {
+        let u = u3();
+        let mut p = ValuePool::new(u.clone());
+        let ind = Ind::parse(&u, "[A] <= [B]").unwrap();
+        let good = rel(&u, &mut p, &[&["v", "v", "c"], &["w", "w", "c"]]);
+        assert!(ind.satisfied_by(&good));
+        let cross = rel(&u, &mut p, &[&["v", "w", "c"], &["w", "v", "c"]]);
+        assert!(ind.satisfied_by(&cross), "A-values {{v,w}} = B-values");
+        let bad = rel(&u, &mut p, &[&["v", "w", "c"]]);
+        assert!(!ind.satisfied_by(&bad));
+    }
+
+    #[test]
+    fn satisfaction_with_repetitions() {
+        let u = u3();
+        let mut p = ValuePool::new(u.clone());
+        // [AA] <= [BC]: every t needs a u with u[B] = u[C] = t[A].
+        let ind = Ind::parse(&u, "[AA] <= [BC]").unwrap();
+        let good = rel(&u, &mut p, &[&["v", "v", "v"]]);
+        assert!(ind.satisfied_by(&good));
+        let bad = rel(&u, &mut p, &[&["v", "v", "w"]]);
+        assert!(!ind.satisfied_by(&bad), "no row has B = C = v");
+        // Repeated lhs is *weaker* than distinct lhs on the same rhs.
+        let single = Ind::parse(&u, "[A] <= [B]").unwrap();
+        assert!(single.satisfied_by(&good));
+    }
+
+    #[test]
+    fn single_attribute_and_trivial_edges() {
+        let u = u3();
+        let mut p = ValuePool::new(u.clone());
+        let i = rel(&u, &mut p, &[&["a", "b", "c"]]);
+        assert!(Ind::parse(&u, "[A] <= [A]").unwrap().satisfied_by(&i));
+        assert!(Ind::parse(&u, "[ABC] <= [ABC]").unwrap().satisfied_by(&i));
+        assert!(!Ind::parse(&u, "[A] <= [C]").unwrap().satisfied_by(&i));
+    }
+
+    #[test]
+    fn to_td_matches_direct_satisfaction() {
+        let u = u3();
+        let mut p = ValuePool::new(u.clone());
+        for spec in ["[A] <= [B]", "[AB] <= [BC]", "[AA] <= [AB]", "[BA] <= [AB]"] {
+            let ind = Ind::parse(&u, spec).unwrap();
+            let td = ind.to_td(&u, &mut p).unwrap();
+            for rows in [
+                vec![vec!["v", "v", "c"]],
+                vec![vec!["v", "w", "c"], vec!["w", "v", "c"]],
+                vec![vec!["v", "w", "c"]],
+                vec![vec!["a", "a", "a"], vec!["b", "a", "c"]],
+            ] {
+                let slices: Vec<&[&str]> = rows.iter().map(|r| r.as_slice()).collect();
+                let i = rel(&u, &mut p, &slices);
+                assert_eq!(
+                    ind.satisfied_by(&i),
+                    td.satisfied_by(&i),
+                    "{spec} vs its td on {rows:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn to_td_rejects_conflicting_rhs_repetition() {
+        let u = u3();
+        let mut p = ValuePool::new(u.clone());
+        // [AB] <= [CC] forces the conclusion's C column to be two values.
+        let ind = Ind::parse(&u, "[AB] <= [CC]").unwrap();
+        assert!(ind.to_td(&u, &mut p).is_err());
+        // …but a *consistent* rhs repetition compiles fine.
+        let ok = Ind::parse(&u, "[AA] <= [CC]").unwrap();
+        assert!(ok.to_td(&u, &mut p).is_ok());
+    }
+}

@@ -1,0 +1,361 @@
+//! Independence atoms `Y ⊥ Z` and their conditional form `Y ⊥_X Z`
+//! (Hannula–Kontinen–Link; database dependency theory's rendering of
+//! probabilistic conditional independence).
+//!
+//! `I ⊨ Y ⊥_X Z` when for all `t₁, t₂ ∈ I` with `t₁[X] = t₂[X]` there is
+//! `u ∈ I` with `u[X Y] = t₁[X Y]` and `u[Z] = t₂[Z]` — the `X`-groups of
+//! `I` are cartesian products in their `Y` and `Z` coordinates. The
+//! marginal atom `Y ⊥ Z` is the `X = ∅` case. A total mvd `X ↠ Y` is the
+//! *saturated* atom `Y ⊥_X (U − X − Y)`.
+//!
+//! Unlike inclusion dependencies, atoms normalize into the chase's td/egd
+//! fragment in **both** domain disciplines ([`IndependenceAtom::normalize_parts`]):
+//!
+//! * egds for the functional dependency `X → (Y ∩ Z) − X` (overlapping
+//!   coordinates must be determined; constancy when `X = ∅`);
+//! * one two-row td exchanging the disjoint parts `Y − X` and
+//!   `Z − Y − X` over a shared `X`, omitted when either part is empty
+//!   (the td is then trivially witnessed by a hypothesis row).
+
+use crate::egd::Egd;
+use crate::fd::Fd;
+use crate::td::Td;
+use std::sync::Arc;
+use typedtd_relational::{AttrSet, Relation, Tuple, Universe, Value, ValuePool};
+
+/// A (conditional) independence atom `Y ⊥_X Z`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct IndependenceAtom {
+    /// Conditioning set `X` (empty for a marginal atom `Y ⊥ Z`).
+    pub cond: AttrSet,
+    /// Left side `Y`.
+    pub left: AttrSet,
+    /// Right side `Z`.
+    pub right: AttrSet,
+}
+
+impl IndependenceAtom {
+    /// Builds `Y ⊥_X Z` (any of the three sets may be empty).
+    pub fn new(cond: AttrSet, left: AttrSet, right: AttrSet) -> Self {
+        Self { cond, left, right }
+    }
+
+    /// A marginal atom `Y ⊥ Z`.
+    pub fn marginal(left: AttrSet, right: AttrSet) -> Self {
+        Self::new(AttrSet::new(), left, right)
+    }
+
+    /// Parses `A _|_ B` (marginal) or `A _|_ B | C` (conditional, the
+    /// conditioning set after `|`). Either side of `_|_` may be empty.
+    ///
+    /// # Errors
+    /// Returns a description of the first syntax problem.
+    pub fn parse(universe: &Universe, spec: &str) -> Result<Self, String> {
+        let spec = spec.trim();
+        let (body, cond) = match spec.split_once('|') {
+            // `_|_` contains '|'; a real conditioning bar is the *last* '|'
+            // not part of the `_|_` operator.
+            Some(_) => match spec.rsplit_once('|') {
+                Some((pre, post)) if !pre.ends_with('_') && !post.starts_with('_') => {
+                    (pre, Some(post))
+                }
+                _ => (spec, None),
+            },
+            None => (spec, None),
+        };
+        let (l, r) = body
+            .split_once("_|_")
+            .ok_or_else(|| format!("independence atom needs '_|_': {spec:?}"))?;
+        if r.contains("_|_") {
+            return Err(format!("independence atom has more than one '_|_': {spec:?}"));
+        }
+        let cond = match cond {
+            Some(c) => universe.try_set(c.trim())?,
+            None => AttrSet::new(),
+        };
+        Ok(Self::new(
+            cond,
+            universe.try_set(l.trim())?,
+            universe.try_set(r.trim())?,
+        ))
+    }
+
+    /// `true` when satisfied by every relation: one side contributes
+    /// nothing new (`Y ⊆ X` or `Z ⊆ X`) and the overlap is conditioned
+    /// away.
+    pub fn is_trivial(&self) -> bool {
+        self.left.difference(&self.cond).is_empty()
+            || self.right.difference(&self.cond).is_empty()
+    }
+
+    /// Decides `I ⊨ Y ⊥_X Z` directly from the definition.
+    pub fn satisfied_by(&self, i: &Relation) -> bool {
+        let xy = self.cond.union(&self.left);
+        for t1 in i.iter() {
+            for t2 in i.iter() {
+                if !t1.agrees_on(t2, &self.cond) {
+                    continue;
+                }
+                let found = i
+                    .iter()
+                    .any(|u| u.agrees_on(t1, &xy) && u.agrees_on(t2, &self.right));
+                if !found {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The functional dependency the atom entails on the overlap:
+    /// `X → (Y ∩ Z) − X` (constancy of the overlap when `X = ∅`).
+    pub fn overlap_fd(&self) -> Fd {
+        Fd::new(
+            self.cond.clone(),
+            self.left.intersection(&self.right).difference(&self.cond),
+        )
+    }
+
+    /// Normalizes into the chase fragment: the overlap fd's egds plus (when
+    /// both `Y − X` and `Z − Y − X` are nonempty) one two-row exchange td
+    /// whose conclusion takes `X ∪ Y` from the first row, `Z − Y − X` from
+    /// the second, and fresh values elsewhere. Works in both disciplines.
+    /// Returns `(egds, td)`.
+    pub fn normalize_parts(
+        &self,
+        universe: &Arc<Universe>,
+        pool: &mut ValuePool,
+    ) -> (Vec<Egd>, Option<Td>) {
+        let egds = self.overlap_fd().to_egds(universe, pool);
+        let y_part = self.left.difference(&self.cond);
+        let z_part = self.right.difference(&self.left).difference(&self.cond);
+        if y_part.is_empty() || z_part.is_empty() {
+            return (egds, None);
+        }
+        let sorted = universe.is_typed();
+        let fresh = |pool: &mut ValuePool, a, tag| {
+            pool.fresh(Some(a).filter(|_| sorted), tag)
+        };
+        let mut r1 = Vec::with_capacity(universe.width());
+        let mut r2 = Vec::with_capacity(universe.width());
+        let mut w = Vec::with_capacity(universe.width());
+        for a in universe.attrs() {
+            if self.cond.contains(a) {
+                let shared: Value = fresh(pool, a, "x");
+                r1.push(shared);
+                r2.push(shared);
+                w.push(shared);
+            } else {
+                let v1 = fresh(pool, a, "y");
+                let v2 = fresh(pool, a, "z");
+                r1.push(v1);
+                r2.push(v2);
+                // Conclusion: X ∪ Y from row 1 (the overlap included, so
+                // the egds' determination is what makes the decomposition
+                // exact), Z − Y from row 2, fresh otherwise.
+                w.push(if self.left.contains(a) {
+                    v1
+                } else if self.right.contains(a) {
+                    v2
+                } else {
+                    fresh(pool, a, "q")
+                });
+            }
+        }
+        let td = Td::new(
+            universe.clone(),
+            Tuple::new(w),
+            vec![Tuple::new(r1), Tuple::new(r2)],
+        );
+        (egds, Some(td))
+    }
+
+    /// Renders as `Y _|_ Z` or `Y _|_ Z | X`.
+    pub fn render(&self, universe: &Universe) -> String {
+        let side = |s: &AttrSet| {
+            if s.is_empty() {
+                String::new()
+            } else {
+                universe.render_set(s)
+            }
+        };
+        if self.cond.is_empty() {
+            format!("{} _|_ {}", side(&self.left), side(&self.right))
+        } else {
+            format!(
+                "{} _|_ {} | {}",
+                side(&self.left),
+                side(&self.right),
+                universe.render_set(&self.cond)
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use typedtd_relational::AttrId;
+
+    fn rel(u: &Arc<Universe>, p: &mut ValuePool, rows: &[&[&str]]) -> Relation {
+        Relation::from_rows(
+            u.clone(),
+            rows.iter().map(|r| {
+                Tuple::new(
+                    r.iter()
+                        .enumerate()
+                        .map(|(i, n)| p.for_attr(AttrId(i as u16), n))
+                        .collect(),
+                )
+            }),
+        )
+    }
+
+    #[test]
+    fn parse_and_render() {
+        let u = Universe::typed(vec!["A", "B", "C"]);
+        let m = IndependenceAtom::parse(&u, "A _|_ B").unwrap();
+        assert!(m.cond.is_empty());
+        assert_eq!(m.render(&u), "A _|_ B");
+        let c = IndependenceAtom::parse(&u, "A _|_ B | C").unwrap();
+        assert_eq!(c.cond, u.set("C"));
+        assert_eq!(c.render(&u), "A _|_ B | C");
+        // Empty sides parse.
+        let e = IndependenceAtom::parse(&u, "A _|_ ").unwrap();
+        assert!(e.right.is_empty() && e.is_trivial());
+        assert!(IndependenceAtom::parse(&u, "A ⊥ B").is_err());
+        assert!(IndependenceAtom::parse(&u, "A _|_ Z").is_err());
+    }
+
+    #[test]
+    fn marginal_satisfaction_is_cartesian_product() {
+        let u = Universe::typed(vec!["A", "B", "C"]);
+        let mut p = ValuePool::new(u.clone());
+        let atom = IndependenceAtom::parse(&u, "A _|_ B").unwrap();
+        let product = rel(
+            &u,
+            &mut p,
+            &[
+                &["a1", "b1", "c"],
+                &["a1", "b2", "c"],
+                &["a2", "b1", "c"],
+                &["a2", "b2", "c"],
+            ],
+        );
+        assert!(atom.satisfied_by(&product));
+        let diagonal = rel(&u, &mut p, &[&["a1", "b1", "c"], &["a2", "b2", "c"]]);
+        assert!(!atom.satisfied_by(&diagonal));
+    }
+
+    #[test]
+    fn conditional_atom_is_groupwise() {
+        let u = Universe::typed(vec!["A", "B", "C"]);
+        let mut p = ValuePool::new(u.clone());
+        // B ⊥_A C: within each A-group, B × C.
+        let atom = IndependenceAtom::parse(&u, "B _|_ C | A").unwrap();
+        let good = rel(
+            &u,
+            &mut p,
+            &[
+                &["a", "b1", "c1"],
+                &["a", "b1", "c2"],
+                &["a", "b2", "c1"],
+                &["a", "b2", "c2"],
+                &["a'", "b9", "c9"],
+            ],
+        );
+        assert!(atom.satisfied_by(&good));
+        let bad = rel(&u, &mut p, &[&["a", "b1", "c1"], &["a", "b2", "c2"]]);
+        assert!(!atom.satisfied_by(&bad));
+        // The saturated atom is the mvd.
+        let mvd = crate::mvd::Mvd::parse(&u, "A ->> B").unwrap();
+        for r in [&good, &bad] {
+            assert_eq!(atom.satisfied_by(r), mvd.satisfied_by(r));
+        }
+    }
+
+    #[test]
+    fn overlap_forces_agreement() {
+        let u = Universe::typed(vec!["A", "B", "C"]);
+        let mut p = ValuePool::new(u.clone());
+        // A ⊥ A: the A column must be constant.
+        let atom = IndependenceAtom::parse(&u, "A _|_ A").unwrap();
+        assert!(atom.satisfied_by(&rel(&u, &mut p, &[&["a", "b1", "c"], &["a", "b2", "c"]])));
+        assert!(!atom.satisfied_by(&rel(&u, &mut p, &[&["a1", "b", "c"], &["a2", "b", "c"]])));
+        // AB ⊥ BC: overlap B must be constant (given empty cond).
+        let wide = IndependenceAtom::parse(&u, "AB _|_ BC").unwrap();
+        assert_eq!(wide.overlap_fd().rhs, u.set("B"));
+    }
+
+    #[test]
+    fn trivial_edges() {
+        let u = Universe::typed(vec!["A", "B", "C"]);
+        let mut p = ValuePool::new(u.clone());
+        let any = rel(&u, &mut p, &[&["a1", "b1", "c1"], &["a2", "b2", "c2"]]);
+        for spec in ["A _|_ ", " _|_ B", "A _|_ A | A", "B _|_ C | BC"] {
+            let atom = IndependenceAtom::parse(&u, spec).unwrap();
+            assert!(atom.is_trivial(), "{spec} should be trivial");
+            assert!(atom.satisfied_by(&any), "{spec} must hold everywhere");
+        }
+    }
+
+    #[test]
+    fn normalization_matches_direct_satisfaction() {
+        for u in [
+            Universe::typed(vec!["A", "B", "C"]),
+            Universe::untyped(vec!["A", "B", "C"]),
+        ] {
+            let mut p = ValuePool::new(u.clone());
+            let instances = [
+                rel(&u, &mut p, &[&["a", "b", "c"]]),
+                rel(&u, &mut p, &[&["a", "b1", "c1"], &["a", "b2", "c2"]]),
+                rel(
+                    &u,
+                    &mut p,
+                    &[
+                        &["a", "b1", "c1"],
+                        &["a", "b1", "c2"],
+                        &["a", "b2", "c1"],
+                        &["a", "b2", "c2"],
+                    ],
+                ),
+                rel(&u, &mut p, &[&["a1", "b1", "c"], &["a2", "b2", "c"]]),
+                rel(
+                    &u,
+                    &mut p,
+                    &[&["a1", "b1", "c"], &["a2", "b2", "c"], &["a1", "b2", "c"], &["a2", "b1", "c"]],
+                ),
+            ];
+            for spec in [
+                "A _|_ B",
+                "A _|_ B | C",
+                "B _|_ C | A",
+                "A _|_ A",
+                "AB _|_ BC",
+                "AB _|_ BC | A",
+                "A _|_ BC",
+            ] {
+                let atom = IndependenceAtom::parse(&u, spec).unwrap();
+                let (egds, td) = atom.normalize_parts(&u, &mut p);
+                for i in &instances {
+                    let via_parts = egds.iter().all(|e| e.satisfied_by(i))
+                        && td.as_ref().is_none_or(|t| t.satisfied_by(i));
+                    assert_eq!(
+                        atom.satisfied_by(i),
+                        via_parts,
+                        "normalization changed semantics of {spec} ({:?}) on {i:?}",
+                        u.typing()
+                    );
+                }
+                if u.is_typed() {
+                    for e in &egds {
+                        e.check_typed(&p).unwrap();
+                    }
+                    if let Some(t) = &td {
+                        t.check_typed(&p).unwrap();
+                    }
+                }
+            }
+        }
+    }
+}

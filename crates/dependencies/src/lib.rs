@@ -13,8 +13,15 @@
 //! * [`Pjd`] — projected join dependencies `*[R₁, …, R_k]_X` (join
 //!   dependencies as the `X = R` case) with the Lemma 6 equivalence to
 //!   shallow tds in both directions;
+//! * [`Ind`] — inclusion dependencies `R[X] ⊆ R[Y]` over attribute
+//!   sequences (related work: Casanova–Fagin–Papadimitriou), compiling to
+//!   single-row tds over untyped universes;
+//! * [`IndependenceAtom`] — (conditional) independence atoms `Y ⊥_X Z`
+//!   (related work: Hannula–Kontinen–Link), normalizing to egds + one
+//!   exchange td;
 //! * [`Dependency`] / [`TdOrEgd`] — a unified enum and normalization into
-//!   the td + egd fragment consumed by the chase engine.
+//!   the td + egd fragment consumed by the chase engine, with
+//!   [`DependencyClass`] tags for heterogeneous-workload accounting.
 //!
 //! Every class carries a *decidable* satisfaction test over finite
 //! relations (`satisfied_by`), which is the semantic ground truth the rest
@@ -25,15 +32,19 @@
 pub mod dependency;
 pub mod egd;
 pub mod fd;
+pub mod ind;
+pub mod independence;
 pub mod mvd;
 pub mod oracles;
 pub mod parser;
 pub mod pjd;
 pub mod td;
 
-pub use dependency::{Dependency, TdOrEgd};
+pub use dependency::{Dependency, DependencyClass, TdOrEgd};
 pub use egd::Egd;
 pub use fd::{closure as fd_closure, implies as fd_implies, Fd};
+pub use ind::Ind;
+pub use independence::IndependenceAtom;
 pub use mvd::Mvd;
 pub use oracles::{dependency_basis, mvd_implies};
 pub use parser::{parse_dependency, parse_egd, parse_td};

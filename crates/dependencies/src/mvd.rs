@@ -27,15 +27,19 @@ impl Mvd {
     }
 
     /// Parses `"A ->> B C"` style notation.
-    pub fn parse(universe: &Arc<Universe>, spec: &str) -> Self {
+    ///
+    /// # Errors
+    /// Returns a description of the first syntax problem (missing `->>`,
+    /// unknown attribute).
+    pub fn parse(universe: &Arc<Universe>, spec: &str) -> Result<Self, String> {
         let (l, r) = spec
             .split_once("->>")
-            .unwrap_or_else(|| panic!("mvd must contain '->>': {spec:?}"));
-        Self::new(
+            .ok_or_else(|| format!("mvd must contain '->>': {spec:?}"))?;
+        Ok(Self::new(
             universe.clone(),
-            universe.set(l.trim()),
-            universe.set(r.trim()),
-        )
+            universe.try_set(l.trim())?,
+            universe.try_set(r.trim())?,
+        ))
     }
 
     /// The universe this mvd is over.
@@ -119,7 +123,7 @@ mod tests {
     fn textbook_mvd() {
         let u = Universe::typed(vec!["A", "B", "C"]);
         let mut p = ValuePool::new(u.clone());
-        let mvd = Mvd::parse(&u, "A ->> B");
+        let mvd = Mvd::parse(&u, "A ->> B").unwrap();
         let good = rel(
             &u,
             &mut p,
@@ -139,7 +143,7 @@ mod tests {
     fn mvd_agrees_with_its_pjd() {
         let u = Universe::typed(vec!["A", "B", "C"]);
         let mut p = ValuePool::new(u.clone());
-        let mvd = Mvd::parse(&u, "A ->> B");
+        let mvd = Mvd::parse(&u, "A ->> B").unwrap();
         let pjd = mvd.to_pjd();
         assert!(pjd.is_mvd());
         for rows in [
@@ -164,11 +168,11 @@ mod tests {
         let mut p = ValuePool::new(u.clone());
         let i = rel(&u, &mut p, &[&["a", "b1", "c1"], &["a", "b2", "c2"]]);
         // Y ⊆ X: trivial.
-        assert!(Mvd::parse(&u, "AB ->> B").satisfied_by(&i));
-        assert!(Mvd::parse(&u, "AB ->> B").to_pjd().satisfied_by(&i));
+        assert!(Mvd::parse(&u, "AB ->> B").unwrap().satisfied_by(&i));
+        assert!(Mvd::parse(&u, "AB ->> B").unwrap().to_pjd().satisfied_by(&i));
         // XY = U: trivial.
-        assert!(Mvd::parse(&u, "A ->> BC").satisfied_by(&i));
-        assert!(Mvd::parse(&u, "A ->> BC").to_pjd().satisfied_by(&i));
+        assert!(Mvd::parse(&u, "A ->> BC").unwrap().satisfied_by(&i));
+        assert!(Mvd::parse(&u, "A ->> BC").unwrap().to_pjd().satisfied_by(&i));
     }
 
     #[test]
@@ -177,15 +181,15 @@ mod tests {
         let u = Universe::typed(vec!["A", "B", "C"]);
         let mut p = ValuePool::new(u.clone());
         let i = rel(&u, &mut p, &[&["a", "b", "c1"], &["a", "b", "c2"]]);
-        assert!(crate::fd::Fd::parse(&u, "A -> B").satisfied_by(&i));
-        assert!(Mvd::parse(&u, "A ->> B").satisfied_by(&i));
+        assert!(crate::fd::Fd::parse(&u, "A -> B").unwrap().satisfied_by(&i));
+        assert!(Mvd::parse(&u, "A ->> B").unwrap().satisfied_by(&i));
     }
 
     #[test]
     fn paper_notation_x_intersect() {
         // *[R1, R2] as mvd: R1 ∩ R2 ↠ R1 − R2.
         let u = Universe::typed(vec!["A", "B", "C"]);
-        let jd = Pjd::parse(&u, "*[AB, AC]");
+        let jd = Pjd::parse(&u, "*[AB, AC]").unwrap();
         assert!(jd.is_mvd());
         let mvd = Mvd::new(u.clone(), u.set("A"), u.set("B"));
         let mut p = ValuePool::new(u.clone());

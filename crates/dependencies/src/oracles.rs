@@ -102,7 +102,7 @@ mod tests {
     #[test]
     fn basis_splits_on_given_mvd() {
         let u = u4();
-        let mvds = vec![Mvd::parse(&u, "A ->> B")];
+        let mvds = vec![Mvd::parse(&u, "A ->> B").unwrap()];
         let basis = dependency_basis(&u, &u.set("A"), &mvds);
         assert_eq!(basis, vec![u.set("B"), u.set("CD")]);
     }
@@ -110,41 +110,41 @@ mod tests {
     #[test]
     fn complementation_is_built_in() {
         let u = u4();
-        let mvds = vec![Mvd::parse(&u, "A ->> B")];
-        assert!(mvd_implies(&u, &mvds, &Mvd::parse(&u, "A ->> CD")));
-        assert!(!mvd_implies(&u, &mvds, &Mvd::parse(&u, "A ->> C")));
+        let mvds = vec![Mvd::parse(&u, "A ->> B").unwrap()];
+        assert!(mvd_implies(&u, &mvds, &Mvd::parse(&u, "A ->> CD").unwrap()));
+        assert!(!mvd_implies(&u, &mvds, &Mvd::parse(&u, "A ->> C").unwrap()));
     }
 
     #[test]
     fn trivial_mvds_implied_by_empty_set() {
         let u = u4();
-        assert!(mvd_implies(&u, &[], &Mvd::parse(&u, "AB ->> A")));
-        assert!(mvd_implies(&u, &[], &Mvd::parse(&u, "A ->> BCD")));
-        assert!(!mvd_implies(&u, &[], &Mvd::parse(&u, "A ->> B")));
+        assert!(mvd_implies(&u, &[], &Mvd::parse(&u, "AB ->> A").unwrap()));
+        assert!(mvd_implies(&u, &[], &Mvd::parse(&u, "A ->> BCD").unwrap()));
+        assert!(!mvd_implies(&u, &[], &Mvd::parse(&u, "A ->> B").unwrap()));
     }
 
     #[test]
     fn augmentation_of_mvds() {
         // A ↠ B entails AC ↠ B.
         let u = u4();
-        let mvds = vec![Mvd::parse(&u, "A ->> B")];
-        assert!(mvd_implies(&u, &mvds, &Mvd::parse(&u, "AC ->> B")));
+        let mvds = vec![Mvd::parse(&u, "A ->> B").unwrap()];
+        assert!(mvd_implies(&u, &mvds, &Mvd::parse(&u, "AC ->> B").unwrap()));
     }
 
     #[test]
     fn transitivity_of_mvds() {
         // A ↠ B and B ↠ C entail A ↠ C − B = C (pseudo-transitivity).
         let u = u4();
-        let mvds = vec![Mvd::parse(&u, "A ->> B"), Mvd::parse(&u, "B ->> C")];
-        assert!(mvd_implies(&u, &mvds, &Mvd::parse(&u, "A ->> C")));
+        let mvds = vec![Mvd::parse(&u, "A ->> B").unwrap(), Mvd::parse(&u, "B ->> C").unwrap()];
+        assert!(mvd_implies(&u, &mvds, &Mvd::parse(&u, "A ->> C").unwrap()));
         // But not the naive converse.
-        assert!(!mvd_implies(&u, &mvds, &Mvd::parse(&u, "C ->> A")));
+        assert!(!mvd_implies(&u, &mvds, &Mvd::parse(&u, "C ->> A").unwrap()));
     }
 
     #[test]
     fn basis_is_a_partition() {
         let u = u4();
-        let mvds = vec![Mvd::parse(&u, "A ->> B"), Mvd::parse(&u, "A ->> C")];
+        let mvds = vec![Mvd::parse(&u, "A ->> B").unwrap(), Mvd::parse(&u, "A ->> C").unwrap()];
         let basis = dependency_basis(&u, &u.set("A"), &mvds);
         let mut total = AttrSet::new();
         for b in &basis {

@@ -5,6 +5,9 @@
 //! A ->> B C                     (total) multivalued dependency
 //! *[AB, BC]                     join dependency
 //! *[AB, BC] on AC               projected join dependency
+//! [AB] <= [BC]                  inclusion dependency (sequences; repeats OK)
+//! A _|_ B                       marginal independence atom
+//! B _|_ C | A                   conditional independence atom  Y ⊥_X Z
 //! td [x y z1 ; x y2 z] => x y2 z1     template dependency
 //! egd [x y1 _ ; x y2 _] => y1 = y2     equality-generating dependency
 //! ```
@@ -12,11 +15,16 @@
 //! Rows are whitespace-separated value names; `;` separates rows; `_` is an
 //! anonymous fresh value (a variable used nowhere else). In typed universes
 //! the same name in different columns denotes different values (disjoint
-//! domains), matching the paper's convention.
+//! domains), matching the paper's convention. Inclusion dependencies are
+//! only accepted over *untyped* universes (disjoint typed domains make any
+//! non-trivial ind unsatisfiable); independence atoms parse in both
+//! disciplines.
 
 use crate::dependency::Dependency;
 use crate::egd::Egd;
 use crate::fd::Fd;
+use crate::ind::Ind;
+use crate::independence::IndependenceAtom;
 use crate::mvd::Mvd;
 use crate::pjd::Pjd;
 use crate::td::Td;
@@ -50,11 +58,15 @@ pub fn parse_dependency(
     } else if s.starts_with("egd") {
         parse_egd(universe, pool, s).map(Dependency::Egd)
     } else if s.starts_with("*[") {
-        Ok(Dependency::Pjd(Pjd::parse(universe, s)))
+        Pjd::parse(universe, s).map(Dependency::Pjd)
+    } else if s.starts_with('[') && s.contains("<=") {
+        Ind::parse(universe, s).map(Dependency::Ind)
+    } else if s.contains("_|_") {
+        IndependenceAtom::parse(universe, s).map(Dependency::Atom)
     } else if s.contains("->>") {
-        Ok(Dependency::Mvd(Mvd::parse(universe, s)))
+        Mvd::parse(universe, s).map(Dependency::Mvd)
     } else if s.contains("->") {
-        Ok(Dependency::Fd(Fd::parse(universe, s)))
+        Fd::parse(universe, s).map(Dependency::Fd)
     } else {
         Err(format!("unrecognized dependency syntax: {s:?}"))
     }
@@ -203,7 +215,26 @@ mod tests {
             parse_dependency(&u, &mut p, "egd [x y1 _ ; x y2 _] => y1 = y2").unwrap(),
             Dependency::Egd(_)
         ));
+        assert!(matches!(
+            parse_dependency(&u, &mut p, "A _|_ B").unwrap(),
+            Dependency::Atom(_)
+        ));
+        assert!(matches!(
+            parse_dependency(&u, &mut p, "B _|_ C | A").unwrap(),
+            Dependency::Atom(_)
+        ));
         assert!(parse_dependency(&u, &mut p, "???").is_err());
+        // Parse errors from the class parsers surface as Err, not panics.
+        assert!(parse_dependency(&u, &mut p, "A -> Z").is_err());
+        assert!(parse_dependency(&u, &mut p, "*[AB, BZ]").is_err());
+        // Inds need an untyped universe …
+        assert!(parse_dependency(&u, &mut p, "[A] <= [B]").is_err());
+        let uu = Universe::untyped(vec!["A", "B", "C"]);
+        let mut pp = ValuePool::new(uu.clone());
+        assert!(matches!(
+            parse_dependency(&uu, &mut pp, "[AB] <= [BC]").unwrap(),
+            Dependency::Ind(_)
+        ));
     }
 
     #[test]

@@ -21,9 +21,9 @@ use typedtd_relational::{
 /// use typedtd_relational::Universe;
 ///
 /// let u = Universe::typed(vec!["A", "B", "C"]);
-/// let jd = Pjd::parse(&u, "*[AB, BC]");
+/// let jd = Pjd::parse(&u, "*[AB, BC]").unwrap();
 /// assert!(jd.is_jd() && jd.is_total(&u) && jd.is_mvd());
-/// let pjd = Pjd::parse(&u, "*[AB, BC] on AC");
+/// let pjd = Pjd::parse(&u, "*[AB, BC] on AC").unwrap();
 /// assert!(!pjd.is_jd());
 /// ```
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -67,26 +67,52 @@ impl Pjd {
     }
 
     /// Parses `*[AB, BC]` (jd) or `*[AB, BC] on B` (pjd) notation.
-    pub fn parse(universe: &Universe, spec: &str) -> Self {
+    ///
+    /// # Errors
+    /// Returns a description of the first syntax problem: malformed
+    /// brackets, an unknown attribute, an empty or repeated component, or
+    /// a projection outside `∪Rᵢ`. Never panics on malformed input — the
+    /// structural invariants [`Pjd::new`] asserts are checked here first.
+    pub fn parse(universe: &Universe, spec: &str) -> Result<Self, String> {
         let spec = spec.trim();
         let rest = spec
             .strip_prefix("*[")
-            .unwrap_or_else(|| panic!("pjd must start with '*[': {spec:?}"));
+            .ok_or_else(|| format!("pjd must start with '*[': {spec:?}"))?;
         let (inside, tail) = rest
             .split_once(']')
-            .unwrap_or_else(|| panic!("pjd missing ']': {spec:?}"));
-        let components: Vec<AttrSet> = inside
-            .split(',')
-            .map(|c| universe.set(c.trim()))
-            .collect();
+            .ok_or_else(|| format!("pjd missing ']': {spec:?}"))?;
+        let mut components: Vec<AttrSet> = Vec::new();
+        for c in inside.split(',') {
+            let comp = universe.try_set(c.trim())?;
+            if comp.is_empty() {
+                return Err(format!("pjd components must be nonempty: {spec:?}"));
+            }
+            if components.contains(&comp) {
+                return Err(format!(
+                    "pjd component {} repeats: {spec:?}",
+                    universe.render_set(&comp)
+                ));
+            }
+            components.push(comp);
+        }
+        if components.is_empty() {
+            return Err(format!("pjd needs at least one component: {spec:?}"));
+        }
         let tail = tail.trim();
         if tail.is_empty() {
-            Self::jd(components)
+            Ok(Self::jd(components))
         } else {
             let x = tail
                 .strip_prefix("on")
-                .unwrap_or_else(|| panic!("pjd projection must follow 'on': {spec:?}"));
-            Self::new(components, universe.set(x.trim()))
+                .ok_or_else(|| format!("pjd projection must follow 'on': {spec:?}"))?;
+            let projection = universe.try_set(x.trim())?;
+            let r = components
+                .iter()
+                .fold(AttrSet::new(), |acc, c| acc.union(c));
+            if !projection.is_subset(&r) {
+                return Err(format!("pjd projection X must satisfy X ⊆ R: {spec:?}"));
+            }
+            Ok(Self::new(components, projection))
         }
     }
 
@@ -321,12 +347,12 @@ mod tests {
     #[test]
     fn parse_roundtrip() {
         let u = Universe::typed(vec!["A", "B", "C"]);
-        let jd = Pjd::parse(&u, "*[AB, BC]");
+        let jd = Pjd::parse(&u, "*[AB, BC]").unwrap();
         assert!(jd.is_jd());
         assert!(jd.is_total(&u));
         assert!(jd.is_mvd());
         assert_eq!(jd.render(&u), "*[AB, BC]");
-        let pjd = Pjd::parse(&u, "*[AB, BC] on AC");
+        let pjd = Pjd::parse(&u, "*[AB, BC] on AC").unwrap();
         assert!(!pjd.is_jd());
         assert_eq!(pjd.render(&u), "*[AB, BC] on AC");
     }
@@ -335,7 +361,7 @@ mod tests {
     fn jd_satisfaction_matches_lossless_join() {
         let u = Universe::typed(vec!["A", "B", "C"]);
         let mut p = ValuePool::new(u.clone());
-        let jd = Pjd::parse(&u, "*[AB, BC]");
+        let jd = Pjd::parse(&u, "*[AB, BC]").unwrap();
         // B → C holds, so *[AB, BC] holds.
         let good = rel(&u, &mut p, &[&["a1", "b", "c"], &["a2", "b", "c"]]);
         assert!(jd.satisfied_by(&good));
@@ -349,17 +375,17 @@ mod tests {
         let u = Universe::typed(vec!["A", "B", "C"]);
         let mut p = ValuePool::new(u.clone());
         // Project on B only: (m_R(I))[B] = I[B] always holds here.
-        let pjd = Pjd::parse(&u, "*[AB, BC] on B");
+        let pjd = Pjd::parse(&u, "*[AB, BC] on B").unwrap();
         let bad_for_jd = rel(&u, &mut p, &[&["a1", "b", "c1"], &["a2", "b", "c2"]]);
         assert!(pjd.satisfied_by(&bad_for_jd));
-        assert!(!Pjd::parse(&u, "*[AB, BC]").satisfied_by(&bad_for_jd));
+        assert!(!Pjd::parse(&u, "*[AB, BC]").unwrap().satisfied_by(&bad_for_jd));
     }
 
     #[test]
     fn to_td_is_shallow_and_equisatisfied() {
         let u = Universe::typed(vec!["A", "B", "C"]);
         let mut p = ValuePool::new(u.clone());
-        let pjd = Pjd::parse(&u, "*[AB, BC] on AC");
+        let pjd = Pjd::parse(&u, "*[AB, BC] on AC").unwrap();
         let td = pjd.to_td(&u, &mut p);
         assert!(td.is_shallow());
         td.check_typed(&p).unwrap();
@@ -386,7 +412,7 @@ mod tests {
     fn shallow_roundtrip_recovers_pjd() {
         let u = Universe::typed(vec!["A", "B", "C", "D"]);
         let mut p = ValuePool::new(u.clone());
-        let pjd = Pjd::parse(&u, "*[AB, BC, CD] on AD");
+        let pjd = Pjd::parse(&u, "*[AB, BC, CD] on AD").unwrap();
         let td = pjd.to_td(&u, &mut p);
         let back = Pjd::from_shallow_td(&td).unwrap();
         assert_eq!(back.components(), pjd.components());

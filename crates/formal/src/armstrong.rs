@@ -142,11 +142,11 @@ mod tests {
         let prod = direct_product(&w1, &w2, &mut pool);
         assert_eq!(prod.len(), 4);
         // A fd violated in either factor is violated in the product.
-        let fd = Fd::parse(&u, "AB -> C");
+        let fd = Fd::parse(&u, "AB -> C").unwrap();
         assert!(!fd.satisfied_by(&w1));
         assert!(!fd.satisfied_by(&prod));
         // A fd satisfied in both factors is satisfied in the product.
-        let ok = Fd::parse(&u, "ABCD -> A");
+        let ok = Fd::parse(&u, "ABCD -> A").unwrap();
         assert!(ok.satisfied_by(&prod));
     }
 
@@ -154,7 +154,7 @@ mod tests {
     fn armstrong_for_simple_fd_set() {
         let u = u4();
         let mut pool = ValuePool::new(u.clone());
-        let fds = vec![Fd::parse(&u, "A -> B"), Fd::parse(&u, "B -> C")];
+        let fds = vec![Fd::parse(&u, "A -> B").unwrap(), Fd::parse(&u, "B -> C").unwrap()];
         let arm = fd_armstrong(&u, &mut pool, &fds);
         // Probe EVERY single-attribute-rhs fd.
         for lhs_mask in 0..(1u32 << 4) {
@@ -180,9 +180,9 @@ mod tests {
         let mut pool = ValuePool::new(u.clone());
         let arm = fd_armstrong(&u, &mut pool, &[]);
         // Only trivial fds hold.
-        assert!(Fd::parse(&u, "AB -> A").satisfied_by(&arm));
-        assert!(!Fd::parse(&u, "A -> B").satisfied_by(&arm));
-        assert!(!Fd::parse(&u, "B -> A").satisfied_by(&arm));
+        assert!(Fd::parse(&u, "AB -> A").unwrap().satisfied_by(&arm));
+        assert!(!Fd::parse(&u, "A -> B").unwrap().satisfied_by(&arm));
+        assert!(!Fd::parse(&u, "B -> A").unwrap().satisfied_by(&arm));
     }
 
     #[test]
@@ -190,12 +190,12 @@ mod tests {
         let u = Universe::typed(vec!["A", "B"]);
         let mut pool = ValuePool::new(u.clone());
         let fds = vec![
-            Fd::parse(&u, "A -> B"),
-            Fd::parse(&u, "B -> A"),
+            Fd::parse(&u, "A -> B").unwrap(),
+            Fd::parse(&u, "B -> A").unwrap(),
         ];
         let arm = fd_armstrong(&u, &mut pool, &fds);
         for goal in ["A -> B", "B -> A", "A -> AB"] {
-            let g = Fd::parse(&u, goal);
+            let g = Fd::parse(&u, goal).unwrap();
             assert_eq!(g.satisfied_by(&arm), fd_implies(&fds, &g));
         }
     }
@@ -205,7 +205,7 @@ mod tests {
         let u = Universe::typed(vec!["A", "B"]);
         let mut pool = ValuePool::new(u.clone());
         let arm = fd_armstrong(&u, &mut pool, &[]);
-        let egd = Fd::parse(&u, "A -> B").to_egds(&u, &mut pool).remove(0);
+        let egd = Fd::parse(&u, "A -> B").unwrap().to_egds(&u, &mut pool).remove(0);
         let dep = TdOrEgd::Egd(egd);
         // Claiming the fd should hold is a violation; claiming it fails is
         // not.

@@ -1,0 +1,847 @@
+//! Axiomatic proof-search oracles for heterogeneous dependency classes.
+//!
+//! Where [`crate::proof`] checks *chase* derivations, this module works with
+//! *axiomatic* derivations: each [`AxStep`] names an inference rule, its
+//! premises (earlier facts), and its conclusion, and [`verify`] replays the
+//! side conditions of every rule independently of the search that produced
+//! the proof. The systems implemented:
+//!
+//! * **Armstrong rules** for fds — reflexivity, augmentation, transitivity;
+//!   sound and complete ([`fd_axiomatic_implies`] always answers).
+//! * **Casanova–Fagin–Papadimitriou rules** for inclusion dependencies —
+//!   reflexivity, projection/permutation/repetition, transitivity; complete,
+//!   decided by reachability over the sequence graph
+//!   ([`ind_axiomatic_implies`], fuel-capped with a three-valued
+//!   [`Verdict`]).
+//! * **Independence-atom rules** (after Hannula–Kontinen) — triviality,
+//!   symmetry, decomposition, exchange, constancy; sound but necessarily
+//!   incomplete for conditional atoms (no finite complete axiomatization
+//!   exists, Parker–Parsaye-Ghomi).
+//! * **Bridge rules** for the mixed system — an fd yields a self-atom
+//!   (`X → Y ⊢ Y ⊥_X Y`), an atom's overlap yields an fd
+//!   (`Y ⊥_X Z ⊢ X → (Y ∩ Z) − X`), and fds pull back along inclusion
+//!   dependencies (`[S] ⊆ [T]` and `set(T∘J) → set(T∘K)` give
+//!   `set(S∘J) → set(S∘K)`).
+//!
+//! The mixed prover [`mixed_axiomatic_implies`] saturates the fd pool
+//! through the bridges and dispatches on the goal's class. It is sound by
+//! construction (every answer carries a checkable proof) and *necessarily*
+//! incomplete: implication for fds + inds together is undecidable, which is
+//! exactly the regime the dovetail decision procedure handles by semantic
+//! search. The differential tests cross-check both oracles against the
+//! chase on their overlapping fragments.
+
+use typedtd_dependencies::{Fd, Ind, IndependenceAtom};
+use typedtd_relational::{AttrId, AttrSet, FxHashMap, FxHashSet};
+use std::collections::VecDeque;
+
+/// A fact of the mixed system: an fd, an ind, or an independence atom.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AxFact {
+    /// Functional dependency.
+    Fd(Fd),
+    /// Inclusion dependency.
+    Ind(Ind),
+    /// Independence atom.
+    Atom(IndependenceAtom),
+}
+
+impl From<Fd> for AxFact {
+    fn from(f: Fd) -> Self {
+        AxFact::Fd(f)
+    }
+}
+impl From<Ind> for AxFact {
+    fn from(i: Ind) -> Self {
+        AxFact::Ind(i)
+    }
+}
+impl From<IndependenceAtom> for AxFact {
+    fn from(a: IndependenceAtom) -> Self {
+        AxFact::Atom(a)
+    }
+}
+
+/// The inference rules of the mixed system.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AxRule {
+    /// `⊢ X → Y` for `Y ⊆ X`.
+    FdReflexive,
+    /// `X → Y ⊢ XZ → YZ`.
+    FdAugment,
+    /// `X → Y, Y → Z ⊢ X → Z`.
+    FdTransitive,
+    /// `⊢ [X] ⊆ [X]`.
+    IndReflexive,
+    /// `[P] ⊆ [Q] ⊢ [P∘f] ⊆ [Q∘f]` for an index map `f` (projection,
+    /// permutation, repetition).
+    IndProject {
+        /// The index map `f` into the premise's sides.
+        map: Vec<usize>,
+    },
+    /// `[X] ⊆ [Y], [Y] ⊆ [Z] ⊢ [X] ⊆ [Z]`.
+    IndTransitive,
+    /// `⊢ Y ⊥_X Z` when trivial (`Y ⊆ X` or `Z ⊆ X`).
+    AtomTrivial,
+    /// `Y ⊥_X Z ⊢ Z ⊥_X Y`.
+    AtomSymmetry,
+    /// `Y ⊥_X Z ⊢ Y′ ⊥_X Z′` for `Y′ ⊆ Y`, `Z′ ⊆ Z`.
+    AtomDecompose,
+    /// `Y ⊥_X Z, YZ ⊥_X W ⊢ Y ⊥_X ZW`.
+    AtomExchange,
+    /// `Y ⊥_X Y ⊢ Y ⊥_X Z` for any `Z` (a self-atom makes `Y`
+    /// `X`-determined, so any exchange partner works).
+    AtomConstancy,
+    /// Bridge: `X → Y ⊢ Y ⊥_X Y`.
+    AtomFromFd,
+    /// Bridge: `Y ⊥_X Z ⊢ X → (Y ∩ Z) − X`.
+    FdFromAtom,
+    /// Bridge: `[S] ⊆ [T], set(T∘j) → set(T∘k) ⊢ set(S∘j) → set(S∘k)`.
+    FdPullback {
+        /// Positions selecting the determinant inside the ind's sides.
+        j: Vec<usize>,
+        /// Positions selecting the dependent inside the ind's sides.
+        k: Vec<usize>,
+    },
+}
+
+/// One derivation step: a rule applied to earlier facts.
+///
+/// Premise index `i` refers to `sigma[i]` when `i < sigma.len()`, and to
+/// the conclusion of step `i − sigma.len()` otherwise.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AxStep {
+    /// The rule applied.
+    pub rule: AxRule,
+    /// Fact indices of the premises, in rule order.
+    pub premises: Vec<usize>,
+    /// The claimed conclusion.
+    pub conclusion: AxFact,
+}
+
+/// A machine-checkable axiomatic derivation.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct AxProof {
+    /// The derivation steps, last one concluding the goal.
+    pub steps: Vec<AxStep>,
+}
+
+/// Outcome of a fuel-capped proof search.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Verdict {
+    /// A proof was found (and is returned alongside).
+    Proved,
+    /// The search is *complete* for this fragment and exhausted the space:
+    /// the implication does not hold.
+    Refuted,
+    /// The fuel budget expired, or the fragment's system is incomplete.
+    Unknown,
+}
+
+fn seq_set(seq: &[AttrId], positions: &[usize]) -> Option<AttrSet> {
+    let mut out = AttrSet::new();
+    for &p in positions {
+        out = out.union(&[*seq.get(p)?].into_iter().collect());
+    }
+    Some(out)
+}
+
+/// Verifies `proof` as a derivation of `goal` from `sigma`, replaying every
+/// rule's side conditions.
+///
+/// # Errors
+/// Returns a human-readable description of the first unsound step.
+pub fn verify(sigma: &[AxFact], goal: &AxFact, proof: &AxProof) -> Result<(), String> {
+    let fact = |i: usize, steps: &[AxStep]| -> Result<AxFact, String> {
+        if i < sigma.len() {
+            Ok(sigma[i].clone())
+        } else {
+            steps
+                .get(i - sigma.len())
+                .map(|s| s.conclusion.clone())
+                .ok_or_else(|| format!("premise index {i} refers to a later step"))
+        }
+    };
+    for (n, step) in proof.steps.iter().enumerate() {
+        let done = &proof.steps[..n];
+        let prem: Vec<AxFact> = step
+            .premises
+            .iter()
+            .map(|&i| fact(i, done))
+            .collect::<Result<_, _>>()
+            .map_err(|e| format!("step {n}: {e}"))?;
+        let fail = |msg: &str| Err(format!("step {n} ({:?}): {msg}", step.rule));
+        match (&step.rule, prem.as_slice(), &step.conclusion) {
+            (AxRule::FdReflexive, [], AxFact::Fd(c)) => {
+                if !c.rhs.is_subset(&c.lhs) {
+                    return fail("reflexivity needs Y ⊆ X");
+                }
+            }
+            (AxRule::FdAugment, [AxFact::Fd(p)], AxFact::Fd(c)) => {
+                let z = c.lhs.difference(&p.lhs).union(&c.rhs.difference(&p.rhs));
+                if !p.lhs.is_subset(&c.lhs)
+                    || c.lhs != p.lhs.union(&z)
+                    || c.rhs != p.rhs.union(&z)
+                {
+                    return fail("conclusion is not an augmentation of the premise");
+                }
+            }
+            (AxRule::FdTransitive, [AxFact::Fd(p1), AxFact::Fd(p2)], AxFact::Fd(c)) => {
+                if p1.rhs != p2.lhs || c.lhs != p1.lhs || c.rhs != p2.rhs {
+                    return fail("transitivity shape mismatch");
+                }
+            }
+            (AxRule::IndReflexive, [], AxFact::Ind(c)) => {
+                if !c.is_trivial() {
+                    return fail("reflexivity needs [X] ⊆ [X]");
+                }
+            }
+            (AxRule::IndProject { map }, [AxFact::Ind(p)], AxFact::Ind(c)) => {
+                if map.is_empty() || c.lhs.len() != map.len() {
+                    return fail("index map must match the conclusion length");
+                }
+                for (pos, &f) in map.iter().enumerate() {
+                    if f >= p.lhs.len()
+                        || c.lhs[pos] != p.lhs[f]
+                        || c.rhs[pos] != p.rhs[f]
+                    {
+                        return fail("conclusion is not the mapped premise");
+                    }
+                }
+            }
+            (AxRule::IndTransitive, [AxFact::Ind(p1), AxFact::Ind(p2)], AxFact::Ind(c)) => {
+                if p1.rhs != p2.lhs || c.lhs != p1.lhs || c.rhs != p2.rhs {
+                    return fail("transitivity shape mismatch");
+                }
+            }
+            (AxRule::AtomTrivial, [], AxFact::Atom(c)) => {
+                if !c.is_trivial() {
+                    return fail("atom is not trivial");
+                }
+            }
+            (AxRule::AtomSymmetry, [AxFact::Atom(p)], AxFact::Atom(c)) => {
+                if c.cond != p.cond || c.left != p.right || c.right != p.left {
+                    return fail("conclusion is not the swapped premise");
+                }
+            }
+            (AxRule::AtomDecompose, [AxFact::Atom(p)], AxFact::Atom(c)) => {
+                if c.cond != p.cond
+                    || !c.left.is_subset(&p.left)
+                    || !c.right.is_subset(&p.right)
+                {
+                    return fail("conclusion sides must be subsets of the premise sides");
+                }
+            }
+            (AxRule::AtomExchange, [AxFact::Atom(p1), AxFact::Atom(p2)], AxFact::Atom(c)) => {
+                if p1.cond != p2.cond
+                    || c.cond != p1.cond
+                    || p2.left != p1.left.union(&p1.right)
+                    || c.left != p1.left
+                    || c.right != p1.right.union(&p2.right)
+                {
+                    return fail("exchange shape mismatch");
+                }
+            }
+            (AxRule::AtomConstancy, [AxFact::Atom(p)], AxFact::Atom(c)) => {
+                if p.left != p.right || c.cond != p.cond || c.left != p.left {
+                    return fail("constancy needs a self-atom premise with the same left side");
+                }
+            }
+            (AxRule::AtomFromFd, [AxFact::Fd(p)], AxFact::Atom(c)) => {
+                if c.cond != p.lhs || c.left != p.rhs || c.right != p.rhs {
+                    return fail("conclusion must be the self-atom of the fd");
+                }
+            }
+            (AxRule::FdFromAtom, [AxFact::Atom(p)], AxFact::Fd(c)) => {
+                let overlap = p.left.intersection(&p.right).difference(&p.cond);
+                if c.lhs != p.cond || c.rhs != overlap {
+                    return fail("conclusion must be X → (Y ∩ Z) − X");
+                }
+            }
+            (
+                AxRule::FdPullback { j, k },
+                [AxFact::Ind(ind), AxFact::Fd(fd)],
+                AxFact::Fd(c),
+            ) => {
+                let (tj, tk) = match (seq_set(&ind.rhs, j), seq_set(&ind.rhs, k)) {
+                    (Some(a), Some(b)) => (a, b),
+                    _ => return fail("position out of range"),
+                };
+                let (sj, sk) = match (seq_set(&ind.lhs, j), seq_set(&ind.lhs, k)) {
+                    (Some(a), Some(b)) => (a, b),
+                    _ => return fail("position out of range"),
+                };
+                if tj != fd.lhs || tk != fd.rhs || c.lhs != sj || c.rhs != sk {
+                    return fail("pullback positions do not select the fd's sides");
+                }
+            }
+            _ => return fail("rule arity or fact classes do not match"),
+        }
+    }
+    let concluded = proof.steps.iter().any(|s| s.conclusion == *goal)
+        || sigma.contains(goal);
+    if concluded {
+        Ok(())
+    } else {
+        Err("derivation complete but the goal is never concluded".into())
+    }
+}
+
+/// Incremental proof builder: fact indices are `sigma`-relative.
+struct Builder {
+    sigma_len: usize,
+    steps: Vec<AxStep>,
+}
+
+impl Builder {
+    fn new(sigma_len: usize) -> Self {
+        Self {
+            sigma_len,
+            steps: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, rule: AxRule, premises: Vec<usize>, conclusion: AxFact) -> usize {
+        self.steps.push(AxStep {
+            rule,
+            premises,
+            conclusion,
+        });
+        self.sigma_len + self.steps.len() - 1
+    }
+
+    fn finish(self) -> AxProof {
+        AxProof { steps: self.steps }
+    }
+}
+
+/// Emits an Armstrong-rule derivation of `goal` from the indexed fd pool,
+/// or `None` when the closure does not reach the goal. Complete for fds.
+fn prove_fd_from_pool(b: &mut Builder, pool: &[(usize, Fd)], goal: &Fd) -> Option<usize> {
+    let mut acc = goal.lhs.clone();
+    let mut acc_idx = b.push(
+        AxRule::FdReflexive,
+        vec![],
+        Fd::new(goal.lhs.clone(), goal.lhs.clone()).into(),
+    );
+    loop {
+        let mut changed = false;
+        for (i, fd) in pool {
+            if fd.lhs.is_subset(&acc) && !fd.rhs.is_subset(&acc) {
+                let grown = acc.union(&fd.rhs);
+                let aug = b.push(
+                    AxRule::FdAugment,
+                    vec![*i],
+                    Fd::new(acc.clone(), grown.clone()).into(),
+                );
+                acc_idx = b.push(
+                    AxRule::FdTransitive,
+                    vec![acc_idx, aug],
+                    Fd::new(goal.lhs.clone(), grown.clone()).into(),
+                );
+                acc = grown;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    if !goal.rhs.is_subset(&acc) {
+        return None;
+    }
+    let refl = b.push(
+        AxRule::FdReflexive,
+        vec![],
+        Fd::new(acc.clone(), goal.rhs.clone()).into(),
+    );
+    Some(b.push(
+        AxRule::FdTransitive,
+        vec![acc_idx, refl],
+        goal.clone().into(),
+    ))
+}
+
+/// Decides `Σ_fd ⊢ goal` in the Armstrong system, returning a checkable
+/// proof. Sound **and complete** (the closure is the canonical model), so
+/// `None` means the implication does not hold.
+pub fn fd_axiomatic_implies(sigma: &[AxFact], goal: &Fd) -> Option<AxProof> {
+    let pool: Vec<(usize, Fd)> = sigma
+        .iter()
+        .enumerate()
+        .filter_map(|(i, f)| match f {
+            AxFact::Fd(fd) => Some((i, fd.clone())),
+            _ => None,
+        })
+        .collect();
+    let mut b = Builder::new(sigma.len());
+    prove_fd_from_pool(&mut b, &pool, goal).map(|_| b.finish())
+}
+
+/// Enumerates all index maps `f` with `state[j] = pattern[f(j)]`, feeding
+/// each to `emit`; returns `false` when the budget ran out mid-enumeration.
+fn for_each_map(
+    state: &[AttrId],
+    pattern: &[AttrId],
+    budget: &mut usize,
+    mut emit: impl FnMut(&[usize]),
+) -> bool {
+    let choices: Vec<Vec<usize>> = state
+        .iter()
+        .map(|a| {
+            pattern
+                .iter()
+                .enumerate()
+                .filter(|(_, pa)| *pa == a)
+                .map(|(p, _)| p)
+                .collect()
+        })
+        .collect();
+    if choices.iter().any(|c| c.is_empty()) {
+        return true;
+    }
+    let mut odometer = vec![0usize; choices.len()];
+    loop {
+        if *budget == 0 {
+            return false;
+        }
+        *budget -= 1;
+        let map: Vec<usize> = odometer
+            .iter()
+            .zip(&choices)
+            .map(|(&o, c)| c[o])
+            .collect();
+        emit(&map);
+        // Advance the odometer.
+        let mut pos = 0;
+        loop {
+            if pos == odometer.len() {
+                return true;
+            }
+            odometer[pos] += 1;
+            if odometer[pos] < choices[pos].len() {
+                break;
+            }
+            odometer[pos] = 0;
+            pos += 1;
+        }
+    }
+}
+
+/// Decides `Σ_ind ⊢ goal` in the Casanova–Fagin–Papadimitriou system by
+/// breadth-first reachability over attribute sequences: from state `S`,
+/// a premise `[P] ⊆ [Q]` and an index map `f` with `S = P∘f` move to
+/// `Q∘f`. Projection commutes with transitivity, so every derivation
+/// normalizes to such a chain — the search is **complete**, and `Refuted`
+/// is definitive. `Unknown` only arises when `fuel` (counting map
+/// enumeration) runs out first.
+pub fn ind_axiomatic_implies(
+    sigma: &[AxFact],
+    goal: &Ind,
+    fuel: usize,
+) -> (Verdict, Option<AxProof>) {
+    let mut b = Builder::new(sigma.len());
+    if goal.is_trivial() {
+        b.push(AxRule::IndReflexive, vec![], goal.clone().into());
+        return (Verdict::Proved, Some(b.finish()));
+    }
+    let inds: Vec<(usize, Ind)> = sigma
+        .iter()
+        .enumerate()
+        .filter_map(|(i, f)| match f {
+            AxFact::Ind(ind) => Some((i, ind.clone())),
+            _ => None,
+        })
+        .collect();
+    // Backpointers: state → (previous state, sigma fact index, map).
+    type BackPtr = Option<(Vec<AttrId>, usize, Vec<usize>)>;
+    let mut seen: FxHashMap<Vec<AttrId>, BackPtr> = FxHashMap::default();
+    seen.insert(goal.lhs.clone(), None);
+    let mut queue: VecDeque<Vec<AttrId>> = VecDeque::new();
+    queue.push_back(goal.lhs.clone());
+    let mut budget = fuel;
+    let mut exhausted = false;
+    'bfs: while let Some(state) = queue.pop_front() {
+        if state == goal.rhs {
+            break;
+        }
+        for (i, ind) in &inds {
+            let mut found: Vec<(Vec<AttrId>, Vec<usize>)> = Vec::new();
+            let complete = for_each_map(&state, &ind.lhs, &mut budget, |map| {
+                let succ: Vec<AttrId> = map.iter().map(|&p| ind.rhs[p]).collect();
+                if !seen.contains_key(&succ) {
+                    found.push((succ, map.to_vec()));
+                }
+            });
+            for (succ, map) in found {
+                if !seen.contains_key(&succ) {
+                    seen.insert(succ.clone(), Some((state.clone(), *i, map)));
+                    queue.push_back(succ);
+                }
+            }
+            if !complete {
+                exhausted = true;
+                break 'bfs;
+            }
+        }
+    }
+    if !seen.contains_key(&goal.rhs) {
+        return if exhausted {
+            (Verdict::Unknown, None)
+        } else {
+            (Verdict::Refuted, None)
+        };
+    }
+    // Reconstruct the chain goal.lhs = Z₀ → … → Z_m = goal.rhs.
+    let mut chain: Vec<(Vec<AttrId>, usize, Vec<usize>)> = Vec::new();
+    let mut cur = goal.rhs.clone();
+    while let Some(Some((prev, i, map))) = seen.get(&cur) {
+        chain.push((cur.clone(), *i, map.clone()));
+        cur = prev.clone();
+    }
+    chain.reverse();
+    let mk = |l: &[AttrId], r: &[AttrId]| -> AxFact {
+        AxFact::Ind(Ind::new(l.to_vec(), r.to_vec()).expect("equal nonzero lengths"))
+    };
+    let mut prev_state = goal.lhs.clone();
+    let mut cur_idx: Option<usize> = None;
+    for (state, i, map) in chain {
+        let proj = b.push(
+            AxRule::IndProject { map },
+            vec![i],
+            mk(&prev_state, &state),
+        );
+        cur_idx = Some(match cur_idx {
+            None => proj,
+            Some(c) => b.push(
+                AxRule::IndTransitive,
+                vec![c, proj],
+                mk(&goal.lhs, &state),
+            ),
+        });
+        prev_state = state;
+    }
+    (Verdict::Proved, Some(b.finish()))
+}
+
+/// Saturates the independence-atom fragment (symmetry + exchange over a
+/// seeded pool, one final decompose / constancy application) and returns a
+/// proof of `goal` when found. Sound; incomplete (no finite complete
+/// system exists for conditional atoms).
+fn prove_atom_from_pool(
+    b: &mut Builder,
+    seeds: &[(usize, IndependenceAtom)],
+    goal: &IndependenceAtom,
+    max_facts: usize,
+) -> Option<usize> {
+    if goal.is_trivial() {
+        return Some(b.push(AxRule::AtomTrivial, vec![], goal.clone().into()));
+    }
+    let mut pool: Vec<(usize, IndependenceAtom)> = seeds.to_vec();
+    let mut known: FxHashSet<(AttrSet, AttrSet, AttrSet)> = pool
+        .iter()
+        .map(|(_, a)| (a.cond.clone(), a.left.clone(), a.right.clone()))
+        .collect();
+    let mut grown = true;
+    while grown && pool.len() < max_facts {
+        grown = false;
+        // Symmetry closure.
+        for n in 0..pool.len() {
+            let (idx, a) = pool[n].clone();
+            let sym = IndependenceAtom::new(a.cond.clone(), a.right.clone(), a.left.clone());
+            let key = (sym.cond.clone(), sym.left.clone(), sym.right.clone());
+            if known.insert(key) {
+                let i = b.push(AxRule::AtomSymmetry, vec![idx], sym.clone().into());
+                pool.push((i, sym));
+                grown = true;
+            }
+        }
+        // Exchange closure: Y ⊥_X Z and YZ ⊥_X W give Y ⊥_X ZW.
+        for n1 in 0..pool.len() {
+            for n2 in 0..pool.len() {
+                if pool.len() >= max_facts {
+                    break;
+                }
+                let (i1, p1) = pool[n1].clone();
+                let (i2, p2) = pool[n2].clone();
+                if p1.cond != p2.cond || p2.left != p1.left.union(&p1.right) {
+                    continue;
+                }
+                let merged = IndependenceAtom::new(
+                    p1.cond.clone(),
+                    p1.left.clone(),
+                    p1.right.union(&p2.right),
+                );
+                let key = (merged.cond.clone(), merged.left.clone(), merged.right.clone());
+                if known.insert(key) {
+                    let i = b.push(AxRule::AtomExchange, vec![i1, i2], merged.clone().into());
+                    pool.push((i, merged));
+                    grown = true;
+                }
+            }
+        }
+    }
+    // Goal check: decompose a wider derived atom, or constancy from a
+    // self-atom that covers the goal's left side.
+    for (idx, a) in &pool {
+        if a.cond == goal.cond && goal.left.is_subset(&a.left) && goal.right.is_subset(&a.right)
+        {
+            return Some(b.push(AxRule::AtomDecompose, vec![*idx], goal.clone().into()));
+        }
+    }
+    for (idx, a) in &pool {
+        if a.cond == goal.cond && a.left == a.right && goal.left.is_subset(&a.left) {
+            let widened = IndependenceAtom::new(
+                a.cond.clone(),
+                a.left.clone(),
+                goal.right.clone(),
+            );
+            let w = b.push(AxRule::AtomConstancy, vec![*idx], widened.into());
+            return Some(b.push(AxRule::AtomDecompose, vec![w], goal.clone().into()));
+        }
+    }
+    None
+}
+
+/// The sound mixed-system prover for heterogeneous Σ.
+///
+/// Builds the fd pool (`Σ_fd`, atoms' overlap fds, and pullbacks along
+/// inds, to fixpoint), then dispatches on the goal's class:
+///
+/// * **fd goal** — Armstrong closure over the pool; when Σ is fd-only this
+///   is complete, so failure refutes; otherwise failure is `Unknown`;
+/// * **ind goal** — CFP reachability over `Σ_ind`; refutation is
+///   definitive only when Σ is ind-only (mixed fd+ind implication is
+///   undecidable — the dovetail procedure owns that regime);
+/// * **atom goal** — bounded saturation seeded with `Σ_atom` and the
+///   pool's self-atoms; failure is always `Unknown`.
+///
+/// Every `Proved` verdict returns a proof that [`verify`] accepts.
+pub fn mixed_axiomatic_implies(
+    sigma: &[AxFact],
+    goal: &AxFact,
+    fuel: usize,
+) -> (Verdict, Option<AxProof>) {
+    let mut b = Builder::new(sigma.len());
+    // Seed the fd pool from Σ and the FdFromAtom bridge.
+    let mut pool: Vec<(usize, Fd)> = Vec::new();
+    let mut pool_known: FxHashSet<(AttrSet, AttrSet)> = FxHashSet::default();
+    for (i, f) in sigma.iter().enumerate() {
+        match f {
+            AxFact::Fd(fd) => {
+                if pool_known.insert((fd.lhs.clone(), fd.rhs.clone())) {
+                    pool.push((i, fd.clone()));
+                }
+            }
+            AxFact::Atom(a) => {
+                let fd = a.overlap_fd();
+                if !fd.rhs.is_empty()
+                    && pool_known.insert((fd.lhs.clone(), fd.rhs.clone()))
+                {
+                    let idx = b.push(AxRule::FdFromAtom, vec![i], fd.clone().into());
+                    pool.push((idx, fd));
+                }
+            }
+            AxFact::Ind(_) => {}
+        }
+    }
+    let inds: Vec<(usize, Ind)> = sigma
+        .iter()
+        .enumerate()
+        .filter_map(|(i, f)| match f {
+            AxFact::Ind(ind) => Some((i, ind.clone())),
+            _ => None,
+        })
+        .collect();
+    // Pull fds back along inds to fixpoint (bounded by fuel).
+    let cap = fuel.min(512);
+    let mut grown = true;
+    while grown && pool.len() < cap {
+        grown = false;
+        for (ii, ind) in &inds {
+            for n in 0..pool.len() {
+                let (fi, fd) = pool[n].clone();
+                let t = &ind.rhs;
+                let tset: AttrSet = t.iter().copied().collect();
+                if !fd.lhs.is_subset(&tset) || !fd.rhs.is_subset(&tset) {
+                    continue;
+                }
+                let j: Vec<usize> = (0..t.len()).filter(|&p| fd.lhs.contains(t[p])).collect();
+                let k: Vec<usize> = (0..t.len()).filter(|&p| fd.rhs.contains(t[p])).collect();
+                let pulled = Fd::new(
+                    j.iter().map(|&p| ind.lhs[p]).collect(),
+                    k.iter().map(|&p| ind.lhs[p]).collect(),
+                );
+                if !pool_known.insert((pulled.lhs.clone(), pulled.rhs.clone())) {
+                    continue;
+                }
+                let idx = b.push(
+                    AxRule::FdPullback { j, k },
+                    vec![*ii, fi],
+                    pulled.clone().into(),
+                );
+                pool.push((idx, pulled));
+                grown = true;
+            }
+        }
+    }
+    match goal {
+        AxFact::Fd(fd) => match prove_fd_from_pool(&mut b, &pool, fd) {
+            Some(_) => (Verdict::Proved, Some(b.finish())),
+            None if sigma.iter().all(|f| matches!(f, AxFact::Fd(_))) => {
+                (Verdict::Refuted, None)
+            }
+            None => (Verdict::Unknown, None),
+        },
+        AxFact::Ind(ind) => {
+            let (v, p) = ind_axiomatic_implies(sigma, ind, fuel);
+            let pure = sigma.iter().all(|f| matches!(f, AxFact::Ind(_)));
+            match v {
+                Verdict::Refuted if !pure => (Verdict::Unknown, None),
+                _ => (v, p),
+            }
+        }
+        AxFact::Atom(atom) => {
+            let mut seeds: Vec<(usize, IndependenceAtom)> = sigma
+                .iter()
+                .enumerate()
+                .filter_map(|(i, f)| match f {
+                    AxFact::Atom(a) => Some((i, a.clone())),
+                    _ => None,
+                })
+                .collect();
+            for (fi, fd) in pool.clone() {
+                if !fd.rhs.is_empty() {
+                    let self_atom =
+                        IndependenceAtom::new(fd.lhs.clone(), fd.rhs.clone(), fd.rhs.clone());
+                    let idx = b.push(AxRule::AtomFromFd, vec![fi], self_atom.clone().into());
+                    seeds.push((idx, self_atom));
+                }
+            }
+            match prove_atom_from_pool(&mut b, &seeds, atom, fuel.min(256)) {
+                Some(_) => (Verdict::Proved, Some(b.finish())),
+                None => (Verdict::Unknown, None),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use typedtd_relational::Universe;
+
+    fn fd(u: &Universe, s: &str) -> AxFact {
+        Fd::parse(u, s).unwrap().into()
+    }
+    fn ind(u: &Universe, s: &str) -> AxFact {
+        Ind::parse(u, s).unwrap().into()
+    }
+    fn atom(u: &Universe, s: &str) -> AxFact {
+        IndependenceAtom::parse(u, s).unwrap().into()
+    }
+
+    fn assert_proved(sigma: &[AxFact], goal: &AxFact, fuel: usize) {
+        let (v, p) = mixed_axiomatic_implies(sigma, goal, fuel);
+        assert_eq!(v, Verdict::Proved, "{goal:?} should be provable");
+        verify(sigma, goal, &p.expect("proof")).expect("proof must verify");
+    }
+
+    #[test]
+    fn fd_closure_proofs_verify() {
+        let u = Universe::typed(vec!["A", "B", "C", "D"]);
+        let sigma = vec![fd(&u, "A -> B"), fd(&u, "BC -> D")];
+        for goal in ["AC -> D", "A -> B", "AC -> ABCD", "AB -> A"] {
+            assert_proved(&sigma, &fd(&u, goal), 100);
+        }
+        let (v, p) = mixed_axiomatic_implies(&sigma, &fd(&u, "A -> D"), 100);
+        assert_eq!(v, Verdict::Refuted, "fd-only refutation is definitive");
+        assert!(p.is_none());
+    }
+
+    #[test]
+    fn ind_reachability_proofs_verify() {
+        let u = Universe::untyped(vec!["A", "B", "C", "D"]);
+        let sigma = vec![ind(&u, "[AB] <= [BC]"), ind(&u, "[BC] <= [CD]")];
+        // Transitivity chain.
+        assert_proved(&sigma, &ind(&u, "[AB] <= [CD]"), 1000);
+        // Projection of a premise.
+        assert_proved(&sigma, &ind(&u, "[A] <= [B]"), 1000);
+        // Repetition: [AA] <= [BB] from projecting [AB] <= [BC].
+        assert_proved(&sigma, &ind(&u, "[AA] <= [BB]"), 1000);
+        // Trivial goal.
+        assert_proved(&sigma, &ind(&u, "[DA] <= [DA]"), 1000);
+        let (v, _) = mixed_axiomatic_implies(&sigma, &ind(&u, "[D] <= [A]"), 1000);
+        assert_eq!(v, Verdict::Refuted, "ind-only refutation is definitive");
+        // Fuel exhaustion degrades to Unknown, never a wrong answer ([A]
+        // matches a premise, so the search has maps to enumerate).
+        let (v, _) = ind_axiomatic_implies(
+            &sigma,
+            &Ind::parse(&u, "[A] <= [D]").unwrap(),
+            0,
+        );
+        assert_eq!(v, Verdict::Unknown);
+    }
+
+    #[test]
+    fn atom_rules_prove_and_verify() {
+        let u = Universe::typed(vec!["A", "B", "C", "D"]);
+        // Symmetry + decomposition.
+        let sigma = vec![atom(&u, "AB _|_ CD")];
+        assert_proved(&sigma, &atom(&u, "C _|_ A"), 100);
+        // Exchange: B ⊥ C and BC ⊥ D give B ⊥ CD.
+        let sigma = vec![atom(&u, "B _|_ C"), atom(&u, "BC _|_ D")];
+        assert_proved(&sigma, &atom(&u, "B _|_ CD"), 100);
+        // Triviality.
+        assert_proved(&[], &atom(&u, "A _|_ B | AB"), 10);
+    }
+
+    #[test]
+    fn bridges_cross_classes() {
+        let u = Universe::typed(vec!["A", "B", "C"]);
+        // Fd gives the self-atom, widened by constancy.
+        let sigma = vec![fd(&u, "A -> B")];
+        assert_proved(&sigma, &atom(&u, "B _|_ C | A"), 100);
+        // Atom overlap gives the fd.
+        let sigma = vec![atom(&u, "AB _|_ BC")];
+        assert_proved(&sigma, &fd(&u, " -> B"), 100);
+        // Fd pullback along an ind (untyped universes for non-trivial inds).
+        let uu = Universe::untyped(vec!["A", "B", "C"]);
+        let sigma = vec![ind(&uu, "[AB] <= [BC]"), fd(&uu, "B -> C")];
+        assert_proved(&sigma, &fd(&uu, "A -> B"), 100);
+    }
+
+    #[test]
+    fn verifier_rejects_corrupted_proofs() {
+        let u = Universe::typed(vec!["A", "B", "C"]);
+        let sigma = vec![fd(&u, "A -> B"), fd(&u, "B -> C")];
+        let goal = fd(&u, "A -> C");
+        let (v, p) = mixed_axiomatic_implies(&sigma, &goal, 100);
+        assert_eq!(v, Verdict::Proved);
+        let proof = p.unwrap();
+        verify(&sigma, &goal, &proof).unwrap();
+        // Wrong goal.
+        assert!(verify(&sigma, &fd(&u, "B -> A"), &proof).is_err());
+        // Corrupt a step's conclusion.
+        let mut bad = proof.clone();
+        let last = bad.steps.len() - 1;
+        bad.steps[last].conclusion = fd(&u, "C -> A");
+        assert!(verify(&sigma, &goal, &bad).is_err());
+        // Premise out of range.
+        let mut bad = proof.clone();
+        bad.steps[0].premises = vec![999];
+        assert!(verify(&sigma, &goal, &bad).is_err());
+        // Forward reference.
+        let mut bad = proof;
+        bad.steps[0].premises = vec![sigma.len() + last];
+        assert!(verify(&sigma, &goal, &bad).is_err());
+    }
+
+    #[test]
+    fn empty_proof_needs_goal_in_sigma() {
+        let u = Universe::typed(vec!["A", "B"]);
+        let sigma = vec![fd(&u, "A -> B")];
+        assert!(verify(&sigma, &fd(&u, "A -> B"), &AxProof::default()).is_ok());
+        assert!(verify(&sigma, &fd(&u, "B -> A"), &AxProof::default()).is_err());
+    }
+}

@@ -11,15 +11,24 @@
 //!   system that escapes the bound by transforming pjds to tds.
 //! * [`armstrong`] — Theorem 5 context: direct products, agreement-set
 //!   witnesses, and a real Armstrong-relation construction for fd sets.
+//! * [`axiomatic`] — axiomatic (rule-based) proof-search oracles for the
+//!   heterogeneous classes: Armstrong rules for fds, the
+//!   Casanova–Fagin–Papadimitriou system for inclusion dependencies,
+//!   independence-atom rules, and the sound mixed system bridging them.
 
 #![warn(missing_docs)]
 
 pub mod armstrong;
+pub mod axiomatic;
 pub mod minimize;
 pub mod proof;
 pub mod systems;
 
 pub use armstrong::{agreement_witness, armstrong_violations, direct_product, fd_armstrong};
+pub use axiomatic::{
+    fd_axiomatic_implies, ind_axiomatic_implies, mixed_axiomatic_implies,
+    verify as verify_axiomatic, AxFact, AxProof, AxRule, AxStep, Verdict,
+};
 pub use minimize::minimize;
 pub use proof::{corrupt, prove, prove_checked, verify, Proof};
 pub use systems::{all_pjds, check_pjd_proof, prove_pjd, universe_bounded_decides, PjdProof};

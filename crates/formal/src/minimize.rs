@@ -57,9 +57,9 @@ mod tests {
         let mut pool = ValuePool::new(u.clone());
         let sigma: Vec<TdOrEgd> = ["A ->> B", "B ->> C"]
             .iter()
-            .map(|s| TdOrEgd::Td(Mvd::parse(&u, s).to_pjd().to_td(&u, &mut pool)))
+            .map(|s| TdOrEgd::Td(Mvd::parse(&u, s).unwrap().to_pjd().to_td(&u, &mut pool)))
             .collect();
-        let goal = TdOrEgd::Td(Mvd::parse(&u, "A ->> C").to_pjd().to_td(&u, &mut pool));
+        let goal = TdOrEgd::Td(Mvd::parse(&u, "A ->> C").unwrap().to_pjd().to_td(&u, &mut pool));
         let proof = prove(&sigma, &goal, &mut pool, &ChaseConfig::default()).unwrap();
         let min = minimize(&sigma, &goal, &proof);
         assert!(min.trace.len() <= proof.trace.len());

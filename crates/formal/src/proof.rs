@@ -158,8 +158,8 @@ fn restrict_to(td: &typedtd_dependencies::Td, seed: &Valuation) -> Valuation {
 ///
 /// let u = Universe::typed(vec!["A", "B", "C"]);
 /// let mut pool = ValuePool::new(u.clone());
-/// let sigma = vec![TdOrEgd::Td(Mvd::parse(&u, "A ->> B").to_pjd().to_td(&u, &mut pool))];
-/// let goal = TdOrEgd::Td(Mvd::parse(&u, "A ->> C").to_pjd().to_td(&u, &mut pool));
+/// let sigma = vec![TdOrEgd::Td(Mvd::parse(&u, "A ->> B").unwrap().to_pjd().to_td(&u, &mut pool))];
+/// let goal = TdOrEgd::Td(Mvd::parse(&u, "A ->> C").unwrap().to_pjd().to_td(&u, &mut pool));
 /// let proof = prove(&sigma, &goal, &mut pool, &ChaseConfig::default()).unwrap();
 /// assert!(verify(&sigma, &goal, &proof).is_ok());
 /// ```
@@ -229,9 +229,9 @@ mod tests {
         let u = Universe::typed(vec!["A", "B", "C"]);
         let mut p = ValuePool::new(u.clone());
         let sigma = vec![TdOrEgd::Td(
-            Mvd::parse(&u, "A ->> B").to_pjd().to_td(&u, &mut p),
+            Mvd::parse(&u, "A ->> B").unwrap().to_pjd().to_td(&u, &mut p),
         )];
-        let goal = TdOrEgd::Td(Mvd::parse(&u, "A ->> C").to_pjd().to_td(&u, &mut p));
+        let goal = TdOrEgd::Td(Mvd::parse(&u, "A ->> C").unwrap().to_pjd().to_td(&u, &mut p));
         (u, p, sigma, goal)
     }
 
@@ -276,11 +276,11 @@ mod tests {
         let mut p = ValuePool::new(u.clone());
         let mut sigma = Vec::new();
         for fd in ["A -> B", "B -> C"] {
-            for e in Fd::parse(&u, fd).to_egds(&u, &mut p) {
+            for e in Fd::parse(&u, fd).unwrap().to_egds(&u, &mut p) {
                 sigma.push(TdOrEgd::Egd(e));
             }
         }
-        let goal_egd = Fd::parse(&u, "A -> C").to_egds(&u, &mut p).remove(0);
+        let goal_egd = Fd::parse(&u, "A -> C").unwrap().to_egds(&u, &mut p).remove(0);
         let goal = TdOrEgd::Egd(goal_egd);
         let proof = prove(&sigma, &goal, &mut p, &ChaseConfig::default()).expect("implied");
         assert!(proof.trace.merges() > 0);

@@ -199,19 +199,19 @@ mod tests {
     fn enumeration_decides_total_jds() {
         let u = Universe::typed(vec!["A", "B", "C"]);
         let mut pool = ValuePool::new(u.clone());
-        let sigma = vec![Pjd::parse(&u, "*[AB, AC]")];
-        let goal_same = Pjd::parse(&u, "*[AB, AC]");
+        let sigma = vec![Pjd::parse(&u, "*[AB, AC]").unwrap()];
+        let goal_same = Pjd::parse(&u, "*[AB, AC]").unwrap();
         assert_eq!(
             universe_bounded_decides(&sigma, &goal_same, &u, &mut pool),
             Some(true)
         );
-        let goal_other = Pjd::parse(&u, "*[AB, BC]");
+        let goal_other = Pjd::parse(&u, "*[AB, BC]").unwrap();
         assert_eq!(
             universe_bounded_decides(&sigma, &goal_other, &u, &mut pool),
             Some(false)
         );
         // The 3-way jd follows from the mvd *[AB, AC].
-        let goal_three = Pjd::parse(&u, "*[AB, AC, BC]");
+        let goal_three = Pjd::parse(&u, "*[AB, AC, BC]").unwrap();
         assert_eq!(
             universe_bounded_decides(&sigma, &goal_three, &u, &mut pool),
             Some(true)
@@ -222,13 +222,13 @@ mod tests {
     fn pjd_proofs_roundtrip() {
         let u = Universe::typed(vec!["A", "B", "C"]);
         let mut pool = ValuePool::new(u.clone());
-        let sigma = vec![Pjd::parse(&u, "*[AB, AC]")];
-        let goal = Pjd::parse(&u, "*[AB, AC, BC]");
+        let sigma = vec![Pjd::parse(&u, "*[AB, AC]").unwrap()];
+        let goal = Pjd::parse(&u, "*[AB, AC, BC]").unwrap();
         let proof = prove_pjd(&sigma, &goal, &u, &mut pool, &ChaseConfig::default())
             .expect("implication holds");
         check_pjd_proof(&sigma, &goal, &proof).expect("proof checks");
         // Checking against the wrong goal fails.
-        let wrong = Pjd::parse(&u, "*[AB, BC]");
+        let wrong = Pjd::parse(&u, "*[AB, BC]").unwrap();
         assert!(check_pjd_proof(&sigma, &wrong, &proof).is_err());
     }
 
@@ -237,8 +237,8 @@ mod tests {
         // pjds proper: project the joined result.
         let u = Universe::typed(vec!["A", "B", "C", "D"]);
         let mut pool = ValuePool::new(u.clone());
-        let sigma = vec![Pjd::parse(&u, "*[AB, BC, CD]")];
-        let goal = Pjd::parse(&u, "*[AB, BC, CD] on AD");
+        let sigma = vec![Pjd::parse(&u, "*[AB, BC, CD]").unwrap()];
+        let goal = Pjd::parse(&u, "*[AB, BC, CD] on AD").unwrap();
         let proof = prove_pjd(&sigma, &goal, &u, &mut pool, &ChaseConfig::default())
             .expect("a jd implies its projections");
         check_pjd_proof(&sigma, &goal, &proof).expect("proof checks");

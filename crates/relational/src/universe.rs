@@ -157,6 +157,76 @@ impl Universe {
         out
     }
 
+    /// Fallible version of [`Universe::set`], for parsers that must turn
+    /// malformed input into an error instead of a panic.
+    ///
+    /// # Errors
+    /// Returns a description naming the first unknown attribute.
+    pub fn try_set(&self, spec: &str) -> Result<AttrSet, String> {
+        let mut out = AttrSet::new();
+        let mut insert = |u: &Self, tok: &str| -> Result<(), String> {
+            let a = u
+                .attr(tok)
+                .ok_or_else(|| format!("no attribute named {tok:?} in {u:?}"))?;
+            out.insert(a);
+            Ok(())
+        };
+        if spec.split_whitespace().count() > 1 {
+            for tok in spec.split_whitespace() {
+                insert(self, tok)?;
+            }
+        } else if self.attr(spec.trim()).is_some() {
+            insert(self, spec.trim())?;
+        } else {
+            for ch in spec.trim().chars() {
+                insert(self, &ch.to_string())?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parses an *ordered sequence* of attributes (repetitions allowed) —
+    /// the shape inclusion dependencies are written over. Same tokenization
+    /// as [`Universe::set`]: whitespace-separated names, or single-character
+    /// names run together (`"ABA"` is the sequence `A, B, A`).
+    ///
+    /// # Errors
+    /// Returns a description naming the first unknown attribute.
+    pub fn try_seq(&self, spec: &str) -> Result<Vec<AttrId>, String> {
+        let spec = spec.trim();
+        if spec.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut out = Vec::new();
+        let resolve = |u: &Self, tok: &str| -> Result<AttrId, String> {
+            u.attr(tok)
+                .ok_or_else(|| format!("no attribute named {tok:?} in {u:?}"))
+        };
+        if spec.split_whitespace().count() > 1 {
+            for tok in spec.split_whitespace() {
+                out.push(resolve(self, tok)?);
+            }
+        } else if let Some(a) = self.attr(spec) {
+            out.push(a);
+        } else {
+            for ch in spec.chars() {
+                out.push(resolve(self, &ch.to_string())?);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Renders an attribute sequence as concatenated names (`ABA`), falling
+    /// back to space separation when any name is multi-character.
+    pub fn render_seq(&self, seq: &[AttrId]) -> String {
+        let parts: Vec<&str> = seq.iter().map(|&a| self.name(a)).collect();
+        if parts.iter().all(|p| p.chars().count() == 1) {
+            parts.concat()
+        } else {
+            parts.join(" ")
+        }
+    }
+
     /// Renders an attribute set as concatenated names (paper style: `ABCE`).
     pub fn render_set(&self, set: &AttrSet) -> String {
         let parts: Vec<&str> = set.iter().map(|a| self.name(a)).collect();

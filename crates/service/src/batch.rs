@@ -200,14 +200,31 @@ pub fn submit_batch(client: &ImplicationClient, text: &str) -> Batch {
                 continue;
             }
         };
-        let sigma_normal: Vec<TdOrEgd> = sigma
-            .iter()
-            .flat_map(|d| d.normalize(&u, &mut pool))
-            .collect();
-        let goal_parts = goal.normalize(&u, &mut pool);
+        let normalized = (|| -> Result<(Vec<TdOrEgd>, Vec<TdOrEgd>), String> {
+            let mut sigma_normal = Vec::new();
+            for d in &sigma {
+                sigma_normal.extend(d.try_normalize(&u, &mut pool)?);
+            }
+            Ok((sigma_normal, goal.try_normalize(&u, &mut pool)?))
+        })();
+        let (sigma_normal, goal_parts) = match normalized {
+            Ok(parts) => parts,
+            Err(message) => {
+                batch.errors.push(BatchError {
+                    line: line_no,
+                    message,
+                });
+                continue;
+            }
+        };
+        let class = goal.class();
         let jobs = goal_parts
             .into_iter()
-            .map(|part| client.submit(QuerySpec::new(sigma_normal.clone(), part, pool.clone())))
+            .map(|part| {
+                client.submit(
+                    QuerySpec::new(sigma_normal.clone(), part, pool.clone()).goal_class(class),
+                )
+            })
             .collect();
         batch.queries.push(BatchQuery {
             line: line_no,

@@ -14,7 +14,7 @@
 //! ```text
 //! typedtd-serve QUERIES.tdq [--slice N] [--global-fuel N] [--workers N]
 //!               [--shards N] [--cache-cap N] [--no-cache] [--verify-hits]
-//!               [--mode sequential|dovetail[:RATIO]] [--steal on|off]
+//!               [--mode sequential|dovetail[:RATIO]|dovetail:adaptive[:RATIO]] [--steal on|off]
 //!               [--drain-sweeps N] [--quick] [--stats] [--log PATH]
 //!               [--metrics PATH]
 //! ```
@@ -32,7 +32,9 @@
 //! `--mode dovetail[:RATIO]` selects the per-query dovetailed decide mode
 //! (`RATIO` chase rounds per search attempt, default 1): refutable
 //! queries whose chase diverges are answered `no` from the finite-model
-//! search instead of `unknown`. `--steal on|off` (default on) toggles
+//! search instead of `unknown`. `dovetail:adaptive[:RATIO]` starts at the
+//! same ratio but rebalances fuel each slice toward whichever procedure
+//! progressed, favoring the search when the chase only grows rows. `--steal on|off` (default on) toggles
 //! cross-shard work stealing between the `--workers` threads; the final
 //! `--stats` line reports `steals`, `cancelled`, and `parked` alongside
 //! the cache counters.
@@ -72,7 +74,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: typedtd-serve <QUERIES.tdq | -> [--slice N] [--global-fuel N] \
          [--workers N] [--shards N] [--cache-cap N] [--no-cache] [--verify-hits] \
-         [--mode sequential|dovetail[:RATIO]] [--steal on|off] [--drain-sweeps N] \
+         [--mode sequential|dovetail[:RATIO]|dovetail:adaptive[:RATIO]] [--steal on|off] [--drain-sweeps N] \
          [--quick] [--stats] [--log PATH] [--metrics PATH]"
     );
     std::process::exit(2);

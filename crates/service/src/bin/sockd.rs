@@ -12,7 +12,7 @@
 //! typedtd-sockd [--tcp HOST:PORT] [--unix PATH] [--drivers N]
 //!               [--slice N] [--global-fuel N] [--shards N]
 //!               [--cache-cap N] [--no-cache] [--verify-hits]
-//!               [--mode sequential|dovetail[:RATIO]] [--steal on|off]
+//!               [--mode sequential|dovetail[:RATIO]|dovetail:adaptive[:RATIO]] [--steal on|off]
 //!               [--quick] [--stats] [--log PATH] [--max-inflight N]
 //!               [--drain-sweeps N] [--metrics PATH]
 //! ```
@@ -54,7 +54,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: typedtd-sockd [--tcp HOST:PORT] [--unix PATH] [--drivers N] [--slice N] \
          [--global-fuel N] [--shards N] [--cache-cap N] [--no-cache] [--verify-hits] \
-         [--mode sequential|dovetail[:RATIO]] [--steal on|off] [--quick] [--stats] \
+         [--mode sequential|dovetail[:RATIO]|dovetail:adaptive[:RATIO]] [--steal on|off] [--quick] [--stats] \
          [--log PATH] [--max-inflight N] [--drain-sweeps N] [--metrics PATH]"
     );
     std::process::exit(2);

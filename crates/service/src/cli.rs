@@ -4,27 +4,37 @@
 
 use crate::service::ImplicationClient;
 use typedtd_chase::DecideMode;
+use typedtd_dependencies::DependencyClass;
 
-/// Parses a `--mode` argument: `sequential` or `dovetail[:RATIO]`
-/// (`RATIO` chase rounds per search attempt, default 1).
+/// Parses a `--mode` argument: `sequential`, `dovetail[:RATIO]` (fixed
+/// `RATIO` chase rounds per search attempt, default 1), or
+/// `dovetail:adaptive[:RATIO]` (start at `RATIO`, then rebalance fuel
+/// toward whichever procedure progressed last slice).
 pub fn parse_decide_mode(text: &str) -> Option<DecideMode> {
     match text {
         "sequential" => Some(DecideMode::Sequential),
         "dovetail" => Some(DecideMode::dovetail(1)),
+        "dovetail:adaptive" => Some(DecideMode::adaptive_dovetail(1)),
         _ => {
-            let ratio = text.strip_prefix("dovetail:")?.parse().ok()?;
-            Some(DecideMode::dovetail(ratio))
+            let rest = text.strip_prefix("dovetail:")?;
+            match rest.strip_prefix("adaptive:") {
+                Some(ratio) => Some(DecideMode::adaptive_dovetail(ratio.parse().ok()?)),
+                None => Some(DecideMode::dovetail(rest.parse().ok()?)),
+            }
         }
     }
 }
 
 /// The `--stats` ledger both front ends print: every [`crate::ServiceStats`]
 /// counter plus the live cache size and in-flight gauge, `key=value`
-/// separated by spaces. `inflight` is 0 after a full drain — the
-/// shutdown tests assert exactly that.
+/// separated by spaces. Per-class breakdowns (`class_CLASS=submitted/\
+/// hits/misses` with hit-rate) appear only for classes that saw at least
+/// one submission, so homogeneous workloads keep the classic line.
+/// `inflight` is 0 after a full drain — the shutdown tests assert
+/// exactly that.
 pub fn stats_line(client: &ImplicationClient) -> String {
     let s = client.stats();
-    format!(
+    let mut line = format!(
         "jobs={} completed={} yes={} no={} unknown={} cache_hits={} goal_in_sigma={} \
          coalesced={} misses={} hit_rate={:.2} evictions={} expired={} cancelled={} \
          retired={} shed={} fuel={} sweeps={} steals={} parked={} warm_hits={} \
@@ -52,5 +62,22 @@ pub fn stats_line(client: &ImplicationClient) -> String {
         s.persist_errors,
         client.cache_len(),
         client.pending_jobs(),
-    )
+    );
+    for c in DependencyClass::ALL {
+        let i = c.index();
+        if s.class_submitted[i] == 0 {
+            continue;
+        }
+        use std::fmt::Write as _;
+        let _ = write!(
+            line,
+            " class_{}={}/{}/{}/{:.2}",
+            c.as_str(),
+            s.class_submitted[i],
+            s.class_cache_hits[i],
+            s.class_cache_misses[i],
+            s.class_hit_rate(c),
+        );
+    }
+    line
 }

@@ -1108,31 +1108,26 @@ fn handle_frame(
                     return ConnControl::Continue;
                 }
             };
-            // The whole text layer runs under `catch_unwind`: some parser
-            // paths (`Pjd::parse`, attr-set resolution) panic on
-            // malformed input, and a wire client must never be able to
-            // kill a connection thread mid-protocol — every rejection is
-            // an `ERR` frame on a still-synced stream.
-            let parsed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // The whole text layer is a plain `Result` pipeline: every
+            // parser and `try_normalize` reports malformed input as
+            // `Err`, so every rejection is an `ERR` frame on a
+            // still-synced stream and the connection thread never dies.
+            let parsed = (|| {
                 let universe = parse_universe_spec(&payload.universe)?;
                 let mut pool = ValuePool::new(universe.clone());
                 let (sigma, goal) = parse_query_line(&universe, &mut pool, &payload.query)?;
-                let sigma_normal: Vec<_> = sigma
-                    .iter()
-                    .flat_map(|d| d.normalize(&universe, &mut pool))
-                    .collect();
-                let goal_parts = goal.normalize(&universe, &mut pool);
-                Ok::<_, String>((pool, sigma_normal, goal_parts))
-            }));
-            let (pool, sigma_normal, goal_parts) = match parsed {
-                Ok(Ok(v)) => v,
-                Ok(Err(msg)) => {
-                    err_frame(frame.corr, err_code::PARSE, &msg).encode_into(out);
-                    return ConnControl::Continue;
+                let mut sigma_normal = Vec::new();
+                for d in &sigma {
+                    sigma_normal.extend(d.try_normalize(&universe, &mut pool)?);
                 }
-                Err(_) => {
-                    err_frame(frame.corr, err_code::PARSE, "query text rejected (parser panic)")
-                        .encode_into(out);
+                let class = goal.class();
+                let goal_parts = goal.try_normalize(&universe, &mut pool)?;
+                Ok::<_, String>((pool, sigma_normal, goal_parts, class))
+            })();
+            let (pool, sigma_normal, goal_parts, class) = match parsed {
+                Ok(v) => v,
+                Err(msg) => {
+                    err_frame(frame.corr, err_code::PARSE, &msg).encode_into(out);
                     return ConnControl::Continue;
                 }
             };
@@ -1140,7 +1135,8 @@ fn handle_frame(
             let jobs: Vec<JobHandle> = goal_parts
                 .into_iter()
                 .map(|part| {
-                    let mut spec = QuerySpec::new(sigma_normal.clone(), part, pool.clone());
+                    let mut spec = QuerySpec::new(sigma_normal.clone(), part, pool.clone())
+                        .goal_class(class);
                     if let Some(cap) = payload.fuel_cap {
                         spec = spec.fuel_cap(cap);
                     }
@@ -1204,6 +1200,28 @@ fn handle_frame(
                 pending.len(),
                 core.client.stats().shed,
             );
+            // Per-class cache breakdown (only classes that saw traffic),
+            // in the same `key=value` token shape.
+            {
+                use std::fmt::Write as _;
+                let s = core.client.stats();
+                for c in typedtd_dependencies::DependencyClass::ALL {
+                    let i = c.index();
+                    if s.class_submitted[i] == 0 {
+                        continue;
+                    }
+                    let _ = write!(
+                        text,
+                        " class_{}_submitted={} class_{}_hits={} class_{}_misses={}",
+                        c.as_str(),
+                        s.class_submitted[i],
+                        c.as_str(),
+                        s.class_cache_hits[i],
+                        c.as_str(),
+                        s.class_cache_misses[i],
+                    );
+                }
+            }
             // Server-wide histogram families ride along as more
             // `key=value` tokens ([`TelemetrySnapshot::stats_text`]), so
             // `parse_stats_text` keeps working unchanged.

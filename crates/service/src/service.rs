@@ -90,7 +90,7 @@ use std::time::{Duration, Instant};
 use typedtd_chase::{
     Answer, CancelToken, DecideConfig, DecideStatus, DecideTask, Decision, ProgressSnapshot,
 };
-use typedtd_dependencies::TdOrEgd;
+use typedtd_dependencies::{DependencyClass, TdOrEgd};
 use typedtd_relational::{isomorphic, FxHashMap, FxHashSet, Relation, ValuePool};
 
 /// How long a parked waiter or idle worker sleeps before re-checking.
@@ -298,6 +298,16 @@ pub struct ServiceStats {
     /// [`ImplicationClient::note_shed`], so every ledger reports it
     /// uniformly).
     pub shed: u64,
+    /// Submissions broken down by the goal's surface dependency class
+    /// (indexed by [`DependencyClass::index`]). The class is the
+    /// submitter's tag ([`QuerySpec::goal_class`]); untagged queries
+    /// default to the goal's normal-form shape (td or egd).
+    pub class_submitted: [u64; DependencyClass::COUNT],
+    /// Cache hits per goal class (same indexing as
+    /// [`ServiceStats::class_submitted`]).
+    pub class_cache_hits: [u64; DependencyClass::COUNT],
+    /// Cache misses (scheduled computations) per goal class.
+    pub class_cache_misses: [u64; DependencyClass::COUNT],
 }
 
 impl ServiceStats {
@@ -310,6 +320,18 @@ impl ServiceStats {
             0.0
         } else {
             self.cache_hits as f64 / lookups as f64
+        }
+    }
+
+    /// [`ServiceStats::cache_hit_rate`] restricted to one goal class.
+    /// `0.0` before any lookup of that class.
+    pub fn class_hit_rate(&self, class: DependencyClass) -> f64 {
+        let i = class.index();
+        let lookups = self.class_cache_hits[i] + self.class_cache_misses[i];
+        if lookups == 0 {
+            0.0
+        } else {
+            self.class_cache_hits[i] as f64 / lookups as f64
         }
     }
 }
@@ -326,6 +348,7 @@ pub struct QuerySpec {
     fuel_cap: Option<u64>,
     decide: Option<DecideConfig>,
     pin: Option<usize>,
+    class: Option<DependencyClass>,
 }
 
 impl QuerySpec {
@@ -341,6 +364,7 @@ impl QuerySpec {
             fuel_cap: None,
             decide: None,
             pin: None,
+            class: None,
         }
     }
 
@@ -376,6 +400,17 @@ impl QuerySpec {
     /// consistent).
     pub fn pin_shard(mut self, shard: usize) -> Self {
         self.pin = Some(shard);
+        self
+    }
+
+    /// Tags the goal's surface dependency class for the per-class
+    /// counters in [`ServiceStats`]. Purely observational — scheduling,
+    /// canonicalization, and caching ignore the tag (two syntaxes
+    /// normalizing to the same td still share one cache entry). Untagged
+    /// queries are counted under the goal's normal-form shape
+    /// ([`DependencyClass::Td`] or [`DependencyClass::Egd`]).
+    pub fn goal_class(mut self, class: DependencyClass) -> Self {
+        self.class = Some(class);
         self
     }
 }
@@ -580,6 +615,9 @@ struct AtomicStats {
     warm_hits: AtomicU64,
     persist_errors: AtomicU64,
     shed: AtomicU64,
+    class_submitted: [AtomicU64; DependencyClass::COUNT],
+    class_cache_hits: [AtomicU64; DependencyClass::COUNT],
+    class_cache_misses: [AtomicU64; DependencyClass::COUNT],
 }
 
 struct Core {
@@ -743,6 +781,9 @@ impl ImplicationClient {
             warm_hits: ld(&s.warm_hits),
             persist_errors: ld(&s.persist_errors),
             shed: ld(&s.shed),
+            class_submitted: std::array::from_fn(|i| ld(&s.class_submitted[i])),
+            class_cache_hits: std::array::from_fn(|i| ld(&s.class_cache_hits[i])),
+            class_cache_misses: std::array::from_fn(|i| ld(&s.class_cache_misses[i])),
         }
     }
 
@@ -841,6 +882,30 @@ impl ImplicationClient {
             "typedtd_persist_errors_total",
             "Persist-log append errors (degraded mode)",
             s.persist_errors,
+        );
+        let by_class = |counts: &[u64; DependencyClass::COUNT]| -> Vec<(String, u64)> {
+            DependencyClass::ALL
+                .iter()
+                .map(|c| (c.as_str().to_string(), counts[c.index()]))
+                .collect()
+        };
+        x.counter_vec(
+            "typedtd_class_submitted_total",
+            "Queries submitted by goal dependency class",
+            "class",
+            &by_class(&s.class_submitted),
+        );
+        x.counter_vec(
+            "typedtd_class_cache_hits_total",
+            "Answer-cache hits by goal dependency class",
+            "class",
+            &by_class(&s.class_cache_hits),
+        );
+        x.counter_vec(
+            "typedtd_class_cache_misses_total",
+            "Scheduled computations by goal dependency class",
+            "class",
+            &by_class(&s.class_cache_misses),
         );
         x.gauge(
             "typedtd_jobs_inflight",
@@ -955,7 +1020,13 @@ impl ImplicationClient {
             fuel_cap,
             decide,
             pin,
+            class,
         } = spec;
+        let class = class.unwrap_or(match &goal {
+            TdOrEgd::Td(_) => DependencyClass::Td,
+            TdOrEgd::Egd(_) => DependencyClass::Egd,
+        });
+        core.stats.class_submitted[class.index()].fetch_add(1, Ordering::Relaxed);
         let nshards = core.shards.len();
         let pin = pin.map(|p| p % nshards);
         // With the cache off there is nothing a canonical key buys —
@@ -1029,6 +1100,7 @@ impl ImplicationClient {
             match shard.cache.probe(k, witness.as_ref()) {
                 Probe::Hit { answer, warm } => {
                     core.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    core.stats.class_cache_hits[class.index()].fetch_add(1, Ordering::Relaxed);
                     if warm {
                         core.stats.warm_hits.fetch_add(1, Ordering::Relaxed);
                     }
@@ -1081,6 +1153,7 @@ impl ImplicationClient {
             }
         }
         core.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+        core.stats.class_cache_misses[class.index()].fetch_add(1, Ordering::Relaxed);
         core.inflight.fetch_add(1, Ordering::Relaxed);
         // Install the slot claimed (`Stepping`) and the in-flight marker
         // under the lock, but build the task — chase-instance seeding,

@@ -362,6 +362,16 @@ impl Exposition {
         let _ = writeln!(self.out, "{name} {value}");
     }
 
+    /// A counter family with one label: `name{label="v"} value` per
+    /// entry.
+    pub fn counter_vec(&mut self, name: &str, help: &str, label: &str, entries: &[(String, u64)]) {
+        use std::fmt::Write as _;
+        self.header(name, help, "counter");
+        for (lv, value) in entries {
+            let _ = writeln!(self.out, "{name}{{{label}=\"{lv}\"}} {value}");
+        }
+    }
+
     /// A gauge family with one label: `name{label="v"} value` per entry.
     pub fn gauge_vec(&mut self, name: &str, help: &str, label: &str, entries: &[(String, u64)]) {
         use std::fmt::Write as _;

@@ -63,12 +63,12 @@ td [u v w] => v q1 q2 |= egd [x y1 _ ; x y2 _] => y1 = y2
                     // Tenant-specific decoys give each pool fresh value
                     // handles — the canonical key sees through them.
                     pool.typed(AttrId(0), &format!("tenant{t}"));
-                    let fds = [Fd::parse(&u, "A -> B"), Fd::parse(&u, "B -> C")];
+                    let fds = [Fd::parse(&u, "A -> B").unwrap(), Fd::parse(&u, "B -> C").unwrap()];
                     let mut sigma = Vec::new();
                     for fd in &fds {
                         sigma.extend(Dependency::from(fd.clone()).normalize(&u, &mut pool));
                     }
-                    let goal = Dependency::from(Fd::parse(&u, "A -> C"))
+                    let goal = Dependency::from(Fd::parse(&u, "A -> C").unwrap())
                         .normalize(&u, &mut pool)
                         .pop()
                         .expect("fd goal is one egd");

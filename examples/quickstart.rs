@@ -15,8 +15,8 @@ fn main() {
     // Business rules: each course has one teacher; teachers and rooms vary
     // independently given the course.
     let sigma = vec![
-        Dependency::from(Fd::parse(&u, "C -> T")),
-        Dependency::from(Mvd::parse(&u, "C ->> R")),
+        Dependency::from(Fd::parse(&u, "C -> T").unwrap()),
+        Dependency::from(Mvd::parse(&u, "C ->> R").unwrap()),
     ];
 
     println!("Σ:");
@@ -25,14 +25,14 @@ fn main() {
     }
 
     // Q1: does Σ imply the join dependency *[CT, CR]?
-    let jd = Dependency::from(Pjd::parse(&u, "*[CT, CR]"));
+    let jd = Dependency::from(Pjd::parse(&u, "*[CT, CR]").unwrap());
     let verdict = decide_dependencies(&sigma, &jd, &u, &mut pool, &DecideConfig::default());
     println!("\nΣ ⊨ *[CT, CR] ?  {:?}", verdict.implication);
     assert_eq!(verdict.implication, Answer::Yes);
 
     // Q2: does Σ imply T -> C? No — and the engine hands back a finite
     // counterexample database.
-    let goal = Dependency::from(Fd::parse(&u, "T -> C"));
+    let goal = Dependency::from(Fd::parse(&u, "T -> C").unwrap());
     let verdict = decide_dependencies(&sigma, &goal, &u, &mut pool, &DecideConfig::default());
     println!("Σ ⊨ T -> C ?     {:?}", verdict.implication);
     assert_eq!(verdict.implication, Answer::No);

@@ -15,14 +15,14 @@ fn main() {
     let mut pool = ValuePool::new(u.clone());
 
     let design_a = vec![
-        Dependency::from(Fd::parse(&u, "E -> D")),
-        Dependency::from(Fd::parse(&u, "D -> M")),
-        Dependency::from(Fd::parse(&u, "E -> M")), // redundant?
-        Dependency::from(Fd::parse(&u, "D -> L")),
+        Dependency::from(Fd::parse(&u, "E -> D").unwrap()),
+        Dependency::from(Fd::parse(&u, "D -> M").unwrap()),
+        Dependency::from(Fd::parse(&u, "E -> M").unwrap()), // redundant?
+        Dependency::from(Fd::parse(&u, "D -> L").unwrap()),
     ];
     let design_b = vec![
-        Dependency::from(Fd::parse(&u, "E -> D")),
-        Dependency::from(Fd::parse(&u, "D -> ML")),
+        Dependency::from(Fd::parse(&u, "E -> D").unwrap()),
+        Dependency::from(Fd::parse(&u, "D -> ML").unwrap()),
     ];
 
     let cfg = DecideConfig::default();
@@ -54,7 +54,7 @@ fn main() {
 
     // --- Lossless decomposition: does design B guarantee that (E,D,M,L)
     //     splits into (E,D) ⋈ (D,M,L) without spurious tuples? ---
-    let jd = Dependency::from(Pjd::parse(&u, "*[ED, DML]"));
+    let jd = Dependency::from(Pjd::parse(&u, "*[ED, DML]").unwrap());
     let v = decide_dependencies(&design_b, &jd, &u, &mut pool, &cfg);
     println!("*[ED, DML] lossless under design B: {:?}", v.implication);
     assert_eq!(v.implication, Answer::Yes);
@@ -71,14 +71,14 @@ fn main() {
 
     // --- An Armstrong relation for design B's fds: a single example
     //     database that exhibits exactly the implied fds. ---
-    let fds: Vec<Fd> = vec![Fd::parse(&u, "E -> D"), Fd::parse(&u, "D -> ML")];
+    let fds: Vec<Fd> = vec![Fd::parse(&u, "E -> D").unwrap(), Fd::parse(&u, "D -> ML").unwrap()];
     let arm = fd_armstrong(&u, &mut pool, &fds);
     println!(
         "Armstrong relation for design B: {} rows; E -> D holds: {}, L -> E holds: {}",
         arm.len(),
-        Fd::parse(&u, "E -> D").satisfied_by(&arm),
-        Fd::parse(&u, "L -> E").satisfied_by(&arm),
+        Fd::parse(&u, "E -> D").unwrap().satisfied_by(&arm),
+        Fd::parse(&u, "L -> E").unwrap().satisfied_by(&arm),
     );
-    assert!(Fd::parse(&u, "E -> D").satisfied_by(&arm));
-    assert!(!Fd::parse(&u, "L -> E").satisfied_by(&arm));
+    assert!(Fd::parse(&u, "E -> D").unwrap().satisfied_by(&arm));
+    assert!(!Fd::parse(&u, "L -> E").unwrap().satisfied_by(&arm));
 }

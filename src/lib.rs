@@ -25,9 +25,9 @@
 //!
 //! let u = Universe::typed(vec!["A", "B", "C"]);
 //! let mut pool = ValuePool::new(u.clone());
-//! let sigma = vec![Dependency::from(Fd::parse(&u, "A -> B")),
-//!                  Dependency::from(Fd::parse(&u, "B -> C"))];
-//! let goal = Dependency::from(Fd::parse(&u, "A -> C"));
+//! let sigma = vec![Dependency::from(Fd::parse(&u, "A -> B").unwrap()),
+//!                  Dependency::from(Fd::parse(&u, "B -> C").unwrap())];
+//! let goal = Dependency::from(Fd::parse(&u, "A -> C").unwrap());
 //! let verdict = decide_dependencies(&sigma, &goal, &u, &mut pool,
 //!                                   &DecideConfig::default());
 //! assert_eq!(verdict.implication, Answer::Yes);

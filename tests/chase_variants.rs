@@ -318,9 +318,9 @@ fn core_chase_keeps_instances_no_larger() {
     let mut pool = ValuePool::new(u.clone());
     let sigma: Vec<TdOrEgd> = ["A ->> B", "B ->> C", "C ->> D"]
         .iter()
-        .map(|s| TdOrEgd::Td(Mvd::parse(&u, s).to_pjd().to_td(&u, &mut pool)))
+        .map(|s| TdOrEgd::Td(Mvd::parse(&u, s).unwrap().to_pjd().to_td(&u, &mut pool)))
         .collect();
-    let goal_mvd = Mvd::parse(&u, "A ->> D");
+    let goal_mvd = Mvd::parse(&u, "A ->> D").unwrap();
     let goal = TdOrEgd::Td(goal_mvd.to_pjd().to_td(&u, &mut pool));
 
     let std_run = chase_implication(&sigma, &goal, &mut pool, &ChaseConfig::default());

@@ -59,8 +59,8 @@ fn theorem6_translation_preserves_a_nontrivial_implication() {
     // the Theorem 6 pipeline into shallow td/pjd form.
     let u = Universe::typed(vec!["A", "B", "C"]);
     let mut pool = ValuePool::new(u.clone());
-    let premise = Mvd::parse(&u, "A ->> B").to_pjd().to_td(&u, &mut pool);
-    let goal = Pjd::parse(&u, "*[AB, AC, BC]").to_td(&u, &mut pool);
+    let premise = Mvd::parse(&u, "A ->> B").unwrap().to_pjd().to_td(&u, &mut pool);
+    let goal = Pjd::parse(&u, "*[AB, AC, BC]").unwrap().to_td(&u, &mut pool);
 
     // Direct chase.
     let direct = chase_implication(
@@ -93,8 +93,8 @@ fn theorem6_translation_preserves_a_non_implication() {
     // Σ = {B ↠ C} does not imply A ↠ B; neither may the translation.
     let u = Universe::typed(vec!["A", "B", "C"]);
     let mut pool = ValuePool::new(u.clone());
-    let premise = Mvd::parse(&u, "B ->> C").to_pjd().to_td(&u, &mut pool);
-    let goal = Mvd::parse(&u, "A ->> B").to_pjd().to_td(&u, &mut pool);
+    let premise = Mvd::parse(&u, "B ->> C").unwrap().to_pjd().to_td(&u, &mut pool);
+    let goal = Mvd::parse(&u, "A ->> B").unwrap().to_pjd().to_td(&u, &mut pool);
 
     let direct = chase_implication(
         &[TdOrEgd::Td(premise.clone())],
@@ -124,7 +124,7 @@ fn theorem6_translation_preserves_a_non_implication() {
 fn chase_proof_for_theorem6_instance_verifies() {
     let u = Universe::typed(vec!["A", "B", "C"]);
     let mut pool = ValuePool::new(u.clone());
-    let td = Mvd::parse(&u, "A ->> B").to_pjd().to_td(&u, &mut pool);
+    let td = Mvd::parse(&u, "A ->> B").unwrap().to_pjd().to_td(&u, &mut pool);
     let mut inst = typedtd::core::theorem6_instance(std::slice::from_ref(&td), &td);
     let sigma = inst.chase_sigma();
     let goal = TdOrEgd::Td(inst.goal_hat.clone());
@@ -141,7 +141,7 @@ fn weak_acyclicity_predicts_the_frontier() {
     let u = Universe::typed(vec!["A", "B", "C"]);
     let mut pool = ValuePool::new(u.clone());
     let sigma: Vec<TdOrEgd> = vec![TdOrEgd::Td(
-        Mvd::parse(&u, "A ->> B").to_pjd().to_td(&u, &mut pool),
+        Mvd::parse(&u, "A ->> B").unwrap().to_pjd().to_td(&u, &mut pool),
     )];
     assert!(weakly_acyclic(&sigma));
 

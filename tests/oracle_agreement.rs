@@ -125,17 +125,17 @@ fn mixed_fd_mvd_decision_via_chase() {
     let u = universe4();
     let mut pool = ValuePool::new(u.clone());
     let sigma = vec![
-        Dependency::from(Mvd::parse(&u, "A ->> B")),
-        Dependency::from(Fd::parse(&u, "B -> C")),
+        Dependency::from(Mvd::parse(&u, "A ->> B").unwrap()),
+        Dependency::from(Fd::parse(&u, "B -> C").unwrap()),
     ];
-    let goal = Dependency::from(Fd::parse(&u, "A -> C"));
+    let goal = Dependency::from(Fd::parse(&u, "A -> C").unwrap());
     let v = decide_dependencies(&sigma, &goal, &u, &mut pool, &DecideConfig::default());
     assert_eq!(v.implication, Answer::Yes);
 
     // But X ↠ Y and Y ↠ Z do NOT imply X → Z.
     let sigma2 = vec![
-        Dependency::from(Mvd::parse(&u, "A ->> B")),
-        Dependency::from(Mvd::parse(&u, "B ->> C")),
+        Dependency::from(Mvd::parse(&u, "A ->> B").unwrap()),
+        Dependency::from(Mvd::parse(&u, "B ->> C").unwrap()),
     ];
     let v2 = decide_dependencies(&sigma2, &goal, &u, &mut pool, &DecideConfig::default());
     assert_eq!(v2.implication, Answer::No);

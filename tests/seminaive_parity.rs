@@ -184,9 +184,9 @@ fn saturation_reaches_identical_fixpoint() {
     let u = universe4();
     let mut pool = ValuePool::new(u.clone());
     let deps = [
-        Dependency::from(Mvd::parse(&u, "A ->> B")),
-        Dependency::from(Fd::parse(&u, "B -> C")),
-        Dependency::from(Mvd::parse(&u, "C ->> D")),
+        Dependency::from(Mvd::parse(&u, "A ->> B").unwrap()),
+        Dependency::from(Fd::parse(&u, "B -> C").unwrap()),
+        Dependency::from(Mvd::parse(&u, "C ->> D").unwrap()),
     ];
     let sigma: Vec<TdOrEgd> = deps
         .iter()

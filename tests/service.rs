@@ -308,12 +308,12 @@ fn scheduler_fairness_divergent_cannot_starve() {
 
     let ut = Universe::typed(vec!["A", "B", "C"]);
     let mut term_pool = ValuePool::new(ut.clone());
-    let fds = [Fd::parse(&ut, "A -> B"), Fd::parse(&ut, "B -> C")];
+    let fds = [Fd::parse(&ut, "A -> B").unwrap(), Fd::parse(&ut, "B -> C").unwrap()];
     let term_sigma: Vec<TdOrEgd> = fds
         .iter()
         .flat_map(|f| Dependency::from(f.clone()).normalize(&ut, &mut term_pool))
         .collect();
-    let term_goal = Dependency::from(Fd::parse(&ut, "A -> C"))
+    let term_goal = Dependency::from(Fd::parse(&ut, "A -> C").unwrap())
         .normalize(&ut, &mut term_pool)
         .pop()
         .expect("fd goal normalizes to one egd");
@@ -1085,15 +1085,15 @@ fn detached_waiter_survives_leader_cancel_with_the_answer() {
         // saturation, which is not fuel-bounded per merge).
         let mut pool = ValuePool::new(ut.clone());
         let mvds = [
-            Mvd::parse(&ut, "A ->> B"),
-            Mvd::parse(&ut, "B ->> C"),
-            Mvd::parse(&ut, "C ->> D"),
+            Mvd::parse(&ut, "A ->> B").unwrap(),
+            Mvd::parse(&ut, "B ->> C").unwrap(),
+            Mvd::parse(&ut, "C ->> D").unwrap(),
         ];
         let sigma: Vec<TdOrEgd> = mvds
             .iter()
             .flat_map(|m| Dependency::from(m.clone()).normalize(&ut, &mut pool))
             .collect();
-        let goal = Dependency::from(Mvd::parse(&ut, "A ->> D"))
+        let goal = Dependency::from(Mvd::parse(&ut, "A ->> D").unwrap())
             .normalize(&ut, &mut pool)
             .pop()
             .expect("mvd goal normalizes to one td");
