@@ -1,0 +1,87 @@
+//! Trigger-discovery head-to-head: a reference backtracking matcher over
+//! materialized `Vec<Tuple>` rows (the shape the engine used before the
+//! columnar rework) against the hash-join [`Embedder`] (inverted-index
+//! postings probed in plan order). Same semantics — both count every
+//! embedding of a td hypothesis — so the gap is pure matching strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use typedtd_bench::{random_relation, random_td, universe};
+use typedtd_relational::{Embedder, FxHashMap, Tuple, Valuation, Value, ValuePool};
+
+/// The pre-columnar reference: scan every relation row for each hypothesis
+/// row, binding pattern values to row values, backtracking on clash.
+fn backtrack_count(
+    rows: &[Tuple],
+    hyp: &[Tuple],
+    depth: usize,
+    map: &mut FxHashMap<Value, Value>,
+) -> u64 {
+    if depth == hyp.len() {
+        return 1;
+    }
+    let pat = hyp[depth].values();
+    let mut n = 0;
+    for row in rows {
+        let mut added: Vec<Value> = Vec::new();
+        let mut ok = true;
+        for (p, v) in pat.iter().zip(row.values()) {
+            match map.get(p) {
+                Some(img) if img == v => {}
+                Some(_) => {
+                    ok = false;
+                    break;
+                }
+                None => {
+                    map.insert(*p, *v);
+                    added.push(*p);
+                }
+            }
+        }
+        if ok {
+            n += backtrack_count(rows, hyp, depth + 1, map);
+        }
+        for p in added {
+            map.remove(&p);
+        }
+    }
+    n
+}
+
+fn bench_backtrack_vs_hashjoin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join/backtrack_vs_hashjoin");
+    for &rows in &[32usize, 128, 512] {
+        let u = universe(4);
+        let mut pool = ValuePool::new(u.clone());
+        let rel = random_relation(&u, &mut pool, rows, 8, 42);
+        let td = random_td(&u, &mut pool, 3, 3, 7);
+        let tuples: Vec<Tuple> = rel.tuples().to_vec();
+
+        // Same answer from both strategies, or the comparison is void.
+        let want = backtrack_count(&tuples, td.hypothesis(), 0, &mut FxHashMap::default());
+        assert_eq!(
+            Embedder::new(&rel).count_embeddings(td.hypothesis(), &Valuation::new()) as u64,
+            want,
+            "strategies disagree on rows={rows}"
+        );
+
+        group.bench_with_input(BenchmarkId::new("backtrack", rows), &rows, |b, _| {
+            b.iter(|| {
+                backtrack_count(&tuples, td.hypothesis(), 0, &mut FxHashMap::default())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("hashjoin", rows), &rows, |b, _| {
+            b.iter(|| {
+                let emb = Embedder::new(&rel);
+                emb.count_embeddings(td.hypothesis(), &Valuation::new())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_backtrack_vs_hashjoin
+}
+criterion_main!(benches);

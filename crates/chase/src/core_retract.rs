@@ -19,25 +19,24 @@ pub fn core_retract(rel: &Relation, frozen: &FxHashSet<Value>) -> Relation {
         if n <= 1 {
             return current;
         }
+        let tuples = current.tuples();
+        let seed = Valuation::from_pairs(
+            frozen
+                .iter()
+                .filter(|&&v| current.contains_value(v))
+                .map(|&v| (v, v)),
+        );
         for skip in 0..n {
             let target = Relation::from_rows(
                 current.universe().clone(),
-                current
-                    .rows()
+                tuples
                     .iter()
                     .enumerate()
                     .filter(|(i, _)| *i != skip)
                     .map(|(_, t)| t.clone()),
             );
-            let vals = current.val();
-            let seed = Valuation::from_pairs(
-                frozen
-                    .iter()
-                    .filter(|v| vals.contains(v))
-                    .map(|&v| (v, v)),
-            );
             let emb = Embedder::new(&target);
-            if let Some(alpha) = emb.find_embedding(current.rows(), &seed) {
+            if let Some(alpha) = emb.find_embedding(&tuples, &seed) {
                 current = current.map(alpha.as_map());
                 shrunk = true;
                 break;
@@ -59,11 +58,7 @@ pub fn minimize_td(td: &Td) -> Td {
         .filter(|v| td.hypothesis_values().contains(v))
         .collect();
     let core = core_retract(&hyp, &frozen);
-    Td::new(
-        td.universe().clone(),
-        td.conclusion().clone(),
-        core.rows().to_vec(),
-    )
+    Td::new(td.universe().clone(), td.conclusion().clone(), core.tuples())
 }
 
 #[cfg(test)]
@@ -100,7 +95,7 @@ mod tests {
         let u = Universe::untyped_abc();
         let mut p = ValuePool::new(u.clone());
         let r = rel(&u, &mut p, &[&["x", "y", "z"], &["x", "y2", "z2"]]);
-        let frozen: FxHashSet<Value> = r.val();
+        let frozen: FxHashSet<Value> = r.val().collect();
         let core = core_retract(&r, &frozen);
         assert_eq!(core.len(), 2, "fixing all values forbids folding");
     }

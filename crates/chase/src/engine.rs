@@ -47,11 +47,34 @@
 //! reference: both modes produce identical [`ChaseOutcome`]s, round counts,
 //! and (up to isomorphism of labeled nulls) final instances.
 //!
-//! With [`ChaseConfig::parallel`] the per-round trigger scan fans out
-//! across scoped threads — but only for the dependencies with work to do:
-//! egds and empty-delta tds never spawn. Collected triggers are applied in
-//! dependency order regardless of thread completion order, so traces stay
-//! reproducible.
+//! # Delta-sharded parallel scanning
+//!
+//! With [`ChaseConfig::parallel`] the per-round trigger scan is split into
+//! *work items* at `(dependency, pinned hypothesis row, delta chunk)`
+//! granularity — the pinned row ranges over a contiguous chunk of the
+//! delta's sorted ids (at most one chunk per worker), the rest of the
+//! hypothesis is hash-joined against the whole instance, plus one
+//! full-scan item per delta-less td. It is the *delta* that is sharded,
+//! not the dependency list: even a single divergent td with a one-row
+//! hypothesis fans out across all workers. Scoped worker threads steal
+//! items from a shared cursor, and results are merged back in item order —
+//! chunk order equals delta order, so the collected trigger list, and
+//! hence the applied trace, is identical to the sequential scan's. With
+//! one item (or one core) the scan runs inline; no threads are spawned.
+//!
+//! Parallel standard-variant semi-naive rounds additionally *defer* the
+//! per-trigger satisfaction probe for tds with existential conclusions:
+//! collection takes every embedding of a delta-touching hypothesis as a
+//! candidate and lets application's authoritative re-check (which must run
+//! anyway, under the merges of the round) filter the satisfied ones — one
+//! probe per trigger instead of two. Tds with *total* conclusions (every
+//! conclusion value occurs in the hypothesis) are filtered eagerly in every
+//! mode: there satisfaction is literal row membership, a single hash probe
+//! cheaper than the candidate clone deferral would buy. A round whose
+//! candidates all turn out satisfied is exactly a round the eager scan
+//! would have found empty, so it is reported terminal without incrementing
+//! the round counter; outcomes, round counts, and traces agree with the
+//! sequential engine.
 //!
 //! # Resumable stepping
 //!
@@ -75,11 +98,12 @@ use crate::core_retract::core_retract;
 use crate::instance::ChaseInstance;
 use crate::trace::{ChaseStep, ChaseTrace, StepKind};
 use std::ops::ControlFlow;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use typedtd_dependencies::{Td, TdOrEgd};
 use typedtd_relational::{
-    Embedder, FxHashMap, FxHashSet, Relation, RowDelta, Tuple, Universe, Valuation, Value,
-    ValuePool,
+    satisfies_row, Embedder, FxHashMap, FxHashSet, Relation, RowDelta, ScanStats, Tuple, Universe,
+    Valuation, Value, ValuePool,
 };
 
 /// Which chase strategy to run.
@@ -109,6 +133,10 @@ pub struct ChaseConfig {
     /// Delta-driven (semi-naive) trigger discovery. `false` restores the
     /// naive full-rescan reference; outcomes are identical either way.
     pub semi_naive: bool,
+    /// Worker count for parallel scans; `None` (the default) probes the
+    /// hardware. An explicit count lets tests drive the sharded code path
+    /// deterministically regardless of host core count.
+    pub shards: Option<usize>,
 }
 
 impl Default for ChaseConfig {
@@ -120,6 +148,7 @@ impl Default for ChaseConfig {
             variant: ChaseVariant::Standard,
             parallel: false,
             semi_naive: true,
+            shards: None,
         }
     }
 }
@@ -150,6 +179,12 @@ impl ChaseConfig {
     /// Toggles semi-naive (delta-driven) trigger discovery.
     pub fn with_semi_naive(mut self, on: bool) -> Self {
         self.semi_naive = on;
+        self
+    }
+
+    /// Pins the parallel worker count (tests; `None` probes the hardware).
+    pub fn with_shards(mut self, n: Option<usize>) -> Self {
+        self.shards = n;
         self
     }
 }
@@ -282,6 +317,38 @@ impl FrontierDeltas {
     fn get(&self, since: u64) -> &RowDelta {
         &self.cache[&since]
     }
+
+    /// Drops cached deltas (a merge moved row positions), keeping the
+    /// allocation for the next pass.
+    fn reset(&mut self) {
+        self.cache.clear();
+    }
+}
+
+/// Hardware thread count, probed once per process.
+///
+/// `std::thread::available_parallelism` re-reads cgroup quota files on
+/// every call on Linux — measurable syscall overhead when asked once per
+/// chase round — so the answer is cached for the process lifetime.
+/// One trigger-scan work item's output: collected `(dependency, valuation)`
+/// candidates plus the scan's join counters.
+type ScanOutput = (Vec<(usize, Valuation)>, ScanStats);
+
+fn hardware_shards() -> usize {
+    static SHARDS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *SHARDS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// The hypothesis rows of either dependency kind.
+fn dep_hypothesis(dep: &TdOrEgd) -> &[Tuple] {
+    match dep {
+        TdOrEgd::Td(td) => td.hypothesis(),
+        TdOrEgd::Egd(e) => e.hypothesis(),
+    }
 }
 
 /// Checks whether the goal is derivable in the instance.
@@ -344,6 +411,12 @@ pub struct ChaseTask {
     fired: Vec<FxHashSet<Vec<Value>>>,
     /// Per-dependency sorted hypothesis value lists (trigger keys).
     hyp_vals: Vec<Vec<Value>>,
+    /// Per-dependency flag: `true` for a td whose conclusion values all
+    /// occur in its hypothesis (a *total* td — no existentials). A trigger
+    /// valuation then binds the whole conclusion, so satisfaction collapses
+    /// to literal row membership — one hash probe instead of an embedding
+    /// search. `false` for egds (unused).
+    total_concl: Vec<bool>,
     /// Per-dependency instance version up to which the dependency has been
     /// fully verified (the semi-naive frontier).
     seen: Vec<u64>,
@@ -353,6 +426,19 @@ pub struct ChaseTask {
     /// Equality merges applied so far (the egd half of `steps`); kept as
     /// its own counter so profilers read it without scanning the trace.
     merges: usize,
+    /// Per-dependency hypothesis placement plans for delta-pinned scans
+    /// (`touch_plans[di][pin]`), computed once from the hypothesis shape.
+    touch_plans: Vec<Vec<Vec<usize>>>,
+    /// Per-dependency hypothesis placement plans for full scans.
+    scan_plans: Vec<Vec<usize>>,
+    /// Hash-join build-side rows taken (delta-pinned candidates) across all
+    /// trigger scans so far.
+    join_build_rows: u64,
+    /// Hash-join probe-side hits (non-pinned candidates surviving the
+    /// consistency check) across all trigger scans so far.
+    join_probe_hits: u64,
+    /// Total worker shards spawned by parallel trigger scans.
+    parallel_shards: u64,
     done: Option<ChaseOutcome>,
     /// Checked at round granularity; tripping it finishes the task with
     /// [`ChaseOutcome::Cancelled`].
@@ -389,7 +475,7 @@ impl ChaseTask {
     ) -> Self {
         Self::new(
             init.universe().clone(),
-            init.rows().to_vec(),
+            init.tuples(),
             sigma,
             None,
             pool,
@@ -423,8 +509,31 @@ impl ChaseTask {
                 vals
             })
             .collect();
+        let total_concl: Vec<bool> = sigma
+            .iter()
+            .zip(&hyp_vals)
+            .map(|(d, hv)| match d {
+                TdOrEgd::Td(t) => t
+                    .conclusion()
+                    .val()
+                    .all(|v| hv.binary_search(&v).is_ok()),
+                TdOrEgd::Egd(_) => false,
+            })
+            .collect();
         let fired = vec![FxHashSet::default(); sigma.len()];
         let seen = vec![0; sigma.len()];
+        // Placement plans depend only on the hypothesis shape (which values
+        // repeat across rows), not on the instance: compute them once here
+        // instead of on every scan of every round.
+        let empty_seed = Valuation::new();
+        let touch_plans: Vec<Vec<Vec<usize>>> = sigma
+            .iter()
+            .map(|d| Embedder::touch_plans(dep_hypothesis(d), &empty_seed))
+            .collect();
+        let scan_plans: Vec<Vec<usize>> = sigma
+            .iter()
+            .map(|d| Embedder::scan_plan(dep_hypothesis(d), &empty_seed))
+            .collect();
         Self {
             inst: ChaseInstance::new(universe.clone(), init),
             universe,
@@ -436,10 +545,16 @@ impl ChaseTask {
             steps: 0,
             fired,
             hyp_vals,
+            total_concl,
             seen,
             key_buf: Vec::new(),
             rounds: 0,
             merges: 0,
+            touch_plans,
+            scan_plans,
+            join_build_rows: 0,
+            join_probe_hits: 0,
+            parallel_shards: 0,
             done: None,
             cancel: CancelToken::new(),
         }
@@ -514,6 +629,21 @@ impl ChaseTask {
         self.merges
     }
 
+    /// Hash-join build-side rows taken by trigger scans so far.
+    pub fn join_build_rows(&self) -> u64 {
+        self.join_build_rows
+    }
+
+    /// Hash-join probe-side hits scored by trigger scans so far.
+    pub fn join_probe_hits(&self) -> u64 {
+        self.join_probe_hits
+    }
+
+    /// Worker shards spawned by parallel trigger scans so far.
+    pub fn parallel_shards(&self) -> u64 {
+        self.parallel_shards
+    }
+
     /// The task's value pool (evolves as fresh nulls are minted).
     pub fn pool(&self) -> &ValuePool {
         &self.pool
@@ -559,6 +689,7 @@ impl ChaseTask {
                 return;
             }
         }
+        let deferred = self.deferred_satisfaction();
         let triggers = self.collect_td_triggers();
         if triggers.is_empty() {
             // Terminal. With a goal, the universal model refutes it; in
@@ -568,17 +699,71 @@ impl ChaseTask {
             return;
         }
         if self.rounds >= self.cfg.max_rounds {
-            self.done = Some(ChaseOutcome::Exhausted);
+            // Deferred collection reports satisfied embeddings as
+            // candidates; probe them (without firing) so the budget
+            // boundary distinguishes a genuine fixpoint from exhaustion
+            // exactly as the eager scan's emptiness test does.
+            self.done = Some(if deferred && !self.any_unsatisfied(&triggers) {
+                ChaseOutcome::NotImplied
+            } else {
+                ChaseOutcome::Exhausted
+            });
             return;
         }
-        if let ControlFlow::Break(o) = self.apply_td_triggers(triggers) {
-            self.done = Some(o);
-            return;
+        match self.apply_td_triggers(triggers) {
+            ControlFlow::Break(o) => {
+                self.done = Some(o);
+                return;
+            }
+            ControlFlow::Continue(applied) => {
+                if deferred && applied == 0 {
+                    // Every candidate was satisfied, so the eager scan
+                    // would have collected nothing: terminal, and the
+                    // round counter stays put to match it. (In eager mode
+                    // a nonempty collection always fires at least its
+                    // first trigger, so `applied == 0` cannot happen
+                    // there.)
+                    self.done = Some(ChaseOutcome::NotImplied);
+                    return;
+                }
+            }
         }
         if self.cfg.variant == ChaseVariant::Core {
             self.retract_to_core();
         }
         self.rounds += 1;
+    }
+
+    /// Whether trigger collection defers the satisfaction probe to
+    /// application (parallel semi-naive standard chase; see module docs).
+    fn deferred_satisfaction(&self) -> bool {
+        self.cfg.parallel && self.cfg.semi_naive && self.cfg.variant == ChaseVariant::Standard
+    }
+
+    /// Probes (without firing) whether any collected candidate is genuinely
+    /// unsatisfied — the deferred-collection analogue of the eager scan's
+    /// emptiness test, used only at the round-budget boundary. No merges
+    /// can have happened since collection (egd saturation precedes it in
+    /// the round), so the candidates' images are already canonical.
+    fn any_unsatisfied(&self, triggers: &[(usize, Valuation)]) -> bool {
+        let mut scratch = Vec::new();
+        let mut row_buf: Vec<Value> = Vec::new();
+        triggers.iter().any(|(di, alpha)| {
+            let TdOrEgd::Td(td) = &self.sigma[*di] else {
+                return false;
+            };
+            if self.total_concl[*di] {
+                row_buf.clear();
+                row_buf.extend(
+                    td.conclusion()
+                        .val()
+                        .map(|v| alpha.get(v).expect("total conclusion bound")),
+                );
+                !self.inst.relation().contains_values(&row_buf)
+            } else {
+                !satisfies_row(self.inst.relation(), td.conclusion(), alpha, &mut scratch)
+            }
+        })
     }
 
     /// Applies egd merges until none is violated.
@@ -588,13 +773,16 @@ impl ChaseTask {
     /// rows were last dirty, and merges only repair violations on the rows
     /// they rewrite — which the rewrite stamps dirty again).
     fn egd_saturate(&mut self) -> ControlFlow<ChaseOutcome> {
+        // Deltas cached per distinct frontier; a merge restarts the pass —
+        // and resets the cache, keeping its allocation — via
+        // `continue 'outer`.
+        let mut deltas = FrontierDeltas::default();
         'outer: loop {
-            // Deltas cached per distinct frontier for this pass; a merge
-            // restarts the pass (and the cache) via `continue 'outer`.
-            let mut deltas = FrontierDeltas::default();
+            deltas.reset();
             for (di, dep) in self.sigma.iter().enumerate() {
                 let TdOrEgd::Egd(e) = dep else { continue };
                 let scanned_at = self.inst.version();
+                let mut stats = ScanStats::default();
                 let violation = if self.cfg.semi_naive {
                     if scanned_at == self.seen[di] {
                         continue; // frontier current: skip the drain
@@ -604,10 +792,29 @@ impl ChaseTask {
                         self.seen[di] = scanned_at;
                         continue;
                     }
-                    e.violation_touching(self.inst.relation(), delta)
+                    let relation = self.inst.relation();
+                    if delta.len() * 2 >= relation.len() {
+                        // Merge-heavy pass: most rows are dirty, so the
+                        // pin-partitioned enumeration would revisit nearly
+                        // every embedding once per pin. The plain full scan
+                        // checks a superset of the touching embeddings —
+                        // sound, and advancing the frontier afterwards
+                        // stays correct for the same reason it does after
+                        // a touching scan.
+                        e.violation_planned(relation, &self.scan_plans[di], &mut stats)
+                    } else {
+                        e.violation_touching_planned(
+                            relation,
+                            delta,
+                            &self.touch_plans[di],
+                            &mut stats,
+                        )
+                    }
                 } else {
                     e.violation(self.inst.relation())
                 };
+                self.join_build_rows += stats.build_rows;
+                self.join_probe_hits += stats.probe_hits;
                 let Some(alpha) = violation else {
                     // Fully verified at this version; nothing before it can
                     // become violating without being stamped dirty.
@@ -637,17 +844,20 @@ impl ChaseTask {
 
     /// Enumerates td triggers against the current (immutable this round)
     /// instance. For the standard and core variants only *unsatisfied*
-    /// triggers count; the oblivious variant takes every not-yet-fired one.
+    /// triggers count (with the probe deferred to application in parallel
+    /// semi-naive mode); the oblivious variant takes every not-yet-fired
+    /// one.
     ///
     /// Semi-naive: each td only enumerates embeddings touching its delta;
-    /// its `seen` frontier then advances to the scanned version. With
-    /// `cfg.parallel`, the tds **with work** — egds never produce td
-    /// triggers, and an empty delta means nothing to enumerate — are
-    /// scanned on scoped threads and the results concatenated in dependency
-    /// order, so the collected trigger list — and hence the applied trace —
-    /// is deterministic.
+    /// its `seen` frontier then advances to the scanned version. The scan
+    /// is split into `(dependency, pinned hypothesis row)` work items — see
+    /// the module docs — which either run inline or are stolen by scoped
+    /// worker threads off a shared cursor; results merge in item order
+    /// either way, so the collected trigger list — and hence the applied
+    /// trace — is deterministic.
     fn collect_td_triggers(&mut self) -> Vec<(usize, Valuation)> {
         let oblivious = self.cfg.variant == ChaseVariant::Oblivious;
+        let deferred = self.deferred_satisfaction();
         let scanned_at = self.inst.version();
         // Per-td delta (None = scan everything, the naive reference),
         // cached per distinct frontier.
@@ -668,15 +878,73 @@ impl ChaseTask {
             .iter()
             .map(|s| s.map(|since| frontier.get(since)))
             .collect();
-        let relation = self.inst.relation();
-        let scan = |di: usize,
-                    td: &Td,
-                    emb: &Embedder<'_>,
-                    fired: &[FxHashSet<Vec<Value>>],
-                    hyp_vals: &[Vec<Value>]|
-         -> Vec<(usize, Valuation)> {
+
+        // The worklist: one item per (td, pinned hypothesis row, delta
+        // chunk) for tds with a nonempty delta, one full-scan item per
+        // delta-less td. Sharding the *delta* — not just the dependency
+        // list — means even a single divergent td with a one-row
+        // hypothesis fans out across workers. Egds and empty-delta tds
+        // are excluded up front so the parallel fan-out never claims an
+        // item with nothing to do.
+        let shard_target = if self.cfg.parallel {
+            self.cfg.shards.unwrap_or_else(hardware_shards).max(1)
+        } else {
+            1
+        };
+        enum Item<'t> {
+            /// Embeddings placing hypothesis row `pin` on delta rows
+            /// `lo..hi` (indices into the delta's sorted id list).
+            Pin {
+                di: usize,
+                td: &'t Td,
+                pin: usize,
+                lo: usize,
+                hi: usize,
+            },
+            /// Every embedding (naive reference / post-retraction rescan).
+            Full { di: usize, td: &'t Td },
+        }
+        let mut items: Vec<Item<'_>> = Vec::new();
+        for (di, dep) in self.sigma.iter().enumerate() {
+            let TdOrEgd::Td(td) = dep else { continue };
+            match deltas[di] {
+                Some(d) if d.is_empty() => {}
+                Some(d) => {
+                    // Near-equal contiguous chunks, at most one per worker;
+                    // chunk order = delta order, so the item-order merge
+                    // below reproduces the sequential emission order.
+                    let chunks = shard_target.min(d.len());
+                    let per = d.len().div_ceil(chunks);
+                    for pin in 0..td.hypothesis().len() {
+                        let mut lo = 0;
+                        while lo < d.len() {
+                            let hi = (lo + per).min(d.len());
+                            items.push(Item::Pin { di, td, pin, lo, hi });
+                            lo = hi;
+                        }
+                    }
+                }
+                None => items.push(Item::Full { di, td }),
+            }
+        }
+        if items.is_empty() {
+            return Vec::new();
+        }
+
+        let emb = Embedder::new(self.inst.relation());
+        let empty_seed = Valuation::new();
+        let fired = &self.fired;
+        let hyp_vals = &self.hyp_vals;
+        let total_concl = &self.total_concl;
+        let touch_plans = &self.touch_plans;
+        let scan_plans = &self.scan_plans;
+        let run_item = |item: &Item<'_>| -> ScanOutput {
             let mut out = Vec::new();
+            let mut stats = ScanStats::default();
             let mut key_buf: Vec<Value> = Vec::new();
+            let (di, td) = match *item {
+                Item::Pin { di, td, .. } | Item::Full { di, td } => (di, td),
+            };
             let mut visit = |alpha: &Valuation| {
                 let is_trigger = if oblivious {
                     key_buf.clear();
@@ -686,6 +954,21 @@ impl ChaseTask {
                             .map(|&v| alpha.get(v).expect("hypothesis value bound")),
                     );
                     !fired[di].contains(key_buf.as_slice())
+                } else if total_concl[di] {
+                    // Total conclusion: satisfaction is literal membership
+                    // of the (fully bound) conclusion row — one hash probe.
+                    // Kept even under deferred collection, where it is
+                    // cheaper than the valuation clone it saves;
+                    // application re-checks authoritatively either way.
+                    key_buf.clear();
+                    key_buf.extend(
+                        td.conclusion()
+                            .val()
+                            .map(|v| alpha.get(v).expect("total conclusion bound")),
+                    );
+                    !emb.target().contains_values(&key_buf)
+                } else if deferred {
+                    true // application re-checks authoritatively
                 } else {
                     !emb.embeds(std::slice::from_ref(td.conclusion()), alpha)
                 };
@@ -694,60 +977,70 @@ impl ChaseTask {
                 }
                 ControlFlow::Continue(())
             };
-            match deltas[di] {
-                Some(delta) => {
-                    emb.for_each_embedding_touching(
+            match *item {
+                Item::Pin { pin, lo, hi, .. } => {
+                    let delta = deltas[di].expect("pinned item implies a delta");
+                    emb.for_each_embedding_touching_pin_range(
                         td.hypothesis(),
-                        &Valuation::new(),
+                        &empty_seed,
                         delta,
+                        pin,
+                        lo..hi,
+                        &touch_plans[di][pin],
+                        &mut stats,
                         &mut visit,
                     );
                 }
-                None => {
-                    emb.for_each_embedding(td.hypothesis(), &Valuation::new(), &mut visit);
+                Item::Full { .. } => {
+                    emb.for_each_embedding_planned(
+                        td.hypothesis(),
+                        &empty_seed,
+                        &scan_plans[di],
+                        &mut stats,
+                        &mut visit,
+                    );
                 }
             }
-            out
+            (out, stats)
         };
 
-        // The worklist: tds whose scan can produce triggers. Egds and
-        // empty-delta tds are excluded up front so the parallel fan-out
-        // never spawns a thread with nothing to do (ROADMAP cheap first
-        // step); a single-entry worklist runs inline for the same reason.
-        let work: Vec<(usize, &Td)> = self
-            .sigma
-            .iter()
-            .enumerate()
-            .filter_map(|(di, dep)| match dep {
-                TdOrEgd::Td(td) if deltas[di].is_none_or(|d| !d.is_empty()) => Some((di, td)),
-                _ => None,
-            })
-            .collect();
-
         let mut triggers: Vec<(usize, Valuation)> = Vec::new();
-        let emb = Embedder::new(relation);
-        if self.cfg.parallel && work.len() > 1 {
-            let fired = &self.fired;
-            let hyp_vals = &self.hyp_vals;
-            let results: Vec<Vec<(usize, Valuation)>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = work
-                    .iter()
-                    .map(|&(di, td)| {
-                        let emb = &emb;
-                        let scan = &scan;
-                        scope.spawn(move || scan(di, td, emb, fired, hyp_vals))
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().unwrap()).collect()
+        let mut stats = ScanStats::default();
+        let shards = shard_target.min(items.len());
+        if shards > 1 {
+            // Work stealing: workers claim items off a shared cursor, park
+            // results in per-item slots, and the merge walks the slots in
+            // item order — identical output to the inline loop below.
+            let cursor = AtomicUsize::new(0);
+            let slots: Vec<Mutex<Option<ScanOutput>>> =
+                (0..items.len()).map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..shards {
+                    scope.spawn(|| loop {
+                        let wi = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(wi) else { break };
+                        *slots[wi].lock().unwrap() = Some(run_item(item));
+                    });
+                }
             });
-            for r in results {
-                triggers.extend(r);
+            for slot in slots {
+                let (out, s) = slot
+                    .into_inner()
+                    .unwrap()
+                    .expect("every work item was claimed");
+                triggers.extend(out);
+                stats.absorb(s);
             }
+            self.parallel_shards += shards as u64;
         } else {
-            for (di, td) in work {
-                triggers.extend(scan(di, td, &emb, &self.fired, &self.hyp_vals));
+            for item in &items {
+                let (out, s) = run_item(item);
+                triggers.extend(out);
+                stats.absorb(s);
             }
         }
+        self.join_build_rows += stats.build_rows;
+        self.join_probe_hits += stats.probe_hits;
         if self.cfg.semi_naive {
             for (di, dep) in self.sigma.iter().enumerate() {
                 if matches!(dep, TdOrEgd::Td(_)) {
@@ -759,20 +1052,33 @@ impl ChaseTask {
     }
 
     /// Fires the collected triggers (re-verifying each under the merges and
-    /// additions that happened earlier in the round).
+    /// additions that happened earlier in the round). Continues with the
+    /// number of rows actually inserted.
     fn apply_td_triggers(
         &mut self,
         triggers: Vec<(usize, Valuation)>,
-    ) -> ControlFlow<ChaseOutcome> {
+    ) -> ControlFlow<ChaseOutcome, usize> {
         let oblivious = self.cfg.variant == ChaseVariant::Oblivious;
+        let mut applied = 0usize;
+        // Trail buffer for the per-trigger satisfaction probes; lent to
+        // `satisfies_row` so the hot loop allocates nothing per trigger.
+        let mut scratch = Vec::new();
         for (di, alpha) in triggers {
             let TdOrEgd::Td(td) = &self.sigma[di] else {
                 unreachable!("td trigger indexes a td")
             };
-            // Resolve the trigger under any merges since collection.
-            let resolved = Valuation::from_pairs(
-                alpha.iter().map(|(v, img)| (v, self.inst.resolve(img))),
-            );
+            // Resolve the trigger under any merges since collection. In
+            // the current round shape no merge can land between the two,
+            // so the common case is a cheap identity check that skips the
+            // map rebuild entirely.
+            let resolved = if alpha
+                .iter()
+                .any(|(_, img)| self.inst.resolve_readonly(img) != img)
+            {
+                Valuation::from_pairs(alpha.iter().map(|(v, img)| (v, self.inst.resolve(img))))
+            } else {
+                alpha
+            };
             if oblivious {
                 self.key_buf.clear();
                 self.key_buf.extend(
@@ -784,14 +1090,26 @@ impl ChaseTask {
                     continue;
                 }
                 self.fired[di].insert(self.key_buf.clone());
-            } else {
-                let emb = Embedder::new(self.inst.relation());
-                if emb.embeds(std::slice::from_ref(td.conclusion()), &resolved) {
+            } else if self.total_concl[di] {
+                self.key_buf.clear();
+                self.key_buf.extend(
+                    td.conclusion()
+                        .val()
+                        .map(|v| resolved.get(v).expect("total conclusion bound")),
+                );
+                if self.inst.relation().contains_values(&self.key_buf) {
                     continue; // satisfied meanwhile
                 }
+            } else if satisfies_row(self.inst.relation(), td.conclusion(), &resolved, &mut scratch)
+            {
+                continue; // satisfied meanwhile
             }
+            // The trace wants the matched hypothesis rows under the
+            // pre-extension valuation; computing it first lets `resolved`
+            // move into the extension instead of being cloned.
+            let matched = resolved.apply_rows(td.hypothesis());
             // Extend with fresh nulls on existential conclusion values.
-            let mut ext = resolved.clone();
+            let mut ext = resolved;
             for a in self.universe.attrs() {
                 let v = td.conclusion().get(a);
                 if ext.get(v).is_none() {
@@ -800,7 +1118,6 @@ impl ChaseTask {
                 }
             }
             let row = ext.apply_tuple(td.conclusion());
-            let matched = resolved.apply_rows(td.hypothesis());
             if self.inst.insert(row.clone()) {
                 self.trace.steps.push(ChaseStep {
                     dep: di,
@@ -808,12 +1125,16 @@ impl ChaseTask {
                     kind: StepKind::AddRow { row },
                 });
                 self.steps += 1;
-            }
-            if self.steps >= self.cfg.max_steps || self.inst.len() >= self.cfg.max_rows {
-                return ControlFlow::Break(ChaseOutcome::Exhausted);
+                applied += 1;
+                // Budgets can only newly trip on an insert, so checking
+                // here (not after skipped triggers) keeps the eager and
+                // deferred modes on identical outcomes.
+                if self.steps >= self.cfg.max_steps || self.inst.len() >= self.cfg.max_rows {
+                    return ControlFlow::Break(ChaseOutcome::Exhausted);
+                }
             }
         }
-        ControlFlow::Continue(())
+        ControlFlow::Continue(applied)
     }
 
     /// Core-chase retraction: shrink the instance to its core, keeping the

@@ -229,6 +229,12 @@ pub struct ProgressSnapshot {
     pub instance_rows: u64,
     /// Finite-model search attempts completed.
     pub search_attempts: u64,
+    /// Hash-join build-side rows taken by the chase's trigger scans.
+    pub join_build_rows: u64,
+    /// Hash-join probe-side hits scored by the chase's trigger scans.
+    pub join_probe_hits: u64,
+    /// Worker shards spawned by the chase's parallel trigger scans.
+    pub parallel_shards: u64,
 }
 
 /// Progress phase of a [`DecideTask`].
@@ -530,6 +536,9 @@ impl DecideTask {
         snap.chase_steps = task.steps_applied() as u64;
         snap.chase_merges = task.merges() as u64;
         snap.instance_rows = task.instance_rows() as u64;
+        snap.join_build_rows = task.join_build_rows();
+        snap.join_probe_hits = task.join_probe_hits();
+        snap.parallel_shards = task.parallel_shards();
     }
 
     /// Freezes the chase counters into the mirror before the sub-task is

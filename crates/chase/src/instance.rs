@@ -42,7 +42,7 @@ impl ChaseInstance {
     /// Starts an instance from initial rows; all their values are frozen.
     pub fn new(universe: Arc<Universe>, rows: impl IntoIterator<Item = Tuple>) -> Self {
         let relation = Relation::from_rows(universe, rows);
-        let frozen = relation.val();
+        let frozen = relation.val().collect();
         let row_versions = vec![1; relation.len()];
         let dirty_log = (0..relation.len() as u32).map(|i| (1, i)).collect();
         Self {
@@ -242,7 +242,7 @@ mod tests {
         let root = inst.resolve(c);
         assert_eq!(root, inst.resolve(b));
         // Row was rewritten: column B' and C' now share the representative.
-        let row = &inst.relation().rows()[0];
+        let row = inst.relation().row(0);
         assert_eq!(row.get(u.a("B'")), row.get(u.a("C'")));
         // Inserting the un-canonical row again is a no-op.
         assert!(!inst.insert(Tuple::new(vec![a, b, c])));
@@ -329,7 +329,7 @@ mod tests {
         let delta = inst.delta_since(checkpoint);
         assert!(delta.is_empty(), "unexpected dirty rows: {:?}", delta.ids());
         // Version bookkeeping stayed aligned with the rows.
-        assert_eq!(inst.relation().rows()[1].get(u.a("A'")), x);
+        assert_eq!(inst.relation().cell(1, u.a("A'")), x);
     }
 
     #[test]

@@ -377,7 +377,6 @@ fn attempt(
                         // Collapse b into a everywhere.
                         let map: FxHashMap<Value, Value> = rel
                             .val()
-                            .into_iter()
                             .map(|v| (v, if v == b { a } else { v }))
                             .collect();
                         rel = rel.map(&map);

@@ -176,7 +176,7 @@ impl HatContext {
         assert_eq!(i.universe().width(), self.base.width());
         let base_attrs: Vec<AttrId> = self.base.attrs().collect();
         let mut out = Relation::new(self.hat.clone());
-        for t in i.rows() {
+        for t in i.iter() {
             let mut vals = Vec::with_capacity(self.hat.width());
             for &a in &base_attrs {
                 let name = format!("<{}>", base_pool.name(t.get(a)));

@@ -150,7 +150,7 @@ mod tests {
         let inv = t_inverse(&t_i, d0, e0, f1, &u, &mut pool);
         assert_eq!(inv.relation.len(), i.len());
         // The explicit mapping: row w of I maps to (p(w[A']¹), p(w[B']²), p(w[C']³)).
-        for w in i.rows() {
+        for w in i.tuples() {
             let expected = Tuple::new(vec![
                 inv.p[&tr.avatar(&pool, w.values()[0], 1)],
                 inv.p[&tr.avatar(&pool, w.values()[1], 2)],
@@ -183,8 +183,8 @@ mod tests {
         let tu = tr.typed_universe().clone();
         let rogue_a = tr.pool_mut().typed(tu.a("A"), "rogue");
         let (d0, e0, f1) = (tr.special("d0"), tr.special("e0"), tr.special("f1"));
-        let some_b = t_i.rows()[1].get(tu.a("B"));
-        let some_c = t_i.rows()[1].get(tu.a("C"));
+        let some_b = t_i.cell(1, tu.a("B"));
+        let some_c = t_i.cell(1, tu.a("C"));
         let rogue_d = tr.pool_mut().typed(tu.a("D"), "rogued");
         t_i.insert(Tuple::new(vec![rogue_a, some_b, some_c, rogue_d, e0, f1]));
         let inv = t_inverse(&t_i, d0, e0, f1, &u, &mut pool);
@@ -202,7 +202,7 @@ mod tests {
         let t_i = tr.t_relation(&pool, &i);
         let (d0, e0, f1) = (tr.special("d0"), tr.special("e0"), tr.special("f1"));
         let inv = t_inverse(&t_i, d0, e0, f1, &u, &mut pool);
-        let row = &inv.relation.rows()[0];
+        let row = inv.relation.row(0);
         assert_eq!(row.get(u.a("A'")), row.get(u.a("B'")), "a ≡ a");
         assert_ne!(row.get(u.a("A'")), row.get(u.a("C'")), "a ≢ b");
     }

@@ -24,7 +24,7 @@ pub fn t_td(tr: &mut Translator, untyped_pool: &ValuePool, td: &Td) -> Td {
     let hyp_rel = td.hypothesis_relation();
     let t_hyp = tr.t_relation(untyped_pool, &hyp_rel);
     let t_w = tr.t_tuple(untyped_pool, td.conclusion());
-    Td::new(tr.typed_universe().clone(), t_w, t_hyp.rows().to_vec())
+    Td::new(tr.typed_universe().clone(), t_w, t_hyp.tuples())
 }
 
 /// `T(η)` for an untyped egd `η = (a = b, J)`: becomes `(a¹ = b¹, T(J))`.
@@ -33,12 +33,7 @@ pub fn t_egd(tr: &mut Translator, untyped_pool: &ValuePool, egd: &Egd) -> Egd {
     let t_hyp = tr.t_relation(untyped_pool, &hyp_rel);
     let a1 = tr.avatar(untyped_pool, egd.left(), 1);
     let b1 = tr.avatar(untyped_pool, egd.right(), 1);
-    Egd::new(
-        tr.typed_universe().clone(),
-        a1,
-        b1,
-        t_hyp.rows().to_vec(),
-    )
+    Egd::new(tr.typed_universe().clone(), a1, b1, t_hyp.tuples())
 }
 
 /// `T` on a mixed td/egd dependency.

@@ -197,14 +197,14 @@ impl Translator {
         assert_eq!(i.universe().width(), 3);
         let mut out = Relation::new(self.typed.clone());
         out.insert(self.s_tuple());
-        for w in i.rows() {
-            let t = self.t_tuple(untyped_pool, w);
+        for w in i.tuples() {
+            let t = self.t_tuple(untyped_pool, &w);
             out.insert(t);
         }
         // First-occurrence order over rows/columns for determinism.
         let mut seen = typedtd_relational::FxHashSet::default();
-        for w in i.rows() {
-            for &a in w.values() {
+        for w in i.iter() {
+            for a in w.values() {
                 if seen.insert(a) {
                     let n = self.n_tuple(untyped_pool, a);
                     out.insert(n);
@@ -256,7 +256,7 @@ mod tests {
         ti.check_typed(tr.pool()).unwrap();
         // T(w1) = (a1, b2, c3, (a,b,c), e0, f1).
         let tu = tr.typed_universe().clone();
-        let t_w1 = &ti.rows()[1];
+        let t_w1 = ti.row(1);
         assert_eq!(tr.pool().name(t_w1.get(tu.a("A"))), "a1");
         assert_eq!(tr.pool().name(t_w1.get(tu.a("B"))), "b2");
         assert_eq!(tr.pool().name(t_w1.get(tu.a("C"))), "c3");
@@ -264,7 +264,7 @@ mod tests {
         assert_eq!(tr.pool().name(t_w1.get(tu.a("E"))), "e0");
         assert_eq!(tr.pool().name(t_w1.get(tu.a("F"))), "f1");
         // N(a) = (a1, a2, a3, d0, a, f1).
-        let n_a = &ti.rows()[3];
+        let n_a = ti.row(3);
         assert_eq!(tr.pool().name(n_a.get(tu.a("A"))), "a1");
         assert_eq!(tr.pool().name(n_a.get(tu.a("B"))), "a2");
         assert_eq!(tr.pool().name(n_a.get(tu.a("D"))), "d0");

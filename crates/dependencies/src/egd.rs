@@ -7,7 +7,7 @@
 use std::ops::ControlFlow;
 use std::sync::Arc;
 use typedtd_relational::{
-    Embedder, Relation, RowDelta, Tuple, Universe, Valuation, Value, ValuePool,
+    Embedder, Relation, RowDelta, ScanStats, Tuple, Universe, Valuation, Value, ValuePool,
 };
 
 /// An equality-generating dependency `(a = b, I)`.
@@ -141,6 +141,65 @@ impl Egd {
                 ControlFlow::Break(())
             }
         });
+        witness
+    }
+
+    /// [`Self::violation`] with a precomputed placement plan
+    /// ([`Embedder::scan_plan`] over the hypothesis, empty seed) and join
+    /// counters — the chase caches the plan per dependency.
+    pub fn violation_planned(
+        &self,
+        j: &Relation,
+        plan: &[usize],
+        stats: &mut ScanStats,
+    ) -> Option<Valuation> {
+        let emb = Embedder::new(j);
+        let mut witness = None;
+        emb.for_each_embedding_planned(&self.hypothesis, &Valuation::new(), plan, stats, |alpha| {
+            if alpha.get(self.left) == alpha.get(self.right) {
+                ControlFlow::Continue(())
+            } else {
+                witness = Some(alpha.clone());
+                ControlFlow::Break(())
+            }
+        });
+        witness
+    }
+
+    /// [`Self::violation_touching`] with precomputed per-pin placement plans
+    /// ([`Embedder::touch_plans`] over the hypothesis, empty seed) and join
+    /// counters.
+    pub fn violation_touching_planned(
+        &self,
+        j: &Relation,
+        delta: &RowDelta,
+        plans: &[Vec<usize>],
+        stats: &mut ScanStats,
+    ) -> Option<Valuation> {
+        let emb = Embedder::new(j);
+        let seed = Valuation::new();
+        let mut witness = None;
+        for (pin, plan) in plans.iter().enumerate() {
+            let broke = emb.for_each_embedding_touching_pin(
+                &self.hypothesis,
+                &seed,
+                delta,
+                pin,
+                plan,
+                stats,
+                |alpha| {
+                    if alpha.get(self.left) == alpha.get(self.right) {
+                        ControlFlow::Continue(())
+                    } else {
+                        witness = Some(alpha.clone());
+                        ControlFlow::Break(())
+                    }
+                },
+            );
+            if broke {
+                break;
+            }
+        }
         witness
     }
 

@@ -96,12 +96,14 @@ impl Ind {
 
     /// Decides `I ⊨ R[X] ⊆ R[Y]` by sequence-projection containment.
     pub fn satisfied_by(&self, i: &Relation) -> bool {
-        let project = |t: &Tuple, seq: &[AttrId]| -> Vec<Value> {
-            seq.iter().map(|&a| t.get(a)).collect()
-        };
-        let rhs_proj: FxHashSet<Vec<Value>> =
-            i.iter().map(|t| project(t, &self.rhs)).collect();
-        i.iter().all(|t| rhs_proj.contains(&project(t, &self.lhs)))
+        let rhs_proj: FxHashSet<Vec<Value>> = i
+            .iter()
+            .map(|t| self.rhs.iter().map(|&a| t.get(a)).collect())
+            .collect();
+        i.iter().all(|t| {
+            let key: Vec<Value> = self.lhs.iter().map(|&a| t.get(a)).collect();
+            rhs_proj.contains(&key)
+        })
     }
 
     /// Compiles to the equivalent single-hypothesis-row td over an

@@ -70,11 +70,8 @@ pub fn render_rows(
 
 /// Renders a relation with empty labels.
 pub fn render_relation(relation: &Relation, pool: &ValuePool) -> String {
-    let rows: Vec<(String, &Tuple)> = relation
-        .rows()
-        .iter()
-        .map(|t| (String::new(), t))
-        .collect();
+    let tuples = relation.tuples();
+    let rows: Vec<(String, &Tuple)> = tuples.iter().map(|t| (String::new(), t)).collect();
     render_rows(relation.universe(), pool, &rows)
 }
 

@@ -7,8 +7,17 @@
 //! source rows `I` and a target relation `J`, optionally extending a fixed
 //! partial valuation.
 //!
-//! The search is backtracking over source rows, most-constrained-first, with
-//! candidate rows filtered through the target's [`ColumnIndex`].
+//! The search is hash-join-shaped: source rows are placed
+//! most-constrained-first ([`Embedder::scan_plan`]); at each level the
+//! partially built valuation selects the shortest `(column, value) → rows`
+//! posting of the target's [`ColumnIndex`] (or, for the semi-naive pinned
+//! row, the delta itself) as the candidate list, and each candidate is
+//! probed by comparing target cells column-wise against the bindings.
+//! Bindings live on a linear *trail* of `(source, image)` pairs layered over
+//! the read-only seed — source patterns bind a handful of values, so a
+//! linear scan beats per-candidate hash-map writes, and backtracking is a
+//! truncate. A full [`Valuation`] is materialized only when an embedding is
+//! emitted.
 
 use crate::fx::FxHashMap;
 use crate::relation::{ColumnIndex, Relation};
@@ -100,7 +109,6 @@ impl Valuation {
 #[derive(Clone, Debug, Default)]
 pub struct RowDelta {
     sorted: Vec<u32>,
-    set: crate::fx::FxHashSet<u32>,
 }
 
 impl RowDelta {
@@ -108,8 +116,7 @@ impl RowDelta {
     pub fn from_ids(mut ids: Vec<u32>) -> Self {
         ids.sort_unstable();
         ids.dedup();
-        let set = ids.iter().copied().collect();
-        Self { sorted: ids, set }
+        Self { sorted: ids }
     }
 
     /// Number of delta rows.
@@ -122,15 +129,37 @@ impl RowDelta {
         self.sorted.is_empty()
     }
 
-    /// Membership test.
+    /// Membership test (binary search on the sorted positions).
     #[inline]
     pub fn contains(&self, id: u32) -> bool {
-        self.set.contains(&id)
+        self.sorted.binary_search(&id).is_ok()
     }
 
     /// The positions, ascending.
     pub fn ids(&self) -> &[u32] {
         &self.sorted
+    }
+}
+
+/// Per-scan join counters: how much work one embedding enumeration did.
+///
+/// `build_rows` counts delta rows taken as the pinned (build-side) source
+/// row; `probe_hits` counts index-probe candidates that matched the partial
+/// valuation. Returned per call so the [`Embedder`] stays shareable across
+/// scoped threads.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Delta rows enumerated as the pinned source row.
+    pub build_rows: u64,
+    /// Probed candidate rows consistent with the bindings so far.
+    pub probe_hits: u64,
+}
+
+impl ScanStats {
+    /// Accumulates another scan's counters.
+    pub fn absorb(&mut self, other: ScanStats) {
+        self.build_rows += other.build_rows;
+        self.probe_hits += other.probe_hits;
     }
 }
 
@@ -149,12 +178,55 @@ enum RowClass {
 struct DeltaConstraint<'d> {
     classes: Vec<RowClass>,
     delta: &'d RowDelta,
+    /// The slice of `delta.ids()` the pinned row actually enumerates —
+    /// the whole delta normally, one shard of it under parallel scanning.
+    /// `Old`-class exclusion still tests the full delta, so chunked scans
+    /// partition (never duplicate) the unchunked emission set.
+    pin_ids: &'d [u32],
+}
+
+/// Where emitted embeddings go. `Exists` short-circuits without
+/// materializing a [`Valuation`]; `Each` materializes one per emission.
+enum Sink<'s> {
+    Exists(&'s mut bool),
+    Each(&'s mut dyn FnMut(&Valuation) -> ControlFlow<()>),
+}
+
+impl Sink<'_> {
+    fn emit(&mut self, seed: &Valuation, trail: &[(Value, Value)]) -> ControlFlow<()> {
+        match self {
+            Sink::Exists(found) => {
+                **found = true;
+                ControlFlow::Break(())
+            }
+            Sink::Each(f) => {
+                let mut alpha = seed.clone();
+                for &(s, t) in trail {
+                    alpha.bind(s, t);
+                }
+                f(&alpha)
+            }
+        }
+    }
+}
+
+/// Image of `v` under the layered bindings: trail first (most recent wins),
+/// then the read-only seed. Trails hold at most one entry per source value.
+#[inline]
+fn lookup(seed: &Valuation, trail: &[(Value, Value)], v: Value) -> Option<Value> {
+    for &(s, t) in trail.iter().rev() {
+        if s == v {
+            return Some(t);
+        }
+    }
+    seed.get(v)
 }
 
 /// Reusable embedding searcher for one target relation.
 ///
 /// Borrows the target's incrementally maintained [`ColumnIndex`] —
-/// construction is free of index-build cost.
+/// construction is free of index-build cost. Holds no interior mutability,
+/// so one `Embedder` may be shared across scoped threads.
 pub struct Embedder<'a> {
     target: &'a Relation,
     index: &'a ColumnIndex,
@@ -185,12 +257,29 @@ impl<'a> Embedder<'a> {
         &self,
         source: &[Tuple],
         seed: &Valuation,
+        f: impl FnMut(&Valuation) -> ControlFlow<()>,
+    ) -> bool {
+        let order = Self::scan_plan(source, seed);
+        let mut stats = ScanStats::default();
+        self.for_each_embedding_planned(source, seed, &order, &mut stats, f)
+    }
+
+    /// [`Self::for_each_embedding`] with a precomputed placement plan (see
+    /// [`Self::scan_plan`]; plans depend only on the source rows and the
+    /// seed's bound set, so callers scanning the same dependency every round
+    /// compute them once). Join counters accumulate into `stats`.
+    pub fn for_each_embedding_planned(
+        &self,
+        source: &[Tuple],
+        seed: &Valuation,
+        plan: &[usize],
+        stats: &mut ScanStats,
         mut f: impl FnMut(&Valuation) -> ControlFlow<()>,
     ) -> bool {
-        let order = self.plan(source, seed, None);
-        let mut alpha = seed.clone();
-        let f: &mut dyn FnMut(&Valuation) -> ControlFlow<()> = &mut f;
-        self.search(source, &order, 0, &mut alpha, None, f).is_break()
+        let mut trail: Vec<(Value, Value)> = Vec::new();
+        let mut sink = Sink::Each(&mut f);
+        self.search(source, plan, 0, seed, &mut trail, None, stats, &mut sink)
+            .is_break()
     }
 
     /// Calls `f` for every valuation `α ⊇ seed` with `α(source) ⊆ target`
@@ -213,28 +302,97 @@ impl<'a> Embedder<'a> {
         if source.is_empty() || delta.is_empty() {
             return false;
         }
-        let f: &mut dyn FnMut(&Valuation) -> ControlFlow<()> = &mut f;
+        let mut stats = ScanStats::default();
         for pin in 0..source.len() {
-            let order = self.plan(source, seed, Some(pin));
-            let constraint = DeltaConstraint {
-                classes: (0..source.len())
-                    .map(|i| match i.cmp(&pin) {
-                        std::cmp::Ordering::Less => RowClass::Old,
-                        std::cmp::Ordering::Equal => RowClass::Delta,
-                        std::cmp::Ordering::Greater => RowClass::Any,
-                    })
-                    .collect(),
-                delta,
-            };
-            let mut alpha = seed.clone();
-            if self
-                .search(source, &order, 0, &mut alpha, Some(&constraint), f)
-                .is_break()
-            {
+            let order = Self::plan(source, seed, Some(pin));
+            if self.for_each_embedding_touching_pin(
+                source, seed, delta, pin, &order, &mut stats, &mut f,
+            ) {
                 return true;
             }
         }
         false
+    }
+
+    /// One pin of the delta-touching enumeration: embeddings whose source
+    /// row `pin` lands in `delta` while earlier rows avoid it. `plan` must
+    /// be a placement order with `pin` first (see [`Self::touch_plans`]).
+    ///
+    /// This is the unit of work the parallel chase shards across threads —
+    /// enumerating pins `0..source.len()` in order and concatenating the
+    /// emissions reproduces [`Self::for_each_embedding_touching`] exactly.
+    ///
+    /// Returns `true` if `f` broke out early.
+    #[allow(clippy::too_many_arguments)]
+    pub fn for_each_embedding_touching_pin(
+        &self,
+        source: &[Tuple],
+        seed: &Valuation,
+        delta: &RowDelta,
+        pin: usize,
+        plan: &[usize],
+        stats: &mut ScanStats,
+        f: impl FnMut(&Valuation) -> ControlFlow<()>,
+    ) -> bool {
+        self.for_each_embedding_touching_pin_range(
+            source,
+            seed,
+            delta,
+            pin,
+            0..delta.len(),
+            plan,
+            stats,
+            f,
+        )
+    }
+
+    /// As [`Self::for_each_embedding_touching_pin`], but the pinned source
+    /// row only ranges over `range` (indices into `delta.ids()`). Old-row
+    /// exclusion for source rows before the pin still uses the *full*
+    /// delta, so the emissions over a partition of `0..delta.len()` —
+    /// concatenated in range order — reproduce the unchunked call exactly.
+    /// This is the unit the parallel chase shards across worker threads.
+    ///
+    /// Returns `true` if `f` broke out early.
+    #[allow(clippy::too_many_arguments)]
+    pub fn for_each_embedding_touching_pin_range(
+        &self,
+        source: &[Tuple],
+        seed: &Valuation,
+        delta: &RowDelta,
+        pin: usize,
+        range: std::ops::Range<usize>,
+        plan: &[usize],
+        stats: &mut ScanStats,
+        mut f: impl FnMut(&Valuation) -> ControlFlow<()>,
+    ) -> bool {
+        if source.is_empty() || delta.is_empty() || range.is_empty() {
+            return false;
+        }
+        let constraint = DeltaConstraint {
+            classes: (0..source.len())
+                .map(|i| match i.cmp(&pin) {
+                    std::cmp::Ordering::Less => RowClass::Old,
+                    std::cmp::Ordering::Equal => RowClass::Delta,
+                    std::cmp::Ordering::Greater => RowClass::Any,
+                })
+                .collect(),
+            delta,
+            pin_ids: &delta.ids()[range],
+        };
+        let mut trail: Vec<(Value, Value)> = Vec::new();
+        let mut sink = Sink::Each(&mut f);
+        self.search(
+            source,
+            plan,
+            0,
+            seed,
+            &mut trail,
+            Some(&constraint),
+            stats,
+            &mut sink,
+        )
+        .is_break()
     }
 
     /// First embedding extending `seed`, if any.
@@ -247,9 +405,21 @@ impl<'a> Embedder<'a> {
         found
     }
 
-    /// `true` if some embedding extending `seed` exists.
+    /// `true` if some embedding extending `seed` exists (no valuation is
+    /// materialized).
     pub fn embeds(&self, source: &[Tuple], seed: &Valuation) -> bool {
-        self.find_embedding(source, seed).is_some()
+        let order = Self::scan_plan(source, seed);
+        self.embeds_planned(source, seed, &order)
+    }
+
+    /// [`Self::embeds`] with a precomputed placement plan.
+    pub fn embeds_planned(&self, source: &[Tuple], seed: &Valuation, plan: &[usize]) -> bool {
+        let mut found = false;
+        let mut trail: Vec<(Value, Value)> = Vec::new();
+        let mut stats = ScanStats::default();
+        let mut sink = Sink::Exists(&mut found);
+        let _ = self.search(source, plan, 0, seed, &mut trail, None, &mut stats, &mut sink);
+        found
     }
 
     /// Number of embeddings extending `seed` (for tests and diagnostics).
@@ -262,15 +432,34 @@ impl<'a> Embedder<'a> {
         n
     }
 
+    /// The placement order for a full (un-pinned) scan: source rows
+    /// most-constrained-first. Depends only on the source rows and the
+    /// seed's *bound set*, so a plan may be cached and reused across rounds
+    /// whose seeds bind the same values.
+    pub fn scan_plan(source: &[Tuple], seed: &Valuation) -> Vec<usize> {
+        Self::plan(source, seed, None)
+    }
+
+    /// One placement plan per pin for delta-touching scans, for use with
+    /// [`Self::for_each_embedding_touching_pin`]. Cache these per
+    /// dependency: they are invariant across chase rounds.
+    pub fn touch_plans(source: &[Tuple], seed: &Valuation) -> Vec<Vec<usize>> {
+        (0..source.len())
+            .map(|pin| Self::plan(source, seed, Some(pin)))
+            .collect()
+    }
+
     /// Orders source rows most-constrained-first: rows sharing values with
     /// the seed or with already-placed rows come early. With `first` set,
     /// that row is placed up front (the semi-naive pin, whose candidate set
     /// is the small delta).
-    fn plan(&self, source: &[Tuple], seed: &Valuation, first: Option<usize>) -> Vec<usize> {
+    fn plan(source: &[Tuple], seed: &Valuation, first: Option<usize>) -> Vec<usize> {
         let n = source.len();
+        if n <= 1 {
+            return (0..n).collect();
+        }
         let mut placed = vec![false; n];
-        let mut bound: std::collections::HashSet<Value> =
-            seed.iter().map(|(v, _)| v).collect();
+        let mut bound: crate::fx::FxHashSet<Value> = seed.iter().map(|(v, _)| v).collect();
         let mut order = Vec::with_capacity(n);
         if let Some(pin) = first {
             placed[pin] = true;
@@ -293,17 +482,20 @@ impl<'a> Embedder<'a> {
         order
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn search(
         &self,
         source: &[Tuple],
         order: &[usize],
         depth: usize,
-        alpha: &mut Valuation,
+        seed: &Valuation,
+        trail: &mut Vec<(Value, Value)>,
         constraint: Option<&DeltaConstraint<'_>>,
-        f: &mut dyn FnMut(&Valuation) -> ControlFlow<()>,
+        stats: &mut ScanStats,
+        sink: &mut Sink<'_>,
     ) -> ControlFlow<()> {
         if depth == order.len() {
-            return f(alpha);
+            return sink.emit(seed, trail);
         }
         let row = &source[order[depth]];
         let class = constraint.map_or(RowClass::Any, |c| c.classes[order[depth]]);
@@ -312,7 +504,7 @@ impl<'a> Embedder<'a> {
         // shortest posting list, or the whole relation if nothing is bound.
         let mut best: Option<&[u32]> = None;
         for &a in &self.attrs {
-            if let Some(img) = alpha.get(row.get(a)) {
+            if let Some(img) = lookup(seed, trail, row.get(a)) {
                 let posting = self.index.rows_with(a, img);
                 if best.is_none_or(|b| posting.len() < b.len()) {
                     best = Some(posting);
@@ -322,77 +514,86 @@ impl<'a> Embedder<'a> {
 
         let try_candidate = |this: &Self,
                                  ri: u32,
-                                 alpha: &mut Valuation,
-                                 f: &mut dyn FnMut(&Valuation) -> ControlFlow<()>|
+                                 trail: &mut Vec<(Value, Value)>,
+                                 stats: &mut ScanStats,
+                                 sink: &mut Sink<'_>|
          -> ControlFlow<()> {
             match class {
                 RowClass::Any => {}
                 RowClass::Delta => {
-                    if !constraint.expect("delta class implies constraint").delta.contains(ri) {
+                    if constraint
+                        .expect("delta class implies constraint")
+                        .pin_ids
+                        .binary_search(&ri)
+                        .is_err()
+                    {
                         return ControlFlow::Continue(());
                     }
+                    stats.build_rows += 1;
                 }
                 RowClass::Old => {
-                    if constraint.expect("old class implies constraint").delta.contains(ri) {
+                    if constraint
+                        .expect("old class implies constraint")
+                        .delta
+                        .contains(ri)
+                    {
                         return ControlFlow::Continue(());
                     }
                 }
             }
-            let cand = &this.target.rows()[ri as usize];
-            let mut trail: Vec<Value> = Vec::new();
+            let mark = trail.len();
             let mut ok = true;
             for &a in &this.attrs {
                 let sv = row.get(a);
-                let tv = cand.get(a);
-                match alpha.get(sv) {
-                    Some(existing) if existing != tv => {
-                        ok = false;
-                        break;
+                let tv = this.target.cell(ri as usize, a);
+                match lookup(seed, trail, sv) {
+                    Some(existing) => {
+                        if existing != tv {
+                            ok = false;
+                            break;
+                        }
                     }
-                    Some(_) => {}
-                    None => {
-                        alpha.bind(sv, tv);
-                        trail.push(sv);
-                    }
+                    None => trail.push((sv, tv)),
                 }
             }
             let flow = if ok {
-                this.search(source, order, depth + 1, alpha, constraint, f)
+                if class != RowClass::Delta {
+                    stats.probe_hits += 1;
+                }
+                self.search(source, order, depth + 1, seed, trail, constraint, stats, sink)
             } else {
                 ControlFlow::Continue(())
             };
-            for v in trail {
-                alpha.unbind(v);
-            }
+            trail.truncate(mark);
             flow
         };
 
         // For a pinned (delta-class) row, the delta itself is usually the
-        // smallest candidate set; consistency with `alpha` is re-checked by
-        // `try_candidate`, so any superset of the true candidates is sound.
+        // smallest candidate set; consistency with the bindings is re-checked
+        // by `try_candidate`, so any superset of the true candidates is sound.
         let delta_ids = match class {
-            RowClass::Delta => constraint.map(|c| c.delta.ids()),
+            RowClass::Delta => constraint.map(|c| c.pin_ids),
             _ => None,
         };
         match (best, delta_ids) {
             (Some(posting), Some(ids)) if ids.len() < posting.len() => {
                 for &ri in ids {
-                    try_candidate(self, ri, alpha, f)?;
+                    try_candidate(self, ri, trail, stats, sink)?;
                 }
             }
             (None, Some(ids)) => {
                 for &ri in ids {
-                    try_candidate(self, ri, alpha, f)?;
+                    try_candidate(self, ri, trail, stats, sink)?;
                 }
             }
             (Some(posting), _) => {
                 for &ri in posting {
-                    try_candidate(self, ri, alpha, f)?;
+                    try_candidate(self, ri, trail, stats, sink)?;
                 }
             }
             (None, None) => {
-                for ri in 0..self.target.rows().len() as u32 {
-                    try_candidate(self, ri, alpha, f)?;
+                for ri in 0..self.target.len() as u32 {
+                    try_candidate(self, ri, trail, stats, sink)?;
                 }
             }
         }
@@ -409,6 +610,51 @@ pub fn embeds(source: &[Tuple], target: &Relation, seed: &Valuation) -> bool {
 /// Convenience: first embedding of `source` into `target` extending `seed`.
 pub fn find_embedding(source: &[Tuple], target: &Relation, seed: &Valuation) -> Option<Valuation> {
     Embedder::new(target).find_embedding(source, seed)
+}
+
+/// `true` if some row of `target` is an image of `row` under a valuation
+/// extending `seed` — the satisfaction probe for a one-row td conclusion.
+///
+/// The depth-1 specialization of [`Embedder`]'s search: the same candidate
+/// choice (shortest posting list among seed-bound columns, the whole
+/// relation when nothing is bound) and the same consistency rule for a
+/// value repeated across columns, but with no per-call allocation — the
+/// caller lends `scratch` for the binding trail and no plan or attribute
+/// vector is built. The chase's apply loop probes once per trigger, which
+/// makes the setup cost of a full [`Embedder`] measurable.
+pub fn satisfies_row(
+    target: &Relation,
+    row: &Tuple,
+    seed: &Valuation,
+    scratch: &mut Vec<(Value, Value)>,
+) -> bool {
+    let index = target.index();
+    let mut best: Option<&[u32]> = None;
+    for a in target.universe().attrs() {
+        if let Some(img) = seed.get(row.get(a)) {
+            let posting = index.rows_with(a, img);
+            if best.is_none_or(|b| posting.len() < b.len()) {
+                best = Some(posting);
+            }
+        }
+    }
+    let mut check = |ri: u32| -> bool {
+        scratch.clear();
+        for a in target.universe().attrs() {
+            let sv = row.get(a);
+            let tv = target.cell(ri as usize, a);
+            match lookup(seed, scratch, sv) {
+                Some(existing) if existing != tv => return false,
+                Some(_) => {}
+                None => scratch.push((sv, tv)),
+            }
+        }
+        true
+    };
+    match best {
+        Some(posting) => posting.iter().any(|&ri| check(ri)),
+        None => (0..target.len() as u32).any(&mut check),
+    }
 }
 
 #[cfg(test)]
@@ -581,11 +827,10 @@ mod tests {
             let delta = RowDelta::from_ids(delta_ids.clone());
             // Count "avoiding" embeddings: all rows land outside the delta.
             let old_rows: Vec<Tuple> = r
-                .rows()
                 .iter()
                 .enumerate()
                 .filter(|(i, _)| !delta.contains(*i as u32))
-                .map(|(_, t)| t.clone())
+                .map(|(_, t)| t.to_tuple())
                 .collect();
             let old_rel = Relation::from_rows(u.clone(), old_rows);
             let old_emb = Embedder::new(&old_rel);
@@ -597,6 +842,48 @@ mod tests {
                 "partition failed for delta {delta_ids:?}"
             );
         }
+    }
+
+    /// The pin-level entry point, driven with cached plans in pin order,
+    /// must reproduce the one-shot touching enumeration.
+    #[test]
+    fn pinned_scans_reproduce_touching_enumeration() {
+        let u = Universe::untyped_abc();
+        let mut p = ValuePool::new(u.clone());
+        let (r, _) = rel(
+            &u,
+            &mut p,
+            &[["a", "b", "c"], ["c", "d", "e"], ["a", "d", "e"], ["e", "b", "a"]],
+        );
+        let x = p.untyped("x");
+        let m = p.untyped("m");
+        let q1 = p.untyped("q1");
+        let q2 = p.untyped("q2");
+        let q3 = p.untyped("q3");
+        let pattern = vec![Tuple::new(vec![x, q1, m]), Tuple::new(vec![m, q2, q3])];
+        let e = Embedder::new(&r);
+        let seed = Valuation::new();
+        let plans = Embedder::touch_plans(&pattern, &seed);
+        let delta = RowDelta::from_ids(vec![1, 3]);
+
+        let mut whole: Vec<Valuation> = Vec::new();
+        e.for_each_embedding_touching(&pattern, &seed, &delta, |a| {
+            whole.push(a.clone());
+            ControlFlow::Continue(())
+        });
+        let mut pinned: Vec<Valuation> = Vec::new();
+        let mut stats = ScanStats::default();
+        for (pin, plan) in plans.iter().enumerate() {
+            e.for_each_embedding_touching_pin(&pattern, &seed, &delta, pin, plan, &mut stats, |a| {
+                pinned.push(a.clone());
+                ControlFlow::Continue(())
+            });
+        }
+        assert_eq!(whole, pinned);
+        // Every emission pinned one source row onto a delta row, so the
+        // build-side counter saw at least one row.
+        assert!(!pinned.is_empty());
+        assert!(stats.build_rows >= 1);
     }
 
     #[test]
@@ -627,5 +914,55 @@ mod tests {
         });
         assert!(broke);
         assert_eq!(calls, 1);
+    }
+
+    /// `satisfies_row` is a hand-specialized depth-1 search; pin it to the
+    /// general machinery on random single-row probes, covering bound,
+    /// unbound, and repeated-unbound cells against a random target.
+    #[test]
+    fn satisfies_row_matches_general_embeds() {
+        let mut state = 0x853c_49e6_748f_ea9bu64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let u = Universe::untyped_abc();
+        for case in 0..200 {
+            let mut p = ValuePool::new(u.clone());
+            let consts: Vec<Value> = (0..4).map(|i| p.untyped(&format!("c{i}"))).collect();
+            let mut r = Relation::new(u.clone());
+            for _ in 0..(1 + next() % 4) {
+                r.insert(Tuple::new(
+                    (0..3).map(|_| consts[(next() % 4) as usize]).collect(),
+                ));
+            }
+            // Probe-row cells draw from two existential variables (possibly
+            // repeated across columns) and the constants; the seed binds a
+            // random subset of the existentials.
+            let exts = [p.untyped("e0"), p.untyped("e1")];
+            let row = Tuple::new(
+                (0..3)
+                    .map(|_| {
+                        if next() % 2 == 0 {
+                            exts[(next() % 2) as usize]
+                        } else {
+                            consts[(next() % 4) as usize]
+                        }
+                    })
+                    .collect(),
+            );
+            let mut seed = Valuation::new();
+            for &e in &exts {
+                if next() % 2 == 0 {
+                    seed.bind(e, consts[(next() % 4) as usize]);
+                }
+            }
+            let mut scratch = Vec::new();
+            let fast = satisfies_row(&r, &row, &seed, &mut scratch);
+            let slow = Embedder::new(&r).embeds(std::slice::from_ref(&row), &seed);
+            assert_eq!(fast, slow, "case {case}: probe row {row:?} seed {seed:?}");
+        }
     }
 }

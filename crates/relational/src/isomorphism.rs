@@ -11,7 +11,7 @@ use crate::value::Value;
 
 /// Finds a bijection `f : VAL(a) → VAL(b)` with `f(a) = b`, if one exists.
 pub fn isomorphism(a: &Relation, b: &Relation) -> Option<FxHashMap<Value, Value>> {
-    if a.universe() != b.universe() || a.len() != b.len() || a.val().len() != b.val().len() {
+    if a.universe() != b.universe() || a.len() != b.len() || a.val_count() != b.val_count() {
         return None;
     }
     let mut fwd: FxHashMap<Value, Value> = FxHashMap::default();
@@ -40,30 +40,30 @@ fn match_rows(
     if i == a.len() {
         return true;
     }
-    let row_a = &a.rows()[i];
+    let row_a = a.row(i);
     for j in 0..b.len() {
         if used[j] {
             continue;
         }
-        let row_b = &b.rows()[j];
+        let row_b = b.row(j);
         // Try to extend the bijection along this row pairing.
         let mut trail: Vec<Value> = Vec::new();
         let mut ok = true;
-        for (va, vb) in row_a.values().iter().zip(row_b.values()) {
-            match (fwd.get(va), bwd.get(vb)) {
-                (Some(&img), _) if img != *vb => {
+        for (va, vb) in row_a.values().zip(row_b.values()) {
+            match (fwd.get(&va), bwd.get(&vb)) {
+                (Some(&img), _) if img != vb => {
                     ok = false;
                     break;
                 }
-                (None, Some(&pre)) if pre != *va => {
+                (None, Some(&pre)) if pre != va => {
                     ok = false;
                     break;
                 }
                 (Some(_), _) => {}
                 (None, _) => {
-                    fwd.insert(*va, *vb);
-                    bwd.insert(*vb, *va);
-                    trail.push(*va);
+                    fwd.insert(va, vb);
+                    bwd.insert(vb, va);
+                    trail.push(va);
                 }
             }
         }

@@ -1,16 +1,52 @@
 //! Relations, projections, natural joins, and the project-join mapping
 //! `m_R` (Sections 2.1 and 6 of the paper).
+//!
+//! # Columnar layout
+//!
+//! A [`Relation`] stores its tuples as **flat column vectors**: one
+//! `Vec<Value>` per attribute (and a [`Value`] is a `u32` handle into the
+//! owning [`ValuePool`]'s arena, so each column is machine-word-flat). The
+//! chase's hot loops — embedding search probing `(column, value) → rows`
+//! postings, egd rewrites patching one column value — read single cells of
+//! single columns, and the columnar layout makes those reads contiguous
+//! instead of chasing one heap allocation per row.
+//!
+//! Row identity is maintained without materializing tuples: a row-hash
+//! bucket map (`hash → candidate row ids`) answers duplicate checks by
+//! column-wise comparison, and a memoized per-value occurrence count keeps
+//! `VAL(I)` available as an allocation-free view. The [`Tuple`] API stays
+//! as a thin adapter ([`Relation::row_tuple`], [`Relation::tuples`]) for
+//! cold callers; hot callers use [`Relation::cell`] / [`RowRef`].
+//!
+//! ## Invariants
+//!
+//! * every column vector has exactly `len()` entries (rectangularity);
+//! * `seen` holds every row id exactly once, under its current row hash;
+//! * [`ColumnIndex`] postings are sorted ascending and list exactly the
+//!   rows holding the value in that column;
+//! * `val_counts[v]` equals the number of cells holding `v`, and its key
+//!   set is exactly `VAL(I)`.
 
 use crate::bitset::AttrSet;
-use crate::fx::{FxHashMap, FxHashSet};
+use crate::fx::{FxHashMap, FxHashSet, FxHasher};
 use crate::tuple::Tuple;
 use crate::universe::{AttrId, Universe};
 use crate::value::{Value, ValuePool};
 use std::fmt;
+use std::hash::Hasher;
 use std::sync::Arc;
 
+/// Hash of a row's values in column order (the dedup key).
+fn row_hash(vals: impl IntoIterator<Item = Value>) -> u64 {
+    let mut h = FxHasher::default();
+    for v in vals {
+        h.write_u32(v.0);
+    }
+    h.finish()
+}
+
 /// A finite relation: a duplicate-free, insertion-ordered set of tuples over
-/// one universe.
+/// one universe, stored columnar (see the module docs).
 ///
 /// Insertion order is preserved so that the paper's tables print
 /// byte-for-byte; equality is *set* equality and ignores order.
@@ -22,19 +58,26 @@ use std::sync::Arc;
 #[derive(Clone)]
 pub struct Relation {
     universe: Arc<Universe>,
-    rows: Vec<Tuple>,
-    seen: FxHashSet<Tuple>,
+    /// One flat vector per attribute: `cols[a][row]`.
+    cols: Vec<Vec<Value>>,
+    /// Row-hash buckets: `row_hash → rows with that hash` (dedup without
+    /// storing tuples; collisions resolved by column-wise comparison).
+    seen: FxHashMap<u64, Vec<u32>>,
     index: ColumnIndex,
+    /// Memoized `VAL(I)` with per-value cell-occurrence counts.
+    val_counts: FxHashMap<Value, u32>,
 }
 
 impl Relation {
     /// Creates an empty relation over `universe`.
     pub fn new(universe: Arc<Universe>) -> Self {
+        let width = universe.width();
         Self {
             universe,
-            rows: Vec::new(),
-            seen: FxHashSet::default(),
-            index: ColumnIndex::default(),
+            cols: vec![Vec::new(); width],
+            seen: FxHashMap::default(),
+            index: ColumnIndex::new(width),
+            val_counts: FxHashMap::default(),
         }
     }
 
@@ -62,60 +105,128 @@ impl Relation {
             self.universe.width(),
             "tuple width must match universe width"
         );
-        if self.seen.contains(&t) {
-            return false;
+        self.insert_values(t.values())
+    }
+
+    /// Inserts a row given as a value slice in column order (width must
+    /// match). Returns `true` if the row was new.
+    fn insert_values(&mut self, vals: &[Value]) -> bool {
+        let h = row_hash(vals.iter().copied());
+        if let Some(cands) = self.seen.get(&h) {
+            if cands.iter().any(|&i| self.row_equals(i as usize, vals)) {
+                return false;
+            }
         }
-        self.index.add_row(self.rows.len() as u32, self.universe.width(), &t);
-        self.seen.insert(t.clone());
-        self.rows.push(t);
+        let id = self.len() as u32;
+        for (a, &v) in vals.iter().enumerate() {
+            self.cols[a].push(v);
+            *self.val_counts.entry(v).or_insert(0) += 1;
+        }
+        self.index.add_row(id, vals);
+        self.seen.entry(h).or_default().push(id);
         true
+    }
+
+    /// Column-wise comparison of row `i` against a value slice.
+    #[inline]
+    fn row_equals(&self, i: usize, vals: &[Value]) -> bool {
+        self.cols.iter().zip(vals).all(|(col, &v)| col[i] == v)
+    }
+
+    /// Hash of row `i`'s current values.
+    fn hash_of_row(&self, i: usize) -> u64 {
+        row_hash(self.cols.iter().map(|col| col[i]))
+    }
+
+    /// Membership test for a value slice in column order.
+    pub fn contains_values(&self, vals: &[Value]) -> bool {
+        debug_assert_eq!(vals.len(), self.universe.width());
+        let h = row_hash(vals.iter().copied());
+        self.seen
+            .get(&h)
+            .is_some_and(|cands| cands.iter().any(|&i| self.row_equals(i as usize, vals)))
     }
 
     /// Membership test.
     pub fn contains(&self, t: &Tuple) -> bool {
-        self.seen.contains(t)
+        t.width() == self.universe.width() && self.contains_values(t.values())
     }
 
     /// Number of tuples.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.cols[0].len()
     }
 
     /// `true` if the relation has no tuples.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.cols[0].is_empty()
     }
 
-    /// Tuples in insertion order.
-    pub fn rows(&self) -> &[Tuple] {
-        &self.rows
+    /// The value in row `row`, column `a` — the hot-path cell accessor.
+    #[inline]
+    pub fn cell(&self, row: usize, a: AttrId) -> Value {
+        self.cols[a.index()][row]
     }
 
-    /// Iterates tuples in insertion order.
-    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
-        self.rows.iter()
+    /// The flat column vector of attribute `a` (all of `I[A]`, row order,
+    /// with repetitions).
+    pub fn column(&self, a: AttrId) -> &[Value] {
+        &self.cols[a.index()]
     }
 
-    /// `VAL(I)`: every value appearing anywhere in the relation.
-    pub fn val(&self) -> FxHashSet<Value> {
-        let mut s = FxHashSet::default();
-        for t in &self.rows {
-            s.extend(t.val());
+    /// A borrowed view of row `i` (no allocation).
+    #[inline]
+    pub fn row(&self, i: usize) -> RowRef<'_> {
+        RowRef {
+            cols: &self.cols,
+            i,
         }
-        s
     }
 
-    /// `I[A]` as a set: the values appearing in column `a`.
-    pub fn column_values(&self, a: AttrId) -> FxHashSet<Value> {
-        self.rows.iter().map(|t| t.get(a)).collect()
+    /// Row `i` materialized as a [`Tuple`] (the compatibility adapter).
+    pub fn row_tuple(&self, i: usize) -> Tuple {
+        Tuple::new(self.cols.iter().map(|col| col[i]).collect())
+    }
+
+    /// Iterates borrowed row views in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = RowRef<'_>> {
+        (0..self.len()).map(move |i| self.row(i))
+    }
+
+    /// All rows materialized as [`Tuple`]s, in insertion order (the
+    /// compatibility adapter for cold callers).
+    pub fn tuples(&self) -> Vec<Tuple> {
+        (0..self.len()).map(|i| self.row_tuple(i)).collect()
+    }
+
+    /// `VAL(I)`: every value appearing anywhere in the relation, as an
+    /// allocation-free view (memoized; unspecified order).
+    pub fn val(&self) -> impl Iterator<Item = Value> + '_ {
+        self.val_counts.keys().copied()
+    }
+
+    /// `|VAL(I)|` in O(1).
+    pub fn val_count(&self) -> usize {
+        self.val_counts.len()
+    }
+
+    /// `true` if `v` occurs anywhere in the relation, in O(1).
+    pub fn contains_value(&self, v: Value) -> bool {
+        self.val_counts.contains_key(&v)
+    }
+
+    /// `I[A]` as a set view: the distinct values appearing in column `a`
+    /// (allocation-free; unspecified order).
+    pub fn column_values(&self, a: AttrId) -> impl Iterator<Item = Value> + '_ {
+        self.index.column_values(a)
     }
 
     /// The projection `I[X]` (an X-relation).
     pub fn project(&self, set: &AttrSet) -> Projection {
         let attrs: Vec<AttrId> = set.iter().collect();
         let mut rows = FxHashSet::default();
-        for t in &self.rows {
-            rows.insert(t.restrict(set));
+        for i in 0..self.len() {
+            rows.insert(attrs.iter().map(|&a| self.cell(i, a)).collect());
         }
         Projection { attrs, rows }
     }
@@ -126,11 +237,15 @@ impl Relation {
     /// Panics if some value of the relation is not in the valuation's domain.
     pub fn map(&self, f: &FxHashMap<Value, Value>) -> Relation {
         let mut out = Relation::new(self.universe.clone());
-        for t in &self.rows {
-            out.insert(t.map(|v| {
+        let mut buf: Vec<Value> = Vec::with_capacity(self.universe.width());
+        for i in 0..self.len() {
+            buf.clear();
+            buf.extend(self.cols.iter().map(|col| {
+                let v = col[i];
                 *f.get(&v)
                     .unwrap_or_else(|| panic!("valuation undefined on {v:?}"))
             }));
+            out.insert_values(&buf);
         }
         out
     }
@@ -139,25 +254,33 @@ impl Relation {
     pub fn union(&self, other: &Relation) -> Relation {
         assert!(Arc::ptr_eq(&self.universe, &other.universe) || self.universe == other.universe);
         let mut out = self.clone();
-        for t in other.iter() {
-            out.insert(t.clone());
+        let mut buf: Vec<Value> = Vec::with_capacity(self.universe.width());
+        for i in 0..other.len() {
+            buf.clear();
+            buf.extend(other.cols.iter().map(|col| col[i]));
+            out.insert_values(&buf);
         }
         out
     }
 
     /// `true` if every tuple of `self` is in `other`.
     pub fn is_subrelation_of(&self, other: &Relation) -> bool {
-        self.rows.iter().all(|t| other.contains(t))
+        let mut buf: Vec<Value> = Vec::with_capacity(self.universe.width());
+        (0..self.len()).all(|i| {
+            buf.clear();
+            buf.extend(self.cols.iter().map(|col| col[i]));
+            other.contains_values(&buf)
+        })
     }
 
     /// Verifies that every value sits in a column compatible with its sort.
     pub fn check_typed(&self, pool: &ValuePool) -> Result<(), String> {
-        for t in &self.rows {
-            for a in self.universe.attrs() {
-                if !pool.fits(t.get(a), a) {
+        for a in self.universe.attrs() {
+            for &v in &self.cols[a.index()] {
+                if !pool.fits(v, a) {
                     return Err(format!(
                         "value {} may not appear in column {}",
-                        pool.name(t.get(a)),
+                        pool.name(v),
                         self.universe.name(a)
                     ));
                 }
@@ -167,7 +290,7 @@ impl Relation {
     }
 
     /// The incrementally maintained index from `(column, value)` to row
-    /// positions. Always consistent with [`Relation::rows`].
+    /// positions. Always consistent with the stored rows.
     pub fn index(&self) -> &ColumnIndex {
         &self.index
     }
@@ -176,10 +299,10 @@ impl Relation {
     /// equality-generating chase's row rewrite.
     ///
     /// Affected rows are located through the index (no full scan), and when
-    /// no rows collapse into duplicates the index is patched rather than
-    /// rebuilt. Returns `None` if `from` does not occur (or equals `to`);
-    /// otherwise a [`RewriteReport`] naming the surviving rewritten rows and
-    /// any removed duplicates.
+    /// no rows collapse into duplicates the columns are patched in place and
+    /// `from`'s postings migrate to `to`. Returns `None` if `from` does not
+    /// occur (or equals `to`); otherwise a [`RewriteReport`] naming the
+    /// surviving rewritten rows and any removed duplicates.
     ///
     /// When a rewritten row collides with another row, the *first occurrence
     /// in row order of the resulting tuple* survives; later copies are
@@ -189,6 +312,7 @@ impl Relation {
         if from == to {
             return None;
         }
+        let width = self.universe.width();
         let mut affected: Vec<u32> = Vec::new();
         for a in self.universe.attrs() {
             affected.extend_from_slice(self.index.rows_with(a, from));
@@ -199,31 +323,62 @@ impl Relation {
         affected.sort_unstable();
         affected.dedup();
 
-        // Optimistic fast path: detect collisions before touching any row.
-        // `seen` temporarily loses the affected originals and gains their
-        // images; on a collision it is reconstructed by the slow path.
-        for &i in &affected {
-            self.seen.remove(&self.rows[i as usize]);
-        }
-        let mut images: Vec<Tuple> = Vec::with_capacity(affected.len());
+        // Optimistic fast path: detect collisions before touching anything.
+        // An image may collide with an untouched row or with an earlier
+        // image (two affected rows can rewrite to the same tuple).
+        let mut images: Vec<Value> = Vec::with_capacity(affected.len() * width);
+        let mut image_hashes: Vec<u64> = Vec::with_capacity(affected.len());
+        let mut image_buckets: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
         let mut collision = false;
-        for &i in &affected {
-            let rewritten = self.rows[i as usize].map(|v| if v == from { to } else { v });
-            if self.seen.contains(&rewritten) {
-                collision = true;
-                break;
+        'detect: for (k, &i) in affected.iter().enumerate() {
+            let start = images.len();
+            for a in 0..width {
+                let v = self.cols[a][i as usize];
+                images.push(if v == from { to } else { v });
             }
-            self.seen.insert(rewritten.clone());
-            images.push(rewritten);
+            let img = &images[start..start + width];
+            let h = row_hash(img.iter().copied());
+            if let Some(prev) = image_buckets.get(&h) {
+                for &p in prev {
+                    if images[p * width..(p + 1) * width] == *img {
+                        collision = true;
+                        break 'detect;
+                    }
+                }
+            }
+            if let Some(cands) = self.seen.get(&h) {
+                for &j in cands {
+                    if affected.binary_search(&j).is_err() && self.row_equals(j as usize, img) {
+                        collision = true;
+                        break 'detect;
+                    }
+                }
+            }
+            image_hashes.push(h);
+            image_buckets.entry(h).or_default().push(k);
         }
 
         if !collision {
             // No collapse: commit the images in place; `from`'s postings
-            // migrate wholesale to `to`.
-            for (&i, image) in affected.iter().zip(images) {
-                self.rows[i as usize] = image;
+            // migrate wholesale to `to`, and all of `from`'s cell
+            // occurrences transfer to `to`'s count.
+            for &i in &affected {
+                let h_old = self.hash_of_row(i as usize);
+                let bucket = self.seen.get_mut(&h_old).expect("row hashed");
+                bucket.retain(|&j| j != i);
+                if bucket.is_empty() {
+                    self.seen.remove(&h_old);
+                }
             }
-            self.index.merge_value_postings(self.universe.width(), from, to);
+            for (k, &i) in affected.iter().enumerate() {
+                for a in 0..width {
+                    self.cols[a][i as usize] = images[k * width + a];
+                }
+                self.seen.entry(image_hashes[k]).or_default().push(i);
+            }
+            self.index.merge_value_postings(from, to);
+            let moved = self.val_counts.remove(&from).expect("from occurs");
+            *self.val_counts.entry(to).or_insert(0) += moved;
             return Some(RewriteReport {
                 changed: affected,
                 removed: Vec::new(),
@@ -232,33 +387,86 @@ impl Relation {
 
         // Slow path — some rows collapse. Replay the reference semantics
         // ("rewrite every row, re-insert in order, first occurrence wins"),
-        // rebuilding rows, seen, and index from scratch. Note the survivor
-        // of a collision group is the *earliest position*, which may itself
-        // be a rewritten row standing in front of an untouched duplicate.
-        let affected_lookup: FxHashSet<u32> = affected.iter().copied().collect();
-        let old_rows = std::mem::take(&mut self.rows);
+        // rebuilding columns, buckets, index, and counts from scratch. Note
+        // the survivor of a collision group is the *earliest position*,
+        // which may itself be a rewritten row standing in front of an
+        // untouched duplicate.
+        let n = self.len();
+        let old_cols = std::mem::replace(&mut self.cols, vec![Vec::with_capacity(n); width]);
         self.seen.clear();
+        self.index.clear();
+        self.val_counts.clear();
         let mut changed: Vec<u32> = Vec::new();
         let mut removed: Vec<u32> = Vec::new();
-        for (i, t) in old_rows.into_iter().enumerate() {
-            let was_affected = affected_lookup.contains(&(i as u32));
-            let nt = if was_affected {
-                t.map(|v| if v == from { to } else { v })
-            } else {
-                t
-            };
-            if self.seen.contains(&nt) {
+        let mut buf: Vec<Value> = Vec::with_capacity(width);
+        for i in 0..n {
+            let was_affected = affected.binary_search(&(i as u32)).is_ok();
+            buf.clear();
+            for col in &old_cols {
+                let v = col[i];
+                buf.push(if v == from { to } else { v });
+            }
+            if !self.insert_values(&buf) {
                 removed.push(i as u32);
                 continue;
             }
             if was_affected {
-                changed.push(self.rows.len() as u32);
+                changed.push(self.len() as u32 - 1);
             }
-            self.seen.insert(nt.clone());
-            self.rows.push(nt);
         }
-        self.index.rebuild(self.universe.width(), &self.rows);
         Some(RewriteReport { changed, removed })
+    }
+}
+
+/// A borrowed, allocation-free view of one relation row.
+#[derive(Clone, Copy)]
+pub struct RowRef<'a> {
+    cols: &'a [Vec<Value>],
+    i: usize,
+}
+
+impl<'a> RowRef<'a> {
+    /// Value in column `a` — `w[A]` in the paper.
+    #[inline]
+    pub fn get(&self, a: AttrId) -> Value {
+        self.cols[a.index()][self.i]
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Row position within the relation.
+    pub fn position(&self) -> usize {
+        self.i
+    }
+
+    /// All values in column order.
+    pub fn values(&self) -> impl Iterator<Item = Value> + 'a {
+        let i = self.i;
+        self.cols.iter().map(move |col| col[i])
+    }
+
+    /// Values restricted to `set`, in column order.
+    pub fn restrict(self, set: &AttrSet) -> Box<[Value]> {
+        set.iter().map(|a| self.get(a)).collect()
+    }
+
+    /// `true` if the two rows agree on every attribute of `set`.
+    pub fn agrees_on(self, other: RowRef<'_>, set: &AttrSet) -> bool {
+        set.iter().all(|a| self.get(a) == other.get(a))
+    }
+
+    /// Materializes the row as an owned [`Tuple`].
+    pub fn to_tuple(&self) -> Tuple {
+        Tuple::new(self.values().collect())
+    }
+}
+
+impl fmt::Debug for RowRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RowRef{:?}", self.values().collect::<Vec<_>>())
     }
 }
 
@@ -275,8 +483,8 @@ pub struct RewriteReport {
 impl PartialEq for Relation {
     fn eq(&self, other: &Self) -> bool {
         self.universe == other.universe
-            && self.rows.len() == other.rows.len()
-            && self.rows.iter().all(|t| other.contains(t))
+            && self.len() == other.len()
+            && self.is_subrelation_of(other)
     }
 }
 
@@ -284,40 +492,55 @@ impl Eq for Relation {}
 
 impl fmt::Debug for Relation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Relation({} rows over {:?})", self.rows.len(), self.universe)
+        write!(f, "Relation({} rows over {:?})", self.len(), self.universe)
     }
 }
 
-/// Inverted index over a relation: `(column, value) → rows`.
+/// Inverted index over a relation: per attribute, `value → rows`.
 ///
 /// Posting lists are kept sorted ascending by row position; every mutation
 /// preserves that invariant, so iteration over candidates is deterministic.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct ColumnIndex {
-    map: FxHashMap<(AttrId, Value), Vec<u32>>,
+    cols: Vec<FxHashMap<Value, Vec<u32>>>,
 }
 
 impl ColumnIndex {
+    fn new(width: usize) -> Self {
+        Self {
+            cols: vec![FxHashMap::default(); width],
+        }
+    }
+
     /// Row positions whose column `a` holds `v`, ascending.
     pub fn rows_with(&self, a: AttrId, v: Value) -> &[u32] {
-        self.map.get(&(a, v)).map(Vec::as_slice).unwrap_or(&[])
+        self.cols[a.index()]
+            .get(&v)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Distinct values present in column `a` (unspecified order). Every
+    /// yielded value has a non-empty posting list.
+    pub fn column_values(&self, a: AttrId) -> impl Iterator<Item = Value> + '_ {
+        self.cols[a.index()].keys().copied()
     }
 
     /// Appends postings for a row being pushed at position `id`.
-    fn add_row(&mut self, id: u32, width: usize, t: &Tuple) {
-        for a in (0..width).map(|i| AttrId(i as u16)) {
-            self.map.entry((a, t.get(a))).or_default().push(id);
+    fn add_row(&mut self, id: u32, vals: &[Value]) {
+        for (col, &v) in self.cols.iter_mut().zip(vals) {
+            col.entry(v).or_default().push(id);
         }
     }
 
     /// Moves every posting of `from` into `to`'s lists (merge of two sorted,
     /// disjoint lists per column).
-    fn merge_value_postings(&mut self, width: usize, from: Value, to: Value) {
-        for a in (0..width).map(|i| AttrId(i as u16)) {
-            let Some(old) = self.map.remove(&(a, from)) else {
+    fn merge_value_postings(&mut self, from: Value, to: Value) {
+        for col in &mut self.cols {
+            let Some(old) = col.remove(&from) else {
                 continue;
             };
-            let entry = self.map.entry((a, to)).or_default();
+            let entry = col.entry(to).or_default();
             if entry.is_empty() {
                 *entry = old;
             } else {
@@ -339,11 +562,10 @@ impl ColumnIndex {
         }
     }
 
-    /// Rebuilds from scratch (used after row compaction).
-    fn rebuild(&mut self, width: usize, rows: &[Tuple]) {
-        self.map.clear();
-        for (i, t) in rows.iter().enumerate() {
-            self.add_row(i as u32, width, t);
+    /// Drops every posting (used before a from-scratch replay).
+    fn clear(&mut self) {
+        for col in &mut self.cols {
+            col.clear();
         }
     }
 }
@@ -500,7 +722,8 @@ mod tests {
         assert!(r.insert(Tuple::new(vec![b, b, b])));
         assert!(!r.insert(Tuple::new(vec![a, a, a])));
         assert_eq!(r.len(), 2);
-        assert_eq!(r.rows()[0].get(AttrId(0)), a);
+        assert_eq!(r.cell(0, AttrId(0)), a);
+        assert_eq!(r.row_tuple(0).get(AttrId(0)), a);
     }
 
     #[test]
@@ -515,7 +738,26 @@ mod tests {
     fn val_collects_all_values() {
         let (u, mut p) = abc();
         let r = rel(&u, &mut p, &[["a", "b", "a"]]);
-        assert_eq!(r.val().len(), 2);
+        assert_eq!(r.val_count(), 2);
+        assert_eq!(r.val().count(), 2);
+        let a = p.get(None, "a").unwrap();
+        assert!(r.contains_value(a));
+    }
+
+    #[test]
+    fn column_views_match_rows() {
+        let (u, mut p) = abc();
+        let r = rel(&u, &mut p, &[["a", "b", "c"], ["a", "d", "c"]]);
+        let a = p.get(None, "a").unwrap();
+        assert_eq!(r.column(AttrId(0)), &[a, a]);
+        let col_b: Vec<Value> = {
+            let mut v: Vec<Value> = r.column_values(AttrId(1)).collect();
+            v.sort_unstable();
+            v
+        };
+        let mut want = vec![p.get(None, "b").unwrap(), p.get(None, "d").unwrap()];
+        want.sort_unstable();
+        assert_eq!(col_b, want);
     }
 
     #[test]
@@ -564,10 +806,11 @@ mod tests {
         assert_eq!(a.len(), 1);
     }
 
-    /// The incrementally maintained index must match a from-scratch build.
+    /// The incrementally maintained index, hash buckets, and value counts
+    /// must all match a from-scratch build.
     fn assert_index_consistent(r: &Relation) {
         let u = r.universe().clone();
-        for (i, t) in r.rows().iter().enumerate() {
+        for (i, t) in r.iter().enumerate() {
             for a in u.attrs() {
                 let posting = r.index().rows_with(a, t.get(a));
                 assert!(
@@ -585,11 +828,22 @@ mod tests {
         // No stale postings: every posting entry points at a row that
         // actually holds the value in that column.
         for a in u.attrs() {
-            for t in r.rows() {
-                for &ri in r.index().rows_with(a, t.get(a)) {
-                    assert_eq!(r.rows()[ri as usize].get(a), t.get(a));
+            for v in r.column_values(a).collect::<Vec<_>>() {
+                for &ri in r.index().rows_with(a, v) {
+                    assert_eq!(r.cell(ri as usize, a), v);
                 }
             }
+        }
+        // Value counts match a recount; membership matches the tuples.
+        let mut recount: FxHashMap<Value, u32> = FxHashMap::default();
+        for t in r.iter() {
+            for v in t.values() {
+                *recount.entry(v).or_insert(0) += 1;
+            }
+        }
+        assert_eq!(recount, r.val_counts, "val_counts diverged");
+        for t in r.tuples() {
+            assert!(r.contains(&t), "stored row not found via hash buckets");
         }
     }
 
@@ -616,11 +870,12 @@ mod tests {
         assert_eq!(report.changed, vec![0, 1]);
         assert!(report.removed.is_empty());
         assert_eq!(r.len(), 2);
-        assert_eq!(r.rows()[0].get(AttrId(1)), a);
-        assert_eq!(r.rows()[1].get(AttrId(0)), a);
+        assert_eq!(r.cell(0, AttrId(1)), a);
+        assert_eq!(r.cell(1, AttrId(0)), a);
         // b's postings are gone; a's postings absorbed them, sorted.
         assert_eq!(r.index().rows_with(AttrId(0), a), &[0, 1]);
         assert!(r.index().rows_with(AttrId(0), b).is_empty());
+        assert!(!r.contains_value(b), "b no longer occurs");
         assert_index_consistent(&r);
     }
 
@@ -661,9 +916,24 @@ mod tests {
         assert_eq!(report.changed, vec![0]);
         assert_eq!(report.removed, vec![2]);
         assert_eq!(r.len(), 2);
-        assert_eq!(r.rows()[0].get(AttrId(0)), a, "survivor sits at position 0");
+        assert_eq!(r.cell(0, AttrId(0)), a, "survivor sits at position 0");
         let m = p.get(None, "m").unwrap();
-        assert_eq!(r.rows()[1].get(AttrId(0)), m);
+        assert_eq!(r.cell(1, AttrId(0)), m);
+        assert_index_consistent(&r);
+    }
+
+    #[test]
+    fn rewrite_collision_between_two_images_collapses() {
+        let (u, mut p) = abc();
+        // Rewriting b -> a maps BOTH rows to (a, a, c): two affected rows
+        // collide with each other, not with an untouched row.
+        let mut r = rel(&u, &mut p, &[["b", "a", "c"], ["a", "b", "c"]]);
+        let (a, b) = (p.get(None, "a").unwrap(), p.get(None, "b").unwrap());
+        let report = r.rewrite_value(b, a).expect("b occurs");
+        assert_eq!(report.changed, vec![0]);
+        assert_eq!(report.removed, vec![1]);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.cell(0, AttrId(0)), a);
         assert_index_consistent(&r);
     }
 
@@ -701,7 +971,7 @@ mod tests {
             assert_index_consistent(&r);
         }
         assert_eq!(r.len(), 1, "all rows collapse to (v0, v0, v0)");
-        assert!(r.rows()[0].val().all(|x| x == v[0]));
+        assert!(r.row(0).values().all(|x| x == v[0]));
     }
 
     #[test]
@@ -715,6 +985,6 @@ mod tests {
         }
         let image = r.map(&f);
         assert_eq!(image.len(), 1);
-        assert!(image.rows()[0].val().all(|v| v == x));
+        assert!(image.row(0).values().all(|v| v == x));
     }
 }

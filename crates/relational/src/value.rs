@@ -130,8 +130,18 @@ impl ValuePool {
         loop {
             self.fresh += 1;
             let name = format!("{prefix}{}", self.fresh);
-            if !self.by_key.contains_key(&(sort, name.clone())) {
-                return self.alloc(sort, name);
+            // Entry probes the map once with the owned key — fresh minting
+            // is the chase's hottest allocation site, so the extra clone +
+            // rehash of a contains-then-insert sequence matters.
+            match self.by_key.entry((sort, name)) {
+                std::collections::hash_map::Entry::Occupied(_) => continue,
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let v = Value(self.names.len() as u32);
+                    self.names.push(e.key().1.clone());
+                    self.sorts.push(sort);
+                    e.insert(v);
+                    return v;
+                }
             }
         }
     }

@@ -1,0 +1,218 @@
+//! Layout-parity property suite: the columnar [`Relation`] against a
+//! reference row-vector model.
+//!
+//! The columnar store promises *exactly* the semantics of a deduplicating
+//! `Vec<Tuple>` ("as if all rows had been re-inserted in order" — see
+//! `Relation::rewrite_value`), with the inverted index, hash buckets, and
+//! value counts merely accelerating it. This suite drives both
+//! representations through randomized interleavings of `insert` and
+//! `rewrite_value` and checks, after every operation:
+//!
+//! * row order and content (`tuples`) match the model verbatim;
+//! * `RewriteReport` (changed/removed positions) matches the model's;
+//! * the inverted index postings equal the model's recomputed postings,
+//!   sorted ascending;
+//! * `val`/`val_count`/`contains_value`/`column_values` agree with sets
+//!   recomputed from the model;
+//! * `project` equals the model's order-preserving deduplicated projection.
+//!
+//! No external property-testing dependency: a tiny LCG drives the cases.
+
+use std::sync::Arc;
+use typedtd_relational::{AttrSet, Relation, Tuple, Universe, Value, ValuePool};
+
+/// Deterministic 64-bit LCG (MMIX constants); high bits are the sample.
+fn next(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+fn pick(state: &mut u64, n: usize) -> usize {
+    (next(state) % n as u64) as usize
+}
+
+/// The reference model: rows in insertion order, first occurrence wins.
+#[derive(Default)]
+struct Model {
+    rows: Vec<Vec<Value>>,
+}
+
+impl Model {
+    fn insert(&mut self, row: Vec<Value>) -> bool {
+        if self.rows.contains(&row) {
+            false
+        } else {
+            self.rows.push(row);
+            true
+        }
+    }
+
+    /// Substitute then re-insert in order: duplicates drop (pre-compaction
+    /// positions into `removed`), affected survivors land in `changed` at
+    /// their post-compaction positions.
+    fn rewrite(&mut self, from: Value, to: Value) -> Option<(Vec<u32>, Vec<u32>)> {
+        if from == to || !self.rows.iter().flatten().any(|&v| v == from) {
+            return None;
+        }
+        let mut out: Vec<Vec<Value>> = Vec::new();
+        let mut changed = Vec::new();
+        let mut removed = Vec::new();
+        for (i, row) in self.rows.iter().enumerate() {
+            let affected = row.contains(&from);
+            let img: Vec<Value> = row
+                .iter()
+                .map(|&v| if v == from { to } else { v })
+                .collect();
+            if out.contains(&img) {
+                removed.push(i as u32);
+            } else {
+                if affected {
+                    changed.push(out.len() as u32);
+                }
+                out.push(img);
+            }
+        }
+        self.rows = out;
+        Some((changed, removed))
+    }
+
+    fn project(&self, attrs: &[usize]) -> Vec<Vec<Value>> {
+        let mut out: Vec<Vec<Value>> = Vec::new();
+        for row in &self.rows {
+            let p: Vec<Value> = attrs.iter().map(|&a| row[a]).collect();
+            if !out.contains(&p) {
+                out.push(p);
+            }
+        }
+        out
+    }
+}
+
+/// Full structural comparison of the relation against the model.
+fn assert_parity(rel: &Relation, model: &Model, u: &Arc<Universe>, ctx: &str) {
+    assert_eq!(rel.len(), model.rows.len(), "{ctx}: row count");
+    for (i, row) in model.rows.iter().enumerate() {
+        let got: Vec<Value> = rel.row(i).values().collect();
+        assert_eq!(&got, row, "{ctx}: row {i} content/order");
+        assert!(rel.contains_values(row), "{ctx}: contains_values row {i}");
+    }
+    // tuples() adapts the columnar layout back to boxed rows, same order.
+    let tuples = rel.tuples();
+    for (i, t) in tuples.iter().enumerate() {
+        let want = Tuple::new(model.rows[i].clone());
+        assert_eq!(*t, want, "{ctx}: tuple {i}");
+    }
+    // VAL(I) and occurrence counts.
+    let mut model_vals: Vec<Value> = model.rows.iter().flatten().copied().collect();
+    model_vals.sort_unstable();
+    model_vals.dedup();
+    assert_eq!(rel.val_count(), model_vals.len(), "{ctx}: val_count");
+    let mut rel_vals: Vec<Value> = rel.val().collect();
+    rel_vals.sort_unstable();
+    assert_eq!(rel_vals, model_vals, "{ctx}: VAL(I)");
+    for &v in &model_vals {
+        assert!(rel.contains_value(v), "{ctx}: contains_value");
+    }
+    // Inverted index postings, per column: sorted ascending and exactly
+    // the model's occurrence positions.
+    for (ci, a) in u.attrs().enumerate() {
+        let mut col_vals: Vec<Value> = rel.column_values(a).collect();
+        col_vals.sort_unstable();
+        let mut model_col: Vec<Value> = model.rows.iter().map(|r| r[ci]).collect();
+        model_col.sort_unstable();
+        model_col.dedup();
+        assert_eq!(col_vals, model_col, "{ctx}: column_values({ci})");
+        for &v in &model_col {
+            let postings = rel.index().rows_with(a, v);
+            let want: Vec<u32> = model
+                .rows
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r[ci] == v)
+                .map(|(i, _)| i as u32)
+                .collect();
+            assert_eq!(postings, &want[..], "{ctx}: postings col {ci}");
+        }
+        // The raw column slice is the layout itself.
+        let col = rel.column(a);
+        for (i, row) in model.rows.iter().enumerate() {
+            assert_eq!(col[i], row[ci], "{ctx}: column slice {ci}[{i}]");
+        }
+    }
+}
+
+#[test]
+fn columnar_matches_row_model_under_inserts_and_rewrites() {
+    let u = Universe::untyped_abc();
+    for case in 0..60u64 {
+        let mut state = 0x9e3779b97f4a7c15u64 ^ (case.wrapping_mul(0x2545f4914f6cdd1d));
+        let mut pool = ValuePool::new(u.clone());
+        let vals: Vec<Value> = (0..6).map(|i| pool.untyped(&format!("v{i}"))).collect();
+        let mut rel = Relation::new(u.clone());
+        let mut model = Model::default();
+        for op in 0..40 {
+            if pick(&mut state, 4) < 3 {
+                // Insert a random row (duplicates on purpose: ~6^3 space).
+                let row: Vec<Value> = (0..3).map(|_| vals[pick(&mut state, vals.len())]).collect();
+                let inserted = rel.insert(Tuple::new(row.clone()));
+                let want = model.insert(row);
+                assert_eq!(inserted, want, "case {case} op {op}: insert novelty");
+            } else {
+                // Rewrite one value into another (the egd merge step).
+                let from = vals[pick(&mut state, vals.len())];
+                let to = vals[pick(&mut state, vals.len())];
+                let report = rel.rewrite_value(from, to);
+                let want = model.rewrite(from, to);
+                match (&report, &want) {
+                    (None, None) => {}
+                    (Some(r), Some((changed, removed))) => {
+                        assert_eq!(&r.changed, changed, "case {case} op {op}: changed");
+                        assert_eq!(&r.removed, removed, "case {case} op {op}: removed");
+                    }
+                    _ => panic!(
+                        "case {case} op {op}: report mismatch: {report:?} vs {want:?}"
+                    ),
+                }
+            }
+            assert_parity(&rel, &model, &u, &format!("case {case} op {op}"));
+        }
+    }
+}
+
+#[test]
+fn projection_matches_row_model() {
+    let u = Universe::untyped_abc();
+    let attrs: Vec<_> = u.attrs().collect();
+    for case in 0..30u64 {
+        let mut state = 0xd1b54a32d192ed03u64 ^ (case.wrapping_mul(0x94d049bb133111eb));
+        let mut pool = ValuePool::new(u.clone());
+        let vals: Vec<Value> = (0..4).map(|i| pool.untyped(&format!("p{i}"))).collect();
+        let mut rel = Relation::new(u.clone());
+        let mut model = Model::default();
+        for _ in 0..12 {
+            let row: Vec<Value> = (0..3).map(|_| vals[pick(&mut state, vals.len())]).collect();
+            rel.insert(Tuple::new(row.clone()));
+            model.insert(row);
+        }
+        // Every nonempty attribute subset.
+        for mask in 1u32..8 {
+            let chosen: Vec<usize> = (0..3).filter(|i| mask & (1 << i) != 0).collect();
+            let set: AttrSet = chosen.iter().map(|&i| attrs[i]).collect();
+            let projected = rel.project(&set);
+            let want = model.project(&chosen);
+            assert_eq!(projected.len(), want.len(), "case {case} mask {mask}: size");
+            // The projection's schema is the chosen attributes in column
+            // order; each row is a boxed slice in that same order.
+            let schema: Vec<_> = chosen.iter().map(|&i| attrs[i]).collect();
+            assert_eq!(projected.attrs(), &schema[..], "case {case} mask {mask}: schema");
+            for row in &want {
+                assert!(
+                    projected.rows().contains(&row.clone().into_boxed_slice()),
+                    "case {case} mask {mask}: projected row present"
+                );
+            }
+        }
+    }
+}

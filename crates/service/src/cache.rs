@@ -119,8 +119,8 @@ pub fn witness_match(stored: &Relation, probe: &Relation) -> bool {
         return false;
     }
     let mut recast = Relation::new(probe.universe().clone());
-    for row in stored.rows() {
-        recast.insert(row.clone());
+    for row in stored.tuples() {
+        recast.insert(row);
     }
     isomorphic(&recast, probe)
 }

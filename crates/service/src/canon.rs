@@ -272,8 +272,8 @@ pub fn permute_relation(rel: &Relation, perm: &[u16]) -> Relation {
         return rel.clone();
     }
     let mut out = Relation::new(rel.universe().clone());
-    for row in rel.rows() {
-        let vals = row.values();
+    for row in rel.iter() {
+        let vals: Vec<_> = row.values().collect();
         out.insert(Tuple::new(perm.iter().map(|&c| vals[c as usize]).collect()));
     }
     out

@@ -953,6 +953,21 @@ impl ImplicationClient {
             "Fuel consumed per settled job (0 for cache hits and waiters)",
             &t.fuel_per_job,
         );
+        x.histogram(
+            "typedtd_join_build_rows",
+            "Hash-join build-side rows per settled job (chase trigger scans)",
+            &t.join_build_rows,
+        );
+        x.histogram(
+            "typedtd_join_probe_hits",
+            "Hash-join probe-side hits per settled job (chase trigger scans)",
+            &t.join_probe_hits,
+        );
+        x.histogram(
+            "typedtd_parallel_shards",
+            "Parallel scan shards per settled job (0 when sequential)",
+            &t.parallel_shards,
+        );
         x.finish()
     }
 
@@ -1934,6 +1949,11 @@ impl Core {
         self.telemetry
             .record_queue_wait(total.saturating_sub(slot.run_nanos));
         self.telemetry.record_fuel(slot.fuel_spent);
+        self.telemetry.record_join(
+            slot.progress.join_build_rows,
+            slot.progress.join_probe_hits,
+            slot.progress.parallel_shards,
+        );
     }
 
     /// Records the landing of a coalesced waiter: it spends no fuel and

@@ -203,6 +203,9 @@ pub struct Telemetry {
     queue_wait: Histogram,
     run_time: Histogram,
     fuel_per_job: Histogram,
+    join_build_rows: Histogram,
+    join_probe_hits: Histogram,
+    parallel_shards: Histogram,
 }
 
 impl Telemetry {
@@ -215,6 +218,9 @@ impl Telemetry {
             queue_wait: Histogram::new(),
             run_time: Histogram::new(),
             fuel_per_job: Histogram::new(),
+            join_build_rows: Histogram::new(),
+            join_probe_hits: Histogram::new(),
+            parallel_shards: Histogram::new(),
         }
     }
 
@@ -251,6 +257,16 @@ impl Telemetry {
         }
     }
 
+    /// Join-phase profile of one landed scheduled job: hash-join build
+    /// rows, probe hits, and parallel scan shards its chase spent.
+    pub fn record_join(&self, build_rows: u64, probe_hits: u64, shards: u64) {
+        if self.enabled {
+            self.join_build_rows.record(build_rows);
+            self.join_probe_hits.record(probe_hits);
+            self.parallel_shards.record(shards);
+        }
+    }
+
     /// Snapshots every family at once.
     pub fn snapshot(&self) -> TelemetrySnapshot {
         TelemetrySnapshot {
@@ -258,6 +274,9 @@ impl Telemetry {
             queue_wait: self.queue_wait.snapshot(),
             run_time: self.run_time.snapshot(),
             fuel_per_job: self.fuel_per_job.snapshot(),
+            join_build_rows: self.join_build_rows.snapshot(),
+            join_probe_hits: self.join_probe_hits.snapshot(),
+            parallel_shards: self.parallel_shards.snapshot(),
         }
     }
 }
@@ -275,6 +294,12 @@ pub struct TelemetrySnapshot {
     pub run_time: HistogramSnapshot,
     /// Fuel-per-job distribution (fuel units).
     pub fuel_per_job: HistogramSnapshot,
+    /// Hash-join build-side rows per scheduled job (chase trigger scans).
+    pub join_build_rows: HistogramSnapshot,
+    /// Hash-join probe-side hits per scheduled job (chase trigger scans).
+    pub join_probe_hits: HistogramSnapshot,
+    /// Parallel scan shards per scheduled job (0 in sequential mode).
+    pub parallel_shards: HistogramSnapshot,
 }
 
 impl TelemetrySnapshot {
@@ -296,6 +321,9 @@ impl TelemetrySnapshot {
         self.queue_wait.merge(&other.queue_wait);
         self.run_time.merge(&other.run_time);
         self.fuel_per_job.merge(&other.fuel_per_job);
+        self.join_build_rows.merge(&other.join_build_rows);
+        self.join_probe_hits.merge(&other.join_probe_hits);
+        self.parallel_shards.merge(&other.parallel_shards);
     }
 
     /// Iterates `(outcome, histogram)` over the latency families.
@@ -323,6 +351,9 @@ impl TelemetrySnapshot {
         fam("queue_wait", &self.queue_wait);
         fam("run_time", &self.run_time);
         fam("fuel_per_job", &self.fuel_per_job);
+        fam("join_build_rows", &self.join_build_rows);
+        fam("join_probe_hits", &self.join_probe_hits);
+        fam("parallel_shards", &self.parallel_shards);
         out
     }
 }

@@ -25,8 +25,8 @@ fn main() {
     let t_i = tr.t_relation(&pool, &i);
     println!("Example 1 — T(I):");
     let labels = ["s", "T(w1)", "T(w2)", "N(a)", "N(b)", "N(c)"];
-    let rows: Vec<(String, &Tuple)> = t_i
-        .rows()
+    let tuples = t_i.tuples();
+    let rows: Vec<(String, &Tuple)> = tuples
         .iter()
         .enumerate()
         .map(|(k, t)| (labels[k].to_string(), t))

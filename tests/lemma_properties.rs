@@ -48,7 +48,7 @@ proptest! {
         prop_assert!(tr.lemma1_holds(&t_i));
         prop_assert!(t_i.check_typed(tr.pool()).is_ok());
         // |T(I)| = 1 + |I| + |VAL(I)|.
-        prop_assert_eq!(t_i.len(), 1 + i.len() + i.val().len());
+        prop_assert_eq!(t_i.len(), 1 + i.len() + i.val_count());
     }
 
     /// Lemma 2 for tds: I ⊨ θ ⇔ T(I) ⊨ T(θ) for A'B'-total θ.

@@ -112,7 +112,6 @@ proptest! {
         // Rename every value.
         let renaming: FxHashMap<_, _> = rel
             .val()
-            .into_iter()
             .map(|v| {
                 let sort = pool.sort(v);
                 (v, pool.fresh(sort, "ren"))
