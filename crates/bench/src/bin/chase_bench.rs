@@ -48,7 +48,7 @@ use std::time::Instant;
 use typedtd_bench::{
     divergent_saturation_workload, divergent_service_query, egd_cascade_workload,
     egd_saturation_workload, mvd_chain_instance, saturation_workload, service_batch_workload,
-    universe, Query,
+    shared_sigma_workload, universe, Query,
 };
 use typedtd_chase::{
     chase_implication, decide, saturate, Answer, ChaseConfig, ChaseRun, DecideConfig, DecideMode,
@@ -1057,6 +1057,82 @@ fn measure_socket_stream(
     }
 }
 
+/// The Σ-group acceptance scenario: `members` queries sharing one Σ and
+/// one goal hypothesis (the `service_batch` shape after canonicalization),
+/// decided three ways — naive sequential `decide` (the answer reference),
+/// the service chasing once per job (group off), and the service
+/// saturating once per Σ-group (group on). Answers must agree
+/// position-for-position, every member must land in the one group, and in
+/// full mode group mode must beat per-job chasing by ≥ 2×.
+fn measure_service_shared_sigma(
+    width: usize,
+    rows: usize,
+    members: usize,
+    samples: usize,
+    assert_speedup: bool,
+) -> Record {
+    let make = || shared_sigma_workload(width, rows, members, 1982);
+    let run = |group: bool| {
+        move |queries: Vec<Query>| -> (Vec<Answer>, typedtd_service::ServiceStats) {
+            let client = ImplicationClient::new(ServiceConfig {
+                group,
+                ..ServiceConfig::default()
+            });
+            let jobs: Vec<JobHandle> = queries
+                .into_iter()
+                .map(|(s, g, p)| client.submit(QuerySpec::new(s, g, p)))
+                .collect();
+            client.run_to_completion();
+            (jobs.iter().map(answer_of).collect(), client.stats())
+        }
+    };
+    let decide_all = |queries: Vec<Query>| -> Vec<Answer> {
+        queries
+            .into_iter()
+            .map(|(sigma, goal, mut pool)| {
+                decide(&sigma, &goal, &mut pool, &DecideConfig::default()).implication
+            })
+            .collect()
+    };
+    let (naive_ns, seq) = time(samples, make, decide_all);
+    let (semi_ns, (solo, solo_stats)) = time(samples, make, run(false));
+    let (parallel_ns, (grouped, group_stats)) = time(samples, make, run(true));
+    assert_eq!(seq, solo, "per-job service parity violated");
+    assert_eq!(seq, grouped, "Σ-group service parity violated");
+    assert!(
+        seq.iter().all(|a| *a != Answer::Unknown),
+        "the shared-Σ batch must be fully decidable"
+    );
+    assert_eq!(solo_stats.grouped, 0, "group=off must not group");
+    assert_eq!(
+        group_stats.grouped, members as u64,
+        "every member must join the Σ-group"
+    );
+    assert_eq!(
+        group_stats.group_chases, 1,
+        "one Σ-group must saturate exactly once"
+    );
+    assert_eq!(group_stats.group_fallbacks, 0, "terminating group cannot expire");
+    if assert_speedup {
+        let ratio = semi_ns as f64 / parallel_ns as f64;
+        assert!(
+            ratio >= 2.0,
+            "service_shared_sigma: group mode must be >= 2x per-job chasing, got {ratio:.2}x \
+             (per-job {:.3} ms, grouped {:.3} ms)",
+            semi_ns as f64 / 1e6,
+            parallel_ns as f64 / 1e6,
+        );
+    }
+    Record {
+        workload: format!("service_shared_sigma/w{width}r{rows}x{members}"),
+        naive_ns,
+        semi_ns,
+        parallel_ns,
+        rows: seq.len(),
+        rounds: group_stats.group_chases as usize,
+    }
+}
+
 /// Cold-vs-warm restart over the persistent answer log. The cold column
 /// decides the corpus from scratch (and appends every definite answer
 /// to a fresh log); the warm column is a brand-new client replaying
@@ -1164,6 +1240,9 @@ fn main() {
             measure_multi_submit(2, 3, 4, 2, 1),
             measure_divergent_mix(2, 2, 3, 1),
             measure_service_mixed_class(1),
+            // Parity assertions only in smoke: a single tiny sample
+            // cannot carry the ≥2× group-speedup floor.
+            measure_service_shared_sigma(4, 3, 6, 1, false),
             measure_telemetry_overhead(2, 2, 3, 1, false),
             measure_skewed_steal(6, 2, 1, false),
             measure_socket_stream(3, 4, 2, 1, false),
@@ -1206,6 +1285,7 @@ fn main() {
             measure_multi_submit(6, 10, 32, 4, 3),
             measure_divergent_mix(3, 4, 6, 3),
             measure_service_mixed_class(3),
+            measure_service_shared_sigma(6, 6, 32, 3, true),
             measure_telemetry_overhead(3, 4, 6, 3, true),
             measure_skewed_steal(24, 4, 3, true),
             measure_socket_stream(5, 10, 4, 3, true),

@@ -318,6 +318,67 @@ pub fn service_batch_workload(distinct: usize, renamings: usize, seed: u64) -> V
     queries
 }
 
+/// The Σ-group acceptance shape: `members` queries sharing one Σ (the
+/// mvd chain as tds) and one goal hypothesis up to renaming, each asking
+/// a *different* conclusion row. Ungrouped, the service saturates the
+/// same instance once per member; Σ-group mode saturates it once and
+/// answers every member from the shared pool. Conclusions are drawn
+/// without replacement from the hypothesis variables, so no two members
+/// are canonically equal (no cache hits) and every answer is definite
+/// (the chain Σ is full and weakly acyclic, so the chase terminates).
+pub fn shared_sigma_workload(width: usize, rows: usize, members: usize, seed: u64) -> Vec<Query> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let u = universe(width);
+    let vars = rows.clamp(2, 3);
+    assert!(
+        members <= vars.pow(width as u32) / 2,
+        "not enough distinct conclusions for {members} members"
+    );
+    // Shared structure, chosen once: which variable index fills each
+    // hypothesis cell and each member's conclusion cell.
+    let cells: Vec<Vec<usize>> = (0..rows)
+        .map(|_| (0..width).map(|_| rng.random_range(0..vars)).collect())
+        .collect();
+    let mut seen = std::collections::HashSet::new();
+    let mut concls: Vec<Vec<usize>> = Vec::with_capacity(members);
+    while concls.len() < members {
+        let c: Vec<usize> = (0..width).map(|_| rng.random_range(0..vars)).collect();
+        if seen.insert(c.clone()) {
+            concls.push(c);
+        }
+    }
+    concls
+        .into_iter()
+        .enumerate()
+        .map(|(m, concl)| {
+            // Fresh names per member: same structure, disjoint names —
+            // the canonical forms (and so the group key) still coincide.
+            let mut pool = ValuePool::new(u.clone());
+            let var_pool: Vec<Vec<Value>> = u
+                .attrs()
+                .map(|a| {
+                    (0..vars)
+                        .map(|i| pool.fresh(Some(a), &format!("m{m}_{}v{i}_", u.name(a))))
+                        .collect()
+                })
+                .collect();
+            let hyp: Vec<Tuple> = cells
+                .iter()
+                .map(|row| {
+                    Tuple::new(row.iter().enumerate().map(|(c, &i)| var_pool[c][i]).collect())
+                })
+                .collect();
+            let w = Tuple::new(concl.iter().enumerate().map(|(c, &i)| var_pool[c][i]).collect());
+            let goal = TdOrEgd::Td(Td::new(u.clone(), w, hyp));
+            let sigma: Vec<TdOrEgd> = mvd_chain(&u, width - 1)
+                .into_iter()
+                .map(|mv| TdOrEgd::Td(mv.to_pjd().to_td(&u, &mut pool)))
+                .collect();
+            (sigma, goal, pool)
+        })
+        .collect()
+}
+
 /// A divergent implication query for standing background load: a
 /// successor td keeps the chase growing forever and the egd goal never
 /// becomes derivable, so the job stays in flight until its budget

@@ -649,6 +649,33 @@ impl ChaseTask {
         &self.pool
     }
 
+    /// Mutable access to the task's value pool, for callers that must mint
+    /// goal-local values *into the chase's value space* — e.g. a shared
+    /// saturation answering several member goals from one instance, where
+    /// each member's conclusion existentials need fresh values that can
+    /// never collide with the nulls the chase itself mints.
+    pub fn pool_mut(&mut self) -> &mut ValuePool {
+        &mut self.pool
+    }
+
+    /// The instance as chased so far. At a terminal fixpoint this is the
+    /// finite universal model of `Σ` over the seed — the counterexample
+    /// relation for any goal that [`ChaseTask::goal_derivable`] rejects.
+    pub fn current_relation(&self) -> &Relation {
+        self.inst.relation()
+    }
+
+    /// Whether `goal` is derivable in the instance as chased so far — the
+    /// same certificate check an implication-mode task runs every round.
+    /// `true` at *any* point soundly witnesses `Σ ⊨ goal` provided the
+    /// seed contains `goal`'s hypothesis; `false` is definitive only once
+    /// the task has finished [`ChaseOutcome::NotImplied`] (terminal).
+    /// Takes `&mut self` because the check resolves values through the
+    /// instance's union-find (path compression).
+    pub fn goal_derivable(&mut self, goal: &Goal) -> bool {
+        goal_holds(&mut self.inst, goal)
+    }
+
     /// Extracts the finished run and the evolved pool.
     ///
     /// # Panics

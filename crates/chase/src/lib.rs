@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod cancel;
+pub mod classify;
 pub mod core_retract;
 pub mod engine;
 pub mod implication;
@@ -40,6 +41,9 @@ pub mod trace;
 pub mod unionfind;
 
 pub use cancel::CancelToken;
+pub use classify::{
+    classify, routed_decide_config, terminating_chase_config, FragmentReport, RouteClass,
+};
 pub use core_retract::{core_retract, minimize_td};
 pub use engine::{
     chase_implication, saturate, ChaseConfig, ChaseOutcome, ChaseRun, ChaseTask, ChaseVariant,
@@ -50,7 +54,7 @@ pub use implication::{
     Decision, MultiDecision, ProgressSnapshot, TaskPhase,
 };
 pub use instance::ChaseInstance;
-pub use termination::{dependency_graph, weakly_acyclic, Edge};
+pub use termination::{dependency_graph, is_guarded, is_linear, weakly_acyclic, Edge};
 pub use search::{
     exhaustive_counterexample, is_counterexample, random_counterexample, SearchConfig,
     SearchStatus, SearchTask,

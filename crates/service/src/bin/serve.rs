@@ -14,7 +14,7 @@
 //! ```text
 //! typedtd-serve QUERIES.tdq [--slice N] [--global-fuel N] [--workers N]
 //!               [--shards N] [--cache-cap N] [--no-cache] [--verify-hits]
-//!               [--mode sequential|dovetail[:RATIO]|dovetail:adaptive[:RATIO]] [--steal on|off]
+//!               [--mode sequential|dovetail[:RATIO]|dovetail:adaptive[:RATIO]] [--steal on|off] [--classify on|off] [--group on|off]
 //!               [--drain-sweeps N] [--quick] [--stats] [--log PATH]
 //!               [--metrics PATH]
 //! ```
@@ -74,7 +74,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: typedtd-serve <QUERIES.tdq | -> [--slice N] [--global-fuel N] \
          [--workers N] [--shards N] [--cache-cap N] [--no-cache] [--verify-hits] \
-         [--mode sequential|dovetail[:RATIO]|dovetail:adaptive[:RATIO]] [--steal on|off] [--drain-sweeps N] \
+         [--mode sequential|dovetail[:RATIO]|dovetail:adaptive[:RATIO]] [--steal on|off] [--classify on|off] [--group on|off] [--drain-sweeps N] \
          [--quick] [--stats] [--log PATH] [--metrics PATH]"
     );
     std::process::exit(2);
@@ -103,6 +103,20 @@ fn main() {
             }
             "--steal" => {
                 cfg.steal = match args.next().as_deref() {
+                    Some("on") => true,
+                    Some("off") => false,
+                    _ => usage(),
+                }
+            }
+            "--classify" => {
+                cfg.classify = match args.next().as_deref() {
+                    Some("on") => true,
+                    Some("off") => false,
+                    _ => usage(),
+                }
+            }
+            "--group" => {
+                cfg.group = match args.next().as_deref() {
                     Some("on") => true,
                     Some("off") => false,
                     _ => usage(),

@@ -12,7 +12,7 @@
 //! typedtd-sockd [--tcp HOST:PORT] [--unix PATH] [--drivers N]
 //!               [--slice N] [--global-fuel N] [--shards N]
 //!               [--cache-cap N] [--no-cache] [--verify-hits]
-//!               [--mode sequential|dovetail[:RATIO]|dovetail:adaptive[:RATIO]] [--steal on|off]
+//!               [--mode sequential|dovetail[:RATIO]|dovetail:adaptive[:RATIO]] [--steal on|off] [--classify on|off] [--group on|off]
 //!               [--quick] [--stats] [--log PATH] [--max-inflight N]
 //!               [--drain-sweeps N] [--metrics PATH]
 //! ```
@@ -54,7 +54,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: typedtd-sockd [--tcp HOST:PORT] [--unix PATH] [--drivers N] [--slice N] \
          [--global-fuel N] [--shards N] [--cache-cap N] [--no-cache] [--verify-hits] \
-         [--mode sequential|dovetail[:RATIO]|dovetail:adaptive[:RATIO]] [--steal on|off] [--quick] [--stats] \
+         [--mode sequential|dovetail[:RATIO]|dovetail:adaptive[:RATIO]] [--steal on|off] [--classify on|off] [--group on|off] [--quick] [--stats] \
          [--log PATH] [--max-inflight N] [--drain-sweeps N] [--metrics PATH]"
     );
     std::process::exit(2);
@@ -105,6 +105,20 @@ fn main() {
             }
             "--steal" => {
                 cfg.steal = match args.next().as_deref() {
+                    Some("on") => true,
+                    Some("off") => false,
+                    _ => usage(),
+                }
+            }
+            "--classify" => {
+                cfg.classify = match args.next().as_deref() {
+                    Some("on") => true,
+                    Some("off") => false,
+                    _ => usage(),
+                }
+            }
+            "--group" => {
+                cfg.group = match args.next().as_deref() {
                     Some("on") => true,
                     Some("off") => false,
                     _ => usage(),

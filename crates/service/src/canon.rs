@@ -605,6 +605,301 @@ impl Search<'_> {
     }
 }
 
+// ──────────────────── Σ-group identity and decoding ────────────────────
+//
+// Σ-group shared saturation keys jobs on (canonical Σ, canonical goal
+// hypothesis): every member of a group poses an implication question over
+// the *same* seed tableau under the *same* Σ, so one saturation chase of
+// that seed answers all of them — a derivation certificate for any member
+// whose goal becomes derivable, and (at the terminal fixpoint) a finite
+// universal model refuting every member whose goal did not. Unlike the
+// cache key, the column permutation here is computed from Σ alone, so
+// same-Σ members with differently shaped goals still land in one group.
+// The encodings are the same lossless `[tag, nrows, rows…, tail]` streams
+// the cache uses, which is what makes decoding into a fresh shared value
+// space possible at all.
+
+use typedtd_dependencies::{Egd, Td};
+use typedtd_relational::AttrId;
+
+/// Identity of one Σ-group: canonical Σ under the Σ-only column
+/// permutation, plus the canonical goal-hypothesis tableau. Equal keys
+/// mean "same Σ and same seed tableau up to renaming, row order, Σ order,
+/// and a uniform column permutation" — exactly the equivalence under
+/// which one shared saturation soundly serves every member.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct GroupKey {
+    width: u16,
+    typed: bool,
+    sigma: Vec<Vec<u32>>,
+    hyp: Vec<u32>,
+}
+
+/// One query's Σ-group membership: the group identity plus the member
+/// goal's full canonical encoding under the group permutation (decoded
+/// into the group's value space by [`GoalDecoder::decode_goal`]).
+pub struct GroupQuery {
+    /// The group this query belongs to.
+    pub key: GroupKey,
+    /// The member goal's canonical encoding under the group permutation.
+    pub goal: Vec<u32>,
+}
+
+/// Computes `(sigma, goal)`'s Σ-group membership. The column permutation
+/// is derived from Σ's signatures alone (never the goal's), so members
+/// with different goal shapes over one Σ agree on it. `None` only for
+/// degenerate inputs (zero-width universes).
+pub fn group_query(sigma: &[TdOrEgd], goal: &TdOrEgd) -> Option<GroupQuery> {
+    let universe = match goal {
+        TdOrEgd::Td(t) => t.universe().clone(),
+        TdOrEgd::Egd(e) => e.universe().clone(),
+    };
+    let width = universe.width();
+    if width == 0 {
+        return None;
+    }
+    let perm = sigma_column_order(sigma, width);
+    let mut sigma_keys: Vec<Vec<u32>> = sigma.iter().map(|d| dep_key_under(d, &perm)).collect();
+    sigma_keys.sort_unstable();
+    sigma_keys.dedup();
+    let goal_key = dep_key_under(goal, &perm);
+    let nrows = *goal_key.get(1)? as usize;
+    let hyp = goal_key.get(2..2 + nrows.checked_mul(width)?)?.to_vec();
+    Some(GroupQuery {
+        key: GroupKey {
+            width: width as u16,
+            typed: universe.is_typed(),
+            sigma: sigma_keys,
+            hyp,
+        },
+        goal: goal_key,
+    })
+}
+
+/// The canonical column order of Σ alone: like `column_order` but with no
+/// goal contribution, so every member of a Σ-group computes the same
+/// permutation regardless of its goal's shape.
+fn sigma_column_order(sigma: &[TdOrEgd], width: usize) -> Vec<u16> {
+    let mut order: Vec<u16> = (0..width as u16).collect();
+    if !(2..=COL_CAP).contains(&width) {
+        return order;
+    }
+    let sigma_descs: Vec<Vec<Vec<u32>>> =
+        sigma.iter().map(|d| dep_col_descs(d, width)).collect();
+    let sigs: Vec<Vec<u32>> = (0..width)
+        .map(|c| {
+            let mut deps: Vec<&Vec<u32>> = sigma_descs.iter().map(|d| &d[c]).collect();
+            deps.sort_unstable();
+            let mut sig = Vec::new();
+            for d in deps {
+                sig.extend(d.iter());
+                sig.push(u32::MAX);
+            }
+            sig
+        })
+        .collect();
+    order.sort_by(|&a, &b| sigs[a as usize].cmp(&sigs[b as usize]).then(a.cmp(&b)));
+    order
+}
+
+/// Everything one shared saturation needs, decoded from a [`GroupKey`]
+/// into a fresh canonical value space: Σ, the shared seed tableau, the
+/// pool they live in, and the [`GoalDecoder`] that maps member goal
+/// encodings into the same space.
+pub struct DecodedGroup {
+    /// Σ, decoded (each dependency over its own variable space).
+    pub sigma: Vec<TdOrEgd>,
+    /// The shared seed tableau (every member's goal hypothesis).
+    pub seed: Relation,
+    /// The pool the decoded values were minted from.
+    pub pool: ValuePool,
+    /// Decodes member goals into the seed's value space.
+    pub decoder: GoalDecoder,
+}
+
+/// Decodes member goal encodings into a group's canonical value space:
+/// hypothesis ids resolve to the shared seed values, conclusion
+/// existentials mint goal-local fresh values from the (chase-owned) pool.
+pub struct GoalDecoder {
+    universe: std::sync::Arc<Universe>,
+    width: usize,
+    /// Canonical hypothesis id → shared seed value.
+    map: FxHashMap<u32, Value>,
+}
+
+impl GroupKey {
+    /// Decodes the group into a fresh canonical value space. `None` on a
+    /// malformed encoding (impossible for keys built by [`group_query`],
+    /// but decoding stays defensive rather than panicking).
+    pub fn decode(&self) -> Option<DecodedGroup> {
+        let width = self.width as usize;
+        if width == 0 || self.hyp.is_empty() || !self.hyp.len().is_multiple_of(width) {
+            return None;
+        }
+        let names: Vec<String> = (0..width).map(|c| format!("c{c}")).collect();
+        let universe = if self.typed {
+            Universe::typed(names)
+        } else {
+            Universe::untyped(names)
+        };
+        let mut pool = ValuePool::new(universe.clone());
+        // Each Σ dependency's variables are quantified per dependency, so
+        // each decodes over its own id space (distinct name prefixes keep
+        // the minted values apart).
+        let mut sigma = Vec::with_capacity(self.sigma.len());
+        for (di, words) in self.sigma.iter().enumerate() {
+            let mut map = FxHashMap::default();
+            sigma.push(decode_dep(
+                words,
+                &universe,
+                &mut pool,
+                &mut map,
+                &format!("s{di}_"),
+            )?);
+        }
+        // The shared seed tableau; its id → value map is what member goal
+        // decoding resolves hypothesis ids through.
+        let mut map = FxHashMap::default();
+        let mut seed = Relation::new(universe.clone());
+        for row in self.hyp.chunks_exact(width) {
+            seed.insert(decode_row(row, &mut pool, &mut map, "g"));
+        }
+        Some(DecodedGroup {
+            sigma,
+            seed,
+            pool,
+            decoder: GoalDecoder {
+                universe,
+                width,
+                map,
+            },
+        })
+    }
+}
+
+impl GoalDecoder {
+    /// Decodes one member goal (a canonical dependency encoding whose
+    /// hypothesis matches the group's seed tableau) into the group's
+    /// value space. Hypothesis ids must resolve through the shared map;
+    /// a td conclusion may additionally mint goal-local existentials from
+    /// `pool` — which must be the *chase's* pool ([`super::service`]
+    /// passes `ChaseTask::pool_mut`), so existentials can never collide
+    /// with the nulls the saturation mints. `None` if the encoding does
+    /// not belong to this group.
+    pub fn decode_goal(&self, words: &[u32], pool: &mut ValuePool) -> Option<TdOrEgd> {
+        let width = self.width;
+        let tag = *words.first()?;
+        let nrows = *words.get(1)? as usize;
+        let body = words.get(2..)?;
+        let rows_len = nrows.checked_mul(width)?;
+        if nrows == 0 || body.len() < rows_len {
+            return None;
+        }
+        let hyp: Vec<Tuple> = body[..rows_len]
+            .chunks_exact(width)
+            .map(|row| {
+                row.iter()
+                    .map(|id| self.map.get(id).copied())
+                    .collect::<Option<Vec<Value>>>()
+                    .map(Tuple::new)
+            })
+            .collect::<Option<_>>()?;
+        let tail = &body[rows_len..];
+        match tag {
+            t if t == TAG_TD => {
+                if tail.len() != width {
+                    return None;
+                }
+                // Conclusion: hypothesis ids resolve shared; fresh ids
+                // mint goal-local values (repeats within the conclusion
+                // share one mint via the name-keyed pool).
+                let w = Tuple::new(
+                    tail.iter()
+                        .enumerate()
+                        .map(|(c, id)| match self.map.get(id) {
+                            Some(v) => *v,
+                            None => pool.for_attr(AttrId(c as u16), &format!("gx{id}")),
+                        })
+                        .collect(),
+                );
+                Some(TdOrEgd::Td(Td::new(self.universe.clone(), w, hyp)))
+            }
+            t if t == TAG_EGD => {
+                if tail.len() != 2 {
+                    return None;
+                }
+                let l = *self.map.get(&tail[0])?;
+                let r = *self.map.get(&tail[1])?;
+                Some(TdOrEgd::Egd(Egd::new(self.universe.clone(), l, r, hyp)))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Decodes one encoded row, minting values at first occurrence (typed
+/// universes sort the mint by the first column the id appears in).
+fn decode_row(
+    words: &[u32],
+    pool: &mut ValuePool,
+    map: &mut FxHashMap<u32, Value>,
+    prefix: &str,
+) -> Tuple {
+    Tuple::new(
+        words
+            .iter()
+            .enumerate()
+            .map(|(c, id)| {
+                *map.entry(*id)
+                    .or_insert_with(|| pool.for_attr(AttrId(c as u16), &format!("{prefix}{id}")))
+            })
+            .collect(),
+    )
+}
+
+/// Decodes one canonical dependency encoding over its own id space.
+fn decode_dep(
+    words: &[u32],
+    universe: &std::sync::Arc<Universe>,
+    pool: &mut ValuePool,
+    map: &mut FxHashMap<u32, Value>,
+    prefix: &str,
+) -> Option<TdOrEgd> {
+    let width = universe.width();
+    let tag = *words.first()?;
+    let nrows = *words.get(1)? as usize;
+    let body = words.get(2..)?;
+    let rows_len = nrows.checked_mul(width)?;
+    if nrows == 0 || body.len() < rows_len {
+        return None;
+    }
+    let hyp: Vec<Tuple> = body[..rows_len]
+        .chunks_exact(width)
+        .map(|row| decode_row(row, pool, map, prefix))
+        .collect();
+    let tail = &body[rows_len..];
+    match tag {
+        t if t == TAG_TD => {
+            if tail.len() != width {
+                return None;
+            }
+            let w = decode_row(tail, pool, map, prefix);
+            Some(TdOrEgd::Td(Td::new(universe.clone(), w, hyp)))
+        }
+        t if t == TAG_EGD => {
+            if tail.len() != 2 {
+                return None;
+            }
+            // The encoder only emits equated values that occur in the
+            // hypothesis, so both ids must already be mapped.
+            let l = *map.get(&tail[0])?;
+            let r = *map.get(&tail[1])?;
+            Some(TdOrEgd::Egd(Egd::new(universe.clone(), l, r, hyp)))
+        }
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -973,5 +1268,84 @@ mod tests {
         let k1 = dep_key(&TdOrEgd::Td(td.clone()));
         let k2 = dep_key(&TdOrEgd::Td(td));
         assert_eq!(k1, k2);
+    }
+
+    /// The standard shared-Σ fixture: mvd + fd over untyped ABC, three
+    /// member goals over one hypothesis tableau (a td and two egds).
+    fn group_fixture() -> (Vec<TdOrEgd>, Vec<TdOrEgd>) {
+        let (u, mut p) = setup();
+        let rows: &[&[&str]] = &[&["x", "y1", "z1"], &["x", "y2", "z2"]];
+        let mvd = TdOrEgd::Td(td_from_names(&u, &mut p, rows, &["x", "y1", "z2"]));
+        let fd = TdOrEgd::Egd(egd_from_names(&u, &mut p, rows, ("B'", "y1"), ("B'", "y2")));
+        let sigma = vec![mvd.clone(), fd];
+        let goals = vec![
+            mvd,
+            TdOrEgd::Egd(egd_from_names(&u, &mut p, rows, ("B'", "y1"), ("B'", "y2"))),
+            TdOrEgd::Egd(egd_from_names(&u, &mut p, rows, ("C'", "z1"), ("C'", "z2"))),
+        ];
+        (sigma, goals)
+    }
+
+    #[test]
+    fn same_sigma_same_hypothesis_goals_share_a_group() {
+        let (sigma, goals) = group_fixture();
+        let keys: Vec<GroupKey> = goals
+            .iter()
+            .map(|g| group_query(&sigma, g).expect("groupable").key)
+            .collect();
+        // A td goal and two egd goals over one hypothesis: one group.
+        assert_eq!(keys[0], keys[1]);
+        assert_eq!(keys[1], keys[2]);
+        // A different Σ keys a different group.
+        let (u, mut p) = setup();
+        let other = TdOrEgd::Td(td_from_names(&u, &mut p, &[&["a", "b", "c"]], &["a", "b", "w"]));
+        assert_ne!(group_query(&[other], &goals[0]).unwrap().key, keys[0]);
+    }
+
+    #[test]
+    fn renamed_reordered_members_share_a_group() {
+        let (sigma, goals) = group_fixture();
+        let base = group_query(&sigma, &goals[1]).unwrap();
+        // Same member, renamed and with its hypothesis rows swapped.
+        let (u, mut p) = setup();
+        let renamed = TdOrEgd::Egd(egd_from_names(
+            &u,
+            &mut p,
+            &[&["q", "r2", "s2"], &["q", "r1", "s1"]],
+            ("B'", "r2"),
+            ("B'", "r1"),
+        ));
+        let rq = group_query(&sigma, &renamed).unwrap();
+        assert_eq!(rq.key, base.key);
+        assert_eq!(rq.goal, base.goal);
+    }
+
+    #[test]
+    fn decoded_group_saturation_answers_every_member() {
+        use typedtd_chase::{ChaseConfig, ChaseOutcome, ChaseTask};
+        let (sigma, goals) = group_fixture();
+        let queries: Vec<GroupQuery> =
+            goals.iter().map(|g| group_query(&sigma, g).unwrap()).collect();
+        let decoded = queries[0].key.decode().expect("well-formed group key");
+        assert_eq!(decoded.sigma.len(), 2, "Σ decodes dependency-for-dependency");
+        assert_eq!(decoded.seed.len(), 2, "seed is the two-row hypothesis");
+        let mut task = ChaseTask::saturation(
+            &decoded.seed,
+            decoded.sigma,
+            decoded.pool,
+            ChaseConfig::default(),
+        );
+        assert_eq!(task.run_to_completion(), ChaseOutcome::NotImplied, "terminal");
+        // Member 0 (the mvd td, an element of Σ) and member 1 (the fd's
+        // own egd) are derivable; member 2 (C'-equality) is refuted by
+        // the terminal instance.
+        let expect = [true, true, false];
+        for (q, want) in queries.iter().zip(expect) {
+            let goal = decoded
+                .decoder
+                .decode_goal(&q.goal, task.pool_mut())
+                .expect("member goal decodes into the group space");
+            assert_eq!(task.goal_derivable(&goal), want);
+        }
     }
 }

@@ -3,7 +3,7 @@
 //! accept or the stats they report.
 
 use crate::service::ImplicationClient;
-use typedtd_chase::DecideMode;
+use typedtd_chase::{DecideMode, RouteClass};
 use typedtd_dependencies::DependencyClass;
 
 /// Parses a `--mode` argument: `sequential`, `dovetail[:RATIO]` (fixed
@@ -77,6 +77,24 @@ pub fn stats_line(client: &ImplicationClient) -> String {
             s.class_cache_hits[i],
             s.class_cache_misses[i],
             s.class_hit_rate(c),
+        );
+    }
+    // Fragment-routing breakdown: only routes that saw traffic, so a
+    // classifier-off run keeps the classic line.
+    for r in RouteClass::ALL {
+        let n = s.class_routed[r.index()];
+        if n == 0 {
+            continue;
+        }
+        use std::fmt::Write as _;
+        let _ = write!(line, " routed_{}={}", r.as_str(), n);
+    }
+    {
+        use std::fmt::Write as _;
+        let _ = write!(
+            line,
+            " grouped={} group_chases={} group_fallbacks={}",
+            s.grouped, s.group_chases, s.group_fallbacks,
         );
     }
     line

@@ -87,7 +87,10 @@ pub use proto::{
     ProgressKind, ProtoClient, ProtoServer, ProtoStream, RunningUpdate, SockdConfig,
     SubmitPayload, WireAnswer, MAX_FRAME_LEN, PROTO_VERSION,
 };
-pub use canon::{dep_key, permute_relation, query_key, query_parts, QueryKey, QueryParts};
+pub use canon::{
+    dep_key, group_query, permute_relation, query_key, query_parts, DecodedGroup, GoalDecoder,
+    GroupKey, GroupQuery, QueryKey, QueryParts,
+};
 pub use telemetry::{
     bucket_index, bucket_upper_bound, write_atomic, Exposition, Histogram, HistogramSnapshot,
     OutcomeKind, Telemetry, TelemetrySnapshot, HIST_BUCKETS,

@@ -1233,6 +1233,22 @@ fn handle_frame(
                         s.class_cache_misses[i],
                     );
                 }
+                // Fragment-routing and Σ-group sharing counters, always
+                // emitted: the token-tolerant parser skips them on old
+                // clients, and ledger diffs want the zeros.
+                for r in typedtd_chase::RouteClass::ALL {
+                    let _ = write!(
+                        text,
+                        " class_routed_{}={}",
+                        r.as_str(),
+                        s.class_routed[r.index()],
+                    );
+                }
+                let _ = write!(
+                    text,
+                    " grouped={} group_chases={} group_fallbacks={}",
+                    s.grouped, s.group_chases, s.group_fallbacks,
+                );
             }
             // Server-wide histogram families ride along as more
             // `key=value` tokens ([`TelemetrySnapshot::stats_text`]), so

@@ -78,7 +78,7 @@
 //! in [`ServiceStats`].
 
 use crate::cache::{goal_hypothesis, CachedAnswer, Probe, ShardCache};
-use crate::canon::{permute_relation, query_parts, QueryKey};
+use crate::canon::{group_query, permute_relation, query_parts, GoalDecoder, GroupKey, QueryKey};
 use crate::persist::{PersistConfig, PersistLog, ReplayedRecord};
 use crate::telemetry::{Exposition, OutcomeKind, Telemetry, TelemetrySnapshot};
 use std::collections::BinaryHeap;
@@ -88,7 +88,9 @@ use std::sync::{Condvar, Mutex, MutexGuard};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use typedtd_chase::{
-    Answer, CancelToken, DecideConfig, DecideStatus, DecideTask, Decision, ProgressSnapshot,
+    classify, routed_decide_config, Answer, CancelToken, ChaseOutcome, ChaseRun, ChaseTask,
+    ChaseTrace, DecideConfig, DecideStatus, DecideTask, Decision, ProgressSnapshot, RouteClass,
+    StepStatus, TaskPhase,
 };
 use typedtd_dependencies::{DependencyClass, TdOrEgd};
 use typedtd_relational::{isomorphic, FxHashMap, FxHashSet, Relation, ValuePool};
@@ -156,6 +158,27 @@ pub struct ServiceConfig {
     /// but switchable off for an exact zero-overhead baseline (the
     /// `telemetry_overhead` bench scenario measures the difference).
     pub metrics: bool,
+    /// Route each scheduled query through the Σ fragment classifier
+    /// ([`typedtd_chase::classify`]): a weakly acyclic Σ has a
+    /// *terminating* chase, so the job runs sequentially with unbounded
+    /// chase budgets and skips the finite-model search entirely — the
+    /// chase alone decides both implication problems. Linear/guarded
+    /// detections are surfaced in [`ServiceStats::class_routed`] without
+    /// changing execution. A per-query [`QuerySpec::decide_config`]
+    /// override disables routing for that job (the submitter's explicit
+    /// config wins).
+    pub classify: bool,
+    /// Share one saturation chase across every in-flight query with the
+    /// same canonical Σ *and* the same canonical goal hypothesis (see
+    /// [`crate::canon::group_query`]): the group's tableau is chased
+    /// once, and each member's goal is checked against the shared pool —
+    /// N chases become 1 for the batch shape where many goals interrogate
+    /// one Σ. A member whose group budget expires falls back to its own
+    /// individual chase, so grouping never manufactures a definite
+    /// answer. Off by default (grouping bypasses the per-job dovetail
+    /// against finite-model search, so `No` answers for *divergent*
+    /// queries may degrade to fallback work).
+    pub group: bool,
 }
 
 impl Default for ServiceConfig {
@@ -172,6 +195,8 @@ impl Default for ServiceConfig {
             verify_cache_hits: false,
             persist: None,
             metrics: true,
+            classify: true,
+            group: false,
         }
     }
 }
@@ -308,6 +333,24 @@ pub struct ServiceStats {
     pub class_cache_hits: [u64; DependencyClass::COUNT],
     /// Cache misses (scheduled computations) per goal class.
     pub class_cache_misses: [u64; DependencyClass::COUNT],
+    /// Scheduled computations by the fragment route the classifier chose
+    /// (indexed by [`RouteClass::index`]): `terminating` jobs run the
+    /// chase alone under unbounded budgets, `linear`/`guarded` are
+    /// observational detections, `dovetail` is the general-case default.
+    /// All zero when [`ServiceConfig::classify`] is off; per-query decide
+    /// overrides also bypass routing.
+    pub class_routed: [u64; RouteClass::COUNT],
+    /// Scheduled computations that joined a shared Σ-group saturation
+    /// instead of running their own chase
+    /// ([`ServiceConfig::group`]).
+    pub grouped: u64,
+    /// Shared group saturation chases actually started — the savings
+    /// denominator: `grouped` members were served by this many chases.
+    pub group_chases: u64,
+    /// Group members that fell back to an individual chase after the
+    /// shared saturation exhausted its budget without settling their
+    /// goal.
+    pub group_fallbacks: u64,
 }
 
 impl ServiceStats {
@@ -433,7 +476,7 @@ enum JobState {
     /// Free slot (on the shard's free list).
     Vacant,
     /// In flight, queued for its next slice.
-    Running(Box<DecideTask>),
+    Running(ServiceTask),
     /// Transiently claimed by a stepping thread.
     Stepping,
     /// Coalesced: waiting for the identical in-flight leader to finish.
@@ -489,6 +532,279 @@ impl JobSlot {
     /// touch instead of being granted fuel or coalesced onto.
     fn dying(&self) -> bool {
         self.cancel_requested && self.cancel.as_ref().is_some_and(|t| t.is_cancelled())
+    }
+}
+
+/// The schedulable unit behind a `Running` slot: either a private
+/// [`DecideTask`] (the default) or membership in a shared Σ-group
+/// saturation ([`ServiceConfig::group`]). Both expose the same
+/// step/fuel/progress/cancel surface, so the shard scheduler treats them
+/// identically.
+enum ServiceTask {
+    /// A private decide computation (chase + optional search dovetail).
+    Decide(Box<DecideTask>),
+    /// One member of a shared Σ-group saturation.
+    Group(Box<GroupMember>),
+}
+
+impl ServiceTask {
+    fn step(&mut self, fuel: usize) -> DecideStatus {
+        match self {
+            ServiceTask::Decide(t) => t.step(fuel),
+            ServiceTask::Group(m) => m.step(fuel),
+        }
+    }
+
+    fn fuel_spent(&self) -> u64 {
+        match self {
+            ServiceTask::Decide(t) => t.fuel_spent(),
+            ServiceTask::Group(m) => m.fuel_spent(),
+        }
+    }
+
+    fn progress_snapshot(&self) -> ProgressSnapshot {
+        match self {
+            ServiceTask::Decide(t) => t.progress_snapshot(),
+            ServiceTask::Group(m) => m.progress_snapshot(),
+        }
+    }
+
+    fn cancel_token(&self) -> CancelToken {
+        match self {
+            ServiceTask::Decide(t) => t.cancel_token(),
+            ServiceTask::Group(m) => m.cancel.clone(),
+        }
+    }
+
+    fn finish(self) -> Decision {
+        match self {
+            ServiceTask::Decide(t) => t.finish().0,
+            ServiceTask::Group(m) => m.finish(),
+        }
+    }
+}
+
+/// Registry of shared Σ-group saturations, keyed by canonical
+/// [`GroupKey`]. Entries persist after their members land (a saturated
+/// group answers later same-group submissions from the warm pool) up to
+/// a capacity bound; entries with in-flight members are pinned and never
+/// evicted — mirroring the answer cache's in-flight pinning.
+struct GroupRegistry {
+    groups: FxHashMap<GroupKey, Arc<GroupEntry>>,
+    /// Monotone use-clock for LRU eviction.
+    tick: u64,
+    capacity: usize,
+}
+
+/// One Σ-group: the shared chase behind a mutex, plus the pin count and
+/// LRU stamp read by the registry without the state lock.
+struct GroupEntry {
+    state: Mutex<GroupState>,
+    /// In-flight members. Nonzero pins the entry against eviction; the
+    /// member's `Drop` decrements, so every landing path (answer,
+    /// cancel, expiry, fallback completion) unpins exactly once.
+    members: AtomicUsize,
+    last_used: AtomicU64,
+}
+
+struct GroupState {
+    /// The shared saturation chase. Kept after it finishes: terminal
+    /// pools answer later members' goal checks without re-chasing.
+    chase: ChaseTask,
+    /// The chase's terminal outcome, once it has one.
+    outcome: Option<ChaseOutcome>,
+    /// Decodes member goal encodings into the shared value space.
+    decoder: GoalDecoder,
+}
+
+/// One query's participation in a shared Σ-group saturation.
+///
+/// Soundness: every member of a group shares the *identical* canonical
+/// seed tableau (the group key includes the canonical goal hypothesis),
+/// so the shared chase **is** each member's own implication chase. A
+/// derivable goal at any point means `Yes`/`Yes`; a terminal
+/// (`NotImplied`) instance where the goal fails is a finite universal
+/// model, hence `No`/`No` with the instance as certificate. A budget
+/// (`Exhausted`) or cancelled shared chase proves nothing — the member
+/// falls back to a private [`DecideTask`] rather than ever manufacturing
+/// a definite answer.
+struct GroupMember {
+    entry: Arc<GroupEntry>,
+    /// The member's goal, decoded into the group's shared value space.
+    goal: TdOrEgd,
+    /// The original query, held for the fallback path (taken at most
+    /// once).
+    spec: Option<(Vec<TdOrEgd>, TdOrEgd, ValuePool, DecideConfig)>,
+    /// The private fallback computation, installed when the shared chase
+    /// dies without settling this member's goal.
+    fallback: Option<Box<DecideTask>>,
+    /// This member's own cancellation token. Deliberately *not* wired
+    /// into the shared chase: cancelling one member must not kill its
+    /// group-mates' computation.
+    cancel: CancelToken,
+    /// Fuel attributed to this member (shared rounds it drove, plus any
+    /// fallback fuel).
+    fuel: u64,
+    /// The settled decision, once reached via the shared chase.
+    done: Option<Decision>,
+    /// `ServiceStats::group_fallbacks`, counted at the moment the
+    /// fallback is installed.
+    fallbacks: Arc<AtomicU64>,
+}
+
+impl Drop for GroupMember {
+    fn drop(&mut self) {
+        self.entry.members.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+impl GroupMember {
+    fn step(&mut self, fuel: usize) -> DecideStatus {
+        if let Some(d) = &self.done {
+            return DecideStatus::Done(d.implication);
+        }
+        if self.cancel.is_cancelled() {
+            // The scheduler resolves a dying slot without finishing the
+            // task, but answer honestly if finish() is reached anyway.
+            self.done = Some(self.undecided(ChaseOutcome::Cancelled, true));
+            return DecideStatus::Done(Answer::Unknown);
+        }
+        if let Some(fb) = &mut self.fallback {
+            let before = fb.fuel_spent();
+            let status = fb.step(fuel);
+            self.fuel += fb.fuel_spent() - before;
+            return status;
+        }
+        // Contended state lock: another member is driving the shared
+        // chase this instant — report Pending without blocking the whole
+        // shard sweep behind the group mutex.
+        let Ok(mut guard) = self.entry.state.try_lock() else {
+            return DecideStatus::Pending;
+        };
+        let state = &mut *guard;
+        if state.outcome.is_none() {
+            let before = state.chase.rounds();
+            if let StepStatus::Done(o) = state.chase.step(fuel) {
+                state.outcome = Some(o);
+            }
+            self.fuel += (state.chase.rounds() - before) as u64;
+        }
+        // A derivable goal is a Yes certificate at *any* point of the
+        // shared run — the chase only ever adds consequences of the
+        // member's own hypothesis.
+        if state.chase.goal_derivable(&self.goal) {
+            let rounds = state.chase.rounds();
+            self.done = Some(Decision {
+                implication: Answer::Yes,
+                finite_implication: Answer::Yes,
+                chase: ChaseRun {
+                    outcome: ChaseOutcome::Implied,
+                    trace: ChaseTrace::default(),
+                    final_relation: Relation::new(self.goal_universe()),
+                    rounds,
+                },
+                counterexample: None,
+                cancelled: false,
+            });
+            return DecideStatus::Done(Answer::Yes);
+        }
+        match state.outcome {
+            None => DecideStatus::Pending,
+            Some(ChaseOutcome::NotImplied) => {
+                // Terminal instance, goal fails in it: a finite
+                // counterexample for this member (the group seed is the
+                // member's own hypothesis).
+                let model = state.chase.current_relation().clone();
+                let rounds = state.chase.rounds();
+                self.done = Some(Decision {
+                    implication: Answer::No,
+                    finite_implication: Answer::No,
+                    chase: ChaseRun {
+                        outcome: ChaseOutcome::NotImplied,
+                        trace: ChaseTrace::default(),
+                        final_relation: model.clone(),
+                        rounds,
+                    },
+                    counterexample: Some(model),
+                    cancelled: false,
+                });
+                DecideStatus::Done(Answer::No)
+            }
+            Some(_) => {
+                // Exhausted (group budget spent) or a stray terminal we
+                // cannot certify from: fall back to a private chase.
+                // Never a definite answer from a dead shared run.
+                drop(guard);
+                let (sigma, goal, pool, dcfg) =
+                    self.spec.take().expect("fallback installed at most once");
+                self.fallbacks.fetch_add(1, Ordering::Relaxed);
+                self.fallback = Some(Box::new(DecideTask::new(sigma, goal, pool, dcfg)));
+                DecideStatus::Pending
+            }
+        }
+    }
+
+    fn fuel_spent(&self) -> u64 {
+        self.fuel
+    }
+
+    fn progress_snapshot(&self) -> ProgressSnapshot {
+        if let Some(fb) = &self.fallback {
+            return fb.progress_snapshot();
+        }
+        let mut snap = ProgressSnapshot {
+            phase: TaskPhase::Chase,
+            fuel_spent: self.fuel,
+            ..ProgressSnapshot::default()
+        };
+        // Shared-chase counters when the state lock is free; a contended
+        // snapshot just reports the member-local view.
+        if let Ok(state) = self.entry.state.try_lock() {
+            snap.chase_rounds = state.chase.rounds() as u64;
+            snap.chase_steps = state.chase.steps_applied() as u64;
+            snap.chase_merges = state.chase.merges() as u64;
+            snap.instance_rows = state.chase.instance_rows() as u64;
+            snap.join_build_rows = state.chase.join_build_rows();
+            snap.join_probe_hits = state.chase.join_probe_hits();
+            snap.parallel_shards = state.chase.parallel_shards();
+        }
+        snap
+    }
+
+    fn finish(mut self) -> Decision {
+        if let Some(d) = self.done.take() {
+            return d;
+        }
+        if let Some(fb) = self.fallback.take() {
+            return fb.finish().0;
+        }
+        // Finished without ever being stepped to Done (cancel/expiry
+        // paths drop the task instead, but stay defensive).
+        self.undecided(ChaseOutcome::Exhausted, false)
+    }
+
+    fn goal_universe(&self) -> std::sync::Arc<typedtd_relational::Universe> {
+        match &self.goal {
+            TdOrEgd::Td(t) => t.universe().clone(),
+            TdOrEgd::Egd(e) => e.universe().clone(),
+        }
+    }
+
+    /// An honest non-answer (`Unknown`/`Unknown`) for a member whose
+    /// computation stopped without a certificate.
+    fn undecided(&self, outcome: ChaseOutcome, cancelled: bool) -> Decision {
+        Decision {
+            implication: Answer::Unknown,
+            finite_implication: Answer::Unknown,
+            chase: ChaseRun {
+                outcome,
+                trace: ChaseTrace::default(),
+                final_relation: Relation::new(self.goal_universe()),
+                rounds: 0,
+            },
+            counterexample: None,
+            cancelled,
+        }
     }
 }
 
@@ -618,6 +934,12 @@ struct AtomicStats {
     class_submitted: [AtomicU64; DependencyClass::COUNT],
     class_cache_hits: [AtomicU64; DependencyClass::COUNT],
     class_cache_misses: [AtomicU64; DependencyClass::COUNT],
+    class_routed: [AtomicU64; RouteClass::COUNT],
+    grouped: AtomicU64,
+    group_chases: AtomicU64,
+    /// Shared with every [`GroupMember`] so the fallback is counted at
+    /// the moment it is installed, whatever the member's later fate.
+    group_fallbacks: Arc<AtomicU64>,
 }
 
 struct Core {
@@ -648,6 +970,10 @@ struct Core {
     /// stripe is empty — parks forever on the exiter's orphaned jobs.
     /// Reset at the top of each `run_to_completion`.
     draining: std::sync::atomic::AtomicBool,
+    /// Shared Σ-group saturations ([`ServiceConfig::group`]). Lock order:
+    /// registry before any entry's state; members stepping a group take
+    /// only the state lock, never the registry's.
+    groups: Mutex<GroupRegistry>,
     stats: AtomicStats,
     /// The open answer log (when [`ServiceConfig::persist`] is set and
     /// the file opened); fresh definite answers append through it.
@@ -701,6 +1027,11 @@ impl ImplicationClient {
                 idle: Mutex::new(()),
                 idle_cv: Condvar::new(),
                 draining: std::sync::atomic::AtomicBool::new(false),
+                groups: Mutex::new(GroupRegistry {
+                    groups: FxHashMap::default(),
+                    tick: 0,
+                    capacity: cfg.cache_capacity.max(1),
+                }),
                 stats: AtomicStats::default(),
                 persist,
                 telemetry: Telemetry::new(cfg.metrics),
@@ -784,6 +1115,10 @@ impl ImplicationClient {
             class_submitted: std::array::from_fn(|i| ld(&s.class_submitted[i])),
             class_cache_hits: std::array::from_fn(|i| ld(&s.class_cache_hits[i])),
             class_cache_misses: std::array::from_fn(|i| ld(&s.class_cache_misses[i])),
+            class_routed: std::array::from_fn(|i| ld(&s.class_routed[i])),
+            grouped: ld(&s.grouped),
+            group_chases: ld(&s.group_chases),
+            group_fallbacks: ld(&s.group_fallbacks),
         }
     }
 
@@ -906,6 +1241,31 @@ impl ImplicationClient {
             "Scheduled computations by goal dependency class",
             "class",
             &by_class(&s.class_cache_misses),
+        );
+        let by_route: Vec<(String, u64)> = RouteClass::ALL
+            .iter()
+            .map(|r| (r.as_str().to_string(), s.class_routed[r.index()]))
+            .collect();
+        x.counter_vec(
+            "typedtd_class_routed_total",
+            "Scheduled computations by classifier fragment route",
+            "class",
+            &by_route,
+        );
+        x.counter(
+            "typedtd_grouped_total",
+            "Computations served by a shared Sigma-group saturation",
+            s.grouped,
+        );
+        x.counter(
+            "typedtd_group_chases_total",
+            "Shared Sigma-group saturation chases started",
+            s.group_chases,
+        );
+        x.counter(
+            "typedtd_group_fallbacks_total",
+            "Group members that fell back to a private chase",
+            s.group_fallbacks,
         );
         x.gauge(
             "typedtd_jobs_inflight",
@@ -1201,8 +1561,34 @@ impl ImplicationClient {
         }
         shard.stepping += 1;
         drop(shard);
-        let dcfg = decide.unwrap_or_else(|| core.cfg.decide.clone());
-        let task = DecideTask::new(sigma, goal, pool, dcfg);
+        // Fragment routing: a per-query decide override is the
+        // submitter's explicit word and wins; otherwise classify Σ and
+        // run weakly acyclic queries on the terminating route (chase
+        // only, unbounded budgets). Linear/guarded routes only count.
+        let dcfg = match decide {
+            Some(d) => d,
+            None => {
+                let base = core.cfg.decide.clone();
+                if core.cfg.classify {
+                    let route = classify(&sigma).route();
+                    core.stats.class_routed[route.index()].fetch_add(1, Ordering::Relaxed);
+                    routed_decide_config(&base, route)
+                } else {
+                    base
+                }
+            }
+        };
+        let task = if core.cfg.group {
+            match core.try_join_group(sigma, goal, pool, dcfg) {
+                Ok(member) => ServiceTask::Group(Box::new(member)),
+                Err(back) => {
+                    let (sigma, goal, pool, d) = *back;
+                    ServiceTask::Decide(Box::new(DecideTask::new(sigma, goal, pool, d)))
+                }
+            }
+        } else {
+            ServiceTask::Decide(Box::new(DecideTask::new(sigma, goal, pool, dcfg)))
+        };
         let token = task.cancel_token();
         let mut shard = self.lock_shard(shard_idx);
         shard.stepping -= 1;
@@ -1222,7 +1608,7 @@ impl ImplicationClient {
             self.notify_shard(shard_idx);
             return handle;
         }
-        shard.slots[slot as usize].state = JobState::Running(Box::new(task));
+        shard.slots[slot as usize].state = JobState::Running(task);
         shard.queue.push(RunEntry {
             priority,
             seq: std::cmp::Reverse(core.seq.fetch_add(1, Ordering::Relaxed)),
@@ -1343,7 +1729,7 @@ impl ImplicationClient {
     fn step_shard_limited(&self, idx: usize, max_claims: usize) -> ShardStep {
         let core = &*self.core;
         let slice = core.cfg.slice_fuel.max(1);
-        let mut claimed: Vec<(u32, Box<DecideTask>, usize)> = Vec::new();
+        let mut claimed: Vec<(u32, ServiceTask, usize)> = Vec::new();
         let mut fuel_out = false;
         let mut resolved_any = false;
         {
@@ -1418,7 +1804,7 @@ impl ImplicationClient {
         }
         core.stats.sweeps.fetch_add(1, Ordering::Relaxed);
         let timing = core.telemetry.enabled();
-        let stepped: Vec<(u32, Box<DecideTask>, DecideStatus, u64, u64)> = claimed
+        let stepped: Vec<(u32, ServiceTask, DecideStatus, u64, u64)> = claimed
             .into_iter()
             .map(|(slot, mut task, granted)| {
                 let before = task.fuel_spent();
@@ -1457,7 +1843,7 @@ impl ImplicationClient {
                     core.queue_depth[idx].fetch_add(1, Ordering::Relaxed);
                 }
                 DecideStatus::Done(_) => {
-                    let (decision, _pool) = task.finish();
+                    let decision = task.finish();
                     if decision.cancelled {
                         core.cancel_slot(&mut shard, slot);
                     } else {
@@ -1898,6 +2284,94 @@ impl ImplicationClient {
 }
 
 impl Core {
+    /// Tries to enrol a query in a shared Σ-group saturation. `Ok` is a
+    /// registered member (the group entry is pinned until the member
+    /// drops); `Err` returns the query ingredients untouched for the
+    /// private-task path — ungroupable queries (width 0, a decode
+    /// mismatch) degrade gracefully rather than fail.
+    #[allow(clippy::type_complexity)]
+    fn try_join_group(
+        &self,
+        sigma: Vec<TdOrEgd>,
+        goal: TdOrEgd,
+        pool: ValuePool,
+        dcfg: DecideConfig,
+    ) -> Result<GroupMember, Box<(Vec<TdOrEgd>, TdOrEgd, ValuePool, DecideConfig)>> {
+        let Some(gq) = group_query(&sigma, &goal) else {
+            return Err(Box::new((sigma, goal, pool, dcfg)));
+        };
+        let mut reg = self.groups.lock().expect("group registry lock");
+        reg.tick += 1;
+        let tick = reg.tick;
+        let entry = match reg.groups.get(&gq.key) {
+            Some(e) => e.clone(),
+            None => {
+                let Some(decoded) = gq.key.decode() else {
+                    return Err(Box::new((sigma, goal, pool, dcfg)));
+                };
+                let chase = ChaseTask::saturation(
+                    &decoded.seed,
+                    decoded.sigma,
+                    decoded.pool,
+                    dcfg.chase.clone(),
+                );
+                self.stats.group_chases.fetch_add(1, Ordering::Relaxed);
+                let entry = Arc::new(GroupEntry {
+                    state: Mutex::new(GroupState {
+                        chase,
+                        outcome: None,
+                        decoder: decoded.decoder,
+                    }),
+                    members: AtomicUsize::new(0),
+                    last_used: AtomicU64::new(tick),
+                });
+                // Capacity bound with in-flight pinning: only entries
+                // with zero members are eviction candidates (LRU among
+                // them), so the registry may transiently exceed capacity
+                // while every entry is pinned — exactly the answer
+                // cache's fresh-insert reserve.
+                if reg.groups.len() >= reg.capacity {
+                    let victim = reg
+                        .groups
+                        .iter()
+                        .filter(|(_, e)| e.members.load(Ordering::Relaxed) == 0)
+                        .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                        .map(|(k, _)| k.clone());
+                    if let Some(k) = victim {
+                        reg.groups.remove(&k);
+                    }
+                }
+                reg.groups.insert(gq.key.clone(), entry.clone());
+                entry
+            }
+        };
+        entry.last_used.store(tick, Ordering::Relaxed);
+        // Decode the member's goal into the group's value space. Still
+        // under the registry lock (registry → state is the lock order);
+        // goal decoding is a few map lookups, not chase work.
+        let member_goal = {
+            let mut guard = entry.state.lock().expect("group state lock");
+            let state = &mut *guard;
+            let words = gq.goal.clone();
+            state.decoder.decode_goal(&words, state.chase.pool_mut())
+        };
+        let Some(member_goal) = member_goal else {
+            return Err(Box::new((sigma, goal, pool, dcfg)));
+        };
+        entry.members.fetch_add(1, Ordering::Relaxed);
+        self.stats.grouped.fetch_add(1, Ordering::Relaxed);
+        Ok(GroupMember {
+            entry,
+            goal: member_goal,
+            spec: Some((sigma, goal, pool, dcfg)),
+            fallback: None,
+            cancel: CancelToken::new(),
+            fuel: 0,
+            done: None,
+            fallbacks: self.stats.group_fallbacks.clone(),
+        })
+    }
+
     /// Reserves up to `want` fuel units from the global budget; the
     /// granted amount may be smaller. Unused grant is refunded by the
     /// stepper.

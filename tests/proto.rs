@@ -26,8 +26,9 @@ use rand::{RngExt, SeedableRng};
 use typedtd::chase::{decide, Answer, DecideConfig};
 use typedtd::service::proto::err_code;
 use typedtd::service::{
-    decode_frame, parse_query_line, parse_universe_spec, Frame, Opcode, ProtoClient,
-    ProtoServer, RunningUpdate, SockdConfig, SubmitPayload, WireAnswer, PROTO_VERSION,
+    decode_frame, parse_query_line, parse_stats_text, parse_universe_spec, Frame, Opcode,
+    ProtoClient, ProtoServer, RunningUpdate, ServiceConfig, SockdConfig, SubmitPayload,
+    WireAnswer, PROTO_VERSION,
 };
 use typedtd_relational::ValuePool;
 
@@ -653,6 +654,70 @@ fn shutdown_frame_stops_the_server() {
                 .unwrap_or(true),
         "a joined server must not serve new connections"
     );
+}
+
+/// Classifier-routing and Σ-group counters round-trip through the
+/// `STATS` frame and the Prometheus exposition, and the token-tolerant
+/// parser still accepts an old-format reply without them.
+#[test]
+fn stats_frame_roundtrips_classifier_and_group_tokens() {
+    let (server, addr) = tcp_server(SockdConfig {
+        service: ServiceConfig {
+            group: true,
+            ..ServiceConfig::default()
+        },
+        ..SockdConfig::default()
+    });
+    let mut client = ProtoClient::connect_tcp(addr).expect("connect");
+    // Two queries sharing Σ and goal-hypothesis shape: the weakly acyclic
+    // fd chain routes off dovetail, and both members land in one Σ-group.
+    let c1 = client
+        .submit("A B C", "A -> B & B -> C |= A -> C", None)
+        .expect("submit");
+    let c2 = client
+        .submit("A B C", "A -> B & B -> C |= A ->> C", None)
+        .expect("submit");
+    assert_eq!(client.wait_answer(c1).expect("answer").implication, Answer::Yes);
+    assert_eq!(client.wait_answer(c2).expect("answer").implication, Answer::Yes);
+    let stats = client.stats().expect("stats");
+    for key in [
+        "class_routed_terminating",
+        "class_routed_linear",
+        "class_routed_guarded",
+        "class_routed_dovetail",
+        "grouped",
+        "group_chases",
+        "group_fallbacks",
+    ] {
+        assert!(stats.contains_key(key), "STATS reply missing {key}: {stats:?}");
+    }
+    assert!(
+        stats["class_routed_terminating"] >= 2,
+        "the fd chain must route terminating: {stats:?}"
+    );
+    assert_eq!(stats["grouped"], 2, "both members must join one group");
+    assert_eq!(stats["group_chases"], 1, "shared saturation must run once");
+    assert_eq!(stats["group_fallbacks"], 0);
+    // The same counters appear in the `--metrics` exposition.
+    let metrics = server.client().metrics_text();
+    for needle in [
+        "typedtd_class_routed_total",
+        "typedtd_grouped_total",
+        "typedtd_group_chases_total",
+        "typedtd_group_fallbacks_total",
+    ] {
+        assert!(metrics.contains(needle), "metrics exposition missing {needle}");
+    }
+    // Backward tolerance: an old-format reply without the new tokens (and
+    // with junk) still parses, and simply lacks the new keys.
+    let old = parse_stats_text(
+        "submitted=4 answered=2 cancelled=1 expired=1 pending=0 garbage not=numeric",
+    );
+    assert_eq!(old["submitted"], 4);
+    assert_eq!(old["pending"], 0);
+    assert!(!old.contains_key("grouped"));
+    assert!(!old.contains_key("not"));
+    drop(server);
 }
 
 /// Polls `cond` (the soak's only wall-clock dependence) with a generous

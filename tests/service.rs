@@ -1357,3 +1357,57 @@ fn dropping_the_last_detached_waiter_completes_a_deferred_cancel() {
         stats_line(&client)
     );
 }
+
+/// Lazy-LRU pinning for Σ-group registry entries: with `cache_capacity =
+/// 1` the registry is permanently over budget, but an entry with live
+/// members must never be evicted. Submitting a second Σ-group while the
+/// first still has an un-stepped member must leave the first entry in
+/// place, so a later member of the first group joins the existing shared
+/// chase instead of starting a third one.
+#[test]
+fn group_entries_pinned_at_capacity_one() {
+    let u = Universe::untyped_abc();
+    let mut pool = ValuePool::new(u.clone());
+    let rows: &[&[&str]] = &[&["x", "y1", "z1"], &["x", "y2", "z2"]];
+    // Group A: the mvd-style td plus the B'-fd egd.
+    let sigma_a = vec![
+        TdOrEgd::Td(td_from_names(&u, &mut pool, rows, &["x", "y1", "z2"])),
+        TdOrEgd::Egd(egd_from_names(&u, &mut pool, rows, ("B'", "y1"), ("B'", "y2"))),
+    ];
+    // Group B: a different Σ (the egd alone) over the same hypothesis.
+    let sigma_b = vec![TdOrEgd::Egd(egd_from_names(
+        &u,
+        &mut pool,
+        rows,
+        ("B'", "y1"),
+        ("B'", "y2"),
+    ))];
+    let goal_c = TdOrEgd::Egd(egd_from_names(&u, &mut pool, rows, ("C'", "z1"), ("C'", "z2")));
+    let goal_xxx = TdOrEgd::Td(td_from_names(&u, &mut pool, rows, &["x", "x", "x"]));
+    let client = ImplicationClient::new(ServiceConfig {
+        cache_capacity: 1,
+        group: true,
+        ..ServiceConfig::default()
+    });
+    // a1 pins group A's entry (one live member, never stepped yet).
+    let a1 = client.submit(QuerySpec::new(sigma_a.clone(), goal_c.clone(), pool.clone()));
+    // b1 creates group B at capacity: A is pinned, so B must not evict it.
+    let b1 = client.submit(QuerySpec::new(sigma_b, goal_c, pool.clone()));
+    // a2 must find group A still resident and join its shared chase.
+    let a2 = client.submit(QuerySpec::new(sigma_a, goal_xxx, pool.clone()));
+    client.run_to_completion();
+    for job in [&a1, &b1, &a2] {
+        let JobStatus::Done(out) = job.poll() else {
+            panic!("group member left unsettled");
+        };
+        assert_eq!(out.implication, Answer::No, "all three goals are refutable");
+        assert_eq!(out.finite_implication, Answer::No);
+    }
+    let s = client.stats();
+    assert_eq!(s.grouped, 3, "all submissions must group");
+    assert_eq!(
+        s.group_chases, 2,
+        "a pinned entry was evicted: the returning member restarted its group"
+    );
+    assert_eq!(s.group_fallbacks, 0);
+}
